@@ -1,0 +1,103 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not paper figures — these isolate the mechanisms behind the results:
+
+* **remove-then-add ordering** (Section III-C): inverting the order makes
+  the attack fail, because the blocking addView delays the remove and the
+  new overlay is up before the old one is gone;
+* **ANA dispatch delay** (Section VI-B): removing Android 10/11's
+  intentional notification delay collapses their boundary advantage;
+* **fade overlap** (Section IV): without the toast fade-out (instant
+  removal), switches produce deep visible gaps — the animation *is* the
+  vulnerability.
+"""
+
+from repro import (
+    AlertMode,
+    DrawAndDestroyOverlayAttack,
+    OverlayAttackConfig,
+    Permission,
+    build_stack,
+    device,
+)
+from repro.analysis import ana_delay_ablation
+from repro.systemui import NotificationOutcome
+from repro.toast.toast import Toast
+from repro.toast.lifecycle import analyze_switches
+from repro.windows.geometry import Rect
+
+
+def _attack_outcome(remove_then_add: bool) -> NotificationOutcome:
+    stack = build_stack(seed=6, profile=device("mate20"),
+                        alert_mode=AlertMode.ANALYTIC, trace_enabled=False)
+    attack = DrawAndDestroyOverlayAttack(
+        stack,
+        OverlayAttackConfig(attacking_window_ms=100.0,
+                            remove_then_add=remove_then_add),
+    )
+    stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+    attack.start()
+    stack.run_for(4000.0)
+    worst = stack.system_ui.worst_outcome()
+    attack.stop()
+    stack.run_for(500.0)
+    return max(worst, stack.system_ui.worst_outcome())
+
+
+def bench_ablation_call_ordering(benchmark):
+    outcome_good = benchmark.pedantic(
+        _attack_outcome, args=(True,), rounds=1, iterations=1
+    )
+    outcome_bad = _attack_outcome(False)
+    assert outcome_good is NotificationOutcome.LAMBDA1
+    assert outcome_bad > NotificationOutcome.LAMBDA1
+    print("\nAblation: call ordering within one cycle (Huawei mate20):")
+    print(f"  removeView before addView : {outcome_good.label} (attack works)")
+    print(f"  addView before removeView : {outcome_bad.label} (attack fails — "
+          "blocking addView delays the remove)")
+
+
+def bench_ablation_ana_delay(benchmark):
+    def run():
+        return {
+            model: ana_delay_ablation(device(model))
+            for model in ("pixel 4", "pixel 2", "s8")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert results["pixel 4"]["attacker_loses_ms"] > 90.0
+    assert results["pixel 2"]["attacker_loses_ms"] > 190.0
+    assert results["s8"]["attacker_loses_ms"] < 1.0
+    print("\nAblation: removing the ANA notification-dispatch delay:")
+    for model, numbers in results.items():
+        print(f"  {model:8s}: bound {numbers['with_ana_ms']:5.0f} ms -> "
+              f"{numbers['without_ana_ms']:5.0f} ms "
+              f"(attacker loses {numbers['attacker_loses_ms']:5.0f} ms)")
+
+
+def bench_ablation_fade_overlap(benchmark):
+    """Compare the switch dip with the real 500 ms fade vs a 1 ms fade
+    (effectively instant removal)."""
+
+    def run(fade_ms):
+        rect = Rect(0, 1400, 1080, 2160)
+        toasts = []
+        for i in range(2):
+            toast = Toast(owner="m", content=i, rect=rect, duration_ms=2000.0,
+                          fade_ms=fade_ms)
+            toast.shown_at = i * 2010.0
+            toast.fade_out_start = toast.shown_at + 2000.0
+            toast.removed_at = toast.fade_out_start + fade_ms
+            toasts.append(toast)
+        switches = analyze_switches(toasts)
+        return switches[0].min_coverage
+
+    with_fade = benchmark.pedantic(run, args=(500.0,), rounds=1, iterations=1)
+    without_fade = run(1.0)
+    assert with_fade > 0.9
+    assert without_fade < 0.2
+    print("\nAblation: the exit animation is the vulnerability:")
+    print(f"  500 ms fade-out : min switch coverage {with_fade * 100:5.1f}% "
+          "(imperceptible)")
+    print(f"  instant removal : min switch coverage {without_fade * 100:5.1f}% "
+          "(obvious flicker)")

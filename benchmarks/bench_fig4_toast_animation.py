@@ -1,0 +1,20 @@
+"""Fig. 4 — toast fade-out (Accelerate) and fade-in (Decelerate) curves.
+
+Paper shape: fade-out follows y = x^2 (slow start), fade-in follows
+y = 1 - (1-x)^2 (fast start) over 500 ms — the asymmetry that hides toast
+switches.
+"""
+
+from repro.experiments import run_fig4
+
+
+def bench_fig4_toast_fade_curves(benchmark):
+    result = benchmark.pedantic(run_fig4, rounds=3, iterations=1)
+    assert result.accelerate.completeness_at(100.0) < 10.0
+    assert result.decelerate.completeness_at(100.0) > 30.0
+    print("\nFig 4 (toast fades, 500 ms):")
+    print("  t(ms)  fade-out%  fade-in%")
+    for t in (50, 100, 200, 300, 400, 500):
+        acc = result.accelerate.completeness_at(float(t))
+        dec = result.decelerate.completeness_at(float(t))
+        print(f"  {t:5d}  {acc:8.1f}  {dec:8.1f}")

@@ -1,0 +1,20 @@
+"""Fig. 6 — the five notification outcomes (Λ1–Λ5) vs attacking window D.
+
+Paper shape: increasing D walks the outcome ladder from Λ1 (no alert) to
+Λ5 (view + message + icon fully displayed).
+"""
+
+from repro.experiments import run_fig6
+from repro.systemui import NotificationOutcome
+
+
+def bench_fig6_outcome_ladder(benchmark):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    assert result.is_monotone
+    outcomes = [o for _, o in result.outcomes]
+    assert outcomes[0] is NotificationOutcome.LAMBDA1
+    assert outcomes[-1] is NotificationOutcome.LAMBDA5
+    print(f"\nFig 6 — notification outcome vs D ({result.device_key}, "
+          f"published bound {result.published_upper_bound_d:.0f} ms):")
+    for d, outcome in result.outcomes:
+        print(f"  D = {d:6.0f} ms -> {outcome.label}")

@@ -1,0 +1,22 @@
+"""Fig. 7 — touch-event capture rate vs attacking window D.
+
+Paper shape: mean capture rate grows with D and plateaus in the low 90s —
+61.0 / 79.8 / 86.7 / 89.0 / 91.0 / 92.8 / 92.8 % at D = 50..200 ms.
+"""
+
+from repro.experiments import run_fig7
+
+
+def bench_fig7_capture_rate_vs_d(benchmark, scale):
+    result = benchmark.pedantic(run_fig7, args=(scale,), rounds=1, iterations=1)
+    means = result.means()
+    assert result.is_increasing
+    assert means[0] < 85.0       # substantial misses at D = 50 ms
+    assert means[-1] > 85.0      # plateau in the high 80s / low 90s
+    print("\nFig 7 — capture rate vs D (box statistics, %):")
+    print(f"  {'D':>5s} {'mean':>6s} {'paper':>6s} {'med':>6s} "
+          f"{'q1':>6s} {'q3':>6s} {'min':>6s} {'max':>6s}")
+    for stats, paper in zip(result.stats, result.paper_means):
+        print(f"  {stats.attacking_window_ms:5.0f} {stats.mean:6.1f} "
+              f"{paper:6.1f} {stats.median:6.1f} {stats.q1:6.1f} "
+              f"{stats.q3:6.1f} {stats.minimum:6.1f} {stats.maximum:6.1f}")

@@ -1,0 +1,20 @@
+"""Fig. 8 — capture rate vs D, split by Android version.
+
+Paper shape: Android 10 (and 11) capture less than 8/9 at every D — the
+reduced ``Trm`` widens the mistouch gap; Android 10 only reaches ~90% even
+at D = 200 ms.
+"""
+
+from repro.experiments import run_fig8
+
+
+def bench_fig8_capture_by_version(benchmark, scale):
+    result = benchmark.pedantic(run_fig8, args=(scale,), rounds=1, iterations=1)
+    assert result.version_mean("10") < result.version_mean("9")
+    at_200 = result.by_version["10"][-1]
+    assert 80.0 < at_200 < 97.0  # "around 90% even if D reaches 200 ms"
+    print("\nFig 8 — mean capture rate (%) by Android version:")
+    header = "  version " + " ".join(f"{d:>6.0f}" for d in result.durations)
+    print(header)
+    for version, series in sorted(result.by_version.items()):
+        print(f"  {version:>7s} " + " ".join(f"{v:6.1f}" for v in series))

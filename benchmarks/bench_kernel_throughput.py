@@ -1,0 +1,76 @@
+"""Substrate microbenchmarks: simulation-kernel and full-stack throughput.
+
+Not a paper figure — these quantify the reproduction's own cost so the
+experiment scales in config.py stay honest.
+"""
+
+from repro import (
+    AlertMode,
+    DrawAndDestroyOverlayAttack,
+    OverlayAttackConfig,
+    Permission,
+    build_stack,
+)
+from repro.sim import Simulation
+
+
+def bench_scheduler_event_throughput(benchmark):
+    def run():
+        sim = Simulation(seed=1, trace_enabled=False)
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 50_000:
+                sim.schedule_after(1.0, tick)
+
+        sim.schedule_after(1.0, tick)
+        sim.run_to_completion()
+        return count
+
+    count = benchmark(run)
+    assert count == 50_000
+
+
+def bench_full_stack_attack_second(benchmark):
+    """Cost of simulating one second of the overlay attack (analytic)."""
+
+    def run():
+        stack = build_stack(seed=1, alert_mode=AlertMode.ANALYTIC,
+                            trace_enabled=False)
+        attack = DrawAndDestroyOverlayAttack(
+            stack, OverlayAttackConfig(attacking_window_ms=100.0)
+        )
+        stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+        attack.start()
+        stack.run_for(1000.0)
+        attack.stop()
+        stack.run_for(100.0)
+        return stack.simulation.scheduler.dispatched_count
+
+    events = benchmark(run)
+    assert events > 50
+
+
+def bench_frame_mode_overhead(benchmark):
+    """Frame-driven alerts cost more events than analytic ones — the
+    ablation justifying AlertMode.ANALYTIC for sweeps."""
+
+    def run(mode):
+        stack = build_stack(seed=1, alert_mode=mode, trace_enabled=False)
+        # D above the device's bound so the alert actually animates (a
+        # suppressed alert never reaches System UI in either mode).
+        attack = DrawAndDestroyOverlayAttack(
+            stack, OverlayAttackConfig(attacking_window_ms=420.0)
+        )
+        stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+        attack.start()
+        stack.run_for(2000.0)
+        attack.stop()
+        stack.run_for(100.0)
+        return stack.simulation.scheduler.dispatched_count
+
+    frame_events = run(AlertMode.FRAME)
+    analytic_events = benchmark(run, AlertMode.ANALYTIC)
+    assert frame_events > analytic_events

@@ -1,0 +1,17 @@
+"""Section VI-B 'Impact of the load' — Λ1 boundary vs background apps.
+
+Paper shape: the boundary with 0, 3, and 5 popular background apps is
+'almost the same'; the influence of load is negligible.
+"""
+
+from repro.experiments import run_load_impact
+
+
+def bench_load_impact_on_boundary(benchmark, scale):
+    result = benchmark.pedantic(run_load_impact, args=(scale,), rounds=1,
+                                iterations=1)
+    assert result.max_shift_ms <= 10.0  # within one animation frame
+    print(f"\nLoad impact on the Λ1 boundary ({result.device_key}):")
+    for count, bound in result.bounds_by_load:
+        print(f"  {count} background apps -> boundary {bound:6.1f} ms")
+    print(f"  max shift: {result.max_shift_ms:.1f} ms (paper: negligible)")

@@ -1,0 +1,19 @@
+"""Section VI-C3 — stealthiness user study.
+
+Paper shape: of 30 participants typing passwords on the Bank of America
+app under attack, nobody noticed the alert or the fake keyboard; one
+person reported lag.
+"""
+
+from repro.experiments import run_stealthiness
+
+
+def bench_stealthiness_study(benchmark, scale):
+    result = benchmark.pedantic(run_stealthiness, args=(scale,), rounds=1,
+                                iterations=1)
+    assert result.noticed_attack == 0
+    assert result.reported_lag <= max(2, result.participants // 10)
+    print(f"\nStealthiness ({result.participants} participants, BofA):")
+    print(f"  noticed the alert    : {result.noticed_alert} (paper: 0)")
+    print(f"  noticed the keyboard : {result.noticed_flicker} (paper: 0)")
+    print(f"  reported lag         : {result.reported_lag} (paper: 1/30)")

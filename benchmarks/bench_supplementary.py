@@ -1,0 +1,33 @@
+"""Supplementary analyses: version-split password success and Fig 7 CIs.
+
+Beyond the paper's tables — the splits its timing model predicts:
+Android 10/11's larger mistouch gap should depress password-stealing
+success relative to 8/9, and the 30-participant Fig. 7 means should carry
+visible but modest statistical uncertainty.
+"""
+
+from repro.experiments import run_fig7_with_cis, run_table3_by_version
+
+
+def bench_table3_by_android_version(benchmark, scale):
+    result = benchmark.pedantic(run_table3_by_version, args=(scale,),
+                                rounds=1, iterations=1)
+    assert result.newer_versions_harder
+    print(f"\nPassword stealing (length {result.password_length}) by "
+          "Android version:")
+    print(f"  {'version':>8s} {'success':>9s} {'95% CI':>16s} {'n':>5s}")
+    for row in result.rows:
+        print(f"  {row.version:>8s} {row.success_rate:8.1f}% "
+              f"[{row.ci.lower * 100:5.1f}, {row.ci.upper * 100:5.1f}]% "
+              f"{row.attempts:5d}")
+
+
+def bench_fig7_confidence_intervals(benchmark, scale):
+    result = benchmark.pedantic(run_fig7_with_cis, args=(scale,),
+                                rounds=1, iterations=1)
+    for row in result.rows:
+        assert row.ci.lower <= row.mean <= row.ci.upper
+    print("\nFig 7 means with 95% bootstrap CIs over participants:")
+    for row in result.rows:
+        print(f"  D = {row.attacking_window_ms:5.0f} ms: "
+              f"{row.mean:5.1f}%  [{row.ci.lower:5.1f}, {row.ci.upper:5.1f}]")

@@ -1,0 +1,23 @@
+"""Table II — upper boundary of D (ms) per smartphone.
+
+Paper shape: per-device boundaries from 60 ms (Samsung s8, Android 8) to
+395 ms (Xiaomi Redmi, Android 10); Android 10/11 systematically above 8/9
+because of the ANA notification-dispatch delay.
+"""
+
+from repro.devices import DEVICES
+from repro.experiments import run_table2
+
+
+def bench_table2_upper_boundaries(benchmark, scale):
+    result = benchmark.pedantic(run_table2, args=(scale,), rounds=1, iterations=1)
+    assert result.mean_abs_error_ms <= 10.0
+    means = result.version_means()
+    assert means["10"] > means["9"]
+    benchmark.extra_info["mean_abs_error_ms"] = round(result.mean_abs_error_ms, 2)
+    print("\nTable II — upper boundary of D for Λ1 (ms):")
+    print(f"  {'device':40s} {'paper':>6s} {'ours':>6s} {'err':>5s}")
+    for row, profile in zip(result.rows, DEVICES):
+        print(f"  {profile.key:40s} {row.published_upper_bound_d:6.0f} "
+              f"{row.measured_upper_bound_d:6.0f} {row.error_ms:+5.0f}")
+    print(f"  version means: { {k: round(v) for k, v in means.items()} }")

@@ -1,0 +1,27 @@
+"""Table III — password-stealing success rates and error taxonomy.
+
+Paper shape: success decreases with password length (92.3% at 4 chars down
+to 84.3% at 12), with length errors the dominant category, then
+capitalization and wrong-key errors.
+"""
+
+from repro.experiments import TABLE_III_PAPER, run_table3
+
+
+def bench_table3_password_stealing(benchmark, scale):
+    result = benchmark.pedantic(run_table3, args=(scale,), rounds=1, iterations=1)
+    # At reduced scale the per-length estimates are noisy (a handful of
+    # attempts per cell); assert the robust claim: the attack succeeds on
+    # a large majority of attempts at every length. The length trend is
+    # checked in EXPERIMENTS.md at full scale.
+    assert all(row.success_rate > 55.0 for row in result.rows)
+    rates = result.success_rates
+    assert sum(rates) / len(rates) > 70.0
+    print("\nTable III — password stealing (success % / error counts):")
+    print(f"  {'len':>4s} {'success%':>9s} {'paper%':>7s} {'lenErr':>7s} "
+          f"{'capErr':>7s} {'keyErr':>7s} {'other':>6s} {'n':>5s}")
+    for row in result.rows:
+        paper = TABLE_III_PAPER.get(row.length, {}).get("success_rate", float("nan"))
+        print(f"  {row.length:4d} {row.success_rate:9.1f} {paper:7.1f} "
+              f"{row.length_errors:7d} {row.capitalization_errors:7d} "
+              f"{row.wrong_key_errors:7d} {row.other_errors:6d} {row.attempts:5d}")

@@ -1,0 +1,20 @@
+"""Table IV — the password-stealing attack against 8 real-world apps.
+
+Paper shape: every app is compromised; Alipay needs the extra
+username-widget workaround ('*' marker) because it disables accessibility
+events on the password field.
+"""
+
+from repro.experiments import run_table4
+
+
+def bench_table4_real_world_apps(benchmark, scale):
+    result = benchmark.pedantic(run_table4, args=(scale,), rounds=1, iterations=1)
+    assert result.all_compromised
+    assert result.row("Alipay").marker == "*"
+    assert all(r.marker == "✓" for r in result.rows if r.app_name != "Alipay")
+    print("\nTable IV — apps under testing:")
+    print(f"  {'app':18s} {'version':16s} {'result':7s} trigger")
+    for row in result.rows:
+        print(f"  {row.app_name:18s} {row.version:16s} {row.marker:7s} "
+              f"{row.trigger_path}")

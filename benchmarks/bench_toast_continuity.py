@@ -1,0 +1,35 @@
+"""Section IV — draw-and-destroy toast attack continuity.
+
+Paper shape: sequentially generated toasts keep the customized view on
+screen indefinitely; the fade-out/fade-in overlap makes switches
+imperceptible; 3.5 s toasts switch less often than 2 s ones; the token
+queue stays under the 50-per-app cap.
+"""
+
+from repro.experiments import compare_toast_durations, run_toast_continuity
+
+
+def bench_toast_continuity(benchmark, scale):
+    result = benchmark.pedantic(run_toast_continuity, args=(scale,), rounds=1,
+                                iterations=1)
+    assert result.imperceptible
+    assert result.max_queue_depth_observed < 50
+    print("\nToast attack continuity (3.5 s toasts):")
+    print(f"  toasts shown          : {result.toasts_shown}")
+    print(f"  min switch coverage   : {result.min_switch_coverage * 100:.1f}%")
+    print(f"  mean switch gap       : {result.mean_switch_gap_ms:.1f} ms")
+    print(f"  coverage >= 95%       : {result.coverage_fraction_above_95 * 100:.1f}% "
+          "of the run")
+    print(f"  max queue depth       : {result.max_queue_depth_observed} (cap 50)")
+
+
+def bench_toast_duration_choice(benchmark, scale):
+    short, long = benchmark.pedantic(
+        compare_toast_durations, args=(scale,), rounds=1, iterations=1
+    )
+    assert len(short.switches) > len(long.switches)
+    print("\nToast duration choice (Section IV-D):")
+    print(f"  2.0 s toasts: {len(short.switches)} switches over "
+          f"{short.duration_ms / 1000:.0f} s")
+    print(f"  3.5 s toasts: {len(long.switches)} switches over "
+          f"{long.duration_ms / 1000:.0f} s  (the attacker's choice)")

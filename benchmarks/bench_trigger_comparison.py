@@ -1,0 +1,26 @@
+"""§VI-C2 note: comparing password-entry detection channels.
+
+The accessibility trigger fires within milliseconds but Alipay-style
+hardening blinds it (without the username workaround); the UI-state side
+channel (Chen et al. [9]) fires within a poll interval and is immune to
+the hardening.
+"""
+
+from repro.experiments import run_trigger_comparison
+
+
+def bench_trigger_channel_comparison(benchmark, scale):
+    result = benchmark.pedantic(run_trigger_comparison, args=(scale,),
+                                rounds=1, iterations=1)
+    assert result.accessibility_is_faster
+    side_alipay = next(t for t in result.trials
+                       if t.channel == "side_channel" and t.victim == "Alipay")
+    assert side_alipay.launched
+    print("\nPassword-entry detection channels:")
+    print(f"  {'channel':>14s} {'victim':>16s} {'launched':>9s} "
+          f"{'latency':>9s} {'stolen':>7s}")
+    for t in result.trials:
+        latency = (f"{t.trigger_latency_ms:6.1f}ms"
+                   if t.trigger_latency_ms is not None else "      --")
+        print(f"  {t.channel:>14s} {t.victim:>16s} {str(t.launched):>9s} "
+              f"{latency:>9s} {str(t.derived_matches):>7s}")

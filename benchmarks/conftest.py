@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation section at the QUICK scale (same protocol as the paper, reduced
+replication) and prints the paper-vs-measured rows. Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_SCALE=full`` for paper-scale runs (30 participants, the
+890,855-app corpus, ...), which take several minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import FULL, QUICK, ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    return FULL if name == "full" else QUICK

@@ -1,0 +1,15 @@
+"""Repository-root pytest configuration.
+
+Puts ``src/`` on ``sys.path`` so the test and benchmark suites run against
+the in-tree package even when ``pip install -e .`` is unavailable (e.g.,
+offline environments whose setuptools cannot build editable wheels).
+An installed ``repro`` takes precedence only if it appears earlier on the
+path; inserting at position 0 keeps the in-tree sources authoritative.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

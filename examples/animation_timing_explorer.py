@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Explore the animation timings that make the attacks possible.
+
+Prints ASCII renderings of the paper's Fig. 2 and Fig. 4 curves, the
+attacker's per-device timing budget (Eq. 3), and the expected mistouch
+trade-off (Eq. 2) that governs the choice of attacking window D.
+
+Run:  python examples/animation_timing_explorer.py
+"""
+
+from repro.attacks import expected_mistouch_for_profile
+from repro.devices import DEVICES
+from repro.experiments import run_fig2, run_fig4
+
+
+def ascii_curve(series, width=60, height=12, label=""):
+    print(f"\n  {label}")
+    points = series.points
+    rows = []
+    for row in range(height, -1, -1):
+        threshold = row / height * 100.0
+        line = ""
+        for col in range(width + 1):
+            t = col / width * series.duration_ms
+            value = series.completeness_at(t)
+            line += "#" if value >= threshold > value - 100.0 / height else " "
+        rows.append(f"  {threshold:5.0f}% |{line}")
+    print("\n".join(rows))
+    print("         +" + "-" * (width + 1))
+    print(f"          0 ms{' ' * (width - 12)}{series.duration_ms:.0f} ms")
+
+
+def main() -> None:
+    print("Fig. 2 — FastOutSlowIn notification slide-in (the attacker's"
+          " friend):")
+    fig2 = run_fig2()
+    ascii_curve(fig2.curve, label="completeness vs time, 360 ms")
+    print(f"\n  first 10 ms frame renders {fig2.completeness_at_10ms:.2f}% "
+          f"= {fig2.pixels_at_10ms_of_72px_view} px of a 72 px view")
+    print(f"  at 100 ms only {fig2.completeness_at_100ms:.1f}% is shown "
+          "(paper: < 50%)")
+
+    fig4 = run_fig4()
+    print("\nFig. 4 — toast fades (fade-out lingers, fade-in snaps):")
+    ascii_curve(fig4.accelerate, label="fade-out progress (Accelerate), 500 ms")
+    ascii_curve(fig4.decelerate, label="fade-in progress (Decelerate), 500 ms")
+
+    print("\nPer-device attacking-window budget (Eq. 3, calibrated to "
+          "Table II):")
+    print(f"  {'device':42s} {'Tn':>6s} {'Tv':>4s} {'Ta':>4s} "
+          f"{'Tmis':>5s} {'bound':>6s}")
+    for profile in sorted(DEVICES, key=lambda p: p.published_upper_bound_d):
+        print(f"  {profile.key:42s} {profile.tn.mean_ms:6.1f} "
+              f"{profile.tv.mean_ms:4.0f} {profile.first_visible_frame_ms:4.0f} "
+              f"{profile.mean_tmis_ms:5.1f} "
+              f"{profile.predicted_upper_bound_d:6.0f}")
+
+    print("\nEq. 2 — expected mistouch time over a 10 s attack "
+          "(Xiaomi mi8, Android 10):")
+    mi8 = next(d for d in DEVICES
+               if d.model == "mi8" and d.android_version.label == "10")
+    for d in (50.0, 100.0, 150.0, 200.0, 290.0):
+        est = expected_mistouch_for_profile(mi8, 10_000.0, d)
+        bar = "#" * int(est.expected_mistouch_fraction * 400)
+        print(f"  D = {d:5.0f} ms: E[Tm] = {est.expected_mistouch_ms:7.1f} ms "
+              f"({est.expected_mistouch_fraction * 100:4.1f}% of taps at "
+              f"risk) {bar}")
+    print("\n  -> larger D loses fewer touches, but D must stay below the "
+          "device's Λ1 boundary.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Evaluating the paper's defenses (Section VII) against the attacks.
+
+Three mitigations, each demonstrated attack-vs-defense:
+
+1. IPC-based detection — a minor Binder hook feeds addView/removeView
+   transactions to an analyzer whose decision rule flags the
+   draw-and-destroy pattern and terminates the app, while a benign
+   floating-widget app stays untouched.
+2. Enhanced notification — System Server delays the alert-hide by 690 ms;
+   a re-added overlay keeps the alert animating to full visibility, so no
+   attacking window D suppresses it anymore.
+3. Toast spacing — a scheduling gap between successive toasts turns the
+   imperceptible fake-keyboard switch into a visible flicker.
+
+Run:  python examples/defense_evaluation.py
+"""
+
+from repro import (
+    AlertMode,
+    DrawAndDestroyOverlayAttack,
+    EnhancedNotificationDefense,
+    IpcDetector,
+    OverlayAttackConfig,
+    Permission,
+    build_stack,
+)
+from repro.defenses import BenignOverlayApp, ToastSpacingDefense
+from repro.experiments import QUICK, run_toast_continuity
+
+
+def demo_ipc_detector() -> None:
+    print("=== 1. IPC-based detection (Binder monitoring) ===")
+    stack = build_stack(seed=7, alert_mode=AlertMode.ANALYTIC)
+    detector = IpcDetector(stack.router, stack.system_server)
+
+    benign = BenignOverlayApp(stack, dwell_ms=20_000.0, pause_ms=5_000.0)
+    stack.permissions.grant(benign.package, Permission.SYSTEM_ALERT_WINDOW)
+    benign.start()
+
+    attack = DrawAndDestroyOverlayAttack(
+        stack, OverlayAttackConfig(attacking_window_ms=150.0)
+    )
+    stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+    attack.start()
+
+    stack.run_for(60_000.0)
+    benign.stop()
+    stack.run_for(1000.0)
+
+    for detection in detector.detections:
+        print(f"  flagged {detection.caller} after {detection.time:.0f} ms "
+              f"({detection.pairs_observed} rapid add/remove pairs)")
+    print(f"  malicious app terminated : {attack.package in stack.system_server.terminated_apps}")
+    print(f"  benign widget flagged    : {detector.is_flagged(benign.package)}")
+    per_txn = (detector.monitor.overhead_ms + detector.overhead_ms) / max(
+        detector.monitor.transactions_seen, 1
+    )
+    print(f"  overhead                 : {per_txn * 1000:.1f} µs per transaction\n")
+
+
+def demo_enhanced_notification() -> None:
+    print("=== 2. Enhanced notification (690 ms hide delay) ===")
+    for defended in (False, True):
+        stack = build_stack(seed=8, alert_mode=AlertMode.ANALYTIC)
+        if defended:
+            EnhancedNotificationDefense(stack.system_server).install()
+        attack = DrawAndDestroyOverlayAttack(
+            stack, OverlayAttackConfig(attacking_window_ms=150.0)
+        )
+        stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+        attack.start()
+        stack.run_for(6000.0)
+        outcome = stack.system_ui.worst_outcome()
+        attack.stop()
+        label = "with defense   " if defended else "without defense"
+        print(f"  {label}: alert outcome {outcome.label} "
+              f"({'user sees the alert' if not outcome.suppressed else 'suppressed'})")
+    print()
+
+
+def demo_toast_spacing() -> None:
+    print("=== 3. Toast spacing (scheduling gap between toasts) ===")
+    plain = run_toast_continuity(QUICK, inter_toast_gap_ms=0.0)
+    spaced = run_toast_continuity(QUICK, inter_toast_gap_ms=ToastSpacingDefense(
+        build_stack(seed=1).notification_manager).gap_ms)
+    print(f"  undefended : min switch coverage "
+          f"{plain.min_switch_coverage * 100:5.1f}%  -> imperceptible: "
+          f"{plain.imperceptible}")
+    print(f"  defended   : min switch coverage "
+          f"{spaced.min_switch_coverage * 100:5.1f}%  -> imperceptible: "
+          f"{spaced.imperceptible}")
+
+
+def main() -> None:
+    demo_ipc_detector()
+    demo_enhanced_notification()
+    demo_toast_spacing()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Payment hijack: the paper's third named application (Section I).
+
+Combines the building blocks for a payment-UI deception:
+
+1. a **content-hiding toast** covers the payment summary of a wallet app,
+   showing the amount/recipient the user *expects* while the app beneath
+   has been manipulated to show something else;
+2. a **clickjacking decoy** (NOT_TOUCHABLE, draw-and-destroy-cycled)
+   covers the confirm button with an innocuous label; the user's tap
+   passes straight through to the real "Confirm payment" button;
+3. the overlay-presence alert stays suppressed throughout.
+
+No real payment system is involved — the point is to show the primitives
+composing into the scenario the paper sketches.
+
+Run:  python examples/payment_hijack.py
+"""
+
+from repro import AlertMode, Permission, build_stack
+from repro.attacks import ClickjackingAttack, ContentHidingAttack
+from repro.windows import Window, WindowType
+from repro.windows.geometry import Point, Rect
+
+SUMMARY_RECT = Rect(80, 500, 1000, 760)
+CONFIRM_RECT = Rect(240, 1500, 840, 1650)
+
+
+class WalletApp:
+    """A minimal payment app: a summary area and a confirm button."""
+
+    def __init__(self, stack):
+        self.stack = stack
+        self.displayed_summary = "Pay $950.00 to unknown-merchant-7731"
+        self.confirmed_payments = []
+        self.window = Window(
+            "com.wallet.app", WindowType.BASE_APPLICATION,
+            Rect(0, 0, 1080, 2160), on_touch=self._on_touch,
+            label="wallet",
+        )
+        stack.system_server.add_window_direct(self.window)
+
+    def _on_touch(self, window, point, time) -> None:
+        if CONFIRM_RECT.contains(point):
+            self.confirmed_payments.append((time, self.displayed_summary))
+
+
+def main() -> None:
+    stack = build_stack(seed=99, alert_mode=AlertMode.ANALYTIC)
+    wallet = WalletApp(stack)
+    stack.run_for(100.0)
+
+    print("Victim wallet actually shows :", wallet.displayed_summary)
+
+    # 1. Hide the real summary behind a benign-looking toast.
+    hider = ContentHidingAttack(
+        stack, cover_rect=SUMMARY_RECT,
+        fake_content="Pay $9.50 to coffee-shop",
+    )
+    hider.start()  # toasts: no permission needed
+
+    # 2. Cover the confirm button with a pass-through decoy.
+    decoy = ClickjackingAttack(
+        stack, decoy_rect=CONFIRM_RECT, decoy_content="Continue",
+    )
+    stack.permissions.grant(decoy.package, Permission.SYSTEM_ALERT_WINDOW)
+    decoy.start()
+
+    stack.run_for(1500.0)
+    print("User sees (toast cover)      :",
+          hider.displayed_content_at(stack.now))
+    print("User sees (button decoy)     : 'Continue'")
+
+    # 3. The user taps what looks like an innocuous Continue button.
+    stack.touch.tap(Point(540.0, 1575.0))
+    stack.run_for(200.0)
+
+    outcome = stack.system_ui.worst_outcome()
+    print("\nAfter the tap:")
+    print(f"  payments confirmed by wallet : {len(wallet.confirmed_payments)}")
+    if wallet.confirmed_payments:
+        _, summary = wallet.confirmed_payments[0]
+        print(f"  what was actually confirmed  : {summary!r}")
+    print(f"  overlay alert outcome        : {outcome.label} "
+          f"({'suppressed' if outcome.suppressed else 'visible'})")
+
+    hider.stop()
+    decoy.stop()
+    stack.run_for(5000.0)
+
+
+if __name__ == "__main__":
+    main()

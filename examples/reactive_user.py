@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The human in the loop: what happens when the attacker misjudges D.
+
+Android's built-in defense is only as good as the user behind it: the
+alert must *appear* (defeating the draw-and-destroy suppression) and the
+user must act on it ("press on the alert to open the system Settings app,
+which can prohibit an app from displaying overlays", paper Section II-A2).
+
+This example runs the same attack twice against a reactive user:
+
+* with a correctly probed attacking window — the alert never appears and
+  the user never reacts; the attack runs to completion;
+* with a misjudged (too large) window — the alert slides in, the user
+  notices, opens Settings, revokes SYSTEM_ALERT_WINDOW, and the attack's
+  overlays are torn down mid-run.
+
+Run:  python examples/reactive_user.py
+"""
+
+from repro import (
+    AlertMode,
+    DrawAndDestroyOverlayAttack,
+    OverlayAttackConfig,
+    Permission,
+    build_stack,
+)
+from repro.apps import AlertResponder, SettingsApp
+from repro.attacks import DeviceProber
+from repro.users import PerceptionModel
+from repro.windows.geometry import Point
+
+
+def run_scenario(title: str, attacking_window_ms: float) -> None:
+    print(f"=== {title} (D = {attacking_window_ms:.0f} ms) ===")
+    stack = build_stack(seed=123, alert_mode=AlertMode.ANALYTIC)
+    settings = SettingsApp(stack)
+    responder = AlertResponder(
+        stack, settings, PerceptionModel(), reaction_delay_ms=1500.0
+    )
+    responder.start()
+
+    attack = DrawAndDestroyOverlayAttack(
+        stack, OverlayAttackConfig(attacking_window_ms=attacking_window_ms)
+    )
+    stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+    attack.start()
+
+    captured = 0
+    for second in range(15):
+        stack.run_for(1000.0)
+        before = attack.stats.captured_count
+        stack.touch.tap(Point(540.0, 1200.0))
+        stack.run_for(50.0)
+        captured += attack.stats.captured_count - before
+
+    outcome = stack.system_ui.worst_outcome()
+    print(f"  alert outcome        : {outcome.label}")
+    if responder.noticed_at is not None:
+        print(f"  user noticed at      : {responder.noticed_at / 1000:.1f} s")
+    if responder.reacted:
+        print(f"  permission revoked at: {responder.revoked_at / 1000:.1f} s")
+        print(f"  overlays left        : "
+              f"{len(stack.screen.windows_of(attack.package))}")
+    else:
+        print("  user never noticed anything")
+    print(f"  touches intercepted  : {captured}/15 over 15 s\n")
+    attack.stop()
+
+
+def main() -> None:
+    stack = build_stack(seed=1)
+    bound = stack.profile.published_upper_bound_d
+    chosen = DeviceProber().probe(stack.profile).chosen_window_ms
+    print(f"Device: {stack.profile.key} — Table II bound {bound:.0f} ms; "
+          f"the prober picks D = {chosen:.0f} ms\n")
+    run_scenario("Careful attacker (probed D)", chosen)
+    run_scenario("Sloppy attacker (bound + 90 ms)", bound + 90.0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — reproduction of "Implication of Animation on Android Security"
+(ICDCS 2022).
+
+The package simulates the Android UI stack (Binder IPC, Window Manager,
+System UI notification pipeline, toast scheduling, animations) as a
+deterministic discrete-event system, implements the paper's
+draw-and-destroy overlay attack, draw-and-destroy toast attack and
+password-stealing attack on top of it, reproduces every table and figure
+of the evaluation, and implements the proposed defenses.
+
+Quickstart::
+
+    from repro import build_stack, DrawAndDestroyOverlayAttack, \
+        OverlayAttackConfig, Permission
+
+    stack = build_stack(seed=1)
+    attack = DrawAndDestroyOverlayAttack(
+        stack, OverlayAttackConfig(attacking_window_ms=150))
+    stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+    attack.start()
+    stack.run_for(5_000)
+    print(stack.system_ui.worst_outcome())   # Λ1: alert fully suppressed
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-vs-measured comparison.
+"""
+
+from .attacks import (
+    DrawAndDestroyOverlayAttack,
+    DrawAndDestroyToastAttack,
+    OverlayAttackConfig,
+    PasswordStealingAttack,
+    PasswordStealingConfig,
+    ToastAttackConfig,
+)
+from .defenses import (
+    EnhancedNotificationDefense,
+    IpcDetector,
+    ToastSpacingDefense,
+)
+from .devices import DEVICES, DeviceProfile, device, reference_device
+from .sim import Simulation
+from .stack import AndroidStack, build_stack
+from .systemui import AlertMode, NotificationOutcome
+from .windows import Permission
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlertMode",
+    "AndroidStack",
+    "DEVICES",
+    "DeviceProfile",
+    "DrawAndDestroyOverlayAttack",
+    "DrawAndDestroyToastAttack",
+    "EnhancedNotificationDefense",
+    "IpcDetector",
+    "NotificationOutcome",
+    "OverlayAttackConfig",
+    "PasswordStealingAttack",
+    "PasswordStealingConfig",
+    "Permission",
+    "Simulation",
+    "ToastAttackConfig",
+    "ToastSpacingDefense",
+    "build_stack",
+    "device",
+    "reference_device",
+    "__version__",
+]

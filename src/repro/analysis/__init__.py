@@ -1,0 +1,67 @@
+"""Analysis utilities: trace-driven sequence diagrams (the paper's Figs. 3
+and 5), statistics helpers, and calibration/sensitivity tooling."""
+
+from .calibration import (
+    CalibrationCheck,
+    SensitivityResult,
+    ana_delay_ablation,
+    check_all_calibrations,
+    first_visible_frame_for,
+    refresh_interval_sensitivity,
+    tn_sensitivity,
+    view_height_sensitivity,
+)
+from .sequence_diagram import (
+    DiagramEvent,
+    extract_events,
+    render_ascii,
+    render_overlay_attack_figure,
+    render_toast_attack_figure,
+)
+from .replay import CapturedEvidence, extract_evidence, rederive_password
+from .uncovered_time import CoverageTimeline, measure_overlay_coverage
+from .trace_io import (
+    dict_to_record,
+    export_jsonl,
+    load_into,
+    load_jsonl,
+    record_to_dict,
+)
+from .statistics import (
+    ConfidenceInterval,
+    Summary,
+    bootstrap_mean_ci,
+    summarize,
+    wilson_interval,
+)
+
+__all__ = [
+    "CalibrationCheck",
+    "CapturedEvidence",
+    "ConfidenceInterval",
+    "DiagramEvent",
+    "SensitivityResult",
+    "Summary",
+    "ana_delay_ablation",
+    "bootstrap_mean_ci",
+    "CoverageTimeline",
+    "check_all_calibrations",
+    "dict_to_record",
+    "export_jsonl",
+    "extract_events",
+    "extract_evidence",
+    "load_into",
+    "load_jsonl",
+    "measure_overlay_coverage",
+    "record_to_dict",
+    "rederive_password",
+    "first_visible_frame_for",
+    "refresh_interval_sensitivity",
+    "render_ascii",
+    "render_overlay_attack_figure",
+    "render_toast_attack_figure",
+    "summarize",
+    "tn_sensitivity",
+    "view_height_sensitivity",
+    "wilson_interval",
+]

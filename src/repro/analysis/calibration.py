@@ -1,0 +1,151 @@
+"""Calibration checks and sensitivity analysis of the device model.
+
+Beyond the empirical boundary search (Table II), the timing model admits a
+closed-form boundary prediction; this module compares the two and exposes
+the sensitivities that explain the paper's observations:
+
+* the boundary grows 1:1 with the notification-dispatch latency ``Tn`` —
+  why the ANA delay on Android 10/11 helps the attacker;
+* the boundary shrinks with the alert view height (a taller view shows a
+  pixel earlier);
+* refresh-interval changes shift the boundary only by frame quantization:
+  more frequent frames each render less eased progress, so a 120 Hz panel
+  does not simply halve the attacker's window — but a coarser panel
+  strictly helps the attacker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from ..animation.animator import ANIMATION_DURATION_STANDARD, first_visible_frame_time
+from ..animation.interpolators import FastOutSlowInInterpolator
+from ..binder.latency import LatencySpec
+from ..devices.profiles import DeviceProfile
+from ..devices.registry import DEVICES
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """Analytic boundary vs the published Table II value for one device."""
+
+    device_key: str
+    published_ms: float
+    predicted_ms: float
+
+    @property
+    def error_ms(self) -> float:
+        return self.predicted_ms - self.published_ms
+
+
+def check_all_calibrations(
+    profiles: Sequence[DeviceProfile] = tuple(DEVICES),
+) -> List[CalibrationCheck]:
+    return [
+        CalibrationCheck(
+            device_key=profile.key,
+            published_ms=profile.published_upper_bound_d,
+            predicted_ms=profile.predicted_upper_bound_d,
+        )
+        for profile in profiles
+    ]
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Boundary shift per unit change of one parameter."""
+
+    parameter: str
+    base_boundary_ms: float
+    shifted_boundary_ms: float
+    delta: float
+
+    @property
+    def boundary_shift_ms(self) -> float:
+        return self.shifted_boundary_ms - self.base_boundary_ms
+
+    @property
+    def sensitivity(self) -> float:
+        """d(boundary)/d(parameter)."""
+        if self.delta == 0:
+            return 0.0
+        return self.boundary_shift_ms / self.delta
+
+
+def _with_tn(profile: DeviceProfile, delta_ms: float) -> DeviceProfile:
+    return replace(
+        profile,
+        tn=LatencySpec(
+            mean_ms=profile.tn.mean_ms + delta_ms,
+            std_ms=profile.tn.std_ms,
+            min_ms=profile.tn.min_ms,
+        ),
+    )
+
+
+def tn_sensitivity(profile: DeviceProfile, delta_ms: float = 50.0) -> SensitivityResult:
+    """Boundary shift per ms of extra dispatch latency (exactly 1.0:
+    every ANA-delay millisecond is an attacker millisecond)."""
+    shifted = _with_tn(profile, delta_ms)
+    return SensitivityResult(
+        parameter="tn_ms",
+        base_boundary_ms=profile.predicted_upper_bound_d,
+        shifted_boundary_ms=shifted.predicted_upper_bound_d,
+        delta=delta_ms,
+    )
+
+
+def view_height_sensitivity(
+    profile: DeviceProfile, new_height_px: int
+) -> SensitivityResult:
+    """Boundary shift from changing the alert view height: a shorter view
+    needs a larger completeness fraction for its first visible pixel,
+    buying the attacker extra frames."""
+    shifted = replace(profile, notification_view_height_px=new_height_px)
+    return SensitivityResult(
+        parameter="view_height_px",
+        base_boundary_ms=profile.predicted_upper_bound_d,
+        shifted_boundary_ms=shifted.predicted_upper_bound_d,
+        delta=float(new_height_px - profile.notification_view_height_px),
+    )
+
+
+def refresh_interval_sensitivity(
+    profile: DeviceProfile, new_refresh_ms: float
+) -> SensitivityResult:
+    """Boundary shift from a different display refresh interval.
+
+    The shift is frame quantization: each more-frequent frame renders less
+    eased progress, so faster panels move the first visible pixel by at
+    most about one frame in either direction, while coarser panels
+    strictly enlarge the attacker's window."""
+    shifted = replace(profile, refresh_interval_ms=new_refresh_ms)
+    return SensitivityResult(
+        parameter="refresh_interval_ms",
+        base_boundary_ms=profile.predicted_upper_bound_d,
+        shifted_boundary_ms=shifted.predicted_upper_bound_d,
+        delta=new_refresh_ms - profile.refresh_interval_ms,
+    )
+
+
+def ana_delay_ablation(profile: DeviceProfile) -> Dict[str, float]:
+    """What if Android removed the ANA dispatch delay? The Android 10/11
+    advantage disappears: the boundary drops by the nominal delay."""
+    nominal = profile.android_version.nominal_ana_delay_ms
+    without = _with_tn(profile, -min(nominal, profile.tn.mean_ms - 1.0))
+    return {
+        "with_ana_ms": profile.predicted_upper_bound_d,
+        "without_ana_ms": without.predicted_upper_bound_d,
+        "attacker_loses_ms": (
+            profile.predicted_upper_bound_d - without.predicted_upper_bound_d
+        ),
+    }
+
+
+def first_visible_frame_for(height_px: int, refresh_ms: float = 10.0) -> float:
+    """Convenience: Ta for arbitrary view geometry."""
+    return first_visible_frame_time(
+        FastOutSlowInInterpolator(), ANIMATION_DURATION_STANDARD,
+        refresh_ms, height_px,
+    )

@@ -1,0 +1,83 @@
+"""Offline replay: re-derive a stolen password from a recorded trace.
+
+Paper Section V describes the inference as an *offline-capable* step: the
+attacker "first derives the center coordinate of each key ... by
+performing an offline analysis of the keyboard layout in advance", then
+matches captured coordinates. This module completes that loop over the
+simulation's own evidence: given a trace (live, or re-loaded from a JSONL
+export), it extracts the captured touch coordinates and the fake-keyboard
+layout timeline and re-runs nearest-center inference — the forensic
+counterpart of the online attack, and a strong self-check that the online
+result equals what the raw capture data supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..apps.keyboard import KeyboardSpec
+from ..attacks.key_inference import infer_offline
+from ..sim.tracing import TraceRecord
+from ..windows.geometry import Point
+
+
+@dataclass(frozen=True)
+class CapturedEvidence:
+    """Everything the trace holds about one attack's captures."""
+
+    touches: Tuple[Tuple[float, Point], ...]
+    layout_timeline: Tuple[Tuple[float, str], ...]
+
+    @property
+    def touch_count(self) -> int:
+        return len(self.touches)
+
+
+def extract_evidence(
+    records: Iterable[TraceRecord],
+    attack_source: Optional[str] = None,
+) -> CapturedEvidence:
+    """Pull captured touches and layout switches from trace records.
+
+    ``attack_source`` filters by the tracing process name (the overlay
+    attack's process); leave None to accept any source — fine when a
+    single attack ran.
+    """
+    touches: List[Tuple[float, Point]] = []
+    timeline: List[Tuple[float, str]] = []
+    for record in records:
+        if attack_source is not None and not record.source.startswith(
+            attack_source
+        ):
+            continue
+        if record.kind == "attack.touch_captured":
+            touches.append(
+                (record.time,
+                 Point(float(record.detail["x"]), float(record.detail["y"])))
+            )
+        elif record.kind == "attack.layout_switched":
+            timeline.append((record.time, str(record.detail["layout"])))
+    return CapturedEvidence(
+        touches=tuple(touches), layout_timeline=tuple(timeline)
+    )
+
+
+def rederive_password(
+    records: Iterable[TraceRecord],
+    spec: KeyboardSpec,
+    attack_source: Optional[str] = None,
+) -> str:
+    """Re-run nearest-center inference over a trace's captured evidence.
+
+    The layout switches in the trace are applied *before* the touch that
+    triggered them resolves against the new layout — matching the online
+    attack, which switches its inference state upon capturing the special
+    key and interprets subsequent touches on the new layout.
+    """
+    evidence = extract_evidence(records, attack_source)
+    return infer_offline(
+        spec,
+        [(time, point) for time, point in evidence.touches],
+        layout_timeline=list(evidence.layout_timeline),
+    )

@@ -1,0 +1,192 @@
+"""Render message-sequence charts from simulation traces.
+
+The paper's Fig. 3 (draw-and-destroy overlay attack) and Fig. 5
+(draw-and-destroy toast attack) are entity-interaction diagrams. Because
+the simulation records every Binder transaction and service action in its
+trace, the same diagrams can be rendered from an actual run — a strong
+check that the implemented protocol matches the published one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.tracing import TraceLog, TraceRecord
+
+
+@dataclass(frozen=True)
+class DiagramEvent:
+    """One row of a sequence diagram."""
+
+    time: float
+    lane: str
+    text: str
+    arrow_to: Optional[str] = None
+
+
+#: trace kind -> (lane, human label, arrow target lane or None)
+_KIND_RENDERING = {
+    "binder.transact": None,  # handled specially (sender -> receiver)
+    "wms.window_added": ("System Server", "window added: {label}", None),
+    "wms.window_removed": ("System Server", "window removed: {label}", None),
+    "wms.creating_window": ("System Server", "creating window ({tas_ms} ms)", None),
+    "wms.notification_cancelled_before_post": (
+        "System Server", "notification cancelled before post", None),
+    "systemui.view_requested": ("System UI", "creating notification view", None),
+    "systemui.animation_started": ("System UI", "startTopAnimation()", None),
+    "systemui.alert_removed": ("System UI", "alert removed ({outcome})", None),
+    "systemui.view_cancelled_precreation": (
+        "System UI", "view creation cancelled", None),
+    "nms.toast_enqueued": ("System Server", "token enqueued (queue={queue_len})", None),
+    "nms.toast_shown": ("System Server", "toast #{toast_id} shown", None),
+    "nms.toast_fading_out": (
+        "System Server", "toast #{toast_id} fade-out (removeView)", None),
+    "nms.toast_removed": ("System Server", "toast #{toast_id} removed", None),
+    "attack.overlay_started": ("Malicious App", "attack started (D={d_ms} ms)", None),
+    "attack.overlay_stopped": ("Malicious App", "attack stopped", None),
+    "attack.toast_started": ("Malicious App", "toast attack started", None),
+}
+
+_LANE_OF_PROCESS = {
+    "system_server": "System Server",
+    "system_ui": "System UI",
+    "notification_manager": "System Server",
+    "binder": "Binder",
+}
+
+
+def _lane_for(source: str) -> str:
+    return _LANE_OF_PROCESS.get(source, "Malicious App")
+
+
+def extract_events(
+    trace: TraceLog,
+    start_ms: float = 0.0,
+    end_ms: float = float("inf"),
+    kinds: Optional[Sequence[str]] = None,
+) -> List[DiagramEvent]:
+    """Pull renderable events out of a trace window."""
+    events: List[DiagramEvent] = []
+    for record in trace:
+        if not start_ms <= record.time <= end_ms:
+            continue
+        if kinds is not None and record.kind not in kinds:
+            continue
+        event = _render_record(record)
+        if event is not None:
+            events.append(event)
+    return events
+
+
+def _render_record(record: TraceRecord) -> Optional[DiagramEvent]:
+    if record.kind == "binder.transact":
+        sender = record.detail.get("sender", "?")
+        receiver = record.detail.get("receiver", "?")
+        method = record.detail.get("method", "?")
+        return DiagramEvent(
+            time=record.time,
+            lane=_lane_for(sender),
+            text=f"{method}()",
+            arrow_to=_lane_for(receiver),
+        )
+    rendering = _KIND_RENDERING.get(record.kind)
+    if rendering is None:
+        return None
+    lane, template, arrow = rendering
+    try:
+        text = template.format(**record.detail)
+    except (KeyError, IndexError):
+        text = template
+    return DiagramEvent(time=record.time, lane=lane, text=text, arrow_to=arrow)
+
+
+DEFAULT_LANES = ("Malicious App", "System Server", "System UI")
+
+
+def render_ascii(
+    events: Sequence[DiagramEvent],
+    lanes: Sequence[str] = DEFAULT_LANES,
+    lane_width: int = 30,
+) -> str:
+    """Render events as an ASCII sequence chart (one row per event)."""
+    positions: Dict[str, int] = {
+        lane: index * lane_width + lane_width // 2
+        for index, lane in enumerate(lanes)
+    }
+    total_width = lane_width * len(lanes)
+    lines: List[str] = []
+
+    header = ""
+    for lane in lanes:
+        header += lane.center(lane_width)
+    lines.append(" " * 12 + header)
+    lines.append(" " * 12 + "|".center(lane_width) * len(lanes))
+
+    label_slack = 48  # room for right-lane annotations past the last lane
+    for event in events:
+        row = [" "] * (total_width + label_slack)
+        for position in positions.values():
+            row[position] = "|"
+        source = positions.get(event.lane)
+        if source is None:
+            continue
+        if event.arrow_to is not None and event.arrow_to in positions \
+                and event.arrow_to != event.lane:
+            target = positions[event.arrow_to]
+            lo, hi = sorted((source, target))
+            for i in range(lo + 1, hi):
+                row[i] = "-"
+            row[target] = ">" if target > source else "<"
+            label = f" {event.text} "
+            mid = (lo + hi) // 2 - len(label) // 2
+            for offset, char in enumerate(label):
+                index = mid + offset
+                if lo < index < hi:
+                    row[index] = char
+        else:
+            label = f" {event.text}"
+            for offset, char in enumerate(label):
+                index = source + 1 + offset
+                if index < total_width + label_slack:
+                    row[index] = char
+        lines.append(f"[{event.time:9.2f}] " + "".join(row).rstrip())
+    return "\n".join(lines)
+
+
+def render_overlay_attack_figure(trace: TraceLog, start_ms: float,
+                                 end_ms: float) -> str:
+    """Paper Fig. 3: entity interaction of the overlay attack."""
+    kinds = (
+        "binder.transact",
+        "wms.creating_window",
+        "wms.window_added",
+        "wms.window_removed",
+        "wms.notification_cancelled_before_post",
+        "systemui.view_requested",
+        "systemui.animation_started",
+        "systemui.alert_removed",
+        "systemui.view_cancelled_precreation",
+    )
+    events = [
+        e for e in extract_events(trace, start_ms, end_ms, kinds)
+        if "Toast" not in e.text
+    ]
+    return render_ascii(events)
+
+
+def render_toast_attack_figure(trace: TraceLog, start_ms: float,
+                               end_ms: float) -> str:
+    """Paper Fig. 5: entity interaction of the toast attack."""
+    kinds = (
+        "binder.transact",
+        "nms.toast_enqueued",
+        "nms.toast_shown",
+        "nms.toast_fading_out",
+        "nms.toast_removed",
+    )
+    events = [
+        e for e in extract_events(trace, start_ms, end_ms, kinds)
+        if e.text not in ("addView()", "removeView()")
+    ]
+    return render_ascii(events, lanes=("Malicious App", "System Server"))

@@ -1,0 +1,104 @@
+"""Statistics helpers for experiment results.
+
+Small, dependency-light tools: summary statistics, bootstrap confidence
+intervals (for capture rates and success rates, which are means of
+bounded per-participant values), and binomial Wilson intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..sim.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    ordered = sorted(values)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    variance = sum((v - mean) ** 2 for v in ordered) / n if n > 1 else 0.0
+    mid = n // 2
+    median = ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2
+    return Summary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=ordered[0],
+        median=median,
+        maximum=ordered[-1],
+    )
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    lower: float
+    upper: float
+    level: float
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    level: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap CI for the sample mean."""
+    if not values:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"level must be in (0, 1), got {level}")
+    rng = SeededRng(seed, "bootstrap")
+    data = list(values)
+    n = len(data)
+    means: List[float] = []
+    for _ in range(resamples):
+        total = 0.0
+        for _ in range(n):
+            total += data[rng.randint(0, n - 1)]
+        means.append(total / n)
+    means.sort()
+    alpha = (1.0 - level) / 2.0
+    lo_index = max(0, int(alpha * resamples) - 1)
+    hi_index = min(resamples - 1, int((1.0 - alpha) * resamples))
+    return ConfidenceInterval(means[lo_index], means[hi_index], level)
+
+
+def wilson_interval(successes: int, trials: int, level: float = 0.95) -> ConfidenceInterval:
+    """Wilson score interval for a binomial proportion (e.g., Table III
+    success rates)."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} out of range for {trials} trials")
+    z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}.get(round(level, 2))
+    if z is None:
+        raise ValueError(f"unsupported level {level}; use 0.90/0.95/0.99")
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    spread = z * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials)) / denom
+    return ConfidenceInterval(max(0.0, center - spread),
+                              min(1.0, center + spread), level)

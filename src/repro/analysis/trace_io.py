@@ -1,0 +1,77 @@
+"""Trace persistence: JSON-lines export/import.
+
+Long experiment runs produce traces worth keeping (for offline analysis,
+diff-ing against future runs, or rendering sequence diagrams later).
+JSONL keeps them streamable and greppable. Non-JSON-serializable detail
+values (window objects, toasts) are stringified on export — the trace is
+an observation record, not a pickle.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..sim.tracing import TraceLog, TraceRecord
+
+PathLike = Union[str, Path]
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def record_to_dict(record: TraceRecord) -> dict:
+    return {
+        "time": record.time,
+        "source": record.source,
+        "kind": record.kind,
+        "detail": {key: _jsonable(value) for key, value in record.detail.items()},
+    }
+
+
+def dict_to_record(payload: dict) -> TraceRecord:
+    return TraceRecord(
+        time=float(payload["time"]),
+        source=str(payload["source"]),
+        kind=str(payload["kind"]),
+        detail=dict(payload.get("detail", {})),
+    )
+
+
+def export_jsonl(records: Iterable[TraceRecord], path: PathLike) -> int:
+    """Write records to ``path`` as JSON lines; returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record_to_dict(record)) + "\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: PathLike) -> List[TraceRecord]:
+    """Read records back from a JSONL file."""
+    records: List[TraceRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(dict_to_record(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed trace line"
+                ) from exc
+    return records
+
+
+def load_into(path: PathLike, trace: TraceLog) -> int:
+    """Append a stored trace into an existing :class:`TraceLog`."""
+    records = load_jsonl(path)
+    for record in records:
+        trace.record(record.time, record.source, record.kind, **record.detail)
+    return len(records)

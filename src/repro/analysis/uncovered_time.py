@@ -1,0 +1,97 @@
+"""Measuring actual mistouch exposure from a trace.
+
+Paper Eq. (1)/(2) predict the total time no malicious overlay covers the
+screen during an attack (the mistouch budget). The simulation's trace
+records every window add/remove, so the *actual* uncovered time is
+directly measurable — the empirical counterpart the closed form is
+validated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..sim.tracing import TraceLog
+
+
+@dataclass(frozen=True)
+class CoverageTimeline:
+    """Windows of overlay presence for one app within [start, end]."""
+
+    start_ms: float
+    end_ms: float
+    covered_intervals: Tuple[Tuple[float, float], ...]
+
+    @property
+    def covered_ms(self) -> float:
+        return sum(b - a for a, b in self.covered_intervals)
+
+    @property
+    def uncovered_ms(self) -> float:
+        return (self.end_ms - self.start_ms) - self.covered_ms
+
+    @property
+    def gap_count(self) -> int:
+        """Number of uncovered gaps strictly inside the window."""
+        gaps = 0
+        cursor = self.start_ms
+        for a, b in self.covered_intervals:
+            if a > cursor:
+                gaps += 1
+            cursor = max(cursor, b)
+        if cursor < self.end_ms:
+            gaps += 1
+        return gaps
+
+
+def measure_overlay_coverage(
+    trace: TraceLog,
+    package: str,
+    start_ms: float,
+    end_ms: float,
+) -> CoverageTimeline:
+    """Reconstruct when ``package`` had >= 1 overlay on screen.
+
+    Reads ``wms.window_added`` / ``wms.window_removed`` records. Windows
+    already on screen at ``start_ms`` are accounted for by replaying the
+    events from the beginning of the trace.
+    """
+    if end_ms < start_ms:
+        raise ValueError(f"end {end_ms} before start {start_ms}")
+    on_screen = 0
+    covered_since: float = 0.0
+    intervals: List[Tuple[float, float]] = []
+
+    def clip_and_emit(a: float, b: float) -> None:
+        a = max(a, start_ms)
+        b = min(b, end_ms)
+        if b > a:
+            intervals.append((a, b))
+
+    for record in trace:
+        if record.detail.get("owner") != package:
+            continue
+        if record.kind == "wms.window_added":
+            if on_screen == 0:
+                covered_since = record.time
+            on_screen += 1
+        elif record.kind == "wms.window_removed":
+            if on_screen > 0:
+                on_screen -= 1
+                if on_screen == 0:
+                    clip_and_emit(covered_since, record.time)
+        if record.time > end_ms and on_screen == 0:
+            break
+    if on_screen > 0:
+        clip_and_emit(covered_since, end_ms)
+    # Merge adjacent/overlapping intervals (paranoia; they are ordered).
+    merged: List[Tuple[float, float]] = []
+    for a, b in sorted(intervals):
+        if merged and a <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], b))
+        else:
+            merged.append((a, b))
+    return CoverageTimeline(
+        start_ms=start_ms, end_ms=end_ms, covered_intervals=tuple(merged)
+    )

@@ -1,0 +1,49 @@
+"""Animation engine: Android interpolators and frame-driven animators.
+
+The module reproduces the timing behaviour the paper exploits:
+
+* ``FastOutSlowInInterpolator`` (cubic Bezier 0.4, 0, 0.2, 1) over 360 ms —
+  the notification-alert slide-in (paper Fig. 2);
+* ``DecelerateInterpolator`` / ``AccelerateInterpolator`` over 500 ms — the
+  toast fade-in / fade-out (paper Fig. 4);
+* frame quantization at the 10 ms display refresh interval, including the
+  sub-pixel rounding that hides the first frames of the alert.
+"""
+
+from .animator import (
+    ANIMATION_DURATION_STANDARD,
+    DEFAULT_REFRESH_INTERVAL,
+    TOAST_ANIMATION_DURATION,
+    AnimationState,
+    Animator,
+    first_visible_frame_time,
+    rendered_pixels,
+)
+from .choreographer import Choreographer
+from .interpolators import (
+    AccelerateDecelerateInterpolator,
+    AccelerateInterpolator,
+    CubicBezierInterpolator,
+    DecelerateInterpolator,
+    FastOutSlowInInterpolator,
+    Interpolator,
+    LinearInterpolator,
+)
+
+__all__ = [
+    "ANIMATION_DURATION_STANDARD",
+    "DEFAULT_REFRESH_INTERVAL",
+    "TOAST_ANIMATION_DURATION",
+    "AccelerateDecelerateInterpolator",
+    "AccelerateInterpolator",
+    "AnimationState",
+    "Animator",
+    "Choreographer",
+    "CubicBezierInterpolator",
+    "DecelerateInterpolator",
+    "FastOutSlowInInterpolator",
+    "Interpolator",
+    "LinearInterpolator",
+    "first_visible_frame_time",
+    "rendered_pixels",
+]

@@ -1,0 +1,69 @@
+"""App framework: handler threads, accessibility, widgets, keyboards, the
+real input method, and the Table IV victim-app catalog."""
+
+from .accessibility import (
+    ACCESSIBILITY_DISPATCH_MS,
+    AccessibilityBus,
+    AccessibilityEvent,
+    AccessibilityEventType,
+    ViewNode,
+)
+from .app import App
+from .catalog import TABLE_IV_APPS, VictimAppSpec, bank_of_america, spec_by_name
+from .ime import LAYOUT_SWITCH_LATENCY_MS, RealKeyboard
+from .keyboard import (
+    KEY_ABC,
+    KEY_BACKSPACE,
+    KEY_ENTER,
+    KEY_SHIFT,
+    KEY_SPACE,
+    KEY_SYM,
+    LAYOUT_LOWER,
+    LAYOUT_SYMBOLS,
+    LAYOUT_UPPER,
+    KeyboardLayout,
+    KeyboardSpec,
+    KeyPress,
+    default_keyboard_rect,
+    plan_key_sequence,
+)
+from .settings_app import SETTINGS_PACKAGE, AlertResponder, SettingsApp
+from .threads import HandlerThread, WorkerTimer
+from .victim import VictimApp
+from .widgets import InputWidget
+
+__all__ = [
+    "ACCESSIBILITY_DISPATCH_MS",
+    "AccessibilityBus",
+    "AccessibilityEvent",
+    "AccessibilityEventType",
+    "App",
+    "HandlerThread",
+    "InputWidget",
+    "KEY_ABC",
+    "KEY_BACKSPACE",
+    "KEY_ENTER",
+    "KEY_SHIFT",
+    "KEY_SPACE",
+    "KEY_SYM",
+    "KeyPress",
+    "KeyboardLayout",
+    "KeyboardSpec",
+    "LAYOUT_LOWER",
+    "LAYOUT_SWITCH_LATENCY_MS",
+    "LAYOUT_SYMBOLS",
+    "LAYOUT_UPPER",
+    "AlertResponder",
+    "RealKeyboard",
+    "SETTINGS_PACKAGE",
+    "SettingsApp",
+    "TABLE_IV_APPS",
+    "VictimApp",
+    "VictimAppSpec",
+    "ViewNode",
+    "WorkerTimer",
+    "bank_of_america",
+    "default_keyboard_rect",
+    "plan_key_sequence",
+    "spec_by_name",
+]

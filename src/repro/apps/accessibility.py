@@ -1,0 +1,126 @@
+"""Accessibility events and the accessibility service bus.
+
+The password-stealing attack uses the accessibility service to learn *when*
+the user focuses a password field (paper Section V; the paper notes other
+timing channels exist). Alipay's hardening — disabling accessibility events
+while a password is typed — and the getParent()-based workaround of
+Section VI-C1 are modelled through the view-node tree.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..sim.process import SimProcess
+from ..sim.simulation import Simulation
+
+#: Latency for an accessibility event to reach registered services (ms).
+ACCESSIBILITY_DISPATCH_MS = 2.0
+
+
+class AccessibilityEventType(enum.Enum):
+    """The event types the paper's attack observes (Section VI-C1)."""
+
+    TYPE_VIEW_FOCUSED = "TYPE_VIEW_FOCUSED"
+    TYPE_VIEW_TEXT_CHANGED = "TYPE_VIEW_TEXT_CHANGED"
+    TYPE_WINDOW_CONTENT_CHANGED = "TYPE_WINDOW_CONTENT_CHANGED"
+
+
+@dataclass(frozen=True)
+class AccessibilityEvent:
+    """One accessibility event as delivered to a service."""
+
+    time: float
+    event_type: AccessibilityEventType
+    package: str
+    source_node_id: str
+
+
+class ViewNode:
+    """A node in an app's view hierarchy.
+
+    Supports the traversal the Alipay workaround needs: from the username
+    widget's node, ``get_parent()`` then child enumeration reaches the
+    password widget's node even though the password widget itself emits no
+    accessibility events."""
+
+    def __init__(self, node_id: str, widget=None) -> None:
+        self.node_id = node_id
+        self.widget = widget
+        self._parent: Optional["ViewNode"] = None
+        self._children: List["ViewNode"] = []
+
+    def add_child(self, child: "ViewNode") -> "ViewNode":
+        child._parent = self
+        self._children.append(child)
+        return child
+
+    def get_parent(self) -> Optional["ViewNode"]:
+        return self._parent
+
+    @property
+    def children(self) -> List["ViewNode"]:
+        return list(self._children)
+
+    def find(self, predicate: Callable[["ViewNode"], bool]) -> Optional["ViewNode"]:
+        """Depth-first search over this subtree."""
+        if predicate(self):
+            return self
+        for child in self._children:
+            found = child.find(predicate)
+            if found is not None:
+                return found
+        return None
+
+
+ServiceCallback = Callable[[AccessibilityEvent], None]
+
+
+@dataclass
+class _Registration:
+    service: str
+    callback: ServiceCallback
+
+
+class AccessibilityBus(SimProcess):
+    """Routes accessibility events from widgets to registered services."""
+
+    def __init__(self, simulation: Simulation, name: str = "accessibility") -> None:
+        super().__init__(simulation, name)
+        self._registrations: List[_Registration] = []
+        self._events_emitted = 0
+
+    @property
+    def events_emitted(self) -> int:
+        return self._events_emitted
+
+    def register_service(self, service: str, callback: ServiceCallback) -> None:
+        self._registrations.append(_Registration(service=service, callback=callback))
+
+    def unregister_service(self, service: str) -> None:
+        self._registrations = [r for r in self._registrations if r.service != service]
+
+    def emit(
+        self,
+        event_type: AccessibilityEventType,
+        package: str,
+        source_node_id: str,
+    ) -> None:
+        """Emit an event; delivery to each service costs dispatch latency."""
+        self._events_emitted += 1
+        event = AccessibilityEvent(
+            time=self.now,
+            event_type=event_type,
+            package=package,
+            source_node_id=source_node_id,
+        )
+        self.trace("a11y.event", type=event_type.value, package=package,
+                   node=source_node_id)
+        for registration in list(self._registrations):
+            self.schedule(
+                ACCESSIBILITY_DISPATCH_MS,
+                lambda cb=registration.callback: cb(event),
+                name="a11y-dispatch",
+            )

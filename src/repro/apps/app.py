@@ -1,0 +1,113 @@
+"""Base class for simulated apps.
+
+An app talks to the rest of the system the way a real one does: through
+Binder transactions to System Server (``addView``, ``removeView``,
+``enqueueToast``, ``cancelToast``) whose transit latencies come from the
+device profile — the paper's ``Tam``/``Trm`` for the overlay events.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.process import SimProcess
+from ..stack import AndroidStack
+from ..toast.toast import Toast
+from ..windows.system_server import SYSTEM_SERVER
+from ..windows.window import Window
+from .threads import HandlerThread
+
+
+class App(SimProcess):
+    """One installed app with a main (UI) handler thread."""
+
+    def __init__(
+        self,
+        stack: AndroidStack,
+        package: str,
+        label: str = "",
+        process_name: str = "",
+    ) -> None:
+        # Several components of one logical app (e.g. the password-stealing
+        # attack and its two sub-attacks) share a package — the identity
+        # System Server sees — while remaining distinct sim processes.
+        super().__init__(stack.simulation, process_name or package)
+        self.stack = stack
+        self.package = package
+        self.label = label or package
+        self.main_thread = HandlerThread(stack.simulation, f"{self.name}.main")
+
+    # ------------------------------------------------------------------
+    # Binder calls to System Server
+    # ------------------------------------------------------------------
+    def add_view(self, window: Window) -> None:
+        """``addView``: request a window; transit latency is ``Tam``."""
+        tam = self.stack.profile.tam.sample(self.rng)
+        self.stack.router.transact(
+            sender=self.package,
+            receiver=SYSTEM_SERVER,
+            method="addView",
+            payload={"window": window},
+            latency_ms=tam,
+        )
+
+    def remove_view(self, window: Window) -> None:
+        """``removeView``: transit latency is ``Trm`` (> ``Tam``: the add
+        event always reaches System Server first, Section III-C)."""
+        trm = self.stack.profile.trm.sample(self.rng)
+        self.stack.router.transact(
+            sender=self.package,
+            receiver=SYSTEM_SERVER,
+            method="removeView",
+            payload={"window": window},
+            latency_ms=trm,
+        )
+
+    @property
+    def add_view_blocking_ms(self) -> float:
+        """How long a *blocking* ``addView`` occupies the main thread: the
+        synchronous round trip through System Server (Tam + Tas + return).
+
+        The paper notes this is why the attack must call ``removeView``
+        first — calling ``addView`` first delays the remove notification
+        and the attack fails (Section III-C Step 2)."""
+        profile = self.stack.profile
+        return profile.tam.mean_ms + profile.tas.mean_ms + profile.tam.mean_ms
+
+    def show_toast(self, toast: Toast, latency_ms: Optional[float] = None) -> None:
+        """``Toast.show()``: enqueue with the Notification Manager."""
+        if latency_ms is None:
+            latency_ms = self.stack.profile.tam.sample(self.rng)
+        self.stack.router.transact(
+            sender=self.package,
+            receiver=SYSTEM_SERVER,
+            method="enqueueToast",
+            payload={"toast": toast},
+            latency_ms=latency_ms,
+        )
+
+    def cancel_toast(
+        self, toast: Optional[Toast] = None, latency_ms: Optional[float] = None
+    ) -> None:
+        """``Toast.cancel()``: drop a queued toast, or fade the current one
+        (``toast=None`` targets whatever of ours is displayed).
+
+        ``latency_ms`` lets callers sequence several toast-control calls
+        explicitly (binder calls issued back-to-back from one thread keep
+        their order on a real device)."""
+        if latency_ms is None:
+            latency_ms = self.stack.profile.tam.sample(self.rng)
+        payload = {} if toast is None else {"toast": toast}
+        self.stack.router.transact(
+            sender=self.package,
+            receiver=SYSTEM_SERVER,
+            method="cancelToast",
+            payload=payload,
+            latency_ms=latency_ms,
+        )
+
+    def cancel_current_toast(self, latency_ms: Optional[float] = None) -> None:
+        self.cancel_toast(None, latency_ms=latency_ms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.package!r})"

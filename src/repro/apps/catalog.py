@@ -1,0 +1,57 @@
+"""The eight real-world victim apps of the paper's Table IV.
+
+Only one behavioural axis distinguishes them for the attack: whether the
+password input widget dispatches accessibility events. Alipay disables
+them, so the straightforward focus trigger fails and the attacker needs
+the username-widget workaround (paper Section VI-C1) — the "*" in
+Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class VictimAppSpec:
+    """Static description of one victim app."""
+
+    app_name: str
+    package: str
+    version: str
+    #: Alipay-style hardening: the password widget emits no accessibility
+    #: events while a password is typed.
+    password_accessibility_disabled: bool = False
+
+    @property
+    def needs_extra_effort(self) -> bool:
+        """Table IV: '*' — compromised, but extra effort needed."""
+        return self.password_accessibility_disabled
+
+
+TABLE_IV_APPS: List[VictimAppSpec] = [
+    VictimAppSpec("Bank of America", "com.infonow.bofa", "8.1.16"),
+    VictimAppSpec("Skype", "com.skype.raider", "8.45.0.43"),
+    VictimAppSpec("Facebook", "com.facebook.katana", "196.0.0.16.95"),
+    VictimAppSpec("Evernote", "com.evernote", "8.4.1"),
+    VictimAppSpec("Snapchat", "com.snapchat.android", "10.44.3.0"),
+    VictimAppSpec("Twitter", "com.twitter.android", "7.68.1"),
+    VictimAppSpec("Instagram", "com.instagram.android", "69.0.0.10.95"),
+    VictimAppSpec(
+        "Alipay", "com.eg.android.AlipayGphone", "10.1.65",
+        password_accessibility_disabled=True,
+    ),
+]
+
+
+def spec_by_name(app_name: str) -> VictimAppSpec:
+    for spec in TABLE_IV_APPS:
+        if spec.app_name == app_name:
+            return spec
+    raise KeyError(f"no Table IV app named {app_name!r}")
+
+
+def bank_of_america() -> VictimAppSpec:
+    """The paper's running example (user study and video demo)."""
+    return spec_by_name("Bank of America")

@@ -1,0 +1,127 @@
+"""The real software keyboard (input method).
+
+The IME owns an ``INPUT_METHOD`` window showing the active sub-layout and
+types into the attached widget. Pressing shift/?123/ABC re-inflates the
+layout, which takes a switch latency during which taps are swallowed — the
+"overhead of switching the different keyboards may cause additional delay
+and result in errors" the paper notes under Table III.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..sim.process import SimProcess
+from ..stack import AndroidStack
+from ..windows.geometry import Point
+from ..windows.types import WindowType
+from ..windows.window import Window
+from .keyboard import (
+    KEY_ABC,
+    KEY_BACKSPACE,
+    KEY_ENTER,
+    KEY_SHIFT,
+    KEY_SYM,
+    LAYOUT_LOWER,
+    KeyboardSpec,
+)
+from .widgets import InputWidget
+
+#: Time to inflate and display a different sub-layout (ms).
+LAYOUT_SWITCH_LATENCY_MS = 80.0
+
+
+class RealKeyboard(SimProcess):
+    """The legitimate system input method."""
+
+    def __init__(
+        self,
+        stack: AndroidStack,
+        spec: KeyboardSpec,
+        package: str = "com.android.inputmethod",
+    ) -> None:
+        super().__init__(stack.simulation, package)
+        self.stack = stack
+        self.spec = spec
+        self.package = package
+        self.current_layout = LAYOUT_LOWER
+        self._widget: Optional[InputWidget] = None
+        self._window: Optional[Window] = None
+        self._switching_until = 0.0
+        self.typed_keys: List[str] = []
+        self.dropped_taps = 0
+        self.on_submit: Optional[Callable[[str], None]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def visible(self) -> bool:
+        return self._window is not None and self._window.on_screen
+
+    @property
+    def window(self) -> Optional[Window]:
+        return self._window
+
+    def attach(self, widget: InputWidget) -> None:
+        self._widget = widget
+        self.current_layout = LAYOUT_LOWER
+
+    def show(self) -> None:
+        if self._window is not None and self._window.on_screen:
+            return
+        self._window = Window(
+            owner=self.package,
+            window_type=WindowType.INPUT_METHOD,
+            rect=self.spec.rect,
+            content=self,
+            on_touch=self._on_touch,
+            label="ime",
+        )
+        self.stack.system_server.add_window_direct(self._window)
+
+    def hide(self) -> None:
+        if self._window is not None and self._window.on_screen:
+            self.stack.system_server.remove_window_direct(self._window)
+        self._window = None
+
+    # ------------------------------------------------------------------
+    def _on_touch(self, window: Window, point: Point, time: float) -> None:
+        if self.now < self._switching_until:
+            self.dropped_taps += 1
+            self.trace("ime.tap_dropped_switching")
+            return
+        key = self.spec.layout(self.current_layout).key_at(point)
+        if key is None:
+            return
+        self.press_key(key)
+
+    def press_key(self, key: str) -> None:
+        """Apply one key press on the active layout."""
+        self.typed_keys.append(key)
+        widget = self._widget
+        if key in (KEY_SHIFT, KEY_SYM, KEY_ABC):
+            next_layout = KeyboardSpec.layout_after_key(self.current_layout, key)
+            self._begin_layout_switch(next_layout)
+            return
+        if key == KEY_BACKSPACE:
+            if widget is not None:
+                widget.backspace()
+            return
+        if key == KEY_ENTER:
+            if self.on_submit is not None and widget is not None:
+                self.on_submit(widget.text)
+            return
+        if widget is not None:
+            widget.append_char(key)
+        # One-shot shift: a character press on the upper layout reverts.
+        next_layout = KeyboardSpec.layout_after_key(self.current_layout, key)
+        if next_layout != self.current_layout:
+            self._begin_layout_switch(next_layout)
+
+    def _begin_layout_switch(self, next_layout: str) -> None:
+        self._switching_until = self.now + LAYOUT_SWITCH_LATENCY_MS
+
+        def finish() -> None:
+            self.current_layout = next_layout
+            self.trace("ime.layout_switched", layout=next_layout)
+
+        self.schedule(LAYOUT_SWITCH_LATENCY_MS, finish, name="layout-switch")

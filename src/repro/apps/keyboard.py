@@ -1,0 +1,193 @@
+"""Software keyboard layouts and subkeyboard navigation.
+
+Both the real input method and the attack's fake toast keyboard are built
+from the same :class:`KeyboardSpec`: three aligned sub-layouts (lowercase,
+uppercase, symbols) with identical geometry, so "the fake keyboard and real
+keyboard are aligned and appear the same" (paper Section V).
+
+The shift key is modelled one-shot (typing one character reverts to
+lowercase, as on stock Android keyboards) and the symbols page is sticky
+until ``ABC`` is pressed. :func:`plan_key_sequence` computes the exact key
+presses a user performs to type a password, including the subkeyboard
+switches the attack must shadow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..windows.geometry import Point, Rect
+
+# Special, non-character keys.
+KEY_SHIFT = "<shift>"
+KEY_SYM = "<sym>"  # the "?123" key
+KEY_ABC = "<abc>"
+KEY_BACKSPACE = "<bs>"
+KEY_ENTER = "<enter>"
+KEY_SPACE = " "
+
+LAYOUT_LOWER = "lower"
+LAYOUT_UPPER = "upper"
+LAYOUT_SYMBOLS = "symbols"
+
+_LOWER_ROWS: List[List[str]] = [
+    list("qwertyuiop"),
+    list("asdfghjkl"),
+    [KEY_SHIFT] + list("zxcvbnm") + [KEY_BACKSPACE],
+    [KEY_SYM, ",", KEY_SPACE, ".", KEY_ENTER],
+]
+
+_UPPER_ROWS: List[List[str]] = [
+    list("QWERTYUIOP"),
+    list("ASDFGHJKL"),
+    [KEY_SHIFT] + list("ZXCVBNM") + [KEY_BACKSPACE],
+    [KEY_SYM, ",", KEY_SPACE, ".", KEY_ENTER],
+]
+
+_SYMBOL_ROWS: List[List[str]] = [
+    list("1234567890"),
+    list("!@#$%^&*()"),
+    ["-", "_", "=", "+", ";", ":", "'", '"', "/", "?"],
+    [KEY_ABC, "<", KEY_SPACE, ">", KEY_ENTER],
+]
+
+
+class KeyboardLayout:
+    """One sub-layout: a named set of keys with pixel rectangles."""
+
+    def __init__(self, name: str, rect: Rect, rows: Sequence[Sequence[str]]) -> None:
+        self.name = name
+        self.rect = rect
+        self.keys: Dict[str, Rect] = {}
+        row_height = rect.height / len(rows)
+        for row_index, row in enumerate(rows):
+            key_width = rect.width / len(row)
+            top = rect.top + row_index * row_height
+            for key_index, key in enumerate(row):
+                left = rect.left + key_index * key_width
+                self.keys[key] = Rect(left, top, left + key_width, top + row_height)
+
+    def center(self, key: str) -> Point:
+        return self.keys[key].center
+
+    def key_at(self, point: Point) -> Optional[str]:
+        """The key whose rectangle contains ``point`` exactly."""
+        if not self.rect.contains(point):
+            return None
+        for key, rect in self.keys.items():
+            if rect.contains(point):
+                return key
+        return None
+
+    def nearest_key(self, point: Point) -> Tuple[str, float]:
+        """Closest key center by Euclidean distance (paper Section V: the
+        attacker's offline key-inference rule)."""
+        best_key = None
+        best_distance = float("inf")
+        for key, rect in self.keys.items():
+            distance = rect.center.distance_to(point)
+            if distance < best_distance:
+                best_key = key
+                best_distance = distance
+        assert best_key is not None
+        return best_key, best_distance
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.keys
+
+
+@dataclass(frozen=True)
+class KeyPress:
+    """One planned key press: which layout is active and which key hit."""
+
+    layout: str
+    key: str
+
+
+class KeyboardSpec:
+    """The three aligned sub-layouts plus navigation rules."""
+
+    def __init__(self, rect: Rect) -> None:
+        self.rect = rect
+        self.layouts: Dict[str, KeyboardLayout] = {
+            LAYOUT_LOWER: KeyboardLayout(LAYOUT_LOWER, rect, _LOWER_ROWS),
+            LAYOUT_UPPER: KeyboardLayout(LAYOUT_UPPER, rect, _UPPER_ROWS),
+            LAYOUT_SYMBOLS: KeyboardLayout(LAYOUT_SYMBOLS, rect, _SYMBOL_ROWS),
+        }
+
+    def layout(self, name: str) -> KeyboardLayout:
+        return self.layouts[name]
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def layout_after_key(current: str, key: str) -> str:
+        """Active layout after pressing ``key`` on layout ``current``."""
+        if key == KEY_SHIFT:
+            return LAYOUT_LOWER if current == LAYOUT_UPPER else LAYOUT_UPPER
+        if key == KEY_SYM:
+            return LAYOUT_SYMBOLS
+        if key == KEY_ABC:
+            return LAYOUT_LOWER
+        if current == LAYOUT_UPPER and key not in (KEY_BACKSPACE, KEY_ENTER):
+            return LAYOUT_LOWER  # one-shot shift reverts after a character
+        return current
+
+    def layout_for_char(self, char: str) -> str:
+        """Which sub-layout carries ``char`` as a directly typable key."""
+        for name in (LAYOUT_LOWER, LAYOUT_UPPER, LAYOUT_SYMBOLS):
+            if char in self.layouts[name]:
+                if char in (KEY_SHIFT, KEY_SYM, KEY_ABC):
+                    continue
+                return name
+        raise KeyError(f"character {char!r} is on no sub-layout")
+
+    def switches_to(self, current: str, target: str) -> List[str]:
+        """Special keys pressed to move from ``current`` to ``target``."""
+        if current == target:
+            return []
+        if target == LAYOUT_UPPER:
+            if current == LAYOUT_LOWER:
+                return [KEY_SHIFT]
+            return [KEY_ABC, KEY_SHIFT]  # symbols -> lower -> upper
+        if target == LAYOUT_LOWER:
+            if current == LAYOUT_UPPER:
+                return [KEY_SHIFT]
+            return [KEY_ABC]
+        # target == symbols
+        return [KEY_SYM]
+
+    def typable_characters(self) -> List[str]:
+        """Every character reachable on some sub-layout (password alphabet)."""
+        chars = set()
+        for layout in self.layouts.values():
+            for key in layout.keys:
+                if len(key) == 1:
+                    chars.add(key)
+        return sorted(chars)
+
+
+def plan_key_sequence(spec: KeyboardSpec, text: str, start_layout: str = LAYOUT_LOWER) -> List[KeyPress]:
+    """The exact key presses that type ``text`` starting on ``start_layout``.
+
+    Includes every shift/?123/ABC press — the presses whose capture the
+    attack needs to keep its fake keyboard (and its inference) in sync.
+    """
+    presses: List[KeyPress] = []
+    current = start_layout
+    for char in text:
+        target = spec.layout_for_char(char)
+        for switch_key in spec.switches_to(current, target):
+            presses.append(KeyPress(layout=current, key=switch_key))
+            current = KeyboardSpec.layout_after_key(current, switch_key)
+        presses.append(KeyPress(layout=current, key=char))
+        current = KeyboardSpec.layout_after_key(current, char)
+    return presses
+
+
+def default_keyboard_rect(screen_width_px: int, screen_height_px: int) -> Rect:
+    """Bottom ~32% of the screen, the conventional IME area."""
+    top = screen_height_px * 0.68
+    return Rect(0.0, top, float(screen_width_px), float(screen_height_px))

@@ -1,0 +1,129 @@
+"""The system Settings app and the alert-driven revocation flow.
+
+Built-in defense (ii) continues past displaying the alert: "To manually
+remove an unwanted overlay, a user can press on the alert to open the
+system Settings app, which can prohibit an app from displaying overlays on
+top of other apps" (paper Section II-A2). This module models that loop:
+
+* :class:`SettingsApp` — a protected app (no overlay may cover it while it
+  is foreground) exposing ``revoke_overlay_permission``;
+* :class:`AlertResponder` — a user-behaviour hook: once the alert becomes
+  perceptible, the user takes ``reaction_delay_ms`` to notice and act,
+  then opens Settings and revokes the offending app's permission, which
+  tears down its overlays and blocks further ``addView`` calls.
+
+The draw-and-destroy attack's whole point is never reaching this flow —
+the responder quantifies what happens when it misjudges ``D``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.process import SimProcess
+from ..stack import AndroidStack
+from ..systemui.outcomes import NotificationOutcome
+from ..windows.permissions import Permission
+
+SETTINGS_PACKAGE = "com.android.settings"
+
+
+class SettingsApp(SimProcess):
+    """The system Settings app (overlay-permission management slice)."""
+
+    def __init__(self, stack: AndroidStack, package: str = SETTINGS_PACKAGE) -> None:
+        super().__init__(stack.simulation, package)
+        self.stack = stack
+        self.package = package
+        # Android >= 8 prevents overlays from covering Settings.
+        stack.system_server.protect_app(package)
+        self.revocations: List[str] = []
+
+    def revoke_overlay_permission(self, app: str) -> None:
+        """Revoke SYSTEM_ALERT_WINDOW and tear the app's overlays down."""
+        self.stack.permissions.revoke(app, Permission.SYSTEM_ALERT_WINDOW)
+        self.stack.system_server.terminate_app(app)
+        self.revocations.append(app)
+        self.trace("settings.overlay_permission_revoked", app=app)
+
+
+class AlertResponder(SimProcess):
+    """A user who acts on a perceptible overlay alert.
+
+    Polls the System UI state; once any app's alert has been visibly on
+    screen (outcome >= Λ2 with enough exposure for the user's perception
+    model), waits a human reaction delay and then revokes that app through
+    Settings.
+    """
+
+    def __init__(
+        self,
+        stack: AndroidStack,
+        settings: SettingsApp,
+        perception,
+        reaction_delay_ms: float = 1500.0,
+        poll_interval_ms: float = 100.0,
+        name: str = "alert-responder",
+    ) -> None:
+        super().__init__(stack.simulation, name)
+        if reaction_delay_ms < 0 or poll_interval_ms <= 0:
+            raise ValueError("invalid responder timing parameters")
+        self.stack = stack
+        self.settings = settings
+        self.perception = perception
+        self.reaction_delay_ms = float(reaction_delay_ms)
+        self.poll_interval_ms = float(poll_interval_ms)
+        self._running = False
+        self.noticed_at: Optional[float] = None
+        self.revoked_at: Optional[float] = None
+
+    @property
+    def reacted(self) -> bool:
+        return self.revoked_at is not None
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.schedule(self.poll_interval_ms, self._poll, name="poll")
+
+    def stop(self) -> None:
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def _poll(self) -> None:
+        if not self._running or self.noticed_at is not None:
+            return
+        if self.perception.notices_alert(self.stack.system_ui):
+            self.noticed_at = self.now
+            self.trace("user.alert_noticed")
+            self.schedule(self.reaction_delay_ms, self._act, name="react")
+            return
+        self.schedule(self.poll_interval_ms, self._poll, name="poll")
+
+    def _act(self) -> None:
+        offender = self._find_offender()
+        if offender is None:
+            # Nothing identifiable (alert gone again): resume watching.
+            self.noticed_at = None
+            if self._running:
+                self.schedule(self.poll_interval_ms, self._poll, name="poll")
+            return
+        self.settings.revoke_overlay_permission(offender)
+        self.revoked_at = self.now
+
+    def _find_offender(self) -> Optional[str]:
+        """The app named by the most visible alert (active or recorded)."""
+        system_ui = self.stack.system_ui
+        best_app: Optional[str] = None
+        best = NotificationOutcome.LAMBDA1
+        for record in system_ui.records:
+            if record.outcome > best:
+                best, best_app = record.outcome, record.app
+        for app in system_ui.active_apps():
+            entry = system_ui.active_entry(app)
+            if entry is not None:
+                outcome = entry.outcome_at(self.now)
+                if outcome > best:
+                    best, best_app = outcome, app
+        return best_app if best > NotificationOutcome.LAMBDA1 else None

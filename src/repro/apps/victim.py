@@ -1,0 +1,109 @@
+"""Victim app: a login screen with username and password fields.
+
+The view hierarchy matters: the username and password widgets share a
+parent node, which is exactly what the Alipay workaround traverses — the
+attacker obtains the parent from the username widget's accessibility events
+and enumerates children to find the password widget (Section VI-C1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..stack import AndroidStack
+from ..windows.geometry import Point, Rect
+from ..windows.types import WindowType
+from ..windows.window import Window
+from .accessibility import AccessibilityBus, AccessibilityEventType, ViewNode
+from .app import App
+from .catalog import VictimAppSpec
+from .ime import RealKeyboard
+from .widgets import InputWidget
+
+
+class VictimApp(App):
+    """A login-capable app under attack."""
+
+    def __init__(
+        self,
+        stack: AndroidStack,
+        bus: AccessibilityBus,
+        spec: VictimAppSpec,
+        keyboard: RealKeyboard,
+    ) -> None:
+        super().__init__(stack, spec.package, label=spec.app_name)
+        self.spec = spec
+        self.bus = bus
+        self.keyboard = keyboard
+        self.base_window: Optional[Window] = None
+        self.root_node = ViewNode(f"{spec.package}/login_root")
+
+        screen_w = stack.profile.screen_width_px
+        field_height = 90.0
+        self.username_widget = InputWidget(
+            widget_id=f"{spec.package}/username",
+            rect=Rect(60, 420, screen_w - 60, 420 + field_height),
+            is_password=False,
+            emitter=self._emitter,
+        )
+        self.password_widget = InputWidget(
+            widget_id=f"{spec.package}/password",
+            rect=Rect(60, 560, screen_w - 60, 560 + field_height),
+            is_password=True,
+            accessibility_enabled=not spec.password_accessibility_disabled,
+            emitter=self._emitter,
+        )
+        self.username_node = self.root_node.add_child(
+            ViewNode(self.username_widget.widget_id, widget=self.username_widget)
+        )
+        self.password_node = self.root_node.add_child(
+            ViewNode(self.password_widget.widget_id, widget=self.password_widget)
+        )
+
+    # ------------------------------------------------------------------
+    def _emitter(self, event_type: AccessibilityEventType, node_id: str) -> None:
+        self.bus.emit(event_type, package=self.package, source_node_id=node_id)
+
+    # ------------------------------------------------------------------
+    def open_login(self) -> None:
+        """Bring up the login activity (base window + foreground)."""
+        if self.base_window is not None and self.base_window.on_screen:
+            return
+        profile = self.stack.profile
+        self.base_window = Window(
+            owner=self.package,
+            window_type=WindowType.BASE_APPLICATION,
+            rect=Rect(0, 0, profile.screen_width_px, profile.screen_height_px),
+            on_touch=self._on_touch,
+            label=f"{self.package}:login",
+        )
+        self.stack.system_server.add_window_direct(self.base_window)
+        self.stack.system_server.set_foreground_app(self.package)
+
+    def close(self) -> None:
+        if self.base_window is not None and self.base_window.on_screen:
+            self.stack.system_server.remove_window_direct(self.base_window)
+        self.keyboard.hide()
+
+    # ------------------------------------------------------------------
+    def _on_touch(self, window: Window, point: Point, time: float) -> None:
+        if self.username_widget.rect.contains(point):
+            self.focus_username()
+        elif self.password_widget.rect.contains(point):
+            self.focus_password()
+
+    def focus_username(self) -> None:
+        self.password_widget.unfocus()
+        self.username_widget.focus()
+        self.keyboard.attach(self.username_widget)
+        self.keyboard.show()
+
+    def focus_password(self) -> None:
+        self.username_widget.unfocus()
+        self.password_widget.focus()
+        self.keyboard.attach(self.password_widget)
+        self.keyboard.show()
+
+    @property
+    def typed_password(self) -> str:
+        return self.password_widget.text

@@ -1,0 +1,88 @@
+"""Input widgets (text fields) and their accessibility emissions.
+
+Emission behaviour follows the paper's observation (Section VI-C1):
+
+* starting to type sends ``TYPE_VIEW_TEXT_CHANGED`` and
+  ``TYPE_WINDOW_CONTENT_CHANGED``;
+* finishing and moving focus elsewhere sends only
+  ``TYPE_WINDOW_CONTENT_CHANGED``;
+* gaining focus sends ``TYPE_VIEW_FOCUSED``.
+
+A widget with ``accessibility_enabled=False`` (Alipay's password field)
+emits nothing at all.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..windows.geometry import Rect
+from .accessibility import AccessibilityEventType
+
+Emitter = Callable[[AccessibilityEventType, str], None]
+
+
+class InputWidget:
+    """One text-input field inside an app's UI."""
+
+    def __init__(
+        self,
+        widget_id: str,
+        rect: Rect,
+        is_password: bool = False,
+        accessibility_enabled: bool = True,
+        emitter: Optional[Emitter] = None,
+    ) -> None:
+        self.widget_id = widget_id
+        self.rect = rect
+        self.is_password = is_password
+        self.accessibility_enabled = accessibility_enabled
+        self._emitter = emitter
+        self.text = ""
+        self.focused = False
+
+    # ------------------------------------------------------------------
+    def set_emitter(self, emitter: Emitter) -> None:
+        self._emitter = emitter
+
+    def _emit(self, event_type: AccessibilityEventType) -> None:
+        if self.accessibility_enabled and self._emitter is not None:
+            self._emitter(event_type, self.widget_id)
+
+    # ------------------------------------------------------------------
+    def focus(self) -> None:
+        if self.focused:
+            return
+        self.focused = True
+        self._emit(AccessibilityEventType.TYPE_VIEW_FOCUSED)
+        self._emit(AccessibilityEventType.TYPE_WINDOW_CONTENT_CHANGED)
+
+    def unfocus(self) -> None:
+        if not self.focused:
+            return
+        self.focused = False
+        # "Only one event (TYPE_WINDOW_CONTENT_CHANGED) was sent" when the
+        # user finishes typing and switches focus away.
+        self._emit(AccessibilityEventType.TYPE_WINDOW_CONTENT_CHANGED)
+
+    def append_char(self, char: str) -> None:
+        if len(char) != 1:
+            raise ValueError(f"append_char takes one character, got {char!r}")
+        self.text += char
+        self._emit(AccessibilityEventType.TYPE_VIEW_TEXT_CHANGED)
+        self._emit(AccessibilityEventType.TYPE_WINDOW_CONTENT_CHANGED)
+
+    def backspace(self) -> None:
+        if self.text:
+            self.text = self.text[:-1]
+            self._emit(AccessibilityEventType.TYPE_VIEW_TEXT_CHANGED)
+            self._emit(AccessibilityEventType.TYPE_WINDOW_CONTENT_CHANGED)
+
+    def set_text(self, text: str) -> None:
+        """Direct text injection (used by the malware to fill the password
+        field and hide the attack, Section VI-C1)."""
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "password" if self.is_password else "text"
+        return f"InputWidget({self.widget_id!r}, {kind}, focused={self.focused})"

@@ -1,0 +1,146 @@
+"""Clickjacking via non-UI-intercepting overlays (paper Section II-A1).
+
+The draw-and-destroy building blocks support more than password stealing;
+the paper names content hiding and payment hijack as further applications
+(Section I). This module implements the two classic shapes:
+
+* :class:`ClickjackingAttack` — a ``FLAG_NOT_TOUCHABLE`` overlay shows
+  misleading content while touches pass through to the victim beneath
+  ("granting administrative privileges via the system Settings app ... or
+  installing another malicious app"). Combined with draw-and-destroy
+  cycling, the overlay-presence alert stays suppressed.
+* :class:`ContentHidingAttack` — a draw-and-destroy *toast* covers a
+  region of the victim (e.g., a payment amount or a security warning) with
+  attacker-chosen content; since toasts are never touchable, the victim
+  app remains fully interactive — the user acts on a screen that lies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from ..stack import AndroidStack
+from ..toast.toast import TOAST_LENGTH_LONG_MS
+from ..windows.geometry import Point, Rect
+from ..windows.types import WindowFlags
+from .overlay_attack import DrawAndDestroyOverlayAttack, OverlayAttackConfig
+from .toast_attack import DrawAndDestroyToastAttack, ToastAttackConfig
+
+CLICKJACK_PACKAGE = "com.example.wallpaper"
+CONTENT_HIDE_PACKAGE = "com.example.cleaner"
+
+
+@dataclass
+class ClickjackRecord:
+    """One touch that passed through the decoy to the victim."""
+
+    time: float
+    point: Point
+    victim_owner: Optional[str]
+
+
+class ClickjackingAttack:
+    """Draw-and-destroy cycling of a NOT_TOUCHABLE decoy overlay.
+
+    The decoy displays ``decoy_content`` (e.g., a fake game button) over
+    the victim's sensitive control; the user's taps land on the victim.
+    The draw-and-destroy cycle keeps the overlay-presence alert at Λ1 the
+    whole time.
+    """
+
+    def __init__(
+        self,
+        stack: AndroidStack,
+        decoy_rect: Rect,
+        decoy_content: Any = "decoy",
+        attacking_window_ms: Optional[float] = None,
+        package: str = CLICKJACK_PACKAGE,
+    ) -> None:
+        self.stack = stack
+        self.decoy_content = decoy_content
+        d = attacking_window_ms
+        if d is None:
+            d = max(20.0, stack.profile.published_upper_bound_d - 10.0)
+        self._overlay_attack = DrawAndDestroyOverlayAttack(
+            stack,
+            OverlayAttackConfig(attacking_window_ms=d, overlay_rect=decoy_rect),
+            package=package,
+        )
+        # Turn the UI-intercepting overlays into pass-through decoys.
+        for overlay in self._overlay_attack.overlays:
+            overlay.flags |= WindowFlags.NOT_TOUCHABLE
+            overlay.content = decoy_content
+            overlay.alpha = 1.0
+        self.passed_through: List[ClickjackRecord] = []
+
+    @property
+    def package(self) -> str:
+        return self._overlay_attack.package
+
+    @property
+    def attacking_window_ms(self) -> float:
+        return self._overlay_attack.config.attacking_window_ms
+
+    def start(self) -> None:
+        self._overlay_attack.start()
+
+    def stop(self) -> None:
+        self._overlay_attack.stop()
+
+    def decoy_visible_at(self, time: float) -> bool:
+        """Whether a decoy overlay is on screen right now."""
+        return any(w.on_screen for w in self._overlay_attack.overlays)
+
+    def record_pass_through(self, time: float, point: Point,
+                            victim_owner: Optional[str]) -> None:
+        self.passed_through.append(
+            ClickjackRecord(time=time, point=point, victim_owner=victim_owner)
+        )
+
+
+class ContentHidingAttack:
+    """Hide/replace a region of the victim's UI with a persistent toast."""
+
+    def __init__(
+        self,
+        stack: AndroidStack,
+        cover_rect: Rect,
+        fake_content: Any = "₿ 0.01  →  trusted-merchant",
+        toast_duration_ms: float = TOAST_LENGTH_LONG_MS,
+        package: str = CONTENT_HIDE_PACKAGE,
+    ) -> None:
+        self.stack = stack
+        self.cover_rect = cover_rect
+        self._content = fake_content
+        self._toast_attack = DrawAndDestroyToastAttack(
+            stack,
+            ToastAttackConfig(rect=cover_rect, duration_ms=toast_duration_ms),
+            content_provider=lambda: self._content,
+            package=package,
+        )
+
+    @property
+    def package(self) -> str:
+        return self._toast_attack.package
+
+    def start(self) -> None:
+        """No permission needed: it is only toasts."""
+        self._toast_attack.start()
+
+    def stop(self) -> None:
+        self._toast_attack.stop()
+
+    def set_content(self, content: Any) -> None:
+        """Swap what the victim sees (e.g., track the real UI underneath)."""
+        self._content = content
+        self._toast_attack.force_refresh()
+
+    def displayed_content_at(self, time: float) -> Optional[Any]:
+        return self._toast_attack.displayed_content_at(time)
+
+    def coverage_at(self, time: float) -> float:
+        return self._toast_attack.coverage_at(time)
+
+    def switches(self):
+        return self._toast_attack.switches()

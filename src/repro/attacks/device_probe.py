@@ -1,0 +1,99 @@
+"""Device-aware attacking-window selection (paper Section VI-B).
+
+"Since the performance of different smartphones varies, D is different for
+distinct phones. To address this issue, the malicious app can collect the
+phone information before launching the attack so as to select an
+appropriate upper boundary of D."
+
+:class:`DeviceProber` models exactly that: the malware reads the device's
+build fingerprint (model + Android version — public, permissionless
+information), consults a bundled measurement database (the attacker's own
+Table II), and falls back to conservative per-version defaults for unknown
+hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..devices.profiles import DeviceProfile
+from ..devices.registry import DEVICES
+
+#: Conservative fallback bound (ms) per Android major version for devices
+#: absent from the attacker's database: the minimum measured bound of that
+#: version, minus a safety margin.
+_FALLBACK_MARGIN_MS = 15.0
+
+#: Floor for any chosen window: below this the mistouch fraction explodes.
+MIN_USEFUL_WINDOW_MS = 20.0
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """What the malware decided for this device."""
+
+    model: str
+    android_version: str
+    known_device: bool
+    chosen_window_ms: float
+    database_bound_ms: Optional[float]
+
+    @property
+    def source(self) -> str:
+        return "database" if self.known_device else "version-fallback"
+
+
+class DeviceProber:
+    """Selects a safe attacking window from build information."""
+
+    def __init__(self, safety_margin_ms: float = 10.0) -> None:
+        if safety_margin_ms < 0:
+            raise ValueError(
+                f"safety_margin_ms must be >= 0, got {safety_margin_ms}"
+            )
+        self.safety_margin_ms = float(safety_margin_ms)
+        self._database: Dict[Tuple[str, str], float] = {
+            (profile.model, profile.android_version.label):
+                profile.published_upper_bound_d
+            for profile in DEVICES
+        }
+        self._version_floor: Dict[str, float] = {}
+        for profile in DEVICES:
+            major = str(profile.android_version.major)
+            bound = profile.published_upper_bound_d
+            current = self._version_floor.get(major)
+            if current is None or bound < current:
+                self._version_floor[major] = bound
+
+    # ------------------------------------------------------------------
+    @property
+    def database_size(self) -> int:
+        return len(self._database)
+
+    def known_models(self):
+        return sorted({model for model, _ in self._database})
+
+    def probe(self, profile: DeviceProfile) -> ProbeResult:
+        """Choose D for the device the malware finds itself on."""
+        key = (profile.model, profile.android_version.label)
+        bound = self._database.get(key)
+        if bound is not None:
+            chosen = max(MIN_USEFUL_WINDOW_MS, bound - self.safety_margin_ms)
+            return ProbeResult(
+                model=profile.model,
+                android_version=profile.android_version.label,
+                known_device=True,
+                chosen_window_ms=chosen,
+                database_bound_ms=bound,
+            )
+        major = str(profile.android_version.major)
+        floor = self._version_floor.get(major, min(self._version_floor.values()))
+        chosen = max(MIN_USEFUL_WINDOW_MS, floor - _FALLBACK_MARGIN_MS)
+        return ProbeResult(
+            model=profile.model,
+            android_version=profile.android_version.label,
+            known_device=False,
+            chosen_window_ms=chosen,
+            database_bound_ms=None,
+        )

@@ -1,0 +1,47 @@
+"""The fake keyboard rendered through toasts.
+
+Each toast's content is a :class:`FakeKeyboardFrame` naming the sub-layout
+it displays. The frames use the *same* :class:`KeyboardSpec` geometry as
+the real input method, so "the fake keyboard and real keyboard are aligned
+and appear the same" (paper Section V). Switching subkeyboards means
+enqueueing a frame with the new layout and cancelling the current toast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.keyboard import KeyboardSpec, LAYOUT_LOWER
+
+
+@dataclass(frozen=True)
+class FakeKeyboardFrame:
+    """One rendered fake-keyboard image (the content of one toast)."""
+
+    layout_name: str
+
+    def __str__(self) -> str:
+        return f"fake-keyboard[{self.layout_name}]"
+
+
+class FakeKeyboard:
+    """Tracks which sub-layout the fake keyboard currently displays."""
+
+    def __init__(self, spec: KeyboardSpec) -> None:
+        self.spec = spec
+        self.current_layout = LAYOUT_LOWER
+        self.switch_count = 0
+
+    def frame(self) -> FakeKeyboardFrame:
+        """The content for the next toast."""
+        return FakeKeyboardFrame(layout_name=self.current_layout)
+
+    def switch_to(self, layout_name: str) -> bool:
+        """Change the displayed layout; returns True if it changed."""
+        if layout_name not in self.spec.layouts:
+            raise KeyError(f"unknown layout {layout_name!r}")
+        if layout_name == self.current_layout:
+            return False
+        self.current_layout = layout_name
+        self.switch_count += 1
+        return True

@@ -1,0 +1,109 @@
+"""Key inference from intercepted touch coordinates (paper Section V).
+
+"The attacker first derives the center coordinate of each key on the real
+keyboard by performing an offline analysis of the keyboard layout in
+advance. Then the attacker computes the Euclidean distance between the
+coordinate of the touched position ... and the center coordinate of each
+real key. A key is chosen as the typed key if the touched position has the
+smallest Euclidean distance to the center coordinate of the key."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..apps.keyboard import (
+    KEY_ABC,
+    KEY_BACKSPACE,
+    KEY_ENTER,
+    KEY_SHIFT,
+    KEY_SYM,
+    KeyboardSpec,
+)
+from ..windows.geometry import Point
+
+
+@dataclass(frozen=True)
+class InferredKey:
+    """One intercepted touch resolved to a key."""
+
+    time: float
+    point: Point
+    layout: str
+    key: str
+    distance: float
+
+
+@dataclass
+class KeyInference:
+    """Online nearest-center key inference with layout tracking.
+
+    The attacker always knows which layout its fake keyboard shows, so each
+    intercepted coordinate is matched against that layout's key centers.
+    Layout transitions are the caller's job (the password-stealing attack
+    switches the fake keyboard and then calls :meth:`set_layout`).
+    """
+
+    spec: KeyboardSpec
+    current_layout: str = "lower"
+    inferred: List[InferredKey] = field(default_factory=list)
+
+    def set_layout(self, layout_name: str) -> None:
+        if layout_name not in self.spec.layouts:
+            raise KeyError(f"unknown layout {layout_name!r}")
+        self.current_layout = layout_name
+
+    def infer(self, time: float, point: Point) -> InferredKey:
+        """Resolve one intercepted coordinate to the nearest key center."""
+        layout = self.spec.layout(self.current_layout)
+        key, distance = layout.nearest_key(point)
+        record = InferredKey(
+            time=time, point=point, layout=self.current_layout,
+            key=key, distance=distance,
+        )
+        self.inferred.append(record)
+        return record
+
+    def text(self) -> str:
+        """Reconstruct the typed text from the inferred key stream."""
+        return reconstruct_text([k.key for k in self.inferred])
+
+
+def reconstruct_text(keys: List[str]) -> str:
+    """Fold a key stream (including special keys) into the typed string."""
+    chars: List[str] = []
+    for key in keys:
+        if key == KEY_BACKSPACE:
+            if chars:
+                chars.pop()
+            continue
+        if key in (KEY_SHIFT, KEY_SYM, KEY_ABC, KEY_ENTER):
+            continue
+        chars.append(key)
+    return "".join(chars)
+
+
+def infer_offline(
+    spec: KeyboardSpec,
+    touches: List,
+    layout_timeline: Optional[List] = None,
+) -> str:
+    """Offline variant: re-run inference over captured (time, point) pairs.
+
+    ``layout_timeline`` is a list of ``(time, layout_name)`` changes; when
+    omitted, the lowercase layout is assumed throughout.
+    """
+    inference = KeyInference(spec=spec)
+    timeline = sorted(layout_timeline or [], key=lambda item: item[0])
+    index = 0
+    for touch in touches:
+        time, point = touch
+        # Strictly-before: a switch recorded at the same instant as a touch
+        # was *caused* by that touch (online inference resolved it on the
+        # old layout first), so it must not apply yet.
+        while index < len(timeline) and timeline[index][0] < time:
+            inference.set_layout(timeline[index][1])
+            index += 1
+        inference.infer(time, point)
+    return inference.text()

@@ -1,0 +1,192 @@
+"""The draw-and-destroy overlay attack (paper Section III).
+
+The malicious app pre-creates two UI-intercepting overlay objects, then a
+worker-thread timer drives the cycle every attacking window ``D``:
+
+    add O1  ->  wait D  ->  [remove O1; add O2]  ->  wait D  ->
+    [remove O2; add O1]  ->  ...
+
+Calling ``removeView`` *before* ``addView`` within a cycle is essential:
+``addView`` blocks the main thread, and issuing it first delays the remove
+notification so the new overlay is up before the old one is gone — System
+Server then never tells System UI to take the alert down and the slide-in
+completes (``order_add_first=True`` reproduces that failure mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..stack import AndroidStack
+from ..apps.app import App
+from ..apps.threads import WorkerTimer
+from ..windows.geometry import Point, Rect
+from ..windows.permissions import Permission
+from ..windows.types import WindowFlags, WindowType
+from ..windows.window import Window
+
+MALWARE_PACKAGE = "com.example.innocuous"
+
+
+@dataclass(frozen=True)
+class CapturedTouch:
+    """One user input intercepted by a malicious overlay."""
+
+    time: float
+    point: Point
+    overlay_label: str
+
+
+@dataclass
+class OverlayAttackConfig:
+    """Parameters of one draw-and-destroy overlay attack run."""
+
+    #: The attacking window D (ms) — the wait between draw/destroy cycles.
+    attacking_window_ms: float
+    #: Area covered by the transparent overlays (default: whole screen).
+    overlay_rect: Optional[Rect] = None
+    #: removeView-then-addView (the working order). False reproduces the
+    #: paper's failing add-first variant.
+    remove_then_add: bool = True
+
+    def __post_init__(self) -> None:
+        if self.attacking_window_ms <= 0:
+            raise ValueError(
+                f"attacking window must be positive, got {self.attacking_window_ms}"
+            )
+
+
+@dataclass
+class OverlayAttackStats:
+    """Counters accumulated over one attack run."""
+
+    cycles: int = 0
+    touches_captured: List[CapturedTouch] = field(default_factory=list)
+
+    @property
+    def captured_count(self) -> int:
+        return len(self.touches_captured)
+
+
+class DrawAndDestroyOverlayAttack(App):
+    """A malicious overlay app running the draw-and-destroy cycle."""
+
+    def __init__(
+        self,
+        stack: AndroidStack,
+        config: OverlayAttackConfig,
+        package: str = MALWARE_PACKAGE,
+        on_captured: Optional[Callable[[CapturedTouch], None]] = None,
+        process_name: str = "",
+    ) -> None:
+        super().__init__(
+            stack, package, label="draw-and-destroy overlay", process_name=process_name
+        )
+        self.config = config
+        self.stats = OverlayAttackStats()
+        self.on_captured = on_captured
+        rect = config.overlay_rect or Rect(
+            0, 0, stack.profile.screen_width_px, stack.profile.screen_height_px
+        )
+        # "Creating the two overlay objects in advance allows accurate
+        # control of the timing of the attack" (Section III-C Step 1).
+        self._overlays = [
+            Window(
+                owner=package,
+                window_type=WindowType.APPLICATION_OVERLAY,
+                rect=rect,
+                flags=WindowFlags.TRANSPARENT,
+                alpha=0.0,
+                on_touch=self._on_touch,
+                label=f"{package}:overlay{i + 1}",
+            )
+            for i in range(2)
+        ]
+        self._current: Optional[Window] = None
+        self._worker: Optional[WorkerTimer] = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def overlays(self) -> List[Window]:
+        return list(self._overlays)
+
+    @property
+    def current_overlay(self) -> Optional[Window]:
+        return self._current
+
+    def start(self) -> None:
+        """Begin the attack; requires SYSTEM_ALERT_WINDOW."""
+        if self._running:
+            return
+        self.stack.permissions.require(self.package, Permission.SYSTEM_ALERT_WINDOW)
+        self._running = True
+        self._worker = WorkerTimer(
+            self.simulation,
+            f"{self.package}.worker-{id(self)}",
+            period_ms=self.config.attacking_window_ms,
+            on_tick=self._on_worker_tick,
+        )
+        self._worker.start(initial_delay_ms=0.0)
+        self.trace("attack.overlay_started", d_ms=self.config.attacking_window_ms)
+
+    def stop(self) -> None:
+        """Finish the attack: the last displayed overlay is removed."""
+        if not self._running:
+            return
+        self._running = False
+        if self._worker is not None:
+            self._worker.stop()
+        current = self._current
+        if current is not None:
+            self.main_thread.post(lambda: self.remove_view(current), name="final-remove")
+            self._current = None
+        self.trace("attack.overlay_stopped", cycles=self.stats.cycles)
+
+    # ------------------------------------------------------------------
+    def _on_worker_tick(self, tick: int) -> None:
+        if not self._running:
+            return
+        self.stats.cycles += 1
+        if self._current is None:
+            # First round: only addView, displaying overlay one.
+            first = self._overlays[0]
+            self._current = first
+            self.main_thread.post(lambda: self.add_view(first), name="first-add")
+            return
+        old = self._current
+        new = self._other(old)
+        self._current = new
+        if self.config.remove_then_add:
+
+            def swap() -> None:
+                self.remove_view(old)
+                self.add_view(new)
+
+            self.main_thread.post(swap, name="swap")
+        else:
+            # Failing variant: addView first. The blocking call keeps the
+            # main thread busy, delaying the removeView dispatch by the
+            # full synchronous round trip.
+            def swap_add_first() -> None:
+                self.add_view(new)
+                block = self.add_view_blocking_ms
+                self.main_thread.block(block)
+                self.schedule(block, lambda: self.remove_view(old), name="late-remove")
+
+            self.main_thread.post(swap_add_first, name="swap-add-first")
+
+    def _other(self, overlay: Window) -> Window:
+        return self._overlays[1] if overlay is self._overlays[0] else self._overlays[0]
+
+    def _on_touch(self, window: Window, point: Point, time: float) -> None:
+        captured = CapturedTouch(time=time, point=point, overlay_label=window.label)
+        self.stats.touches_captured.append(captured)
+        self.trace("attack.touch_captured", x=point.x, y=point.y)
+        if self.on_captured is not None:
+            self.on_captured(captured)

@@ -1,0 +1,319 @@
+"""The password-stealing attack (paper Section V).
+
+Composition of the two draw-and-destroy attacks:
+
+* the **toast attack** renders a fake keyboard aligned over the real one,
+  re-rendering it whenever a subkeyboard switch is needed;
+* the **overlay attack** stacks transparent UI-intercepting overlays over
+  the fake keyboard, capturing every touch coordinate;
+* captured coordinates are resolved to keys by nearest-center Euclidean
+  distance, with the attack tracking (and driving) the active layout.
+
+The attack launches when the accessibility service reports focus on the
+victim's password widget; for Alipay-style hardened apps it falls back to
+the username-widget trigger plus the getParent() traversal of Section
+VI-C1, and fills the password widget afterwards to hide the theft.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..apps.accessibility import AccessibilityBus, AccessibilityEvent, AccessibilityEventType
+from ..apps.app import App
+from ..apps.keyboard import (
+    KEY_ABC,
+    KEY_ENTER,
+    KEY_SHIFT,
+    KEY_SYM,
+    KeyboardSpec,
+)
+from ..apps.victim import VictimApp
+from ..apps.widgets import InputWidget
+from ..stack import AndroidStack
+from ..toast.toast import TOAST_LENGTH_LONG_MS
+from .fake_keyboard import FakeKeyboard
+from .key_inference import KeyInference
+from .overlay_attack import (
+    CapturedTouch,
+    DrawAndDestroyOverlayAttack,
+    OverlayAttackConfig,
+)
+from .toast_attack import DrawAndDestroyToastAttack, ToastAttackConfig
+
+PASSWORD_MALWARE_PACKAGE = "com.example.flashlight"
+
+
+class PasswordErrorType(enum.Enum):
+    """Error taxonomy of paper Table III."""
+
+    SUCCESS = "success"
+    #: Derived password shorter than the entered one (a mistouch or a
+    #: swallowed character).
+    LENGTH_ERROR = "length_error"
+    #: Same length, differs only in letter case (a missed shift press).
+    CAPITALIZATION_ERROR = "capitalization_error"
+    #: Same length, at least one genuinely different character
+    #: (user misspelling, or a missed subkeyboard switch).
+    WRONG_KEY_ERROR = "wrong_key_error"
+    #: Derived longer than entered (double-registered touch); the paper
+    #: does not tabulate this case separately.
+    OTHER_ERROR = "other_error"
+
+
+def classify_password_attempt(truth: str, derived: str) -> PasswordErrorType:
+    """Classify one attack attempt per the paper's error definitions."""
+    if derived == truth:
+        return PasswordErrorType.SUCCESS
+    if len(derived) < len(truth):
+        return PasswordErrorType.LENGTH_ERROR
+    if len(derived) > len(truth):
+        return PasswordErrorType.OTHER_ERROR
+    if derived.lower() == truth.lower():
+        return PasswordErrorType.CAPITALIZATION_ERROR
+    return PasswordErrorType.WRONG_KEY_ERROR
+
+
+@dataclass
+class PasswordAttackResult:
+    """What the malware walked away with."""
+
+    derived_password: str
+    launched_at: Optional[float]
+    finished_at: Optional[float]
+    captured_touches: int
+    keyboard_switches: int
+    trigger_path: str
+
+    def classify_against(self, truth: str) -> PasswordErrorType:
+        return classify_password_attempt(truth, self.derived_password)
+
+
+@dataclass
+class PasswordStealingConfig:
+    """Parameters of the composed attack."""
+
+    #: Attacking window for the overlay half; ``None`` selects the device's
+    #: calibrated Table II optimum ("we use different upper boundaries of D
+    #: for different smartphones", Section VI-C1).
+    attacking_window_ms: Optional[float] = None
+    toast_duration_ms: float = TOAST_LENGTH_LONG_MS
+    #: Safety margin subtracted from the device optimum (ms) so latency
+    #: jitter cannot push a cycle past the Λ1 boundary.
+    safety_margin_ms: float = 10.0
+
+    def resolve_d(self, published_upper_bound: float) -> float:
+        if self.attacking_window_ms is not None:
+            return self.attacking_window_ms
+        return max(20.0, published_upper_bound - self.safety_margin_ms)
+
+
+class PasswordStealingAttack(App):
+    """Orchestrates toast + overlay attacks into a password theft."""
+
+    def __init__(
+        self,
+        stack: AndroidStack,
+        bus: AccessibilityBus,
+        victim: VictimApp,
+        spec: KeyboardSpec,
+        config: Optional[PasswordStealingConfig] = None,
+        package: str = PASSWORD_MALWARE_PACKAGE,
+    ) -> None:
+        super().__init__(stack, package, label="password stealing")
+        self.bus = bus
+        self.victim = victim
+        self.spec = spec
+        self.config = config or PasswordStealingConfig()
+        self.fake_keyboard = FakeKeyboard(spec)
+        self.inference = KeyInference(spec=spec)
+
+        d = self.config.resolve_d(stack.profile.published_upper_bound_d)
+        self.overlay_attack = DrawAndDestroyOverlayAttack(
+            stack,
+            OverlayAttackConfig(attacking_window_ms=d, overlay_rect=spec.rect),
+            package=package,
+            on_captured=self._on_captured,
+            process_name=f"{package}#overlay",
+        )
+        self.toast_attack = DrawAndDestroyToastAttack(
+            stack,
+            ToastAttackConfig(rect=spec.rect, duration_ms=self.config.toast_duration_ms),
+            content_provider=self.fake_keyboard.frame,
+            package=package,
+            process_name=f"{package}#toast",
+        )
+
+        self._armed = False
+        self._username_sibling_time: Optional[float] = None
+        self._launched_at: Optional[float] = None
+        self._finished_at: Optional[float] = None
+        self._trigger_path = "none"
+        self._target_widget: Optional[InputWidget] = None
+        self._keys_captured: List[str] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def launched(self) -> bool:
+        return self._launched_at is not None
+
+    @property
+    def finished(self) -> bool:
+        return self._finished_at is not None
+
+    @property
+    def attacking_window_ms(self) -> float:
+        return self.overlay_attack.config.attacking_window_ms
+
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        """Register the accessibility service and wait for the trigger."""
+        if self._armed:
+            return
+        self._armed = True
+        self.bus.register_service(self.name, self._on_accessibility_event)
+        self.trace("attack.password_armed", victim=self.victim.package)
+
+    def arm_with_side_channel(self, config=None):
+        """Arm via the UI-state side channel instead of accessibility.
+
+        The paper notes the accessibility trigger is "just an example";
+        side channels (Chen et al. [9]) detect the password entry without
+        any service registration — and are immune to Alipay-style
+        accessibility hardening. Returns the channel for inspection.
+        """
+        from .timing_channels import UiStateSideChannel
+
+        if self._armed:
+            raise RuntimeError("attack is already armed")
+        self._armed = True
+
+        def trigger() -> None:
+            if self.launched:
+                return
+            self._target_widget = self.victim.password_widget
+            self._trigger_path = "ui_state_side_channel"
+            self._launch()
+
+        channel = UiStateSideChannel(
+            self.stack, self.victim, trigger, config=config,
+            name=f"{self.name}#sidechannel",
+        )
+        channel.start()
+        self.trace("attack.password_armed_sidechannel",
+                   victim=self.victim.package)
+        return channel
+
+    def _on_accessibility_event(self, event: AccessibilityEvent) -> None:
+        if self.launched or event.package != self.victim.package:
+            return
+        password_id = self.victim.password_widget.widget_id
+        username_id = self.victim.username_widget.widget_id
+        if (
+            event.source_node_id == password_id
+            and event.event_type is AccessibilityEventType.TYPE_VIEW_FOCUSED
+        ):
+            # Normal path: the password widget itself announces focus.
+            self._target_widget = self.victim.password_widget
+            self._trigger_path = "password_focus"
+            self._launch()
+            return
+        if not self.victim.spec.password_accessibility_disabled:
+            return
+        if event.source_node_id != username_id:
+            return
+        if event.event_type in (
+            AccessibilityEventType.TYPE_VIEW_FOCUSED,
+            AccessibilityEventType.TYPE_VIEW_TEXT_CHANGED,
+        ):
+            # Remember the sibling: a focus gain or keystroke emits a
+            # TYPE_WINDOW_CONTENT_CHANGED at the same instant, which must
+            # NOT be mistaken for the focus-switch signal.
+            self._username_sibling_time = event.time
+            return
+        if event.event_type is AccessibilityEventType.TYPE_WINDOW_CONTENT_CHANGED:
+            if event.time == self._username_sibling_time:
+                return  # paired with typing/focus — user is still here
+            # Alipay path (Section VI-C1): a *lone* content-changed event
+            # marks the focus moving away from the username widget ("when a
+            # user finished typing and switches the focus to another
+            # widget, only one event was sent"); walk getParent() and
+            # enumerate children to find the password widget.
+            username_node = self.victim.username_node
+            parent = username_node.get_parent()
+            if parent is None:
+                return
+            password_node = parent.find(
+                lambda node: node.widget is not None
+                and getattr(node.widget, "is_password", False)
+            )
+            if password_node is None:
+                return
+            self._target_widget = password_node.widget
+            self._trigger_path = "username_workaround"
+            self._launch()
+
+    def _launch(self) -> None:
+        self._launched_at = self.now
+        self.toast_attack.start()
+        self.overlay_attack.start()
+        self.trace("attack.password_launched", trigger=self._trigger_path,
+                    d_ms=self.attacking_window_ms)
+
+    # ------------------------------------------------------------------
+    def _on_captured(self, touch: CapturedTouch) -> None:
+        if self.finished:
+            return
+        inferred = self.inference.infer(touch.time, touch.point)
+        self._keys_captured.append(inferred.key)
+        key = inferred.key
+        if key == KEY_ENTER:
+            self.finish()
+            return
+        if key in (KEY_SHIFT, KEY_SYM, KEY_ABC):
+            self._switch_fake_layout(key)
+            return
+        # One-shot shift: after a character on the upper layout, both the
+        # (real-keyboard-mirroring) fake keyboard and the inference state
+        # must drop back to lowercase.
+        next_layout = KeyboardSpec.layout_after_key(self.fake_keyboard.current_layout, key)
+        if next_layout != self.fake_keyboard.current_layout:
+            self._apply_layout(next_layout)
+
+    def _switch_fake_layout(self, special_key: str) -> None:
+        next_layout = KeyboardSpec.layout_after_key(
+            self.fake_keyboard.current_layout, special_key
+        )
+        self._apply_layout(next_layout)
+
+    def _apply_layout(self, layout_name: str) -> None:
+        if self.fake_keyboard.switch_to(layout_name):
+            self.inference.set_layout(layout_name)
+            self.trace("attack.layout_switched", layout=layout_name)
+            self.toast_attack.force_refresh()
+
+    # ------------------------------------------------------------------
+    def finish(self) -> PasswordAttackResult:
+        """Stop both attacks, fill the password widget, report the loot."""
+        if not self.finished:
+            self._finished_at = self.now
+            self.overlay_attack.stop()
+            self.toast_attack.stop()
+            derived = self.inference.text()
+            if self._target_widget is not None:
+                # "Fill up the password input widget to hide the attack."
+                self._target_widget.set_text(derived)
+            self.trace("attack.password_finished", derived_len=len(derived))
+        return self.result()
+
+    def result(self) -> PasswordAttackResult:
+        return PasswordAttackResult(
+            derived_password=self.inference.text(),
+            launched_at=self._launched_at,
+            finished_at=self._finished_at,
+            captured_touches=self.overlay_attack.stats.captured_count,
+            keyboard_switches=self.fake_keyboard.switch_count,
+            trigger_path=self._trigger_path,
+        )

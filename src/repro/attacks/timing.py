@@ -1,0 +1,199 @@
+"""Analytical timing model of the draw-and-destroy overlay attack.
+
+Implements the closed forms of paper Section III-D:
+
+* Eq. (1)/(2): expected total mistouch time over an attack of duration
+  ``T`` with attacking window ``D`` —
+  ``E(Tm) = (ceil(T/D) - 1) E(Tmis) + E(Tam) + E(Tas)``;
+* Eq. (3): the upper bound on ``D`` that still suppresses the alert —
+  ``D <= Tn + Tv + Ta``;
+
+plus :class:`UpperBoundFinder`, which recovers the Table II boundary
+empirically by running the simulated attack across candidate ``D`` values
+and classifying the notification outcome (the in-simulation analogue of the
+paper's naked-eye trials).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..devices.profiles import DeviceProfile
+from ..systemui.outcomes import NotificationOutcome
+
+
+@dataclass(frozen=True)
+class MistouchEstimate:
+    """Expected mistouch budget of one attack configuration."""
+
+    total_attack_ms: float
+    attacking_window_ms: float
+    cycles: int
+    expected_mistouch_ms: float
+
+    @property
+    def expected_mistouch_fraction(self) -> float:
+        if self.total_attack_ms <= 0:
+            return 0.0
+        return min(1.0, self.expected_mistouch_ms / self.total_attack_ms)
+
+
+def expected_mistouch_time(
+    total_attack_ms: float,
+    attacking_window_ms: float,
+    mean_tmis_ms: float,
+    mean_tam_ms: float,
+    mean_tas_ms: float,
+) -> MistouchEstimate:
+    """Paper Eq. (2): expected total mistouch time.
+
+    The first draw pays the full ``Tam + Tas`` startup (no overlay exists
+    yet); each of the remaining ``n - 1`` cycles contributes one expected
+    gap ``E(Tmis)``.
+    """
+    if total_attack_ms <= 0:
+        raise ValueError(f"total_attack_ms must be positive, got {total_attack_ms}")
+    if attacking_window_ms <= 0:
+        raise ValueError(
+            f"attacking_window_ms must be positive, got {attacking_window_ms}"
+        )
+    cycles = math.ceil(total_attack_ms / attacking_window_ms)
+    expected = (
+        max(cycles - 1, 0) * max(mean_tmis_ms, 0.0) + mean_tam_ms + mean_tas_ms
+    )
+    return MistouchEstimate(
+        total_attack_ms=total_attack_ms,
+        attacking_window_ms=attacking_window_ms,
+        cycles=cycles,
+        expected_mistouch_ms=expected,
+    )
+
+
+def expected_mistouch_for_profile(
+    profile: DeviceProfile, total_attack_ms: float, attacking_window_ms: float
+) -> MistouchEstimate:
+    """Eq. (2) evaluated with a device profile's latency means."""
+    return expected_mistouch_time(
+        total_attack_ms=total_attack_ms,
+        attacking_window_ms=attacking_window_ms,
+        mean_tmis_ms=profile.mean_tmis_ms,
+        mean_tam_ms=profile.tam.mean_ms,
+        mean_tas_ms=profile.tas.mean_ms,
+    )
+
+
+def upper_bound_d(tn_ms: float, tv_ms: float, ta_ms: float) -> float:
+    """Paper Eq. (3): ``D <= Tn + Tv + Ta``."""
+    return tn_ms + tv_ms + ta_ms
+
+
+def upper_bound_d_for_profile(profile: DeviceProfile) -> float:
+    """Eq. (3) with the profile's means (the paper's simplified bound;
+    the profile's ``predicted_upper_bound_d`` adds the small ``Tmis`` and
+    removal-notify corrections)."""
+    return upper_bound_d(
+        profile.tn.mean_ms, profile.tv.mean_ms, profile.first_visible_frame_ms
+    )
+
+
+def estimate_attack_duration(password_length: int, seconds_per_key: float) -> float:
+    """``T = S x L`` (Section III-D): attack duration from typing speed."""
+    if password_length <= 0:
+        raise ValueError(f"password_length must be positive, got {password_length}")
+    if seconds_per_key <= 0:
+        raise ValueError(f"seconds_per_key must be positive, got {seconds_per_key}")
+    return password_length * seconds_per_key * 1000.0
+
+# ---------------------------------------------------------------------------
+# Empirical boundary search
+# ---------------------------------------------------------------------------
+
+#: Signature of a single-trial runner: (profile, D, seed) -> worst outcome.
+TrialRunner = Callable[[DeviceProfile, float, int], NotificationOutcome]
+
+
+@dataclass(frozen=True)
+class BoundarySearchResult:
+    """Outcome of an empirical Λ1-boundary search for one device."""
+
+    profile_key: str
+    measured_upper_bound_d: float
+    published_upper_bound_d: float
+    probed: Tuple[Tuple[float, bool], ...]
+
+    @property
+    def error_ms(self) -> float:
+        return self.measured_upper_bound_d - self.published_upper_bound_d
+
+
+class UpperBoundFinder:
+    """Finds the largest D that keeps every trial at Λ1 on a device."""
+
+    def __init__(
+        self,
+        run_trial: TrialRunner,
+        trials_per_d: int = 3,
+        step_ms: float = 5.0,
+        base_seed: int = 0,
+    ) -> None:
+        if trials_per_d <= 0:
+            raise ValueError(f"trials_per_d must be positive, got {trials_per_d}")
+        if step_ms <= 0:
+            raise ValueError(f"step_ms must be positive, got {step_ms}")
+        self._run_trial = run_trial
+        self._trials_per_d = trials_per_d
+        self._step = step_ms
+        self._base_seed = base_seed
+
+    def _suppressed_at(self, profile: DeviceProfile, d: float) -> bool:
+        for trial in range(self._trials_per_d):
+            outcome = self._run_trial(profile, d, self._base_seed + trial)
+            if not outcome.suppressed:
+                return False
+        return True
+
+    def find(
+        self,
+        profile: DeviceProfile,
+        d_min: float = 10.0,
+        d_max: Optional[float] = None,
+    ) -> BoundarySearchResult:
+        """Bisect to the largest probed D with all trials at Λ1."""
+        if d_max is None:
+            d_max = profile.published_upper_bound_d * 2.0 + 100.0
+        probed: List[Tuple[float, bool]] = []
+        lo, hi = d_min, d_max
+        if not self._suppressed_at(profile, lo):
+            probed.append((lo, False))
+            return BoundarySearchResult(
+                profile_key=profile.key,
+                measured_upper_bound_d=0.0,
+                published_upper_bound_d=profile.published_upper_bound_d,
+                probed=tuple(probed),
+            )
+        probed.append((lo, True))
+        if self._suppressed_at(profile, hi):
+            probed.append((hi, True))
+            return BoundarySearchResult(
+                profile_key=profile.key,
+                measured_upper_bound_d=hi,
+                published_upper_bound_d=profile.published_upper_bound_d,
+                probed=tuple(probed),
+            )
+        probed.append((hi, False))
+        while hi - lo > self._step:
+            mid = (lo + hi) / 2.0
+            suppressed = self._suppressed_at(profile, mid)
+            probed.append((mid, suppressed))
+            if suppressed:
+                lo = mid
+            else:
+                hi = mid
+        return BoundarySearchResult(
+            profile_key=profile.key,
+            measured_upper_bound_d=lo,
+            published_upper_bound_d=profile.published_upper_bound_d,
+            probed=tuple(probed),
+        )

@@ -1,0 +1,183 @@
+"""The draw-and-destroy toast attack (paper Section IV).
+
+The malicious app keeps a customized toast (e.g., a fake keyboard) on top
+of the victim indefinitely by enqueueing the next toast before the current
+one is removed. Android serializes toast display, but the 500 ms
+``AccelerateInterpolator`` fade-out overlaps the successor's fast
+``DecelerateInterpolator`` fade-in, so combined opacity barely dips and the
+switch is imperceptible. No permission is required.
+
+Queue discipline (Section IV-D): keep at least one token enqueued at all
+times while never exceeding Android's 50-tokens-per-app cap. The attack
+primes the queue with two toasts and then enqueues one per display period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from ..stack import AndroidStack
+from ..apps.app import App
+from ..apps.threads import WorkerTimer
+from ..toast.lifecycle import ToastSwitch, analyze_switches
+from ..toast.toast import TOAST_LENGTH_LONG_MS, Toast
+from ..toast.token_queue import MAX_TOASTS_PER_APP
+from ..windows.geometry import Rect
+
+TOAST_MALWARE_PACKAGE = "com.example.helpful.widget"
+
+ContentProvider = Callable[[], Any]
+
+
+@dataclass
+class ToastAttackConfig:
+    """Parameters of one draw-and-destroy toast attack run."""
+
+    #: Area the customized toast covers (e.g., the keyboard area).
+    rect: Rect
+    #: On-screen duration per toast; 3.5 s minimizes switches (Section IV-D).
+    duration_ms: float = TOAST_LENGTH_LONG_MS
+    #: Interval between successive enqueues; defaults to the duration so
+    #: queue depth stays bounded at ~2.
+    enqueue_period_ms: Optional[float] = None
+    #: Tokens enqueued up front so the queue is never empty.
+    prime_count: int = 2
+
+    def __post_init__(self) -> None:
+        if self.prime_count < 1:
+            raise ValueError(f"prime_count must be >= 1, got {self.prime_count}")
+
+    @property
+    def period_ms(self) -> float:
+        return self.enqueue_period_ms or self.duration_ms
+
+
+class DrawAndDestroyToastAttack(App):
+    """A malicious app keeping a customized toast continuously on screen."""
+
+    def __init__(
+        self,
+        stack: AndroidStack,
+        config: ToastAttackConfig,
+        content_provider: ContentProvider,
+        package: str = TOAST_MALWARE_PACKAGE,
+        process_name: str = "",
+    ) -> None:
+        super().__init__(
+            stack, package, label="draw-and-destroy toast", process_name=process_name
+        )
+        self.config = config
+        self._content_provider = content_provider
+        self._worker: Optional[WorkerTimer] = None
+        self._running = False
+        self._enqueued = 0
+        self._skipped_at_cap = 0
+        #: Toast objects we created and still hold references to (the real
+        #: attack keeps them so it can Toast.cancel() stale queued frames).
+        self._live: List[Toast] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def toasts_enqueued(self) -> int:
+        return self._enqueued
+
+    @property
+    def skipped_at_cap(self) -> int:
+        """Enqueues the attack itself skipped to respect the 50-token cap."""
+        return self._skipped_at_cap
+
+    def start(self) -> None:
+        """Begin the attack. No permission is required (Section IV-A)."""
+        if self._running:
+            return
+        self._running = True
+        for _ in range(self.config.prime_count):
+            self._enqueue_toast()
+        self._worker = WorkerTimer(
+            self.simulation,
+            f"{self.package}.worker-{id(self)}",
+            period_ms=self.config.period_ms,
+            on_tick=lambda tick: self._enqueue_toast(),
+        )
+        self._worker.start(initial_delay_ms=self.config.period_ms)
+        self.trace("attack.toast_started", period_ms=self.config.period_ms)
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        if self._worker is not None:
+            self._worker.stop()
+        # Let the currently displayed toast expire naturally; just stop
+        # feeding the queue.
+        self.trace("attack.toast_stopped", enqueued=self._enqueued)
+
+    def force_refresh(self) -> None:
+        """Replace the displayed toast immediately (subkeyboard switch).
+
+        Stale queued frames (enqueued before the switch, carrying the old
+        layout) are cancelled first, then the new layout is enqueued, then
+        the displayed toast is cancelled so the Notification Manager
+        fetches the new frame right away. The three calls are issued
+        back-to-back from one thread, so their delivery order is fixed
+        (staggered latencies)."""
+        self._prune_live()
+        base_latency = self.stack.profile.tam.sample(self.rng)
+        step = 0.3
+        for index, toast in enumerate(t for t in self._live if t.shown_at is None):
+            self.cancel_toast(toast, latency_ms=base_latency + index * step)
+        self._enqueue_toast(latency_ms=base_latency + 5 * step)
+        self.cancel_current_toast(latency_ms=base_latency + 6 * step)
+
+    def _prune_live(self) -> None:
+        self._live = [t for t in self._live if t.removed_at is None]
+
+    # ------------------------------------------------------------------
+    def _enqueue_toast(self, latency_ms=None) -> None:
+        if not self._running:
+            return
+        queue = self.stack.notification_manager.queue
+        if queue.depth_for(self.package) >= MAX_TOASTS_PER_APP - 1:
+            self._skipped_at_cap += 1
+            return
+        toast = Toast(
+            owner=self.package,
+            content=self._content_provider(),
+            rect=self.config.rect,
+            duration_ms=self.config.duration_ms,
+        )
+        self._enqueued += 1
+        self._live.append(toast)
+        self.show_toast(toast, latency_ms=latency_ms)
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def displayed_toasts(self) -> List[Toast]:
+        return [
+            t
+            for t in self.stack.notification_manager.history
+            if t.owner == self.package
+        ]
+
+    def switches(self, threshold: float = 0.85) -> List[ToastSwitch]:
+        return analyze_switches(self.displayed_toasts(), threshold=threshold)
+
+    def coverage_at(self, time: float) -> float:
+        return self.stack.notification_manager.coverage_at(time, self.config.rect)
+
+    def displayed_content_at(self, time: float) -> Optional[Any]:
+        """Which content the user saw at ``time`` (the most opaque toast)."""
+        best: Optional[Toast] = None
+        best_alpha = 0.0
+        for toast in self.displayed_toasts():
+            alpha = toast.alpha_at(time)
+            if alpha > best_alpha:
+                best = toast
+                best_alpha = alpha
+        return best.content if best is not None else None

@@ -1,0 +1,17 @@
+"""Binder IPC substrate: transactions, latency models, router, monitor."""
+
+from .latency import FixedLatency, LatencyModel, LatencySpec, MethodLatencyTable
+from .monitor import BinderMonitor, MonitoredCall
+from .router import BinderRouter
+from .transaction import BinderTransaction
+
+__all__ = [
+    "BinderMonitor",
+    "BinderRouter",
+    "BinderTransaction",
+    "FixedLatency",
+    "LatencyModel",
+    "LatencySpec",
+    "MethodLatencyTable",
+    "MonitoredCall",
+]

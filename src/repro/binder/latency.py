@@ -1,0 +1,103 @@
+"""Latency models for Binder transactions.
+
+The attacks in the paper are pure timing attacks, so per-method IPC latency
+distributions are first-class objects here. Device profiles
+(:mod:`repro.devices`) instantiate a :class:`MethodLatencyTable` mapping the
+paper's latency symbols onto methods:
+
+* ``Tam`` — app main thread -> System Server, overlay *add* event;
+* ``Trm`` — app main thread -> System Server, overlay *remove* event
+  (``Tam < Trm``: the add event "always reaches System Server first");
+* ``Tn``  — System Server -> System UI notification message (inflated by
+  the Android Notification Assistant delay on Android 10/11).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim.rng import SeededRng
+
+
+class LatencyModel(ABC):
+    """Samples a transit latency (ms) for a given method name."""
+
+    @abstractmethod
+    def sample(self, rng: SeededRng, method: str) -> float:
+        """Draw one latency in milliseconds (always >= 0)."""
+
+    @abstractmethod
+    def mean(self, method: str) -> float:
+        """Expected latency for analytical formulas (paper Eq. 2)."""
+
+
+@dataclass(frozen=True)
+class LatencySpec:
+    """Parameters of one Gaussian-with-floor latency distribution."""
+
+    mean_ms: float
+    std_ms: float = 0.0
+    min_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean_ms < 0:
+            raise ValueError(f"mean latency must be >= 0, got {self.mean_ms}")
+        if self.std_ms < 0:
+            raise ValueError(f"latency std must be >= 0, got {self.std_ms}")
+        if self.min_ms < 0:
+            raise ValueError(f"min latency must be >= 0, got {self.min_ms}")
+
+    def sample(self, rng: SeededRng) -> float:
+        return rng.gauss_clipped(self.mean_ms, self.std_ms, minimum=self.min_ms)
+
+    def scaled(self, factor: float) -> "LatencySpec":
+        """A spec with mean and std scaled (used for load modelling)."""
+        return LatencySpec(
+            mean_ms=self.mean_ms * factor,
+            std_ms=self.std_ms * factor,
+            min_ms=self.min_ms,
+        )
+
+
+class FixedLatency(LatencyModel):
+    """Every transaction takes exactly ``value_ms`` — used in unit tests."""
+
+    def __init__(self, value_ms: float) -> None:
+        if value_ms < 0:
+            raise ValueError(f"latency must be >= 0, got {value_ms}")
+        self._value = float(value_ms)
+
+    def sample(self, rng: SeededRng, method: str) -> float:
+        return self._value
+
+    def mean(self, method: str) -> float:
+        return self._value
+
+
+class MethodLatencyTable(LatencyModel):
+    """Per-method latency distributions with a default fallback."""
+
+    def __init__(
+        self,
+        specs: Optional[Dict[str, LatencySpec]] = None,
+        default: LatencySpec = LatencySpec(mean_ms=0.5, std_ms=0.1),
+    ) -> None:
+        self._specs: Dict[str, LatencySpec] = dict(specs or {})
+        self._default = default
+
+    def set(self, method: str, spec: LatencySpec) -> None:
+        self._specs[method] = spec
+
+    def get(self, method: str) -> LatencySpec:
+        return self._specs.get(method, self._default)
+
+    def sample(self, rng: SeededRng, method: str) -> float:
+        return self.get(method).sample(rng)
+
+    def mean(self, method: str) -> float:
+        return self.get(method).mean_ms
+
+    def methods(self):
+        return list(self._specs)

@@ -1,0 +1,84 @@
+"""Binder transaction monitor — substrate of the IPC-based defense.
+
+The paper's defense changes the Binder code "in a minor fashion" to collect
+the transactions of interest (``addView``/``removeView``) together with the
+caller and a timestamp, and forwards them to an analyzer. The monitor here
+is that collection point; :mod:`repro.defenses.ipc_detector` is the
+analyzer.
+
+The monitor also accounts for its own processing cost so the reproduction
+can report the defense's performance overhead (the paper: "negligible").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Set
+
+from .router import BinderRouter
+from .transaction import BinderTransaction
+
+
+@dataclass(frozen=True)
+class MonitoredCall:
+    """The analyzer-facing record of one intercepted transaction."""
+
+    time: float
+    caller: str
+    method: str
+    txn_id: int
+
+
+class BinderMonitor:
+    """Collects Binder transactions whose method is in a watch set."""
+
+    #: Simulated per-transaction inspection cost in milliseconds. The real
+    #: hook is a few comparisons and a buffer append; we charge 1 µs.
+    INSPECTION_COST_MS = 0.001
+
+    def __init__(
+        self,
+        router: BinderRouter,
+        methods_of_interest: Iterable[str] = ("addView", "removeView"),
+        sink: Optional[Callable[[MonitoredCall], None]] = None,
+    ) -> None:
+        self._methods: Set[str] = set(methods_of_interest)
+        self._calls: List[MonitoredCall] = []
+        self._sink = sink
+        self._transactions_seen = 0
+        self._overhead_ms = 0.0
+        router.add_observer(self._observe)
+
+    # ------------------------------------------------------------------
+    @property
+    def calls(self) -> List[MonitoredCall]:
+        return list(self._calls)
+
+    @property
+    def transactions_seen(self) -> int:
+        """All transactions inspected, matching or not."""
+        return self._transactions_seen
+
+    @property
+    def overhead_ms(self) -> float:
+        """Accumulated simulated inspection cost."""
+        return self._overhead_ms
+
+    def calls_by_caller(self, caller: str) -> List[MonitoredCall]:
+        return [c for c in self._calls if c.caller == caller]
+
+    def clear(self) -> None:
+        self._calls.clear()
+
+    # ------------------------------------------------------------------
+    def _observe(self, txn: BinderTransaction) -> None:
+        self._transactions_seen += 1
+        self._overhead_ms += self.INSPECTION_COST_MS
+        if txn.method not in self._methods:
+            return
+        call = MonitoredCall(
+            time=txn.sent_at, caller=txn.sender, method=txn.method, txn_id=txn.txn_id
+        )
+        self._calls.append(call)
+        if self._sink is not None:
+            self._sink(call)

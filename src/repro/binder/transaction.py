@@ -1,0 +1,37 @@
+"""Binder transaction records.
+
+Android IPC is implemented by the Binder; a call such as ``addView`` from an
+app to System Server is one *transaction*. The paper's IPC-based defense
+(Section VII-A) observes exactly these transactions — "an information-rich
+Binder transaction, which can be used to determine which method is called as
+well as the caller" — so the simulated transaction carries the same fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class BinderTransaction:
+    """One IPC call travelling between two simulated processes."""
+
+    txn_id: int
+    sender: str
+    receiver: str
+    method: str
+    sent_at: float
+    delivered_at: float
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def latency_ms(self) -> float:
+        """Transit time between sender and receiver."""
+        return self.delivered_at - self.sent_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BinderTransaction(#{self.txn_id} {self.sender}->{self.receiver} "
+            f"{self.method} @{self.sent_at:.3f}+{self.latency_ms:.3f}ms)"
+        )

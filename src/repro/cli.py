@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``devices`` — list the 30 calibrated evaluation devices (Table I/II);
+* ``attack`` — run the draw-and-destroy overlay attack on one device and
+  report the notification outcome and capture statistics;
+* ``diagram`` — render the paper's Fig. 3 / Fig. 5 sequence charts from a
+  live simulation trace;
+* ``report`` — run the complete reproduction suite and print the
+  paper-vs-measured report (EXPERIMENTS.md content).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .analysis.sequence_diagram import (
+    render_overlay_attack_figure,
+    render_toast_attack_figure,
+)
+from .attacks import (
+    DrawAndDestroyOverlayAttack,
+    DrawAndDestroyToastAttack,
+    OverlayAttackConfig,
+    ToastAttackConfig,
+)
+from .devices import DEVICES, device
+from .stack import build_stack
+from .systemui import AlertMode
+from .windows.geometry import Point, Rect
+from .windows.permissions import Permission
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    print(f"{'device':44s} {'Android':>8s} {'bound D (ms)':>13s} "
+          f"{'Tmis (ms)':>10s}")
+    for profile in DEVICES:
+        print(f"{profile.manufacturer + ' ' + profile.model:44s} "
+              f"{profile.android_version.label:>8s} "
+              f"{profile.published_upper_bound_d:13.0f} "
+              f"{profile.mean_tmis_ms:10.1f}")
+    return 0
+
+
+def _resolve_device(model: Optional[str], version: Optional[str]):
+    if model is None:
+        from .devices import reference_device
+
+        return reference_device()
+    return device(model, version)
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    profile = _resolve_device(args.device, args.android)
+    d = args.window if args.window is not None else (
+        profile.published_upper_bound_d - 10.0
+    )
+    stack = build_stack(seed=args.seed, profile=profile,
+                        alert_mode=AlertMode.ANALYTIC)
+    attack = DrawAndDestroyOverlayAttack(
+        stack, OverlayAttackConfig(attacking_window_ms=d)
+    )
+    stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+    attack.start()
+    taps = 0
+    while stack.now < args.duration:
+        stack.run_for(300.0)
+        stack.touch.tap(Point(540.0, 1200.0))
+        taps += 1
+    worst = stack.system_ui.worst_outcome()
+    attack.stop()
+    stack.run_for(500.0)
+    worst = max(worst, stack.system_ui.worst_outcome())
+    print(f"device            : {profile.key}")
+    print(f"attacking window D: {d:.0f} ms "
+          f"(published bound {profile.published_upper_bound_d:.0f} ms)")
+    print(f"cycles run        : {attack.stats.cycles}")
+    print(f"alert outcome     : {worst.label} "
+          f"({'suppressed' if worst.suppressed else 'VISIBLE'})")
+    print(f"touches captured  : {attack.stats.captured_count}/{taps}")
+    return 0 if worst.suppressed == (d < profile.published_upper_bound_d) else 1
+
+
+def _cmd_diagram(args: argparse.Namespace) -> int:
+    profile = _resolve_device(args.device, args.android)
+    stack = build_stack(seed=args.seed, profile=profile,
+                        alert_mode=AlertMode.ANALYTIC)
+    if args.figure == "overlay":
+        attack = DrawAndDestroyOverlayAttack(
+            stack,
+            OverlayAttackConfig(
+                attacking_window_ms=profile.published_upper_bound_d - 10.0
+            ),
+        )
+        stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+        attack.start()
+        stack.run_for(args.duration)
+        attack.stop()
+        stack.run_for(200.0)
+        print("Fig. 3 — draw-and-destroy overlay attack "
+              f"(one cycle window, {profile.key}):")
+        print(render_overlay_attack_figure(
+            stack.simulation.trace, 100.0, args.duration))
+    else:
+        toast_attack = DrawAndDestroyToastAttack(
+            stack,
+            ToastAttackConfig(rect=Rect(0, 1400, 1080, 2160),
+                              duration_ms=3500.0),
+            content_provider=lambda: "fake-keyboard",
+        )
+        toast_attack.start()
+        stack.run_for(args.duration)
+        toast_attack.stop()
+        stack.run_for(4500.0)
+        print(f"Fig. 5 — draw-and-destroy toast attack ({profile.key}):")
+        print(render_toast_attack_figure(
+            stack.simulation.trace, 0.0, args.duration))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import FULL, QUICK, SMOKE, format_report, run_all
+
+    scale = {"full": FULL, "quick": QUICK, "smoke": SMOKE}[args.scale]
+    results = run_all(scale, verbose=args.verbose)
+    print(format_report(results))
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from .systemui.render import render_outcome_gallery
+
+    print("Fig. 6 — possible outcomes of the notification view:")
+    print(render_outcome_gallery())
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    from .attacks import DeviceProber
+
+    prober = DeviceProber()
+    if args.device:
+        profiles = [_resolve_device(args.device, args.android)]
+    else:
+        profiles = DEVICES
+    print(f"{'device':44s} {'source':>18s} {'chosen D (ms)':>14s}")
+    for profile in profiles:
+        result = prober.probe(profile)
+        print(f"{profile.key:44s} {result.source:>18s} "
+              f"{result.chosen_window_ms:14.0f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Implication of Animation on Android "
+                    "Security' (ICDCS 2022)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list the 30 evaluation devices")
+
+    attack = sub.add_parser("attack", help="run the overlay attack once")
+    attack.add_argument("--device", help="device model (default: pixel 2)")
+    attack.add_argument("--android", help="Android version label, for "
+                                          "ambiguous models (e.g. mi8)")
+    attack.add_argument("--window", type=float, default=None,
+                        help="attacking window D in ms (default: device "
+                             "bound - 10)")
+    attack.add_argument("--duration", type=float, default=5000.0,
+                        help="attack duration in simulated ms")
+    attack.add_argument("--seed", type=int, default=1)
+
+    diagram = sub.add_parser("diagram", help="render Fig. 3 / Fig. 5 charts")
+    diagram.add_argument("figure", choices=("overlay", "toast"))
+    diagram.add_argument("--device", help="device model")
+    diagram.add_argument("--android", help="Android version label")
+    diagram.add_argument("--duration", type=float, default=500.0)
+    diagram.add_argument("--seed", type=int, default=2)
+
+    report = sub.add_parser("report", help="run the full reproduction suite")
+    report.add_argument("--scale", choices=("smoke", "quick", "full"),
+                        default="quick")
+    report.add_argument("--verbose", action="store_true")
+
+    sub.add_parser("fig6", help="render the five Λ outcomes (paper Fig. 6)")
+
+    probe = sub.add_parser(
+        "probe", help="show the malware's device-aware choice of D"
+    )
+    probe.add_argument("--device", help="device model (default: all 30)")
+    probe.add_argument("--android", help="Android version label")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "devices": _cmd_devices,
+        "attack": _cmd_attack,
+        "diagram": _cmd_diagram,
+        "report": _cmd_report,
+        "fig6": _cmd_fig6,
+        "probe": _cmd_probe,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Defense mechanisms of paper Section VII: the Binder-transaction (IPC)
+detector, the enhanced-notification hide delay, and toast spacing — plus
+benign overlay workloads for false-positive evaluation."""
+
+from .benign import BenignOverlayApp
+from .enhanced_notification import DEFAULT_HIDE_DELAY_MS, EnhancedNotificationDefense
+from .ipc_detector import Detection, DetectionRule, IpcDetector
+from .toast_spacing import DEFAULT_TOAST_GAP_MS, ToastSpacingDefense
+
+__all__ = [
+    "BenignOverlayApp",
+    "DEFAULT_HIDE_DELAY_MS",
+    "DEFAULT_TOAST_GAP_MS",
+    "Detection",
+    "DetectionRule",
+    "EnhancedNotificationDefense",
+    "IpcDetector",
+    "ToastSpacingDefense",
+]

@@ -1,0 +1,77 @@
+"""Benign overlay workloads for false-positive evaluation.
+
+Overlay apps are common and legitimate ("Google Maps uses the overlay for
+navigation", paper Section III-A): they add a floating widget, keep it up
+for a long time, and remove it when done. The IPC defense must not flag
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..apps.app import App
+from ..stack import AndroidStack
+from ..windows.geometry import Rect
+from ..windows.permissions import Permission
+from ..windows.types import WindowType
+from ..windows.window import Window
+
+
+class BenignOverlayApp(App):
+    """A floating-widget app: long-lived overlays, slow add/remove cadence."""
+
+    def __init__(
+        self,
+        stack: AndroidStack,
+        package: str = "com.music.player",
+        dwell_ms: float = 45_000.0,
+        pause_ms: float = 15_000.0,
+        jitter_fraction: float = 0.2,
+    ) -> None:
+        super().__init__(stack, package, label="benign floating widget")
+        if dwell_ms <= 0 or pause_ms < 0:
+            raise ValueError("dwell must be positive and pause non-negative")
+        self.dwell_ms = dwell_ms
+        self.pause_ms = pause_ms
+        self.jitter_fraction = jitter_fraction
+        self._widget: Optional[Window] = None
+        self._running = False
+        self.cycles = 0
+
+    def start(self) -> None:
+        self.stack.permissions.require(self.package, Permission.SYSTEM_ALERT_WINDOW)
+        self._running = True
+        self._show_widget()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._widget is not None and self._widget.on_screen:
+            self.remove_view(self._widget)
+            self._widget = None
+
+    # ------------------------------------------------------------------
+    def _jittered(self, base: float) -> float:
+        spread = base * self.jitter_fraction
+        return self.rng.uniform(max(base - spread, 1.0), base + spread)
+
+    def _show_widget(self) -> None:
+        if not self._running:
+            return
+        self.cycles += 1
+        widget = Window(
+            owner=self.package,
+            window_type=WindowType.APPLICATION_OVERLAY,
+            rect=Rect(800, 1200, 1000, 1400),
+            label=f"{self.package}:float{self.cycles}",
+        )
+        self._widget = widget
+        self.add_view(widget)
+        self.schedule(self._jittered(self.dwell_ms), self._hide_widget, name="dwell")
+
+    def _hide_widget(self) -> None:
+        if self._widget is not None:
+            self.remove_view(self._widget)
+            self._widget = None
+        if self._running:
+            self.schedule(self._jittered(self.pause_ms), self._show_widget, name="pause")

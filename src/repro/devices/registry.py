@@ -1,0 +1,106 @@
+"""The 30 evaluation smartphones (paper Tables I and II).
+
+Android versions follow Table II where Tables I and II disagree (Table I
+lists the Pixel 2 XL and Pixel 4 under Android 9 while Table II measures
+them on Android 10; the Table II assignment is consistent with the measured
+bounds, so we use it and note the discrepancy in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .android_version import (
+    ANDROID_8,
+    ANDROID_9,
+    ANDROID_9_1,
+    ANDROID_10,
+    ANDROID_11,
+    AndroidVersion,
+)
+from .profiles import DeviceProfile, calibrated_profile
+
+# (manufacturer, model, version, Table II upper bound of D for Λ1 in ms)
+_TABLE_II_ROWS = [
+    ("Samsung", "s8", ANDROID_8, 60.0),
+    ("Samsung", "SMG9", ANDROID_9, 240.0),
+    ("Google", "nexus6p", ANDROID_8, 150.0),
+    ("Google", "pixel 2xl", ANDROID_10, 225.0),
+    ("Google", "pixel 4", ANDROID_10, 185.0),
+    ("Google", "pixel 2", ANDROID_11, 330.0),
+    ("Xiaomi", "mi5", ANDROID_8, 125.0),
+    ("Xiaomi", "mix 2s", ANDROID_9, 155.0),
+    ("Xiaomi", "mi8", ANDROID_9, 215.0),
+    ("Xiaomi", "mi6", ANDROID_9, 215.0),
+    ("Xiaomi", "Redmi", ANDROID_10, 395.0),
+    ("Xiaomi", "mi8", ANDROID_10, 300.0),
+    ("Xiaomi", "mix3", ANDROID_10, 220.0),
+    ("Xiaomi", "mi9", ANDROID_10, 210.0),
+    ("Xiaomi", "mi10", ANDROID_11, 290.0),
+    ("Huawei", "mate20", ANDROID_9, 200.0),
+    ("Huawei", "EML-AL00", ANDROID_9, 365.0),
+    ("Huawei", "PAR-AL00", ANDROID_9, 130.0),
+    ("Huawei", "nova3", ANDROID_9_1, 285.0),
+    ("Huawei", "mate20 x", ANDROID_10, 260.0),
+    ("Huawei", "ELS-AN00", ANDROID_10, 220.0),
+    ("Huawei", "ELE-AL00", ANDROID_10, 220.0),
+    ("Huawei", "OXF-AN00", ANDROID_10, 240.0),
+    ("Huawei", "HLK-AL00", ANDROID_10, 215.0),
+    ("Oppo", "PMEM00", ANDROID_9, 135.0),
+    ("Vivo", "x21iA", ANDROID_9, 85.0),
+    ("Vivo", "v1816A", ANDROID_9, 95.0),
+    ("Vivo", "v1813BA", ANDROID_9, 215.0),
+    ("Vivo", "v1813A", ANDROID_9, 85.0),
+    ("Vivo", "V1986A", ANDROID_10, 80.0),
+]
+
+
+def _build_devices() -> List[DeviceProfile]:
+    return [
+        calibrated_profile(manufacturer, model, version, bound)
+        for manufacturer, model, version, bound in _TABLE_II_ROWS
+    ]
+
+
+#: All 30 calibrated evaluation devices, in Table II order.
+DEVICES: List[DeviceProfile] = _build_devices()
+
+
+def device(model: str, version_label: Optional[str] = None) -> DeviceProfile:
+    """Look up a device by model name (and version label when ambiguous,
+    e.g. the Xiaomi mi8 exists on both Android 9 and Android 10)."""
+    matches = [d for d in DEVICES if d.model == model]
+    if version_label is not None:
+        matches = [d for d in matches if d.android_version.label == version_label]
+    if not matches:
+        raise KeyError(f"no device {model!r} (version={version_label!r})")
+    if len(matches) > 1:
+        labels = [d.android_version.label for d in matches]
+        raise KeyError(
+            f"device {model!r} is ambiguous across Android versions {labels}; "
+            "pass version_label"
+        )
+    return matches[0]
+
+
+def devices_by_version() -> Dict[str, List[DeviceProfile]]:
+    """Devices grouped by major Android version ('8', '9', '10', '11').
+
+    Android 9.1 is grouped with 9, matching the paper's Fig. 8 series
+    ("Android 9.x")."""
+    groups: Dict[str, List[DeviceProfile]] = {}
+    for profile in DEVICES:
+        groups.setdefault(str(profile.android_version.major), []).append(profile)
+    return groups
+
+
+def reference_device() -> DeviceProfile:
+    """The paper's demo device: Google Pixel 2 on Android 11."""
+    return device("pixel 2")
+
+
+def version_of(label: str) -> AndroidVersion:
+    for profile in DEVICES:
+        if profile.android_version.label == label:
+            return profile.android_version
+    raise KeyError(f"no evaluation device runs Android {label!r}")

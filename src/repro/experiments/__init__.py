@@ -1,0 +1,156 @@
+"""Reproduction harness: one module per paper table/figure plus shared
+scenario runners and scaling presets. See DESIGN.md for the experiment
+index and EXPERIMENTS.md for paper-vs-measured results."""
+
+from .animation_curves import Fig2Result, Fig4Result, run_fig2, run_fig4
+from .capture_rate import (
+    CaptureBoxStats,
+    Fig7Result,
+    Fig8Result,
+    run_fig7,
+    run_fig8,
+)
+from .config import (
+    FIG7_DURATIONS,
+    FIG7_PAPER_MEANS,
+    FULL,
+    QUICK,
+    SMOKE,
+    TABLE_III_PAPER,
+    ExperimentScale,
+)
+from .corpus_study import CorpusStudyResult, run_corpus_study
+from .equation_validation import (
+    EquationValidationResult,
+    EquationValidationRow,
+    run_equation_validation,
+)
+from .defense_tuning import (
+    DefenseTuningResult,
+    RuleOperatingPoint,
+    run_defense_tuning,
+)
+from .defense_eval import (
+    IpcDefenseResult,
+    NotificationDefenseResult,
+    ToastDefenseResult,
+    run_ipc_defense,
+    run_notification_defense,
+    run_toast_defense,
+)
+from .outcomes_vs_d import Fig6Result, run_fig6
+from .password_study import (
+    StealthinessResult,
+    Table3Result,
+    Table3Row,
+    run_stealthiness,
+    run_table3,
+)
+from .real_world_apps import Table4Result, Table4Row, run_table4
+from .runner import AllResults, format_report, run_all
+from .supplementary import (
+    Fig7WithCisResult,
+    Table3ByVersionResult,
+    run_fig7_with_cis,
+    run_table3_by_version,
+)
+from .scenarios import (
+    CaptureTrialResult,
+    PasswordTrialResult,
+    run_capture_trial,
+    run_notification_trial,
+    run_password_trial,
+)
+from .trigger_comparison import (
+    TriggerComparisonResult,
+    TriggerTrialResult,
+    run_trigger_comparison,
+)
+from .toast_continuity import (
+    ToastContinuityResult,
+    compare_toast_durations,
+    run_toast_continuity,
+)
+from .whatif import (
+    AnaRemovalResult,
+    AnaRemovalRow,
+    MinimalDelayResult,
+    find_minimal_hide_delay,
+    run_ana_removal_whatif,
+)
+from .upper_bound import (
+    LoadImpactResult,
+    Table2Result,
+    run_load_impact,
+    run_table2,
+)
+
+__all__ = [
+    "AllResults",
+    "AnaRemovalResult",
+    "AnaRemovalRow",
+    "CaptureBoxStats",
+    "CaptureTrialResult",
+    "CorpusStudyResult",
+    "DefenseTuningResult",
+    "EquationValidationResult",
+    "EquationValidationRow",
+    "ExperimentScale",
+    "RuleOperatingPoint",
+    "FIG7_DURATIONS",
+    "FIG7_PAPER_MEANS",
+    "FULL",
+    "Fig2Result",
+    "Fig4Result",
+    "Fig6Result",
+    "Fig7Result",
+    "Fig7WithCisResult",
+    "Fig8Result",
+    "Table3ByVersionResult",
+    "IpcDefenseResult",
+    "LoadImpactResult",
+    "MinimalDelayResult",
+    "NotificationDefenseResult",
+    "PasswordTrialResult",
+    "QUICK",
+    "SMOKE",
+    "StealthinessResult",
+    "TABLE_III_PAPER",
+    "Table2Result",
+    "Table3Result",
+    "Table3Row",
+    "Table4Result",
+    "Table4Row",
+    "ToastContinuityResult",
+    "ToastDefenseResult",
+    "TriggerComparisonResult",
+    "TriggerTrialResult",
+    "compare_toast_durations",
+    "find_minimal_hide_delay",
+    "format_report",
+    "run_all",
+    "run_ana_removal_whatif",
+    "run_capture_trial",
+    "run_corpus_study",
+    "run_defense_tuning",
+    "run_equation_validation",
+    "run_fig2",
+    "run_fig4",
+    "run_fig6",
+    "run_fig7",
+    "run_fig7_with_cis",
+    "run_fig8",
+    "run_table3_by_version",
+    "run_ipc_defense",
+    "run_load_impact",
+    "run_notification_defense",
+    "run_notification_trial",
+    "run_password_trial",
+    "run_stealthiness",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_toast_continuity",
+    "run_toast_defense",
+    "run_trigger_comparison",
+]

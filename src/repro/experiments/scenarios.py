@@ -1,0 +1,340 @@
+"""Reusable end-to-end scenario runners.
+
+Three building blocks power most experiments:
+
+* :func:`run_notification_trial` — run the bare draw-and-destroy overlay
+  attack on one device for a while and report the worst notification
+  outcome (Fig. 6 / Table II);
+* :func:`run_capture_trial` — one participant types random characters on
+  the testing app while the overlay attack runs; reports the committed
+  touch-capture rate (Fig. 7 / Fig. 8);
+* :func:`run_password_trial` — the full password-stealing attack against a
+  victim app, including trigger, fake keyboard, inference and perception
+  (Table III / Table IV / stealthiness study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..apps.catalog import VictimAppSpec, bank_of_america
+from ..apps.ime import RealKeyboard
+from ..apps.accessibility import AccessibilityBus
+from ..apps.keyboard import (
+    KEY_ENTER,
+    KeyboardSpec,
+    KeyPress,
+    default_keyboard_rect,
+    plan_key_sequence,
+)
+from ..apps.victim import VictimApp
+from ..attacks.overlay_attack import DrawAndDestroyOverlayAttack, OverlayAttackConfig
+from ..attacks.password_stealing import (
+    PasswordAttackResult,
+    PasswordErrorType,
+    PasswordStealingAttack,
+    PasswordStealingConfig,
+    classify_password_attempt,
+)
+from ..devices.profiles import DeviceProfile
+from ..sim.rng import SeededRng
+from ..stack import AndroidStack, build_stack
+from ..systemui.outcomes import NotificationOutcome
+from ..systemui.system_ui import AlertMode
+from ..users.participant import Participant
+from ..users.passwords import PasswordGenerator
+from ..users.typist import Typist
+from ..windows.permissions import Permission
+from ..windows.touch import TapOutcome
+
+#: Settling time appended after the last user action (ms).
+_SETTLE_MS = 400.0
+
+
+def _drive_until(stack: AndroidStack, predicate, step_ms: float = 500.0,
+                 max_ms: float = 600_000.0) -> None:
+    """Advance the simulation until ``predicate()`` or the horizon."""
+    deadline = stack.now + max_ms
+    while not predicate() and stack.now < deadline:
+        stack.run_for(step_ms)
+    if not predicate():
+        raise RuntimeError("scenario did not converge before the horizon")
+
+
+# ---------------------------------------------------------------------------
+# Notification outcome trials (Fig. 6, Table II)
+# ---------------------------------------------------------------------------
+
+def run_notification_trial(
+    profile: DeviceProfile,
+    attacking_window_ms: float,
+    seed: int,
+    duration_ms: float = 3000.0,
+    alert_mode: AlertMode = AlertMode.ANALYTIC,
+) -> NotificationOutcome:
+    """Run the overlay attack alone and classify the alert's worst outcome."""
+    stack = build_stack(
+        seed=seed, profile=profile, alert_mode=alert_mode, trace_enabled=False
+    )
+    attack = DrawAndDestroyOverlayAttack(
+        stack, OverlayAttackConfig(attacking_window_ms=attacking_window_ms)
+    )
+    stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+    attack.start()
+    stack.run_for(duration_ms)
+    worst_during = stack.system_ui.worst_outcome()
+    attack.stop()
+    stack.run_for(_SETTLE_MS)
+    worst_after = stack.system_ui.worst_outcome()
+    return max(worst_during, worst_after)
+
+
+# ---------------------------------------------------------------------------
+# Touch-capture trials (Fig. 7, Fig. 8)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CaptureTrialResult:
+    """One participant-string capture measurement."""
+
+    total_taps: int
+    committed_to_overlay: int
+    down_seen_by_overlay: int
+    cancelled: int
+
+    @property
+    def capture_rate(self) -> float:
+        """Committed capture rate — what the paper's testing app counts."""
+        if self.total_taps == 0:
+            return 0.0
+        return self.committed_to_overlay / self.total_taps
+
+    @property
+    def down_capture_rate(self) -> float:
+        """Coordinates seen at ACTION_DOWN — what the password thief gets."""
+        if self.total_taps == 0:
+            return 0.0
+        return self.down_seen_by_overlay / self.total_taps
+
+
+def run_capture_trial(
+    participant: Participant,
+    attacking_window_ms: float,
+    seed: int,
+    n_chars: int = 10,
+) -> CaptureTrialResult:
+    """One random string typed into the testing app under attack."""
+    stack = build_stack(
+        seed=seed,
+        profile=participant.device,
+        alert_mode=AlertMode.ANALYTIC,
+        trace_enabled=False,
+    )
+    spec = KeyboardSpec(
+        default_keyboard_rect(
+            participant.device.screen_width_px, participant.device.screen_height_px
+        )
+    )
+    attack = DrawAndDestroyOverlayAttack(
+        stack, OverlayAttackConfig(attacking_window_ms=attacking_window_ms)
+    )
+    stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+    typist = Typist(stack, spec, participant.typing, participant.touch)
+    generator = PasswordGenerator(SeededRng(seed, "capture-text"), spec)
+    text = generator.generate_letters(n_chars)
+
+    attack.start()
+    stack.run_for(50.0)  # let the first overlay come up
+    session = typist.type_text(text)
+    _drive_until(stack, lambda: session.complete)
+    attack.stop()
+    stack.run_for(_SETTLE_MS)
+
+    committed = sum(
+        1
+        for executed in session.taps
+        if executed.tap.outcome is TapOutcome.DELIVERED
+        and executed.tap.target_owner == attack.package
+    )
+    down_seen = sum(
+        1
+        for executed in session.taps
+        if executed.tap.target_owner == attack.package
+    )
+    cancelled = sum(
+        1
+        for executed in session.taps
+        if executed.tap.outcome is TapOutcome.CANCELLED_WINDOW_REMOVED
+    )
+    return CaptureTrialResult(
+        total_taps=len(session.taps),
+        committed_to_overlay=committed,
+        down_seen_by_overlay=down_seen,
+        cancelled=cancelled,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Password-stealing trials (Table III, Table IV, stealthiness)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PasswordTrialResult:
+    """One end-to-end password theft attempt."""
+
+    truth: str
+    derived: str
+    error_type: PasswordErrorType
+    trigger_path: str
+    attacking_window_ms: float
+    keyboard_switches: int
+    alert_noticed: bool
+    flicker_noticed: bool
+    lag_reported: bool
+    attack_result: PasswordAttackResult
+
+    @property
+    def success(self) -> bool:
+        return self.error_type is PasswordErrorType.SUCCESS
+
+    @property
+    def noticed_anything(self) -> bool:
+        return self.alert_noticed or self.flicker_noticed
+
+
+@dataclass(frozen=True)
+class ControlTrialResult:
+    """One no-malware session: the study's control arm."""
+
+    truth: str
+    typed_into_widget: str
+    alert_noticed: bool
+    flicker_noticed: bool
+    lag_reported: bool
+
+    @property
+    def typed_correctly(self) -> bool:
+        return self.typed_into_widget == self.truth
+
+    @property
+    def noticed_anything(self) -> bool:
+        return self.alert_noticed or self.flicker_noticed
+
+
+def run_control_trial(
+    participant: Participant,
+    password: str,
+    seed: int,
+    victim_spec: Optional[VictimAppSpec] = None,
+) -> ControlTrialResult:
+    """The stealthiness study's control arm: same victim app, same typing,
+    no malware installed. The password reaches the real keyboard and the
+    real widget; there is no alert and no toast to notice."""
+    victim_spec = victim_spec or bank_of_america()
+    stack = build_stack(
+        seed=seed,
+        profile=participant.device,
+        alert_mode=AlertMode.ANALYTIC,
+        trace_enabled=False,
+    )
+    bus = AccessibilityBus(stack.simulation)
+    spec = KeyboardSpec(
+        default_keyboard_rect(
+            participant.device.screen_width_px, participant.device.screen_height_px
+        )
+    )
+    ime = RealKeyboard(stack, spec)
+    victim = VictimApp(stack, bus, victim_spec, ime)
+    victim.open_login()
+    stack.run_for(100.0)
+    victim.focus_password()
+    stack.run_for(120.0)
+    typist = Typist(stack, spec, participant.typing, participant.touch)
+    session = typist.type_text(password, initial_delay_ms=150.0)
+    _drive_until(stack, lambda: session.complete)
+    stack.run_for(_SETTLE_MS)
+    perception = participant.perception
+    return ControlTrialResult(
+        truth=password,
+        typed_into_widget=victim.password_widget.text,
+        alert_noticed=perception.notices_alert(stack.system_ui),
+        flicker_noticed=False,  # no toasts exist to flicker
+        lag_reported=False,     # nothing adds latency in the control arm
+    )
+
+
+def run_password_trial(
+    participant: Participant,
+    password: str,
+    seed: int,
+    victim_spec: Optional[VictimAppSpec] = None,
+    attack_config: Optional[PasswordStealingConfig] = None,
+    type_username_first: bool = True,
+    username: str = "victimuser",
+) -> PasswordTrialResult:
+    """Full attack run: login, trigger, fake keyboard, theft, perception."""
+    victim_spec = victim_spec or bank_of_america()
+    stack = build_stack(
+        seed=seed,
+        profile=participant.device,
+        alert_mode=AlertMode.ANALYTIC,
+        trace_enabled=False,
+    )
+    bus = AccessibilityBus(stack.simulation)
+    spec = KeyboardSpec(
+        default_keyboard_rect(
+            participant.device.screen_width_px, participant.device.screen_height_px
+        )
+    )
+    ime = RealKeyboard(stack, spec)
+    victim = VictimApp(stack, bus, victim_spec, ime)
+    malware = PasswordStealingAttack(
+        stack, bus, victim, spec, config=attack_config
+    )
+    stack.permissions.grant(malware.package, Permission.SYSTEM_ALERT_WINDOW)
+    malware.arm()
+
+    victim.open_login()
+    stack.run_for(100.0)
+    typist = Typist(stack, spec, participant.typing, participant.touch)
+
+    if type_username_first:
+        victim.focus_username()
+        stack.run_for(50.0)
+        username_session = typist.type_text(username)
+        _drive_until(stack, lambda: username_session.complete)
+
+    # The user taps into the password field; the focus change (or, for
+    # hardened apps, the username widget's content-changed event) triggers
+    # the malware.
+    victim.focus_password()
+    stack.run_for(120.0)  # accessibility dispatch + attack launch + overlays
+
+    presses: List[KeyPress] = plan_key_sequence(spec, password)
+    final_layout = presses[-1].layout if presses else "lower"
+    import_layout = KeyboardSpec.layout_after_key(final_layout, presses[-1].key) if presses else "lower"
+    presses = presses + [KeyPress(layout=import_layout, key=KEY_ENTER)]
+    session = typist.type_presses(password, presses, initial_delay_ms=150.0)
+    _drive_until(stack, lambda: session.complete)
+    stack.run_for(_SETTLE_MS)
+    result = malware.finish()
+    stack.run_for(_SETTLE_MS)
+
+    error_type = classify_password_attempt(password, result.derived_password)
+    perception = participant.perception
+    perception_rng = SeededRng(seed, "perception")
+    return PasswordTrialResult(
+        truth=password,
+        derived=result.derived_password,
+        error_type=error_type,
+        trigger_path=result.trigger_path,
+        attacking_window_ms=malware.attacking_window_ms,
+        keyboard_switches=result.keyboard_switches,
+        alert_noticed=perception.notices_alert(stack.system_ui),
+        flicker_noticed=perception.notices_flicker(
+            malware.toast_attack.switches(), background_identical=True
+        ),
+        lag_reported=perception.reports_lag(perception_rng),
+        attack_result=result,
+    )

@@ -1,0 +1,175 @@
+"""What-if study: forecasting the impact of candidate platform patches.
+
+The calibrated model supports counterfactuals the paper's discussion
+invites but cannot run on real phones:
+
+* **Remove the ANA dispatch delay** — Android 10/11's intentional 100/200
+  ms notification delay directly funds the attacker's window; without it
+  their Table II advantage collapses to Android 8/9 levels.
+* **Shrink the hide debounce to the enhanced-notification defense** — the
+  t = 690 ms delay is the full fix; this study quantifies the *minimum*
+  delay that still defeats the attack on a device (it must cover the
+  remaining slide-in time after the attacker's best D).
+
+Each what-if re-runs the empirical boundary search on patched profiles, so
+the numbers come from the same machinery as Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..binder.latency import LatencySpec
+from ..devices.profiles import DeviceProfile
+from ..devices.registry import DEVICES, device
+from ..systemui.outcomes import NotificationOutcome
+from .config import ExperimentScale, QUICK
+from .defense_eval import _attack_outcome
+from .upper_bound import _make_finder
+
+
+def _without_ana(profile: DeviceProfile) -> DeviceProfile:
+    nominal = profile.android_version.nominal_ana_delay_ms
+    if nominal <= 0:
+        return profile
+    new_mean = max(1.0, profile.tn.mean_ms - nominal)
+    return replace(
+        profile,
+        tn=LatencySpec(mean_ms=new_mean, std_ms=profile.tn.std_ms,
+                       min_ms=min(profile.tn.min_ms, new_mean)),
+    )
+
+
+@dataclass(frozen=True)
+class AnaRemovalRow:
+    device_key: str
+    version: str
+    bound_with_ana_ms: float
+    bound_without_ana_ms: float
+
+    @property
+    def attacker_loses_ms(self) -> float:
+        return self.bound_with_ana_ms - self.bound_without_ana_ms
+
+
+@dataclass(frozen=True)
+class AnaRemovalResult:
+    rows: Tuple[AnaRemovalRow, ...]
+
+    @property
+    def mean_loss_ms(self) -> float:
+        affected = [r for r in self.rows if r.attacker_loses_ms > 1.0]
+        if not affected:
+            return 0.0
+        return sum(r.attacker_loses_ms for r in affected) / len(affected)
+
+    @property
+    def all_android10_devices_tightened(self) -> bool:
+        return all(
+            row.attacker_loses_ms > 30.0
+            for row in self.rows
+            if row.version in ("10", "11")
+        )
+
+
+def run_ana_removal_whatif(
+    scale: ExperimentScale = QUICK,
+    profiles: Optional[Sequence[DeviceProfile]] = None,
+) -> AnaRemovalResult:
+    """Boundary search on Android 10/11 devices with and without ANA."""
+    if profiles is None:
+        profiles = [
+            p for p in DEVICES if p.android_version.nominal_ana_delay_ms > 0
+        ]
+    finder = _make_finder(scale)
+    rows: List[AnaRemovalRow] = []
+    for profile in profiles:
+        with_ana = finder.find(profile).measured_upper_bound_d
+        without = finder.find(_without_ana(profile)).measured_upper_bound_d
+        rows.append(
+            AnaRemovalRow(
+                device_key=profile.key,
+                version=profile.android_version.label,
+                bound_with_ana_ms=with_ana,
+                bound_without_ana_ms=without,
+            )
+        )
+    return AnaRemovalResult(rows=tuple(rows))
+
+
+@dataclass(frozen=True)
+class MinimalDelayResult:
+    """Smallest hide-debounce that defeats an *adaptive* attacker.
+
+    The defense drops the hide whenever the same app re-adds an overlay
+    within the debounce ``t``. In a draw-and-destroy cycle the replacement
+    overlay lands only ``Tmis`` (a few ms) after the removal, so *any*
+    ``t > Tmis`` keeps the alert alive at every attacking window — the
+    minimal effective delay is the device's mistouch gap plus jitter, two
+    orders of magnitude below the paper's conservative fleet-wide 690 ms.
+    Delays at or below ``Tmis`` deliver the hide before the replacement
+    appears and change nothing.
+    """
+
+    device_key: str
+    device_bound_ms: float
+    device_mean_tmis_ms: float
+    minimal_effective_delay_ms: float
+    #: (delay, attacker's best D that still suppressed, or None)
+    probed: Tuple[Tuple[float, Optional[float]], ...]
+
+    @property
+    def matches_tmis_theory(self) -> bool:
+        """Minimal delay sits just above the device's mistouch gap."""
+        if self.minimal_effective_delay_ms == float("inf"):
+            return False
+        return (
+            self.device_mean_tmis_ms * 0.5
+            <= self.minimal_effective_delay_ms
+            <= self.device_mean_tmis_ms + 15.0
+        )
+
+
+def find_minimal_hide_delay(
+    scale: ExperimentScale = QUICK,
+    model: str = "pixel 2",
+    version_label: Optional[str] = None,
+    delays: Sequence[float] = (1.0, 3.0, 6.0, 12.0, 25.0, 60.0, 690.0),
+    attack_ms: float = 4000.0,
+    d_grid_steps: int = 6,
+) -> MinimalDelayResult:
+    """Probe increasing hide delays against an attacker that adapts D.
+
+    A delay is effective only if *no* attacking window in the grid keeps
+    the alert at Λ1.
+    """
+    profile = device(model, version_label)
+    bound = profile.published_upper_bound_d
+    d_grid = [
+        max(20.0, bound * (index + 1) / (d_grid_steps + 1))
+        for index in range(d_grid_steps)
+    ]
+    probed: List[Tuple[float, Optional[float]]] = []
+    minimal: Optional[float] = None
+    for delay in delays:
+        winning_d: Optional[float] = None
+        for d in d_grid:
+            outcome, _ = _attack_outcome(
+                profile, d, scale.seed, attack_ms, hide_delay_ms=delay
+            )
+            if outcome is NotificationOutcome.LAMBDA1:
+                winning_d = d
+                break
+        probed.append((delay, winning_d))
+        if winning_d is None and minimal is None:
+            minimal = delay
+    if minimal is None:
+        minimal = float("inf")
+    return MinimalDelayResult(
+        device_key=profile.key,
+        device_bound_ms=bound,
+        device_mean_tmis_ms=profile.mean_tmis_ms,
+        minimal_effective_delay_ms=minimal,
+        probed=tuple(probed),
+    )

@@ -1,0 +1,39 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is intentionally small: a millisecond-resolution clock, a heap
+scheduler with O(1) cancellation, seeded random sub-streams, a structured
+trace log, a process base class, and the :class:`Simulation` container that
+ties them together.
+"""
+
+from .clock import Clock
+from .errors import (
+    ClockError,
+    EventCancelledError,
+    ProcessError,
+    SchedulingError,
+    SimulationError,
+)
+from .event import Event, EventHandle
+from .process import SimProcess
+from .rng import SeededRng
+from .scheduler import EventScheduler
+from .simulation import Simulation
+from .tracing import TraceLog, TraceRecord
+
+__all__ = [
+    "Clock",
+    "ClockError",
+    "Event",
+    "EventCancelledError",
+    "EventHandle",
+    "EventScheduler",
+    "ProcessError",
+    "SchedulingError",
+    "SeededRng",
+    "SimProcess",
+    "Simulation",
+    "SimulationError",
+    "TraceLog",
+    "TraceRecord",
+]

@@ -1,0 +1,46 @@
+"""Simulated clock.
+
+All kernel time is measured in **milliseconds** as a ``float``. Milliseconds
+are the natural unit for this reproduction: every latency the paper reports
+(animation durations, IPC latencies, attacking windows ``D``) is given in
+milliseconds.
+"""
+
+from __future__ import annotations
+
+from .errors import ClockError
+
+
+class Clock:
+    """A monotonically non-decreasing simulated clock.
+
+    The clock is advanced only by the event scheduler; simulation code reads
+    it through :attr:`now`.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ClockError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    def advance_to(self, time_ms: float) -> None:
+        """Move the clock forward to ``time_ms``.
+
+        Raises:
+            ClockError: if ``time_ms`` is earlier than the current time.
+        """
+        if time_ms < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now} to {time_ms}"
+            )
+        self._now = float(time_ms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Clock(now={self._now:.3f}ms)"

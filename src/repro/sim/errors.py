@@ -1,0 +1,27 @@
+"""Exception hierarchy for the simulation kernel.
+
+Every error raised by :mod:`repro.sim` derives from :class:`SimulationError`
+so callers can catch kernel problems without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled at an invalid time (e.g., in the past)."""
+
+
+class EventCancelledError(SimulationError):
+    """An operation was attempted on an already-cancelled event."""
+
+
+class ProcessError(SimulationError):
+    """A simulated process was misused (e.g., registered twice)."""
+
+
+class ClockError(SimulationError):
+    """The simulated clock was asked to move backwards."""

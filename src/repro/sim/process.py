@@ -1,0 +1,58 @@
+"""Base class for simulated OS processes and services."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .event import Callback, EventHandle
+from .rng import SeededRng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .simulation import Simulation
+
+
+class SimProcess:
+    """A named participant in the simulation.
+
+    Each Android entity in the reproduction — System Server, System UI, the
+    malicious app's main and worker threads, the simulated user — is a
+    ``SimProcess``. The base class provides clock access, scheduling and a
+    private random stream, mirroring how each real process has its own
+    execution context.
+    """
+
+    def __init__(self, simulation: "Simulation", name: str) -> None:
+        self._simulation = simulation
+        self._name = name
+        self._rng = simulation.rng.child(name)
+        simulation.register_process(self)
+
+    @property
+    def simulation(self) -> "Simulation":
+        return self._simulation
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def now(self) -> float:
+        return self._simulation.now
+
+    @property
+    def rng(self) -> SeededRng:
+        return self._rng
+
+    def schedule(self, delay_ms: float, callback: Callback, name: str = "") -> EventHandle:
+        """Schedule a callback relative to now, tagged with this process."""
+        label = name or callback.__name__
+        return self._simulation.scheduler.schedule_after(
+            delay_ms, callback, f"{self._name}:{label}"
+        )
+
+    def trace(self, kind: str, **detail) -> None:
+        """Record a trace event attributed to this process."""
+        self._simulation.trace.record(self.now, self._name, kind, **detail)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self._name!r})"

@@ -1,0 +1,119 @@
+"""Deterministic event scheduler built on a binary heap."""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from .clock import Clock
+from .errors import SchedulingError
+from .event import Callback, Event, EventHandle
+
+
+class EventScheduler:
+    """Priority-queue scheduler driving a :class:`~repro.sim.clock.Clock`.
+
+    The scheduler pops events in ``(time, insertion order)`` order, advances
+    the clock to each event's timestamp and invokes its callback. Cancelled
+    events are skipped lazily, which makes cancellation O(1).
+    """
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._dispatched = 0
+
+    @property
+    def now(self) -> float:
+        return self._clock.now
+
+    @property
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events still in the queue."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def dispatched_count(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._dispatched
+
+    def schedule_at(self, time_ms: float, callback: Callback, name: str = "") -> EventHandle:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time_ms < self._clock.now:
+            raise SchedulingError(
+                f"cannot schedule {name!r} at {time_ms} (now={self._clock.now})"
+            )
+        event = Event(float(time_ms), self._seq, callback, name)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_after(self, delay_ms: float, callback: Callback, name: str = "") -> EventHandle:
+        """Schedule ``callback`` after a relative delay from now."""
+        if delay_ms < 0:
+            raise SchedulingError(f"negative delay {delay_ms} for {name!r}")
+        return self.schedule_at(self._clock.now + delay_ms, callback, name)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or ``None`` if drained."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def step(self) -> bool:
+        """Dispatch the next pending event.
+
+        Returns:
+            ``True`` if an event was dispatched, ``False`` if the queue was
+            empty.
+        """
+        self._drop_cancelled_head()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self._clock.advance_to(event.time)
+        self._dispatched += 1
+        event.callback()
+        return True
+
+    def run_until(self, time_ms: float) -> int:
+        """Dispatch every event with timestamp ``<= time_ms``.
+
+        The clock finishes exactly at ``time_ms`` even when the queue drains
+        earlier, so post-run measurements line up with the requested horizon.
+
+        Returns:
+            Number of events dispatched.
+        """
+        dispatched = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > time_ms:
+                break
+            self.step()
+            dispatched += 1
+        if time_ms > self._clock.now:
+            self._clock.advance_to(time_ms)
+        return dispatched
+
+    def run_to_completion(self, max_events: int = 10_000_000) -> int:
+        """Dispatch until no events remain.
+
+        Args:
+            max_events: safety bound against runaway self-rescheduling loops.
+        """
+        dispatched = 0
+        while self.step():
+            dispatched += 1
+            if dispatched >= max_events:
+                raise SchedulingError(
+                    f"run_to_completion exceeded {max_events} events; "
+                    "likely an unbounded rescheduling loop"
+                )
+        return dispatched
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,100 @@
+"""Top-level simulation container.
+
+A :class:`Simulation` owns the clock, scheduler, trace log and root random
+stream, and keeps a registry of the processes participating in a run. All
+higher layers (Binder, window manager, attacks, ...) are built against this
+object, never against module-level globals, so multiple independent
+simulations can coexist in one Python process — a property both the tests
+and the parameter-sweep benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .clock import Clock
+from .errors import ProcessError
+from .event import Callback, EventHandle
+from .rng import SeededRng
+from .scheduler import EventScheduler
+from .tracing import TraceLog
+
+
+class Simulation:
+    """A single deterministic simulation run."""
+
+    def __init__(self, seed: int = 0, trace_enabled: bool = True) -> None:
+        self._clock = Clock()
+        self._scheduler = EventScheduler(self._clock)
+        self._rng = SeededRng(seed)
+        self._trace = TraceLog(enabled=trace_enabled)
+        self._processes: Dict[str, "object"] = {}
+
+    # ------------------------------------------------------------------
+    # Core accessors
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._clock.now
+
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    @property
+    def scheduler(self) -> EventScheduler:
+        return self._scheduler
+
+    @property
+    def rng(self) -> SeededRng:
+        return self._rng
+
+    @property
+    def trace(self) -> TraceLog:
+        return self._trace
+
+    # ------------------------------------------------------------------
+    # Process registry
+    # ------------------------------------------------------------------
+    def register_process(self, process) -> None:
+        name = getattr(process, "name", None)
+        if not name:
+            raise ProcessError(f"process {process!r} has no name")
+        if name in self._processes:
+            raise ProcessError(f"duplicate process name {name!r}")
+        self._processes[name] = process
+
+    def process(self, name: str) -> Optional[object]:
+        return self._processes.get(name)
+
+    @property
+    def process_names(self):
+        return list(self._processes)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def schedule_at(self, time_ms: float, callback: Callback, name: str = "") -> EventHandle:
+        return self._scheduler.schedule_at(time_ms, callback, name)
+
+    def schedule_after(self, delay_ms: float, callback: Callback, name: str = "") -> EventHandle:
+        return self._scheduler.schedule_after(delay_ms, callback, name)
+
+    def run_until(self, time_ms: float) -> int:
+        """Run the simulation up to (and including) ``time_ms``."""
+        return self._scheduler.run_until(time_ms)
+
+    def run_for(self, duration_ms: float) -> int:
+        """Run the simulation for a further ``duration_ms``."""
+        return self._scheduler.run_until(self._clock.now + duration_ms)
+
+    def run_to_completion(self, max_events: int = 10_000_000) -> int:
+        return self._scheduler.run_to_completion(max_events=max_events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Simulation(now={self.now:.3f}ms, "
+            f"processes={len(self._processes)}, "
+            f"pending={self._scheduler.pending_count})"
+        )

@@ -1,0 +1,100 @@
+"""Structured trace log for simulation runs.
+
+The trace serves three consumers:
+
+* tests, which assert on the exact sequence of kernel-level happenings;
+* the IPC-based defense (Section VII-A of the paper), which inspects the
+  Binder transaction portion of the trace; and
+* debugging, via :meth:`TraceLog.format`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped happening inside the simulation."""
+
+    time: float
+    source: str
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def matches(self, kind: Optional[str] = None, source: Optional[str] = None) -> bool:
+        if kind is not None and self.kind != kind:
+            return False
+        if source is not None and self.source != source:
+            return False
+        return True
+
+
+class TraceLog:
+    """Append-only event trace with filtering helpers."""
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self._records: List[TraceRecord] = []
+        self._enabled = enabled
+        self._capacity = capacity
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def disable(self) -> None:
+        """Stop recording (subscribers still fire); used by large benches."""
+        self._enabled = False
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Register a live consumer (e.g., the IPC defense monitor)."""
+        self._subscribers.append(callback)
+
+    def record(self, time: float, source: str, kind: str, **detail: Any) -> None:
+        rec = TraceRecord(time=time, source=source, kind=kind, detail=detail)
+        if self._enabled:
+            self._records.append(rec)
+            if self._capacity is not None and len(self._records) > self._capacity:
+                del self._records[: len(self._records) - self._capacity]
+        for callback in self._subscribers:
+            callback(rec)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def filter(
+        self, kind: Optional[str] = None, source: Optional[str] = None
+    ) -> List[TraceRecord]:
+        return [r for r in self._records if r.matches(kind=kind, source=source)]
+
+    def kinds(self) -> List[str]:
+        """Ordered unique record kinds, for quick trace inspection."""
+        seen: Dict[str, None] = {}
+        for rec in self._records:
+            seen.setdefault(rec.kind, None)
+        return list(seen)
+
+    def last(self, kind: Optional[str] = None) -> Optional[TraceRecord]:
+        for rec in reversed(self._records):
+            if rec.matches(kind=kind):
+                return rec
+        return None
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def format(self, limit: int = 50) -> str:
+        """Human-readable tail of the trace (most recent ``limit`` records)."""
+        lines = []
+        for rec in self._records[-limit:]:
+            detail = " ".join(f"{k}={v}" for k, v in rec.detail.items())
+            lines.append(f"[{rec.time:10.3f}ms] {rec.source:>24s} {rec.kind:<28s} {detail}")
+        return "\n".join(lines)

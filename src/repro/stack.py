@@ -1,0 +1,94 @@
+"""AndroidStack: one fully-wired simulated Android system.
+
+Construction order mirrors boot: Binder first, then System Server (window
+manager + permissions + screen), System UI, the Notification Manager
+Service, and finally the input pipeline. Apps are created against a stack
+(:mod:`repro.apps`), and the attacks and defenses plug into the stack's
+extension points (``overlay_alert_policy``, Binder observers,
+``inter_toast_gap_ms``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .binder.router import BinderRouter
+from .devices.profiles import DeviceProfile
+from .devices.registry import reference_device
+from .sim.simulation import Simulation
+from .systemui.system_ui import AlertMode, SystemUi
+from .toast.notification_manager import NotificationManagerService
+from .windows.permissions import PermissionManager
+from .windows.screen import Screen
+from .windows.system_server import SystemServer
+from .windows.touch import TouchDispatcher
+
+
+@dataclass
+class AndroidStack:
+    """Handles to every subsystem of one simulated device."""
+
+    simulation: Simulation
+    profile: DeviceProfile
+    router: BinderRouter
+    screen: Screen
+    permissions: PermissionManager
+    system_server: SystemServer
+    system_ui: SystemUi
+    notification_manager: NotificationManagerService
+    touch: TouchDispatcher
+
+    @property
+    def now(self) -> float:
+        return self.simulation.now
+
+    def run_for(self, duration_ms: float) -> int:
+        return self.simulation.run_for(duration_ms)
+
+    def run_until(self, time_ms: float) -> int:
+        return self.simulation.run_until(time_ms)
+
+
+def build_stack(
+    seed: int = 0,
+    profile: Optional[DeviceProfile] = None,
+    alert_mode: AlertMode = AlertMode.FRAME,
+    trace_enabled: bool = True,
+    simulation: Optional[Simulation] = None,
+) -> AndroidStack:
+    """Boot one simulated Android device.
+
+    Args:
+        seed: root seed for every random stream in the run.
+        profile: device timing profile; defaults to the paper's demo device
+            (Google Pixel 2, Android 11).
+        alert_mode: frame-driven or analytic alert animation evaluation.
+        trace_enabled: disable for large sweeps to save memory.
+        simulation: attach to an existing simulation instead of creating
+            one (lets tests drive multiple stacks on one clock).
+    """
+    if profile is None:
+        profile = reference_device()
+    sim = simulation or Simulation(seed=seed, trace_enabled=trace_enabled)
+    router = BinderRouter(sim)
+    screen = Screen(profile.screen_width_px, profile.screen_height_px)
+    permissions = PermissionManager()
+    system_server = SystemServer(sim, router, screen, permissions, profile)
+    system_ui = SystemUi(sim, router, profile, mode=alert_mode)
+    notification_manager = NotificationManagerService(sim, router, system_server, profile)
+    touch = TouchDispatcher(
+        sim, screen,
+        gesture_teardown_ms=profile.android_version.gesture_teardown_ms,
+    )
+    return AndroidStack(
+        simulation=sim,
+        profile=profile,
+        router=router,
+        screen=screen,
+        permissions=permissions,
+        system_server=system_server,
+        system_ui=system_ui,
+        notification_manager=notification_manager,
+        touch=touch,
+    )

@@ -1,0 +1,55 @@
+"""Static-analysis substrate: synthetic AndroZoo-like corpus, aapt-style
+manifest analyzer, FlowDroid-style reachability analyzer, and the
+prevalence study of paper Section VI-C2."""
+
+from .aapt import AaptAnalyzer, AaptParseError, ManifestFeatures
+from .corpus import (
+    CorpusRates,
+    ExpectedCounts,
+    PAPER_ADDREMOVE_AND_SAW,
+    PAPER_CORPUS_SIZE,
+    PAPER_CUSTOM_TOAST,
+    PAPER_SAW_AND_ACCESSIBILITY,
+    SyntheticCorpus,
+)
+from .flowdroid import CodeFeatures, FlowDroidAnalyzer
+from .manifest import (
+    API_ADD_VIEW,
+    API_REMOVE_VIEW,
+    API_TOAST_SET_VIEW,
+    API_TOAST_SHOW,
+    AppManifest,
+    AppRecord,
+    DexSummary,
+    PERM_BIND_ACCESSIBILITY,
+    PERM_INTERNET,
+    PERM_SYSTEM_ALERT_WINDOW,
+)
+from .report import PrevalenceCounts, run_prevalence_study
+
+__all__ = [
+    "API_ADD_VIEW",
+    "API_REMOVE_VIEW",
+    "API_TOAST_SET_VIEW",
+    "API_TOAST_SHOW",
+    "AaptAnalyzer",
+    "AaptParseError",
+    "AppManifest",
+    "AppRecord",
+    "CodeFeatures",
+    "CorpusRates",
+    "DexSummary",
+    "ExpectedCounts",
+    "FlowDroidAnalyzer",
+    "ManifestFeatures",
+    "PAPER_ADDREMOVE_AND_SAW",
+    "PAPER_CORPUS_SIZE",
+    "PAPER_CUSTOM_TOAST",
+    "PAPER_SAW_AND_ACCESSIBILITY",
+    "PERM_BIND_ACCESSIBILITY",
+    "PERM_INTERNET",
+    "PERM_SYSTEM_ALERT_WINDOW",
+    "PrevalenceCounts",
+    "SyntheticCorpus",
+    "run_prevalence_study",
+]

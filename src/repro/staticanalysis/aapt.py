@@ -1,0 +1,73 @@
+"""aapt-style manifest analyzer.
+
+The paper builds "a tool based on aapt to statically enumerate the service
+and permission used in an app". This analyzer consumes the flat AXML text
+dump (``AppManifest.to_axml``) — not the in-memory object — so the parsing
+step is real and testable against malformed input.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .manifest import PERM_BIND_ACCESSIBILITY, PERM_SYSTEM_ALERT_WINDOW
+
+_PERMISSION_RE = re.compile(r"^uses-permission: name='(?P<name>[^']+)'$")
+_SERVICE_RE = re.compile(
+    r"^service: name='(?P<name>[^']+)' permission='(?P<guard>[^']*)'$"
+)
+_PACKAGE_RE = re.compile(
+    r"^package: name='(?P<name>[^']+)' versionCode='(?P<version>\d+)'$"
+)
+
+
+class AaptParseError(ValueError):
+    """The manifest dump was malformed."""
+
+
+@dataclass(frozen=True)
+class ManifestFeatures:
+    """What the manifest study extracts from one app."""
+
+    package: str
+    version_code: int
+    requests_system_alert_window: bool
+    registers_accessibility_service: bool
+
+
+class AaptAnalyzer:
+    """Parses AXML dumps into :class:`ManifestFeatures`."""
+
+    def analyze(self, axml_dump: str) -> ManifestFeatures:
+        package = ""
+        version_code = -1
+        permissions = set()
+        accessibility = False
+        for line_number, line in enumerate(axml_dump.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            package_match = _PACKAGE_RE.match(line)
+            if package_match:
+                package = package_match.group("name")
+                version_code = int(package_match.group("version"))
+                continue
+            permission_match = _PERMISSION_RE.match(line)
+            if permission_match:
+                permissions.add(permission_match.group("name"))
+                continue
+            service_match = _SERVICE_RE.match(line)
+            if service_match:
+                if service_match.group("guard") == PERM_BIND_ACCESSIBILITY:
+                    accessibility = True
+                continue
+            raise AaptParseError(f"unparseable manifest line {line_number}: {line!r}")
+        if not package:
+            raise AaptParseError("manifest has no package declaration")
+        return ManifestFeatures(
+            package=package,
+            version_code=version_code,
+            requests_system_alert_window=PERM_SYSTEM_ALERT_WINDOW in permissions,
+            registers_accessibility_service=accessibility,
+        )

@@ -1,0 +1,199 @@
+"""Synthetic AndroZoo-like corpus generator.
+
+The paper crawls 890,855 apps from AndroZoo. We cannot redistribute or
+fetch them, so we generate a synthetic corpus whose *feature prevalence*
+matches the paper's findings:
+
+* 4,405 apps request SYSTEM_ALERT_WINDOW **and** register an accessibility
+  service;
+* 18,887 apps call both ``addView`` and ``removeView`` **and** request
+  SYSTEM_ALERT_WINDOW;
+* 15,179 apps use a customized toast.
+
+The generator draws each app's features from a correlated model calibrated
+to those marginals (see ``CorpusRates``), then materializes a manifest and
+a small call graph — including apps whose ``addView`` sits in dead code, a
+case the FlowDroid-style reachability analysis must exclude.
+
+Generation is streaming (O(1) memory), since the full-size corpus is close
+to a million records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..sim.rng import SeededRng
+from .manifest import (
+    API_ADD_VIEW,
+    API_REMOVE_VIEW,
+    API_TOAST_SET_VIEW,
+    API_TOAST_SHOW,
+    PERM_BIND_ACCESSIBILITY,
+    PERM_INTERNET,
+    PERM_SYSTEM_ALERT_WINDOW,
+    AppManifest,
+    AppRecord,
+    DexSummary,
+    TRUTH_ACCESSIBILITY,
+    TRUTH_ADD_REMOVE,
+    TRUTH_CUSTOM_TOAST,
+    TRUTH_DEAD_ADD_REMOVE,
+    TRUTH_SAW,
+)
+
+#: The paper's corpus size and headline counts (Section VI-C2).
+PAPER_CORPUS_SIZE = 890_855
+PAPER_SAW_AND_ACCESSIBILITY = 4_405
+PAPER_ADDREMOVE_AND_SAW = 18_887
+PAPER_CUSTOM_TOAST = 15_179
+
+
+@dataclass(frozen=True)
+class CorpusRates:
+    """Feature probabilities calibrated to the paper's counts."""
+
+    #: P(app requests SYSTEM_ALERT_WINDOW). The paper does not report the
+    #: marginal; ~3% matches contemporaneous measurement studies.
+    p_saw: float = 0.03
+    #: P(reachable addView & removeView | SAW) — fitted so that
+    #: N * p_saw * this == 18,887 at N = 890,855.
+    p_add_remove_given_saw: float = PAPER_ADDREMOVE_AND_SAW / (PAPER_CORPUS_SIZE * 0.03)
+    #: P(accessibility service | SAW) — fitted so that
+    #: N * p_saw * this == 4,405.
+    p_accessibility_given_saw: float = PAPER_SAW_AND_ACCESSIBILITY / (
+        PAPER_CORPUS_SIZE * 0.03
+    )
+    #: P(accessibility service | no SAW): accessibility without overlays is
+    #: rarer but nonzero.
+    p_accessibility_given_no_saw: float = 0.002
+    #: P(customized toast) — marginal, 15,179 / 890,855.
+    p_custom_toast: float = PAPER_CUSTOM_TOAST / PAPER_CORPUS_SIZE
+    #: P(reachable addView & removeView | no SAW): plenty of apps manage
+    #: windows without the overlay permission.
+    p_add_remove_given_no_saw: float = 0.18
+    #: P(the add/remove calls exist only in dead code | app has them at
+    #: all) — the reachability analysis must not count these.
+    p_dead_code: float = 0.06
+    #: P(INTERNET) — background noise feature.
+    p_internet: float = 0.92
+
+    def expected_counts(self, corpus_size: int) -> "ExpectedCounts":
+        saw = corpus_size * self.p_saw
+        return ExpectedCounts(
+            corpus_size=corpus_size,
+            saw_and_accessibility=saw * self.p_accessibility_given_saw,
+            addremove_and_saw=saw * self.p_add_remove_given_saw * (1 - self.p_dead_code),
+            custom_toast=corpus_size * self.p_custom_toast,
+        )
+
+
+@dataclass(frozen=True)
+class ExpectedCounts:
+    corpus_size: int
+    saw_and_accessibility: float
+    addremove_and_saw: float
+    custom_toast: float
+
+
+class SyntheticCorpus:
+    """Streaming generator of synthetic app records."""
+
+    def __init__(
+        self,
+        size: int,
+        seed: int = 0,
+        rates: Optional[CorpusRates] = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"corpus size must be positive, got {size}")
+        self.size = size
+        self.rates = rates or CorpusRates()
+        self._seed = seed
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[AppRecord]:
+        rng = SeededRng(self._seed, "corpus")
+        for index in range(self.size):
+            yield self._generate_one(rng, index)
+
+    def sample(self, count: int) -> List[AppRecord]:
+        """The first ``count`` records (deterministic prefix)."""
+        records: List[AppRecord] = []
+        for record in self:
+            records.append(record)
+            if len(records) >= count:
+                break
+        return records
+
+    def expected_counts(self) -> ExpectedCounts:
+        return self.rates.expected_counts(self.size)
+
+    # ------------------------------------------------------------------
+    def _generate_one(self, rng: SeededRng, index: int) -> AppRecord:
+        rates = self.rates
+        truth: List[str] = []
+        has_saw = rng.chance(rates.p_saw)
+        if has_saw:
+            truth.append(TRUTH_SAW)
+            has_accessibility = rng.chance(rates.p_accessibility_given_saw)
+            has_add_remove = rng.chance(rates.p_add_remove_given_saw)
+        else:
+            has_accessibility = rng.chance(rates.p_accessibility_given_no_saw)
+            has_add_remove = rng.chance(rates.p_add_remove_given_no_saw)
+        if has_accessibility:
+            truth.append(TRUTH_ACCESSIBILITY)
+        dead_only = has_add_remove and rng.chance(rates.p_dead_code)
+        if has_add_remove and not dead_only:
+            truth.append(TRUTH_ADD_REMOVE)
+        if dead_only:
+            truth.append(TRUTH_DEAD_ADD_REMOVE)
+        has_custom_toast = rng.chance(rates.p_custom_toast)
+        if has_custom_toast:
+            truth.append(TRUTH_CUSTOM_TOAST)
+
+        permissions = set()
+        if rng.chance(rates.p_internet):
+            permissions.add(PERM_INTERNET)
+        if has_saw:
+            permissions.add(PERM_SYSTEM_ALERT_WINDOW)
+        services: Tuple[Tuple[str, str], ...] = ()
+        if has_accessibility:
+            services = (
+                (f"app{index}.A11yService", PERM_BIND_ACCESSIBILITY),
+            )
+
+        manifest = AppManifest(
+            package=f"com.corpus.app{index}",
+            version_code=rng.randint(1, 400),
+            permissions=frozenset(permissions),
+            services=services,
+        )
+        dex = self._generate_dex(
+            rng, has_add_remove, dead_only, has_custom_toast
+        )
+        return AppRecord(manifest=manifest, dex=dex, truth=frozenset(truth))
+
+    @staticmethod
+    def _generate_dex(
+        rng: SeededRng,
+        has_add_remove: bool,
+        dead_only: bool,
+        has_custom_toast: bool,
+    ) -> DexSummary:
+        graph = {"onCreate": ("init",), "init": ("render",), "render": ()}
+        if has_add_remove:
+            if dead_only:
+                # The calls exist but hang off a method nothing invokes.
+                graph["unusedHelper"] = (API_ADD_VIEW, API_REMOVE_VIEW)
+            else:
+                graph["init"] = ("render", "showFloat")
+                graph["showFloat"] = (API_ADD_VIEW,)
+                graph["render"] = (API_REMOVE_VIEW,)
+        if has_custom_toast:
+            graph["notifyUser"] = (API_TOAST_SET_VIEW, API_TOAST_SHOW)
+            graph["onCreate"] = graph["onCreate"] + ("notifyUser",)
+        return DexSummary(entry_points=("onCreate",), call_graph=graph)

@@ -1,0 +1,65 @@
+"""FlowDroid-style reachability analysis over DEX call-graph summaries.
+
+The paper analyzes method usage "using a tool based on FlowDroid". The key
+property distinguishing this from a string grep is *reachability*: an
+``addView`` call sitting in dead code must not count. The analyzer runs a
+BFS from the app's lifecycle entry points and reports only APIs on
+reachable paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import FrozenSet, Set
+
+from .manifest import (
+    API_ADD_VIEW,
+    API_REMOVE_VIEW,
+    API_TOAST_SET_VIEW,
+    DexSummary,
+)
+
+
+@dataclass(frozen=True)
+class CodeFeatures:
+    """Reachable-API findings for one app."""
+
+    reachable_apis: FrozenSet[str]
+
+    @property
+    def calls_add_view(self) -> bool:
+        return API_ADD_VIEW in self.reachable_apis
+
+    @property
+    def calls_remove_view(self) -> bool:
+        return API_REMOVE_VIEW in self.reachable_apis
+
+    @property
+    def calls_add_and_remove(self) -> bool:
+        return self.calls_add_view and self.calls_remove_view
+
+    @property
+    def uses_custom_toast(self) -> bool:
+        """``Toast.setView`` = a toast customized "with any content"."""
+        return API_TOAST_SET_VIEW in self.reachable_apis
+
+
+class FlowDroidAnalyzer:
+    """Computes reachable framework-API calls from a call-graph summary."""
+
+    def analyze(self, dex: DexSummary) -> CodeFeatures:
+        reachable_apis: Set[str] = set()
+        visited: Set[str] = set()
+        frontier = deque(dex.entry_points)
+        while frontier:
+            method = frontier.popleft()
+            if method in visited:
+                continue
+            visited.add(method)
+            for target in dex.call_graph.get(method, ()):
+                if target.startswith("android."):
+                    reachable_apis.add(target)
+                elif target not in visited:
+                    frontier.append(target)
+        return CodeFeatures(reachable_apis=frozenset(reachable_apis))

@@ -1,0 +1,92 @@
+"""App manifests and DEX summaries — the artifacts the corpus study parses.
+
+The paper analyzes 890,855 AndroZoo APKs with an aapt-based tool (manifest:
+permissions and registered services) and a FlowDroid-based tool (code:
+which framework methods are actually called). We model an APK as a
+:class:`AppManifest` (serializable to a flat AXML-like text the aapt
+analyzer parses back) plus a :class:`DexSummary` (a tiny call graph whose
+reachable API calls the FlowDroid analyzer computes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+# Framework API names of interest (Section VI-C2).
+API_ADD_VIEW = "android.view.WindowManager.addView"
+API_REMOVE_VIEW = "android.view.WindowManager.removeView"
+API_TOAST_SET_VIEW = "android.widget.Toast.setView"  # the customized toast
+API_TOAST_SHOW = "android.widget.Toast.show"
+
+PERM_SYSTEM_ALERT_WINDOW = "android.permission.SYSTEM_ALERT_WINDOW"
+PERM_BIND_ACCESSIBILITY = "android.permission.BIND_ACCESSIBILITY_SERVICE"
+PERM_INTERNET = "android.permission.INTERNET"
+
+
+@dataclass(frozen=True)
+class AppManifest:
+    """The AndroidManifest.xml slice the study needs."""
+
+    package: str
+    version_code: int
+    permissions: FrozenSet[str]
+    #: (service class name, service-level permission) pairs; an
+    #: accessibility service is one guarded by BIND_ACCESSIBILITY_SERVICE.
+    services: Tuple[Tuple[str, str], ...] = ()
+
+    def to_axml(self) -> str:
+        """Serialize to the flat text form the aapt analyzer consumes."""
+        lines = [f"package: name='{self.package}' versionCode='{self.version_code}'"]
+        for permission in sorted(self.permissions):
+            lines.append(f"uses-permission: name='{permission}'")
+        for service, guard in self.services:
+            lines.append(f"service: name='{service}' permission='{guard}'")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DexSummary:
+    """A miniature call graph standing in for the app's DEX code.
+
+    ``call_graph`` maps a method to the methods/APIs it invokes; APIs are
+    leaves. ``entry_points`` are lifecycle methods reachable at runtime —
+    code only reachable from non-entry methods is dead and must not be
+    counted (that's the point of using a FlowDroid-style reachability
+    analysis rather than a string grep).
+    """
+
+    entry_points: Tuple[str, ...]
+    call_graph: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def all_mentioned_apis(self) -> FrozenSet[str]:
+        """Every API name appearing anywhere (including dead code)."""
+        mentioned: List[str] = []
+        for targets in self.call_graph.values():
+            for target in targets:
+                if target.startswith("android."):
+                    mentioned.append(target)
+        return frozenset(mentioned)
+
+
+@dataclass(frozen=True)
+class AppRecord:
+    """One APK: manifest + code summary + generation-time ground truth."""
+
+    manifest: AppManifest
+    dex: DexSummary
+    #: Ground-truth feature flags assigned at generation time, used to
+    #: validate that the analyzers recover the truth.
+    truth: FrozenSet[str] = frozenset()
+
+    @property
+    def package(self) -> str:
+        return self.manifest.package
+
+
+# Ground-truth flag names.
+TRUTH_SAW = "saw"
+TRUTH_ACCESSIBILITY = "accessibility"
+TRUTH_ADD_REMOVE = "add_remove_reachable"
+TRUTH_CUSTOM_TOAST = "custom_toast"
+TRUTH_DEAD_ADD_REMOVE = "add_remove_dead_only"

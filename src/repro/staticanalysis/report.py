@@ -1,0 +1,97 @@
+"""Prevalence study: running both analyzers over a corpus.
+
+Reproduces the headline numbers of Section VI-C2: of 890,855 apps,
+4,405 request SYSTEM_ALERT_WINDOW and register an accessibility service;
+18,887 call addView and removeView and request SYSTEM_ALERT_WINDOW;
+15,179 use a customized toast — i.e., app stores do host apps with every
+capability the attacks need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .aapt import AaptAnalyzer
+from .corpus import (
+    PAPER_ADDREMOVE_AND_SAW,
+    PAPER_CORPUS_SIZE,
+    PAPER_CUSTOM_TOAST,
+    PAPER_SAW_AND_ACCESSIBILITY,
+)
+from .flowdroid import FlowDroidAnalyzer
+from .manifest import AppRecord
+
+
+@dataclass(frozen=True)
+class PrevalenceCounts:
+    """The three headline counts over a corpus of ``total`` apps.
+
+    ``full_capability`` additionally counts apps carrying *everything* the
+    password-stealing attack uses at once (SYSTEM_ALERT_WINDOW +
+    accessibility service + reachable addView/removeView + customized
+    toast) — the paper's implicit point that such apps pass store review.
+    """
+
+    total: int
+    saw_and_accessibility: int
+    addremove_and_saw: int
+    custom_toast: int
+    full_capability: int = 0
+
+    def scaled_to(self, target_total: int) -> "PrevalenceCounts":
+        """Linearly rescale counts to a different corpus size (used to
+        compare a smaller synthetic run against the paper's 890,855)."""
+        if self.total <= 0:
+            raise ValueError("cannot scale an empty corpus")
+        factor = target_total / self.total
+        return PrevalenceCounts(
+            total=target_total,
+            saw_and_accessibility=round(self.saw_and_accessibility * factor),
+            addremove_and_saw=round(self.addremove_and_saw * factor),
+            custom_toast=round(self.custom_toast * factor),
+            full_capability=round(self.full_capability * factor),
+        )
+
+    @staticmethod
+    def paper_reference() -> "PrevalenceCounts":
+        return PrevalenceCounts(
+            total=PAPER_CORPUS_SIZE,
+            saw_and_accessibility=PAPER_SAW_AND_ACCESSIBILITY,
+            addremove_and_saw=PAPER_ADDREMOVE_AND_SAW,
+            custom_toast=PAPER_CUSTOM_TOAST,
+        )
+
+
+def run_prevalence_study(records: Iterable[AppRecord]) -> PrevalenceCounts:
+    """Run aapt + FlowDroid over every record and tally the three counts."""
+    aapt = AaptAnalyzer()
+    flowdroid = FlowDroidAnalyzer()
+    total = 0
+    saw_and_accessibility = 0
+    addremove_and_saw = 0
+    custom_toast = 0
+    full_capability = 0
+    for record in records:
+        total += 1
+        manifest_features = aapt.analyze(record.manifest.to_axml())
+        code_features = flowdroid.analyze(record.dex)
+        has_saw = manifest_features.requests_system_alert_window
+        has_accessibility = manifest_features.registers_accessibility_service
+        has_pair = code_features.calls_add_and_remove
+        has_toast = code_features.uses_custom_toast
+        if has_saw and has_accessibility:
+            saw_and_accessibility += 1
+        if has_pair and has_saw:
+            addremove_and_saw += 1
+        if has_toast:
+            custom_toast += 1
+        if has_saw and has_accessibility and has_pair and has_toast:
+            full_capability += 1
+    return PrevalenceCounts(
+        total=total,
+        saw_and_accessibility=saw_and_accessibility,
+        addremove_and_saw=addremove_and_saw,
+        custom_toast=custom_toast,
+        full_capability=full_capability,
+    )

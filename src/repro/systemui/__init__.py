@@ -1,0 +1,30 @@
+"""System UI substrate: the notification drawer, the alert slide-in
+controller and the Λ1–Λ5 outcome classifier of the paper's Fig. 6."""
+
+from .notification import (
+    ICON_RENDER_DELAY_MS,
+    MESSAGE_RENDER_DELAY_MS,
+    MESSAGE_RENDER_DURATION_MS,
+    NotificationEntry,
+    NotificationRecord,
+)
+from .outcomes import NotificationOutcome, NotificationSnapshot, classify
+from .render import render_entry, render_outcome_gallery, render_snapshot
+from .system_ui import STATUS_BAR_ICON_SLOTS, AlertMode, SystemUi
+
+__all__ = [
+    "AlertMode",
+    "ICON_RENDER_DELAY_MS",
+    "MESSAGE_RENDER_DELAY_MS",
+    "MESSAGE_RENDER_DURATION_MS",
+    "NotificationEntry",
+    "NotificationOutcome",
+    "NotificationRecord",
+    "NotificationSnapshot",
+    "STATUS_BAR_ICON_SLOTS",
+    "SystemUi",
+    "classify",
+    "render_entry",
+    "render_outcome_gallery",
+    "render_snapshot",
+]

@@ -1,0 +1,78 @@
+"""Notification-view outcome classification (paper Fig. 6).
+
+The paper distinguishes five outcomes of the notification alert under an
+increasing attacking window ``D``:
+
+* **Λ1** — the animation never rendered a visible pixel; no alert at all
+  (best case for the attacker);
+* **Λ2** — the slide-in started but never completed; the view is partially
+  visible;
+* **Λ3** — the view is fully visible, but neither message nor icon was
+  drawn ("other elements in the notification view ... are not displayed
+  until the notification view has been drawn completely");
+* **Λ4** — the view is fully visible and the message partially rendered;
+* **Λ5** — the animation fully completed: view, message and icon all shown
+  (worst case for the attacker).
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+from dataclasses import dataclass
+
+
+@functools.total_ordering
+class NotificationOutcome(enum.Enum):
+    """Λ1–Λ5 ordered by how much the user could have seen."""
+
+    LAMBDA1 = 1
+    LAMBDA2 = 2
+    LAMBDA3 = 3
+    LAMBDA4 = 4
+    LAMBDA5 = 5
+
+    def __lt__(self, other: "NotificationOutcome") -> bool:
+        if not isinstance(other, NotificationOutcome):
+            return NotImplemented
+        return self.value < other.value
+
+    @property
+    def label(self) -> str:
+        return f"Λ{self.value}"
+
+    @property
+    def suppressed(self) -> bool:
+        """Whether the alert was fully suppressed (the attacker's goal)."""
+        return self is NotificationOutcome.LAMBDA1
+
+
+@dataclass(frozen=True)
+class NotificationSnapshot:
+    """What one notification entry had rendered when it went away."""
+
+    view_progress: float
+    max_pixels: int
+    message_progress: float
+    icon_shown: bool
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.view_progress <= 1.0:
+            raise ValueError(f"view_progress out of range: {self.view_progress}")
+        if not 0.0 <= self.message_progress <= 1.0:
+            raise ValueError(f"message_progress out of range: {self.message_progress}")
+        if self.max_pixels < 0:
+            raise ValueError(f"max_pixels must be >= 0: {self.max_pixels}")
+
+
+def classify(snapshot: NotificationSnapshot) -> NotificationOutcome:
+    """Map a rendering snapshot to its Λ outcome."""
+    if snapshot.max_pixels == 0:
+        return NotificationOutcome.LAMBDA1
+    if snapshot.view_progress < 1.0:
+        return NotificationOutcome.LAMBDA2
+    if snapshot.icon_shown and snapshot.message_progress >= 1.0:
+        return NotificationOutcome.LAMBDA5
+    if snapshot.message_progress <= 0.0:
+        return NotificationOutcome.LAMBDA3
+    return NotificationOutcome.LAMBDA4

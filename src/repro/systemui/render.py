@@ -1,0 +1,81 @@
+"""ASCII rendering of notification-drawer states (the paper's Fig. 6).
+
+Fig. 6 shows five screenshots of the notification drawer under growing
+attacking windows. The renderer draws the same five states from a
+:class:`~repro.systemui.outcomes.NotificationSnapshot`: nothing (Λ1), a
+partially slid-in view (Λ2), the full container without content (Λ3), a
+partially rendered message (Λ4), and the complete alert with icon (Λ5).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .notification import NotificationEntry
+from .outcomes import NotificationSnapshot, classify
+
+#: The alert text Android shows (paraphrased from the real notification).
+ALERT_MESSAGE = "App is displaying over other apps"
+
+#: Rendered drawer width in characters.
+_WIDTH = 44
+#: Full view height in text rows.
+_ROWS = 4
+
+
+def render_snapshot(snapshot: NotificationSnapshot) -> str:
+    """Draw the drawer region for one rendering snapshot.
+
+    The drawer is the outer box; the notification *entry* is an inner box
+    that slides in from the top: absent at Λ1, partially drawn at Λ2, a
+    complete-but-empty container at Λ3, then message (Λ4) and icon (Λ5).
+    """
+    outcome = classify(snapshot)
+    inner_width = _WIDTH - 4
+    entry_rows: List[str] = []
+    if snapshot.max_pixels > 0:
+        visible_rows = max(1, round(snapshot.view_progress * _ROWS))
+        message = ""
+        if snapshot.message_progress > 0.0:
+            cut = max(1, round(len(ALERT_MESSAGE) * snapshot.message_progress))
+            message = ALERT_MESSAGE[:cut]
+        icon = "[!]" if snapshot.icon_shown else "   "
+        complete = snapshot.view_progress >= 1.0
+        entry_rows.append("╔" + "═" * inner_width + "╗")
+        for row in range(max(1, visible_rows - 1)):
+            body = f" {icon} {message}" if row == 0 else ""
+            entry_rows.append("║" + body.ljust(inner_width)[:inner_width] + "║")
+        if complete:
+            entry_rows.append("╚" + "═" * inner_width + "╝")
+        # A partially slid-in entry is cut off by the drawer edge.
+        entry_rows = entry_rows[: _ROWS]
+
+    lines: List[str] = [f"┌{'─' * _WIDTH}┐  (drawer)"]
+    for row in range(_ROWS):
+        if row < len(entry_rows):
+            content = f"  {entry_rows[row]}  "
+        else:
+            content = " " * _WIDTH
+        lines.append(f"│{content[:_WIDTH].ljust(_WIDTH)}│")
+    lines.append(f"└{'─' * _WIDTH}┘  outcome: {outcome.label}")
+    return "\n".join(lines)
+
+
+def render_entry(entry: NotificationEntry, time: float) -> str:
+    """Draw what the drawer shows for ``entry`` at ``time``."""
+    return render_snapshot(entry.snapshot_at(time))
+
+
+def render_outcome_gallery() -> str:
+    """All five Λ states side by side — the textual Fig. 6."""
+    samples = [
+        ("Λ1", NotificationSnapshot(0.0, 0, 0.0, False)),
+        ("Λ2", NotificationSnapshot(0.45, 32, 0.0, False)),
+        ("Λ3", NotificationSnapshot(1.0, 72, 0.0, False)),
+        ("Λ4", NotificationSnapshot(1.0, 72, 0.55, False)),
+        ("Λ5", NotificationSnapshot(1.0, 72, 1.0, True)),
+    ]
+    blocks = []
+    for label, snapshot in samples:
+        blocks.append(f"{label}:\n{render_snapshot(snapshot)}")
+    return "\n\n".join(blocks)

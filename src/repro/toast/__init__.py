@@ -1,0 +1,27 @@
+"""Toast substrate: toast objects, the token queue (<= 50 per app), the
+serializing Notification Manager Service, and switch/flicker analysis."""
+
+from .lifecycle import ToastSwitch, analyze_switch, analyze_switches, worst_switch
+from .notification_manager import NotificationManagerService
+from .toast import (
+    ALLOWED_TOAST_DURATIONS,
+    TOAST_LENGTH_LONG_MS,
+    TOAST_LENGTH_SHORT_MS,
+    Toast,
+)
+from .token_queue import MAX_TOASTS_PER_APP, ToastToken, ToastTokenQueue
+
+__all__ = [
+    "ALLOWED_TOAST_DURATIONS",
+    "MAX_TOASTS_PER_APP",
+    "NotificationManagerService",
+    "TOAST_LENGTH_LONG_MS",
+    "TOAST_LENGTH_SHORT_MS",
+    "Toast",
+    "ToastSwitch",
+    "ToastToken",
+    "ToastTokenQueue",
+    "analyze_switch",
+    "analyze_switches",
+    "worst_switch",
+]

@@ -1,0 +1,92 @@
+"""Toast-switch analysis: quantifying the (in)visibility of transitions.
+
+The draw-and-destroy toast attack works because the combined opacity of a
+departing toast and its successor barely dips during the switch. This
+module measures that dip for each consecutive pair in a display history —
+the quantity the perception model thresholds and the quantity the
+toast-spacing defense inflates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .toast import Toast
+
+
+@dataclass(frozen=True)
+class ToastSwitch:
+    """One transition between consecutive toasts."""
+
+    prev_toast_id: int
+    next_toast_id: int
+    #: Time from the old toast starting its fade-out to the new toast
+    #: appearing on screen (>= Tas; larger if a defense inserts a gap).
+    switch_gap_ms: float
+    #: Minimum combined opacity observed during the transition.
+    min_coverage: float
+    #: Total time combined opacity sat below ``threshold``.
+    time_below_threshold_ms: float
+    threshold: float
+
+
+def _combined_alpha(prev: Toast, nxt: Toast, time: float) -> float:
+    # The toasts overlap on screen, so their opacities composite: the
+    # background shows through only where *both* layers are transparent.
+    return 1.0 - (1.0 - prev.alpha_at(time)) * (1.0 - nxt.alpha_at(time))
+
+
+def analyze_switch(
+    prev: Toast,
+    nxt: Toast,
+    threshold: float = 0.85,
+    sample_step_ms: float = 1.0,
+) -> Optional[ToastSwitch]:
+    """Measure the coverage dip between ``prev`` and ``nxt``.
+
+    Returns None if either toast never reached the screen.
+    """
+    if prev.fade_out_start is None or nxt.shown_at is None:
+        return None
+    start = prev.fade_out_start
+    # The transition is over once the new toast has finished fading in.
+    end = nxt.shown_at + nxt.fade_ms
+    min_cov = 1.0
+    below_ms = 0.0
+    t = start
+    while t <= end:
+        cov = _combined_alpha(prev, nxt, t)
+        if cov < min_cov:
+            min_cov = cov
+        if cov < threshold:
+            below_ms += sample_step_ms
+        t += sample_step_ms
+    return ToastSwitch(
+        prev_toast_id=prev.toast_id,
+        next_toast_id=nxt.toast_id,
+        switch_gap_ms=nxt.shown_at - prev.fade_out_start,
+        min_coverage=min_cov,
+        time_below_threshold_ms=below_ms,
+        threshold=threshold,
+    )
+
+
+def analyze_switches(
+    history: Sequence[Toast],
+    threshold: float = 0.85,
+    sample_step_ms: float = 1.0,
+) -> List[ToastSwitch]:
+    """Analyze every consecutive transition in a display history."""
+    switches: List[ToastSwitch] = []
+    shown = [t for t in history if t.shown_at is not None]
+    for prev, nxt in zip(shown, shown[1:]):
+        switch = analyze_switch(prev, nxt, threshold, sample_step_ms)
+        if switch is not None:
+            switches.append(switch)
+    return switches
+
+
+def worst_switch(switches: Sequence[ToastSwitch]) -> Optional[ToastSwitch]:
+    """The most visible (lowest-coverage) transition, if any."""
+    return min(switches, key=lambda s: s.min_coverage, default=None)

@@ -1,0 +1,205 @@
+"""Notification Manager Service: serialized toast display.
+
+Built-in defense (ii) of paper Section II-B2: "the notification manager
+shows toasts one at a time", processing one token at a time so gaps appear
+between toasts of a naive attack. The service here implements exactly that
+protocol — and therefore also exhibits the behaviour the draw-and-destroy
+toast attack exploits: when a toast's time is up, ``removeView`` starts the
+500 ms fade-out *and the next token is fetched immediately*, so the
+successor toast is created (cost ``Tas``) and fades in while the old one is
+still nearly opaque.
+
+The paper's toast-spacing defense (Section VII-B) plugs in through
+``inter_toast_gap_ms``: scheduling extra delay between successive toasts
+makes the flicker perceptible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..binder.router import BinderRouter
+from ..binder.transaction import BinderTransaction
+from ..devices.profiles import DeviceProfile
+from ..sim.process import SimProcess
+from ..sim.simulation import Simulation
+from ..windows.geometry import Rect
+from ..windows.system_server import SYSTEM_SERVER, SystemServer
+from ..windows.types import WindowType
+from ..windows.window import Window
+from .toast import Toast
+from .token_queue import ToastToken, ToastTokenQueue
+
+
+class NotificationManagerService(SimProcess):
+    """The toast-scheduling half of the simulated System Server."""
+
+    def __init__(
+        self,
+        simulation: Simulation,
+        router: BinderRouter,
+        system_server: SystemServer,
+        profile: DeviceProfile,
+        inter_toast_gap_ms: float = 0.0,
+        name: str = "notification_manager",
+    ) -> None:
+        super().__init__(simulation, name)
+        if inter_toast_gap_ms < 0:
+            raise ValueError(f"inter_toast_gap_ms must be >= 0, got {inter_toast_gap_ms}")
+        self._router = router
+        self._system_server = system_server
+        self._profile = profile
+        self._queue = ToastTokenQueue()
+        self._current: Optional[Toast] = None
+        self._current_window: Optional[Window] = None
+        self._current_end_handle = None
+        self._history: List[Toast] = []
+        self._showing = False
+        self.inter_toast_gap_ms = float(inter_toast_gap_ms)
+        router.register_many(
+            SYSTEM_SERVER,
+            {
+                "enqueueToast": self._handle_enqueue,
+                "cancelToast": self._handle_cancel,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def queue(self) -> ToastTokenQueue:
+        return self._queue
+
+    @property
+    def current_toast(self) -> Optional[Toast]:
+        return self._current
+
+    @property
+    def history(self) -> List[Toast]:
+        """All toasts ever shown, in display order (includes current)."""
+        return list(self._history)
+
+    def coverage_at(self, time: float, rect: Optional[Rect] = None) -> float:
+        """Combined toast opacity over ``rect`` at ``time``.
+
+        During a switch the old toast is fading out while the new fades
+        in; the layers composite (the background shows through only where
+        every layer is transparent), so combined coverage is
+        ``1 - prod(1 - alpha_i)``."""
+        transparency = 1.0
+        for toast in self._history:
+            if rect is None or toast.rect.intersects(rect):
+                transparency *= 1.0 - toast.alpha_at(time)
+        return 1.0 - transparency
+
+    # ------------------------------------------------------------------
+    # Binder handlers
+    # ------------------------------------------------------------------
+    def _handle_enqueue(self, txn: BinderTransaction) -> None:
+        toast: Toast = txn.payload["toast"]
+        toast.enqueued_at = self.now
+        token = ToastToken(app=txn.sender, toast=toast)
+        accepted = self._queue.enqueue(token)
+        if not accepted:
+            self.trace("nms.toast_rejected", app=txn.sender,
+                       depth=self._queue.depth_for(txn.sender))
+            return
+        self.trace("nms.toast_enqueued", app=txn.sender, toast_id=toast.toast_id,
+                   queue_len=len(self._queue))
+        if not self._showing:
+            self._show_next()
+
+    def _handle_cancel(self, txn: BinderTransaction) -> None:
+        """``Toast.cancel()``: cancel one of the caller's toasts.
+
+        A queued (not yet displayed) toast is silently dropped from the
+        queue; the currently-displayed toast starts its fade-out now. The
+        attack uses this to switch subkeyboard layouts: stale queued frames
+        are dropped, the fresh layout is enqueued, and the current fake
+        keyboard is replaced immediately."""
+        app = txn.sender
+        toast: Optional[Toast] = txn.payload.get("toast")
+        if toast is not None and (self._current is None
+                                  or toast.toast_id != self._current.toast_id):
+            if self._queue.remove_toast(toast.toast_id):
+                self.trace("nms.toast_dequeued", app=app, toast_id=toast.toast_id)
+            else:
+                self.trace("nms.cancel_noop", app=app)
+            return
+        if self._current is None or self._current.owner != app:
+            self.trace("nms.cancel_noop", app=app)
+            return
+        if self._current.fade_out_start is not None:
+            return
+        if self._current_end_handle is not None:
+            self._current_end_handle.cancel_if_pending()
+            self._current_end_handle = None
+        self._begin_fade_out()
+
+    # ------------------------------------------------------------------
+    # Display machinery
+    # ------------------------------------------------------------------
+    def _show_next(self) -> None:
+        token = self._queue.dequeue()
+        if token is None:
+            self._showing = False
+            return
+        self._showing = True
+        toast = token.toast
+        window = Window(
+            owner=toast.owner,
+            window_type=WindowType.TOAST,
+            rect=toast.rect,
+            content=toast,
+            label=f"toast:{toast.toast_id}",
+        )
+
+        def on_added() -> None:
+            toast.shown_at = self.now
+            self._current = toast
+            self._current_window = window
+            self._history.append(toast)
+            self.trace("nms.toast_shown", app=toast.owner, toast_id=toast.toast_id)
+            self._current_end_handle = self.schedule(
+                toast.duration_ms, self._begin_fade_out, name="toast-expire"
+            )
+
+        self._system_server.add_window_direct(window, on_added=on_added)
+
+    def _begin_fade_out(self) -> None:
+        toast = self._current
+        window = self._current_window
+        if toast is None or window is None:
+            return
+        toast.fade_out_start = self.now
+        self._current = None
+        self._current_window = None
+        self._current_end_handle = None
+        self.trace("nms.toast_fading_out", app=toast.owner, toast_id=toast.toast_id)
+
+        def finish_removal() -> None:
+            toast.removed_at = self.now
+            self._system_server.remove_window_direct(window)
+            self.trace("nms.toast_removed", app=toast.owner, toast_id=toast.toast_id)
+
+        self.schedule(toast.fade_ms, finish_removal, name="toast-fade-out")
+        # "Once removeView(.) is called, the System Server fetches the new
+        # token and creates the new toast" (paper Section IV-C Step 2) —
+        # unless the spacing defense inserts an artificial gap.
+        if self.inter_toast_gap_ms > 0:
+            self.schedule(self.inter_toast_gap_ms, self._show_next, name="toast-gap")
+        else:
+            self._show_next()
+
+    # ------------------------------------------------------------------
+    # Convenience API (used by apps via Toast.show())
+    # ------------------------------------------------------------------
+    def enqueue_from(self, app: str, toast: Toast) -> None:
+        """Same as the Binder path, for same-process/system callers."""
+        self._router.transact(
+            sender=app,
+            receiver=SYSTEM_SERVER,
+            method="enqueueToast",
+            payload={"toast": toast},
+        )

@@ -1,0 +1,96 @@
+"""Toast objects and their analytic opacity timeline.
+
+A toast "provides feedback for users. It automatically disappears after a
+short period of time" (paper Section II-B). The timeline the attack
+exploits:
+
+* fade-in: 500 ms under ``DecelerateInterpolator`` — fast at the beginning
+  (``y = 1 - (1 - x)^2``), so a new toast becomes opaque almost at once;
+* full opacity for the chosen duration (2 s or 3.5 s);
+* fade-out: 500 ms under ``AccelerateInterpolator`` — slow at the beginning
+  (``y = x^2``), so a departing toast lingers near full opacity.
+
+Because exit is slow and entry is fast, back-to-back toasts keep combined
+on-screen opacity close to 1.0 through the switch — the transition "cannot
+be observed" (paper abstract).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..animation.animator import TOAST_ANIMATION_DURATION
+from ..animation.interpolators import (
+    AccelerateInterpolator,
+    DecelerateInterpolator,
+)
+from ..windows.geometry import Rect
+
+#: Android LENGTH_SHORT / LENGTH_LONG toast durations in milliseconds.
+TOAST_LENGTH_SHORT_MS = 2000.0
+TOAST_LENGTH_LONG_MS = 3500.0
+ALLOWED_TOAST_DURATIONS = (TOAST_LENGTH_SHORT_MS, TOAST_LENGTH_LONG_MS)
+
+_toast_ids = itertools.count(1)
+_FADE_IN = DecelerateInterpolator()
+_FADE_OUT = AccelerateInterpolator()
+
+
+@dataclass
+class Toast:
+    """One toast instance moving through the Notification Manager queue."""
+
+    owner: str
+    content: Any
+    rect: Rect
+    duration_ms: float
+    enqueued_at: Optional[float] = None
+    shown_at: Optional[float] = None
+    fade_out_start: Optional[float] = None
+    removed_at: Optional[float] = None
+    toast_id: int = field(default_factory=lambda: next(_toast_ids))
+    fade_ms: float = TOAST_ANIMATION_DURATION
+
+    def __post_init__(self) -> None:
+        if self.duration_ms not in ALLOWED_TOAST_DURATIONS:
+            raise ValueError(
+                f"toast duration must be one of {ALLOWED_TOAST_DURATIONS} ms, "
+                f"got {self.duration_ms}"
+            )
+
+    # ------------------------------------------------------------------
+    def alpha_at(self, time: float) -> float:
+        """Opacity of this toast at ``time`` (0 when not on screen)."""
+        if self.shown_at is None or time < self.shown_at:
+            return 0.0
+        if self.removed_at is not None and time >= self.removed_at:
+            return 0.0
+        # Fade-in.
+        fade_in_elapsed = time - self.shown_at
+        if fade_in_elapsed < self.fade_ms:
+            alpha = _FADE_IN.value(fade_in_elapsed / self.fade_ms)
+        else:
+            alpha = 1.0
+        # Fade-out (can overlap an unfinished fade-in only if the toast was
+        # cancelled very early; take the minimum).
+        if self.fade_out_start is not None and time >= self.fade_out_start:
+            fade_out_elapsed = time - self.fade_out_start
+            if fade_out_elapsed >= self.fade_ms:
+                return 0.0
+            alpha = min(alpha, 1.0 - _FADE_OUT.value(fade_out_elapsed / self.fade_ms))
+        return alpha
+
+    @property
+    def on_screen_interval(self) -> Optional[tuple]:
+        if self.shown_at is None:
+            return None
+        end = self.removed_at
+        return (self.shown_at, end)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Toast(#{self.toast_id} owner={self.owner!r} "
+            f"content={self.content!r} dur={self.duration_ms}ms)"
+        )

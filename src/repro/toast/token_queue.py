@@ -1,0 +1,100 @@
+"""The toast token queue.
+
+"The Notification Manager Service of System Server generates a token and
+puts the token into a queue via enqueueToast(). The token uniquely
+identifies the toast and guarantees that the system does not create a
+number of overlapping toasts. ... Android specifies that the number of
+tokens associated with one app in the queue should be no more than 50."
+(paper Section IV-C)
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from .toast import Toast
+
+#: Maximum queued tokens per app (AOSP MAX_PACKAGE_NOTIFICATIONS analogue
+#: for toasts, as cited by the paper).
+MAX_TOASTS_PER_APP = 50
+
+_token_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ToastToken:
+    """Unique handle binding a queued toast to its app."""
+
+    app: str
+    toast: Toast
+    token_id: int = field(default_factory=lambda: next(_token_ids))
+
+
+class ToastTokenQueue:
+    """FIFO of toast tokens with the per-app cap enforced."""
+
+    def __init__(self, max_per_app: int = MAX_TOASTS_PER_APP) -> None:
+        if max_per_app <= 0:
+            raise ValueError(f"max_per_app must be positive, got {max_per_app}")
+        self._queue: Deque[ToastToken] = deque()
+        self._per_app: Dict[str, int] = {}
+        self._max_per_app = max_per_app
+        self._rejected: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def max_per_app(self) -> int:
+        return self._max_per_app
+
+    def depth_for(self, app: str) -> int:
+        return self._per_app.get(app, 0)
+
+    def rejected_for(self, app: str) -> int:
+        return self._rejected.get(app, 0)
+
+    def enqueue(self, token: ToastToken) -> bool:
+        """Add a token; returns False (rejection) if the app is at cap."""
+        if self.depth_for(token.app) >= self._max_per_app:
+            self._rejected[token.app] = self._rejected.get(token.app, 0) + 1
+            return False
+        self._queue.append(token)
+        self._per_app[token.app] = self._per_app.get(token.app, 0) + 1
+        return True
+
+    def dequeue(self) -> Optional[ToastToken]:
+        if not self._queue:
+            return None
+        token = self._queue.popleft()
+        remaining = self._per_app.get(token.app, 0) - 1
+        if remaining > 0:
+            self._per_app[token.app] = remaining
+        else:
+            self._per_app.pop(token.app, None)
+        return token
+
+    def remove_toast(self, toast_id: int) -> bool:
+        """Drop one queued token by its toast id (``Toast.cancel()`` on a
+        not-yet-displayed toast removes it from the queue)."""
+        for token in self._queue:
+            if token.toast.toast_id == toast_id:
+                self._queue.remove(token)
+                remaining = self._per_app.get(token.app, 0) - 1
+                if remaining > 0:
+                    self._per_app[token.app] = remaining
+                else:
+                    self._per_app.pop(token.app, None)
+                return True
+        return False
+
+    def remove_app(self, app: str) -> int:
+        """Drop all queued tokens of ``app`` (used on app termination)."""
+        kept = [t for t in self._queue if t.app != app]
+        dropped = len(self._queue) - len(kept)
+        self._queue = deque(kept)
+        self._per_app.pop(app, None)
+        return dropped

@@ -1,0 +1,41 @@
+"""Human substrate: passwords, typing/touch models, the simulated typist,
+perception thresholds and the 30-person study pool."""
+
+from .models import TouchModel, TypingModel
+from .participant import (
+    STUDY_AGE_RANGE,
+    STUDY_FEMALE,
+    STUDY_SIZE,
+    Participant,
+    generate_participants,
+)
+from .passwords import (
+    DIGITS,
+    LOWERCASE,
+    SYMBOLS,
+    TABLE_III_LENGTHS,
+    UPPERCASE,
+    PasswordGenerator,
+)
+from .perception import PerceptionModel
+from .typist import ExecutedTap, Typist, TypingSession
+
+__all__ = [
+    "DIGITS",
+    "ExecutedTap",
+    "LOWERCASE",
+    "Participant",
+    "PasswordGenerator",
+    "PerceptionModel",
+    "STUDY_AGE_RANGE",
+    "STUDY_FEMALE",
+    "STUDY_SIZE",
+    "SYMBOLS",
+    "TABLE_III_LENGTHS",
+    "TouchModel",
+    "Typist",
+    "TypingModel",
+    "TypingSession",
+    "UPPERCASE",
+    "generate_participants",
+]

@@ -1,0 +1,72 @@
+"""Stochastic models of human typing and touching.
+
+These models generate the inputs the paper collected from its 30
+participants: tap timing (typing speed), tap placement (aim noise around
+key centers), the input-pipeline commit latency that decides whether a tap
+survives an overlay swap, and occasional misspellings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.rng import SeededRng
+from ..windows.geometry import Point, Rect
+
+
+@dataclass(frozen=True)
+class TypingModel:
+    """Inter-key timing of one user."""
+
+    mean_interval_ms: float = 280.0
+    std_interval_ms: float = 60.0
+    min_interval_ms: float = 140.0
+    #: Probability of hitting an adjacent key instead of the intended one
+    #: ("misspelling by a user may result in such an error case", paper
+    #: Table III discussion).
+    misspell_probability: float = 0.004
+
+    def next_interval(self, rng: SeededRng) -> float:
+        return rng.gauss_clipped(
+            self.mean_interval_ms, self.std_interval_ms, minimum=self.min_interval_ms
+        )
+
+    def scaled(self, factor: float) -> "TypingModel":
+        """A slower/faster variant of this model (per-participant spread)."""
+        return TypingModel(
+            mean_interval_ms=self.mean_interval_ms * factor,
+            std_interval_ms=self.std_interval_ms * factor,
+            min_interval_ms=self.min_interval_ms,
+            misspell_probability=self.misspell_probability,
+        )
+
+
+@dataclass(frozen=True)
+class TouchModel:
+    """Tap placement and gesture-commit behaviour of one user."""
+
+    #: Aim noise as a fraction of the key's smaller dimension.
+    aim_sigma_fraction: float = 0.16
+    #: Input pipeline commit latency (ms): the window during which removing
+    #: the target window cancels the gesture.
+    commit_mean_ms: float = 12.0
+    commit_std_ms: float = 3.0
+    commit_min_ms: float = 4.0
+
+    def aim_at(self, rng: SeededRng, key_rect: Rect) -> Point:
+        """A touch point aimed at the key's center with Gaussian spread,
+        clamped to stay inside the key (users rarely miss a key they are
+        looking at; cross-key errors are modelled as misspellings)."""
+        sigma = min(key_rect.width, key_rect.height) * self.aim_sigma_fraction
+        x = rng.gauss_clipped(
+            key_rect.center.x, sigma, key_rect.left + 1.0, key_rect.right - 1.0
+        )
+        y = rng.gauss_clipped(
+            key_rect.center.y, sigma, key_rect.top + 1.0, key_rect.bottom - 1.0
+        )
+        return Point(x, y)
+
+    def commit_latency(self, rng: SeededRng) -> float:
+        return rng.gauss_clipped(
+            self.commit_mean_ms, self.commit_std_ms, minimum=self.commit_min_ms
+        )

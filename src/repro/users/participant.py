@@ -1,0 +1,88 @@
+"""Participants: the simulated counterpart of the paper's user study.
+
+The paper recruited 30 participants (5 female, 25 male, ages 22–33, mean
+25), each with their own smartphone — the 30 devices of Table I. A
+:class:`Participant` bundles one device profile with per-person typing,
+touch, and perception models drawn around population means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..devices.profiles import DeviceProfile
+from ..devices.registry import DEVICES
+from ..sim.rng import SeededRng
+from .models import TouchModel, TypingModel
+from .perception import PerceptionModel
+
+#: Demographics from paper Section VI-A.
+STUDY_SIZE = 30
+STUDY_FEMALE = 5
+STUDY_AGE_RANGE = (22, 33)
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One user-study participant and their phone."""
+
+    participant_id: int
+    age: int
+    gender: str
+    device: DeviceProfile
+    typing: TypingModel
+    touch: TouchModel
+    perception: PerceptionModel
+
+    @property
+    def key(self) -> str:
+        return f"P{self.participant_id:02d}/{self.device.key}"
+
+
+def generate_participants(
+    rng: SeededRng,
+    count: int = STUDY_SIZE,
+    devices: Optional[Sequence[DeviceProfile]] = None,
+) -> List[Participant]:
+    """Draw a participant pool.
+
+    Each participant is assigned one device (cycling through the registry,
+    so the default count of 30 covers all 30 Table I devices exactly once)
+    and individual speed/aim/perception variation.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    pool = list(devices) if devices is not None else list(DEVICES)
+    participants: List[Participant] = []
+    base_typing = TypingModel()
+    base_touch = TouchModel()
+    for index in range(count):
+        person_rng = rng.child(f"participant-{index}")
+        speed_factor = person_rng.gauss_clipped(1.0, 0.15, minimum=0.65, maximum=1.5)
+        typing = base_typing.scaled(speed_factor)
+        touch = TouchModel(
+            aim_sigma_fraction=person_rng.gauss_clipped(
+                base_touch.aim_sigma_fraction, 0.03, minimum=0.08, maximum=0.3
+            ),
+            commit_mean_ms=person_rng.gauss_clipped(
+                base_touch.commit_mean_ms, 2.0, minimum=6.0, maximum=22.0
+            ),
+        )
+        perception = PerceptionModel(
+            lag_report_probability=person_rng.gauss_clipped(
+                0.03, 0.02, minimum=0.0, maximum=0.15
+            )
+        )
+        participants.append(
+            Participant(
+                participant_id=index + 1,
+                age=person_rng.randint(*STUDY_AGE_RANGE),
+                gender="female" if index < STUDY_FEMALE else "male",
+                device=pool[index % len(pool)],
+                typing=typing,
+                touch=touch,
+                perception=perception,
+            )
+        )
+    return participants

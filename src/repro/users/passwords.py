@@ -1,0 +1,64 @@
+"""Random password generation matching the paper's experiments.
+
+"a password is random and may contain lower case and upper case characters,
+numbers and special symbols on different sub-keyboards" (Section I); the
+user study types passwords of length 4, 6, 8, 10 and 12 (Section VI-C1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..apps.keyboard import KeyboardSpec
+from ..sim.rng import SeededRng
+
+LOWERCASE = "abcdefghijklmnopqrstuvwxyz"
+UPPERCASE = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+DIGITS = "1234567890"
+#: Special symbols available on the symbols sub-layout.
+SYMBOLS = "!@#$%^&*()-_=+;:'\"/?<>"
+
+#: Password lengths evaluated in Table III.
+TABLE_III_LENGTHS = (4, 6, 8, 10, 12)
+
+
+class PasswordGenerator:
+    """Draws random passwords over the keyboard's typable alphabet."""
+
+    def __init__(self, rng: SeededRng, spec: Optional[KeyboardSpec] = None) -> None:
+        self._rng = rng
+        if spec is not None:
+            typable = set(spec.typable_characters())
+            self._classes = [
+                [c for c in LOWERCASE if c in typable],
+                [c for c in UPPERCASE if c in typable],
+                [c for c in DIGITS if c in typable],
+                [c for c in SYMBOLS if c in typable],
+            ]
+        else:
+            self._classes = [list(LOWERCASE), list(UPPERCASE), list(DIGITS), list(SYMBOLS)]
+        for cls in self._classes:
+            if not cls:
+                raise ValueError("keyboard cannot type one of the password classes")
+
+    def generate(self, length: int, require_all_classes: bool = True) -> str:
+        """One random password of ``length`` characters.
+
+        With ``require_all_classes`` (and length >= 4) the password contains
+        at least one character from each class, forcing subkeyboard
+        switches — the hard case for the attack."""
+        if length < 1:
+            raise ValueError(f"length must be >= 1, got {length}")
+        chars: List[str] = []
+        if require_all_classes and length >= len(self._classes):
+            for cls in self._classes:
+                chars.append(self._rng.choice(cls))
+        alphabet = [c for cls in self._classes for c in cls]
+        while len(chars) < length:
+            chars.append(self._rng.choice(alphabet))
+        self._rng.shuffle(chars)
+        return "".join(chars[:length])
+
+    def generate_letters(self, length: int) -> str:
+        """A lowercase-only random string (the Fig. 7 testing-app input)."""
+        return "".join(self._rng.choice(self._classes[0]) for _ in range(length))

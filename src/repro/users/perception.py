@@ -1,0 +1,76 @@
+"""User perception: what a victim can actually notice.
+
+Three channels matter to the paper's stealthiness claims:
+
+* the notification alert — perceptible only if frames with >= 1 rendered
+  pixel stay up long enough (the draw-and-destroy overlay attack keeps the
+  alert at Λ1, below any perceptible exposure);
+* toast-switch flicker — perceptible only if combined toast opacity dips
+  deep enough for long enough (the fade-out/fade-in overlap keeps the dip
+  in the hundredths);
+* lag — the occasional sluggishness one of the paper's 30 participants
+  reported (Section VI-C3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..sim.rng import SeededRng
+from ..systemui.outcomes import NotificationOutcome
+from ..systemui.system_ui import SystemUi
+from ..toast.lifecycle import ToastSwitch
+
+
+@dataclass(frozen=True)
+class PerceptionModel:
+    """Detection thresholds of one user."""
+
+    #: Minimum total time (ms) the alert must show >= 1 px to be noticed.
+    alert_visible_threshold_ms: float = 120.0
+    #: A toast switch is a visible flicker if combined opacity dips below
+    #: this...
+    flicker_coverage_threshold: float = 0.75
+    #: ...for at least this long (ms).
+    flicker_duration_threshold_ms: float = 40.0
+    #: Probability this user reports lag after an attacked session.
+    lag_report_probability: float = 0.03
+
+    # ------------------------------------------------------------------
+    def notices_alert(self, system_ui: SystemUi, as_of: Optional[float] = None) -> bool:
+        """Did the overlay-presence alert become perceptible?"""
+        worst = system_ui.worst_outcome(as_of=as_of)
+        if worst is NotificationOutcome.LAMBDA1:
+            return False
+        if worst >= NotificationOutcome.LAMBDA3:
+            # A fully drawn view was up: the slide-in alone took 360 ms.
+            return True
+        return system_ui.total_visible_ms(as_of=as_of) >= self.alert_visible_threshold_ms
+
+    def notices_flicker(
+        self,
+        switches: Sequence[ToastSwitch],
+        background_identical: bool = False,
+    ) -> bool:
+        """Did any toast transition produce a perceptible flicker?
+
+        With ``background_identical`` (the password attack: the fake
+        keyboard sits over the visually identical real keyboard), a
+        transparency dip reveals the same image, so only a deep, sustained
+        dip — enough to expose a sub-layout mismatch — is perceptible.
+        """
+        if background_identical:
+            coverage_threshold = 0.35
+            duration_threshold = 80.0
+        else:
+            coverage_threshold = self.flicker_coverage_threshold
+            duration_threshold = self.flicker_duration_threshold_ms
+        return any(
+            s.min_coverage < coverage_threshold
+            and s.time_below_threshold_ms >= duration_threshold
+            for s in switches
+        )
+
+    def reports_lag(self, rng: SeededRng) -> bool:
+        return rng.chance(self.lag_report_probability)

@@ -1,0 +1,143 @@
+"""The simulated user actually typing on the screen.
+
+A :class:`Typist` executes a planned key-press sequence with human timing
+and aim noise, issuing tap gestures through the stack's
+:class:`~repro.windows.touch.TouchDispatcher`. Whatever window sits on top
+— the victim app's keyboard, or the attacker's transparent overlay —
+receives (or misses) those taps exactly as the window system dictates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..apps.keyboard import KeyboardSpec, KeyPress, plan_key_sequence
+from ..sim.process import SimProcess
+from ..stack import AndroidStack
+from ..windows.geometry import Point
+from ..windows.touch import TapRecord
+from .models import TouchModel, TypingModel
+
+
+@dataclass
+class ExecutedTap:
+    """One tap the user performed, joined with its dispatch outcome."""
+
+    planned: KeyPress
+    #: The key actually aimed at (differs from planned on a misspelling).
+    actual_key: str
+    point: Point
+    tap: TapRecord
+    misspelled: bool = False
+
+
+@dataclass
+class TypingSession:
+    """The full record of one typed string."""
+
+    text: str
+    presses: List[KeyPress]
+    taps: List[ExecutedTap] = field(default_factory=list)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.finished_at is not None
+
+
+class Typist(SimProcess):
+    """Drives tap gestures for key sequences on a keyboard geometry."""
+
+    def __init__(
+        self,
+        stack: AndroidStack,
+        spec: KeyboardSpec,
+        typing_model: TypingModel,
+        touch_model: TouchModel,
+        name: str = "user",
+    ) -> None:
+        super().__init__(stack.simulation, name)
+        self.stack = stack
+        self.spec = spec
+        self.typing_model = typing_model
+        self.touch_model = touch_model
+        self.sessions: List[TypingSession] = []
+
+    # ------------------------------------------------------------------
+    def type_text(
+        self,
+        text: str,
+        start_layout: str = "lower",
+        on_done: Optional[Callable[[TypingSession], None]] = None,
+        initial_delay_ms: float = 0.0,
+    ) -> TypingSession:
+        """Type ``text`` (including any needed subkeyboard switches)."""
+        presses = plan_key_sequence(self.spec, text, start_layout)
+        return self.type_presses(text, presses, on_done, initial_delay_ms)
+
+    def type_presses(
+        self,
+        text: str,
+        presses: List[KeyPress],
+        on_done: Optional[Callable[[TypingSession], None]] = None,
+        initial_delay_ms: float = 0.0,
+    ) -> TypingSession:
+        session = TypingSession(text=text, presses=presses)
+        self.sessions.append(session)
+
+        def do_press(index: int) -> None:
+            if session.started_at is None:
+                session.started_at = self.now
+            press = presses[index]
+            actual_key, misspelled = self._maybe_misspell(press)
+            key_rect = self.spec.layout(press.layout).keys[actual_key]
+            point = self.touch_model.aim_at(self.rng, key_rect)
+            commit = self.touch_model.commit_latency(self.rng)
+            tap = self.stack.touch.tap(point, commit_ms=commit)
+            session.taps.append(
+                ExecutedTap(
+                    planned=press,
+                    actual_key=actual_key,
+                    point=point,
+                    tap=tap,
+                    misspelled=misspelled,
+                )
+            )
+            if index + 1 < len(presses):
+                interval = self.typing_model.next_interval(self.rng)
+                self.schedule(interval, lambda: do_press(index + 1), name="keypress")
+            else:
+                # Let the last gesture commit before declaring completion.
+                def finish() -> None:
+                    session.finished_at = self.now
+                    if on_done is not None:
+                        on_done(session)
+
+                self.schedule(commit + 1.0, finish, name="typing-done")
+
+        first_delay = initial_delay_ms + self.typing_model.next_interval(self.rng)
+        self.schedule(first_delay, lambda: do_press(0), name="keypress")
+        return session
+
+    # ------------------------------------------------------------------
+    def _maybe_misspell(self, press: KeyPress):
+        """Occasionally substitute an adjacent character key."""
+        if len(press.key) != 1:
+            return press.key, False  # special keys are big; no misspells
+        if not self.rng.chance(self.typing_model.misspell_probability):
+            return press.key, False
+        layout = self.spec.layout(press.layout)
+        target_rect = layout.keys[press.key]
+        neighbour_limit = target_rect.width * 1.6
+        neighbours = [
+            key
+            for key, rect in layout.keys.items()
+            if len(key) == 1
+            and key != press.key
+            and rect.center.distance_to(target_rect.center) <= neighbour_limit
+        ]
+        if not neighbours:
+            return press.key, False
+        return self.rng.choice(neighbours), True

@@ -1,0 +1,46 @@
+"""Window-system substrate: geometry, windows, screen, permissions, touch
+dispatch and the System Server (Window Manager Service)."""
+
+from .compositor import VisibleLayer, coverage, effective_content, visible_stack
+from .geometry import Point, Rect
+from .permissions import Permission, PermissionDenied, PermissionManager
+from .screen import Screen
+from .system_server import SYSTEM_SERVER, SYSTEM_UI, OverlayAlertPolicy, SystemServer
+from .touch import DEFAULT_COMMIT_MS, TapOutcome, TapRecord, TouchDispatcher
+from .types import (
+    NEVER_TOUCHABLE_TYPES,
+    PRIVILEGED_OVERLAY_TYPES,
+    WINDOW_LAYERS,
+    WindowFlags,
+    WindowType,
+    layer_of,
+)
+from .window import Window
+
+__all__ = [
+    "DEFAULT_COMMIT_MS",
+    "NEVER_TOUCHABLE_TYPES",
+    "OverlayAlertPolicy",
+    "PRIVILEGED_OVERLAY_TYPES",
+    "Permission",
+    "PermissionDenied",
+    "PermissionManager",
+    "Point",
+    "Rect",
+    "SYSTEM_SERVER",
+    "SYSTEM_UI",
+    "Screen",
+    "SystemServer",
+    "TapOutcome",
+    "TapRecord",
+    "TouchDispatcher",
+    "VisibleLayer",
+    "WINDOW_LAYERS",
+    "Window",
+    "coverage",
+    "effective_content",
+    "visible_stack",
+    "WindowFlags",
+    "WindowType",
+    "layer_of",
+]

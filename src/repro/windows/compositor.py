@@ -1,0 +1,113 @@
+"""Screen compositor: what the user actually sees at a point in time.
+
+The window stack alone does not answer "what is visible": toasts carry
+time-varying opacity, overlays may be transparent, and several layers can
+blend. The compositor walks the z-order top-down, accumulating alpha, and
+answers three questions the attacks and the perception model care about:
+
+* :func:`visible_stack` — the layers contributing to a pixel, with their
+  effective opacities;
+* :func:`effective_content` — which window's content dominates a pixel
+  (what the user perceives);
+* :func:`coverage` — how opaque the composite is over a region (the
+  flicker metric, generalized beyond toasts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from ..toast.toast import Toast
+from .geometry import Point, Rect
+from .screen import Screen
+from .window import Window
+
+
+@dataclass(frozen=True)
+class VisibleLayer:
+    """One window's contribution to a pixel."""
+
+    window: Window
+    #: The window's own opacity at query time (toasts animate).
+    layer_alpha: float
+    #: Opacity actually contributed after occlusion by layers above.
+    effective_alpha: float
+
+    @property
+    def content(self) -> Any:
+        return self.window.content
+
+
+def _window_alpha(window: Window, time: float) -> float:
+    """A window's intrinsic opacity at ``time``.
+
+    Toast windows delegate to their toast's fade timeline; other windows
+    use their static alpha — except fully transparent UI-intercepting
+    overlays, which contribute nothing visually.
+    """
+    content = window.content
+    if isinstance(content, Toast):
+        return content.alpha_at(time)
+    return window.alpha
+
+
+def visible_stack(screen: Screen, point: Point, time: float) -> List[VisibleLayer]:
+    """Layers visible at ``point``, top to bottom, with effective alphas."""
+    layers: List[VisibleLayer] = []
+    transparency = 1.0  # how much of the lower layers still shows through
+    for window in screen.windows_at(point):
+        alpha = _window_alpha(window, time)
+        if alpha <= 0.0:
+            continue
+        effective = alpha * transparency
+        layers.append(
+            VisibleLayer(window=window, layer_alpha=alpha,
+                         effective_alpha=effective)
+        )
+        transparency *= 1.0 - alpha
+        if transparency <= 1e-9:
+            break
+    return layers
+
+
+def effective_content(screen: Screen, point: Point, time: float) -> Optional[Any]:
+    """The content the user predominantly perceives at ``point``."""
+    layers = visible_stack(screen, point, time)
+    if not layers:
+        return None
+    dominant = max(layers, key=lambda layer: layer.effective_alpha)
+    return dominant.content
+
+
+def coverage(
+    screen: Screen,
+    rect: Rect,
+    time: float,
+    samples_per_axis: int = 3,
+    predicate=None,
+) -> float:
+    """Mean composite opacity of (optionally filtered) windows over
+    ``rect``, sampled on a small grid.
+
+    With ``predicate`` (e.g., ``lambda w: w.owner == malware``) only the
+    matching windows' contributions count — the generalized form of the
+    toast-attack coverage metric.
+    """
+    if samples_per_axis < 1:
+        raise ValueError(f"samples_per_axis must be >= 1, got {samples_per_axis}")
+    total = 0.0
+    count = 0
+    for ix in range(samples_per_axis):
+        for iy in range(samples_per_axis):
+            x = rect.left + rect.width * (ix + 0.5) / samples_per_axis
+            y = rect.top + rect.height * (iy + 0.5) / samples_per_axis
+            point = Point(x, y)
+            transparency = 1.0
+            for window in screen.windows_at(point):
+                if predicate is not None and not predicate(window):
+                    continue
+                transparency *= 1.0 - _window_alpha(window, time)
+            total += 1.0 - transparency
+            count += 1
+    return total / count if count else 0.0

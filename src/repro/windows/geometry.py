@@ -1,0 +1,79 @@
+"""Screen geometry primitives."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """A screen coordinate in pixels."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def offset(self, dx: float, dy: float) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle: [left, right) x [top, bottom)."""
+
+    left: float
+    top: float
+    right: float
+    bottom: float
+
+    def __post_init__(self) -> None:
+        if self.right < self.left:
+            raise ValueError(f"right {self.right} < left {self.left}")
+        if self.bottom < self.top:
+            raise ValueError(f"bottom {self.bottom} < top {self.top}")
+
+    @property
+    def width(self) -> float:
+        return self.right - self.left
+
+    @property
+    def height(self) -> float:
+        return self.bottom - self.top
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.left + self.right) / 2.0, (self.top + self.bottom) / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        return self.left <= point.x < self.right and self.top <= point.y < self.bottom
+
+    def intersects(self, other: "Rect") -> bool:
+        return not (
+            other.left >= self.right
+            or other.right <= self.left
+            or other.top >= self.bottom
+            or other.bottom <= self.top
+        )
+
+    def intersection(self, other: "Rect") -> "Rect":
+        if not self.intersects(other):
+            return Rect(self.left, self.top, self.left, self.top)
+        return Rect(
+            max(self.left, other.left),
+            max(self.top, other.top),
+            min(self.right, other.right),
+            min(self.bottom, other.bottom),
+        )
+
+    def inset(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.left + dx, self.top + dy, self.right - dx, self.bottom - dy)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.left + dx, self.top + dy, self.right + dx, self.bottom + dy)

@@ -1,0 +1,51 @@
+"""Android permission model (the slice the attacks need)."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Set
+
+
+class Permission(enum.Enum):
+    """Permissions referenced by the paper's attacks and corpus study."""
+
+    SYSTEM_ALERT_WINDOW = "android.permission.SYSTEM_ALERT_WINDOW"
+    BIND_ACCESSIBILITY_SERVICE = "android.permission.BIND_ACCESSIBILITY_SERVICE"
+    INTERNET = "android.permission.INTERNET"
+
+
+class PermissionDenied(Exception):
+    """An app attempted an operation without the required permission."""
+
+    def __init__(self, app: str, permission: Permission) -> None:
+        super().__init__(f"app {app!r} lacks permission {permission.value}")
+        self.app = app
+        self.permission = permission
+
+
+class PermissionManager:
+    """Tracks which app holds which permission.
+
+    ``SYSTEM_ALERT_WINDOW`` gates overlay creation (built-in defense (i),
+    paper Section II-A2). The draw-and-destroy *toast* attack needs no
+    permission at all, which the threat model in Section IV-A highlights.
+    """
+
+    def __init__(self) -> None:
+        self._grants: Dict[str, Set[Permission]] = {}
+
+    def grant(self, app: str, permission: Permission) -> None:
+        self._grants.setdefault(app, set()).add(permission)
+
+    def revoke(self, app: str, permission: Permission) -> None:
+        self._grants.get(app, set()).discard(permission)
+
+    def is_granted(self, app: str, permission: Permission) -> bool:
+        return permission in self._grants.get(app, set())
+
+    def require(self, app: str, permission: Permission) -> None:
+        if not self.is_granted(app, permission):
+            raise PermissionDenied(app, permission)
+
+    def grants_of(self, app: str) -> Set[Permission]:
+        return set(self._grants.get(app, set()))

@@ -1,0 +1,95 @@
+"""The screen: the z-ordered set of windows currently displayed."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from .geometry import Point
+from .types import WindowType
+from .window import Window
+
+
+class Screen:
+    """Tracks on-screen windows and answers hit-testing queries.
+
+    Ties in z-order (same layer) are broken by insertion order: a window
+    added later is above an earlier one on the same layer, matching
+    Android's behaviour for repeated ``addView`` calls from one app.
+    """
+
+    def __init__(self, width_px: int, height_px: int) -> None:
+        if width_px <= 0 or height_px <= 0:
+            raise ValueError(f"invalid screen size {width_px}x{height_px}")
+        self.width_px = width_px
+        self.height_px = height_px
+        self._windows: List[Window] = []
+        self._add_counter = 0
+        self._add_order = {}
+
+    # ------------------------------------------------------------------
+    # Window management
+    # ------------------------------------------------------------------
+    def add(self, window: Window, time: float) -> None:
+        if window.on_screen:
+            raise ValueError(f"window {window.label!r} is already on screen")
+        window.on_screen = True
+        window.added_at = time
+        window.removed_at = None
+        self._add_counter += 1
+        self._add_order[window.window_id] = self._add_counter
+        self._windows.append(window)
+
+    def remove(self, window: Window, time: float) -> None:
+        if not window.on_screen:
+            raise ValueError(f"window {window.label!r} is not on screen")
+        window.on_screen = False
+        window.removed_at = time
+        self._windows.remove(window)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def windows(self) -> List[Window]:
+        """All on-screen windows, bottom to top."""
+        return sorted(
+            self._windows, key=lambda w: (w.layer, self._add_order[w.window_id])
+        )
+
+    def windows_of(
+        self, owner: str, window_type: Optional[WindowType] = None
+    ) -> List[Window]:
+        result = [w for w in self._windows if w.owner == owner]
+        if window_type is not None:
+            result = [w for w in result if w.window_type == window_type]
+        return result
+
+    def has_overlay_of(self, owner: str) -> bool:
+        """Is any TYPE_APPLICATION_OVERLAY window of ``owner`` showing?
+
+        This is exactly the check System Server performs after removing an
+        overlay to decide whether the notification alert should stay
+        (paper Section III-C Step 2)."""
+        return bool(self.windows_of(owner, WindowType.APPLICATION_OVERLAY))
+
+    def windows_at(self, point: Point) -> List[Window]:
+        """On-screen windows containing ``point``, top to bottom."""
+        return [w for w in reversed(self.windows) if w.contains(point)]
+
+    def topmost_touchable_at(self, point: Point) -> Optional[Window]:
+        """The window that would receive a touch at ``point``.
+
+        Walks down the z-order skipping windows that never receive touches
+        (toasts, status bar) and windows with FLAG_NOT_TOUCHABLE, through
+        which touch events pass (paper Section II-A1)."""
+        for window in self.windows_at(point):
+            if window.touchable:
+                return window
+        return None
+
+    def visible_windows_at(
+        self, point: Point, predicate: Optional[Callable[[Window], bool]] = None
+    ) -> Iterable[Window]:
+        for window in self.windows_at(point):
+            if predicate is None or predicate(window):
+                yield window

@@ -1,0 +1,140 @@
+"""Touch input dispatch.
+
+Semantics (both matter to the paper's two measurement styles):
+
+* **Delivery at finger-down** — the topmost touchable window at the moment
+  of ``ACTION_DOWN`` receives the touch callback (with coordinates)
+  immediately. A UI-intercepting overlay therefore captures a tap's
+  coordinates the instant it lands, which is all the password-stealing
+  attack needs.
+* **Gesture commitment** — the full gesture only *commits* if the target
+  window survives a short input-pipeline window after down. If a
+  draw-and-destroy cycle removes the overlay underneath the finger first,
+  the event stream is cancelled (``ACTION_CANCEL``): the character never
+  materializes anywhere. The paper's Fig. 7 testing app counts committed
+  characters, which is why its capture rates sit below the pure
+  gap-probability.
+
+A tap landing during the mistouch gap ``Tmis`` — after the old overlay is
+gone, before the new one is up — is delivered to whatever sits beneath
+(usually the real keyboard), not to the attacker.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..sim.process import SimProcess
+from ..sim.simulation import Simulation
+from .geometry import Point
+from .screen import Screen
+from .window import Window
+
+
+class TapOutcome(enum.Enum):
+    """Terminal state of one tap gesture."""
+
+    PENDING = "pending"
+    DELIVERED = "delivered"
+    CANCELLED_WINDOW_REMOVED = "cancelled_window_removed"
+    NO_TARGET = "no_target"
+
+
+@dataclass
+class TapRecord:
+    """The dispatcher's account of one tap."""
+
+    down_time: float
+    point: Point
+    outcome: TapOutcome = TapOutcome.PENDING
+    target_label: Optional[str] = None
+    target_owner: Optional[str] = None
+    committed_at: Optional[float] = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def committed(self) -> bool:
+        return self.outcome is TapOutcome.DELIVERED
+
+
+TapCallback = Callable[[TapRecord], None]
+
+#: Default gesture commit latency (ms): time between finger-down and the
+#: input pipeline durably binding the event stream to its target window.
+DEFAULT_COMMIT_MS = 12.0
+
+
+class TouchDispatcher(SimProcess):
+    """Routes tap gestures to windows through the simulated input pipeline."""
+
+    def __init__(
+        self,
+        simulation: Simulation,
+        screen: Screen,
+        name: str = "input",
+        gesture_teardown_ms: float = 0.0,
+    ) -> None:
+        super().__init__(simulation, name)
+        if gesture_teardown_ms < 0:
+            raise ValueError(
+                f"gesture_teardown_ms must be >= 0, got {gesture_teardown_ms}"
+            )
+        self._screen = screen
+        self._taps: List[TapRecord] = []
+        #: Version-dependent extra window (ms) during which removing the
+        #: target window still cancels the gesture (longer on Android
+        #: 10/11 after the per-window input channel rework).
+        self.gesture_teardown_ms = float(gesture_teardown_ms)
+
+    @property
+    def taps(self) -> List[TapRecord]:
+        return list(self._taps)
+
+    @property
+    def committed_count(self) -> int:
+        return sum(1 for t in self._taps if t.committed)
+
+    def tap(
+        self,
+        point: Point,
+        commit_ms: float = DEFAULT_COMMIT_MS,
+        on_result: Optional[TapCallback] = None,
+    ) -> TapRecord:
+        """Perform one tap at ``point``.
+
+        The hit window's ``on_touch`` fires immediately (ACTION_DOWN); the
+        returned record resolves to DELIVERED or CANCELLED after
+        ``commit_ms``, and ``on_result`` fires at that point.
+        """
+        if commit_ms < 0:
+            raise ValueError(f"commit_ms must be >= 0, got {commit_ms}")
+        record = TapRecord(down_time=self.now, point=point)
+        self._taps.append(record)
+        target = self._screen.topmost_touchable_at(point)
+        if target is None:
+            record.outcome = TapOutcome.NO_TARGET
+            self.trace("touch.no_target", x=round(point.x, 1), y=round(point.y, 1))
+            if on_result is not None:
+                on_result(record)
+            return record
+        record.target_label = target.label
+        record.target_owner = target.owner
+        target.deliver_touch(point, record.down_time)
+        self.trace("touch.down", target=target.label,
+                   x=round(point.x, 1), y=round(point.y, 1))
+
+        def commit(window: Window = target) -> None:
+            if not window.on_screen:
+                record.outcome = TapOutcome.CANCELLED_WINDOW_REMOVED
+                self.trace("touch.cancelled", target=window.label)
+            else:
+                record.outcome = TapOutcome.DELIVERED
+                record.committed_at = self.now
+            if on_result is not None:
+                on_result(record)
+
+        self.schedule(commit_ms + self.gesture_teardown_ms, commit,
+                      name="tap-commit")
+        return record

@@ -1,0 +1,66 @@
+"""Window types, flags and z-ordering.
+
+Layer assignments mirror the relationships the paper relies on:
+
+* toast windows sit above application windows and the input method ("the
+  toast can be ... positioned on the topmost layer without requiring any
+  privileges", Section II-B), which is how the fake keyboard covers the
+  real one; and
+* ``TYPE_APPLICATION_OVERLAY`` windows sit above toasts, which is how the
+  transparent UI-intercepting overlays cover the fake keyboard (Section V).
+* the status bar / System UI layer is above everything an app can create.
+
+``TYPE_TOAST`` *windows* (the pre-Android-8 persistent trick) are
+deliberately absent: the reproduction targets Android >= 8 where that type
+was removed.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class WindowType(enum.Enum):
+    """Subset of Android window types needed by the reproduction."""
+
+    BASE_APPLICATION = "base_application"
+    INPUT_METHOD = "input_method"
+    TOAST = "toast"
+    APPLICATION_OVERLAY = "application_overlay"
+    STATUS_BAR = "status_bar"
+
+
+#: Z-order: higher layer is drawn on top and receives touches first.
+WINDOW_LAYERS = {
+    WindowType.BASE_APPLICATION: 1,
+    WindowType.INPUT_METHOD: 2,
+    WindowType.TOAST: 3,
+    WindowType.APPLICATION_OVERLAY: 4,
+    WindowType.STATUS_BAR: 5,
+}
+
+
+class WindowFlags(enum.Flag):
+    """Window behaviour flags."""
+
+    NONE = 0
+    #: Touches pass through to the window beneath (clickjacking-style
+    #: non-UI-intercepting overlays, paper Section II-A1).
+    NOT_TOUCHABLE = enum.auto()
+    #: The window is (semi-)transparent: content beneath remains visible.
+    TRANSPARENT = enum.auto()
+    FULLSCREEEN = enum.auto()
+
+
+def layer_of(window_type: WindowType) -> int:
+    return WINDOW_LAYERS[window_type]
+
+
+#: Window types whose creation requires SYSTEM_ALERT_WINDOW.
+PRIVILEGED_OVERLAY_TYPES = frozenset({WindowType.APPLICATION_OVERLAY})
+
+#: Window types that never receive touch events. A toast "does not receive
+#: touch events" (paper Section II-B) regardless of flags.
+NEVER_TOUCHABLE_TYPES = frozenset(
+    {WindowType.TOAST, WindowType.STATUS_BAR}
+)

@@ -1,0 +1,82 @@
+"""The Window object: a rectangular on-screen area owned by one app."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from .geometry import Point, Rect
+from .types import NEVER_TOUCHABLE_TYPES, WindowFlags, WindowType, layer_of
+
+_window_ids = itertools.count(1)
+
+TouchCallback = Callable[["Window", Point, float], None]
+
+
+class Window:
+    """One window as tracked by the Window Manager Service.
+
+    A window in Android "corresponds to a rectangular area on the screen,
+    and is a basic class for constructing the user interface, in charge of
+    drawing and event handling" (paper Section II-A2). The simulation keeps
+    the drawing side abstract (``content`` + ``alpha``) and models event
+    handling exactly (``touchable``, ``on_touch``).
+    """
+
+    def __init__(
+        self,
+        owner: str,
+        window_type: WindowType,
+        rect: Rect,
+        flags: WindowFlags = WindowFlags.NONE,
+        content: Any = None,
+        alpha: float = 1.0,
+        on_touch: Optional[TouchCallback] = None,
+        label: str = "",
+    ) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        self.window_id = next(_window_ids)
+        self.owner = owner
+        self.window_type = window_type
+        self.rect = rect
+        self.flags = flags
+        self.content = content
+        self.alpha = alpha
+        self.on_touch = on_touch
+        self.label = label or f"{owner}:{window_type.value}:{self.window_id}"
+        #: Set by the screen when the window is added/removed.
+        self.on_screen = False
+        self.added_at: Optional[float] = None
+        self.removed_at: Optional[float] = None
+        #: Count of touch events delivered to this window.
+        self.touches_received = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def layer(self) -> int:
+        return layer_of(self.window_type)
+
+    @property
+    def touchable(self) -> bool:
+        """Whether this window intercepts touches at all."""
+        if self.window_type in NEVER_TOUCHABLE_TYPES:
+            return False
+        return not bool(self.flags & WindowFlags.NOT_TOUCHABLE)
+
+    @property
+    def transparent(self) -> bool:
+        return bool(self.flags & WindowFlags.TRANSPARENT) or self.alpha < 1.0
+
+    def contains(self, point: Point) -> bool:
+        return self.rect.contains(point)
+
+    def deliver_touch(self, point: Point, time: float) -> None:
+        """Deliver one touch-down to this window's handler."""
+        self.touches_received += 1
+        if self.on_touch is not None:
+            self.on_touch(self, point, time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "on-screen" if self.on_screen else "off-screen"
+        return f"Window({self.label!r}, layer={self.layer}, {state})"

@@ -1,0 +1,176 @@
+"""Tests for the frame-driven animator."""
+
+import pytest
+
+from repro.animation.animator import (
+    ANIMATION_DURATION_STANDARD,
+    AnimationState,
+    Animator,
+    first_visible_frame_time,
+    rendered_pixels,
+)
+from repro.animation.interpolators import (
+    FastOutSlowInInterpolator,
+    LinearInterpolator,
+)
+from repro.sim import Simulation
+
+
+def make_animator(sim, duration=100.0, refresh=10.0, interp=None, frames=None):
+    return Animator(
+        simulation=sim,
+        interpolator=interp or LinearInterpolator(),
+        duration_ms=duration,
+        refresh_interval_ms=refresh,
+        on_frame=(frames.append if frames is not None else None),
+    )
+
+
+class TestLifecycle:
+    def test_runs_to_completion(self):
+        sim = Simulation()
+        frames = []
+        animator = make_animator(sim, frames=frames)
+        animator.start()
+        sim.run_until(200.0)
+        assert animator.state is AnimationState.FINISHED
+        assert animator.progress == pytest.approx(1.0)
+        assert len(frames) == 10  # 100ms / 10ms
+
+    def test_frames_are_quantized_to_refresh_interval(self):
+        sim = Simulation()
+        frames = []
+        animator = make_animator(sim, frames=frames)
+        animator.start()
+        sim.run_until(35.0)
+        # frames at 10, 20, 30 -> linear progress 0.1, 0.2, 0.3
+        assert frames == [pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.3)]
+
+    def test_cancel_freezes_progress(self):
+        sim = Simulation()
+        animator = make_animator(sim)
+        animator.start()
+        sim.run_until(42.0)
+        animator.cancel()
+        progress = animator.progress
+        sim.run_until(200.0)
+        assert animator.state is AnimationState.CANCELLED
+        assert animator.progress == progress
+
+    def test_cancel_before_first_frame_renders_nothing(self):
+        sim = Simulation()
+        frames = []
+        animator = make_animator(sim, frames=frames)
+        animator.start()
+        sim.run_until(9.0)
+        animator.cancel()
+        sim.run_until(200.0)
+        assert frames == []
+        assert animator.max_progress == 0.0
+
+    def test_on_finished_callback(self):
+        sim = Simulation()
+        done = []
+        animator = Animator(
+            sim, LinearInterpolator(), duration_ms=50.0,
+            refresh_interval_ms=10.0, on_finished=lambda: done.append(True),
+        )
+        animator.start()
+        sim.run_until(100.0)
+        assert done == [True]
+
+    def test_double_start_is_noop(self):
+        sim = Simulation()
+        animator = make_animator(sim)
+        animator.start()
+        animator.start()
+        sim.run_until(200.0)
+        assert animator.frames_rendered == 10
+
+    def test_max_progress_survives_reverse(self):
+        sim = Simulation()
+        animator = make_animator(sim)
+        animator.start()
+        sim.run_until(50.0)
+        peak = animator.max_progress
+        animator.reverse()
+        sim.run_until(300.0)
+        assert animator.state is AnimationState.REVERSED
+        assert animator.max_progress == peak
+        assert animator.progress == pytest.approx(0.0, abs=1e-9)
+
+    def test_reverse_from_zero_completes_immediately(self):
+        sim = Simulation()
+        animator = make_animator(sim)
+        animator.reverse()
+        assert animator.state is AnimationState.REVERSED
+
+    def test_invalid_parameters_raise(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            Animator(sim, LinearInterpolator(), duration_ms=0.0)
+        with pytest.raises(ValueError):
+            Animator(sim, LinearInterpolator(), duration_ms=10.0,
+                     refresh_interval_ms=0.0)
+
+
+class TestRenderedPixels:
+    def test_rounds_half_up(self):
+        assert rendered_pixels(0.5 / 72, 72) == 1
+        assert rendered_pixels(0.49 / 72, 72) == 0
+
+    def test_paper_example_first_frame_rounds_to_zero(self):
+        # 72 px view, 0.17% completeness -> 0.12 px -> 0 (Section III-B).
+        assert rendered_pixels(0.0017, 72) == 0
+
+    def test_full_progress_gives_full_height(self):
+        assert rendered_pixels(1.0, 72) == 72
+
+
+class TestFirstVisibleFrame:
+    def test_notification_slide_in_first_visible_frame(self):
+        # With the stock parameters (360 ms FOSI, 10 ms frames, 72 px) the
+        # first frame drawing >= 1 px is the 20 ms frame.
+        t = first_visible_frame_time(
+            FastOutSlowInInterpolator(), ANIMATION_DURATION_STANDARD, 10.0, 72
+        )
+        assert t == 20.0
+
+    def test_taller_views_become_visible_earlier_or_equal(self):
+        short = first_visible_frame_time(
+            FastOutSlowInInterpolator(), 360.0, 10.0, 30
+        )
+        tall = first_visible_frame_time(
+            FastOutSlowInInterpolator(), 360.0, 10.0, 300
+        )
+        assert tall <= short
+
+    def test_linear_visible_on_first_frame_for_tall_views(self):
+        t = first_visible_frame_time(LinearInterpolator(), 100.0, 10.0, 100)
+        assert t == 10.0
+
+    def test_zero_height_never_visible(self):
+        with pytest.raises(ValueError):
+            first_visible_frame_time(LinearInterpolator(), 100.0, 10.0, 0)
+
+
+class TestChoreographer:
+    def test_choreographer_propagates_refresh_interval(self):
+        from repro.animation.choreographer import Choreographer
+
+        sim = Simulation()
+        chor = Choreographer(sim, refresh_interval_ms=16.0)
+        frames = []
+        animator = chor.create_animator(
+            LinearInterpolator(), duration_ms=160.0, on_frame=frames.append
+        )
+        animator.start()
+        sim.run_until(64.0)
+        assert len(frames) == 4
+        assert chor.animators_created == 1
+
+    def test_choreographer_rejects_bad_interval(self):
+        from repro.animation.choreographer import Choreographer
+
+        with pytest.raises(ValueError):
+            Choreographer(Simulation(), refresh_interval_ms=0.0)

@@ -1,0 +1,132 @@
+"""Tests for the Android interpolators, anchored on the paper's numbers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.animation.interpolators import (
+    AccelerateDecelerateInterpolator,
+    AccelerateInterpolator,
+    CubicBezierInterpolator,
+    DecelerateInterpolator,
+    FastOutSlowInInterpolator,
+    LinearInterpolator,
+)
+
+ALL_INTERPOLATORS = [
+    LinearInterpolator(),
+    AccelerateInterpolator(),
+    DecelerateInterpolator(),
+    FastOutSlowInInterpolator(),
+    AccelerateDecelerateInterpolator(),
+    CubicBezierInterpolator(0.25, 0.1, 0.25, 1.0),
+]
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestEndpointsAndMonotonicity:
+    @pytest.mark.parametrize("interp", ALL_INTERPOLATORS, ids=lambda i: i.name)
+    def test_endpoints(self, interp):
+        assert interp.value(0.0) == pytest.approx(0.0, abs=1e-9)
+        assert interp.value(1.0) == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("interp", ALL_INTERPOLATORS, ids=lambda i: i.name)
+    def test_monotone_nondecreasing(self, interp):
+        samples = [interp.value(i / 200) for i in range(201)]
+        assert all(a <= b + 1e-9 for a, b in zip(samples, samples[1:]))
+
+    @pytest.mark.parametrize("interp", ALL_INTERPOLATORS, ids=lambda i: i.name)
+    def test_values_clamped_to_unit_interval(self, interp):
+        for x in (-0.5, 0.0, 0.3, 1.0, 1.5):
+            assert 0.0 <= interp.value(x) <= 1.0 + 1e-9
+
+
+class TestPaperAnchors:
+    """The quantitative claims in paper Sections III-B and IV-B."""
+
+    def test_fosi_shows_under_half_within_first_100ms_of_360(self):
+        # "the animation shows less than 50% of the notification view in
+        # the first 100 ms"
+        interp = FastOutSlowInInterpolator()
+        assert interp.value(100.0 / 360.0) < 0.5
+
+    def test_fosi_first_frame_is_about_0_17_percent(self):
+        # "The first frame of the animation can only display 0.17% of the
+        # notification view"
+        interp = FastOutSlowInInterpolator()
+        assert interp.value(10.0 / 360.0) == pytest.approx(0.0017, abs=3e-4)
+
+    def test_accelerate_is_x_squared(self):
+        interp = AccelerateInterpolator()
+        for x in (0.1, 0.25, 0.5, 0.9):
+            assert interp.value(x) == pytest.approx(x * x)
+
+    def test_decelerate_is_inverted_parabola(self):
+        interp = DecelerateInterpolator()
+        for x in (0.1, 0.25, 0.5, 0.9):
+            assert interp.value(x) == pytest.approx(1 - (1 - x) ** 2)
+
+    def test_fade_out_slow_start_fade_in_fast_start(self):
+        # The asymmetry the toast attack exploits.
+        fade_out = AccelerateInterpolator()
+        fade_in = DecelerateInterpolator()
+        assert fade_out.value(0.1) < 0.05          # barely gone
+        assert fade_in.value(0.1) > 0.15           # substantially shown
+
+
+class TestCubicBezier:
+    def test_rejects_control_x_outside_unit(self):
+        with pytest.raises(ValueError):
+            CubicBezierInterpolator(-0.1, 0.0, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            CubicBezierInterpolator(0.5, 0.0, 1.5, 1.0)
+
+    def test_linear_control_points_give_identity(self):
+        interp = CubicBezierInterpolator(1 / 3, 1 / 3, 2 / 3, 2 / 3)
+        for x in (0.1, 0.4, 0.7):
+            assert interp.value(x) == pytest.approx(x, abs=1e-6)
+
+    @given(unit)
+    def test_fosi_stays_in_unit_interval(self, x):
+        y = FastOutSlowInInterpolator().value(x)
+        assert 0.0 <= y <= 1.0
+
+
+class TestAccelerateFactor:
+    def test_factor_changes_steepness(self):
+        mild = AccelerateInterpolator(factor=1.0)
+        steep = AccelerateInterpolator(factor=2.0)
+        assert steep.value(0.5) < mild.value(0.5)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            AccelerateInterpolator(factor=0.0)
+        with pytest.raises(ValueError):
+            DecelerateInterpolator(factor=-1.0)
+
+
+class TestInverseLookup:
+    @pytest.mark.parametrize("interp", ALL_INTERPOLATORS, ids=lambda i: i.name)
+    def test_time_for_completeness_inverts_value(self, interp):
+        for target in (0.01, 0.25, 0.5, 0.9):
+            x = interp.time_for_completeness(target)
+            assert interp.value(x) == pytest.approx(target, abs=1e-5)
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError):
+            LinearInterpolator().time_for_completeness(1.5)
+
+    def test_zero_target_is_time_zero(self):
+        assert FastOutSlowInInterpolator().time_for_completeness(0.0) == 0.0
+
+
+class TestCurveSampling:
+    def test_curve_has_requested_samples(self):
+        curve = LinearInterpolator().curve(samples=50)
+        assert len(curve) == 50
+        assert curve[0] == (0.0, 0.0)
+        assert curve[-1] == (1.0, 1.0)
+
+    def test_curve_rejects_too_few_samples(self):
+        with pytest.raises(ValueError):
+            LinearInterpolator().curve(samples=1)

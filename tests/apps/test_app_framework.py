@@ -1,0 +1,242 @@
+"""Tests for handler threads, widgets, accessibility and the IME."""
+
+import pytest
+
+from repro.apps import (
+    ACCESSIBILITY_DISPATCH_MS,
+    AccessibilityBus,
+    AccessibilityEventType,
+    App,
+    HandlerThread,
+    InputWidget,
+    KEY_BACKSPACE,
+    KEY_ENTER,
+    KEY_SHIFT,
+    KeyboardSpec,
+    LAYOUT_LOWER,
+    LAYOUT_UPPER,
+    RealKeyboard,
+    ViewNode,
+    WorkerTimer,
+    default_keyboard_rect,
+)
+from repro.sim import Simulation
+from repro.windows.geometry import Rect
+
+
+class TestHandlerThread:
+    def test_tasks_run_serially_in_post_order(self):
+        sim = Simulation()
+        thread = HandlerThread(sim, "main")
+        order = []
+        thread.post(lambda: order.append(1))
+        thread.post(lambda: order.append(2))
+        thread.post(lambda: order.append(3))
+        sim.run_for(10.0)
+        assert order == [1, 2, 3]
+
+    def test_block_delays_subsequent_tasks(self):
+        sim = Simulation()
+        thread = HandlerThread(sim, "main")
+        times = []
+        thread.post(lambda: thread.block(50.0))
+        thread.post(lambda: times.append(sim.now))
+        sim.run_for(100.0)
+        assert times[0] >= 50.0
+
+    def test_negative_delay_rejected(self):
+        thread = HandlerThread(Simulation(), "main")
+        with pytest.raises(ValueError):
+            thread.post(lambda: None, delay_ms=-1.0)
+
+    def test_tasks_run_counter(self):
+        sim = Simulation()
+        thread = HandlerThread(sim, "main")
+        for _ in range(4):
+            thread.post(lambda: None)
+        sim.run_for(10.0)
+        assert thread.tasks_run == 4
+
+
+class TestWorkerTimer:
+    def test_periodic_ticks(self):
+        sim = Simulation()
+        ticks = []
+        worker = WorkerTimer(sim, "w", period_ms=100.0, on_tick=ticks.append)
+        worker.start(initial_delay_ms=0.0)
+        sim.run_for(450.0)
+        assert ticks == [1, 2, 3, 4, 5]  # t=0,100,200,300,400
+
+    def test_stop_halts_ticks(self):
+        sim = Simulation()
+        ticks = []
+        worker = WorkerTimer(sim, "w", period_ms=100.0, on_tick=ticks.append)
+        worker.start()
+        sim.run_for(250.0)
+        worker.stop()
+        sim.run_for(500.0)
+        assert len(ticks) == 3
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerTimer(Simulation(), "w", period_ms=0.0, on_tick=lambda t: None)
+
+
+class TestWidgets:
+    def make_widget(self, events, enabled=True):
+        widget = InputWidget(
+            "w1", Rect(0, 0, 100, 50), accessibility_enabled=enabled,
+            emitter=lambda etype, node: events.append(etype),
+        )
+        return widget
+
+    def test_focus_emits_focused_plus_content_changed(self):
+        events = []
+        widget = self.make_widget(events)
+        widget.focus()
+        assert events == [
+            AccessibilityEventType.TYPE_VIEW_FOCUSED,
+            AccessibilityEventType.TYPE_WINDOW_CONTENT_CHANGED,
+        ]
+
+    def test_typing_emits_text_changed_plus_content_changed(self):
+        events = []
+        widget = self.make_widget(events)
+        widget.focus()
+        events.clear()
+        widget.append_char("a")
+        assert events == [
+            AccessibilityEventType.TYPE_VIEW_TEXT_CHANGED,
+            AccessibilityEventType.TYPE_WINDOW_CONTENT_CHANGED,
+        ]
+
+    def test_unfocus_emits_single_content_changed(self):
+        # The Alipay-workaround trigger signal (paper Section VI-C1).
+        events = []
+        widget = self.make_widget(events)
+        widget.focus()
+        events.clear()
+        widget.unfocus()
+        assert events == [AccessibilityEventType.TYPE_WINDOW_CONTENT_CHANGED]
+
+    def test_disabled_accessibility_emits_nothing(self):
+        events = []
+        widget = self.make_widget(events, enabled=False)
+        widget.focus()
+        widget.append_char("x")
+        widget.unfocus()
+        assert events == []
+
+    def test_text_editing(self):
+        widget = InputWidget("w", Rect(0, 0, 10, 10))
+        widget.append_char("a")
+        widget.append_char("b")
+        widget.backspace()
+        assert widget.text == "a"
+        widget.set_text("stolen")
+        assert widget.text == "stolen"
+
+    def test_append_requires_single_char(self):
+        widget = InputWidget("w", Rect(0, 0, 10, 10))
+        with pytest.raises(ValueError):
+            widget.append_char("ab")
+
+
+class TestAccessibilityBus:
+    def test_events_reach_registered_services_after_latency(self):
+        sim = Simulation()
+        bus = AccessibilityBus(sim)
+        received = []
+        bus.register_service("svc", received.append)
+        bus.emit(AccessibilityEventType.TYPE_VIEW_FOCUSED, "pkg", "node1")
+        sim.run_for(ACCESSIBILITY_DISPATCH_MS)
+        assert len(received) == 1
+        assert received[0].package == "pkg"
+
+    def test_unregistered_service_stops_receiving(self):
+        sim = Simulation()
+        bus = AccessibilityBus(sim)
+        received = []
+        bus.register_service("svc", received.append)
+        bus.unregister_service("svc")
+        bus.emit(AccessibilityEventType.TYPE_VIEW_FOCUSED, "pkg", "node1")
+        sim.run_for(10.0)
+        assert received == []
+
+    def test_view_node_tree_traversal(self):
+        root = ViewNode("root")
+        child_a = root.add_child(ViewNode("a"))
+        child_b = root.add_child(ViewNode("b"))
+        assert child_a.get_parent() is root
+        assert root.children == [child_a, child_b]
+        assert root.find(lambda n: n.node_id == "b") is child_b
+        assert root.find(lambda n: n.node_id == "zzz") is None
+
+
+class TestRealKeyboard:
+    def make_ime(self, stack):
+        spec = KeyboardSpec(default_keyboard_rect(1080, 2160))
+        ime = RealKeyboard(stack, spec)
+        widget = InputWidget("pw", Rect(0, 0, 100, 50))
+        ime.attach(widget)
+        ime.show()
+        stack.run_for(50.0)
+        return ime, widget
+
+    def test_character_press_types_into_widget(self, analytic_stack):
+        ime, widget = self.make_ime(analytic_stack)
+        ime.press_key("a")
+        assert widget.text == "a"
+
+    def test_shift_switches_layout_after_latency(self, analytic_stack):
+        ime, widget = self.make_ime(analytic_stack)
+        ime.press_key(KEY_SHIFT)
+        assert ime.current_layout == LAYOUT_LOWER  # still switching
+        analytic_stack.run_for(100.0)
+        assert ime.current_layout == LAYOUT_UPPER
+
+    def test_one_shot_shift_reverts(self, analytic_stack):
+        ime, widget = self.make_ime(analytic_stack)
+        ime.press_key(KEY_SHIFT)
+        analytic_stack.run_for(100.0)
+        ime.press_key("G")
+        analytic_stack.run_for(100.0)
+        assert widget.text == "G"
+        assert ime.current_layout == LAYOUT_LOWER
+
+    def test_backspace_and_enter(self, analytic_stack):
+        ime, widget = self.make_ime(analytic_stack)
+        submitted = []
+        ime.on_submit = submitted.append
+        ime.press_key("a")
+        ime.press_key("b")
+        ime.press_key(KEY_BACKSPACE)
+        ime.press_key(KEY_ENTER)
+        assert widget.text == "a"
+        assert submitted == ["a"]
+
+    def test_show_hide_window(self, analytic_stack):
+        ime, _ = self.make_ime(analytic_stack)
+        assert ime.visible
+        ime.hide()
+        assert not ime.visible
+
+
+class TestAppBinderCalls:
+    def test_app_add_remove_view_roundtrip(self, analytic_stack):
+        from repro.windows import Permission, Window, WindowType
+
+        app = App(analytic_stack, "com.test.app")
+        analytic_stack.permissions.grant(app.package, Permission.SYSTEM_ALERT_WINDOW)
+        window = Window(app.package, WindowType.APPLICATION_OVERLAY,
+                        Rect(0, 0, 100, 100))
+        app.add_view(window)
+        analytic_stack.run_for(100.0)
+        assert window.on_screen
+        app.remove_view(window)
+        analytic_stack.run_for(100.0)
+        assert not window.on_screen
+
+    def test_blocking_estimate_positive(self, analytic_stack):
+        app = App(analytic_stack, "com.test.app2")
+        assert app.add_view_blocking_ms > 0

@@ -1,0 +1,158 @@
+"""Tests for keyboard layouts and key-sequence planning."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.keyboard import (
+    KEY_ABC,
+    KEY_BACKSPACE,
+    KEY_ENTER,
+    KEY_SHIFT,
+    KEY_SPACE,
+    KEY_SYM,
+    LAYOUT_LOWER,
+    LAYOUT_SYMBOLS,
+    LAYOUT_UPPER,
+    KeyboardSpec,
+    default_keyboard_rect,
+    plan_key_sequence,
+)
+from repro.windows.geometry import Point, Rect
+
+SPEC = KeyboardSpec(default_keyboard_rect(1080, 2160))
+
+
+class TestLayoutGeometry:
+    def test_three_layouts_share_rect(self):
+        rects = {layout.rect for layout in SPEC.layouts.values()}
+        assert len(rects) == 1
+
+    def test_letters_aligned_across_case_layouts(self):
+        # The fake keyboard relies on identical geometry: 'g' and 'G'
+        # occupy the same rectangle.
+        lower = SPEC.layout(LAYOUT_LOWER)
+        upper = SPEC.layout(LAYOUT_UPPER)
+        for low, up in zip("qwertyuiopasdfghjklzxcvbnm", "QWERTYUIOPASDFGHJKLZXCVBNM"):
+            assert lower.keys[low] == upper.keys[up]
+
+    def test_special_keys_aligned_across_all_layouts(self):
+        assert (
+            SPEC.layout(LAYOUT_LOWER).keys[KEY_SPACE]
+            == SPEC.layout(LAYOUT_UPPER).keys[KEY_SPACE]
+            == SPEC.layout(LAYOUT_SYMBOLS).keys[KEY_SPACE]
+        )
+        assert (
+            SPEC.layout(LAYOUT_LOWER).keys[KEY_ENTER]
+            == SPEC.layout(LAYOUT_SYMBOLS).keys[KEY_ENTER]
+        )
+
+    def test_key_at_exact_hit(self):
+        lower = SPEC.layout(LAYOUT_LOWER)
+        for key in ("q", "a", "m", KEY_SPACE, KEY_SHIFT):
+            assert lower.key_at(lower.center(key)) == key
+
+    def test_key_at_outside_keyboard_is_none(self):
+        assert SPEC.layout(LAYOUT_LOWER).key_at(Point(10, 10)) is None
+
+    def test_nearest_key_is_key_at_for_centers(self):
+        lower = SPEC.layout(LAYOUT_LOWER)
+        for key in ("q", "h", "p", "z"):
+            nearest, distance = lower.nearest_key(lower.center(key))
+            assert nearest == key
+            assert distance == pytest.approx(0.0)
+
+    def test_nearest_key_handles_points_outside(self):
+        nearest, _ = SPEC.layout(LAYOUT_LOWER).nearest_key(Point(0, 0))
+        assert nearest == "q"  # top-left corner is closest to 'q'
+
+    def test_keys_do_not_overlap(self):
+        lower = SPEC.layout(LAYOUT_LOWER)
+        keys = list(lower.keys.items())
+        for i, (k1, r1) in enumerate(keys):
+            for k2, r2 in keys[i + 1:]:
+                assert not r1.intersects(r2), f"{k1} overlaps {k2}"
+
+
+class TestNavigation:
+    def test_shift_toggles_case(self):
+        assert KeyboardSpec.layout_after_key(LAYOUT_LOWER, KEY_SHIFT) == LAYOUT_UPPER
+        assert KeyboardSpec.layout_after_key(LAYOUT_UPPER, KEY_SHIFT) == LAYOUT_LOWER
+
+    def test_one_shot_shift_reverts_after_character(self):
+        assert KeyboardSpec.layout_after_key(LAYOUT_UPPER, "G") == LAYOUT_LOWER
+
+    def test_one_shot_shift_not_triggered_by_backspace(self):
+        assert KeyboardSpec.layout_after_key(LAYOUT_UPPER, KEY_BACKSPACE) == LAYOUT_UPPER
+
+    def test_symbols_sticky(self):
+        assert KeyboardSpec.layout_after_key(LAYOUT_SYMBOLS, "5") == LAYOUT_SYMBOLS
+        assert KeyboardSpec.layout_after_key(LAYOUT_SYMBOLS, KEY_ABC) == LAYOUT_LOWER
+
+    def test_layout_for_char(self):
+        assert SPEC.layout_for_char("a") == LAYOUT_LOWER
+        assert SPEC.layout_for_char("Z") == LAYOUT_UPPER
+        assert SPEC.layout_for_char("7") == LAYOUT_SYMBOLS
+        assert SPEC.layout_for_char("%") == LAYOUT_SYMBOLS
+        with pytest.raises(KeyError):
+            SPEC.layout_for_char("€")
+
+    def test_switches_to(self):
+        assert SPEC.switches_to(LAYOUT_LOWER, LAYOUT_UPPER) == [KEY_SHIFT]
+        assert SPEC.switches_to(LAYOUT_LOWER, LAYOUT_SYMBOLS) == [KEY_SYM]
+        assert SPEC.switches_to(LAYOUT_SYMBOLS, LAYOUT_UPPER) == [KEY_ABC, KEY_SHIFT]
+        assert SPEC.switches_to(LAYOUT_SYMBOLS, LAYOUT_LOWER) == [KEY_ABC]
+        assert SPEC.switches_to(LAYOUT_UPPER, LAYOUT_UPPER) == []
+
+
+class TestPlanKeySequence:
+    def test_plain_lowercase_needs_no_switches(self):
+        presses = plan_key_sequence(SPEC, "hello")
+        assert [p.key for p in presses] == list("hello")
+        assert all(p.layout == LAYOUT_LOWER for p in presses)
+
+    def test_single_capital_uses_one_shot_shift(self):
+        presses = plan_key_sequence(SPEC, "aBc")
+        assert [p.key for p in presses] == ["a", KEY_SHIFT, "B", "c"]
+        assert presses[2].layout == LAYOUT_UPPER
+        assert presses[3].layout == LAYOUT_LOWER  # auto-reverted
+
+    def test_symbols_round_trip(self):
+        presses = plan_key_sequence(SPEC, "a1b")
+        assert [p.key for p in presses] == ["a", KEY_SYM, "1", KEY_ABC, "b"]
+
+    def test_video_demo_password(self):
+        # The paper's demo password "tk&%48GH" mixes all four classes.
+        presses = plan_key_sequence(SPEC, "tk&%48GH")
+        keys = [p.key for p in presses]
+        assert keys == [
+            "t", "k", KEY_SYM, "&", "%", "4", "8",
+            KEY_ABC, KEY_SHIFT, "G", KEY_SHIFT, "H",
+        ]
+
+    def test_replaying_plan_reproduces_text(self):
+        """Executing the planned presses through the layout state machine
+        types exactly the requested text."""
+        for text in ("hello", "PASS", "a1!B2@c", "tk&%48GH", "zz99ZZ%%"):
+            presses = plan_key_sequence(SPEC, text)
+            layout = LAYOUT_LOWER
+            typed = []
+            for press in presses:
+                assert press.layout == layout, text
+                if press.key not in (KEY_SHIFT, KEY_SYM, KEY_ABC):
+                    typed.append(press.key)
+                layout = KeyboardSpec.layout_after_key(layout, press.key)
+            assert "".join(typed) == text
+
+    @given(st.text(alphabet=st.sampled_from(SPEC.typable_characters()),
+                   min_size=1, max_size=16))
+    def test_plan_types_arbitrary_typable_text(self, text):
+        presses = plan_key_sequence(SPEC, text)
+        typed = [p.key for p in presses if p.key not in (KEY_SHIFT, KEY_SYM, KEY_ABC)]
+        assert "".join(typed) == text
+
+    def test_typable_characters_cover_password_classes(self):
+        chars = set(SPEC.typable_characters())
+        assert set("abcxyz").issubset(chars)
+        assert set("ABCXYZ").issubset(chars)
+        assert set("0123456789").issubset(chars)
+        assert set("!@#$%^&*").issubset(chars)

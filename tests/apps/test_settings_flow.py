@@ -1,0 +1,108 @@
+"""Tests for the Settings app and the alert-driven revocation loop."""
+
+import pytest
+
+from repro import (
+    AlertMode,
+    DrawAndDestroyOverlayAttack,
+    NotificationOutcome,
+    OverlayAttackConfig,
+    Permission,
+    build_stack,
+)
+from repro.apps import AlertResponder, SettingsApp
+from repro.users import PerceptionModel
+
+
+def launch_attack(stack, d):
+    attack = DrawAndDestroyOverlayAttack(
+        stack, OverlayAttackConfig(attacking_window_ms=d)
+    )
+    stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+    attack.start()
+    return attack
+
+
+class TestSettingsApp:
+    def test_settings_is_protected_from_overlays(self):
+        stack = build_stack(seed=91, alert_mode=AlertMode.ANALYTIC)
+        settings = SettingsApp(stack)
+        stack.system_server.set_foreground_app(settings.package)
+        attack = launch_attack(stack, d=150.0)
+        stack.run_for(2000.0)
+        # No overlay ever made it onto the screen.
+        assert stack.screen.windows_of(attack.package) == []
+        assert stack.system_server.rejected_overlays > 0
+        attack.stop()
+
+    def test_revocation_tears_down_and_blocks(self):
+        stack = build_stack(seed=92, alert_mode=AlertMode.ANALYTIC)
+        settings = SettingsApp(stack)
+        attack = launch_attack(stack, d=150.0)
+        stack.run_for(1000.0)
+        assert stack.screen.windows_of(attack.package)
+        settings.revoke_overlay_permission(attack.package)
+        assert stack.screen.windows_of(attack.package) == []
+        assert not stack.permissions.is_granted(
+            attack.package, Permission.SYSTEM_ALERT_WINDOW
+        )
+        stack.run_for(2000.0)  # the attack keeps cycling but cannot add
+        assert stack.screen.windows_of(attack.package) == []
+        assert settings.revocations == [attack.package]
+        attack.stop()
+
+
+class TestAlertResponder:
+    def test_sloppy_attack_gets_revoked(self):
+        """D above the bound -> alert becomes visible -> the user notices,
+        reacts, and the attack dies."""
+        stack = build_stack(seed=93, alert_mode=AlertMode.ANALYTIC)
+        settings = SettingsApp(stack)
+        responder = AlertResponder(
+            stack, settings, PerceptionModel(), reaction_delay_ms=1000.0
+        )
+        responder.start()
+        bound = stack.profile.published_upper_bound_d
+        attack = launch_attack(stack, d=bound + 80.0)
+        stack.run_for(15_000.0)
+        assert responder.reacted
+        assert stack.screen.windows_of(attack.package) == []
+        assert responder.noticed_at < responder.revoked_at
+        attack.stop()
+
+    def test_careful_attack_never_triggers_the_user(self):
+        stack = build_stack(seed=94, alert_mode=AlertMode.ANALYTIC)
+        settings = SettingsApp(stack)
+        responder = AlertResponder(stack, settings, PerceptionModel())
+        responder.start()
+        bound = stack.profile.published_upper_bound_d
+        attack = launch_attack(stack, d=bound - 30.0)
+        stack.run_for(15_000.0)
+        assert not responder.reacted
+        assert responder.noticed_at is None
+        assert stack.screen.windows_of(attack.package)  # still running
+        attack.stop()
+
+    def test_reaction_delay_bounds_time_to_kill(self):
+        stack = build_stack(seed=95, alert_mode=AlertMode.ANALYTIC)
+        settings = SettingsApp(stack)
+        responder = AlertResponder(
+            stack, settings, PerceptionModel(), reaction_delay_ms=2000.0
+        )
+        responder.start()
+        attack = launch_attack(
+            stack, d=stack.profile.published_upper_bound_d + 100.0
+        )
+        stack.run_for(20_000.0)
+        assert responder.reacted
+        assert responder.revoked_at - responder.noticed_at == pytest.approx(
+            2000.0, abs=1.0
+        )
+        attack.stop()
+
+    def test_invalid_timing_rejected(self):
+        stack = build_stack(seed=96, alert_mode=AlertMode.ANALYTIC)
+        settings = SettingsApp(stack)
+        with pytest.raises(ValueError):
+            AlertResponder(stack, settings, PerceptionModel(),
+                           reaction_delay_ms=-1.0)

@@ -1,0 +1,108 @@
+"""Tests for victim apps and the Table IV catalog."""
+
+import pytest
+
+from repro.apps import (
+    AccessibilityBus,
+    KeyboardSpec,
+    RealKeyboard,
+    TABLE_IV_APPS,
+    VictimApp,
+    bank_of_america,
+    default_keyboard_rect,
+    spec_by_name,
+)
+from repro.windows.geometry import Point
+
+
+@pytest.fixture
+def victim_world(analytic_stack):
+    bus = AccessibilityBus(analytic_stack.simulation)
+    spec = KeyboardSpec(default_keyboard_rect(1080, 2160))
+    ime = RealKeyboard(analytic_stack, spec)
+    victim = VictimApp(analytic_stack, bus, bank_of_america(), ime)
+    return analytic_stack, bus, victim, ime
+
+
+class TestCatalog:
+    def test_eight_apps(self):
+        assert len(TABLE_IV_APPS) == 8
+
+    def test_only_alipay_needs_extra_effort(self):
+        extra = [s.app_name for s in TABLE_IV_APPS if s.needs_extra_effort]
+        assert extra == ["Alipay"]
+
+    def test_versions_match_paper(self):
+        assert spec_by_name("Bank of America").version == "8.1.16"
+        assert spec_by_name("Skype").version == "8.45.0.43"
+        assert spec_by_name("Alipay").version == "10.1.65"
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            spec_by_name("WhatsApp")
+
+
+class TestVictimApp:
+    def test_open_login_puts_app_in_foreground(self, victim_world):
+        stack, bus, victim, ime = victim_world
+        victim.open_login()
+        stack.run_for(50.0)
+        assert victim.base_window.on_screen
+        assert stack.system_server.foreground_app == victim.package
+
+    def test_focus_password_attaches_and_shows_keyboard(self, victim_world):
+        stack, bus, victim, ime = victim_world
+        victim.open_login()
+        stack.run_for(50.0)
+        victim.focus_password()
+        stack.run_for(50.0)
+        assert victim.password_widget.focused
+        assert ime.visible
+
+    def test_tap_on_widget_focuses_it(self, victim_world):
+        stack, bus, victim, ime = victim_world
+        victim.open_login()
+        stack.run_for(50.0)
+        stack.touch.tap(victim.password_widget.rect.center)
+        stack.run_for(50.0)
+        assert victim.password_widget.focused
+        stack.touch.tap(victim.username_widget.rect.center)
+        stack.run_for(50.0)
+        assert victim.username_widget.focused
+        assert not victim.password_widget.focused
+
+    def test_view_tree_links_username_and_password(self, victim_world):
+        stack, bus, victim, ime = victim_world
+        parent = victim.username_node.get_parent()
+        assert parent is victim.root_node
+        password_node = parent.find(
+            lambda n: n.widget is not None and n.widget.is_password
+        )
+        assert password_node is victim.password_node
+
+    def test_alipay_password_widget_emits_no_events(self, analytic_stack):
+        bus = AccessibilityBus(analytic_stack.simulation)
+        spec = KeyboardSpec(default_keyboard_rect(1080, 2160))
+        ime = RealKeyboard(analytic_stack, spec, package="ime.alipay")
+        victim = VictimApp(analytic_stack, bus, spec_by_name("Alipay"), ime)
+        received = []
+        bus.register_service("spy", received.append)
+        victim.open_login()
+        analytic_stack.run_for(50.0)
+        victim.focus_password()
+        analytic_stack.run_for(50.0)
+        password_events = [
+            e for e in received
+            if e.source_node_id == victim.password_widget.widget_id
+        ]
+        assert password_events == []
+
+    def test_close_removes_windows(self, victim_world):
+        stack, bus, victim, ime = victim_world
+        victim.open_login()
+        victim.focus_password()
+        stack.run_for(100.0)
+        victim.close()
+        stack.run_for(50.0)
+        assert not victim.base_window.on_screen
+        assert not ime.visible

@@ -1,0 +1,97 @@
+"""Tests for the clickjacking and content-hiding applications."""
+
+import pytest
+
+from repro.attacks import ClickjackingAttack, ContentHidingAttack
+from repro.systemui import NotificationOutcome
+from repro.windows import Permission, Window, WindowType
+from repro.windows.geometry import Point, Rect
+
+VICTIM_BUTTON = Rect(300, 900, 780, 1050)
+
+
+@pytest.fixture
+def victim_window(analytic_stack):
+    hits = []
+    window = Window(
+        "com.android.settings.like", WindowType.BASE_APPLICATION,
+        Rect(0, 0, 1080, 2160),
+        on_touch=lambda w, p, t: hits.append((p, t)),
+    )
+    analytic_stack.system_server.add_window_direct(window)
+    analytic_stack.run_for(50.0)
+    return window, hits
+
+
+class TestClickjacking:
+    def test_taps_pass_through_decoy_to_victim(self, analytic_stack, victim_window):
+        window, hits = victim_window
+        attack = ClickjackingAttack(analytic_stack, decoy_rect=VICTIM_BUTTON,
+                                    decoy_content="FREE COINS")
+        analytic_stack.permissions.grant(attack.package,
+                                         Permission.SYSTEM_ALERT_WINDOW)
+        attack.start()
+        analytic_stack.run_for(100.0)
+        assert attack.decoy_visible_at(analytic_stack.now)
+        analytic_stack.touch.tap(Point(540, 975))  # on the decoy
+        analytic_stack.run_for(100.0)
+        attack.stop()
+        assert len(hits) == 1  # the victim received the tap
+
+    def test_alert_suppressed_during_clickjack(self, analytic_stack, victim_window):
+        attack = ClickjackingAttack(analytic_stack, decoy_rect=VICTIM_BUTTON)
+        analytic_stack.permissions.grant(attack.package,
+                                         Permission.SYSTEM_ALERT_WINDOW)
+        attack.start()
+        analytic_stack.run_for(5000.0)
+        assert analytic_stack.system_ui.worst_outcome() is NotificationOutcome.LAMBDA1
+        attack.stop()
+
+    def test_default_d_uses_device_bound(self, analytic_stack):
+        attack = ClickjackingAttack(analytic_stack, decoy_rect=VICTIM_BUTTON)
+        bound = analytic_stack.profile.published_upper_bound_d
+        assert attack.attacking_window_ms == pytest.approx(bound - 10.0)
+
+
+class TestContentHiding:
+    def test_fake_content_covers_region_without_permission(self, analytic_stack,
+                                                           victim_window):
+        attack = ContentHidingAttack(
+            analytic_stack, cover_rect=VICTIM_BUTTON,
+            fake_content="Pay $1.00 to App Store",
+        )
+        attack.start()  # no permission grant: toasts need none
+        analytic_stack.run_for(1000.0)
+        assert attack.coverage_at(analytic_stack.now) > 0.9
+        assert attack.displayed_content_at(analytic_stack.now) == \
+            "Pay $1.00 to App Store"
+        attack.stop()
+
+    def test_victim_remains_interactive_under_cover(self, analytic_stack,
+                                                    victim_window):
+        window, hits = victim_window
+        attack = ContentHidingAttack(analytic_stack, cover_rect=VICTIM_BUTTON)
+        attack.start()
+        analytic_stack.run_for(1000.0)
+        analytic_stack.touch.tap(Point(540, 975))
+        analytic_stack.run_for(100.0)
+        assert len(hits) == 1  # toast never intercepts
+        attack.stop()
+
+    def test_content_can_be_swapped_live(self, analytic_stack, victim_window):
+        attack = ContentHidingAttack(analytic_stack, cover_rect=VICTIM_BUTTON,
+                                     fake_content="$1.00")
+        attack.start()
+        analytic_stack.run_for(800.0)
+        attack.set_content("$9,999.00")
+        analytic_stack.run_for(800.0)
+        assert attack.displayed_content_at(analytic_stack.now) == "$9,999.00"
+        attack.stop()
+
+    def test_persists_past_single_toast_lifetime(self, analytic_stack,
+                                                 victim_window):
+        attack = ContentHidingAttack(analytic_stack, cover_rect=VICTIM_BUTTON)
+        attack.start()
+        analytic_stack.run_for(12_000.0)  # > 3 toast lifetimes
+        assert attack.coverage_at(analytic_stack.now) > 0.9
+        attack.stop()

@@ -1,0 +1,97 @@
+"""Tests for device-aware attacking-window selection."""
+
+import pytest
+
+from repro.attacks import (
+    DeviceProber,
+    DrawAndDestroyOverlayAttack,
+    MIN_USEFUL_WINDOW_MS,
+    OverlayAttackConfig,
+)
+from repro.devices import ANDROID_10, DEVICES, calibrated_profile, device
+from repro.stack import build_stack
+from repro.systemui import AlertMode, NotificationOutcome
+from repro.windows import Permission
+
+
+class TestProbing:
+    def test_known_device_uses_database_bound(self):
+        prober = DeviceProber(safety_margin_ms=10.0)
+        result = prober.probe(device("Redmi"))
+        assert result.known_device
+        assert result.database_bound_ms == 395.0
+        assert result.chosen_window_ms == 385.0
+        assert result.source == "database"
+
+    def test_ambiguous_model_resolved_by_version(self):
+        prober = DeviceProber()
+        assert prober.probe(device("mi8", "9")).database_bound_ms == 215.0
+        assert prober.probe(device("mi8", "10")).database_bound_ms == 300.0
+
+    def test_unknown_device_falls_back_to_version_floor(self):
+        prober = DeviceProber()
+        unknown = calibrated_profile(
+            "NewVendor", "future-phone", ANDROID_10,
+            published_upper_bound_d=500.0,  # the attacker does not know this
+        )
+        result = prober.probe(unknown)
+        assert not result.known_device
+        assert result.source == "version-fallback"
+        # The Android 10 floor is the Vivo V1986A at 80 ms, minus margin.
+        assert result.chosen_window_ms == pytest.approx(80.0 - 15.0)
+
+    def test_fallback_never_below_useful_floor(self):
+        prober = DeviceProber(safety_margin_ms=500.0)
+        result = prober.probe(device("s8"))
+        assert result.chosen_window_ms >= MIN_USEFUL_WINDOW_MS
+
+    def test_database_covers_all_evaluation_devices(self):
+        prober = DeviceProber()
+        assert prober.database_size == len(DEVICES)
+        for profile in DEVICES:
+            assert prober.probe(profile).known_device
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceProber(safety_margin_ms=-1.0)
+
+
+class TestProbeDrivenAttack:
+    @pytest.mark.parametrize("model,version", [
+        ("s8", None), ("Redmi", None), ("pixel 2", None), ("V1986A", None),
+    ])
+    def test_probed_window_keeps_alert_suppressed(self, model, version):
+        """End-to-end: the probe's choice keeps the attack at Λ1 on every
+        device, including the tightest ones."""
+        profile = device(model, version)
+        prober = DeviceProber(safety_margin_ms=10.0)
+        chosen = prober.probe(profile).chosen_window_ms
+        stack = build_stack(seed=31, profile=profile,
+                            alert_mode=AlertMode.ANALYTIC)
+        attack = DrawAndDestroyOverlayAttack(
+            stack, OverlayAttackConfig(attacking_window_ms=chosen)
+        )
+        stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+        attack.start()
+        stack.run_for(4000.0)
+        attack.stop()
+        stack.run_for(500.0)
+        assert stack.system_ui.worst_outcome() is NotificationOutcome.LAMBDA1
+
+    def test_fallback_window_safe_on_unknown_android10_device(self):
+        """The conservative fallback stays under even an unknown device's
+        real bound when that bound is at least the version floor."""
+        unknown = calibrated_profile(
+            "NewVendor", "mystery", ANDROID_10, published_upper_bound_d=120.0
+        )
+        chosen = DeviceProber().probe(unknown).chosen_window_ms
+        assert chosen < 120.0
+        stack = build_stack(seed=32, profile=unknown,
+                            alert_mode=AlertMode.ANALYTIC)
+        attack = DrawAndDestroyOverlayAttack(
+            stack, OverlayAttackConfig(attacking_window_ms=chosen)
+        )
+        stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+        attack.start()
+        stack.run_for(3000.0)
+        assert stack.system_ui.worst_outcome() is NotificationOutcome.LAMBDA1

@@ -1,0 +1,95 @@
+"""Tests for nearest-center key inference and text reconstruction."""
+
+import pytest
+
+from repro.apps.keyboard import (
+    KEY_ABC,
+    KEY_BACKSPACE,
+    KEY_ENTER,
+    KEY_SHIFT,
+    KEY_SYM,
+    KeyboardSpec,
+    default_keyboard_rect,
+    plan_key_sequence,
+)
+from repro.attacks.key_inference import (
+    KeyInference,
+    infer_offline,
+    reconstruct_text,
+)
+from repro.windows.geometry import Point
+
+SPEC = KeyboardSpec(default_keyboard_rect(1080, 2160))
+
+
+class TestInference:
+    def test_exact_centers_infer_exactly(self):
+        inference = KeyInference(spec=SPEC)
+        lower = SPEC.layout("lower")
+        for key in "hello":
+            inference.infer(0.0, lower.center(key))
+        assert inference.text() == "hello"
+
+    def test_noisy_touches_still_resolve_to_nearest(self):
+        inference = KeyInference(spec=SPEC)
+        lower = SPEC.layout("lower")
+        center = lower.center("g")
+        width = lower.keys["g"].width
+        record = inference.infer(0.0, Point(center.x + width * 0.3, center.y))
+        assert record.key == "g"
+
+    def test_layout_tracking_changes_interpretation(self):
+        inference = KeyInference(spec=SPEC)
+        lower = SPEC.layout("lower")
+        point = lower.center("q")
+        assert inference.infer(0.0, point).key == "q"
+        inference.set_layout("symbols")
+        # '1' occupies q's position on the symbols layout.
+        assert inference.infer(1.0, point).key == "1"
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(KeyError):
+            KeyInference(spec=SPEC).set_layout("dvorak")
+
+    def test_distance_recorded(self):
+        inference = KeyInference(spec=SPEC)
+        record = inference.infer(0.0, SPEC.layout("lower").center("a"))
+        assert record.distance == pytest.approx(0.0)
+
+
+class TestReconstruction:
+    def test_specials_are_dropped(self):
+        keys = ["a", KEY_SHIFT, "B", KEY_SYM, "1", KEY_ABC, "c", KEY_ENTER]
+        assert reconstruct_text(keys) == "aB1c"
+
+    def test_backspace_deletes(self):
+        assert reconstruct_text(["a", "b", KEY_BACKSPACE, "c"]) == "ac"
+
+    def test_backspace_on_empty_is_noop(self):
+        assert reconstruct_text([KEY_BACKSPACE, "a"]) == "a"
+
+
+class TestOfflineInference:
+    def test_offline_recovers_planned_password(self):
+        """Replaying the exact tap centers of a planned sequence, with the
+        attacker's layout timeline, recovers the password."""
+        password = "tk&%48GH"
+        presses = plan_key_sequence(SPEC, password)
+        touches = []
+        timeline = []
+        layout = "lower"
+        t = 0.0
+        for press in presses:
+            touches.append((t, SPEC.layout(press.layout).center(press.key)))
+            next_layout = KeyboardSpec.layout_after_key(layout, press.key)
+            if next_layout != layout:
+                timeline.append((t + 0.1, next_layout))
+                layout = next_layout
+            t += 100.0
+        derived = infer_offline(SPEC, touches, timeline)
+        assert derived == password
+
+    def test_offline_defaults_to_lowercase(self):
+        lower = SPEC.layout("lower")
+        touches = [(float(i), lower.center(c)) for i, c in enumerate("abc")]
+        assert infer_offline(SPEC, touches) == "abc"

@@ -1,0 +1,162 @@
+"""Tests for the composed password-stealing attack."""
+
+import pytest
+
+from repro.attacks.password_stealing import (
+    PasswordErrorType,
+    PasswordStealingConfig,
+    classify_password_attempt,
+)
+from repro.apps.catalog import bank_of_america, spec_by_name
+from repro.experiments.scenarios import run_password_trial
+from repro.sim import SeededRng
+from repro.users import generate_participants
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return generate_participants(SeededRng(21, "pw-tests"), count=30)
+
+
+class TestClassification:
+    def test_success(self):
+        assert classify_password_attempt("abc", "abc") is PasswordErrorType.SUCCESS
+
+    def test_length_error(self):
+        assert (
+            classify_password_attempt("abcd", "abc")
+            is PasswordErrorType.LENGTH_ERROR
+        )
+
+    def test_capitalization_error(self):
+        assert (
+            classify_password_attempt("aBcD", "abcd")
+            is PasswordErrorType.CAPITALIZATION_ERROR
+        )
+
+    def test_wrong_key_error(self):
+        assert (
+            classify_password_attempt("abcd", "abxd")
+            is PasswordErrorType.WRONG_KEY_ERROR
+        )
+
+    def test_longer_derived_is_other(self):
+        assert (
+            classify_password_attempt("abc", "abcd")
+            is PasswordErrorType.OTHER_ERROR
+        )
+
+
+class TestEndToEnd:
+    def test_steals_video_demo_password(self, pool):
+        # The paper's demo: "tk&%48GH" captured on a Pixel 2 / Android 11.
+        pixel2 = next(p for p in pool if p.device.model == "pixel 2")
+        trial = run_password_trial(pixel2, "tk&%48GH", seed=1234)
+        assert trial.derived == "tk&%48GH"
+        assert trial.success
+
+    def test_trigger_is_password_focus_for_normal_apps(self, pool):
+        trial = run_password_trial(pool[0], "abcd", seed=5,
+                                   victim_spec=bank_of_america())
+        assert trial.trigger_path == "password_focus"
+
+    def test_alipay_uses_username_workaround(self, pool):
+        trial = run_password_trial(pool[1], "abcd", seed=5,
+                                   victim_spec=spec_by_name("Alipay"))
+        assert trial.trigger_path == "username_workaround"
+
+    def test_alipay_workaround_does_not_capture_username(self, pool):
+        trial = run_password_trial(pool[1], "zzzz", seed=6,
+                                   victim_spec=spec_by_name("Alipay"),
+                                   username="usernamechars")
+        assert "usernamechars" not in trial.derived
+
+    def test_password_widget_filled_to_hide_attack(self, pool):
+        # We cannot reach the victim object from the trial result, but a
+        # successful run implies the widget was filled: run the scenario
+        # pieces manually.
+        from repro.apps import (
+            AccessibilityBus, KeyboardSpec, RealKeyboard, VictimApp,
+            default_keyboard_rect,
+        )
+        from repro.attacks import PasswordStealingAttack
+        from repro.stack import build_stack
+        from repro.systemui import AlertMode
+        from repro.users import Typist
+        from repro.windows import Permission
+
+        participant = pool[2]
+        stack = build_stack(seed=77, profile=participant.device,
+                            alert_mode=AlertMode.ANALYTIC)
+        bus = AccessibilityBus(stack.simulation)
+        spec = KeyboardSpec(default_keyboard_rect(
+            participant.device.screen_width_px,
+            participant.device.screen_height_px))
+        ime = RealKeyboard(stack, spec)
+        victim = VictimApp(stack, bus, bank_of_america(), ime)
+        malware = PasswordStealingAttack(stack, bus, victim, spec)
+        stack.permissions.grant(malware.package, Permission.SYSTEM_ALERT_WINDOW)
+        malware.arm()
+        victim.open_login()
+        stack.run_for(100.0)
+        victim.focus_password()
+        stack.run_for(150.0)
+        assert malware.launched
+        typist = Typist(stack, spec, participant.typing, participant.touch)
+        session = typist.type_text("abcd")
+        while not session.complete:
+            stack.run_for(500.0)
+        stack.run_for(200.0)
+        result = malware.finish()
+        assert victim.password_widget.text == result.derived_password
+
+    def test_attack_does_not_launch_without_trigger(self, pool):
+        from repro.apps import (
+            AccessibilityBus, KeyboardSpec, RealKeyboard, VictimApp,
+            default_keyboard_rect,
+        )
+        from repro.attacks import PasswordStealingAttack
+        from repro.stack import build_stack
+        from repro.systemui import AlertMode
+        from repro.windows import Permission
+
+        participant = pool[3]
+        stack = build_stack(seed=78, profile=participant.device,
+                            alert_mode=AlertMode.ANALYTIC)
+        bus = AccessibilityBus(stack.simulation)
+        spec = KeyboardSpec(default_keyboard_rect(1080, 2160))
+        ime = RealKeyboard(stack, spec)
+        victim = VictimApp(stack, bus, bank_of_america(), ime)
+        malware = PasswordStealingAttack(stack, bus, victim, spec)
+        stack.permissions.grant(malware.package, Permission.SYSTEM_ALERT_WINDOW)
+        malware.arm()
+        victim.open_login()
+        stack.run_for(100.0)
+        victim.focus_username()  # not the password field
+        stack.run_for(500.0)
+        assert not malware.launched
+
+    def test_default_d_is_device_optimum_minus_margin(self, pool):
+        participant = pool[4]
+        trial = run_password_trial(participant, "abcd", seed=9)
+        config = PasswordStealingConfig()
+        expected = config.resolve_d(participant.device.published_upper_bound_d)
+        assert trial.attacking_window_ms == pytest.approx(expected)
+
+    def test_explicit_d_override(self, pool):
+        trial = run_password_trial(
+            pool[5], "abcd", seed=10,
+            attack_config=PasswordStealingConfig(attacking_window_ms=42.0),
+        )
+        assert trial.attacking_window_ms == 42.0
+
+    def test_alert_stays_suppressed_through_theft(self, pool):
+        trial = run_password_trial(pool[6], "tk&%48GH", seed=11)
+        assert not trial.alert_noticed
+
+    def test_switch_count_matches_password_structure(self, pool):
+        # 'aB' needs exactly one fake-keyboard switch to upper and one
+        # one-shot revert.
+        trial = run_password_trial(pool[7], "aBc", seed=12)
+        if trial.success:  # switches only counted when presses captured
+            assert trial.keyboard_switches == 2

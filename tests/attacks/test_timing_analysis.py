@@ -1,0 +1,97 @@
+"""Tests for the analytical timing model (paper Eqs. 1–3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.attacks.timing import (
+    estimate_attack_duration,
+    expected_mistouch_for_profile,
+    expected_mistouch_time,
+    upper_bound_d,
+    upper_bound_d_for_profile,
+)
+from repro.devices import device
+
+
+class TestEquation2:
+    def test_single_cycle_pays_only_startup(self):
+        est = expected_mistouch_time(
+            total_attack_ms=100.0, attacking_window_ms=100.0,
+            mean_tmis_ms=5.0, mean_tam_ms=2.0, mean_tas_ms=8.0,
+        )
+        assert est.cycles == 1
+        assert est.expected_mistouch_ms == pytest.approx(10.0)  # Tam + Tas
+
+    def test_n_cycles_formula(self):
+        # E(Tm) = (ceil(T/D) - 1) E(Tmis) + E(Tam) + E(Tas)
+        est = expected_mistouch_time(
+            total_attack_ms=1000.0, attacking_window_ms=100.0,
+            mean_tmis_ms=5.0, mean_tam_ms=2.0, mean_tas_ms=8.0,
+        )
+        assert est.cycles == 10
+        assert est.expected_mistouch_ms == pytest.approx(9 * 5.0 + 10.0)
+
+    def test_expected_mistouch_decreases_as_d_increases(self):
+        # The paper's key observation under Eq. (2).
+        estimates = [
+            expected_mistouch_time(10_000.0, d, 5.0, 2.0, 8.0).expected_mistouch_ms
+            for d in (50.0, 100.0, 200.0, 400.0)
+        ]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_negative_tmis_clamped(self):
+        est = expected_mistouch_time(1000.0, 100.0, -3.0, 2.0, 8.0)
+        assert est.expected_mistouch_ms == pytest.approx(10.0)
+
+    def test_fraction_capped_at_one(self):
+        est = expected_mistouch_time(10.0, 5.0, 100.0, 100.0, 100.0)
+        assert est.expected_mistouch_fraction == 1.0
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            expected_mistouch_time(0.0, 100.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            expected_mistouch_time(100.0, 0.0, 1.0, 1.0, 1.0)
+
+    @given(
+        st.floats(min_value=100, max_value=60_000),
+        st.floats(min_value=10, max_value=500),
+        st.floats(min_value=0, max_value=20),
+    )
+    def test_mistouch_fraction_in_unit_interval(self, total, d, tmis):
+        est = expected_mistouch_time(total, d, tmis, 2.0, 8.0)
+        assert 0.0 <= est.expected_mistouch_fraction <= 1.0
+
+
+class TestEquation3:
+    def test_upper_bound_is_sum(self):
+        assert upper_bound_d(100.0, 10.0, 20.0) == 130.0
+
+    def test_profile_bound_close_to_published(self):
+        for model in ("s8", "pixel 2", "Redmi"):
+            profile = device(model)
+            bound = upper_bound_d_for_profile(profile)
+            # Eq. (3) omits the small Tmis term, so it is slightly below
+            # the calibrated (published) boundary.
+            assert bound <= profile.published_upper_bound_d + 0.5
+            assert bound >= profile.published_upper_bound_d - 15.0
+
+
+class TestAttackDuration:
+    def test_t_equals_s_times_l(self):
+        # T = S x L (Section III-D), in ms.
+        assert estimate_attack_duration(8, 0.3) == pytest.approx(2400.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            estimate_attack_duration(0, 0.3)
+        with pytest.raises(ValueError):
+            estimate_attack_duration(8, 0.0)
+
+
+class TestProfileHelper:
+    def test_profile_estimate_uses_version_latencies(self):
+        android10 = expected_mistouch_for_profile(device("pixel 4"), 10_000.0, 100.0)
+        android9 = expected_mistouch_for_profile(device("mate20"), 10_000.0, 100.0)
+        # Android 10's larger Tmis means more expected mistouch time.
+        assert android10.expected_mistouch_ms > android9.expected_mistouch_ms

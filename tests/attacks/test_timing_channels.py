@@ -1,0 +1,144 @@
+"""Tests for the UI-state side-channel trigger."""
+
+import pytest
+
+from repro.apps import (
+    AccessibilityBus,
+    KeyboardSpec,
+    RealKeyboard,
+    VictimApp,
+    default_keyboard_rect,
+    spec_by_name,
+)
+from repro.attacks import (
+    PasswordStealingAttack,
+    SideChannelConfig,
+    UiStateSideChannel,
+)
+from repro.sim import SeededRng
+from repro.stack import build_stack
+from repro.systemui import AlertMode
+from repro.users import Typist, generate_participants
+from repro.windows import Permission
+
+
+def make_world(seed=44, victim_spec=None):
+    participant = generate_participants(SeededRng(seed, "sc"), count=1)[0]
+    stack = build_stack(seed=seed, profile=participant.device,
+                        alert_mode=AlertMode.ANALYTIC)
+    bus = AccessibilityBus(stack.simulation)
+    spec = KeyboardSpec(default_keyboard_rect(
+        participant.device.screen_width_px,
+        participant.device.screen_height_px))
+    ime = RealKeyboard(stack, spec)
+    victim = VictimApp(stack, bus,
+                       victim_spec or spec_by_name("Bank of America"), ime)
+    return participant, stack, bus, spec, victim
+
+
+class TestSideChannelConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SideChannelConfig(poll_interval_ms=0.0)
+        with pytest.raises(ValueError):
+            SideChannelConfig(miss_probability=1.0)
+        with pytest.raises(ValueError):
+            SideChannelConfig(inference_latency_ms=-1.0)
+
+    def test_expected_latency_grows_with_misses(self):
+        _, stack, bus, spec, victim = make_world()
+        quiet = UiStateSideChannel(
+            stack, victim, lambda: None,
+            config=SideChannelConfig(miss_probability=0.0), name="c0")
+        noisy = UiStateSideChannel(
+            stack, victim, lambda: None,
+            config=SideChannelConfig(miss_probability=0.5), name="c1")
+        assert (noisy.expected_detection_latency_ms()
+                > quiet.expected_detection_latency_ms())
+
+
+class TestDetection:
+    def test_fires_only_after_password_focus(self):
+        _, stack, bus, spec, victim = make_world()
+        fired = []
+        channel = UiStateSideChannel(stack, victim, lambda: fired.append(stack.now))
+        channel.start()
+        victim.open_login()
+        stack.run_for(1000.0)
+        assert fired == []  # nothing focused yet
+        victim.focus_password()
+        stack.run_for(300.0)
+        assert len(fired) == 1
+        assert channel.fired
+        assert channel.detected_at is not None
+
+    def test_stop_halts_polling(self):
+        _, stack, bus, spec, victim = make_world()
+        fired = []
+        channel = UiStateSideChannel(stack, victim, lambda: fired.append(1))
+        channel.start()
+        stack.run_for(200.0)
+        polls_before = channel.polls
+        channel.stop()
+        victim.open_login()
+        victim.focus_password()
+        stack.run_for(500.0)
+        assert channel.polls == polls_before
+        assert fired == []
+
+    def test_misses_delay_but_do_not_prevent_detection(self):
+        _, stack, bus, spec, victim = make_world(seed=45)
+        channel = UiStateSideChannel(
+            stack, victim, lambda: None,
+            config=SideChannelConfig(miss_probability=0.8),
+        )
+        channel.start()
+        victim.open_login()
+        victim.focus_password()
+        stack.run_for(10_000.0)
+        assert channel.fired
+        assert channel.misses > 0
+
+
+class TestEndToEndWithSideChannel:
+    def test_password_theft_via_side_channel(self):
+        participant, stack, bus, spec, victim = make_world(seed=46)
+        malware = PasswordStealingAttack(stack, bus, victim, spec)
+        stack.permissions.grant(malware.package, Permission.SYSTEM_ALERT_WINDOW)
+        channel = malware.arm_with_side_channel()
+        victim.open_login()
+        stack.run_for(100.0)
+        victim.focus_password()
+        stack.run_for(400.0)  # poll + inference latency
+        assert malware.launched
+        typist = Typist(stack, spec, participant.typing, participant.touch)
+        session = typist.type_text("abcd")
+        while not session.complete:
+            stack.run_for(500.0)
+        stack.run_for(200.0)
+        result = malware.finish()
+        assert result.trigger_path == "ui_state_side_channel"
+        assert result.derived_password == "abcd"
+
+    def test_side_channel_defeats_alipay_hardening_directly(self):
+        # Accessibility hardening is irrelevant to the side channel: no
+        # username workaround needed.
+        participant, stack, bus, spec, victim = make_world(
+            seed=47, victim_spec=spec_by_name("Alipay"))
+        malware = PasswordStealingAttack(stack, bus, victim, spec)
+        stack.permissions.grant(malware.package, Permission.SYSTEM_ALERT_WINDOW)
+        malware.arm_with_side_channel()
+        victim.open_login()
+        stack.run_for(100.0)
+        victim.focus_password()
+        stack.run_for(400.0)
+        assert malware.launched
+        result = malware.result()
+        assert result.trigger_path == "ui_state_side_channel"
+
+    def test_cannot_double_arm(self):
+        _, stack, bus, spec, victim = make_world(seed=48)
+        malware = PasswordStealingAttack(stack, bus, victim, spec)
+        malware.arm()
+        with pytest.raises(RuntimeError):
+            malware.arm_with_side_channel()

@@ -1,0 +1,133 @@
+"""Tests for the draw-and-destroy toast attack."""
+
+import pytest
+
+from repro.attacks import DrawAndDestroyToastAttack, ToastAttackConfig
+from repro.toast import MAX_TOASTS_PER_APP, TOAST_LENGTH_LONG_MS
+from repro.windows.geometry import Rect
+from repro.windows.types import WindowType
+
+RECT = Rect(0, 1400, 1080, 2160)
+
+
+def launch(stack, duration=TOAST_LENGTH_LONG_MS, content="kbd"):
+    state = {"content": content}
+    attack = DrawAndDestroyToastAttack(
+        stack,
+        ToastAttackConfig(rect=RECT, duration_ms=duration),
+        content_provider=lambda: state["content"],
+    )
+    attack.start()
+    return attack, state
+
+
+class TestContinuity:
+    def test_no_permission_needed(self, analytic_stack):
+        # The toast attack's threat model: no sensitive permissions.
+        attack, _ = launch(analytic_stack)
+        analytic_stack.run_for(100.0)
+        assert analytic_stack.screen.windows_of(attack.package, WindowType.TOAST)
+
+    def test_toast_stays_on_screen_across_expirations(self, analytic_stack):
+        attack, _ = launch(analytic_stack)
+        # Sample coverage well past several 3.5 s toast lifetimes.
+        analytic_stack.run_for(1000.0)
+        for _ in range(12):
+            analytic_stack.run_for(1000.0)
+            assert attack.coverage_at(analytic_stack.now) > 0.9
+
+    def test_queue_depth_stays_bounded(self, analytic_stack):
+        attack, _ = launch(analytic_stack)
+        max_depth = 0
+        for _ in range(30):
+            analytic_stack.run_for(500.0)
+            depth = analytic_stack.notification_manager.queue.depth_for(attack.package)
+            max_depth = max(max_depth, depth)
+        assert 1 <= max_depth < 5
+        assert attack.skipped_at_cap == 0
+
+    def test_switch_dips_are_shallow(self, analytic_stack):
+        attack, _ = launch(analytic_stack)
+        analytic_stack.run_for(12_000.0)
+        switches = attack.switches()
+        assert len(switches) >= 2
+        assert all(s.min_coverage > 0.9 for s in switches)
+        assert all(s.switch_gap_ms < 50.0 for s in switches)
+
+    def test_stop_lets_toasts_drain(self, analytic_stack):
+        attack, _ = launch(analytic_stack)
+        analytic_stack.run_for(1000.0)
+        attack.stop()
+        analytic_stack.run_for(TOAST_LENGTH_LONG_MS * 4 + 3000.0)
+        assert analytic_stack.screen.windows_of(attack.package, WindowType.TOAST) == []
+
+    def test_short_toasts_switch_more_often(self, analytic_stack):
+        # Section IV-D: choose 3.5 s over 2 s to reduce switching.
+        from repro.stack import build_stack
+        from repro.systemui import AlertMode
+
+        long_stack = build_stack(seed=8, alert_mode=AlertMode.ANALYTIC)
+        short_attack, _ = launch(long_stack, duration=2000.0)
+        long_stack.run_for(15_000.0)
+        short_switches = len(short_attack.switches())
+
+        other = build_stack(seed=8, alert_mode=AlertMode.ANALYTIC)
+        long_attack, _ = launch(other, duration=3500.0)
+        other.run_for(15_000.0)
+        long_switches = len(long_attack.switches())
+        assert short_switches > long_switches
+
+
+class TestContentSwitching:
+    def test_force_refresh_replaces_displayed_content(self, analytic_stack):
+        attack, state = launch(analytic_stack, content="lower")
+        analytic_stack.run_for(500.0)
+        assert attack.displayed_content_at(analytic_stack.now) == "lower"
+        state["content"] = "symbols"
+        attack.force_refresh()
+        analytic_stack.run_for(600.0)
+        assert attack.displayed_content_at(analytic_stack.now) == "symbols"
+
+    def test_force_refresh_drops_stale_queued_frames(self, analytic_stack):
+        attack, state = launch(analytic_stack, content="lower")
+        analytic_stack.run_for(200.0)
+        state["content"] = "upper"
+        attack.force_refresh()
+        analytic_stack.run_for(600.0)
+        # The next displayed toast must carry the NEW content, not a stale
+        # 'lower' frame primed before the switch.
+        assert attack.displayed_content_at(analytic_stack.now) == "upper"
+        shown = [t.content for t in attack.displayed_toasts()
+                 if t.shown_at is not None and t.shown_at > 250.0]
+        assert "lower" not in shown
+
+    def test_rapid_double_switch_converges(self, analytic_stack):
+        attack, state = launch(analytic_stack, content="a")
+        analytic_stack.run_for(500.0)
+        state["content"] = "b"
+        attack.force_refresh()
+        analytic_stack.run_for(30.0)
+        state["content"] = "c"
+        attack.force_refresh()
+        analytic_stack.run_for(800.0)
+        assert attack.displayed_content_at(analytic_stack.now) == "c"
+
+
+class TestCapRespect:
+    def test_attack_respects_token_cap(self, analytic_stack):
+        attack = DrawAndDestroyToastAttack(
+            analytic_stack,
+            # Pathological config: enqueue far faster than display drains.
+            ToastAttackConfig(rect=RECT, duration_ms=3500.0,
+                              enqueue_period_ms=10.0, prime_count=2),
+            content_provider=lambda: "x",
+        )
+        attack.start()
+        analytic_stack.run_for(3000.0)
+        depth = analytic_stack.notification_manager.queue.depth_for(attack.package)
+        assert depth <= MAX_TOASTS_PER_APP
+        assert attack.skipped_at_cap > 0
+        # And the system itself never rejected (the attack self-limited).
+        assert analytic_stack.notification_manager.queue.rejected_for(
+            attack.package
+        ) == 0

@@ -1,0 +1,166 @@
+"""Tests for the Binder IPC substrate."""
+
+import pytest
+
+from repro.binder import (
+    BinderMonitor,
+    BinderRouter,
+    FixedLatency,
+    LatencySpec,
+    MethodLatencyTable,
+)
+from repro.sim import SeededRng, Simulation
+
+
+@pytest.fixture
+def sim():
+    return Simulation(seed=3)
+
+
+@pytest.fixture
+def router(sim):
+    return BinderRouter(sim, latency_model=FixedLatency(2.0))
+
+
+class TestLatencySpec:
+    def test_sample_respects_floor(self):
+        spec = LatencySpec(mean_ms=1.0, std_ms=5.0, min_ms=0.5)
+        rng = SeededRng(1)
+        assert all(spec.sample(rng) >= 0.5 for _ in range(100))
+
+    def test_invalid_specs_raise(self):
+        with pytest.raises(ValueError):
+            LatencySpec(mean_ms=-1.0)
+        with pytest.raises(ValueError):
+            LatencySpec(mean_ms=1.0, std_ms=-0.1)
+        with pytest.raises(ValueError):
+            LatencySpec(mean_ms=1.0, min_ms=-0.1)
+
+    def test_scaled_multiplies_mean_and_std(self):
+        spec = LatencySpec(mean_ms=10.0, std_ms=2.0, min_ms=1.0)
+        scaled = spec.scaled(1.5)
+        assert scaled.mean_ms == 15.0
+        assert scaled.std_ms == 3.0
+        assert scaled.min_ms == 1.0
+
+
+class TestMethodLatencyTable:
+    def test_per_method_and_default(self):
+        table = MethodLatencyTable(
+            {"addView": LatencySpec(mean_ms=5.0)},
+            default=LatencySpec(mean_ms=1.0),
+        )
+        assert table.mean("addView") == 5.0
+        assert table.mean("anything") == 1.0
+
+    def test_set_overrides(self):
+        table = MethodLatencyTable()
+        table.set("x", LatencySpec(mean_ms=9.0))
+        assert table.mean("x") == 9.0
+        assert "x" in table.methods()
+
+
+class TestRouter:
+    def test_delivery_after_latency(self, sim, router):
+        received = []
+        router.register("svc", "ping", lambda txn: received.append(sim.now))
+        router.transact("app", "svc", "ping")
+        sim.run_until(1.9)
+        assert received == []
+        sim.run_until(2.0)
+        assert received == [2.0]
+
+    def test_explicit_latency_overrides_model(self, sim, router):
+        received = []
+        router.register("svc", "ping", lambda txn: received.append(sim.now))
+        router.transact("app", "svc", "ping", latency_ms=7.5)
+        sim.run_until(10.0)
+        assert received == [7.5]
+
+    def test_payload_reaches_handler(self, sim, router):
+        seen = []
+        router.register("svc", "ping", lambda txn: seen.append(txn.payload["x"]))
+        router.transact("app", "svc", "ping", payload={"x": 42})
+        sim.run_until(5.0)
+        assert seen == [42]
+
+    def test_unknown_receiver_raises(self, router):
+        with pytest.raises(KeyError):
+            router.transact("app", "nobody", "ping")
+
+    def test_unknown_method_raises(self, router):
+        router.register("svc", "ping", lambda txn: None)
+        with pytest.raises(KeyError):
+            router.transact("app", "svc", "pong")
+
+    def test_duplicate_registration_raises(self, router):
+        router.register("svc", "ping", lambda txn: None)
+        with pytest.raises(ValueError):
+            router.register("svc", "ping", lambda txn: None)
+
+    def test_register_many(self, sim, router):
+        calls = []
+        router.register_many("svc", {
+            "a": lambda txn: calls.append("a"),
+            "b": lambda txn: calls.append("b"),
+        })
+        router.transact("app", "svc", "a")
+        router.transact("app", "svc", "b")
+        sim.run_until(10.0)
+        assert sorted(calls) == ["a", "b"]
+
+    def test_txn_records_carry_metadata(self, sim, router):
+        router.register("svc", "ping", lambda txn: None)
+        txn = router.transact("app", "svc", "ping", latency_ms=3.0)
+        assert txn.sender == "app"
+        assert txn.receiver == "svc"
+        assert txn.latency_ms == pytest.approx(3.0)
+        assert txn.txn_id == 1
+
+    def test_counters(self, sim, router):
+        router.register("svc", "ping", lambda txn: None)
+        for _ in range(3):
+            router.transact("app", "svc", "ping")
+        assert router.transactions_sent == 3
+        sim.run_until(10.0)
+        assert router.transactions_delivered == 3
+
+    def test_negative_latency_rejected(self, router):
+        router.register("svc", "ping", lambda txn: None)
+        with pytest.raises(ValueError):
+            router.transact("app", "svc", "ping", latency_ms=-1.0)
+
+
+class TestMonitor:
+    def test_collects_only_methods_of_interest(self, sim, router):
+        router.register("svc", "addView", lambda txn: None)
+        router.register("svc", "other", lambda txn: None)
+        monitor = BinderMonitor(router, methods_of_interest=("addView",))
+        router.transact("app", "svc", "addView")
+        router.transact("app", "svc", "other")
+        assert [c.method for c in monitor.calls] == ["addView"]
+        assert monitor.transactions_seen == 2
+
+    def test_sink_fires_live(self, sim, router):
+        router.register("svc", "addView", lambda txn: None)
+        live = []
+        BinderMonitor(router, sink=live.append)
+        router.transact("app", "svc", "addView")
+        assert len(live) == 1
+        assert live[0].caller == "app"
+
+    def test_calls_by_caller(self, sim, router):
+        router.register("svc", "addView", lambda txn: None)
+        monitor = BinderMonitor(router)
+        router.transact("app1", "svc", "addView")
+        router.transact("app2", "svc", "addView")
+        assert len(monitor.calls_by_caller("app1")) == 1
+
+    def test_overhead_accumulates(self, sim, router):
+        router.register("svc", "addView", lambda txn: None)
+        monitor = BinderMonitor(router)
+        for _ in range(100):
+            router.transact("app", "svc", "addView")
+        assert monitor.overhead_ms == pytest.approx(
+            100 * BinderMonitor.INSPECTION_COST_MS
+        )

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices import device, reference_device
+from repro.sim import SeededRng, Simulation
+from repro.stack import AndroidStack, build_stack
+from repro.systemui import AlertMode
+from repro.users import generate_participants
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    """A bare simulation kernel."""
+    return Simulation(seed=123)
+
+
+@pytest.fixture
+def stack() -> AndroidStack:
+    """A full stack on the reference device (Pixel 2 / Android 11),
+    frame-driven alerts."""
+    return build_stack(seed=42, alert_mode=AlertMode.FRAME)
+
+
+@pytest.fixture
+def analytic_stack() -> AndroidStack:
+    """Analytic-alert stack (what the sweeps use)."""
+    return build_stack(seed=42, alert_mode=AlertMode.ANALYTIC)
+
+
+@pytest.fixture
+def android8_stack() -> AndroidStack:
+    """A stack on an Android 8 device (Samsung s8, Table II bound 60 ms)."""
+    return build_stack(seed=42, profile=device("s8"), alert_mode=AlertMode.ANALYTIC)
+
+
+@pytest.fixture
+def android10_stack() -> AndroidStack:
+    """A stack on an Android 10 device (Pixel 4, Table II bound 185 ms)."""
+    return build_stack(seed=42, profile=device("pixel 4"), alert_mode=AlertMode.ANALYTIC)
+
+
+@pytest.fixture
+def rng() -> SeededRng:
+    return SeededRng(7)
+
+
+@pytest.fixture
+def participants():
+    """A small deterministic participant pool."""
+    return generate_participants(SeededRng(11, "pool"), count=6)
+
+
+@pytest.fixture
+def one_participant(participants):
+    return participants[0]

@@ -1,0 +1,193 @@
+"""Tests for the three defenses of paper Section VII."""
+
+import pytest
+
+from repro.attacks import DrawAndDestroyOverlayAttack, OverlayAttackConfig
+from repro.defenses import (
+    BenignOverlayApp,
+    DetectionRule,
+    EnhancedNotificationDefense,
+    IpcDetector,
+    ToastSpacingDefense,
+)
+from repro.devices import device
+from repro.stack import build_stack
+from repro.systemui import AlertMode, NotificationOutcome
+from repro.windows import Permission
+
+
+def fresh_stack(seed=1, model=None):
+    profile = device(model) if model else None
+    return build_stack(seed=seed, profile=profile, alert_mode=AlertMode.ANALYTIC,
+                       trace_enabled=False)
+
+
+def launch_attack(stack, d=150.0):
+    attack = DrawAndDestroyOverlayAttack(
+        stack, OverlayAttackConfig(attacking_window_ms=d)
+    )
+    stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+    attack.start()
+    return attack
+
+
+class TestIpcDetector:
+    def test_detects_draw_and_destroy_pattern(self):
+        stack = fresh_stack()
+        detector = IpcDetector(stack.router, stack.system_server)
+        attack = launch_attack(stack, d=150.0)
+        stack.run_for(5000.0)
+        assert detector.is_flagged(attack.package)
+        assert len(detector.detections) == 1
+
+    def test_termination_stops_the_attack(self):
+        stack = fresh_stack()
+        IpcDetector(stack.router, stack.system_server)
+        attack = launch_attack(stack, d=150.0)
+        stack.run_for(10_000.0)
+        assert stack.screen.windows_of(attack.package) == []
+
+    def test_detection_latency_scales_with_d(self):
+        latencies = []
+        for d in (100.0, 300.0):
+            stack = fresh_stack(seed=int(d))
+            detector = IpcDetector(stack.router, stack.system_server)
+            launch_attack(stack, d=d)
+            stack.run_for(20_000.0)
+            latencies.append(detector.detections[0].time)
+        assert latencies[0] < latencies[1]
+
+    def test_benign_floating_widget_not_flagged(self):
+        stack = fresh_stack()
+        detector = IpcDetector(stack.router, stack.system_server)
+        app = BenignOverlayApp(stack, dwell_ms=10_000.0, pause_ms=3_000.0)
+        stack.permissions.grant(app.package, Permission.SYSTEM_ALERT_WINDOW)
+        app.start()
+        stack.run_for(120_000.0)
+        app.stop()
+        stack.run_for(500.0)
+        assert not detector.is_flagged(app.package)
+        assert app.cycles >= 5  # the widget genuinely cycled
+
+    def test_no_termination_mode(self):
+        stack = fresh_stack()
+        detector = IpcDetector(stack.router, stack.system_server,
+                               terminate_on_detection=False)
+        attack = launch_attack(stack, d=150.0)
+        stack.run_for(5000.0)
+        assert detector.is_flagged(attack.package)
+        assert stack.screen.windows_of(attack.package)  # still running
+
+    def test_on_detection_callback(self):
+        stack = fresh_stack()
+        seen = []
+        IpcDetector(stack.router, stack.system_server, on_detection=seen.append)
+        launch_attack(stack, d=150.0)
+        stack.run_for(5000.0)
+        assert len(seen) == 1
+        assert seen[0].pairs_observed >= 8
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            DetectionRule(window_ms=0.0)
+        with pytest.raises(ValueError):
+            DetectionRule(min_pairs=0)
+        with pytest.raises(ValueError):
+            DetectionRule(max_pair_gap_ms=-1.0)
+
+    def test_overhead_is_negligible(self):
+        stack = fresh_stack()
+        detector = IpcDetector(stack.router, stack.system_server,
+                               terminate_on_detection=False)
+        launch_attack(stack, d=100.0)
+        stack.run_for(5000.0)
+        per_txn = (
+            detector.monitor.overhead_ms + detector.overhead_ms
+        ) / max(detector.monitor.transactions_seen, 1)
+        assert per_txn < 0.01  # < 10 µs per transaction
+
+
+class TestEnhancedNotification:
+    def test_defeats_attack_at_previously_safe_d(self):
+        stack = fresh_stack(seed=7)
+        bound = stack.profile.published_upper_bound_d
+        EnhancedNotificationDefense(stack.system_server).install()
+        launch_attack(stack, d=bound * 0.5)  # safely below the old bound
+        stack.run_for(6000.0)
+        assert stack.system_ui.worst_outcome() > NotificationOutcome.LAMBDA1
+
+    def test_alert_reaches_full_visibility(self):
+        stack = fresh_stack(seed=8)
+        EnhancedNotificationDefense(stack.system_server).install()
+        launch_attack(stack, d=100.0)
+        stack.run_for(8000.0)
+        assert stack.system_ui.worst_outcome() is NotificationOutcome.LAMBDA5
+
+    def test_hides_suppressed_counter(self):
+        stack = fresh_stack(seed=9)
+        defense = EnhancedNotificationDefense(stack.system_server).install()
+        launch_attack(stack, d=100.0)
+        stack.run_for(3000.0)
+        assert defense.hides_suppressed > 0
+
+    def test_legitimate_hide_still_delivered_after_delay(self):
+        from repro.windows import Window, WindowType
+        from repro.windows.geometry import Rect
+
+        stack = fresh_stack(seed=10)
+        defense = EnhancedNotificationDefense(stack.system_server,
+                                              hide_delay_ms=690.0).install()
+        stack.permissions.grant("app", Permission.SYSTEM_ALERT_WINDOW)
+        window = Window("app", WindowType.APPLICATION_OVERLAY,
+                        Rect(0, 0, 100, 100))
+        stack.router.transact("app", "system_server", "addView",
+                              {"window": window}, latency_ms=2.0)
+        stack.run_for(2000.0)
+        assert stack.system_ui.has_alert("app")
+        stack.router.transact("app", "system_server", "removeView",
+                              {"window": window}, latency_ms=8.0)
+        stack.run_for(500.0)
+        assert stack.system_ui.has_alert("app")   # still delayed
+        stack.run_for(400.0)
+        assert not stack.system_ui.has_alert("app")
+        assert defense.hides_delivered == 1
+
+    def test_invalid_delay_rejected(self):
+        stack = fresh_stack(seed=11)
+        with pytest.raises(ValueError):
+            EnhancedNotificationDefense(stack.system_server, hide_delay_ms=-1.0)
+
+
+class TestToastSpacing:
+    def test_install_sets_gap(self):
+        stack = fresh_stack(seed=12)
+        defense = ToastSpacingDefense(stack.notification_manager, gap_ms=500.0)
+        defense.install()
+        assert stack.notification_manager.inter_toast_gap_ms == 500.0
+        assert defense.installed
+        defense.uninstall()
+        assert stack.notification_manager.inter_toast_gap_ms == 0.0
+
+    def test_gap_makes_switches_fully_visible(self):
+        from repro.attacks import DrawAndDestroyToastAttack, ToastAttackConfig
+        from repro.windows.geometry import Rect
+
+        stack = fresh_stack(seed=13)
+        ToastSpacingDefense(stack.notification_manager).install()
+        attack = DrawAndDestroyToastAttack(
+            stack,
+            ToastAttackConfig(rect=Rect(0, 1400, 1080, 2160), duration_ms=2000.0),
+            content_provider=lambda: "kbd",
+        )
+        attack.start()
+        stack.run_for(10_000.0)
+        attack.stop()
+        stack.run_for(3000.0)
+        switches = attack.switches()
+        assert switches
+        assert any(s.min_coverage == pytest.approx(0.0, abs=1e-6) for s in switches)
+
+    def test_invalid_gap_rejected(self):
+        stack = fresh_stack(seed=14)
+        with pytest.raises(ValueError):
+            ToastSpacingDefense(stack.notification_manager, gap_ms=0.0)

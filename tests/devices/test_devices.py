@@ -1,0 +1,137 @@
+"""Tests for device profiles, calibration, and the Table I/II registry."""
+
+import pytest
+
+from repro.binder.latency import LatencySpec
+from repro.devices import (
+    ANDROID_8,
+    ANDROID_9,
+    ANDROID_10,
+    ANDROID_11,
+    DEVICES,
+    calibrated_profile,
+    device,
+    devices_by_version,
+    reference_device,
+    version_by_label,
+)
+
+
+class TestAndroidVersions:
+    def test_add_event_reaches_system_server_first(self):
+        # Tam < Trm on every release (paper Section III-C).
+        for version in (ANDROID_8, ANDROID_9, ANDROID_10, ANDROID_11):
+            assert version.tam.mean_ms < version.trm.mean_ms
+
+    def test_tmis_small_on_8_9_larger_on_10_11(self):
+        # "in Android 8 and 9, Tmis approaches 0. For Android 10 and 11,
+        # Tmis appears larger" (Section III-D).
+        assert 0.0 < ANDROID_8.mean_tmis_ms < 2.0
+        assert 0.0 < ANDROID_9.mean_tmis_ms < 2.0
+        assert ANDROID_10.mean_tmis_ms > 3.0
+        assert ANDROID_11.mean_tmis_ms > 3.0
+        assert ANDROID_10.mean_tmis_ms > ANDROID_9.mean_tmis_ms
+
+    def test_gesture_teardown_longer_on_10_11(self):
+        # The second driver of Fig. 8's version gap: the reworked input
+        # pipeline cancels in-flight gestures for longer on 10/11.
+        assert ANDROID_10.gesture_teardown_ms > ANDROID_9.gesture_teardown_ms
+        assert ANDROID_11.gesture_teardown_ms > ANDROID_8.gesture_teardown_ms
+
+    def test_ana_delay_by_version(self):
+        assert ANDROID_8.nominal_ana_delay_ms == 0.0
+        assert ANDROID_9.nominal_ana_delay_ms == 0.0
+        assert ANDROID_10.nominal_ana_delay_ms == 100.0
+        assert ANDROID_11.nominal_ana_delay_ms == 200.0
+
+    def test_type_toast_removed_everywhere(self):
+        for version in (ANDROID_8, ANDROID_9, ANDROID_10, ANDROID_11):
+            assert version.type_toast_removed
+            assert version.overlay_alert
+            assert version.toast_serialized
+
+    def test_version_lookup(self):
+        assert version_by_label("9.1").major == 9
+        with pytest.raises(KeyError):
+            version_by_label("7")
+
+
+class TestRegistry:
+    def test_thirty_devices(self):
+        assert len(DEVICES) == 30
+
+    def test_table2_bounds_preserved(self):
+        assert device("s8").published_upper_bound_d == 60.0
+        assert device("Redmi").published_upper_bound_d == 395.0
+        assert device("V1986A").published_upper_bound_d == 80.0
+        assert device("pixel 2").published_upper_bound_d == 330.0
+
+    def test_ambiguous_model_requires_version(self):
+        with pytest.raises(KeyError):
+            device("mi8")  # exists on Android 9 and 10
+        assert device("mi8", "9").android_version.label == "9"
+        assert device("mi8", "10").android_version.label == "10"
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            device("iphone")
+
+    def test_version_grouping(self):
+        groups = devices_by_version()
+        assert sorted(groups) == ["10", "11", "8", "9"]
+        assert len(groups["8"]) == 3
+        assert len(groups["9"]) == 13  # includes the 9.1 nova3
+        assert len(groups["10"]) == 12
+        assert len(groups["11"]) == 2
+        assert sum(len(v) for v in groups.values()) == 30
+
+    def test_reference_device_is_pixel2_android11(self):
+        ref = reference_device()
+        assert ref.model == "pixel 2"
+        assert ref.android_version.major == 11
+
+
+class TestCalibration:
+    def test_predicted_bound_matches_published(self):
+        # The whole point of calibration: the analytic boundary equals the
+        # Table II value (up to the Tn >= 1 ms floor on one Vivo).
+        for profile in DEVICES:
+            if profile.model == "V1986A":
+                continue  # floored: fitted bound slightly exceeds published
+            assert profile.predicted_upper_bound_d == pytest.approx(
+                profile.published_upper_bound_d, abs=0.5
+            )
+
+    def test_android10_devices_carry_larger_tn(self):
+        # The ANA delay shows up as systematically larger dispatch latency.
+        mean_tn = lambda devs: sum(d.tn.mean_ms for d in devs) / len(devs)
+        groups = devices_by_version()
+        assert mean_tn(groups["10"]) > mean_tn(groups["9"]) - 20.0
+        assert mean_tn(groups["11"]) > mean_tn(groups["8"])
+
+    def test_first_visible_frame_is_20ms_at_stock_params(self):
+        for profile in DEVICES:
+            assert profile.first_visible_frame_ms == 20.0
+
+    def test_calibrated_profile_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            calibrated_profile("X", "y", ANDROID_9, published_upper_bound_d=0.0)
+
+    def test_load_scaling(self):
+        base = device("s8")
+        loaded = base.with_load(5)
+        assert loaded.load_factor > 1.0
+        assert loaded.tam.mean_ms > base.tam.mean_ms
+        # The shift is tiny: the paper found load influence negligible.
+        assert loaded.tn.mean_ms - base.tn.mean_ms < 1.0
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            device("s8").with_load(-1)
+
+    def test_mean_tmis_floor_at_zero(self):
+        spec = LatencySpec(mean_ms=50.0, std_ms=0.0)
+        profile = calibrated_profile(
+            "T", "t", ANDROID_9, published_upper_bound_d=100.0
+        )
+        assert profile.mean_tmis_ms >= 0.0

@@ -1,0 +1,50 @@
+"""Tests for the IPC decision-rule tuning study."""
+
+import pytest
+
+from repro.experiments import SMOKE, run_defense_tuning
+from repro.experiments.defense_tuning import RuleOperatingPoint
+
+
+@pytest.fixture(scope="module")
+def tuning():
+    return run_defense_tuning(
+        SMOKE, attack_ms=8_000.0, benign_observation_ms=60_000.0
+    )
+
+
+class TestTuningSweep:
+    def test_grid_is_complete(self, tuning):
+        assert len(tuning.points) == 9  # 3 pair values x 3 gap values
+
+    def test_all_rules_detect_the_attack(self, tuning):
+        assert all(p.detection_rate == 1.0 for p in tuning.points)
+
+    def test_latency_scales_with_required_pairs(self, tuning):
+        by_pairs = {}
+        for p in tuning.points:
+            by_pairs.setdefault(p.min_pairs, []).append(
+                p.mean_detection_latency_ms
+            )
+        means = {k: sum(v) / len(v) for k, v in by_pairs.items()}
+        assert means[4] < means[8] < means[16]
+
+    def test_loose_gap_causes_false_positives(self, tuning):
+        loose = [p for p in tuning.points if p.max_pair_gap_ms >= 1200.0]
+        tight = [p for p in tuning.points if p.max_pair_gap_ms <= 600.0]
+        assert any(p.false_positive_rate > 0.0 for p in loose)
+        assert all(p.false_positive_rate == 0.0 for p in tight)
+
+    def test_best_point_is_fast_and_clean(self, tuning):
+        best = tuning.best_point()
+        assert best is not None
+        assert best.usable
+        assert best.min_pairs == 4
+
+    def test_usable_property(self):
+        good = RuleOperatingPoint(4, 300.0, 1.0, 700.0, 0.0)
+        leaky = RuleOperatingPoint(4, 1200.0, 1.0, 700.0, 0.25)
+        blind = RuleOperatingPoint(16, 300.0, 0.5, 700.0, 0.0)
+        assert good.usable
+        assert not leaky.usable
+        assert not blind.usable

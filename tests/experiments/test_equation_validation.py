@@ -1,0 +1,70 @@
+"""Tests for Eq. (2) validation and the coverage-timeline analyzer."""
+
+import pytest
+
+from repro.analysis import measure_overlay_coverage
+from repro.experiments import SMOKE, run_equation_validation
+from repro.sim.tracing import TraceLog
+
+
+class TestCoverageTimeline:
+    def _trace_with(self, events):
+        trace = TraceLog()
+        for time, kind in events:
+            trace.record(time, "system_server", kind, owner="mal", label="o")
+        return trace
+
+    def test_simple_add_remove(self):
+        trace = self._trace_with([
+            (10.0, "wms.window_added"),
+            (110.0, "wms.window_removed"),
+        ])
+        coverage = measure_overlay_coverage(trace, "mal", 0.0, 200.0)
+        assert coverage.covered_ms == pytest.approx(100.0)
+        assert coverage.uncovered_ms == pytest.approx(100.0)
+        assert coverage.gap_count == 2  # before add and after remove
+
+    def test_overlapping_windows_count_once(self):
+        trace = self._trace_with([
+            (0.0, "wms.window_added"),
+            (50.0, "wms.window_added"),   # second overlay before removal
+            (60.0, "wms.window_removed"),
+            (100.0, "wms.window_removed"),
+        ])
+        coverage = measure_overlay_coverage(trace, "mal", 0.0, 100.0)
+        assert coverage.covered_ms == pytest.approx(100.0)
+        assert coverage.gap_count == 0
+
+    def test_window_spanning_end_is_clipped(self):
+        trace = self._trace_with([(10.0, "wms.window_added")])
+        coverage = measure_overlay_coverage(trace, "mal", 0.0, 100.0)
+        assert coverage.covered_ms == pytest.approx(90.0)
+
+    def test_other_apps_ignored(self):
+        trace = TraceLog()
+        trace.record(5.0, "system_server", "wms.window_added", owner="other")
+        coverage = measure_overlay_coverage(trace, "mal", 0.0, 100.0)
+        assert coverage.covered_ms == 0.0
+        assert coverage.gap_count == 1
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            measure_overlay_coverage(TraceLog(), "mal", 100.0, 50.0)
+
+
+class TestEquationValidation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_equation_validation(SMOKE, attack_ms=8000.0)
+
+    def test_prediction_matches_measurement_within_five_percent(self, result):
+        assert result.max_relative_error < 0.05
+
+    def test_mistouch_decreases_with_d(self, result):
+        # The paper's headline consequence of Eq. (2).
+        assert result.measured_decreases_with_d
+
+    def test_gap_counts_match_cycle_counts(self, result):
+        for row in result.rows:
+            expected_cycles = row.attack_duration_ms / row.attacking_window_ms
+            assert row.gap_count == pytest.approx(expected_cycles, rel=0.05)

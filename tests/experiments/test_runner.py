@@ -1,0 +1,43 @@
+"""Smoke test for the one-shot runner and report formatter."""
+
+import pytest
+
+from repro.experiments import SMOKE, format_report, run_all
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_all(SMOKE)
+
+
+class TestRunAll:
+    def test_produces_every_artifact(self, results):
+        for attribute in (
+            "fig2", "fig4", "fig6", "table2", "load_impact", "fig7", "fig8",
+            "table3", "table4", "stealthiness", "toast_continuity", "corpus",
+            "defense_ipc", "defense_notification", "defense_toast",
+            "equation_validation", "defense_tuning", "trigger_comparison",
+            "table3_by_version", "fig7_cis",
+        ):
+            assert getattr(results, attribute) is not None
+
+    def test_scale_recorded(self, results):
+        assert results.scale_name == "smoke"
+
+    def test_report_covers_all_sections(self, results):
+        report = format_report(results)
+        for heading in (
+            "Fig. 2", "Fig. 4", "Fig. 6", "Table II", "Load impact",
+            "Fig. 7", "Fig. 8", "Table III", "Table IV", "Stealthiness",
+            "Toast continuity", "Corpus prevalence", "Defenses",
+        ):
+            assert heading in report, heading
+
+    def test_report_contains_paper_reference_numbers(self, results):
+        report = format_report(results)
+        assert "92.8" in report          # Fig 7 plateau
+        assert "4405" in report or "4,405" in report  # corpus count
+
+    def test_report_is_markdown_tabular(self, results):
+        report = format_report(results)
+        assert report.count("|") > 100   # the tables are real tables

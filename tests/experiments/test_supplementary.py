@@ -1,0 +1,101 @@
+"""Tests for the supplementary analyses and trace persistence."""
+
+import pytest
+
+from repro.analysis import export_jsonl, load_into, load_jsonl
+from repro.experiments import (
+    QUICK,
+    SMOKE,
+    run_fig7_with_cis,
+    run_table3_by_version,
+)
+from repro.sim.tracing import TraceLog
+
+
+class TestTable3ByVersion:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table3_by_version(QUICK)
+
+    def test_all_versions_present(self, result):
+        assert sorted(row.version for row in result.rows) == ["10", "11", "8", "9"]
+
+    def test_attack_works_on_every_version(self, result):
+        assert all(row.success_rate > 40.0 for row in result.rows)
+
+    def test_cis_bracket_point_estimates(self, result):
+        for row in result.rows:
+            assert row.ci.lower <= row.successes / row.attempts <= row.ci.upper
+
+    def test_version_effect_direction(self, result):
+        # Android 10's larger Tmis should not make theft *easier*.
+        assert result.newer_versions_harder
+
+
+class TestFig7WithCis:
+    def test_cis_contain_means(self):
+        result = run_fig7_with_cis(SMOKE, durations=(50.0, 200.0))
+        for row in result.rows:
+            assert row.ci.lower <= row.mean <= row.ci.upper
+
+    def test_means_increase_with_d(self):
+        result = run_fig7_with_cis(SMOKE, durations=(50.0, 200.0))
+        assert result.rows[0].mean < result.rows[-1].mean
+
+
+class TestTraceIo:
+    def _sample_trace(self):
+        trace = TraceLog()
+        trace.record(1.0, "a", "kind.one", n=1, label="x")
+        trace.record(2.5, "b", "kind.two", value=3.25, flag=True, none=None)
+        trace.record(3.0, "a", "kind.one", obj=object())  # stringified
+        return trace
+
+    def test_round_trip(self, tmp_path):
+        trace = self._sample_trace()
+        path = tmp_path / "trace.jsonl"
+        written = export_jsonl(trace, path)
+        assert written == 3
+        loaded = load_jsonl(path)
+        assert [r.kind for r in loaded] == ["kind.one", "kind.two", "kind.one"]
+        assert loaded[0].detail == {"n": 1, "label": "x"}
+        assert loaded[1].detail["value"] == 3.25
+        assert loaded[1].detail["flag"] is True
+        assert isinstance(loaded[2].detail["obj"], str)
+
+    def test_load_into_existing_log(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        export_jsonl(self._sample_trace(), path)
+        target = TraceLog()
+        count = load_into(path, target)
+        assert count == 3
+        assert len(target) == 3
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time": 1.0, "source": "a", "kind": "x"}\nnot-json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_jsonl(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"time": 1.0, "source": "a", "kind": "x"}\n\n\n')
+        assert len(load_jsonl(path)) == 1
+
+    def test_real_attack_trace_round_trips(self, tmp_path, analytic_stack):
+        from repro.attacks import DrawAndDestroyOverlayAttack, OverlayAttackConfig
+        from repro.windows import Permission
+
+        attack = DrawAndDestroyOverlayAttack(
+            analytic_stack, OverlayAttackConfig(attacking_window_ms=200.0)
+        )
+        analytic_stack.permissions.grant(attack.package,
+                                         Permission.SYSTEM_ALERT_WINDOW)
+        attack.start()
+        analytic_stack.run_for(1000.0)
+        attack.stop()
+        path = tmp_path / "attack.jsonl"
+        written = export_jsonl(analytic_stack.simulation.trace, path)
+        loaded = load_jsonl(path)
+        assert written == len(loaded) > 20
+        assert any(r.kind == "binder.transact" for r in loaded)

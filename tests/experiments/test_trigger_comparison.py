@@ -1,0 +1,47 @@
+"""Tests for the trigger-channel comparison study."""
+
+import pytest
+
+from repro.experiments import SMOKE, run_trigger_comparison
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_trigger_comparison(SMOKE)
+
+
+class TestTriggerComparison:
+    def test_four_trials(self, result):
+        assert len(result.trials) == 4
+
+    def test_accessibility_fires_fast_on_plain_victims(self, result):
+        trial = next(t for t in result.trials
+                     if t.channel == "accessibility"
+                     and t.victim == "Bank of America")
+        assert trial.launched
+        assert trial.trigger_latency_ms < 10.0
+        assert trial.derived_matches
+
+    def test_accessibility_alone_fails_on_alipay_without_username(self, result):
+        # Without a prior username session there is no focus-switch event
+        # to piggyback on: the hardening holds against the bare trigger.
+        trial = next(t for t in result.trials
+                     if t.channel == "accessibility" and t.victim == "Alipay")
+        assert not trial.launched
+
+    def test_side_channel_immune_to_hardening(self, result):
+        trial = next(t for t in result.trials
+                     if t.channel == "side_channel" and t.victim == "Alipay")
+        assert trial.launched
+        assert trial.trigger_path == "ui_state_side_channel"
+        assert trial.derived_matches
+
+    def test_side_channel_slower_than_accessibility(self, result):
+        assert result.accessibility_is_faster
+        side = result.mean_latency("side_channel")
+        assert side is not None and side > 10.0
+
+    def test_mean_latency_none_when_never_launched(self, result):
+        # A channel with no launches reports None, not a crash.
+        only_failed = [t for t in result.trials if not t.launched]
+        assert only_failed  # the Alipay/accessibility case above

@@ -1,0 +1,60 @@
+"""Tests for the what-if patch-forecast studies."""
+
+import pytest
+
+from repro.devices import DEVICES, device
+from repro.experiments import (
+    SMOKE,
+    find_minimal_hide_delay,
+    run_ana_removal_whatif,
+)
+
+
+@pytest.fixture(scope="module")
+def ana_result():
+    affected = [
+        p for p in DEVICES if p.android_version.nominal_ana_delay_ms > 0
+    ][:5]
+    return run_ana_removal_whatif(SMOKE, profiles=affected)
+
+
+class TestAnaRemoval:
+    def test_android10_loses_about_100ms(self, ana_result):
+        for row in ana_result.rows:
+            if row.version == "10":
+                assert row.attacker_loses_ms == pytest.approx(100.0, abs=15.0)
+
+    def test_android11_loses_about_200ms(self, ana_result):
+        eleven = [r for r in ana_result.rows if r.version == "11"]
+        assert eleven
+        for row in eleven:
+            assert row.attacker_loses_ms == pytest.approx(200.0, abs=15.0)
+
+    def test_all_affected_devices_tightened(self, ana_result):
+        assert ana_result.all_android10_devices_tightened
+        assert ana_result.mean_loss_ms > 80.0
+
+    def test_android8_unaffected(self):
+        result = run_ana_removal_whatif(SMOKE, profiles=[device("s8")])
+        assert result.rows[0].attacker_loses_ms == pytest.approx(0.0, abs=10.0)
+
+
+class TestMinimalHideDelay:
+    @pytest.mark.parametrize("model", ["pixel 2", "s8", "Redmi"])
+    def test_minimal_delay_tracks_tmis(self, model):
+        result = find_minimal_hide_delay(SMOKE, model=model)
+        assert result.matches_tmis_theory
+        # Two orders of magnitude below the paper's conservative 690 ms.
+        assert result.minimal_effective_delay_ms < 69.0
+
+    def test_sub_tmis_delay_is_useless_on_android10(self):
+        result = find_minimal_hide_delay(SMOKE, model="Redmi")
+        useless = [d for d, winning in result.probed if winning is not None]
+        assert useless  # some probed delay was below Tmis and failed
+        assert all(d <= result.device_mean_tmis_ms for d in useless)
+
+    def test_690ms_always_effective(self):
+        for model in ("pixel 2", "s8"):
+            result = find_minimal_hide_delay(SMOKE, model=model)
+            winning_at_690 = dict(result.probed).get(690.0, "missing")
+            assert winning_at_690 is None  # no D survives the paper's delay

@@ -1,0 +1,129 @@
+"""Control-arm behaviour and multi-malware interference."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    AlertMode,
+    DrawAndDestroyOverlayAttack,
+    NotificationOutcome,
+    OverlayAttackConfig,
+    Permission,
+    build_stack,
+)
+from repro.experiments.scenarios import run_control_trial
+from repro.sim import SeededRng
+from repro.systemui.notification import NotificationEntry
+from repro.users import generate_participants
+
+
+class TestControlArm:
+    @pytest.fixture(scope="class")
+    def pool(self):
+        return generate_participants(SeededRng(81, "control"), count=4)
+
+    def test_password_reaches_real_widget(self, pool):
+        trial = run_control_trial(pool[0], "aB1!", seed=5)
+        assert trial.typed_into_widget == "aB1!"
+        assert trial.typed_correctly
+
+    def test_nothing_noticed_without_malware(self, pool):
+        trial = run_control_trial(pool[1], "hello123", seed=6)
+        assert not trial.noticed_anything
+        assert not trial.lag_reported
+
+    def test_user_misspellings_still_possible(self, pool):
+        # The control arm uses the same human model: with a forced
+        # misspelling probability, the widget text diverges.
+        from dataclasses import replace
+
+        clumsy = replace(
+            pool[2], typing=pool[2].typing.__class__(
+                mean_interval_ms=pool[2].typing.mean_interval_ms,
+                misspell_probability=1.0,
+            )
+        )
+        trial = run_control_trial(clumsy, "aaaa", seed=7)
+        assert not trial.typed_correctly
+
+
+class TestMultiMalwareInterference:
+    def test_two_attacks_suppress_their_own_alerts(self):
+        """Each app has its own notification entry: two draw-and-destroy
+        attackers running concurrently each stay at Λ1."""
+        stack = build_stack(seed=82, alert_mode=AlertMode.ANALYTIC)
+        bound = stack.profile.published_upper_bound_d
+        attacks = []
+        for index in range(2):
+            attack = DrawAndDestroyOverlayAttack(
+                stack,
+                OverlayAttackConfig(attacking_window_ms=bound - 30.0 - index * 17),
+                package=f"com.mal{index}",
+            )
+            stack.permissions.grant(attack.package,
+                                    Permission.SYSTEM_ALERT_WINDOW)
+            attack.start()
+            attacks.append(attack)
+        stack.run_for(4000.0)
+        for attack in attacks:
+            attack.stop()
+        stack.run_for(500.0)
+        assert stack.system_ui.worst_outcome() is NotificationOutcome.LAMBDA1
+
+    def test_one_sloppy_attacker_does_not_expose_the_careful_one(self):
+        """A second app attacking with a too-large D shows *its* alert;
+        the careful attacker's alert stays suppressed (per-app entries)."""
+        stack = build_stack(seed=83, alert_mode=AlertMode.ANALYTIC)
+        bound = stack.profile.published_upper_bound_d
+        careful = DrawAndDestroyOverlayAttack(
+            stack, OverlayAttackConfig(attacking_window_ms=bound - 30.0),
+            package="com.careful",
+        )
+        sloppy = DrawAndDestroyOverlayAttack(
+            stack, OverlayAttackConfig(attacking_window_ms=bound + 80.0),
+            package="com.sloppy",
+        )
+        for attack in (careful, sloppy):
+            stack.permissions.grant(attack.package,
+                                    Permission.SYSTEM_ALERT_WINDOW)
+            attack.start()
+        stack.run_for(4000.0)
+        careful_worst = max(
+            (r.outcome for r in stack.system_ui.records
+             if r.app == "com.careful"),
+            default=NotificationOutcome.LAMBDA1,
+        )
+        sloppy_records = [
+            r.outcome for r in stack.system_ui.records if r.app == "com.sloppy"
+        ]
+        active_sloppy = stack.system_ui.active_entry("com.sloppy")
+        sloppy_worst = max(
+            sloppy_records
+            + ([active_sloppy.outcome_at(stack.now)] if active_sloppy else []),
+            default=NotificationOutcome.LAMBDA1,
+        )
+        assert careful_worst is NotificationOutcome.LAMBDA1
+        assert sloppy_worst > NotificationOutcome.LAMBDA1
+        careful.stop()
+        sloppy.stop()
+
+
+class TestEntryMonotonicity:
+    @given(
+        first=st.floats(min_value=1.0, max_value=700.0),
+        second=st.floats(min_value=1.0, max_value=700.0),
+    )
+    def test_outcome_monotone_in_removal_time(self, first, second):
+        """A later removal can never *reduce* what the user saw."""
+        early, late = sorted((first, second))
+        entry_a = NotificationEntry(
+            app="x", anim_start=0.0, view_height_px=72,
+            refresh_interval_ms=10.0,
+        )
+        entry_a.removed_at = early
+        entry_b = NotificationEntry(
+            app="x", anim_start=0.0, view_height_px=72,
+            refresh_interval_ms=10.0,
+        )
+        entry_b.removed_at = late
+        assert entry_a.outcome_at(early) <= entry_b.outcome_at(late)

@@ -1,0 +1,106 @@
+"""Failure injection: the system must degrade gracefully under loss.
+
+Real Binder does not lose messages, but robustness under injected loss is
+a cheap way to find brittle state machines: a dropped removeView must not
+crash System Server, wedge the toast queue, or corrupt the screen.
+"""
+
+import pytest
+
+from repro import (
+    AlertMode,
+    DrawAndDestroyOverlayAttack,
+    DrawAndDestroyToastAttack,
+    OverlayAttackConfig,
+    Permission,
+    ToastAttackConfig,
+    build_stack,
+)
+from repro.binder import BinderRouter
+from repro.sim import Simulation
+from repro.windows.geometry import Rect
+
+
+class TestRouterLoss:
+    def test_loss_probability_validation(self):
+        with pytest.raises(ValueError):
+            BinderRouter(Simulation(seed=1), loss_probability=1.0)
+        with pytest.raises(ValueError):
+            BinderRouter(Simulation(seed=1), loss_probability=-0.1)
+
+    def test_dropped_transactions_counted_and_not_delivered(self):
+        sim = Simulation(seed=2)
+        router = BinderRouter(sim, loss_probability=0.5)
+        received = []
+        router.register("svc", "ping", lambda txn: received.append(txn))
+        for _ in range(200):
+            router.transact("app", "svc", "ping", latency_ms=1.0)
+        sim.run_for(10.0)
+        assert router.transactions_dropped > 0
+        assert len(received) + router.transactions_dropped == 200
+        assert 40 < router.transactions_dropped < 160  # ~50%
+
+    def test_observers_see_dropped_transactions(self):
+        # The IPC defense hooks observe at *send* time, so even dropped
+        # messages are visible to it (matching a kernel-side tap).
+        sim = Simulation(seed=3)
+        router = BinderRouter(sim, loss_probability=0.9)
+        router.register("svc", "ping", lambda txn: None)
+        seen = []
+        router.add_observer(seen.append)
+        for _ in range(50):
+            router.transact("app", "svc", "ping", latency_ms=1.0)
+        assert len(seen) == 50
+
+
+class TestAttackUnderLoss:
+    def _lossy_stack(self, seed, loss):
+        stack = build_stack(seed=seed, alert_mode=AlertMode.ANALYTIC)
+        stack.router.loss_probability = loss
+        return stack
+
+    def test_overlay_attack_survives_light_loss(self):
+        stack = self._lossy_stack(seed=4, loss=0.02)
+        attack = DrawAndDestroyOverlayAttack(
+            stack, OverlayAttackConfig(attacking_window_ms=150.0)
+        )
+        stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+        attack.start()
+        stack.run_for(10_000.0)  # must not raise anywhere
+        attack.stop()
+        stack.run_for(1000.0)
+        # The screen is in a consistent state: at most one stray overlay
+        # (a lost removeView can strand one window).
+        assert len(stack.screen.windows_of(attack.package)) <= 1
+        assert stack.router.transactions_dropped > 0
+
+    def test_toast_attack_survives_light_loss(self):
+        stack = self._lossy_stack(seed=5, loss=0.02)
+        attack = DrawAndDestroyToastAttack(
+            stack,
+            ToastAttackConfig(rect=Rect(0, 1400, 1080, 2160)),
+            content_provider=lambda: "kbd",
+        )
+        attack.start()
+        stack.run_for(20_000.0)  # several toast generations, no crash
+        attack.stop()
+        stack.run_for(5000.0)
+        depth = stack.notification_manager.queue.depth_for(attack.package)
+        assert depth < 50  # the queue never wedges at the cap
+
+    def test_lost_hide_can_strand_a_visible_alert(self):
+        """Documented degradation: if the hide notification is lost, the
+        alert may complete — loss hurts the attacker, not the defense."""
+        stack = self._lossy_stack(seed=6, loss=0.25)
+        attack = DrawAndDestroyOverlayAttack(
+            stack, OverlayAttackConfig(attacking_window_ms=150.0)
+        )
+        stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+        attack.start()
+        stack.run_for(20_000.0)
+        attack.stop()
+        stack.run_for(1000.0)
+        # No assertion on the exact outcome — only that the run completed
+        # and bookkeeping stayed coherent.
+        counts = stack.system_ui.outcome_counts()
+        assert sum(counts.values()) == len(stack.system_ui.records)

@@ -1,0 +1,94 @@
+"""Small-surface tests for corners the larger suites skip."""
+
+import pytest
+
+from repro.analysis import summarize, wilson_interval
+from repro.binder import BinderMonitor, BinderRouter
+from repro.experiments.animation_curves import CurveSeries
+from repro.sim import Simulation
+from repro.toast import Toast, analyze_switch, worst_switch
+from repro.toast.lifecycle import ToastSwitch
+from repro.windows.geometry import Rect
+
+RECT = Rect(0, 0, 100, 100)
+
+
+class TestWorstSwitch:
+    def _switch(self, min_coverage):
+        return ToastSwitch(1, 2, 10.0, min_coverage=min_coverage,
+                           time_below_threshold_ms=0.0, threshold=0.85)
+
+    def test_picks_deepest_dip(self):
+        switches = [self._switch(0.95), self._switch(0.4), self._switch(0.7)]
+        assert worst_switch(switches).min_coverage == 0.4
+
+    def test_empty_returns_none(self):
+        assert worst_switch([]) is None
+
+    def test_analyze_switch_none_when_never_shown(self):
+        shown = Toast(owner="a", content="x", rect=RECT, duration_ms=2000.0)
+        shown.shown_at = 0.0
+        shown.fade_out_start = 2000.0
+        never = Toast(owner="a", content="y", rect=RECT, duration_ms=2000.0)
+        assert analyze_switch(shown, never) is None
+        assert analyze_switch(never, shown) is None
+
+
+class TestMonitorClear:
+    def test_clear_resets_calls_but_not_counters(self):
+        sim = Simulation(seed=1)
+        router = BinderRouter(sim)
+        router.register("svc", "addView", lambda txn: None)
+        monitor = BinderMonitor(router)
+        router.transact("app", "svc", "addView", latency_ms=1.0)
+        assert len(monitor.calls) == 1
+        monitor.clear()
+        assert monitor.calls == []
+        assert monitor.transactions_seen == 1  # history survives
+
+
+class TestSummaryEdges:
+    def test_single_element(self):
+        summary = summarize([5.0])
+        assert summary.mean == summary.median == 5.0
+        assert summary.std == 0.0
+
+    def test_even_count_median_interpolates(self):
+        assert summarize([1.0, 2.0, 3.0, 4.0]).median == 2.5
+
+    def test_std_of_constant_sample(self):
+        assert summarize([3.0, 3.0, 3.0]).std == 0.0
+
+
+class TestWilsonLevels:
+    @pytest.mark.parametrize("level", [0.90, 0.95, 0.99])
+    def test_higher_levels_are_wider(self, level):
+        base = wilson_interval(40, 100, level=0.90)
+        other = wilson_interval(40, 100, level=level)
+        assert other.width >= base.width - 1e-12
+
+
+class TestCurveSeries:
+    def test_completeness_at_picks_nearest_sample(self):
+        series = CurveSeries(
+            name="t", duration_ms=100.0,
+            points=((0.0, 0.0), (50.0, 40.0), (100.0, 100.0)),
+        )
+        assert series.completeness_at(49.0) == 40.0
+        assert series.completeness_at(95.0) == 100.0
+        assert series.completeness_at(0.0) == 0.0
+
+
+class TestCliErrorPaths:
+    def test_unknown_device_raises_keyerror(self):
+        from repro.cli import main
+
+        with pytest.raises(KeyError):
+            main(["attack", "--device", "iphone15"])
+
+    def test_version_flag(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,86 @@
+"""End-to-end forensics: re-derive stolen passwords from exported traces."""
+
+import pytest
+
+from repro.analysis import (
+    export_jsonl,
+    extract_evidence,
+    load_jsonl,
+    rederive_password,
+)
+from repro.apps import (
+    AccessibilityBus,
+    KeyboardSpec,
+    RealKeyboard,
+    VictimApp,
+    bank_of_america,
+    default_keyboard_rect,
+)
+from repro.attacks import PasswordStealingAttack
+from repro.sim import SeededRng
+from repro.stack import build_stack
+from repro.systemui import AlertMode
+from repro.users import Typist, generate_participants
+from repro.windows import Permission
+
+
+@pytest.fixture(scope="module")
+def theft():
+    """Run one full theft with tracing on; return (stack, malware, spec,
+    password, online_result)."""
+    participant = generate_participants(SeededRng(71, "replay"), count=1)[0]
+    stack = build_stack(seed=71, profile=participant.device,
+                        alert_mode=AlertMode.ANALYTIC, trace_enabled=True)
+    bus = AccessibilityBus(stack.simulation)
+    spec = KeyboardSpec(default_keyboard_rect(
+        participant.device.screen_width_px,
+        participant.device.screen_height_px))
+    ime = RealKeyboard(stack, spec)
+    victim = VictimApp(stack, bus, bank_of_america(), ime)
+    malware = PasswordStealingAttack(stack, bus, victim, spec)
+    stack.permissions.grant(malware.package, Permission.SYSTEM_ALERT_WINDOW)
+    malware.arm()
+    victim.open_login()
+    stack.run_for(100.0)
+    victim.focus_password()
+    stack.run_for(150.0)
+    password = "tk&%48GH"
+    typist = Typist(stack, spec, participant.typing, participant.touch)
+    session = typist.type_text(password)
+    while not session.complete:
+        stack.run_for(500.0)
+    stack.run_for(300.0)
+    result = malware.finish()
+    return stack, malware, spec, password, result
+
+
+class TestReplayForensics:
+    def test_evidence_extracted(self, theft):
+        stack, malware, spec, password, result = theft
+        evidence = extract_evidence(stack.simulation.trace)
+        assert evidence.touch_count == result.captured_touches
+        assert len(evidence.layout_timeline) == result.keyboard_switches
+
+    def test_offline_rederivation_matches_online(self, theft):
+        stack, malware, spec, password, result = theft
+        derived = rederive_password(stack.simulation.trace, spec)
+        assert derived == result.derived_password
+
+    def test_rederivation_survives_jsonl_round_trip(self, theft, tmp_path):
+        stack, malware, spec, password, result = theft
+        path = tmp_path / "theft.jsonl"
+        export_jsonl(stack.simulation.trace, path)
+        records = load_jsonl(path)
+        derived = rederive_password(records, spec)
+        assert derived == result.derived_password
+
+    def test_source_filter_scopes_to_one_attack(self, theft):
+        stack, malware, spec, password, result = theft
+        scoped = extract_evidence(
+            stack.simulation.trace, attack_source=malware.package
+        )
+        assert scoped.touch_count == result.captured_touches
+        none = extract_evidence(
+            stack.simulation.trace, attack_source="com.nonexistent"
+        )
+        assert none.touch_count == 0

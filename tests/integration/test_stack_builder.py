@@ -1,0 +1,82 @@
+"""Tests for the stack builder and experiment configuration."""
+
+import pytest
+
+from repro import AlertMode, build_stack, device
+from repro.experiments import FULL, QUICK, SMOKE
+from repro.sim import Simulation
+
+
+class TestBuildStack:
+    def test_default_device_is_reference(self):
+        stack = build_stack(seed=1)
+        assert stack.profile.model == "pixel 2"
+
+    def test_all_subsystems_wired(self):
+        stack = build_stack(seed=1)
+        assert stack.router is not None
+        assert stack.system_server.screen is stack.screen
+        assert stack.system_server.permissions is stack.permissions
+        assert stack.touch is not None
+        assert stack.notification_manager.queue is not None
+
+    def test_screen_matches_device_geometry(self):
+        profile = device("s8")
+        stack = build_stack(seed=1, profile=profile)
+        assert stack.screen.width_px == profile.screen_width_px
+        assert stack.screen.height_px == profile.screen_height_px
+
+    def test_touch_teardown_follows_version(self):
+        a10 = build_stack(seed=1, profile=device("pixel 4"))
+        a9 = build_stack(seed=1, profile=device("mate20"))
+        assert (a10.touch.gesture_teardown_ms
+                > a9.touch.gesture_teardown_ms)
+
+    def test_trace_can_be_disabled(self):
+        stack = build_stack(seed=1, trace_enabled=False)
+        stack.run_for(100.0)
+        assert len(stack.simulation.trace) == 0
+
+    def test_two_stacks_share_external_simulation(self):
+        sim = Simulation(seed=5)
+        first = build_stack(profile=device("s8"), simulation=sim)
+        # Second stack on the same clock needs distinct process names, so
+        # building it directly raises — documenting the constraint.
+        with pytest.raises(Exception):
+            build_stack(profile=device("mate20"), simulation=sim)
+        assert first.simulation is sim
+
+    def test_run_helpers_advance_clock(self):
+        stack = build_stack(seed=1)
+        stack.run_for(123.0)
+        assert stack.now == 123.0
+        stack.run_until(200.0)
+        assert stack.now == 200.0
+
+    def test_alert_mode_propagates(self):
+        frame = build_stack(seed=1, alert_mode=AlertMode.FRAME)
+        analytic = build_stack(seed=1, alert_mode=AlertMode.ANALYTIC)
+        assert frame.system_ui.mode is AlertMode.FRAME
+        assert analytic.system_ui.mode is AlertMode.ANALYTIC
+
+
+class TestExperimentScales:
+    def test_full_matches_paper_protocol(self):
+        assert FULL.participants == 30
+        assert FULL.strings_per_d == 10
+        assert FULL.chars_per_string == 10
+        assert FULL.passwords_per_length == 10
+        assert FULL.corpus_size == 890_855
+
+    def test_reduced_scales_shrink_replication_only(self):
+        for scale in (QUICK, SMOKE):
+            assert scale.participants < FULL.participants
+            assert scale.corpus_size < FULL.corpus_size
+            # Protocol constants stay intact.
+            assert scale.chars_per_string in (8, 10)
+
+    def test_with_seed_creates_variant(self):
+        other = QUICK.with_seed(99)
+        assert other.seed == 99
+        assert other.participants == QUICK.participants
+        assert QUICK.seed != 99

@@ -1,0 +1,202 @@
+"""Stateful property-based tests (hypothesis rule machines).
+
+These hammer the core data structures with random operation sequences and
+check the invariants everything else rests on:
+
+* the screen's z-order and hit-testing stay consistent under arbitrary
+  add/remove interleavings;
+* the toast token queue never exceeds its per-app cap, never loses or
+  duplicates tokens, and stays FIFO per app;
+* the scheduler dispatches in non-decreasing time order whatever is
+  scheduled or cancelled.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.sim import Simulation
+from repro.toast import Toast, ToastToken, ToastTokenQueue
+from repro.windows import Screen, Window, WindowType
+from repro.windows.geometry import Point, Rect
+
+RECT = Rect(0, 0, 1000, 2000)
+
+
+class ScreenMachine(RuleBasedStateMachine):
+    """Random add/remove interleavings against the screen."""
+
+    def __init__(self):
+        super().__init__()
+        self.screen = Screen(1000, 2000)
+        self.on_screen = []
+        self.off_screen = [
+            Window(f"app{i % 3}", wtype, RECT)
+            for i, wtype in enumerate(
+                [WindowType.BASE_APPLICATION, WindowType.TOAST,
+                 WindowType.APPLICATION_OVERLAY] * 4
+            )
+        ]
+        self.clock = 0.0
+
+    @precondition(lambda self: self.off_screen)
+    @rule(index=st.integers(min_value=0, max_value=100))
+    def add_window(self, index):
+        window = self.off_screen.pop(index % len(self.off_screen))
+        self.clock += 1.0
+        self.screen.add(window, self.clock)
+        self.on_screen.append(window)
+
+    @precondition(lambda self: self.on_screen)
+    @rule(index=st.integers(min_value=0, max_value=100))
+    def remove_window(self, index):
+        window = self.on_screen.pop(index % len(self.on_screen))
+        self.clock += 1.0
+        self.screen.remove(window, self.clock)
+        self.off_screen.append(window)
+
+    @invariant()
+    def window_list_matches_model(self):
+        assert set(self.screen.windows) == set(self.on_screen)
+
+    @invariant()
+    def z_order_is_sorted_by_layer(self):
+        layers = [w.layer for w in self.screen.windows]
+        assert layers == sorted(layers)
+
+    @invariant()
+    def hit_test_returns_topmost_touchable(self):
+        point = Point(500, 1000)
+        hit = self.screen.topmost_touchable_at(point)
+        touchable = [w for w in self.screen.windows if w.touchable]
+        if touchable:
+            assert hit is touchable[-1]
+        else:
+            assert hit is None
+
+    @invariant()
+    def overlay_presence_check_consistent(self):
+        for owner in ("app0", "app1", "app2"):
+            expected = any(
+                w.owner == owner
+                and w.window_type is WindowType.APPLICATION_OVERLAY
+                for w in self.on_screen
+            )
+            assert self.screen.has_overlay_of(owner) == expected
+
+
+TestScreenMachine = ScreenMachine.TestCase
+TestScreenMachine.settings = settings(max_examples=40, stateful_step_count=30)
+
+
+class ToastQueueMachine(RuleBasedStateMachine):
+    """Random enqueue/dequeue/remove against the token queue."""
+
+    APPS = ("a", "b", "c")
+
+    def __init__(self):
+        super().__init__()
+        self.queue = ToastTokenQueue(max_per_app=5)
+        self.model = []  # list of tokens in FIFO order
+
+    def _make_token(self, app):
+        toast = Toast(owner=app, content="x", rect=RECT, duration_ms=2000.0)
+        return ToastToken(app=app, toast=toast)
+
+    @rule(app=st.sampled_from(APPS))
+    def enqueue(self, app):
+        token = self._make_token(app)
+        accepted = self.queue.enqueue(token)
+        depth = sum(1 for t in self.model if t.app == app)
+        if depth >= 5:
+            assert not accepted
+        else:
+            assert accepted
+            self.model.append(token)
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def dequeue(self):
+        token = self.queue.dequeue()
+        assert token is self.model.pop(0)
+
+    @precondition(lambda self: self.model)
+    @rule(index=st.integers(min_value=0, max_value=100))
+    def remove_by_id(self, index):
+        token = self.model[index % len(self.model)]
+        assert self.queue.remove_toast(token.toast.toast_id)
+        self.model.remove(token)
+
+    @rule(app=st.sampled_from(APPS))
+    def remove_app(self, app):
+        dropped = self.queue.remove_app(app)
+        expected = sum(1 for t in self.model if t.app == app)
+        assert dropped == expected
+        self.model = [t for t in self.model if t.app != app]
+
+    @invariant()
+    def lengths_agree(self):
+        assert len(self.queue) == len(self.model)
+
+    @invariant()
+    def per_app_depths_agree(self):
+        for app in self.APPS:
+            expected = sum(1 for t in self.model if t.app == app)
+            assert self.queue.depth_for(app) == expected
+
+    @invariant()
+    def caps_respected(self):
+        for app in self.APPS:
+            assert self.queue.depth_for(app) <= 5
+
+
+TestToastQueueMachine = ToastQueueMachine.TestCase
+TestToastQueueMachine.settings = settings(max_examples=40, stateful_step_count=30)
+
+
+class SchedulerMachine(RuleBasedStateMachine):
+    """Random scheduling/cancelling/stepping against the kernel."""
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulation(seed=0)
+        self.fired = []
+        self.handles = []
+        self.counter = 0
+
+    @rule(delay=st.floats(min_value=0.0, max_value=100.0))
+    def schedule(self, delay):
+        token = self.counter
+        self.counter += 1
+        handle = self.sim.schedule_after(
+            delay, lambda t=token: self.fired.append((self.sim.now, t))
+        )
+        self.handles.append(handle)
+
+    @precondition(lambda self: self.handles)
+    @rule(index=st.integers(min_value=0, max_value=100))
+    def cancel(self, index):
+        handle = self.handles.pop(index % len(self.handles))
+        handle.cancel_if_pending()
+
+    @rule(horizon=st.floats(min_value=0.0, max_value=50.0))
+    def run(self, horizon):
+        self.sim.run_for(horizon)
+
+    @invariant()
+    def fired_times_nondecreasing(self):
+        times = [t for t, _ in self.fired]
+        assert times == sorted(times)
+
+    @invariant()
+    def nothing_fires_after_now(self):
+        assert all(t <= self.sim.now for t, _ in self.fired)
+
+
+TestSchedulerMachine = SchedulerMachine.TestCase
+TestSchedulerMachine.settings = settings(max_examples=30, stateful_step_count=40)

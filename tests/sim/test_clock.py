@@ -1,0 +1,39 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.sim.errors import ClockError
+
+
+class TestClock:
+    def test_starts_at_zero_by_default(self):
+        assert Clock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert Clock(start=25.5).now == 25.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ClockError):
+            Clock(start=-1.0)
+
+    def test_advance_to_moves_forward(self):
+        clock = Clock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = Clock(start=5.0)
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_backwards_raises(self):
+        clock = Clock(start=10.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(9.999)
+
+    def test_advance_is_cumulative(self):
+        clock = Clock()
+        for t in (1.0, 2.5, 100.0, 100.0, 3600.0):
+            clock.advance_to(t)
+        assert clock.now == 3600.0

@@ -1,0 +1,118 @@
+"""Tests for seeded random streams, including stream-independence
+properties that the whole reproduction's determinism depends on."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import SeededRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = SeededRng(5)
+        b = SeededRng(5)
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = SeededRng(5)
+        b = SeededRng(6)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_child_streams_are_independent_of_sibling_creation(self):
+        root1 = SeededRng(5)
+        child_a1 = root1.child("a")
+        values1 = [child_a1.random() for _ in range(10)]
+
+        root2 = SeededRng(5)
+        root2.child("b")  # creating another child must not perturb "a"
+        child_a2 = root2.child("a")
+        values2 = [child_a2.random() for _ in range(10)]
+        assert values1 == values2
+
+    def test_child_path_is_hierarchical(self):
+        root = SeededRng(5)
+        assert root.child("x").child("y").path == "root/x/y"
+
+    def test_children_with_different_names_differ(self):
+        root = SeededRng(5)
+        a = root.child("a")
+        b = root.child("b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+class TestSamplers:
+    def test_gauss_clipped_respects_minimum(self):
+        rng = SeededRng(1)
+        values = [rng.gauss_clipped(1.0, 5.0, minimum=0.0) for _ in range(200)]
+        assert all(v >= 0.0 for v in values)
+
+    def test_gauss_clipped_respects_maximum(self):
+        rng = SeededRng(1)
+        values = [rng.gauss_clipped(1.0, 5.0, maximum=2.0) for _ in range(200)]
+        assert all(v <= 2.0 for v in values)
+
+    def test_gauss_zero_std_returns_mean(self):
+        rng = SeededRng(1)
+        assert rng.gauss(3.5, 0.0) == 3.5
+
+    def test_uniform_in_range(self):
+        rng = SeededRng(1)
+        values = [rng.uniform(2.0, 3.0) for _ in range(100)]
+        assert all(2.0 <= v <= 3.0 for v in values)
+
+    def test_chance_extremes(self):
+        rng = SeededRng(1)
+        assert rng.chance(0.0) is False
+        assert rng.chance(1.0) is True
+        assert rng.chance(-0.5) is False
+        assert rng.chance(1.5) is True
+
+    def test_chance_rate_roughly_matches(self):
+        rng = SeededRng(1)
+        hits = sum(rng.chance(0.3) for _ in range(5000))
+        assert 0.25 < hits / 5000 < 0.35
+
+    def test_exponential_mean_roughly_matches(self):
+        rng = SeededRng(1)
+        values = [rng.exponential(10.0) for _ in range(5000)]
+        assert 9.0 < sum(values) / len(values) < 11.0
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).exponential(0.0)
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).choice([])
+
+    def test_choice_returns_member(self):
+        rng = SeededRng(1)
+        options = ["a", "b", "c"]
+        assert all(rng.choice(options) in options for _ in range(50))
+
+    def test_randint_inclusive(self):
+        rng = SeededRng(1)
+        values = {rng.randint(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_shuffle_is_permutation(self):
+        rng = SeededRng(1)
+        items = list(range(20))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=20))
+    def test_any_seed_and_path_produce_valid_stream(self, seed, path):
+        rng = SeededRng(seed, path)
+        value = rng.random()
+        assert 0.0 <= value < 1.0
+
+    @given(st.floats(min_value=-1e6, max_value=1e6),
+           st.floats(min_value=0, max_value=1e3))
+    def test_gauss_clipped_within_explicit_bounds(self, mean, std):
+        rng = SeededRng(3)
+        value = rng.gauss_clipped(mean, std, minimum=mean - 1.0, maximum=mean + 1.0)
+        assert mean - 1.0 <= value <= mean + 1.0

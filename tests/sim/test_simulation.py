@@ -1,0 +1,120 @@
+"""Tests for the Simulation container, processes and tracing."""
+
+import pytest
+
+from repro.sim import ProcessError, SimProcess, Simulation
+from repro.sim.tracing import TraceLog
+
+
+class Worker(SimProcess):
+    """Minimal test process: counts its own ticks."""
+
+    def __init__(self, simulation, name="worker"):
+        super().__init__(simulation, name)
+        self.ticks = 0
+
+    def start(self, period):
+        def tick():
+            self.ticks += 1
+            self.trace("tick", count=self.ticks)
+            self.schedule(period, tick)
+
+        self.schedule(period, tick)
+
+
+class TestSimulation:
+    def test_run_for_advances_relative(self):
+        sim = Simulation()
+        sim.run_for(100.0)
+        sim.run_for(50.0)
+        assert sim.now == 150.0
+
+    def test_process_registry_rejects_duplicates(self):
+        sim = Simulation()
+        Worker(sim, "w")
+        with pytest.raises(ProcessError):
+            Worker(sim, "w")
+
+    def test_process_lookup(self):
+        sim = Simulation()
+        worker = Worker(sim, "w")
+        assert sim.process("w") is worker
+        assert sim.process("missing") is None
+
+    def test_processes_get_child_rng_streams(self):
+        sim = Simulation(seed=9)
+        a = Worker(sim, "a")
+        b = Worker(sim, "b")
+        assert [a.rng.random() for _ in range(3)] != [b.rng.random() for _ in range(3)]
+
+    def test_identical_seeds_reproduce_process_randomness(self):
+        values = []
+        for _ in range(2):
+            sim = Simulation(seed=17)
+            worker = Worker(sim, "w")
+            values.append([worker.rng.random() for _ in range(5)])
+        assert values[0] == values[1]
+
+    def test_periodic_process_runs(self):
+        sim = Simulation()
+        worker = Worker(sim, "w")
+        worker.start(period=10.0)
+        sim.run_until(100.0)
+        assert worker.ticks == 10
+
+    def test_trace_records_process_events(self):
+        sim = Simulation()
+        worker = Worker(sim, "w")
+        worker.start(period=10.0)
+        sim.run_until(30.0)
+        ticks = sim.trace.filter(kind="tick", source="w")
+        assert [t.detail["count"] for t in ticks] == [1, 2, 3]
+
+
+class TestTraceLog:
+    def test_capacity_bound(self):
+        log = TraceLog(capacity=3)
+        for i in range(10):
+            log.record(float(i), "src", "kind", i=i)
+        assert len(log) == 3
+        assert [r.detail["i"] for r in log] == [7, 8, 9]
+
+    def test_disabled_log_records_nothing(self):
+        log = TraceLog(enabled=False)
+        log.record(0.0, "src", "kind")
+        assert len(log) == 0
+
+    def test_subscribers_fire_even_when_disabled(self):
+        log = TraceLog(enabled=False)
+        seen = []
+        log.subscribe(seen.append)
+        log.record(0.0, "src", "kind")
+        assert len(seen) == 1
+
+    def test_filter_by_kind_and_source(self):
+        log = TraceLog()
+        log.record(0.0, "a", "x")
+        log.record(1.0, "b", "x")
+        log.record(2.0, "a", "y")
+        assert len(log.filter(kind="x")) == 2
+        assert len(log.filter(source="a")) == 2
+        assert len(log.filter(kind="x", source="a")) == 1
+
+    def test_last_returns_most_recent_match(self):
+        log = TraceLog()
+        log.record(0.0, "a", "x", n=1)
+        log.record(1.0, "a", "x", n=2)
+        assert log.last(kind="x").detail["n"] == 2
+        assert log.last(kind="zzz") is None
+
+    def test_kinds_are_ordered_unique(self):
+        log = TraceLog()
+        for kind in ("x", "y", "x", "z", "y"):
+            log.record(0.0, "a", kind)
+        assert log.kinds() == ["x", "y", "z"]
+
+    def test_format_is_human_readable(self):
+        log = TraceLog()
+        log.record(1.5, "proc", "did.thing", value=3)
+        text = log.format()
+        assert "did.thing" in text and "value=3" in text

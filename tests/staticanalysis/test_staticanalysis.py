@@ -1,0 +1,210 @@
+"""Tests for the corpus generator and the two static analyzers."""
+
+import pytest
+
+from repro.staticanalysis import (
+    AaptAnalyzer,
+    AaptParseError,
+    API_ADD_VIEW,
+    API_REMOVE_VIEW,
+    API_TOAST_SET_VIEW,
+    AppManifest,
+    CorpusRates,
+    DexSummary,
+    FlowDroidAnalyzer,
+    PERM_BIND_ACCESSIBILITY,
+    PERM_SYSTEM_ALERT_WINDOW,
+    PrevalenceCounts,
+    SyntheticCorpus,
+    run_prevalence_study,
+)
+from repro.staticanalysis.manifest import (
+    TRUTH_ACCESSIBILITY,
+    TRUTH_ADD_REMOVE,
+    TRUTH_CUSTOM_TOAST,
+    TRUTH_DEAD_ADD_REMOVE,
+    TRUTH_SAW,
+)
+
+
+class TestAapt:
+    def test_round_trip_through_axml(self):
+        manifest = AppManifest(
+            package="com.x",
+            version_code=7,
+            permissions=frozenset({PERM_SYSTEM_ALERT_WINDOW}),
+            services=(("com.x.A11y", PERM_BIND_ACCESSIBILITY),),
+        )
+        features = AaptAnalyzer().analyze(manifest.to_axml())
+        assert features.package == "com.x"
+        assert features.version_code == 7
+        assert features.requests_system_alert_window
+        assert features.registers_accessibility_service
+
+    def test_plain_app_has_no_features(self):
+        manifest = AppManifest("com.plain", 1, frozenset())
+        features = AaptAnalyzer().analyze(manifest.to_axml())
+        assert not features.requests_system_alert_window
+        assert not features.registers_accessibility_service
+
+    def test_non_accessibility_service_not_counted(self):
+        manifest = AppManifest(
+            "com.x", 1, frozenset(), services=(("com.x.Sync", ""),)
+        )
+        features = AaptAnalyzer().analyze(manifest.to_axml())
+        assert not features.registers_accessibility_service
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(AaptParseError):
+            AaptAnalyzer().analyze("package: name='x' versionCode='1'\ngarbage")
+
+    def test_missing_package_raises(self):
+        with pytest.raises(AaptParseError):
+            AaptAnalyzer().analyze("uses-permission: name='x'")
+
+
+class TestFlowDroid:
+    def test_reachable_apis_found(self):
+        dex = DexSummary(
+            entry_points=("onCreate",),
+            call_graph={
+                "onCreate": ("helper",),
+                "helper": (API_ADD_VIEW, API_REMOVE_VIEW),
+            },
+        )
+        features = FlowDroidAnalyzer().analyze(dex)
+        assert features.calls_add_and_remove
+
+    def test_dead_code_excluded(self):
+        # The defining property vs a string grep.
+        dex = DexSummary(
+            entry_points=("onCreate",),
+            call_graph={
+                "onCreate": (),
+                "deadHelper": (API_ADD_VIEW, API_REMOVE_VIEW),
+            },
+        )
+        features = FlowDroidAnalyzer().analyze(dex)
+        assert not features.calls_add_view
+        assert API_ADD_VIEW in dex.all_mentioned_apis()  # grep would hit
+
+    def test_add_without_remove_not_paired(self):
+        dex = DexSummary(
+            entry_points=("onCreate",),
+            call_graph={"onCreate": (API_ADD_VIEW,)},
+        )
+        features = FlowDroidAnalyzer().analyze(dex)
+        assert features.calls_add_view
+        assert not features.calls_add_and_remove
+
+    def test_custom_toast_detection(self):
+        dex = DexSummary(
+            entry_points=("onCreate",),
+            call_graph={"onCreate": (API_TOAST_SET_VIEW,)},
+        )
+        assert FlowDroidAnalyzer().analyze(dex).uses_custom_toast
+
+    def test_cyclic_call_graph_terminates(self):
+        dex = DexSummary(
+            entry_points=("a",),
+            call_graph={"a": ("b",), "b": ("a", API_ADD_VIEW)},
+        )
+        assert FlowDroidAnalyzer().analyze(dex).calls_add_view
+
+
+class TestCorpus:
+    def test_deterministic_generation(self):
+        a = SyntheticCorpus(size=100, seed=5).sample(100)
+        b = SyntheticCorpus(size=100, seed=5).sample(100)
+        assert [r.package for r in a] == [r.package for r in b]
+        assert [r.truth for r in a] == [r.truth for r in b]
+
+    def test_truth_flags_consistent_with_artifacts(self):
+        for record in SyntheticCorpus(size=3000, seed=6):
+            manifest = AaptAnalyzer().analyze(record.manifest.to_axml())
+            code = FlowDroidAnalyzer().analyze(record.dex)
+            assert manifest.requests_system_alert_window == (
+                TRUTH_SAW in record.truth
+            )
+            assert manifest.registers_accessibility_service == (
+                TRUTH_ACCESSIBILITY in record.truth
+            )
+            assert code.calls_add_and_remove == (TRUTH_ADD_REMOVE in record.truth)
+            assert code.uses_custom_toast == (TRUTH_CUSTOM_TOAST in record.truth)
+            if TRUTH_DEAD_ADD_REMOVE in record.truth:
+                assert not code.calls_add_and_remove
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            SyntheticCorpus(size=0)
+
+    def test_expected_counts_scale_linearly(self):
+        rates = CorpusRates()
+        small = rates.expected_counts(10_000)
+        large = rates.expected_counts(100_000)
+        assert large.custom_toast == pytest.approx(small.custom_toast * 10)
+
+
+class TestPrevalenceStudy:
+    def test_counts_against_paper_at_scale(self):
+        corpus = SyntheticCorpus(size=40_000, seed=7)
+        counts = run_prevalence_study(corpus)
+        scaled = counts.scaled_to(890_855)
+        paper = PrevalenceCounts.paper_reference()
+        assert scaled.saw_and_accessibility == pytest.approx(
+            paper.saw_and_accessibility, rel=0.25
+        )
+        assert scaled.addremove_and_saw == pytest.approx(
+            paper.addremove_and_saw, rel=0.15
+        )
+        assert scaled.custom_toast == pytest.approx(
+            paper.custom_toast, rel=0.15
+        )
+
+    def test_scaling_requires_nonempty(self):
+        empty = PrevalenceCounts(0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            empty.scaled_to(100)
+
+    def test_study_counts_match_ground_truth_exactly(self):
+        corpus = SyntheticCorpus(size=20_000, seed=8)
+        records = list(corpus)
+        counts = run_prevalence_study(records)
+        truth_saw_acc = sum(
+            1 for r in records
+            if TRUTH_SAW in r.truth and TRUTH_ACCESSIBILITY in r.truth
+        )
+        truth_pair = sum(
+            1 for r in records
+            if TRUTH_SAW in r.truth and TRUTH_ADD_REMOVE in r.truth
+        )
+        truth_toast = sum(1 for r in records if TRUTH_CUSTOM_TOAST in r.truth)
+        assert counts.saw_and_accessibility == truth_saw_acc
+        assert counts.addremove_and_saw == truth_pair
+        assert counts.custom_toast == truth_toast
+
+
+class TestFullCapability:
+    def test_full_capability_is_intersection(self):
+        corpus = SyntheticCorpus(size=30_000, seed=9)
+        records = list(corpus)
+        counts = run_prevalence_study(records)
+        truth = sum(
+            1 for r in records
+            if TRUTH_SAW in r.truth
+            and TRUTH_ACCESSIBILITY in r.truth
+            and TRUTH_ADD_REMOVE in r.truth
+            and TRUTH_CUSTOM_TOAST in r.truth
+        )
+        assert counts.full_capability == truth
+
+    def test_full_capability_bounded_by_components(self):
+        counts = run_prevalence_study(SyntheticCorpus(size=30_000, seed=10))
+        assert counts.full_capability <= counts.saw_and_accessibility
+        assert counts.full_capability <= counts.addremove_and_saw
+        assert counts.full_capability <= counts.custom_toast
+
+    def test_full_capability_scales(self):
+        counts = run_prevalence_study(SyntheticCorpus(size=30_000, seed=11))
+        scaled = counts.scaled_to(890_855)
+        assert scaled.full_capability >= counts.full_capability

@@ -1,0 +1,95 @@
+"""Tests for the notification entry's analytic rendering timeline."""
+
+import pytest
+
+from repro.systemui.notification import (
+    ICON_RENDER_DELAY_MS,
+    MESSAGE_RENDER_DELAY_MS,
+    MESSAGE_RENDER_DURATION_MS,
+    NotificationEntry,
+)
+from repro.systemui.outcomes import NotificationOutcome
+
+
+def make_entry(start=1000.0, height=72, refresh=10.0):
+    return NotificationEntry(
+        app="mal", anim_start=start, view_height_px=height,
+        refresh_interval_ms=refresh,
+    )
+
+
+class TestProgressTimeline:
+    def test_zero_before_first_frame(self):
+        entry = make_entry()
+        assert entry.progress_at(1000.0) == 0.0
+        assert entry.progress_at(1009.9) == 0.0
+
+    def test_progress_is_frame_quantized(self):
+        entry = make_entry()
+        # Between frames the rendered progress does not change.
+        assert entry.progress_at(1010.0) == entry.progress_at(1019.9)
+        assert entry.progress_at(1020.0) > entry.progress_at(1019.9)
+
+    def test_first_visible_at_matches_stock_parameters(self):
+        entry = make_entry()
+        assert entry.first_visible_at() == 1020.0  # 20 ms in (72px FOSI)
+
+    def test_first_visible_none_if_removed_early(self):
+        entry = make_entry()
+        entry.removed_at = 1015.0
+        assert entry.first_visible_at() is None
+
+    def test_view_completes_at_duration(self):
+        entry = make_entry()
+        assert entry.view_complete_at == 1000.0 + 360.0
+        assert entry.progress_at(entry.view_complete_at) == pytest.approx(1.0)
+
+    def test_progress_caps_at_one(self):
+        entry = make_entry()
+        assert entry.progress_at(5000.0) == pytest.approx(1.0)
+
+    def test_message_and_icon_schedule(self):
+        entry = make_entry()
+        assert entry.message_start_at == entry.view_complete_at + MESSAGE_RENDER_DELAY_MS
+        assert entry.message_complete_at == entry.message_start_at + MESSAGE_RENDER_DURATION_MS
+        assert entry.icon_shown_at == entry.message_complete_at + ICON_RENDER_DELAY_MS
+
+    def test_message_progress_is_linear(self):
+        entry = make_entry()
+        midpoint = entry.message_start_at + MESSAGE_RENDER_DURATION_MS / 2
+        assert entry.message_progress_at(midpoint) == pytest.approx(0.5)
+
+    def test_visible_time_accounts_removal(self):
+        entry = make_entry()
+        entry.removed_at = 1100.0
+        assert entry.visible_time_ms(until=9999.0) == pytest.approx(80.0)  # 1020->1100
+
+    def test_visible_time_zero_when_suppressed(self):
+        entry = make_entry()
+        entry.removed_at = 1015.0
+        assert entry.visible_time_ms(until=9999.0) == 0.0
+
+
+class TestOutcomeLadder:
+    """The entry's outcome walks the Λ ladder as removal time grows."""
+
+    @pytest.mark.parametrize(
+        "removal_offset,expected",
+        [
+            (15.0, NotificationOutcome.LAMBDA1),
+            (100.0, NotificationOutcome.LAMBDA2),
+            (365.0 + 10.0, NotificationOutcome.LAMBDA3),
+            (360.0 + 30.0 + 60.0, NotificationOutcome.LAMBDA4),
+            (360.0 + 30.0 + 120.0 + 60.0 + 1.0, NotificationOutcome.LAMBDA5),
+        ],
+    )
+    def test_outcome_at_removal_offset(self, removal_offset, expected):
+        entry = make_entry(start=0.0)
+        entry.removed_at = removal_offset
+        assert entry.outcome_at(removal_offset) is expected
+
+    def test_snapshot_clamps_to_removal_time(self):
+        entry = make_entry(start=0.0)
+        entry.removed_at = 100.0
+        late = entry.snapshot_at(5000.0)
+        assert late == entry.snapshot_at(100.0)

@@ -1,0 +1,78 @@
+"""Tests for Λ-outcome classification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.systemui.outcomes import (
+    NotificationOutcome,
+    NotificationSnapshot,
+    classify,
+)
+
+
+def snap(view=0.0, px=0, msg=0.0, icon=False):
+    return NotificationSnapshot(
+        view_progress=view, max_pixels=px, message_progress=msg, icon_shown=icon
+    )
+
+
+class TestClassification:
+    def test_lambda1_nothing_rendered(self):
+        assert classify(snap()) is NotificationOutcome.LAMBDA1
+
+    def test_lambda1_even_with_progress_but_zero_pixels(self):
+        # Sub-pixel progress rounds to nothing: the user saw nothing.
+        assert classify(snap(view=0.004, px=0)) is NotificationOutcome.LAMBDA1
+
+    def test_lambda2_partial_view(self):
+        assert classify(snap(view=0.4, px=29)) is NotificationOutcome.LAMBDA2
+
+    def test_lambda3_full_view_no_message(self):
+        assert classify(snap(view=1.0, px=72)) is NotificationOutcome.LAMBDA3
+
+    def test_lambda4_partial_message(self):
+        assert classify(snap(view=1.0, px=72, msg=0.5)) is NotificationOutcome.LAMBDA4
+
+    def test_lambda4_message_complete_but_icon_missing(self):
+        assert classify(snap(view=1.0, px=72, msg=1.0)) is NotificationOutcome.LAMBDA4
+
+    def test_lambda5_everything(self):
+        assert (
+            classify(snap(view=1.0, px=72, msg=1.0, icon=True))
+            is NotificationOutcome.LAMBDA5
+        )
+
+    def test_ordering(self):
+        assert (
+            NotificationOutcome.LAMBDA1
+            < NotificationOutcome.LAMBDA2
+            < NotificationOutcome.LAMBDA3
+            < NotificationOutcome.LAMBDA4
+            < NotificationOutcome.LAMBDA5
+        )
+
+    def test_suppressed_only_lambda1(self):
+        assert NotificationOutcome.LAMBDA1.suppressed
+        assert not NotificationOutcome.LAMBDA2.suppressed
+
+    def test_labels(self):
+        assert NotificationOutcome.LAMBDA1.label == "Λ1"
+        assert NotificationOutcome.LAMBDA5.label == "Λ5"
+
+    def test_invalid_snapshot_raises(self):
+        with pytest.raises(ValueError):
+            snap(view=1.2)
+        with pytest.raises(ValueError):
+            snap(msg=-0.1)
+        with pytest.raises(ValueError):
+            NotificationSnapshot(0.0, -1, 0.0, False)
+
+    @given(
+        st.floats(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=200),
+        st.floats(min_value=0, max_value=1),
+        st.booleans(),
+    )
+    def test_classification_is_total(self, view, px, msg, icon):
+        outcome = classify(snap(view, px, msg, icon))
+        assert outcome in NotificationOutcome

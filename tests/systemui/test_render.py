@@ -1,0 +1,80 @@
+"""Tests for the Fig. 6 drawer renderer."""
+
+import pytest
+
+from repro.systemui import (
+    NotificationSnapshot,
+    render_entry,
+    render_outcome_gallery,
+    render_snapshot,
+)
+from repro.systemui.notification import NotificationEntry
+
+
+def snap(view=0.0, px=0, msg=0.0, icon=False):
+    return NotificationSnapshot(
+        view_progress=view, max_pixels=px, message_progress=msg, icon_shown=icon
+    )
+
+
+class TestRenderSnapshot:
+    def test_lambda1_is_an_empty_drawer(self):
+        art = render_snapshot(snap())
+        assert "outcome: Λ1" in art
+        assert "╔" not in art  # no entry box at all
+
+    def test_lambda2_shows_partial_entry(self):
+        art = render_snapshot(snap(view=0.4, px=29))
+        assert "outcome: Λ2" in art
+        assert "╔" in art
+        assert "╚" not in art  # the container never completed
+
+    def test_lambda3_complete_container_without_text(self):
+        art = render_snapshot(snap(view=1.0, px=72))
+        assert "outcome: Λ3" in art
+        assert "╔" in art
+        assert "App is" not in art
+
+    def test_lambda4_partial_message(self):
+        art = render_snapshot(snap(view=1.0, px=72, msg=0.5))
+        assert "outcome: Λ4" in art
+        assert "App is" in art
+        assert "other apps" not in art  # text cut mid-way
+        assert "[!]" not in art
+
+    def test_lambda5_message_and_icon(self):
+        art = render_snapshot(snap(view=1.0, px=72, msg=1.0, icon=True))
+        assert "outcome: Λ5" in art
+        assert "App is displaying over other apps" in art
+        assert "[!]" in art
+
+    def test_gallery_contains_all_five(self):
+        gallery = render_outcome_gallery()
+        for label in ("Λ1", "Λ2", "Λ3", "Λ4", "Λ5"):
+            assert f"outcome: {label}" in gallery
+
+    def test_render_entry_uses_timeline(self):
+        entry = NotificationEntry(
+            app="mal", anim_start=0.0, view_height_px=72,
+            refresh_interval_ms=10.0,
+        )
+        assert "outcome: Λ1" in render_entry(entry, 10.0)
+        assert "outcome: Λ2" in render_entry(entry, 150.0)
+        assert "outcome: Λ5" in render_entry(entry, 1000.0)
+
+    def test_rows_are_constant_width(self):
+        for snapshot in (snap(), snap(view=0.5, px=30),
+                         snap(view=1.0, px=72, msg=1.0, icon=True)):
+            art = render_snapshot(snapshot)
+            body_lines = [l for l in art.splitlines() if l.startswith("│")]
+            widths = {len(l) for l in body_lines}
+            assert len(widths) == 1
+
+
+class TestCliFig6:
+    def test_fig6_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "Λ5" in out

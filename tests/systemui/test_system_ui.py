@@ -1,0 +1,111 @@
+"""Tests for the System UI process, including the frame-vs-analytic
+cross-validation that justifies using analytic mode in the big sweeps."""
+
+import pytest
+
+from repro.stack import build_stack
+from repro.systemui import AlertMode, NotificationOutcome
+from repro.windows import Permission, Window, WindowType
+from repro.windows.geometry import Rect
+
+FULL = Rect(0, 0, 1080, 2160)
+
+
+def show(stack, app="mal"):
+    stack.router.transact("system_server", "system_ui", "notifyOverlayShown",
+                          {"app": app}, latency_ms=1.0)
+
+
+def hide(stack, app="mal"):
+    stack.router.transact("system_server", "system_ui", "notifyOverlayHidden",
+                          {"app": app}, latency_ms=1.0)
+
+
+class TestAlertLifecycle:
+    def test_show_then_view_creation_after_tv(self, stack):
+        show(stack)
+        stack.run_for(1.5)
+        assert stack.system_ui.has_alert("mal")       # pending creation
+        assert stack.system_ui.active_entry("mal") is None
+        stack.run_for(30.0)
+        assert stack.system_ui.active_entry("mal") is not None
+
+    def test_hide_before_view_creation_yields_lambda1_record(self, stack):
+        show(stack)
+        stack.run_for(2.0)
+        hide(stack)
+        stack.run_for(50.0)
+        records = stack.system_ui.records
+        assert len(records) == 1
+        assert records[0].outcome is NotificationOutcome.LAMBDA1
+        assert records[0].visible_ms == 0.0
+
+    def test_duplicate_show_is_ignored(self, stack):
+        show(stack)
+        stack.run_for(50.0)
+        show(stack)
+        stack.run_for(50.0)
+        assert stack.system_ui.ignored_shows == 1
+
+    def test_hide_without_show_is_noop(self, stack):
+        hide(stack)
+        stack.run_for(10.0)
+        assert stack.system_ui.records == []
+
+    def test_full_animation_reaches_lambda5(self, stack):
+        show(stack)
+        stack.run_for(2000.0)
+        assert stack.system_ui.worst_outcome() is NotificationOutcome.LAMBDA5
+
+    def test_worst_outcome_covers_active_entries(self, stack):
+        show(stack)
+        stack.run_for(200.0)  # partially animated, still active
+        assert stack.system_ui.worst_outcome() is NotificationOutcome.LAMBDA2
+
+    def test_outcome_counts(self, stack):
+        show(stack)
+        stack.run_for(2.0)
+        hide(stack)
+        stack.run_for(10.0)
+        counts = stack.system_ui.outcome_counts()
+        assert counts[NotificationOutcome.LAMBDA1] == 1
+
+    def test_status_bar_icons_capped(self, stack):
+        for i in range(6):
+            show(stack, app=f"app{i}")
+        stack.run_for(3000.0)
+        assert stack.system_ui.status_bar_icons() == 4  # 4 slots
+
+    def test_total_visible_ms_accumulates(self, stack):
+        show(stack)
+        stack.run_for(150.0)
+        hide(stack)
+        stack.run_for(10.0)
+        assert stack.system_ui.total_visible_ms() > 0
+
+
+class TestFrameAnalyticEquivalence:
+    """Frame-driven and analytic evaluation must agree on outcomes."""
+
+    @pytest.mark.parametrize("hide_after_ms", [5.0, 25.0, 80.0, 200.0, 500.0, 1000.0])
+    def test_same_outcome_both_modes(self, hide_after_ms):
+        outcomes = []
+        for mode in (AlertMode.FRAME, AlertMode.ANALYTIC):
+            stack = build_stack(seed=99, alert_mode=mode)
+            show(stack)
+            stack.run_for(hide_after_ms)
+            hide(stack)
+            stack.run_for(100.0)
+            outcomes.append(stack.system_ui.worst_outcome())
+        assert outcomes[0] == outcomes[1]
+
+    def test_frame_animator_matches_analytic_progress(self):
+        stack = build_stack(seed=99, alert_mode=AlertMode.FRAME)
+        show(stack)
+        stack.run_for(150.0)
+        entry = stack.system_ui.active_entry("mal")
+        animator = stack.system_ui.active_animator("mal")
+        assert animator is not None
+        assert animator.progress == pytest.approx(
+            entry.progress_at(stack.now), abs=1e-9
+        )

@@ -1,0 +1,80 @@
+"""Property-based tests on the toast opacity timeline."""
+
+from hypothesis import assume, given, strategies as st
+
+from repro.toast import TOAST_LENGTH_LONG_MS, TOAST_LENGTH_SHORT_MS, Toast
+from repro.windows.geometry import Rect
+
+RECT = Rect(0, 1400, 1080, 2160)
+
+durations = st.sampled_from([TOAST_LENGTH_SHORT_MS, TOAST_LENGTH_LONG_MS])
+times = st.floats(min_value=-100.0, max_value=20_000.0, allow_nan=False)
+starts = st.floats(min_value=0.0, max_value=5_000.0, allow_nan=False)
+
+
+def make_toast(duration, shown_at=None, fade_out_start=None, removed_at=None):
+    toast = Toast(owner="a", content="x", rect=RECT, duration_ms=duration)
+    toast.shown_at = shown_at
+    toast.fade_out_start = fade_out_start
+    toast.removed_at = removed_at
+    return toast
+
+
+class TestAlphaProperties:
+    @given(duration=durations, shown=starts, t=times)
+    def test_alpha_always_in_unit_interval(self, duration, shown, t):
+        toast = make_toast(duration, shown_at=shown,
+                           fade_out_start=shown + duration,
+                           removed_at=shown + duration + 500.0)
+        assert 0.0 <= toast.alpha_at(t) <= 1.0
+
+    @given(duration=durations, shown=starts,
+           t1=st.floats(min_value=0.0, max_value=499.0),
+           t2=st.floats(min_value=0.0, max_value=499.0))
+    def test_fade_in_monotone(self, duration, shown, t1, t2):
+        toast = make_toast(duration, shown_at=shown)
+        lo, hi = sorted((t1, t2))
+        assert toast.alpha_at(shown + lo) <= toast.alpha_at(shown + hi) + 1e-9
+
+    @given(duration=durations, shown=starts,
+           t1=st.floats(min_value=0.0, max_value=499.0),
+           t2=st.floats(min_value=0.0, max_value=499.0))
+    def test_fade_out_monotone_decreasing(self, duration, shown, t1, t2):
+        fade_start = shown + duration
+        toast = make_toast(duration, shown_at=shown, fade_out_start=fade_start,
+                           removed_at=fade_start + 500.0)
+        lo, hi = sorted((t1, t2))
+        assert (toast.alpha_at(fade_start + lo)
+                >= toast.alpha_at(fade_start + hi) - 1e-9)
+
+    @given(duration=durations, shown=starts, t=times)
+    def test_zero_outside_lifetime(self, duration, shown, t):
+        fade_start = shown + duration
+        toast = make_toast(duration, shown_at=shown, fade_out_start=fade_start,
+                           removed_at=fade_start + 500.0)
+        if t < shown or t >= fade_start + 500.0:
+            assert toast.alpha_at(t) == 0.0
+
+    @given(duration=durations, shown=starts)
+    def test_fully_opaque_plateau(self, duration, shown):
+        fade_start = shown + duration
+        toast = make_toast(duration, shown_at=shown, fade_out_start=fade_start,
+                           removed_at=fade_start + 500.0)
+        # After the 500 ms fade-in and before the fade-out: exactly 1.0.
+        plateau_start = shown + 500.0
+        assume(plateau_start < fade_start)
+        midpoint = (plateau_start + fade_start) / 2.0
+        assert toast.alpha_at(midpoint) == 1.0
+
+    @given(duration=durations, shown=starts,
+           cancel_offset=st.floats(min_value=1.0, max_value=499.0),
+           t=st.floats(min_value=0.0, max_value=1500.0))
+    def test_early_cancel_never_exceeds_fade_in_envelope(
+        self, duration, shown, cancel_offset, t
+    ):
+        """A toast cancelled mid-fade-in can never be more opaque than its
+        own fade-in curve would allow at that instant."""
+        toast = make_toast(duration, shown_at=shown,
+                           fade_out_start=shown + cancel_offset)
+        reference = make_toast(duration, shown_at=shown)
+        assert toast.alpha_at(shown + t) <= reference.alpha_at(shown + t) + 1e-9

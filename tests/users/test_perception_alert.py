@@ -1,0 +1,97 @@
+"""Tests for alert perception against real System UI state."""
+
+import pytest
+
+from repro.stack import build_stack
+from repro.systemui import AlertMode
+from repro.users import PerceptionModel
+
+
+def show(stack, app="mal"):
+    stack.router.transact("system_server", "system_ui", "notifyOverlayShown",
+                          {"app": app}, latency_ms=1.0)
+
+
+def hide(stack, app="mal"):
+    stack.router.transact("system_server", "system_ui", "notifyOverlayHidden",
+                          {"app": app}, latency_ms=1.0)
+
+
+@pytest.fixture
+def stack():
+    return build_stack(seed=61, alert_mode=AlertMode.ANALYTIC)
+
+
+class TestNoticesAlert:
+    def test_nothing_shown_nothing_noticed(self, stack):
+        model = PerceptionModel()
+        stack.run_for(500.0)
+        assert not model.notices_alert(stack.system_ui)
+
+    def test_suppressed_alert_unnoticed(self, stack):
+        model = PerceptionModel()
+        show(stack)
+        stack.run_for(15.0)  # cancelled before any visible frame
+        hide(stack)
+        stack.run_for(100.0)
+        assert not model.notices_alert(stack.system_ui)
+
+    def test_brief_partial_flash_below_threshold_unnoticed(self, stack):
+        model = PerceptionModel(alert_visible_threshold_ms=120.0)
+        show(stack)
+        stack.run_for(80.0)  # a few visible frames (~50 ms visible)
+        hide(stack)
+        stack.run_for(100.0)
+        assert not model.notices_alert(stack.system_ui)
+
+    def test_sustained_partial_view_noticed(self, stack):
+        model = PerceptionModel(alert_visible_threshold_ms=120.0)
+        show(stack)
+        stack.run_for(250.0)  # ~220 ms of visible partial view
+        hide(stack)
+        stack.run_for(100.0)
+        assert model.notices_alert(stack.system_ui)
+
+    def test_completed_view_always_noticed(self, stack):
+        model = PerceptionModel()
+        show(stack)
+        stack.run_for(600.0)  # animation completed (>= Λ3)
+        assert model.notices_alert(stack.system_ui)
+
+    def test_repeated_flashes_accumulate(self, stack):
+        # Several sub-threshold flashes add up to a noticeable exposure.
+        model = PerceptionModel(alert_visible_threshold_ms=120.0)
+        for _ in range(4):
+            show(stack)
+            stack.run_for(80.0)
+            hide(stack)
+            stack.run_for(50.0)
+        assert stack.system_ui.total_visible_ms() >= 120.0
+        assert model.notices_alert(stack.system_ui)
+
+
+class TestImeTapDropDuringSwitch:
+    def test_taps_swallowed_while_relayout_in_flight(self, stack):
+        from repro.apps import (
+            InputWidget, KEY_SHIFT, KeyboardSpec, RealKeyboard,
+            default_keyboard_rect,
+        )
+        from repro.windows.geometry import Rect
+
+        spec = KeyboardSpec(default_keyboard_rect(1080, 2160))
+        ime = RealKeyboard(stack, spec)
+        widget = InputWidget("pw", Rect(0, 0, 100, 50))
+        ime.attach(widget)
+        ime.show()
+        stack.run_for(50.0)
+        ime.press_key(KEY_SHIFT)
+        # Tap a key mid-switch: the IME is busy inflating the new layout.
+        stack.run_for(10.0)
+        stack.touch.tap(spec.layout("lower").keys["a"].center)
+        stack.run_for(200.0)
+        assert ime.dropped_taps == 1
+        assert widget.text == ""
+        # After the switch completes, typing works again.
+        stack.touch.tap(spec.layout("upper").keys["A"].center)
+        stack.run_for(100.0)
+        assert widget.text == "A"

@@ -1,0 +1,89 @@
+"""Tests for the simulated typist."""
+
+import pytest
+
+from repro.apps.keyboard import KeyboardSpec, default_keyboard_rect
+from repro.apps.widgets import InputWidget
+from repro.apps.ime import RealKeyboard
+from repro.users import TouchModel, Typist, TypingModel
+from repro.windows.geometry import Rect
+
+
+def make_typist(stack, misspell=0.0):
+    spec = KeyboardSpec(default_keyboard_rect(1080, 2160))
+    typing = TypingModel(misspell_probability=misspell)
+    return Typist(stack, spec, typing, TouchModel()), spec
+
+
+class TestTyping:
+    def test_taps_land_on_planned_keys(self, analytic_stack):
+        typist, spec = make_typist(analytic_stack)
+        session = typist.type_text("hello")
+        analytic_stack.run_for(5000.0)
+        assert session.complete
+        assert len(session.taps) == 5
+        for executed in session.taps:
+            layout = spec.layout(executed.planned.layout)
+            assert layout.key_at(executed.point) == executed.planned.key
+
+    def test_typing_through_real_keyboard_fills_widget(self, analytic_stack):
+        typist, spec = make_typist(analytic_stack)
+        ime = RealKeyboard(analytic_stack, spec)
+        widget = InputWidget("pw", Rect(0, 0, 100, 50))
+        ime.attach(widget)
+        ime.show()
+        analytic_stack.run_for(50.0)
+        session = typist.type_text("hi")
+        analytic_stack.run_for(3000.0)
+        assert session.complete
+        assert widget.text == "hi"
+
+    def test_end_to_end_mixed_case_password(self, analytic_stack):
+        # Full chain: typist plans switches, the real IME tracks layouts.
+        typist, spec = make_typist(analytic_stack)
+        ime = RealKeyboard(analytic_stack, spec)
+        widget = InputWidget("pw", Rect(0, 0, 100, 50))
+        ime.attach(widget)
+        ime.show()
+        analytic_stack.run_for(50.0)
+        session = typist.type_text("aB1!")
+        analytic_stack.run_for(10_000.0)
+        assert session.complete
+        assert widget.text == "aB1!"
+
+    def test_inter_key_intervals_respect_model(self, analytic_stack):
+        typist, _ = make_typist(analytic_stack)
+        session = typist.type_text("abcde")
+        analytic_stack.run_for(5000.0)
+        times = [t.tap.down_time for t in session.taps]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(gap >= typist.typing_model.min_interval_ms for gap in gaps)
+
+    def test_misspelling_substitutes_neighbour(self, analytic_stack):
+        typist, spec = make_typist(analytic_stack, misspell=1.0)
+        session = typist.type_text("g")
+        analytic_stack.run_for(2000.0)
+        executed = session.taps[0]
+        assert executed.misspelled
+        assert executed.actual_key != "g"
+        lower = spec.layout("lower")
+        distance = lower.keys[executed.actual_key].center.distance_to(
+            lower.keys["g"].center
+        )
+        assert distance <= lower.keys["g"].width * 1.6
+
+    def test_special_keys_never_misspelled(self, analytic_stack):
+        typist, _ = make_typist(analytic_stack, misspell=1.0)
+        session = typist.type_text("A")  # shift + A
+        analytic_stack.run_for(3000.0)
+        shift_tap = session.taps[0]
+        assert shift_tap.planned.key == "<shift>"
+        assert not shift_tap.misspelled
+
+    def test_sessions_are_recorded(self, analytic_stack):
+        typist, _ = make_typist(analytic_stack)
+        typist.type_text("ab")
+        analytic_stack.run_for(3000.0)
+        assert len(typist.sessions) == 1
+        assert typist.sessions[0].started_at is not None
+        assert typist.sessions[0].finished_at is not None

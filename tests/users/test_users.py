@@ -1,0 +1,144 @@
+"""Tests for the human substrate: passwords, models, participants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.keyboard import KeyboardSpec, default_keyboard_rect, plan_key_sequence
+from repro.sim import SeededRng
+from repro.users import (
+    PasswordGenerator,
+    PerceptionModel,
+    STUDY_SIZE,
+    TouchModel,
+    TypingModel,
+    generate_participants,
+)
+from repro.windows.geometry import Rect
+
+SPEC = KeyboardSpec(default_keyboard_rect(1080, 2160))
+
+
+class TestPasswordGenerator:
+    def test_length_respected(self):
+        gen = PasswordGenerator(SeededRng(1), SPEC)
+        for length in (4, 6, 8, 10, 12):
+            assert len(gen.generate(length)) == length
+
+    def test_all_classes_present_when_required(self):
+        gen = PasswordGenerator(SeededRng(2), SPEC)
+        for _ in range(20):
+            password = gen.generate(8)
+            assert any(c.islower() for c in password)
+            assert any(c.isupper() for c in password)
+            assert any(c.isdigit() for c in password)
+            assert any(not c.isalnum() for c in password)
+
+    def test_password_is_typable_on_keyboard(self):
+        gen = PasswordGenerator(SeededRng(3), SPEC)
+        for _ in range(20):
+            password = gen.generate(12)
+            # plan_key_sequence raises KeyError on untypable characters.
+            plan_key_sequence(SPEC, password)
+
+    def test_letters_only_strings(self):
+        gen = PasswordGenerator(SeededRng(4), SPEC)
+        text = gen.generate_letters(10)
+        assert len(text) == 10
+        assert text.islower() and text.isalpha()
+
+    def test_deterministic_given_seed(self):
+        a = PasswordGenerator(SeededRng(5), SPEC).generate(8)
+        b = PasswordGenerator(SeededRng(5), SPEC).generate(8)
+        assert a == b
+
+    def test_invalid_length_raises(self):
+        with pytest.raises(ValueError):
+            PasswordGenerator(SeededRng(1), SPEC).generate(0)
+
+    @given(st.integers(min_value=4, max_value=20))
+    def test_any_length_generates(self, length):
+        password = PasswordGenerator(SeededRng(9), SPEC).generate(length)
+        assert len(password) == length
+
+
+class TestTypingModel:
+    def test_intervals_above_minimum(self):
+        model = TypingModel()
+        rng = SeededRng(1)
+        assert all(
+            model.next_interval(rng) >= model.min_interval_ms for _ in range(200)
+        )
+
+    def test_scaled_changes_speed(self):
+        slow = TypingModel().scaled(1.5)
+        assert slow.mean_interval_ms == pytest.approx(280.0 * 1.5)
+
+
+class TestTouchModel:
+    def test_aim_stays_inside_key(self):
+        model = TouchModel()
+        rng = SeededRng(1)
+        key = Rect(100, 100, 200, 180)
+        for _ in range(300):
+            point = model.aim_at(rng, key)
+            assert key.contains(point)
+
+    def test_commit_latency_positive(self):
+        model = TouchModel()
+        rng = SeededRng(1)
+        assert all(model.commit_latency(rng) >= model.commit_min_ms for _ in range(100))
+
+
+class TestParticipants:
+    def test_default_pool_matches_study(self):
+        pool = generate_participants(SeededRng(1), count=STUDY_SIZE)
+        assert len(pool) == 30
+        assert sum(1 for p in pool if p.gender == "female") == 5
+        assert all(22 <= p.age <= 33 for p in pool)
+
+    def test_thirty_participants_cover_thirty_devices(self):
+        pool = generate_participants(SeededRng(1), count=30)
+        assert len({p.device.key for p in pool}) == 30
+
+    def test_participants_vary(self):
+        pool = generate_participants(SeededRng(1), count=10)
+        speeds = {p.typing.mean_interval_ms for p in pool}
+        assert len(speeds) > 1
+
+    def test_deterministic_given_seed(self):
+        a = generate_participants(SeededRng(2), count=5)
+        b = generate_participants(SeededRng(2), count=5)
+        assert [p.typing.mean_interval_ms for p in a] == [
+            p.typing.mean_interval_ms for p in b
+        ]
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            generate_participants(SeededRng(1), count=0)
+
+
+class TestPerception:
+    def test_lag_report_probability_zero_never_reports(self):
+        model = PerceptionModel(lag_report_probability=0.0)
+        assert not model.reports_lag(SeededRng(1))
+
+    def test_lag_report_probability_one_always_reports(self):
+        model = PerceptionModel(lag_report_probability=1.0)
+        assert model.reports_lag(SeededRng(1))
+
+    def test_flicker_thresholds(self):
+        from repro.toast.lifecycle import ToastSwitch
+
+        model = PerceptionModel()
+        deep = ToastSwitch(1, 2, 10.0, min_coverage=0.2,
+                           time_below_threshold_ms=300.0, threshold=0.85)
+        shallow = ToastSwitch(1, 2, 10.0, min_coverage=0.93,
+                              time_below_threshold_ms=0.0, threshold=0.85)
+        assert model.notices_flicker([deep])
+        assert not model.notices_flicker([shallow])
+        # Identical background raises the bar: only very deep dips count.
+        medium = ToastSwitch(1, 2, 10.0, min_coverage=0.6,
+                             time_below_threshold_ms=100.0, threshold=0.85)
+        assert model.notices_flicker([medium])
+        assert not model.notices_flicker([medium], background_identical=True)
+        assert model.notices_flicker([deep], background_identical=True)

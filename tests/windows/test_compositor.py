@@ -1,0 +1,129 @@
+"""Tests for the screen compositor."""
+
+import pytest
+
+from repro.toast import Toast
+from repro.windows import (
+    Screen,
+    Window,
+    WindowType,
+    coverage,
+    effective_content,
+    visible_stack,
+)
+from repro.windows.geometry import Point, Rect
+
+FULL = Rect(0, 0, 1000, 2000)
+MID = Point(500, 1000)
+
+
+@pytest.fixture
+def screen():
+    return Screen(1000, 2000)
+
+
+def base(screen, content="victim-ui", alpha=1.0):
+    window = Window("victim", WindowType.BASE_APPLICATION, FULL,
+                    content=content, alpha=alpha)
+    screen.add(window, 0.0)
+    return window
+
+
+class TestVisibleStack:
+    def test_empty_screen(self, screen):
+        assert visible_stack(screen, MID, 0.0) == []
+        assert effective_content(screen, MID, 0.0) is None
+
+    def test_opaque_window_occludes_everything_below(self, screen):
+        base(screen)
+        cover = Window("mal", WindowType.APPLICATION_OVERLAY, FULL,
+                       content="cover", alpha=1.0)
+        screen.add(cover, 0.0)
+        layers = visible_stack(screen, MID, 0.0)
+        assert [layer.content for layer in layers] == ["cover"]
+
+    def test_translucent_overlay_blends(self, screen):
+        base(screen)
+        veil = Window("mal", WindowType.APPLICATION_OVERLAY, FULL,
+                      content="veil", alpha=0.3)
+        screen.add(veil, 0.0)
+        layers = visible_stack(screen, MID, 0.0)
+        assert [layer.content for layer in layers] == ["veil", "victim-ui"]
+        assert layers[0].effective_alpha == pytest.approx(0.3)
+        assert layers[1].effective_alpha == pytest.approx(0.7)
+        # The user still predominantly sees the victim.
+        assert effective_content(screen, MID, 0.0) == "victim-ui"
+
+    def test_invisible_interceptor_contributes_nothing(self, screen):
+        # The password-stealing overlays: alpha 0, yet they grab touches.
+        base(screen)
+        interceptor = Window("mal", WindowType.APPLICATION_OVERLAY, FULL,
+                             content="interceptor", alpha=0.0)
+        screen.add(interceptor, 0.0)
+        layers = visible_stack(screen, MID, 0.0)
+        assert [layer.content for layer in layers] == ["victim-ui"]
+        assert interceptor.touchable  # still intercepts input
+
+    def test_toast_opacity_follows_fade_timeline(self, screen):
+        base(screen)
+        toast = Toast(owner="mal", content="fake-kbd", rect=FULL,
+                      duration_ms=3500.0)
+        toast.shown_at = 0.0
+        window = Window("mal", WindowType.TOAST, FULL, content=toast)
+        screen.add(window, 0.0)
+        # Mid fade-in: partially visible, victim showing through.
+        early = visible_stack(screen, MID, 100.0)
+        assert early[0].content is toast
+        assert 0.0 < early[0].effective_alpha < 1.0
+        # Fully faded in: the toast dominates.
+        assert effective_content(screen, MID, 1000.0) is toast
+
+    def test_hit_point_outside_window_rect(self, screen):
+        small = Window("a", WindowType.BASE_APPLICATION,
+                       Rect(0, 0, 100, 100), content="small")
+        screen.add(small, 0.0)
+        assert visible_stack(screen, MID, 0.0) == []
+
+
+class TestCoverage:
+    def test_full_opaque_coverage(self, screen):
+        base(screen)
+        assert coverage(screen, FULL, 0.0) == pytest.approx(1.0)
+
+    def test_partial_geometric_coverage(self, screen):
+        half = Window("a", WindowType.BASE_APPLICATION,
+                      Rect(0, 0, 1000, 1000), content="top-half")
+        screen.add(half, 0.0)
+        value = coverage(screen, FULL, 0.0, samples_per_axis=4)
+        assert 0.3 < value < 0.7
+
+    def test_predicate_filters_by_owner(self, screen):
+        base(screen)
+        veil = Window("mal", WindowType.APPLICATION_OVERLAY, FULL, alpha=0.4)
+        screen.add(veil, 0.0)
+        only_mal = coverage(screen, FULL, 0.0,
+                            predicate=lambda w: w.owner == "mal")
+        assert only_mal == pytest.approx(0.4)
+
+    def test_invalid_samples_rejected(self, screen):
+        with pytest.raises(ValueError):
+            coverage(screen, FULL, 0.0, samples_per_axis=0)
+
+    def test_matches_toast_attack_coverage(self, analytic_stack):
+        """The generalized metric agrees with the NMS toast coverage."""
+        from repro.attacks import DrawAndDestroyToastAttack, ToastAttackConfig
+
+        rect = Rect(0, 1400, 1080, 2160)
+        attack = DrawAndDestroyToastAttack(
+            analytic_stack, ToastAttackConfig(rect=rect),
+            content_provider=lambda: "kbd",
+        )
+        attack.start()
+        analytic_stack.run_for(1500.0)
+        via_nms = attack.coverage_at(analytic_stack.now)
+        via_compositor = coverage(
+            analytic_stack.screen, rect, analytic_stack.now,
+            predicate=lambda w: w.owner == attack.package,
+        )
+        assert via_compositor == pytest.approx(via_nms, abs=0.02)
+        attack.stop()

@@ -1,0 +1,93 @@
+"""Tests for geometry primitives, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.windows.geometry import Point, Rect
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+def rects():
+    return st.builds(
+        lambda l, t, w, h: Rect(l, t, l + w, t + h),
+        coords, coords,
+        st.floats(min_value=0.0, max_value=1e3),
+        st.floats(min_value=0.0, max_value=1e3),
+    )
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(2.5, -1.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_offset(self):
+        assert Point(1, 1).offset(2, -3) == Point(3, -2)
+
+    @given(coords, coords, coords, coords)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+
+class TestRect:
+    def test_dimensions(self):
+        r = Rect(10, 20, 110, 70)
+        assert r.width == 100
+        assert r.height == 50
+        assert r.area == 5000
+        assert r.center == Point(60, 45)
+
+    def test_invalid_rect_raises(self):
+        with pytest.raises(ValueError):
+            Rect(10, 0, 5, 10)
+        with pytest.raises(ValueError):
+            Rect(0, 10, 10, 5)
+
+    def test_contains_half_open(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains(Point(0, 0))
+        assert r.contains(Point(9.999, 9.999))
+        assert not r.contains(Point(10, 5))
+        assert not r.contains(Point(5, 10))
+        assert not r.contains(Point(-0.001, 5))
+
+    def test_intersects(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.intersects(Rect(5, 5, 15, 15))
+        assert not a.intersects(Rect(10, 0, 20, 10))  # edge-touching
+        assert not a.intersects(Rect(20, 20, 30, 30))
+
+    def test_intersection_area(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 15, 15)
+        inter = a.intersection(b)
+        assert inter == Rect(5, 5, 10, 10)
+        assert a.intersection(Rect(20, 20, 30, 30)).area == 0.0
+
+    def test_inset_and_translate(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.inset(2, 3) == Rect(2, 3, 8, 7)
+        assert r.translated(5, -5) == Rect(5, -5, 15, 5)
+
+    @given(rects())
+    def test_center_is_contained_in_nonempty_rect(self, r):
+        # Sub-epsilon (denormal) extents round the midpoint onto the
+        # half-open boundary; any physically meaningful rectangle is fine.
+        if r.width > 1e-6 and r.height > 1e-6:
+            assert r.contains(r.center)
+
+    @given(rects(), rects())
+    def test_intersection_is_commutative_in_area(self, a, b):
+        assert a.intersection(b).area == pytest.approx(b.intersection(a).area)
+
+    @given(rects())
+    def test_self_intersection_is_identity_for_nonempty(self, r):
+        # Degenerate (zero-area) rects never intersect anything, including
+        # themselves, under the half-open convention.
+        if r.area > 0:
+            assert r.intersection(r) == r

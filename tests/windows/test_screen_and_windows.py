@@ -1,0 +1,177 @@
+"""Tests for window objects, z-ordering and hit-testing."""
+
+import pytest
+
+from repro.windows import (
+    Permission,
+    PermissionDenied,
+    PermissionManager,
+    Screen,
+    Window,
+    WindowFlags,
+    WindowType,
+)
+from repro.windows.geometry import Point, Rect
+
+FULL = Rect(0, 0, 1000, 2000)
+
+
+def make_window(owner="app", wtype=WindowType.BASE_APPLICATION, rect=FULL,
+                flags=WindowFlags.NONE, **kw):
+    return Window(owner=owner, window_type=wtype, rect=rect, flags=flags, **kw)
+
+
+class TestWindow:
+    def test_layer_ordering_matches_paper(self):
+        # Toast above app windows and IME; overlays above toasts.
+        base = make_window(wtype=WindowType.BASE_APPLICATION)
+        ime = make_window(wtype=WindowType.INPUT_METHOD)
+        toast = make_window(wtype=WindowType.TOAST)
+        overlay = make_window(wtype=WindowType.APPLICATION_OVERLAY)
+        status = make_window(wtype=WindowType.STATUS_BAR)
+        assert base.layer < ime.layer < toast.layer < overlay.layer < status.layer
+
+    def test_toast_is_never_touchable(self):
+        toast = make_window(wtype=WindowType.TOAST)
+        assert not toast.touchable
+
+    def test_not_touchable_flag(self):
+        overlay = make_window(
+            wtype=WindowType.APPLICATION_OVERLAY, flags=WindowFlags.NOT_TOUCHABLE
+        )
+        assert not overlay.touchable
+
+    def test_overlay_touchable_by_default(self):
+        assert make_window(wtype=WindowType.APPLICATION_OVERLAY).touchable
+
+    def test_transparency(self):
+        assert make_window(flags=WindowFlags.TRANSPARENT).transparent
+        assert make_window(alpha=0.5).transparent
+        assert not make_window().transparent
+
+    def test_invalid_alpha_raises(self):
+        with pytest.raises(ValueError):
+            make_window(alpha=1.5)
+
+    def test_touch_delivery_counts_and_callback(self):
+        seen = []
+        window = make_window(on_touch=lambda w, p, t: seen.append((p, t)))
+        window.deliver_touch(Point(5, 5), 123.0)
+        assert window.touches_received == 1
+        assert seen == [(Point(5, 5), 123.0)]
+
+    def test_window_ids_unique(self):
+        assert make_window().window_id != make_window().window_id
+
+
+class TestScreen:
+    def test_add_remove_lifecycle(self):
+        screen = Screen(1000, 2000)
+        window = make_window()
+        screen.add(window, time=1.0)
+        assert window.on_screen and window.added_at == 1.0
+        screen.remove(window, time=2.0)
+        assert not window.on_screen and window.removed_at == 2.0
+
+    def test_double_add_raises(self):
+        screen = Screen(1000, 2000)
+        window = make_window()
+        screen.add(window, 0.0)
+        with pytest.raises(ValueError):
+            screen.add(window, 1.0)
+
+    def test_remove_absent_raises(self):
+        screen = Screen(1000, 2000)
+        with pytest.raises(ValueError):
+            screen.remove(make_window(), 0.0)
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            Screen(0, 100)
+
+    def test_z_order_layers_then_insertion(self):
+        screen = Screen(1000, 2000)
+        overlay = make_window(wtype=WindowType.APPLICATION_OVERLAY)
+        base1 = make_window()
+        base2 = make_window()
+        screen.add(overlay, 0.0)
+        screen.add(base1, 1.0)
+        screen.add(base2, 2.0)
+        assert screen.windows == [base1, base2, overlay]
+
+    def test_topmost_touchable_skips_toast_and_not_touchable(self):
+        screen = Screen(1000, 2000)
+        base = make_window()
+        toast = make_window(wtype=WindowType.TOAST)
+        ghost = make_window(
+            wtype=WindowType.APPLICATION_OVERLAY, flags=WindowFlags.NOT_TOUCHABLE
+        )
+        screen.add(base, 0.0)
+        screen.add(toast, 1.0)
+        screen.add(ghost, 2.0)
+        assert screen.topmost_touchable_at(Point(500, 500)) is base
+
+    def test_touchable_overlay_wins_over_base(self):
+        screen = Screen(1000, 2000)
+        base = make_window()
+        overlay = make_window(wtype=WindowType.APPLICATION_OVERLAY)
+        screen.add(base, 0.0)
+        screen.add(overlay, 1.0)
+        assert screen.topmost_touchable_at(Point(500, 500)) is overlay
+
+    def test_hit_test_respects_rect(self):
+        screen = Screen(1000, 2000)
+        small = make_window(
+            wtype=WindowType.APPLICATION_OVERLAY, rect=Rect(0, 0, 100, 100)
+        )
+        base = make_window()
+        screen.add(base, 0.0)
+        screen.add(small, 1.0)
+        assert screen.topmost_touchable_at(Point(50, 50)) is small
+        assert screen.topmost_touchable_at(Point(500, 500)) is base
+
+    def test_no_target_outside_all_windows(self):
+        screen = Screen(1000, 2000)
+        assert screen.topmost_touchable_at(Point(1, 1)) is None
+
+    def test_has_overlay_of(self):
+        screen = Screen(1000, 2000)
+        overlay = make_window(owner="mal", wtype=WindowType.APPLICATION_OVERLAY)
+        screen.add(overlay, 0.0)
+        assert screen.has_overlay_of("mal")
+        assert not screen.has_overlay_of("other")
+        screen.remove(overlay, 1.0)
+        assert not screen.has_overlay_of("mal")
+
+    def test_windows_of_filters_by_type(self):
+        screen = Screen(1000, 2000)
+        screen.add(make_window(owner="a"), 0.0)
+        screen.add(make_window(owner="a", wtype=WindowType.TOAST), 1.0)
+        assert len(screen.windows_of("a")) == 2
+        assert len(screen.windows_of("a", WindowType.TOAST)) == 1
+
+
+class TestPermissions:
+    def test_grant_and_check(self):
+        pm = PermissionManager()
+        pm.grant("app", Permission.SYSTEM_ALERT_WINDOW)
+        assert pm.is_granted("app", Permission.SYSTEM_ALERT_WINDOW)
+        assert not pm.is_granted("other", Permission.SYSTEM_ALERT_WINDOW)
+
+    def test_require_raises_when_missing(self):
+        pm = PermissionManager()
+        with pytest.raises(PermissionDenied):
+            pm.require("app", Permission.SYSTEM_ALERT_WINDOW)
+
+    def test_revoke(self):
+        pm = PermissionManager()
+        pm.grant("app", Permission.SYSTEM_ALERT_WINDOW)
+        pm.revoke("app", Permission.SYSTEM_ALERT_WINDOW)
+        assert not pm.is_granted("app", Permission.SYSTEM_ALERT_WINDOW)
+
+    def test_grants_of_returns_copy(self):
+        pm = PermissionManager()
+        pm.grant("app", Permission.INTERNET)
+        grants = pm.grants_of("app")
+        grants.clear()
+        assert pm.is_granted("app", Permission.INTERNET)

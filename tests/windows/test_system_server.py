@@ -1,0 +1,169 @@
+"""Tests for System Server: addView/removeView, alerts, protections."""
+
+import pytest
+
+from repro.windows import Permission, Window, WindowType
+from repro.windows.geometry import Rect
+
+FULL = Rect(0, 0, 1080, 2160)
+
+
+def overlay(owner="mal", label=""):
+    return Window(owner, WindowType.APPLICATION_OVERLAY, FULL, label=label)
+
+
+def transact_add(stack, window, latency=2.0):
+    stack.router.transact(window.owner, "system_server", "addView",
+                          {"window": window}, latency_ms=latency)
+
+
+def transact_remove(stack, window, latency=8.0):
+    stack.router.transact(window.owner, "system_server", "removeView",
+                          {"window": window}, latency_ms=latency)
+
+
+class TestAddRemove:
+    def test_add_requires_permission(self, analytic_stack):
+        window = overlay()
+        transact_add(analytic_stack, window)
+        analytic_stack.run_for(100.0)
+        assert not window.on_screen
+        assert analytic_stack.system_server.rejected_overlays == 1
+
+    def test_add_with_permission_creates_window_after_tas(self, analytic_stack):
+        analytic_stack.permissions.grant("mal", Permission.SYSTEM_ALERT_WINDOW)
+        window = overlay()
+        transact_add(analytic_stack, window)
+        analytic_stack.run_for(2.5)
+        assert not window.on_screen  # still creating (Tas pending)
+        analytic_stack.run_for(100.0)
+        assert window.on_screen
+
+    def test_remove_is_instant_on_delivery(self, analytic_stack):
+        analytic_stack.permissions.grant("mal", Permission.SYSTEM_ALERT_WINDOW)
+        window = overlay()
+        transact_add(analytic_stack, window)
+        analytic_stack.run_for(100.0)
+        transact_remove(analytic_stack, window, latency=5.0)
+        analytic_stack.run_for(5.0)
+        assert not window.on_screen
+
+    def test_duplicate_add_ignored(self, analytic_stack):
+        analytic_stack.permissions.grant("mal", Permission.SYSTEM_ALERT_WINDOW)
+        window = overlay()
+        transact_add(analytic_stack, window)
+        analytic_stack.run_for(100.0)
+        transact_add(analytic_stack, window)
+        analytic_stack.run_for(100.0)
+        assert analytic_stack.system_server.windows_created == 1
+
+    def test_remove_racing_pending_creation_cancels_it(self, analytic_stack):
+        analytic_stack.permissions.grant("mal", Permission.SYSTEM_ALERT_WINDOW)
+        window = overlay()
+        transact_add(analytic_stack, window, latency=2.0)
+        transact_remove(analytic_stack, window, latency=4.0)  # during Tas
+        analytic_stack.run_for(200.0)
+        assert not window.on_screen
+        assert analytic_stack.system_server.windows_created == 0
+
+    def test_remove_overtaking_add_leaves_tombstone(self, analytic_stack):
+        analytic_stack.permissions.grant("mal", Permission.SYSTEM_ALERT_WINDOW)
+        window = overlay()
+        transact_remove(analytic_stack, window, latency=1.0)  # arrives first
+        transact_add(analytic_stack, window, latency=3.0)
+        analytic_stack.run_for(200.0)
+        assert not window.on_screen
+        assert analytic_stack.system_server.windows_created == 0
+
+
+class TestAlertPlumbing:
+    def test_overlay_triggers_alert_after_tn(self, analytic_stack):
+        analytic_stack.permissions.grant("mal", Permission.SYSTEM_ALERT_WINDOW)
+        window = overlay()
+        transact_add(analytic_stack, window)
+        analytic_stack.run_for(5000.0)
+        assert analytic_stack.system_ui.has_alert("mal")
+
+    def test_alert_removed_after_overlay_removed(self, analytic_stack):
+        analytic_stack.permissions.grant("mal", Permission.SYSTEM_ALERT_WINDOW)
+        window = overlay()
+        transact_add(analytic_stack, window)
+        analytic_stack.run_for(5000.0)
+        transact_remove(analytic_stack, window)
+        analytic_stack.run_for(100.0)
+        assert not analytic_stack.system_ui.has_alert("mal")
+
+    def test_quick_remove_cancels_notification_before_post(self, analytic_stack):
+        analytic_stack.permissions.grant("mal", Permission.SYSTEM_ALERT_WINDOW)
+        window = overlay()
+        transact_add(analytic_stack, window)
+        analytic_stack.run_for(30.0)  # well inside Tn (~290 ms on Pixel 2)
+        transact_remove(analytic_stack, window)
+        analytic_stack.run_for(5000.0)
+        assert analytic_stack.system_server.notifications_cancelled_before_post == 1
+        assert not analytic_stack.system_ui.has_alert("mal")
+        assert analytic_stack.system_ui.worst_outcome().suppressed
+
+    def test_alert_persists_with_second_overlay_up(self, analytic_stack):
+        analytic_stack.permissions.grant("mal", Permission.SYSTEM_ALERT_WINDOW)
+        first, second = overlay(label="o1"), overlay(label="o2")
+        transact_add(analytic_stack, first)
+        transact_add(analytic_stack, second)
+        analytic_stack.run_for(5000.0)
+        transact_remove(analytic_stack, first)
+        analytic_stack.run_for(200.0)
+        # One overlay remains -> System Server must not hide the alert.
+        assert analytic_stack.system_ui.has_alert("mal")
+
+    def test_toast_does_not_trigger_alert(self, analytic_stack):
+        # "A toast ... does not trigger notification alerts" (Section II-B).
+        from repro.toast import Toast
+
+        toast = Toast(owner="mal", content="x", rect=FULL, duration_ms=2000.0)
+        analytic_stack.router.transact(
+            "mal", "system_server", "enqueueToast", {"toast": toast},
+            latency_ms=1.0,
+        )
+        analytic_stack.run_for(5000.0)
+        assert not analytic_stack.system_ui.has_alert("mal")
+
+
+class TestProtectedApps:
+    def test_overlay_rejected_when_settings_foreground(self, analytic_stack):
+        analytic_stack.permissions.grant("mal", Permission.SYSTEM_ALERT_WINDOW)
+        analytic_stack.system_server.protect_app("com.android.settings")
+        analytic_stack.system_server.set_foreground_app("com.android.settings")
+        window = overlay()
+        transact_add(analytic_stack, window)
+        analytic_stack.run_for(100.0)
+        assert not window.on_screen
+        assert analytic_stack.system_server.rejected_overlays == 1
+
+    def test_overlay_allowed_over_ordinary_foreground(self, analytic_stack):
+        analytic_stack.permissions.grant("mal", Permission.SYSTEM_ALERT_WINDOW)
+        analytic_stack.system_server.protect_app("com.android.settings")
+        analytic_stack.system_server.set_foreground_app("com.victim.app")
+        window = overlay()
+        transact_add(analytic_stack, window)
+        analytic_stack.run_for(100.0)
+        assert window.on_screen
+
+
+class TestTermination:
+    def test_terminate_app_tears_down_windows_and_blocks_adds(self, analytic_stack):
+        analytic_stack.permissions.grant("mal", Permission.SYSTEM_ALERT_WINDOW)
+        window = overlay()
+        transact_add(analytic_stack, window)
+        analytic_stack.run_for(100.0)
+        analytic_stack.system_server.terminate_app("mal")
+        assert not window.on_screen
+        replacement = overlay(label="retry")
+        transact_add(analytic_stack, replacement)
+        analytic_stack.run_for(100.0)
+        assert not replacement.on_screen
+
+    def test_termination_callback(self, analytic_stack):
+        killed = []
+        analytic_stack.system_server.on_app_terminated = killed.append
+        analytic_stack.system_server.terminate_app("mal")
+        assert killed == ["mal"]

@@ -1,0 +1,111 @@
+"""Tests for touch dispatch: down-delivery and gesture commitment."""
+
+import pytest
+
+from repro.sim import Simulation
+from repro.windows import (
+    Screen,
+    TapOutcome,
+    TouchDispatcher,
+    Window,
+    WindowFlags,
+    WindowType,
+)
+from repro.windows.geometry import Point, Rect
+
+FULL = Rect(0, 0, 1000, 2000)
+
+
+@pytest.fixture
+def world():
+    sim = Simulation(seed=1)
+    screen = Screen(1000, 2000)
+    dispatcher = TouchDispatcher(sim, screen)
+    return sim, screen, dispatcher
+
+
+class TestDelivery:
+    def test_down_delivers_immediately(self, world):
+        sim, screen, dispatcher = world
+        hits = []
+        window = Window("app", WindowType.BASE_APPLICATION, FULL,
+                        on_touch=lambda w, p, t: hits.append(t))
+        screen.add(window, 0.0)
+        dispatcher.tap(Point(10, 10))
+        assert hits == [0.0]  # delivered at down, before any commit
+
+    def test_commit_succeeds_when_window_stays(self, world):
+        sim, screen, dispatcher = world
+        window = Window("app", WindowType.BASE_APPLICATION, FULL)
+        screen.add(window, 0.0)
+        record = dispatcher.tap(Point(10, 10), commit_ms=12.0)
+        assert record.outcome is TapOutcome.PENDING
+        sim.run_until(12.0)
+        assert record.outcome is TapOutcome.DELIVERED
+        assert record.committed_at == 12.0
+
+    def test_gesture_cancelled_if_window_removed_before_commit(self, world):
+        sim, screen, dispatcher = world
+        window = Window("app", WindowType.BASE_APPLICATION, FULL)
+        screen.add(window, 0.0)
+        record = dispatcher.tap(Point(10, 10), commit_ms=12.0)
+        sim.schedule_after(5.0, lambda: screen.remove(window, sim.now))
+        sim.run_until(20.0)
+        assert record.outcome is TapOutcome.CANCELLED_WINDOW_REMOVED
+        # But the down coordinates did reach the window.
+        assert window.touches_received == 1
+
+    def test_no_target(self, world):
+        sim, screen, dispatcher = world
+        record = dispatcher.tap(Point(10, 10))
+        assert record.outcome is TapOutcome.NO_TARGET
+        assert record.target_label is None
+
+    def test_on_result_callback_fires(self, world):
+        sim, screen, dispatcher = world
+        window = Window("app", WindowType.BASE_APPLICATION, FULL)
+        screen.add(window, 0.0)
+        results = []
+        dispatcher.tap(Point(1, 1), commit_ms=5.0, on_result=results.append)
+        sim.run_until(5.0)
+        assert len(results) == 1
+        assert results[0].committed
+
+    def test_on_result_fires_for_no_target(self, world):
+        sim, screen, dispatcher = world
+        results = []
+        dispatcher.tap(Point(1, 1), on_result=results.append)
+        assert results[0].outcome is TapOutcome.NO_TARGET
+
+    def test_negative_commit_raises(self, world):
+        sim, screen, dispatcher = world
+        with pytest.raises(ValueError):
+            dispatcher.tap(Point(1, 1), commit_ms=-1.0)
+
+    def test_target_owner_recorded(self, world):
+        sim, screen, dispatcher = world
+        window = Window("com.victim", WindowType.BASE_APPLICATION, FULL)
+        screen.add(window, 0.0)
+        record = dispatcher.tap(Point(1, 1))
+        assert record.target_owner == "com.victim"
+
+    def test_committed_count(self, world):
+        sim, screen, dispatcher = world
+        window = Window("app", WindowType.BASE_APPLICATION, FULL)
+        screen.add(window, 0.0)
+        for _ in range(3):
+            dispatcher.tap(Point(1, 1), commit_ms=1.0)
+        sim.run_until(10.0)
+        assert dispatcher.committed_count == 3
+
+    def test_pass_through_not_touchable_overlay(self, world):
+        # Clickjacking setup: the NOT_TOUCHABLE overlay displays content,
+        # but touches reach the victim beneath (paper Section II-A1).
+        sim, screen, dispatcher = world
+        victim = Window("victim", WindowType.BASE_APPLICATION, FULL)
+        decoy = Window("mal", WindowType.APPLICATION_OVERLAY, FULL,
+                       flags=WindowFlags.NOT_TOUCHABLE)
+        screen.add(victim, 0.0)
+        screen.add(decoy, 0.0)
+        record = dispatcher.tap(Point(10, 10))
+        assert record.target_owner == "victim"
