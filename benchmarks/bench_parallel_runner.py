@@ -1,0 +1,63 @@
+"""Parallel experiment runner: wall-clock vs the serial reference path.
+
+Times the full ``run_all`` suite three ways — serial (``jobs=1``),
+fanned out over ``REPRO_BENCH_JOBS`` worker processes, and replayed from
+a warm on-disk cache — and asserts all three produce field-for-field
+identical results. Run with ``REPRO_BENCH_SCALE=full`` for the
+paper-scale measurement (the acceptance configuration is
+``REPRO_BENCH_SCALE=full REPRO_BENCH_JOBS=4``).
+
+On a single-core host the process fan-out cannot beat serial (there is
+nothing to fan out to); the cache replay still shows the order-of-
+magnitude win for repeated invocations.
+"""
+
+import os
+import time
+
+from repro.experiments import run_all
+
+
+def bench_parallel_runner_speedup(benchmark, scale, jobs, tmp_path):
+    start = time.perf_counter()
+    serial = run_all(scale)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = benchmark.pedantic(
+        run_all, args=(scale,),
+        kwargs={"jobs": jobs, "cache_dir": tmp_path},
+        rounds=1, iterations=1,
+    )
+    parallel_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cached = run_all(scale, jobs=jobs, cache_dir=tmp_path)
+    cached_s = time.perf_counter() - start
+
+    # The headline guarantee: identical results on every path.
+    assert parallel == serial
+    assert cached == serial
+    assert all(t.cached for t in cached.timings)
+
+    cores = os.cpu_count() or 1
+    print(f"\nrun_all at scale={scale.name} "
+          f"({len(serial.timings)} experiments, {cores} cores):")
+    print(f"  {'path':24s} {'wall (s)':>9s} {'vs serial':>10s}")
+    for label, seconds in (
+        ("serial (jobs=1)", serial_s),
+        (f"parallel (jobs={jobs})", parallel_s),
+        (f"cache replay (jobs={jobs})", cached_s),
+    ):
+        print(f"  {label:24s} {seconds:9.2f} {serial_s / seconds:9.2f}x")
+
+    slowest = sorted(serial.timings, key=lambda t: t.seconds, reverse=True)
+    print("  slowest experiments (serial):")
+    for t in slowest[:5]:
+        print(f"    {t.name:24s} {t.seconds:6.2f}s")
+
+    if cores > 1 and jobs > 1:
+        assert parallel_s < serial_s, (
+            f"parallel run ({parallel_s:.2f}s, jobs={jobs}) not faster than "
+            f"serial ({serial_s:.2f}s) on a {cores}-core host"
+        )

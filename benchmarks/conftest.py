@@ -7,7 +7,9 @@ replication) and prints the paper-vs-measured rows. Run with::
     pytest benchmarks/ --benchmark-only
 
 Set ``REPRO_BENCH_SCALE=full`` for paper-scale runs (30 participants, the
-890,855-app corpus, ...), which take several minutes.
+890,855-app corpus, ...), which take several minutes, and
+``REPRO_BENCH_JOBS=N`` to size the parallel-runner benchmark's worker
+pool (default 4; results are identical at any job count).
 """
 
 from __future__ import annotations
@@ -23,3 +25,8 @@ from repro.experiments import FULL, QUICK, ExperimentScale
 def scale() -> ExperimentScale:
     name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
     return FULL if name == "full" else QUICK
+
+
+@pytest.fixture(scope="session")
+def jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "4"))

@@ -8,6 +8,11 @@ fully suppressed — while the overlays intercept a user's touches. Then
 re-runs with D past the device's Table II boundary to show the alert
 escaping.
 
+Finally, fans the full reproduction suite out over worker processes with
+the parallel runner — the same `run_all` the CLI report uses — and prints
+its per-experiment wall times (at SMOKE scale; results are identical at
+any job count).
+
 Run:  python examples/quickstart.py
 """
 
@@ -49,6 +54,20 @@ def run_attack(attacking_window_ms: float, taps: int = 10) -> None:
           f"cycles: {attack.stats.cycles}")
 
 
+def run_suite(jobs: int = 2) -> None:
+    from repro.experiments import SMOKE, run_all
+
+    results = run_all(SMOKE, jobs=jobs)
+    slowest = sorted(results.timings, key=lambda t: t.seconds, reverse=True)
+    total = sum(t.seconds for t in results.timings)
+    print(f"  {len(results.timings)} experiments, "
+          f"{total:.1f} s of experiment wall time, jobs={jobs}")
+    for timing in slowest[:3]:
+        print(f"  slowest: {timing.name:18s} {timing.seconds:5.2f} s")
+    print(f"  Fig. 7 capture-rate means (%): "
+          f"{[round(m, 1) for m in results.fig7.means()]}")
+
+
 def main() -> None:
     profile = reference_device()
     print(f"Device: {profile.key}")
@@ -60,6 +79,9 @@ def main() -> None:
 
     print("\nAttacking above the boundary (the built-in defense wins):")
     run_attack(attacking_window_ms=profile.published_upper_bound_d + 60.0)
+
+    print("\nRunning the reproduction suite in parallel (SMOKE scale):")
+    run_suite(jobs=2)
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from . import __version__
@@ -123,11 +124,29 @@ def _cmd_diagram(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from .experiments import FULL, QUICK, SMOKE, format_report, run_all
+    from .experiments import (
+        FULL,
+        QUICK,
+        SMOKE,
+        default_cache_dir,
+        format_report,
+        run_all,
+    )
 
     scale = {"full": FULL, "quick": QUICK, "smoke": SMOKE}[args.scale]
-    results = run_all(scale, verbose=args.verbose)
-    print(format_report(results))
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = default_cache_dir()
+    if cache_dir is not None and cache_dir.exists() and not cache_dir.is_dir():
+        print(f"repro report: --cache-dir {cache_dir} exists and is not a "
+              "directory", file=sys.stderr)
+        return 2
+    results = run_all(scale, verbose=args.verbose, jobs=args.jobs,
+                      cache_dir=cache_dir)
+    print(format_report(results, include_timings=args.verbose))
     return 0
 
 
@@ -153,6 +172,15 @@ def _cmd_probe(args: argparse.Namespace) -> int:
         print(f"{profile.key:44s} {result.source:>18s} "
               f"{result.chosen_window_ms:14.0f}")
     return 0
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = one worker per core), got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -187,7 +215,16 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="run the full reproduction suite")
     report.add_argument("--scale", choices=("smoke", "quick", "full"),
                         default="quick")
-    report.add_argument("--verbose", action="store_true")
+    report.add_argument("--verbose", action="store_true",
+                        help="per-experiment progress + timing appendix")
+    report.add_argument("--jobs", type=_nonnegative_int, default=1,
+                        help="worker processes (0 = one per core; results "
+                             "are identical at any job count)")
+    report.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk experiment result cache")
+    report.add_argument("--cache-dir", type=Path, default=None,
+                        help="cache root (default: $REPRO_CACHE_DIR or "
+                             "~/.cache/repro/experiments)")
 
     sub.add_parser("fig6", help="render the five Λ outcomes (paper Fig. 6)")
 

@@ -18,6 +18,16 @@ from .config import (
     SMOKE,
     TABLE_III_PAPER,
     ExperimentScale,
+    resolve_jobs,
+)
+from .parallel import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    ExperimentTiming,
+    ResultCache,
+    default_cache_dir,
+    experiment_names,
+    run_experiments,
 )
 from .corpus_study import CorpusStudyResult, run_corpus_study
 from .equation_validation import (
@@ -90,6 +100,14 @@ __all__ = [
     "AnaRemovalResult",
     "AnaRemovalRow",
     "CaptureBoxStats",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "ExperimentTiming",
+    "ResultCache",
+    "default_cache_dir",
+    "experiment_names",
+    "resolve_jobs",
+    "run_experiments",
     "CaptureTrialResult",
     "CorpusStudyResult",
     "DefenseTuningResult",

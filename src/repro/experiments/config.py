@@ -9,7 +9,10 @@ identical.
 
 from __future__ import annotations
 
+import hashlib
+import os
 from dataclasses import dataclass, replace
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -38,6 +41,30 @@ class ExperimentScale:
 
     def with_seed(self, seed: int) -> "ExperimentScale":
         return replace(self, seed=seed)
+
+    def for_experiment(self, experiment_name: str) -> "ExperimentScale":
+        """Derive the scale used to run one named experiment.
+
+        The derived seed is a pure function of ``(name, seed,
+        experiment_name)``, so every experiment owns an independent RNG
+        universe: experiments can run in any order, on any worker process,
+        and still draw exactly the same streams. The same derivation is the
+        on-disk cache key, which is why the tuple must stay stable across
+        releases.
+        """
+        digest = hashlib.sha256(
+            f"{self.name}:{self.seed}:{experiment_name}".encode("utf-8")
+        ).digest()
+        return self.with_seed(int.from_bytes(digest[:8], "big"))
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` mean "all cores"."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
 
 
 FULL = ExperimentScale(name="full")

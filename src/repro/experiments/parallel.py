@@ -1,0 +1,288 @@
+"""Parallel experiment execution with deterministic seed partitioning.
+
+The reproduction suite is ~20 independent experiments. This module holds
+the single source of truth for that set (:data:`EXPERIMENTS`), and runs it
+either in-process (``jobs=1``, the serial reference implementation) or
+fanned out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Three properties make ``jobs=N`` bit-identical to ``jobs=1``:
+
+* **Seed partitioning** — every experiment runs at
+  ``scale.for_experiment(name)``, whose seed is a hash of the stable
+  ``(scale.name, scale.seed, experiment_name)`` tuple. No experiment
+  shares RNG state with another, so execution order and process placement
+  cannot matter.
+* **Pure workers** — experiment functions only read their scale argument;
+  results are plain dataclasses that pickle losslessly (asserted by
+  ``tests/experiments/test_parallel_determinism.py``).
+* **Stable assembly** — results are keyed by experiment name and written
+  into :class:`~repro.experiments.runner.AllResults` fields by name, never
+  by completion order.
+
+The same ``(name, scale)`` key also addresses an optional on-disk result
+cache, so a repeated ``run_all`` invocation only re-runs experiments whose
+scale (or the cache version) changed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .animation_curves import run_fig2, run_fig4
+from .capture_rate import run_fig7, run_fig8
+from .config import QUICK, ExperimentScale, resolve_jobs
+from .corpus_study import run_corpus_study
+from .defense_eval import (
+    run_ipc_defense,
+    run_notification_defense,
+    run_toast_defense,
+)
+from .defense_tuning import run_defense_tuning
+from .equation_validation import run_equation_validation
+from .outcomes_vs_d import run_fig6
+from .password_study import run_stealthiness, run_table3
+from .real_world_apps import run_table4
+from .supplementary import run_fig7_with_cis, run_table3_by_version
+from .toast_continuity import run_toast_continuity
+from .trigger_comparison import run_trigger_comparison
+from .upper_bound import run_load_impact, run_table2
+
+#: Bump when a change to experiment code invalidates previously cached
+#: results (the cache key has no way to see code changes).
+CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One independently runnable experiment of the reproduction suite."""
+
+    #: ``AllResults`` field name; also the seed-derivation / cache key.
+    name: str
+    #: Human-readable progress label (matches the serial runner's log).
+    title: str
+    #: Module-level experiment function (must pickle by qualified name).
+    runner: Callable
+    #: Whether ``runner`` accepts an :class:`ExperimentScale`.
+    takes_scale: bool = True
+
+    def run(self, scale: ExperimentScale):
+        if not self.takes_scale:
+            return self.runner()
+        return self.runner(scale.for_experiment(self.name))
+
+
+#: Every experiment of the suite, in the serial runner's historical order.
+EXPERIMENTS: Tuple[ExperimentSpec, ...] = (
+    ExperimentSpec("fig2", "Fig 2: notification slide-in curve",
+                   run_fig2, takes_scale=False),
+    ExperimentSpec("fig4", "Fig 4: toast fade curves",
+                   run_fig4, takes_scale=False),
+    ExperimentSpec("fig6", "Fig 6: notification outcomes vs D",
+                   run_fig6, takes_scale=False),
+    ExperimentSpec("table2", "Table II: per-device upper bound of D",
+                   run_table2),
+    ExperimentSpec("load_impact", "Load impact", run_load_impact),
+    ExperimentSpec("fig7", "Fig 7: capture rate vs D", run_fig7),
+    ExperimentSpec("fig8", "Fig 8: capture rate by Android version",
+                   run_fig8),
+    ExperimentSpec("table3", "Table III: password stealing", run_table3),
+    ExperimentSpec("table4", "Table IV: real-world apps", run_table4),
+    ExperimentSpec("stealthiness", "Stealthiness study", run_stealthiness),
+    ExperimentSpec("toast_continuity", "Toast continuity",
+                   run_toast_continuity),
+    ExperimentSpec("corpus", "Corpus prevalence study", run_corpus_study),
+    ExperimentSpec("defense_ipc", "Defense: IPC detector", run_ipc_defense),
+    ExperimentSpec("defense_notification", "Defense: enhanced notification",
+                   run_notification_defense),
+    ExperimentSpec("defense_toast", "Defense: toast spacing",
+                   run_toast_defense),
+    ExperimentSpec("equation_validation", "Eq. (2) validation",
+                   run_equation_validation),
+    ExperimentSpec("defense_tuning", "Defense: decision-rule tuning",
+                   run_defense_tuning),
+    ExperimentSpec("trigger_comparison", "Trigger-channel comparison",
+                   run_trigger_comparison),
+    ExperimentSpec("table3_by_version",
+                   "Supplementary: Table III by version",
+                   run_table3_by_version),
+    ExperimentSpec("fig7_cis", "Supplementary: Fig 7 confidence intervals",
+                   run_fig7_with_cis),
+)
+
+_SPEC_BY_NAME: Dict[str, ExperimentSpec] = {s.name: s for s in EXPERIMENTS}
+
+
+@dataclass(frozen=True)
+class ExperimentTiming:
+    """Wall-clock accounting for one experiment of a ``run_all`` pass."""
+
+    name: str
+    seconds: float
+    cached: bool = False
+
+
+def experiment_names() -> Tuple[str, ...]:
+    return tuple(spec.name for spec in EXPERIMENTS)
+
+
+def _reset_global_id_allocators() -> None:
+    """Restart the process-wide debug id counters.
+
+    Window/toast/token ids are allocated by module-global counters; some
+    leak into results (``ToastSwitch`` records toast ids). Resetting them
+    at each experiment's start makes every result a pure function of
+    ``(experiment name, scale)`` — the property the determinism tests
+    assert — no matter which process ran what beforehand.
+    """
+    from ..toast.toast import reset_toast_ids
+    from ..toast.token_queue import reset_token_ids
+    from ..windows.window import reset_window_ids
+
+    reset_toast_ids()
+    reset_token_ids()
+    reset_window_ids()
+
+
+def _run_one(name: str, scale: ExperimentScale):
+    """Worker entry point: run one named experiment at its derived scale.
+
+    Module-level so it pickles for :class:`ProcessPoolExecutor`; returns
+    ``(name, result, seconds)``.
+    """
+    spec = _SPEC_BY_NAME[name]
+    _reset_global_id_allocators()
+    start = time.perf_counter()
+    result = spec.run(scale)
+    return name, result, time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache
+# ---------------------------------------------------------------------------
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro/experiments``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "experiments"
+
+
+class ResultCache:
+    """Pickle-per-key store of experiment results.
+
+    Keys are ``(experiment_name, every ExperimentScale field,
+    CACHE_VERSION)`` — exactly the inputs the result is a pure function
+    of. Corrupt or unreadable entries are treated as misses.
+    """
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, name: str, scale: ExperimentScale) -> Path:
+        fields = dataclasses.asdict(scale)
+        material = ":".join(
+            [f"v{CACHE_VERSION}", name]
+            + [f"{key}={fields[key]!r}" for key in sorted(fields)]
+        )
+        digest = hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+        return self.directory / f"{name}-{scale.name}-{digest}.pkl"
+
+    def load(self, name: str, scale: ExperimentScale):
+        path = self.path_for(name, scale)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            return None
+
+    def store(self, name: str, scale: ExperimentScale, result) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(name, scale)
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump(result, fh)
+        os.replace(tmp, path)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+ProgressCallback = Callable[[int, int, ExperimentTiming], None]
+
+
+def run_experiments(
+    scale: ExperimentScale = QUICK,
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[Path] = None,
+    verbose: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> Tuple[Dict[str, object], Tuple[ExperimentTiming, ...]]:
+    """Run every experiment; return ``(results by name, timings)``.
+
+    ``jobs=1`` runs in-process and is the reference implementation;
+    ``jobs=N`` fans out over N worker processes; ``jobs=0`` means one per
+    core. Timings come back in registry order regardless of completion
+    order.
+    """
+    jobs = resolve_jobs(jobs)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+
+    results: Dict[str, object] = {}
+    timings: Dict[str, ExperimentTiming] = {}
+    done = 0
+    total = len(EXPERIMENTS)
+
+    def record(name: str, result, seconds: float, cached: bool) -> None:
+        nonlocal done
+        results[name] = result
+        timing = ExperimentTiming(name=name, seconds=seconds, cached=cached)
+        timings[name] = timing
+        done += 1
+        if verbose:
+            spec = _SPEC_BY_NAME[name]
+            suffix = "cache hit" if cached else f"{seconds:.2f}s"
+            print(f"[{scale.name}] [{done:2d}/{total}] {spec.title} "
+                  f"({suffix})", flush=True)
+        if progress is not None:
+            progress(done, total, timing)
+
+    pending: List[ExperimentSpec] = []
+    for spec in EXPERIMENTS:
+        hit = cache.load(spec.name, scale) if cache is not None else None
+        if hit is not None:
+            record(spec.name, hit, 0.0, cached=True)
+        else:
+            pending.append(spec)
+
+    if jobs == 1 or len(pending) <= 1:
+        for spec in pending:
+            name, result, seconds = _run_one(spec.name, scale)
+            if cache is not None:
+                cache.store(name, scale, result)
+            record(name, result, seconds, cached=False)
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {pool.submit(_run_one, spec.name, scale)
+                       for spec in pending}
+            while futures:
+                finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    name, result, seconds = future.result()
+                    if cache is not None:
+                        cache.store(name, scale, result)
+                    record(name, result, seconds, cached=False)
+
+    ordered = tuple(timings[spec.name] for spec in EXPERIMENTS)
+    return results, ordered

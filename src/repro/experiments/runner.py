@@ -4,45 +4,41 @@
 result bundle; ``format_report`` renders it as the markdown used to update
 EXPERIMENTS.md. Examples and benches call the individual experiment
 functions directly.
+
+Execution is delegated to :mod:`repro.experiments.parallel`: ``jobs=1``
+(the default) is the in-process serial reference path, ``jobs=N`` fans out
+over worker processes, and both derive each experiment's seed from the
+same stable ``(scale, experiment name)`` key — which is what makes the two
+paths produce field-for-field equal :class:`AllResults` (asserted by
+``tests/experiments/test_parallel_determinism.py``).
 """
 
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Tuple
 
 from ..devices.registry import DEVICES
-from .animation_curves import Fig2Result, Fig4Result, run_fig2, run_fig4
-from .capture_rate import Fig7Result, Fig8Result, run_fig7, run_fig8
+from .animation_curves import Fig2Result, Fig4Result
+from .capture_rate import Fig7Result, Fig8Result
 from .config import ExperimentScale, QUICK
-from .corpus_study import CorpusStudyResult, run_corpus_study
-from .defense_tuning import DefenseTuningResult, run_defense_tuning
-from .equation_validation import EquationValidationResult, run_equation_validation
+from .corpus_study import CorpusStudyResult
+from .defense_tuning import DefenseTuningResult
+from .equation_validation import EquationValidationResult
 from .defense_eval import (
     IpcDefenseResult,
     NotificationDefenseResult,
     ToastDefenseResult,
-    run_ipc_defense,
-    run_notification_defense,
-    run_toast_defense,
 )
-from .outcomes_vs_d import Fig6Result, run_fig6
-from .password_study import (
-    StealthinessResult,
-    Table3Result,
-    run_stealthiness,
-    run_table3,
-)
-from .real_world_apps import Table4Result, run_table4
-from .toast_continuity import ToastContinuityResult, run_toast_continuity
-from .supplementary import (
-    Fig7WithCisResult,
-    Table3ByVersionResult,
-    run_fig7_with_cis,
-    run_table3_by_version,
-)
-from .trigger_comparison import TriggerComparisonResult, run_trigger_comparison
-from .upper_bound import LoadImpactResult, Table2Result, run_load_impact, run_table2
+from .outcomes_vs_d import Fig6Result
+from .password_study import StealthinessResult, Table3Result
+from .real_world_apps import Table4Result
+from .toast_continuity import ToastContinuityResult
+from .supplementary import Fig7WithCisResult, Table3ByVersionResult
+from .trigger_comparison import TriggerComparisonResult
+from .upper_bound import LoadImpactResult, Table2Result
 
 
 @dataclass
@@ -70,79 +66,38 @@ class AllResults:
     trigger_comparison: TriggerComparisonResult
     table3_by_version: Table3ByVersionResult
     fig7_cis: Fig7WithCisResult
+    #: Per-experiment wall-clock accounting (``ExperimentTiming`` tuples).
+    #: Excluded from equality: a parallel run and a serial run of the same
+    #: scale compare equal even though their wall times differ.
+    timings: Optional[Tuple] = field(default=None, compare=False, repr=False)
 
 
-def run_all(scale: ExperimentScale = QUICK, verbose: bool = False) -> AllResults:
-    """Run the complete reproduction suite at one scale."""
+def run_all(
+    scale: ExperimentScale = QUICK,
+    verbose: bool = False,
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[Path] = None,
+) -> AllResults:
+    """Run the complete reproduction suite at one scale.
 
-    def log(message: str) -> None:
-        if verbose:
-            print(f"[{scale.name}] {message}", flush=True)
+    Args:
+        scale: experiment sizing preset (SMOKE/QUICK/FULL or custom).
+        verbose: print per-experiment progress and wall times.
+        jobs: worker processes; ``1`` is the serial reference path,
+            ``0`` means one per core. Any value yields identical results.
+        cache_dir: enable the on-disk result cache rooted here; ``None``
+            disables caching.
+    """
+    from .parallel import run_experiments
 
-    log("Fig 2/4: animation curves")
-    fig2, fig4 = run_fig2(), run_fig4()
-    log("Fig 6: notification outcomes vs D")
-    fig6 = run_fig6()
-    log("Table II: per-device upper bound of D")
-    table2 = run_table2(scale)
-    log("Load impact")
-    load_impact = run_load_impact(scale)
-    log("Fig 7: capture rate vs D")
-    fig7 = run_fig7(scale)
-    log("Fig 8: capture rate by Android version")
-    fig8 = run_fig8(scale)
-    log("Table III: password stealing")
-    table3 = run_table3(scale)
-    log("Table IV: real-world apps")
-    table4 = run_table4(scale)
-    log("Stealthiness study")
-    stealthiness = run_stealthiness(scale)
-    log("Toast continuity")
-    toast_continuity = run_toast_continuity(scale)
-    log("Corpus prevalence study")
-    corpus = run_corpus_study(scale)
-    log("Defense: IPC detector")
-    defense_ipc = run_ipc_defense(scale)
-    log("Defense: enhanced notification")
-    defense_notification = run_notification_defense(scale)
-    log("Defense: toast spacing")
-    defense_toast = run_toast_defense(scale)
-    log("Eq. (2) validation")
-    equation_validation = run_equation_validation(scale)
-    log("Defense: decision-rule tuning")
-    defense_tuning = run_defense_tuning(scale)
-    log("Trigger-channel comparison")
-    trigger_comparison = run_trigger_comparison(scale)
-    log("Supplementary: Table III by version")
-    table3_by_version = run_table3_by_version(scale)
-    log("Supplementary: Fig 7 confidence intervals")
-    fig7_cis = run_fig7_with_cis(scale)
-    return AllResults(
-        scale_name=scale.name,
-        fig2=fig2,
-        fig4=fig4,
-        fig6=fig6,
-        table2=table2,
-        load_impact=load_impact,
-        fig7=fig7,
-        fig8=fig8,
-        table3=table3,
-        table4=table4,
-        stealthiness=stealthiness,
-        toast_continuity=toast_continuity,
-        corpus=corpus,
-        defense_ipc=defense_ipc,
-        defense_notification=defense_notification,
-        defense_toast=defense_toast,
-        equation_validation=equation_validation,
-        defense_tuning=defense_tuning,
-        trigger_comparison=trigger_comparison,
-        table3_by_version=table3_by_version,
-        fig7_cis=fig7_cis,
+    results, timings = run_experiments(
+        scale, jobs=jobs, cache_dir=cache_dir, verbose=verbose
     )
+    return AllResults(scale_name=scale.name, timings=timings, **results)
 
 
-def format_report(results: AllResults) -> str:
+def format_report(results: AllResults, include_timings: bool = False) -> str:
     """Render a markdown paper-vs-measured report."""
     out = io.StringIO()
     w = out.write
@@ -302,4 +257,17 @@ def format_report(results: AllResults) -> str:
     for row in results.fig7_cis.rows:
         w(f"| {row.attacking_window_ms:.0f} | {row.mean:.1f} | "
           f"[{row.ci.lower:.1f}, {row.ci.upper:.1f}] |\n")
+
+    # Wall times vary run to run, so the appendix is opt-in: the golden
+    # report test needs the default rendering to be byte-stable.
+    if include_timings and results.timings:
+        w("\n## Runner timings\n\n")
+        w("| experiment | wall (s) | source |\n|---|---|---|\n")
+        for t in results.timings:
+            source = "cache" if t.cached else "run"
+            w(f"| {t.name} | {t.seconds:.2f} | {source} |\n")
+        total = sum(t.seconds for t in results.timings)
+        hits = sum(1 for t in results.timings if t.cached)
+        w(f"\ntotal experiment wall time: {total:.2f} s "
+          f"({hits}/{len(results.timings)} cache hits)\n")
     return out.getvalue()

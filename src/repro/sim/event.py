@@ -17,7 +17,7 @@ class Event:
     deterministic.
     """
 
-    __slots__ = ("time", "seq", "callback", "name", "cancelled")
+    __slots__ = ("time", "seq", "callback", "name", "cancelled", "on_cancel")
 
     def __init__(self, time: float, seq: int, callback: Callback, name: str) -> None:
         self.time = time
@@ -25,6 +25,10 @@ class Event:
         self.callback = callback
         self.name = name
         self.cancelled = False
+        #: Invoked exactly once when the event is cancelled while still
+        #: queued; the scheduler uses it to keep its pending-event counter
+        #: exact without scanning the heap.
+        self.on_cancel: Optional[Callback] = None
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -64,7 +68,7 @@ class EventHandle:
         """Cancel the event; cancelling twice is an error."""
         if self._event.cancelled:
             raise EventCancelledError(f"event {self._event.name!r} already cancelled")
-        self._event.cancelled = True
+        self._mark_cancelled()
 
     def cancel_if_pending(self) -> bool:
         """Cancel the event if it has not been cancelled yet.
@@ -74,8 +78,15 @@ class EventHandle:
         """
         if self._event.cancelled:
             return False
-        self._event.cancelled = True
+        self._mark_cancelled()
         return True
+
+    def _mark_cancelled(self) -> None:
+        self._event.cancelled = True
+        notify = self._event.on_cancel
+        if notify is not None:
+            self._event.on_cancel = None
+            notify()
 
 
 def noop() -> None:

@@ -23,6 +23,7 @@ class EventScheduler:
         self._heap: List[Event] = []
         self._seq = 0
         self._dispatched = 0
+        self._pending = 0
 
     @property
     def now(self) -> float:
@@ -30,8 +31,13 @@ class EventScheduler:
 
     @property
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events still in the queue."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-cancelled events still in the queue.
+
+        O(1): the counter is maintained on schedule/dispatch, and each
+        event's ``on_cancel`` hook decrements it the moment a handle
+        cancels the event — no heap scan.
+        """
+        return self._pending
 
     @property
     def dispatched_count(self) -> int:
@@ -45,8 +51,10 @@ class EventScheduler:
                 f"cannot schedule {name!r} at {time_ms} (now={self._clock.now})"
             )
         event = Event(float(time_ms), self._seq, callback, name)
+        event.on_cancel = self._note_cancelled
         self._seq += 1
         heapq.heappush(self._heap, event)
+        self._pending += 1
         return EventHandle(event)
 
     def schedule_after(self, delay_ms: float, callback: Callback, name: str = "") -> EventHandle:
@@ -73,6 +81,10 @@ class EventScheduler:
         if not self._heap:
             return False
         event = heapq.heappop(self._heap)
+        # The event has left the queue: detach the cancel hook so a late
+        # handle.cancel() cannot drive the pending counter negative.
+        event.on_cancel = None
+        self._pending -= 1
         self._clock.advance_to(event.time)
         self._dispatched += 1
         event.callback()
@@ -114,6 +126,11 @@ class EventScheduler:
                 )
         return dispatched
 
+    def _note_cancelled(self) -> None:
+        self._pending -= 1
+
     def _drop_cancelled_head(self) -> None:
+        # Cancelled events already left the pending count via the hook;
+        # this only reclaims their heap slots.
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)

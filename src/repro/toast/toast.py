@@ -38,6 +38,19 @@ _FADE_IN = DecelerateInterpolator()
 _FADE_OUT = AccelerateInterpolator()
 
 
+def reset_toast_ids() -> None:
+    """Restart the toast id allocator.
+
+    Ids only label toasts for debugging and trace reading, but they leak
+    into experiment results (e.g. ``ToastSwitch``), so the experiment
+    runner resets them before each experiment to keep results a pure
+    function of the experiment's scale — independent of what else ran in
+    the process beforehand.
+    """
+    global _toast_ids
+    _toast_ids = itertools.count(1)
+
+
 @dataclass
 class Toast:
     """One toast instance moving through the Notification Manager queue."""

@@ -24,6 +24,12 @@ MAX_TOASTS_PER_APP = 50
 _token_ids = itertools.count(1)
 
 
+def reset_token_ids() -> None:
+    """Restart the token id allocator (see ``reset_toast_ids``)."""
+    global _token_ids
+    _token_ids = itertools.count(1)
+
+
 @dataclass(frozen=True)
 class ToastToken:
     """Unique handle binding a queued toast to its app."""

@@ -13,6 +13,17 @@ _window_ids = itertools.count(1)
 TouchCallback = Callable[["Window", Point, float], None]
 
 
+def reset_window_ids() -> None:
+    """Restart the window id allocator.
+
+    Window ids are process-wide debug labels; the experiment runner resets
+    them before each experiment so results never encode how many windows
+    earlier experiments happened to create.
+    """
+    global _window_ids
+    _window_ids = itertools.count(1)
+
+
 class Window:
     """One window as tracked by the Window Manager Service.
 

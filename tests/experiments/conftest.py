@@ -1,0 +1,16 @@
+"""Shared fixtures for the experiment-suite tests.
+
+``run_all`` at QUICK scale takes a few seconds, and both the determinism
+layer and the golden-report regression need the serial reference run —
+so it is computed once per session here.
+"""
+
+import pytest
+
+from repro.experiments import QUICK, run_all
+
+
+@pytest.fixture(scope="session")
+def quick_serial_results():
+    """The serial (``jobs=1``) reference run at QUICK scale."""
+    return run_all(QUICK)

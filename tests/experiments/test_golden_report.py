@@ -1,0 +1,58 @@
+"""Golden-report regression test.
+
+``format_report(run_all(QUICK))`` is rendered and diffed byte-for-byte
+against the checked-in snapshot. The suite is deterministic, so any drift
+means an experiment, a seed derivation, or the report formatter changed
+behaviour — which must be a deliberate decision.
+
+To regenerate after an intentional change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/experiments/test_golden_report.py
+
+then review the diff of ``tests/experiments/golden/report_quick.md`` and
+commit it alongside the change that caused it.
+"""
+
+import difflib
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import format_report
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_REPORT = GOLDEN_DIR / "report_quick.md"
+
+
+def test_quick_report_matches_golden(quick_serial_results):
+    report = format_report(quick_serial_results)
+    if os.environ.get("REPRO_REGEN_GOLDEN") == "1":
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        GOLDEN_REPORT.write_text(report)
+        pytest.skip(f"regenerated {GOLDEN_REPORT}")
+    assert GOLDEN_REPORT.exists(), (
+        f"missing golden snapshot {GOLDEN_REPORT}; generate it with "
+        "REPRO_REGEN_GOLDEN=1"
+    )
+    golden = GOLDEN_REPORT.read_text()
+    if report != golden:
+        diff = "\n".join(difflib.unified_diff(
+            golden.splitlines(), report.splitlines(),
+            fromfile="golden/report_quick.md", tofile="current",
+            lineterm="", n=2,
+        ))
+        pytest.fail(
+            "QUICK report drifted from the golden snapshot. If this is an "
+            "intentional behaviour change, regenerate with "
+            "REPRO_REGEN_GOLDEN=1 and commit the new snapshot.\n" + diff
+        )
+
+
+def test_golden_report_has_no_timing_appendix(quick_serial_results):
+    # Wall times vary run to run; the golden rendering must exclude them,
+    # and the opt-in rendering must include them.
+    assert "Runner timings" not in format_report(quick_serial_results)
+    timed = format_report(quick_serial_results, include_timings=True)
+    assert "Runner timings" in timed
