@@ -8,6 +8,10 @@ fully suppressed — while the overlays intercept a user's touches. Then
 re-runs with D past the device's Table II boundary to show the alert
 escaping.
 
+Also replays the sub-boundary attack under the `adversarial` fault
+profile — deterministic render jitter, dropped frames, Binder delays and
+GC pauses — to show the timing margins eroding under noise.
+
 Finally, fans the full reproduction suite out over worker processes with
 the parallel runner — the same `run_all` the CLI report uses — and prints
 its per-experiment wall times (at SMOKE scale; results are identical at
@@ -27,9 +31,11 @@ from repro import (
 from repro.windows.geometry import Point
 
 
-def run_attack(attacking_window_ms: float, taps: int = 10) -> None:
+def run_attack(attacking_window_ms: float, taps: int = 10,
+               faults: str = "none") -> None:
     profile = reference_device()
-    stack = build_stack(seed=42, profile=profile, alert_mode=AlertMode.ANALYTIC)
+    stack = build_stack(seed=42, profile=profile, alert_mode=AlertMode.ANALYTIC,
+                        faults=faults)
     attack = DrawAndDestroyOverlayAttack(
         stack, OverlayAttackConfig(attacking_window_ms=attacking_window_ms)
     )
@@ -79,6 +85,13 @@ def main() -> None:
 
     print("\nAttacking above the boundary (the built-in defense wins):")
     run_attack(attacking_window_ms=profile.published_upper_bound_d + 60.0)
+
+    # Deterministic chaos: the same attack on a jittery, frame-dropping,
+    # GC-pausing device (CLI equivalent: --faults adversarial). Same seed
+    # and profile always reproduce the same perturbed run.
+    print("\nSame sub-boundary attack under adversarial fault injection:")
+    run_attack(attacking_window_ms=profile.published_upper_bound_d - 30.0,
+               faults="adversarial")
 
     print("\nRunning the reproduction suite in parallel (SMOKE scale):")
     run_suite(jobs=2)

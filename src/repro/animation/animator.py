@@ -78,6 +78,7 @@ class Animator:
         self._progress = 0.0
         self._max_progress = 0.0
         self._frames_rendered = 0
+        self._frames_dropped = 0
         self._pending: Optional[EventHandle] = None
         # Reverse playback bookkeeping.
         self._reverse_from = 0.0
@@ -103,6 +104,11 @@ class Animator:
     @property
     def frames_rendered(self) -> int:
         return self._frames_rendered
+
+    @property
+    def frames_dropped(self) -> int:
+        """Frames skipped by the fault layer (0 in fault-free runs)."""
+        return self._frames_dropped
 
     @property
     def duration_ms(self) -> float:
@@ -149,8 +155,16 @@ class Animator:
     # Frame machinery
     # ------------------------------------------------------------------
     def _schedule_next_frame(self) -> None:
+        delay = self._refresh
+        plan = self._simulation.faults
+        if plan is not None:
+            # Render jitter: the next vsync callback lands late. The
+            # animation still samples its eased curve at the *actual*
+            # frame time, so jitter skips portions of the curve — exactly
+            # what a janky real device does.
+            delay += plan.frame_delay()
         self._pending = self._simulation.schedule_after(
-            self._refresh, self._frame, name=f"{self._name}:frame"
+            delay, self._frame, name=f"{self._name}:frame"
         )
 
     def _drop_pending(self) -> None:
@@ -160,6 +174,16 @@ class Animator:
 
     def _frame(self) -> None:
         self._pending = None
+        plan = self._simulation.faults
+        if plan is not None and plan.drop_frame():
+            # Dropped frame: nothing is rendered, but the machinery keeps
+            # going — the next frame is scheduled even past the nominal
+            # end, so the animation always terminates (drop probability is
+            # capped below 1).
+            self._frames_dropped += 1
+            if self._state in (AnimationState.RUNNING, AnimationState.REVERSING):
+                self._schedule_next_frame()
+            return
         if self._state is AnimationState.RUNNING:
             assert self._start_time is not None
             elapsed = self._simulation.now - self._start_time

@@ -51,17 +51,24 @@ class App(SimProcess):
             latency_ms=tam,
         )
 
-    def remove_view(self, window: Window) -> None:
+    def remove_view(self, window: Window) -> float:
         """``removeView``: transit latency is ``Trm`` (> ``Tam``: the add
-        event always reaches System Server first, Section III-C)."""
+        event always reaches System Server first, Section III-C).
+
+        Returns the *observed* transit time (sampled ``Trm`` plus any
+        fault-layer Binder jitter) — the paper's attack measures this round
+        trip on the target device, and the adaptive attack re-measures it
+        live to size its attacking window under load.
+        """
         trm = self.stack.profile.trm.sample(self.rng)
-        self.stack.router.transact(
+        txn = self.stack.router.transact(
             sender=self.package,
             receiver=SYSTEM_SERVER,
             method="removeView",
             payload={"window": window},
             latency_ms=trm,
         )
+        return txn.delivered_at - txn.sent_at
 
     @property
     def add_view_blocking_ms(self) -> float:

@@ -121,6 +121,16 @@ class WorkerTimer(SimProcess):
     def period_ms(self) -> float:
         return self._period
 
+    def set_period(self, period_ms: float) -> None:
+        """Change the tick period; takes effect from the next tick.
+
+        The adaptive overlay attack uses this to widen its attacking
+        window after a suppression failure without restarting the timer.
+        """
+        if period_ms <= 0:
+            raise ValueError(f"period must be positive, got {period_ms}")
+        self._period = float(period_ms)
+
     @property
     def ticks(self) -> int:
         return self._tick

@@ -21,6 +21,7 @@ from typing import Callable, List, Optional
 from ..stack import AndroidStack
 from ..apps.app import App
 from ..apps.threads import WorkerTimer
+from ..systemui.outcomes import NotificationOutcome
 from ..windows.geometry import Point, Rect
 from ..windows.permissions import Permission
 from ..windows.types import WindowFlags, WindowType
@@ -49,12 +50,35 @@ class OverlayAttackConfig:
     #: removeView-then-addView (the working order). False reproduces the
     #: paper's failing add-first variant.
     remove_then_add: bool = True
+    #: React to suppression failures: re-measure the observed ``Trm`` and
+    #: widen ``D`` after each failure (bounded by ``max_adaptations``).
+    #: A real attacker watching the drawer would do exactly this on a
+    #: noisy device.
+    adaptive: bool = False
+    #: Most times the adaptive attack will widen its window before giving
+    #: up and keeping the last value.
+    max_adaptations: int = 3
+    #: Multiplier applied to ``D`` on each adaptation.
+    widen_factor: float = 1.3
 
     def __post_init__(self) -> None:
         if self.attacking_window_ms <= 0:
             raise ValueError(
                 f"attacking window must be positive, got {self.attacking_window_ms}"
             )
+        if self.max_adaptations < 0:
+            raise ValueError(
+                f"max_adaptations must be >= 0, got {self.max_adaptations}"
+            )
+        if self.widen_factor <= 1.0:
+            raise ValueError(
+                f"widen_factor must be > 1 (widening), got {self.widen_factor}"
+            )
+
+
+#: How many recent removeView round trips the adaptive attack averages
+#: when re-measuring the observed Trm.
+_TRM_MEASUREMENT_WINDOW = 8
 
 
 @dataclass
@@ -63,10 +87,23 @@ class OverlayAttackStats:
 
     cycles: int = 0
     touches_captured: List[CapturedTouch] = field(default_factory=list)
+    #: Suppression failures noticed (alert records with a visible outcome).
+    failures_observed: int = 0
+    #: Times the adaptive attack widened its window.
+    adaptations: int = 0
+    #: Recent observed removeView transit times (ms), newest last.
+    observed_trm_ms: List[float] = field(default_factory=list)
 
     @property
     def captured_count(self) -> int:
         return len(self.touches_captured)
+
+    @property
+    def mean_observed_trm_ms(self) -> float:
+        """Mean of the recent observed ``Trm`` samples (0 when unmeasured)."""
+        if not self.observed_trm_ms:
+            return 0.0
+        return sum(self.observed_trm_ms) / len(self.observed_trm_ms)
 
 
 class DrawAndDestroyOverlayAttack(App):
@@ -106,11 +143,21 @@ class DrawAndDestroyOverlayAttack(App):
         self._current: Optional[Window] = None
         self._worker: Optional[WorkerTimer] = None
         self._running = False
+        #: High-water mark of visible-outcome alert records seen for this
+        #: package (the adaptive attack reacts only to *new* failures).
+        self._seen_failures = 0
 
     # ------------------------------------------------------------------
     @property
     def running(self) -> bool:
         return self._running
+
+    @property
+    def current_window_ms(self) -> float:
+        """The attacking window currently in force (grows when adaptive)."""
+        if self._worker is not None:
+            return self._worker.period_ms
+        return self.config.attacking_window_ms
 
     @property
     def overlays(self) -> List[Window]:
@@ -153,6 +200,8 @@ class DrawAndDestroyOverlayAttack(App):
         if not self._running:
             return
         self.stats.cycles += 1
+        if self.config.adaptive:
+            self._react_to_failures()
         if self._current is None:
             # First round: only addView, displaying overlay one.
             first = self._overlays[0]
@@ -165,7 +214,7 @@ class DrawAndDestroyOverlayAttack(App):
         if self.config.remove_then_add:
 
             def swap() -> None:
-                self.remove_view(old)
+                self._note_trm(self.remove_view(old))
                 self.add_view(new)
 
             self.main_thread.post(swap, name="swap")
@@ -183,6 +232,51 @@ class DrawAndDestroyOverlayAttack(App):
 
     def _other(self, overlay: Window) -> Window:
         return self._overlays[1] if overlay is self._overlays[0] else self._overlays[0]
+
+    # ------------------------------------------------------------------
+    # Adaptation (only active with config.adaptive)
+    # ------------------------------------------------------------------
+    def _note_trm(self, observed_ms: float) -> None:
+        """Record one observed removeView transit time (re-measured Trm)."""
+        samples = self.stats.observed_trm_ms
+        samples.append(observed_ms)
+        if len(samples) > _TRM_MEASUREMENT_WINDOW:
+            del samples[: len(samples) - _TRM_MEASUREMENT_WINDOW]
+
+    def _react_to_failures(self) -> None:
+        """Widen the attacking window when a suppression failure shows up.
+
+        A failure is an alert record with a visible outcome (anything past
+        Λ1): the hide arrived too late and the user could have seen the
+        notification. Each *new* failure widens ``D`` by ``widen_factor``,
+        floored at twice the re-measured ``Trm`` so the previous cycle's
+        remove has always cleared transit before the next swap — bounded
+        by ``max_adaptations`` retries.
+        """
+        failures = sum(
+            1
+            for record in self.stack.system_ui.records
+            if record.app == self.package
+            and record.outcome > NotificationOutcome.LAMBDA1
+        )
+        if failures <= self._seen_failures:
+            return
+        self._seen_failures = failures
+        self.stats.failures_observed = failures
+        if self._worker is None or self.stats.adaptations >= self.config.max_adaptations:
+            return
+        widened = max(
+            self._worker.period_ms * self.config.widen_factor,
+            2.0 * self.stats.mean_observed_trm_ms,
+        )
+        self._worker.set_period(widened)
+        self.stats.adaptations += 1
+        self.trace(
+            "attack.window_widened",
+            d_ms=round(widened, 4),
+            failures=failures,
+            observed_trm_ms=round(self.stats.mean_observed_trm_ms, 4),
+        )
 
     def _on_touch(self, window: Window, point: Point, time: float) -> None:
         captured = CapturedTouch(time=time, point=point, overlay_label=window.label)

@@ -44,6 +44,11 @@ class BinderRouter(SimProcess):
         self._observers: List[TransactionObserver] = []
         self._txn_counter = 0
         self._delivered = 0
+        #: Per-FIFO-channel floor on delivery times. Clamping happens in
+        #: the router *after* all latency (modelled, explicit and fault
+        #: jitter) is known, so ordering guarantees hold even under
+        #: adversarial Binder jitter.
+        self._fifo_last: Dict[str, float] = {}
         #: Failure injection: fraction of transactions silently dropped in
         #: transit (0 in normal operation; real Binder does not lose
         #: messages — this knob exists for robustness testing).
@@ -95,13 +100,32 @@ class BinderRouter(SimProcess):
         method: str,
         payload: Optional[dict] = None,
         latency_ms: Optional[float] = None,
+        fifo_key: Optional[str] = None,
     ) -> BinderTransaction:
-        """Send one transaction; returns the (already timestamped) record."""
+        """Send one transaction; returns the (already timestamped) record.
+
+        ``fifo_key`` names a FIFO channel: deliveries sharing a key never
+        reorder, even when fault jitter stretches an earlier transaction's
+        transit time. Real Binder preserves per-connection ordering, so the
+        System Server -> System UI alert channel depends on this (a hide
+        overtaking its show would leave a phantom alert).
+        """
         handler = self._lookup_handler(receiver, method)
         if latency_ms is None:
             latency_ms = self._latency_model.sample(self.rng, method)
         if latency_ms < 0:
             raise ValueError(f"negative binder latency {latency_ms} for {method}")
+        plan = self.simulation.faults
+        if plan is not None:
+            # Fault jitter stacks on top of whatever latency was chosen,
+            # including the explicit device-calibrated Tam/Trm paths —
+            # a loaded Binder thread pool delays those the same way.
+            latency_ms += plan.binder_delay()
+        if fifo_key is not None:
+            floor = self._fifo_last.get(fifo_key, 0.0)
+            delivery = max(self.now + latency_ms, floor + 1e-6)
+            self._fifo_last[fifo_key] = delivery
+            latency_ms = delivery - self.now
         self._txn_counter += 1
         txn = BinderTransaction(
             txn_id=self._txn_counter,
@@ -116,7 +140,10 @@ class BinderRouter(SimProcess):
                    receiver=receiver, method=method, latency_ms=round(latency_ms, 4))
         for observer in self._observers:
             observer(txn)
-        if self.loss_probability and self.rng.chance(self.loss_probability):
+        dropped = bool(self.loss_probability) and self.rng.chance(self.loss_probability)
+        if not dropped and plan is not None and plan.drop_binder():
+            dropped = True
+        if dropped:
             self._dropped += 1
             self.trace("binder.dropped", txn_id=txn.txn_id, method=method)
             return txn

@@ -48,6 +48,11 @@ from .defense_eval import (
     run_notification_defense,
     run_toast_defense,
 )
+from .noise_sensitivity import (
+    NoisePoint,
+    NoiseSensitivityResult,
+    run_noise_sensitivity,
+)
 from .outcomes_vs_d import Fig6Result, run_fig6
 from .password_study import (
     StealthinessResult,
@@ -128,7 +133,10 @@ __all__ = [
     "IpcDefenseResult",
     "LoadImpactResult",
     "MinimalDelayResult",
+    "NoisePoint",
+    "NoiseSensitivityResult",
     "NotificationDefenseResult",
+    "run_noise_sensitivity",
     "PasswordTrialResult",
     "QUICK",
     "SMOKE",

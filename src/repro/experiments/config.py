@@ -38,9 +38,17 @@ class ExperimentScale:
     toast_observation_ms: float = 30_000.0
     #: Base seed; every trial derives its own stream from it.
     seed: int = 20220701
+    #: Named fault profile applied ambiently to every stack the experiments
+    #: build (``"none"``, ``"mild"``, ``"pixel-loaded"``, ``"adversarial"``).
+    #: Part of the cache key but *not* of the seed derivation, so the same
+    #: seed under different regimes draws the same base streams.
+    faults: str = "none"
 
     def with_seed(self, seed: int) -> "ExperimentScale":
         return replace(self, seed=seed)
+
+    def with_faults(self, faults: str) -> "ExperimentScale":
+        return replace(self, faults=faults)
 
     def for_experiment(self, experiment_name: str) -> "ExperimentScale":
         """Derive the scale used to run one named experiment.

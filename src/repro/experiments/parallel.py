@@ -47,6 +47,7 @@ from .defense_eval import (
 )
 from .defense_tuning import run_defense_tuning
 from .equation_validation import run_equation_validation
+from .noise_sensitivity import run_noise_sensitivity
 from .outcomes_vs_d import run_fig6
 from .password_study import run_stealthiness, run_table3
 from .real_world_apps import run_table4
@@ -57,7 +58,7 @@ from .upper_bound import run_load_impact, run_table2
 
 #: Bump when a change to experiment code invalidates previously cached
 #: results (the cache key has no way to see code changes).
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -115,6 +116,9 @@ EXPERIMENTS: Tuple[ExperimentSpec, ...] = (
                    run_table3_by_version),
     ExperimentSpec("fig7_cis", "Supplementary: Fig 7 confidence intervals",
                    run_fig7_with_cis),
+    ExperimentSpec("noise_sensitivity",
+                   "Noise sensitivity: faults vs capture rate / Tmis",
+                   run_noise_sensitivity),
 )
 
 _SPEC_BY_NAME: Dict[str, ExperimentSpec] = {s.name: s for s in EXPERIMENTS}
@@ -155,12 +159,18 @@ def _run_one(name: str, scale: ExperimentScale):
     """Worker entry point: run one named experiment at its derived scale.
 
     Module-level so it pickles for :class:`ProcessPoolExecutor`; returns
-    ``(name, result, seconds)``.
+    ``(name, result, seconds)``. The scale's fault regime is installed as
+    the ambient default *inside* the worker, so every stack the experiment
+    builds — however deep in the call tree — sees the same regime whether
+    the experiment ran serially or in a pool process.
     """
+    from ..sim.faults import use_default_profile
+
     spec = _SPEC_BY_NAME[name]
     _reset_global_id_allocators()
     start = time.perf_counter()
-    result = spec.run(scale)
+    with use_default_profile(scale.faults):
+        result = spec.run(scale)
     return name, result, time.perf_counter() - start
 
 

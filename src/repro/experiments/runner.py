@@ -32,6 +32,7 @@ from .defense_eval import (
     NotificationDefenseResult,
     ToastDefenseResult,
 )
+from .noise_sensitivity import NoiseSensitivityResult
 from .outcomes_vs_d import Fig6Result
 from .password_study import StealthinessResult, Table3Result
 from .real_world_apps import Table4Result
@@ -66,6 +67,7 @@ class AllResults:
     trigger_comparison: TriggerComparisonResult
     table3_by_version: Table3ByVersionResult
     fig7_cis: Fig7WithCisResult
+    noise_sensitivity: NoiseSensitivityResult
     #: Per-experiment wall-clock accounting (``ExperimentTiming`` tuples).
     #: Excluded from equality: a parallel run and a serial run of the same
     #: scale compare equal even though their wall times differ.
@@ -257,6 +259,22 @@ def format_report(results: AllResults, include_timings: bool = False) -> str:
     for row in results.fig7_cis.rows:
         w(f"| {row.attacking_window_ms:.0f} | {row.mean:.1f} | "
           f"[{row.ci.lower:.1f}, {row.ci.upper:.1f}] |\n")
+    w("\n")
+
+    w("## Noise sensitivity (fault injection)\n\n")
+    ns = results.noise_sensitivity
+    w(f"Base profile `{ns.base_profile}` swept at D = "
+      f"{ns.attacking_window_ms:.0f} ms; no-fault baseline capture rate "
+      f"{ns.baseline_capture_rate:.1f}%.\n\n")
+    w("| factor | capture % | adaptive % | Tmis (ms) | gaps | "
+      "recall | precision |\n|---|---|---|---|---|---|---|\n")
+    for p in ns.points:
+        w(f"| {p.factor:g} | {p.capture_rate:.1f} | "
+          f"{p.adaptive_capture_rate:.1f} | {p.tmis_ms:.1f} | "
+          f"{p.gap_count} | {p.detector_recall * 100:.0f}% | "
+          f"{p.detector_precision * 100:.0f}% |\n")
+    w(f"\ncapture-rate degradation monotonic: "
+      f"{ns.degradation_is_monotonic}\n")
 
     # Wall times vary run to run, so the appendix is opt-in: the golden
     # report test needs the default rendering to be byte-stable.

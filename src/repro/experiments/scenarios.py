@@ -72,10 +72,12 @@ def run_notification_trial(
     seed: int,
     duration_ms: float = 3000.0,
     alert_mode: AlertMode = AlertMode.ANALYTIC,
+    faults=None,
 ) -> NotificationOutcome:
     """Run the overlay attack alone and classify the alert's worst outcome."""
     stack = build_stack(
-        seed=seed, profile=profile, alert_mode=alert_mode, trace_enabled=False
+        seed=seed, profile=profile, alert_mode=alert_mode, trace_enabled=False,
+        faults=faults,
     )
     attack = DrawAndDestroyOverlayAttack(
         stack, OverlayAttackConfig(attacking_window_ms=attacking_window_ms)
@@ -123,13 +125,22 @@ def run_capture_trial(
     attacking_window_ms: float,
     seed: int,
     n_chars: int = 10,
+    faults=None,
+    adaptive: bool = False,
 ) -> CaptureTrialResult:
-    """One random string typed into the testing app under attack."""
+    """One random string typed into the testing app under attack.
+
+    ``faults`` selects the fault regime for the stack (profile name,
+    :class:`~repro.sim.faults.FaultProfile`, or ``None`` for the ambient
+    default); ``adaptive`` enables the attack's failure-driven window
+    widening.
+    """
     stack = build_stack(
         seed=seed,
         profile=participant.device,
         alert_mode=AlertMode.ANALYTIC,
         trace_enabled=False,
+        faults=faults,
     )
     spec = KeyboardSpec(
         default_keyboard_rect(
@@ -137,7 +148,10 @@ def run_capture_trial(
         )
     )
     attack = DrawAndDestroyOverlayAttack(
-        stack, OverlayAttackConfig(attacking_window_ms=attacking_window_ms)
+        stack,
+        OverlayAttackConfig(
+            attacking_window_ms=attacking_window_ms, adaptive=adaptive
+        ),
     )
     stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
     typist = Typist(stack, spec, participant.typing, participant.touch)

@@ -15,6 +15,20 @@ from .errors import (
     SimulationError,
 )
 from .event import Event, EventHandle
+from .faults import (
+    ADVERSARIAL,
+    MILD,
+    NONE,
+    PIXEL_LOADED,
+    PROFILES,
+    FaultPlan,
+    FaultProfile,
+    default_profile_name,
+    plan_for,
+    profile,
+    set_default_profile,
+    use_default_profile,
+)
 from .process import SimProcess
 from .rng import SeededRng
 from .scheduler import EventScheduler
@@ -22,12 +36,19 @@ from .simulation import Simulation
 from .tracing import TraceLog, TraceRecord
 
 __all__ = [
+    "ADVERSARIAL",
     "Clock",
     "ClockError",
     "Event",
     "EventCancelledError",
     "EventHandle",
     "EventScheduler",
+    "FaultPlan",
+    "FaultProfile",
+    "MILD",
+    "NONE",
+    "PIXEL_LOADED",
+    "PROFILES",
     "ProcessError",
     "SchedulingError",
     "SeededRng",
@@ -36,4 +57,9 @@ __all__ = [
     "SimulationError",
     "TraceLog",
     "TraceRecord",
+    "default_profile_name",
+    "plan_for",
+    "profile",
+    "set_default_profile",
+    "use_default_profile",
 ]

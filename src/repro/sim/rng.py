@@ -9,6 +9,7 @@ standard trick for reproducible discrete-event simulations.
 from __future__ import annotations
 
 import hashlib
+import math
 import random
 from typing import Optional, Sequence, TypeVar
 
@@ -72,6 +73,20 @@ class SeededRng:
         if mean <= 0:
             raise ValueError(f"exponential mean must be positive, got {mean}")
         return self._random.expovariate(1.0 / mean)
+
+    def lognormal(self, mean: float, sigma: float = 0.6) -> float:
+        """Heavy-tailed positive sample with expectation ``mean``.
+
+        Parameterized by the distribution's *mean* (not ``mu``) so fault
+        profiles can state latencies in milliseconds directly:
+        ``mu = ln(mean) - sigma^2 / 2`` makes ``E[X] = mean``.
+        """
+        if mean <= 0:
+            raise ValueError(f"lognormal mean must be positive, got {mean}")
+        if sigma <= 0:
+            return mean
+        mu = math.log(mean) - 0.5 * sigma * sigma
+        return self._random.lognormvariate(mu, sigma)
 
     def random(self) -> float:
         return self._random.random()

@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from .clock import Clock
 from .errors import SchedulingError
 from .event import Callback, Event, EventHandle
+
+#: Fault hook signature: ``(requested_time, now, name) -> effective_time``.
+#: The effective time must be >= the requested time (faults only delay).
+TimePerturbation = Callable[[float, float, str], float]
 
 
 class EventScheduler:
@@ -16,6 +20,13 @@ class EventScheduler:
     The scheduler pops events in ``(time, insertion order)`` order, advances
     the clock to each event's timestamp and invokes its callback. Cancelled
     events are skipped lazily, which makes cancellation O(1).
+
+    An optional :data:`TimePerturbation` hook (installed by the fault
+    layer, :mod:`repro.sim.faults`) may delay each event at schedule time —
+    modelling dispatch latency and GC pauses. Because the hook can only
+    move events *later* and the heap still pops by ``(time, seq)``, every
+    kernel invariant survives: the clock is monotone, no event is lost,
+    and dispatch order is non-decreasing in time.
     """
 
     def __init__(self, clock: Clock) -> None:
@@ -24,6 +35,8 @@ class EventScheduler:
         self._seq = 0
         self._dispatched = 0
         self._pending = 0
+        self._cancelled = 0
+        self._perturb: Optional[TimePerturbation] = None
 
     @property
     def now(self) -> float:
@@ -44,12 +57,38 @@ class EventScheduler:
         """Total number of callbacks executed so far."""
         return self._dispatched
 
+    @property
+    def cancelled_count(self) -> int:
+        """Total events cancelled while still queued.
+
+        Together with :attr:`dispatched_count` and :attr:`pending_count`
+        this accounts for every event ever scheduled
+        (``scheduled == dispatched + cancelled + pending``) — the
+        no-event-is-ever-lost invariant the chaos tests assert under every
+        fault profile.
+        """
+        return self._cancelled
+
+    @property
+    def scheduled_count(self) -> int:
+        """Total events ever scheduled."""
+        return self._seq
+
+    def install_perturbation(self, perturb: Optional[TimePerturbation]) -> None:
+        """Install (or clear) the fault layer's schedule-time hook."""
+        self._perturb = perturb
+
     def schedule_at(self, time_ms: float, callback: Callback, name: str = "") -> EventHandle:
         """Schedule ``callback`` at an absolute simulated time."""
         if time_ms < self._clock.now:
             raise SchedulingError(
                 f"cannot schedule {name!r} at {time_ms} (now={self._clock.now})"
             )
+        if self._perturb is not None:
+            # Faults may only delay: clamp so a buggy hook can never
+            # schedule into the past or reorder an event before its
+            # requested time.
+            time_ms = max(time_ms, self._perturb(float(time_ms), self._clock.now, name))
         event = Event(float(time_ms), self._seq, callback, name)
         event.on_cancel = self._note_cancelled
         self._seq += 1
@@ -128,6 +167,7 @@ class EventScheduler:
 
     def _note_cancelled(self) -> None:
         self._pending -= 1
+        self._cancelled += 1
 
     def _drop_cancelled_head(self) -> None:
         # Cancelled events already left the pending count via the hook;

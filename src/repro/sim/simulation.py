@@ -13,8 +13,9 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from .clock import Clock
-from .errors import ProcessError
+from .errors import ProcessError, SimulationError
 from .event import Callback, EventHandle
+from .faults import FaultPlan
 from .rng import SeededRng
 from .scheduler import EventScheduler
 from .tracing import TraceLog
@@ -23,12 +24,20 @@ from .tracing import TraceLog
 class Simulation:
     """A single deterministic simulation run."""
 
-    def __init__(self, seed: int = 0, trace_enabled: bool = True) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        trace_enabled: bool = True,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         self._clock = Clock()
         self._scheduler = EventScheduler(self._clock)
         self._rng = SeededRng(seed)
         self._trace = TraceLog(enabled=trace_enabled)
         self._processes: Dict[str, "object"] = {}
+        self._faults: Optional[FaultPlan] = None
+        if faults is not None:
+            self.install_faults(faults)
 
     # ------------------------------------------------------------------
     # Core accessors
@@ -53,6 +62,34 @@ class Simulation:
     @property
     def trace(self) -> TraceLog:
         return self._trace
+
+    @property
+    def faults(self) -> Optional[FaultPlan]:
+        """The installed fault plan, or ``None`` for a fault-free run.
+
+        Consumers (the animator, the Binder router, the compositor hooks)
+        treat ``None`` as "inject nothing" and skip every fault code path,
+        so the unperturbed simulation behaves exactly as it did before the
+        fault layer existed — same events, same random draws.
+        """
+        return self._faults
+
+    def install_faults(self, plan: FaultPlan) -> None:
+        """Attach a fault plan; at most one per simulation.
+
+        Installing mid-run would shift random streams relative to a run
+        that was born with the plan, so installation is only allowed while
+        the simulation is pristine (no events dispatched yet).
+        """
+        if self._faults is not None:
+            raise SimulationError("a fault plan is already installed")
+        if self._scheduler.dispatched_count:
+            raise SimulationError(
+                "cannot install faults after events have dispatched"
+            )
+        self._faults = plan
+        if plan.perturbs_dispatch:
+            self._scheduler.install_perturbation(plan.perturb_event_time)
 
     # ------------------------------------------------------------------
     # Process registry

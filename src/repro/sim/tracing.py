@@ -56,6 +56,15 @@ class TraceLog:
         self._subscribers.append(callback)
 
     def record(self, time: float, source: str, kind: str, **detail: Any) -> None:
+        """Append one record (when enabled) and notify subscribers.
+
+        Subscribers fire even while recording is disabled — by design, not
+        by accident. ``enabled`` only gates the in-memory history that
+        large sweeps cannot afford to keep; live consumers like the IPC
+        defense's Binder monitor are part of the *simulated system* and
+        must keep observing regardless (experiments run with
+        ``trace_enabled=False`` and still expect detections).
+        """
         rec = TraceRecord(time=time, source=source, kind=kind, detail=detail)
         if self._enabled:
             self._records.append(rec)

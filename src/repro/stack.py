@@ -16,6 +16,7 @@ from typing import Optional
 from .binder.router import BinderRouter
 from .devices.profiles import DeviceProfile
 from .devices.registry import reference_device
+from .sim.faults import FaultPlan, FaultProfile, plan_for
 from .sim.simulation import Simulation
 from .systemui.system_ui import AlertMode, SystemUi
 from .toast.notification_manager import NotificationManagerService
@@ -56,6 +57,7 @@ def build_stack(
     alert_mode: AlertMode = AlertMode.FRAME,
     trace_enabled: bool = True,
     simulation: Optional[Simulation] = None,
+    faults: "Optional[str | FaultProfile | FaultPlan]" = None,
 ) -> AndroidStack:
     """Boot one simulated Android device.
 
@@ -67,10 +69,20 @@ def build_stack(
         trace_enabled: disable for large sweeps to save memory.
         simulation: attach to an existing simulation instead of creating
             one (lets tests drive multiple stacks on one clock).
+        faults: fault regime — a profile name (``"mild"``, ...), a
+            :class:`FaultProfile`, or a pre-built :class:`FaultPlan`.
+            ``None`` resolves through the ambient default profile
+            (:func:`repro.sim.faults.set_default_profile`), which is
+            ``"none"`` unless an experiment scale says otherwise. No-op
+            regimes install nothing, so the fault-free path is untouched.
     """
     if profile is None:
         profile = reference_device()
     sim = simulation or Simulation(seed=seed, trace_enabled=trace_enabled)
+    if sim.faults is None:
+        plan = plan_for(faults, sim.rng.child("faults"))
+        if plan is not None:
+            sim.install_faults(plan)
     router = BinderRouter(sim)
     screen = Screen(profile.screen_width_px, profile.screen_height_px)
     permissions = PermissionManager()

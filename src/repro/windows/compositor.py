@@ -18,10 +18,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Optional
 
+from ..sim.faults import FaultPlan
 from ..toast.toast import Toast
 from .geometry import Point, Rect
 from .screen import Screen
 from .window import Window
+
+
+def _displayed_time(time: float, faults: Optional[FaultPlan]) -> float:
+    """Map query time to the timestamp of the frame actually on glass.
+
+    Under frame faults the display lags: the last rendered frame is late
+    by its jitter and by one refresh interval per consecutively dropped
+    frame before it. The mapping is a pure function of the fault plan's
+    seed (no stream is consumed), so compositor queries stay idempotent
+    and order-independent.
+    """
+    if faults is None:
+        return time
+    return faults.render_time(time)
 
 
 @dataclass(frozen=True)
@@ -52,8 +67,14 @@ def _window_alpha(window: Window, time: float) -> float:
     return window.alpha
 
 
-def visible_stack(screen: Screen, point: Point, time: float) -> List[VisibleLayer]:
+def visible_stack(
+    screen: Screen,
+    point: Point,
+    time: float,
+    faults: Optional[FaultPlan] = None,
+) -> List[VisibleLayer]:
     """Layers visible at ``point``, top to bottom, with effective alphas."""
+    time = _displayed_time(time, faults)
     layers: List[VisibleLayer] = []
     transparency = 1.0  # how much of the lower layers still shows through
     for window in screen.windows_at(point):
@@ -71,9 +92,14 @@ def visible_stack(screen: Screen, point: Point, time: float) -> List[VisibleLaye
     return layers
 
 
-def effective_content(screen: Screen, point: Point, time: float) -> Optional[Any]:
+def effective_content(
+    screen: Screen,
+    point: Point,
+    time: float,
+    faults: Optional[FaultPlan] = None,
+) -> Optional[Any]:
     """The content the user predominantly perceives at ``point``."""
-    layers = visible_stack(screen, point, time)
+    layers = visible_stack(screen, point, time, faults=faults)
     if not layers:
         return None
     dominant = max(layers, key=lambda layer: layer.effective_alpha)
@@ -86,6 +112,7 @@ def coverage(
     time: float,
     samples_per_axis: int = 3,
     predicate=None,
+    faults: Optional[FaultPlan] = None,
 ) -> float:
     """Mean composite opacity of (optionally filtered) windows over
     ``rect``, sampled on a small grid.
@@ -96,6 +123,7 @@ def coverage(
     """
     if samples_per_axis < 1:
         raise ValueError(f"samples_per_axis must be >= 1, got {samples_per_axis}")
+    time = _displayed_time(time, faults)
     total = 0.0
     count = 0
     for ix in range(samples_per_axis):

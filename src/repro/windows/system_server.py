@@ -82,9 +82,10 @@ class SystemServer(SimProcess):
         #: is still pending cancels it before System UI ever hears of it.
         self._pending_show_notifications: Dict[str, object] = {}
         self._notifications_cancelled_before_post = 0
-        #: Delivery time of the last message sent to System UI; the channel
-        #: is FIFO (a hide must never overtake its show).
-        self._last_ui_delivery = 0.0
+        #: FIFO channel key for messages to System UI (a hide must never
+        #: overtake its show). The router clamps delivery per key after all
+        #: latency — including fault jitter — is applied.
+        self._ui_fifo_key = f"{name}->{SYSTEM_UI}"
         self.overlay_alert_policy: OverlayAlertPolicy = OverlayAlertPolicy(self)
         #: Optional callback fired whenever an app is flagged malicious by a
         #: defense (the IPC detector uses this to "terminate" the app).
@@ -280,15 +281,13 @@ class SystemServer(SimProcess):
 
     def _transact_system_ui(self, method: str, owner: str) -> None:
         latency = self._profile.tn_remove.sample(self.rng)
-        # FIFO channel: clamp delivery to after the previous message.
-        delivery = max(self.now + latency, self._last_ui_delivery + 1e-6)
-        self._last_ui_delivery = delivery
         self._router.transact(
             sender=self.name,
             receiver=SYSTEM_UI,
             method=method,
             payload={"app": owner},
-            latency_ms=delivery - self.now,
+            latency_ms=latency,
+            fifo_key=self._ui_fifo_key,
         )
 
     @property

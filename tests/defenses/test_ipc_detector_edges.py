@@ -1,0 +1,205 @@
+"""Boundary and interaction edge cases of the IPC detector.
+
+The broad behaviour (attack flagged, benign widget not) lives in
+``test_defenses.py``; these tests pin the *exact* boundary semantics of
+:class:`~repro.defenses.ipc_detector.DetectionRule` — which comparisons
+are inclusive — and how the detector behaves when Binder-level failures
+remove one side of an add/remove pair.
+
+The timing trick: the Binder monitor records each transaction at *send*
+time (``txn.sent_at``), and ``Simulation.run_until`` leaves the clock
+exactly at the requested horizon, so ``run_until(t); transact(...)``
+produces a monitored call at exactly ``t`` — no latency slop in the
+gap arithmetic.
+"""
+
+import pytest
+
+from repro.binder.latency import FixedLatency
+from repro.binder.router import BinderRouter
+from repro.defenses import DetectionRule, IpcDetector
+from repro.sim.faults import FaultPlan, FaultProfile
+from repro.sim.rng import SeededRng
+from repro.sim.simulation import Simulation
+
+
+def make_detector(rule, seed=99, loss_probability=0.0, faults=None):
+    sim = Simulation(seed=seed, faults=faults)
+    router = BinderRouter(sim, latency_model=FixedLatency(0.5),
+                          loss_probability=loss_probability)
+    router.register_many("system_server", {
+        "addView": lambda txn: None,
+        "removeView": lambda txn: None,
+    })
+    detector = IpcDetector(router, rule=rule, terminate_on_detection=False)
+    return sim, router, detector
+
+
+def send(sim, router, caller, method, at):
+    sim.run_until(at)
+    router.transact(caller, "system_server", method, {})
+
+
+class TestPairGapBoundary:
+    def test_gap_exactly_at_max_pair_gap_qualifies(self):
+        # The rule excludes on `gap > max_pair_gap_ms`, so a pair spaced
+        # *exactly* at the limit still counts.
+        rule = DetectionRule(window_ms=3000.0, min_pairs=1,
+                             max_pair_gap_ms=600.0)
+        sim, router, detector = make_detector(rule)
+        send(sim, router, "mal", "addView", at=100.0)
+        send(sim, router, "mal", "removeView", at=700.0)  # gap == 600.0
+        assert detector.is_flagged("mal")
+        assert detector.detections[0].pairs_observed == 1
+
+    def test_gap_just_over_max_pair_gap_excluded(self):
+        rule = DetectionRule(window_ms=3000.0, min_pairs=1,
+                             max_pair_gap_ms=600.0)
+        sim, router, detector = make_detector(rule)
+        send(sim, router, "mal", "addView", at=100.0)
+        send(sim, router, "mal", "removeView", at=700.001)
+        assert not detector.is_flagged("mal")
+
+    def test_unpaired_remove_is_ignored(self):
+        rule = DetectionRule(min_pairs=1)
+        sim, router, detector = make_detector(rule)
+        send(sim, router, "mal", "removeView", at=50.0)
+        assert not detector.is_flagged("mal")
+
+    def test_second_add_supersedes_first(self):
+        # Pairing is remove-with-most-recent-unpaired-add: an add/add/remove
+        # run yields one pair whose gap is measured from the *second* add.
+        rule = DetectionRule(window_ms=3000.0, min_pairs=1,
+                             max_pair_gap_ms=600.0)
+        sim, router, detector = make_detector(rule)
+        send(sim, router, "mal", "addView", at=0.0)
+        send(sim, router, "mal", "addView", at=900.0)
+        # 1400 - 0 > 600 but 1400 - 900 <= 600: pairs with the second add.
+        send(sim, router, "mal", "removeView", at=1400.0)
+        assert detector.is_flagged("mal")
+
+
+class TestWindowEvictionBoundary:
+    RULE = DetectionRule(window_ms=3000.0, min_pairs=2, max_pair_gap_ms=600.0)
+
+    def _two_pairs(self, second_remove_at):
+        sim, router, detector = make_detector(self.RULE)
+        send(sim, router, "mal", "addView", at=900.0)
+        send(sim, router, "mal", "removeView", at=1000.0)   # pair at t=1000
+        send(sim, router, "mal", "addView", at=second_remove_at - 100.0)
+        send(sim, router, "mal", "removeView", at=second_remove_at)
+        return detector
+
+    def test_pair_exactly_window_ms_old_is_retained(self):
+        # Eviction is `while pairs[0] < cutoff`: a pair whose age equals
+        # window_ms sits exactly at the cutoff and survives.
+        detector = self._two_pairs(second_remove_at=4000.0)  # cutoff = 1000
+        assert detector.is_flagged("mal")
+        assert detector.detections[0].pairs_observed == 2
+
+    def test_pair_older_than_window_ms_is_evicted(self):
+        detector = self._two_pairs(second_remove_at=4000.5)  # cutoff = 1000.5
+        assert not detector.is_flagged("mal")
+
+
+class TestInterleavedCallers:
+    def test_pairing_never_crosses_callers(self):
+        # A's add must not satisfy B's remove: B only ever sends removes,
+        # so however tightly interleaved, B stays pair-free.
+        rule = DetectionRule(window_ms=10_000.0, min_pairs=1,
+                             max_pair_gap_ms=600.0)
+        sim, router, detector = make_detector(rule)
+        send(sim, router, "a", "addView", at=0.0)
+        send(sim, router, "b", "removeView", at=10.0)
+        send(sim, router, "a", "removeView", at=20.0)
+        assert detector.is_flagged("a")
+        assert not detector.is_flagged("b")
+
+    def test_two_interleaved_attackers_flagged_independently(self):
+        rule = DetectionRule(window_ms=10_000.0, min_pairs=3,
+                             max_pair_gap_ms=600.0)
+        sim, router, detector = make_detector(rule)
+        for cycle in range(3):
+            base = cycle * 400.0
+            send(sim, router, "a", "addView", at=base)
+            send(sim, router, "b", "addView", at=base + 10.0)
+            send(sim, router, "a", "removeView", at=base + 100.0)
+            send(sim, router, "b", "removeView", at=base + 110.0)
+        assert detector.is_flagged("a")
+        assert detector.is_flagged("b")
+        assert len(detector.detections) == 2
+        # Each detection saw exactly its own caller's three pairs.
+        assert [d.pairs_observed for d in detector.detections] == [3, 3]
+
+    def test_slow_caller_between_fast_pairs_not_flagged(self):
+        rule = DetectionRule(window_ms=10_000.0, min_pairs=2,
+                             max_pair_gap_ms=600.0)
+        sim, router, detector = make_detector(rule)
+        send(sim, router, "slow", "addView", at=0.0)
+        for cycle in range(2):
+            base = 100.0 + cycle * 400.0
+            send(sim, router, "fast", "addView", at=base)
+            send(sim, router, "fast", "removeView", at=base + 100.0)
+        send(sim, router, "slow", "removeView", at=5000.0)  # gap 5000 > 600
+        assert detector.is_flagged("fast")
+        assert not detector.is_flagged("slow")
+
+
+class TestBinderDrops:
+    """Transit drops and the monitor's send-time vantage point.
+
+    The monitor hooks the router's observer list, which fires before the
+    drop decision — mirroring the paper's defense, which instruments the
+    Binder *call* path, not the delivery path. A dropped removeView
+    therefore still reaches the analyzer (detection is unaffected) even
+    though the System Server never processes it (the overlay stays up).
+    """
+
+    RULE = DetectionRule(window_ms=10_000.0, min_pairs=4,
+                         max_pair_gap_ms=600.0)
+
+    def _drive_cycles(self, router, sim, cycles=4):
+        for cycle in range(cycles):
+            base = cycle * 400.0
+            send(sim, router, "mal", "addView", at=base)
+            send(sim, router, "mal", "removeView", at=base + 100.0)
+
+    def test_transit_loss_does_not_blind_the_detector(self):
+        sim, router, detector = make_detector(
+            self.RULE, seed=7, loss_probability=0.5
+        )
+        self._drive_cycles(router, sim)
+        sim.run_for(1000.0)
+        assert router.transactions_dropped > 0  # losses really happened
+        assert router.transactions_delivered < router.transactions_sent
+        # ...yet the monitor saw every send, and detection is intact.
+        assert detector.monitor.transactions_seen == router.transactions_sent
+        assert detector.is_flagged("mal")
+        assert detector.detections[0].pairs_observed == 4
+
+    def test_fault_plan_drops_do_not_blind_the_detector(self):
+        profile = FaultProfile(name="drops", binder_drop_probability=0.5)
+        sim, router, detector = make_detector(
+            self.RULE, seed=7,
+            faults=FaultPlan(profile, SeededRng(7, "faults")),
+        )
+        self._drive_cycles(router, sim)
+        sim.run_for(1000.0)
+        assert router.transactions_dropped > 0
+        assert detector.is_flagged("mal")
+
+    def test_flagged_caller_accrues_no_further_detections(self):
+        sim, router, detector = make_detector(self.RULE, seed=7)
+        self._drive_cycles(router, sim, cycles=8)
+        assert len(detector.detections) == 1
+
+
+def test_rule_boundary_values_validate():
+    # The open boundaries themselves must be rejected, the smallest
+    # positive values accepted.
+    with pytest.raises(ValueError):
+        DetectionRule(window_ms=0.0)
+    with pytest.raises(ValueError):
+        DetectionRule(max_pair_gap_ms=0.0)
+    rule = DetectionRule(window_ms=1e-9, min_pairs=1, max_pair_gap_ms=1e-9)
+    assert rule.window_ms > 0

@@ -50,6 +50,18 @@ def test_quick_report_matches_golden(quick_serial_results):
         )
 
 
+def test_noise_sensitivity_is_snapshot_covered(quick_serial_results):
+    # The fault-injection sweep is part of the QUICK report, so the golden
+    # diff catches any drift in its numbers too.
+    report = format_report(quick_serial_results)
+    assert "## Noise sensitivity (fault injection)" in report
+    noise = quick_serial_results.noise_sensitivity
+    assert noise.degradation_is_monotonic
+    # The factor-0 point runs with the fault layer absent and must equal
+    # the no-fault baseline bit for bit, not approximately.
+    assert noise.point_at(0.0).capture_rate == noise.baseline_capture_rate
+
+
 def test_golden_report_has_no_timing_appendix(quick_serial_results):
     # Wall times vary run to run; the golden rendering must exclude them,
     # and the opt-in rendering must include them.

@@ -96,6 +96,46 @@ class TestResultCache:
         assert rerun == first
 
 
+class TestFaultedScales:
+    """The whole suite survives ``--faults adversarial`` deterministically."""
+
+    @pytest.fixture(scope="class")
+    def adversarial_smoke(self):
+        return SMOKE.with_faults("adversarial")
+
+    @pytest.fixture(scope="class")
+    def adversarial_results(self, adversarial_smoke):
+        return run_all(adversarial_smoke)
+
+    def test_adversarial_run_is_deterministic(
+        self, adversarial_smoke, adversarial_results
+    ):
+        assert run_all(adversarial_smoke) == adversarial_results
+
+    def test_adversarial_jobs2_equals_serial(
+        self, adversarial_smoke, adversarial_results
+    ):
+        assert_field_for_field_equal(
+            run_all(adversarial_smoke, jobs=2), adversarial_results
+        )
+
+    def test_faults_are_part_of_the_cache_key(self, adversarial_smoke, tmp_path):
+        from repro.experiments import ResultCache
+
+        cache = ResultCache(tmp_path)
+        assert (cache.path_for("fig7", SMOKE)
+                != cache.path_for("fig7", adversarial_smoke))
+
+    def test_faults_do_not_shift_seed_partitioning(self, adversarial_smoke):
+        # The fault regime is an execution condition, not an input stream:
+        # derived per-experiment seeds must match the fault-free scale so a
+        # faulted run replays the same typing/latency draws, differing only
+        # by the injected faults.
+        for spec in EXPERIMENTS:
+            assert (adversarial_smoke.for_experiment(spec.name).seed
+                    == SMOKE.for_experiment(spec.name).seed)
+
+
 class TestSeedPartitioning:
     def test_each_experiment_gets_a_distinct_seed(self):
         seeds = {
