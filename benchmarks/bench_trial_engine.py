@@ -1,0 +1,83 @@
+"""Scenario-engine throughput: stack reuse vs per-trial rebuild.
+
+Not a paper figure — this pins the tentpole claim of the trial engine:
+pooling one booted stack per (device, alert mode, tracing) and
+``reset()``-ing it between trials beats rebuilding the stack for every
+trial. The probe trials are deliberately short so the fixed per-trial
+cost (boot vs reset) dominates, which is exactly the regime of the
+boundary searches and capture sweeps that run tens of thousands of
+trials.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.engine import TrialExecutor, TrialSpec, scenario
+
+_TRIALS = 200
+
+
+@scenario("bench-settle")
+def _settle_scenario(stack, settle_ms: float = 10.0) -> float:
+    """Minimal trial: boot settling only, no attack.
+
+    Isolates the per-trial provisioning cost (build vs reset) that the
+    executor's pooling eliminates; an attack scenario's own simulation
+    work is identical in both arms and would only dilute the comparison.
+    """
+    stack.run_for(settle_ms)
+    return stack.now
+
+
+def _specs():
+    return [
+        TrialSpec(scenario="bench-settle", seed=1000 + i)
+        for i in range(_TRIALS)
+    ]
+
+
+def _throughput(reuse: bool, repeats: int = 3) -> float:
+    """Best-of-N trials/second for one executor configuration."""
+    best = 0.0
+    for _ in range(repeats):
+        executor = TrialExecutor(reuse=reuse)
+        start = time.perf_counter()
+        executor.map(_specs())
+        elapsed = time.perf_counter() - start
+        best = max(best, _TRIALS / elapsed)
+    return best
+
+
+def bench_trial_engine_reuse(benchmark):
+    """Reused-stack trial throughput; asserts the >=1.5x speedup."""
+    rebuild_tps = _throughput(reuse=False)
+
+    executor = TrialExecutor(reuse=True)
+    executor.map(_specs())  # warm the pool so the arm measures reset only
+
+    def run():
+        return executor.map(_specs())
+
+    results = benchmark(run)
+    assert len(results) == _TRIALS
+
+    reuse_tps = _throughput(reuse=True)
+    speedup = reuse_tps / rebuild_tps
+    print(f"\nrebuild: {rebuild_tps:,.0f} trials/s   "
+          f"reuse: {reuse_tps:,.0f} trials/s   speedup: {speedup:.2f}x")
+    assert speedup >= 1.5, (
+        f"stack reuse must deliver >=1.5x trial throughput, got "
+        f"{speedup:.2f}x"
+    )
+
+
+def bench_trial_engine_rebuild(benchmark):
+    """The comparison arm: build-per-trial (the legacy behaviour)."""
+    executor = TrialExecutor(reuse=False)
+
+    def run():
+        return executor.map(_specs())
+
+    results = benchmark(run)
+    assert len(results) == _TRIALS

@@ -78,6 +78,23 @@ class BinderRouter(SimProcess):
     def add_observer(self, observer: TransactionObserver) -> None:
         self._observers.append(observer)
 
+    def rearm(self) -> None:
+        """Reset routing state for stack reuse.
+
+        Handlers are dropped too: the boot-time services re-register theirs
+        in :meth:`AndroidStack.reset`, which reproduces ``build_stack``'s
+        wiring exactly and sheds anything a defense or test registered
+        mid-trial. The latency model is stateless and survives.
+        """
+        super().rearm()
+        self._handlers.clear()
+        self._observers.clear()
+        self._txn_counter = 0
+        self._delivered = 0
+        self._fifo_last.clear()
+        self.loss_probability = 0.0
+        self._dropped = 0
+
     # ------------------------------------------------------------------
     # Transactions
     # ------------------------------------------------------------------

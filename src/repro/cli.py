@@ -157,6 +157,21 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments import EXPERIMENTS, scenario_names
+
+    if args.list:
+        print(f"{'experiment':22s} title")
+        for spec in EXPERIMENTS:
+            print(f"{spec.name:22s} {spec.title}")
+        print()
+        print(f"registered scenarios ({len(scenario_names())}): "
+              + ", ".join(scenario_names()))
+        return 0
+    print("repro experiments: nothing to do (try --list)", file=sys.stderr)
+    return 2
+
+
 def _cmd_fig6(args: argparse.Namespace) -> int:
     from .systemui.render import render_outcome_gallery
 
@@ -246,6 +261,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run every experiment under this fault "
                              "profile (cached separately per profile)")
 
+    experiments = sub.add_parser(
+        "experiments", help="inspect the experiment / scenario registry"
+    )
+    experiments.add_argument(
+        "--list", action="store_true",
+        help="list runnable experiments and registered trial scenarios")
+
     sub.add_parser("fig6", help="render the five Λ outcomes (paper Fig. 6)")
 
     probe = sub.add_parser(
@@ -263,6 +285,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "attack": _cmd_attack,
         "diagram": _cmd_diagram,
         "report": _cmd_report,
+        "experiments": _cmd_experiments,
         "fig6": _cmd_fig6,
         "probe": _cmd_probe,
     }

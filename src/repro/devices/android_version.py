@@ -134,4 +134,5 @@ def version_by_label(label: str) -> AndroidVersion:
     for version in ALL_VERSIONS:
         if version.label == label:
             return version
-    raise KeyError(f"unknown Android version {label!r}")
+    known = ", ".join(v.label for v in ALL_VERSIONS)
+    raise KeyError(f"unknown Android version {label!r}; known labels: {known}")

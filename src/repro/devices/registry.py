@@ -70,10 +70,17 @@ def device(model: str, version_label: Optional[str] = None) -> DeviceProfile:
     """Look up a device by model name (and version label when ambiguous,
     e.g. the Xiaomi mi8 exists on both Android 9 and Android 10)."""
     matches = [d for d in DEVICES if d.model == model]
-    if version_label is not None:
-        matches = [d for d in matches if d.android_version.label == version_label]
     if not matches:
-        raise KeyError(f"no device {model!r} (version={version_label!r})")
+        known = ", ".join(sorted({d.model for d in DEVICES}))
+        raise KeyError(f"no device model {model!r}; known models: {known}")
+    if version_label is not None:
+        labels = sorted({d.android_version.label for d in matches})
+        matches = [d for d in matches if d.android_version.label == version_label]
+        if not matches:
+            raise KeyError(
+                f"device {model!r} does not run Android {version_label!r}; "
+                f"available versions: {', '.join(labels)}"
+            )
     if len(matches) > 1:
         labels = [d.android_version.label for d in matches]
         raise KeyError(
@@ -103,4 +110,10 @@ def version_of(label: str) -> AndroidVersion:
     for profile in DEVICES:
         if profile.android_version.label == label:
             return profile.android_version
-    raise KeyError(f"no evaluation device runs Android {label!r}")
+    known = ", ".join(
+        sorted({d.android_version.label for d in DEVICES}, key=float)
+    )
+    raise KeyError(
+        f"no evaluation device runs Android {label!r}; "
+        f"evaluated versions: {known}"
+    )

@@ -20,6 +20,21 @@ from .config import (
     ExperimentScale,
     resolve_jobs,
 )
+from .engine import (
+    ExecutorStats,
+    ScenarioMatrix,
+    TrialExecutor,
+    TrialOutcome,
+    TrialSpec,
+    current_executor,
+    drive_until,
+    get_scenario,
+    run_trial,
+    scenario,
+    scenario_names,
+    scoped_executor,
+    use_executor,
+)
 from .parallel import (
     EXPERIMENTS,
     ExperimentSpec,
@@ -102,6 +117,19 @@ from .upper_bound import (
 
 __all__ = [
     "AllResults",
+    "ExecutorStats",
+    "ScenarioMatrix",
+    "TrialExecutor",
+    "TrialOutcome",
+    "TrialSpec",
+    "current_executor",
+    "drive_until",
+    "get_scenario",
+    "run_trial",
+    "scenario",
+    "scenario_names",
+    "scoped_executor",
+    "use_executor",
     "AnaRemovalResult",
     "AnaRemovalRow",
     "CaptureBoxStats",

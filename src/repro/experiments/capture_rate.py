@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..sim.rng import SeededRng
 from ..users.participant import Participant, generate_participants
 from .config import FIG7_DURATIONS, FIG7_PAPER_MEANS, ExperimentScale, QUICK
+from .engine import scoped_executor
 from .scenarios import run_capture_trial
 
 
@@ -99,26 +100,27 @@ def run_fig7(
         SeededRng(scale.seed, "participants"), count=scale.participants
     )
     stats: List[CaptureBoxStats] = []
-    for d in durations:
-        rates: List[float] = []
-        for participant in pool:
-            stream = SeededRng(
-                scale.seed, f"fig7/{d}/{participant.participant_id}"
+    with scoped_executor():
+        for d in durations:
+            rates: List[float] = []
+            for participant in pool:
+                stream = SeededRng(
+                    scale.seed, f"fig7/{d}/{participant.participant_id}"
+                )
+                rates.append(100.0 * _participant_rate(participant, d, scale, stream))
+            q1, q3 = _quartiles(rates)
+            stats.append(
+                CaptureBoxStats(
+                    attacking_window_ms=d,
+                    mean=sum(rates) / len(rates),
+                    median=statistics.median(rates),
+                    minimum=min(rates),
+                    maximum=max(rates),
+                    q1=q1,
+                    q3=q3,
+                    per_participant=tuple(rates),
+                )
             )
-            rates.append(100.0 * _participant_rate(participant, d, scale, stream))
-        q1, q3 = _quartiles(rates)
-        stats.append(
-            CaptureBoxStats(
-                attacking_window_ms=d,
-                mean=sum(rates) / len(rates),
-                median=statistics.median(rates),
-                minimum=min(rates),
-                maximum=max(rates),
-                q1=q1,
-                q3=q3,
-                per_participant=tuple(rates),
-            )
-        )
     return Fig7Result(stats=tuple(stats), paper_means=tuple(FIG7_PAPER_MEANS))
 
 
@@ -142,15 +144,16 @@ def run_fig8(
             devices=devices,
         )
     by_version: Dict[str, Tuple[float, ...]] = {}
-    for version, members in sorted(groups.items()):
-        series: List[float] = []
-        for d in durations:
-            rates = []
-            for participant in members:
-                stream = SeededRng(
-                    scale.seed, f"fig8/{d}/{participant.participant_id}"
-                )
-                rates.append(100.0 * _participant_rate(participant, d, scale, stream))
-            series.append(sum(rates) / len(rates))
-        by_version[version] = tuple(series)
+    with scoped_executor():
+        for version, members in sorted(groups.items()):
+            series: List[float] = []
+            for d in durations:
+                rates = []
+                for participant in members:
+                    stream = SeededRng(
+                        scale.seed, f"fig8/{d}/{participant.participant_id}"
+                    )
+                    rates.append(100.0 * _participant_rate(participant, d, scale, stream))
+                series.append(sum(rates) / len(rates))
+            by_version[version] = tuple(series)
     return Fig8Result(durations=tuple(durations), by_version=by_version)

@@ -24,11 +24,11 @@ from ..defenses.enhanced_notification import (
 from ..defenses.ipc_detector import DetectionRule, IpcDetector
 from ..devices.profiles import DeviceProfile
 from ..devices.registry import reference_device
-from ..stack import build_stack
+from ..stack import AndroidStack
 from ..systemui.outcomes import NotificationOutcome
-from ..systemui.system_ui import AlertMode
 from ..windows.permissions import Permission
 from .config import ExperimentScale, QUICK
+from .engine import TrialSpec, run_trial, scenario, scoped_executor
 from .toast_continuity import ToastContinuityResult, run_toast_continuity
 
 
@@ -65,61 +65,52 @@ class IpcDefenseResult:
         return latencies[len(latencies) // 2]
 
 
-def run_ipc_defense(
-    scale: ExperimentScale = QUICK,
-    profile: Optional[DeviceProfile] = None,
-    durations: Sequence[float] = (50.0, 100.0, 150.0, 200.0, 300.0),
-    rule: Optional[DetectionRule] = None,
+@scenario("ipc-defense-attack")
+def ipc_defense_attack_scenario(
+    stack: AndroidStack,
+    attacking_window_ms: float,
     attack_ms: float = 8000.0,
-    benign_observation_ms: float = 240_000.0,
-) -> IpcDefenseResult:
-    """Attack trials with the detector installed + a benign control run."""
-    profile = profile or reference_device()
-    trials: List[IpcDefenseTrial] = []
-    overhead_samples: List[float] = []
-    for index, d in enumerate(durations):
-        stack = build_stack(
-            seed=scale.seed + index,
-            profile=profile,
-            alert_mode=AlertMode.ANALYTIC,
-            trace_enabled=False,
-        )
-        detector = IpcDetector(stack.router, stack.system_server, rule=rule)
-        attack = DrawAndDestroyOverlayAttack(
-            stack, OverlayAttackConfig(attacking_window_ms=d)
-        )
-        stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
-        start_time = stack.now
-        attack.start()
-        stack.run_for(attack_ms)
-        attack.stop()
-        stack.run_for(500.0)
-        detection = next(
-            (det for det in detector.detections if det.caller == attack.package), None
-        )
-        trials.append(
-            IpcDefenseTrial(
-                attacking_window_ms=d,
-                detected=detection is not None,
-                detection_latency_ms=(
-                    detection.time - start_time if detection is not None else None
-                ),
-                overlay_windows_created=stack.system_server.windows_created,
-            )
-        )
-        if detector.monitor.transactions_seen:
-            overhead_samples.append(
-                (detector.monitor.overhead_ms + detector.overhead_ms)
-                / detector.monitor.transactions_seen
-            )
-
-    # Benign control: floating-widget apps must not be flagged.
-    stack = build_stack(
-        seed=scale.seed + 991,
-        profile=profile,
-        alert_mode=AlertMode.ANALYTIC,
-        trace_enabled=False,
+    rule: Optional[DetectionRule] = None,
+) -> Tuple[IpcDefenseTrial, Optional[float]]:
+    """One attack run with the detector installed; also reports the mean
+    monitor+analyzer overhead per inspected transaction (or ``None``)."""
+    detector = IpcDetector(stack.router, stack.system_server, rule=rule)
+    attack = DrawAndDestroyOverlayAttack(
+        stack, OverlayAttackConfig(attacking_window_ms=attacking_window_ms)
     )
+    stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+    start_time = stack.now
+    attack.start()
+    stack.run_for(attack_ms)
+    attack.stop()
+    stack.run_for(500.0)
+    detection = next(
+        (det for det in detector.detections if det.caller == attack.package), None
+    )
+    trial = IpcDefenseTrial(
+        attacking_window_ms=attacking_window_ms,
+        detected=detection is not None,
+        detection_latency_ms=(
+            detection.time - start_time if detection is not None else None
+        ),
+        overlay_windows_created=stack.system_server.windows_created,
+    )
+    overhead = None
+    if detector.monitor.transactions_seen:
+        overhead = (
+            (detector.monitor.overhead_ms + detector.overhead_ms)
+            / detector.monitor.transactions_seen
+        )
+    return trial, overhead
+
+
+@scenario("ipc-defense-benign")
+def ipc_defense_benign_scenario(
+    stack: AndroidStack,
+    benign_observation_ms: float = 240_000.0,
+    rule: Optional[DetectionRule] = None,
+) -> Tuple[int, int]:
+    """Benign floating-widget control run; returns (apps, false positives)."""
     detector = IpcDetector(stack.router, stack.system_server, rule=rule)
     benign_apps = []
     for i in range(3):
@@ -134,10 +125,43 @@ def run_ipc_defense(
         app.stop()
     stack.run_for(500.0)
     false_positives = sum(1 for app in benign_apps if detector.is_flagged(app.package))
+    return len(benign_apps), false_positives
 
+
+def run_ipc_defense(
+    scale: ExperimentScale = QUICK,
+    profile: Optional[DeviceProfile] = None,
+    durations: Sequence[float] = (50.0, 100.0, 150.0, 200.0, 300.0),
+    rule: Optional[DetectionRule] = None,
+    attack_ms: float = 8000.0,
+    benign_observation_ms: float = 240_000.0,
+) -> IpcDefenseResult:
+    """Attack trials with the detector installed + a benign control run."""
+    profile = profile or reference_device()
+    with scoped_executor() as executor:
+        attack_runs = executor.map([
+            TrialSpec(
+                scenario="ipc-defense-attack",
+                seed=scale.seed + index,
+                profile=profile,
+                params={"attacking_window_ms": d, "attack_ms": attack_ms,
+                        "rule": rule},
+            )
+            for index, d in enumerate(durations)
+        ])
+        # Benign control: floating-widget apps must not be flagged.
+        benign_observed, false_positives = executor.run(TrialSpec(
+            scenario="ipc-defense-benign",
+            seed=scale.seed + 991,
+            profile=profile,
+            params={"benign_observation_ms": benign_observation_ms, "rule": rule},
+        ))
+    trials = [trial for trial, _ in attack_runs]
+    overhead_samples = [overhead for _, overhead in attack_runs
+                        if overhead is not None]
     return IpcDefenseResult(
         trials=tuple(trials),
-        benign_apps_observed=len(benign_apps),
+        benign_apps_observed=benign_observed,
         false_positives=false_positives,
         monitor_overhead_ms_per_txn=(
             sum(overhead_samples) / len(overhead_samples) if overhead_samples else 0.0
@@ -175,23 +199,22 @@ class NotificationDefenseResult:
         return all(t.defense_effective for t in self.trials)
 
 
-def _attack_outcome(
-    profile: DeviceProfile,
-    d: float,
-    seed: int,
+@scenario("defended-notification")
+def defended_notification_scenario(
+    stack: AndroidStack,
+    attacking_window_ms: float,
     attack_ms: float,
     hide_delay_ms: Optional[float],
 ) -> Tuple[NotificationOutcome, int]:
-    stack = build_stack(
-        seed=seed, profile=profile, alert_mode=AlertMode.ANALYTIC, trace_enabled=False
-    )
+    """Overlay attack with the hide-delay defense optionally installed;
+    returns (worst outcome, hides the defense suppressed)."""
     defense = None
     if hide_delay_ms is not None:
         defense = EnhancedNotificationDefense(
             stack.system_server, hide_delay_ms=hide_delay_ms
         ).install()
     attack = DrawAndDestroyOverlayAttack(
-        stack, OverlayAttackConfig(attacking_window_ms=d)
+        stack, OverlayAttackConfig(attacking_window_ms=attacking_window_ms)
     )
     stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
     attack.start()
@@ -201,6 +224,22 @@ def _attack_outcome(
     stack.run_for(1500.0)
     worst = max(worst, stack.system_ui.worst_outcome())
     return worst, (defense.hides_suppressed if defense is not None else 0)
+
+
+def _attack_outcome(
+    profile: DeviceProfile,
+    d: float,
+    seed: int,
+    attack_ms: float,
+    hide_delay_ms: Optional[float],
+) -> Tuple[NotificationOutcome, int]:
+    return run_trial(TrialSpec(
+        scenario="defended-notification",
+        seed=seed,
+        profile=profile,
+        params={"attacking_window_ms": d, "attack_ms": attack_ms,
+                "hide_delay_ms": hide_delay_ms},
+    ))
 
 
 def run_notification_defense(
@@ -217,21 +256,23 @@ def run_notification_defense(
         durations = (bound * 0.3, bound * 0.6, bound * 0.9)
     trials: List[NotificationDefenseTrial] = []
     suppressed_total = 0
-    for index, d in enumerate(durations):
-        without, _ = _attack_outcome(
-            profile, float(d), scale.seed + index, attack_ms, hide_delay_ms=None
-        )
-        with_defense, suppressed = _attack_outcome(
-            profile, float(d), scale.seed + index, attack_ms, hide_delay_ms=hide_delay_ms
-        )
-        suppressed_total += suppressed
-        trials.append(
-            NotificationDefenseTrial(
-                attacking_window_ms=float(d),
-                outcome_without_defense=without,
-                outcome_with_defense=with_defense,
+    with scoped_executor():
+        for index, d in enumerate(durations):
+            without, _ = _attack_outcome(
+                profile, float(d), scale.seed + index, attack_ms, hide_delay_ms=None
             )
-        )
+            with_defense, suppressed = _attack_outcome(
+                profile, float(d), scale.seed + index, attack_ms,
+                hide_delay_ms=hide_delay_ms
+            )
+            suppressed_total += suppressed
+            trials.append(
+                NotificationDefenseTrial(
+                    attacking_window_ms=float(d),
+                    outcome_without_defense=without,
+                    outcome_with_defense=with_defense,
+                )
+            )
     return NotificationDefenseResult(
         hide_delay_ms=hide_delay_ms,
         trials=tuple(trials),
@@ -260,7 +301,8 @@ class ToastDefenseResult:
 def run_toast_defense(
     scale: ExperimentScale = QUICK, gap_ms: float = 500.0
 ) -> ToastDefenseResult:
-    return ToastDefenseResult(
-        without_defense=run_toast_continuity(scale, inter_toast_gap_ms=0.0),
-        with_defense=run_toast_continuity(scale, inter_toast_gap_ms=gap_ms),
-    )
+    with scoped_executor():
+        return ToastDefenseResult(
+            without_defense=run_toast_continuity(scale, inter_toast_gap_ms=0.0),
+            with_defense=run_toast_continuity(scale, inter_toast_gap_ms=gap_ms),
+        )

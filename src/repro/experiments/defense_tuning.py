@@ -17,15 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..attacks.overlay_attack import DrawAndDestroyOverlayAttack, OverlayAttackConfig
 from ..defenses.benign import BenignOverlayApp
 from ..defenses.ipc_detector import DetectionRule, IpcDetector
 from ..devices.profiles import DeviceProfile
 from ..devices.registry import reference_device
-from ..stack import build_stack
-from ..systemui.system_ui import AlertMode
+from ..stack import AndroidStack
 from ..windows.permissions import Permission
 from .config import ExperimentScale, QUICK
+from .engine import TrialSpec, run_trial, scenario, scoped_executor
 
 
 @dataclass(frozen=True)
@@ -67,32 +66,23 @@ def _attack_detection(
     attack_ms: float,
 ) -> Optional[float]:
     """Run one attack; return detection latency or None."""
-    stack = build_stack(seed=seed, profile=profile,
-                        alert_mode=AlertMode.ANALYTIC, trace_enabled=False)
-    detector = IpcDetector(stack.router, stack.system_server, rule=rule)
-    attack = DrawAndDestroyOverlayAttack(
-        stack, OverlayAttackConfig(attacking_window_ms=d)
-    )
-    stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
-    start = stack.now
-    attack.start()
-    stack.run_for(attack_ms)
-    attack.stop()
-    stack.run_for(500.0)
-    detection = next(
-        (det for det in detector.detections if det.caller == attack.package),
-        None,
-    )
-    return None if detection is None else detection.time - start
+    trial, _ = run_trial(TrialSpec(
+        scenario="ipc-defense-attack",
+        seed=seed,
+        profile=profile,
+        params={"attacking_window_ms": d, "attack_ms": attack_ms,
+                "rule": rule},
+    ))
+    return trial.detection_latency_ms
 
 
-def _benign_false_positives(
-    profile: DeviceProfile, rule: DetectionRule, seed: int,
+@scenario("ipc-tuning-benign")
+def ipc_tuning_benign_scenario(
+    stack: AndroidStack,
+    rule: DetectionRule,
     observation_ms: float,
 ) -> Tuple[int, int]:
     """Run the benign ensemble; return (flagged, total)."""
-    stack = build_stack(seed=seed, profile=profile,
-                        alert_mode=AlertMode.ANALYTIC, trace_enabled=False)
     detector = IpcDetector(stack.router, stack.system_server, rule=rule,
                            terminate_on_detection=False)
     # From placid floating widgets to a twitchy screen-dimmer that toggles
@@ -118,6 +108,18 @@ def _benign_false_positives(
     return flagged, len(apps)
 
 
+def _benign_false_positives(
+    profile: DeviceProfile, rule: DetectionRule, seed: int,
+    observation_ms: float,
+) -> Tuple[int, int]:
+    return run_trial(TrialSpec(
+        scenario="ipc-tuning-benign",
+        seed=seed,
+        profile=profile,
+        params={"rule": rule, "observation_ms": observation_ms},
+    ))
+
+
 def run_defense_tuning(
     scale: ExperimentScale = QUICK,
     profile: Optional[DeviceProfile] = None,
@@ -130,6 +132,24 @@ def run_defense_tuning(
     """Sweep the rule grid and report each operating point."""
     profile = profile or reference_device()
     points: List[RuleOperatingPoint] = []
+    with scoped_executor():
+        _tune_grid(
+            points, profile, scale, min_pairs_values, max_gap_values,
+            attack_windows, attack_ms, benign_observation_ms,
+        )
+    return DefenseTuningResult(points=tuple(points))
+
+
+def _tune_grid(
+    points: List[RuleOperatingPoint],
+    profile: DeviceProfile,
+    scale: ExperimentScale,
+    min_pairs_values: Sequence[int],
+    max_gap_values: Sequence[float],
+    attack_windows: Sequence[float],
+    attack_ms: float,
+    benign_observation_ms: float,
+) -> None:
     for min_pairs in min_pairs_values:
         for max_gap in max_gap_values:
             rule = DetectionRule(
@@ -164,4 +184,3 @@ def run_defense_tuning(
                     ),
                 )
             )
-    return DefenseTuningResult(points=tuple(points))

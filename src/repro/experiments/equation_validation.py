@@ -20,10 +20,10 @@ from ..attacks.overlay_attack import DrawAndDestroyOverlayAttack, OverlayAttackC
 from ..attacks.timing import expected_mistouch_for_profile
 from ..devices.profiles import DeviceProfile
 from ..devices.registry import device
-from ..stack import build_stack
-from ..systemui.system_ui import AlertMode
+from ..stack import AndroidStack
 from ..windows.permissions import Permission
 from .config import ExperimentScale, QUICK
+from .engine import TrialSpec, scenario, scoped_executor
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,35 @@ class EquationValidationResult:
         return all(a >= b - 2.0 for a, b in zip(measured, measured[1:]))
 
 
+@scenario("equation-validation")
+def equation_validation_scenario(
+    stack: AndroidStack, attacking_window_ms: float, attack_ms: float
+) -> EquationValidationRow:
+    """Attack at one D; compare Eq. (2) with trace-measured exposure."""
+    attack = DrawAndDestroyOverlayAttack(
+        stack, OverlayAttackConfig(attacking_window_ms=attacking_window_ms)
+    )
+    stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+    start = stack.now
+    attack.start()
+    stack.run_for(attack_ms)
+    coverage = measure_overlay_coverage(
+        stack.simulation.trace, attack.package, start, stack.now
+    )
+    attack.stop()
+    stack.run_for(500.0)
+    predicted = expected_mistouch_for_profile(
+        stack.profile, attack_ms, attacking_window_ms
+    ).expected_mistouch_ms
+    return EquationValidationRow(
+        attacking_window_ms=attacking_window_ms,
+        attack_duration_ms=attack_ms,
+        predicted_ms=predicted,
+        measured_ms=coverage.uncovered_ms,
+        gap_count=coverage.gap_count,
+    )
+
+
 def run_equation_validation(
     scale: ExperimentScale = QUICK,
     profile: Optional[DeviceProfile] = None,
@@ -66,34 +95,16 @@ def run_equation_validation(
 ) -> EquationValidationResult:
     """Attack at each D; compare Eq. (2) with trace-measured exposure."""
     profile = profile or device("pixel 4")  # Android 10: visible Tmis
-    rows: List[EquationValidationRow] = []
-    for index, d in enumerate(durations):
-        stack = build_stack(
-            seed=scale.seed + index, profile=profile,
-            alert_mode=AlertMode.ANALYTIC, trace_enabled=True,
+    specs = [
+        TrialSpec(
+            scenario="equation-validation",
+            seed=scale.seed + index,
+            profile=profile,
+            trace_enabled=True,
+            params={"attacking_window_ms": float(d), "attack_ms": attack_ms},
         )
-        attack = DrawAndDestroyOverlayAttack(
-            stack, OverlayAttackConfig(attacking_window_ms=float(d))
-        )
-        stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
-        start = stack.now
-        attack.start()
-        stack.run_for(attack_ms)
-        coverage = measure_overlay_coverage(
-            stack.simulation.trace, attack.package, start, stack.now
-        )
-        attack.stop()
-        stack.run_for(500.0)
-        predicted = expected_mistouch_for_profile(
-            profile, attack_ms, float(d)
-        ).expected_mistouch_ms
-        rows.append(
-            EquationValidationRow(
-                attacking_window_ms=float(d),
-                attack_duration_ms=attack_ms,
-                predicted_ms=predicted,
-                measured_ms=coverage.uncovered_ms,
-                gap_count=coverage.gap_count,
-            )
-        )
+        for index, d in enumerate(durations)
+    ]
+    with scoped_executor() as executor:
+        rows: List[EquationValidationRow] = executor.map(specs)
     return EquationValidationResult(device_key=profile.key, rows=tuple(rows))

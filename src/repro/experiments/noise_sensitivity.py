@@ -30,11 +30,11 @@ from ..defenses.benign import BenignOverlayApp
 from ..defenses.ipc_detector import IpcDetector
 from ..sim.faults import ADVERSARIAL, NONE, FaultProfile
 from ..sim.rng import SeededRng
-from ..stack import build_stack
-from ..systemui.system_ui import AlertMode
+from ..stack import AndroidStack
 from ..users.participant import generate_participants
 from ..windows.permissions import Permission
 from .config import ExperimentScale, QUICK
+from .engine import TrialSpec, run_trial, scenario, scoped_executor
 from .scenarios import run_capture_trial
 
 #: Scale factors applied to the base profile (0 = the fault-free anchor).
@@ -139,16 +139,11 @@ def _mean_capture_rate(
     return sum(rates) / len(rates) if rates else 0.0
 
 
-def _measure_tmis(
-    scale: ExperimentScale, faults: FaultProfile, seed: int
+@scenario("noise-tmis")
+def noise_tmis_scenario(
+    stack: AndroidStack, horizon_ms: float
 ) -> Tuple[float, float, int, int]:
     """(mean gap ms, uncovered ms, gap count, adaptations) of one traced run."""
-    stack = build_stack(
-        seed=seed,
-        alert_mode=AlertMode.ANALYTIC,
-        trace_enabled=True,
-        faults=faults,
-    )
     attack = DrawAndDestroyOverlayAttack(
         stack,
         OverlayAttackConfig(
@@ -157,8 +152,7 @@ def _measure_tmis(
     )
     stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
     attack.start()
-    horizon = max(3000.0, scale.boundary_trial_ms)
-    stack.run_for(horizon)
+    stack.run_for(horizon_ms)
     end = stack.now
     attack.stop()
     stack.run_for(500.0)
@@ -182,38 +176,38 @@ def _measure_tmis(
     )
 
 
-def _detector_quality(
-    scale: ExperimentScale, faults: FaultProfile, seed_base: int
-) -> Tuple[float, float]:
-    """(recall, precision) of the IPC detector under one fault regime."""
-    attack_ms = max(3000.0, scale.boundary_trial_ms)
-    true_positives = 0
-    for index in range(_DETECTOR_TRIALS):
-        stack = build_stack(
-            seed=seed_base + index,
-            alert_mode=AlertMode.ANALYTIC,
-            trace_enabled=False,
-            faults=faults,
-        )
-        detector = IpcDetector(stack.router, stack.system_server)
-        attack = DrawAndDestroyOverlayAttack(
-            stack, OverlayAttackConfig(attacking_window_ms=ATTACKING_WINDOW_MS)
-        )
-        stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
-        attack.start()
-        stack.run_for(attack_ms)
-        attack.stop()
-        stack.run_for(500.0)
-        if detector.is_flagged(attack.package):
-            true_positives += 1
-
-    # Benign control: floating-widget apps under the same noise.
-    stack = build_stack(
-        seed=seed_base + 977,
-        alert_mode=AlertMode.ANALYTIC,
-        trace_enabled=False,
+def _measure_tmis(
+    scale: ExperimentScale, faults: FaultProfile, seed: int
+) -> Tuple[float, float, int, int]:
+    return run_trial(TrialSpec(
+        scenario="noise-tmis",
+        seed=seed,
+        trace_enabled=True,
         faults=faults,
+        params={"horizon_ms": max(3000.0, scale.boundary_trial_ms)},
+    ))
+
+
+@scenario("noise-detector-attack")
+def noise_detector_attack_scenario(
+    stack: AndroidStack, attack_ms: float
+) -> bool:
+    """One attack run with the detector; True when it was flagged."""
+    detector = IpcDetector(stack.router, stack.system_server)
+    attack = DrawAndDestroyOverlayAttack(
+        stack, OverlayAttackConfig(attacking_window_ms=ATTACKING_WINDOW_MS)
     )
+    stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+    attack.start()
+    stack.run_for(attack_ms)
+    attack.stop()
+    stack.run_for(500.0)
+    return detector.is_flagged(attack.package)
+
+
+@scenario("noise-detector-benign")
+def noise_detector_benign_scenario(stack: AndroidStack) -> int:
+    """Benign floating-widget control run; returns false positives."""
     detector = IpcDetector(stack.router, stack.system_server)
     benign = []
     for i in range(2):
@@ -228,8 +222,29 @@ def _detector_quality(
     for app in benign:
         app.stop()
     stack.run_for(500.0)
-    false_positives = sum(1 for app in benign if detector.is_flagged(app.package))
+    return sum(1 for app in benign if detector.is_flagged(app.package))
 
+
+def _detector_quality(
+    scale: ExperimentScale, faults: FaultProfile, seed_base: int
+) -> Tuple[float, float]:
+    """(recall, precision) of the IPC detector under one fault regime."""
+    attack_ms = max(3000.0, scale.boundary_trial_ms)
+    true_positives = sum(
+        1 for index in range(_DETECTOR_TRIALS)
+        if run_trial(TrialSpec(
+            scenario="noise-detector-attack",
+            seed=seed_base + index,
+            faults=faults,
+            params={"attack_ms": attack_ms},
+        ))
+    )
+    # Benign control: floating-widget apps under the same noise.
+    false_positives = run_trial(TrialSpec(
+        scenario="noise-detector-benign",
+        seed=seed_base + 977,
+        faults=faults,
+    ))
     recall = true_positives / _DETECTOR_TRIALS
     flagged_total = true_positives + false_positives
     precision = true_positives / flagged_total if flagged_total else 1.0
@@ -254,39 +269,39 @@ def run_noise_sensitivity(
     tmis_seeds = [trm_stream.randint(0, 2**31 - 1) for _ in factors]
     detector_seeds = [detector_stream.randint(0, 2**31 - 1) for _ in factors]
 
-    baseline_rate = _mean_capture_rate(
-        pool, scale, NONE, adaptive=False, stream_tag="capture"
-    )
-
     points: List[NoisePoint] = []
-    for index, factor in enumerate(factors):
-        fault_profile = base.scaled(factor)
-        plain_rate = _mean_capture_rate(
-            pool, scale, fault_profile, adaptive=False, stream_tag="capture"
+    with scoped_executor():
+        baseline_rate = _mean_capture_rate(
+            pool, scale, NONE, adaptive=False, stream_tag="capture"
         )
-        adaptive_rate = _mean_capture_rate(
-            pool, scale, fault_profile, adaptive=True, stream_tag="capture"
-        )
-        tmis, uncovered, gap_count, adaptations = _measure_tmis(
-            scale, fault_profile, tmis_seeds[index]
-        )
-        recall, precision = _detector_quality(
-            scale, fault_profile, detector_seeds[index]
-        )
-        points.append(
-            NoisePoint(
-                factor=factor,
-                profile_name=fault_profile.name,
-                capture_rate=plain_rate,
-                adaptive_capture_rate=adaptive_rate,
-                adaptations=adaptations,
-                tmis_ms=tmis,
-                uncovered_ms=uncovered,
-                gap_count=gap_count,
-                detector_recall=recall,
-                detector_precision=precision,
+        for index, factor in enumerate(factors):
+            fault_profile = base.scaled(factor)
+            plain_rate = _mean_capture_rate(
+                pool, scale, fault_profile, adaptive=False, stream_tag="capture"
             )
-        )
+            adaptive_rate = _mean_capture_rate(
+                pool, scale, fault_profile, adaptive=True, stream_tag="capture"
+            )
+            tmis, uncovered, gap_count, adaptations = _measure_tmis(
+                scale, fault_profile, tmis_seeds[index]
+            )
+            recall, precision = _detector_quality(
+                scale, fault_profile, detector_seeds[index]
+            )
+            points.append(
+                NoisePoint(
+                    factor=factor,
+                    profile_name=fault_profile.name,
+                    capture_rate=plain_rate,
+                    adaptive_capture_rate=adaptive_rate,
+                    adaptations=adaptations,
+                    tmis_ms=tmis,
+                    uncovered_ms=uncovered,
+                    gap_count=gap_count,
+                    detector_recall=recall,
+                    detector_precision=precision,
+                )
+            )
     return NoiseSensitivityResult(
         base_profile=base.name,
         attacking_window_ms=ATTACKING_WINDOW_MS,

@@ -14,7 +14,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..devices.profiles import DeviceProfile
 from ..devices.registry import reference_device
 from ..systemui.outcomes import NotificationOutcome
-from .scenarios import run_notification_trial
+from .engine import TrialSpec, scoped_executor
 
 
 @dataclass(frozen=True)
@@ -64,11 +64,20 @@ def run_fig6(
             bound + 420.0,
             bound + 900.0,
         )
-    outcomes = tuple(
-        (float(d), run_notification_trial(profile, float(d), seed=seed,
-                                          duration_ms=trial_ms))
+    specs = [
+        TrialSpec(
+            scenario="notification",
+            seed=seed,
+            profile=profile,
+            params={"attacking_window_ms": float(d), "duration_ms": trial_ms},
+        )
         for d in durations
-    )
+    ]
+    with scoped_executor() as executor:
+        outcomes = tuple(
+            (spec.params["attacking_window_ms"], executor.run(spec))
+            for spec in specs
+        )
     return Fig6Result(
         device_key=profile.key,
         published_upper_bound_d=profile.published_upper_bound_d,

@@ -58,7 +58,7 @@ from .upper_bound import run_load_impact, run_table2
 
 #: Bump when a change to experiment code invalidates previously cached
 #: results (the cache key has no way to see code changes).
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -163,13 +163,18 @@ def _run_one(name: str, scale: ExperimentScale):
     the ambient default *inside* the worker, so every stack the experiment
     builds — however deep in the call tree — sees the same regime whether
     the experiment ran serially or in a pool process.
+
+    Each experiment gets its own :class:`TrialExecutor` installed
+    ambiently, so its trial loops share one pool of reusable stacks
+    (dropped when the experiment finishes, keeping workers lean).
     """
     from ..sim.faults import use_default_profile
+    from .engine import TrialExecutor, use_executor
 
     spec = _SPEC_BY_NAME[name]
     _reset_global_id_allocators()
     start = time.perf_counter()
-    with use_default_profile(scale.faults):
+    with use_default_profile(scale.faults), use_executor(TrialExecutor()):
         result = spec.run(scale)
     return name, result, time.perf_counter() - start
 

@@ -24,6 +24,7 @@ from ..sim.rng import SeededRng
 from ..users.participant import Participant, generate_participants
 from ..users.passwords import TABLE_III_LENGTHS, PasswordGenerator
 from .config import ExperimentScale, QUICK, TABLE_III_PAPER
+from .engine import scoped_executor
 from .scenarios import (
     PasswordTrialResult,
     run_control_trial,
@@ -94,27 +95,28 @@ def run_table3(
         SeededRng(scale.seed, "participants"), count=scale.participants
     )
     rows: List[Table3Row] = []
-    for length in lengths:
-        row = Table3Row(length=length)
-        for participant in pool:
-            spec = KeyboardSpec(
-                default_keyboard_rect(
-                    participant.device.screen_width_px,
-                    participant.device.screen_height_px,
+    with scoped_executor():
+        for length in lengths:
+            row = Table3Row(length=length)
+            for participant in pool:
+                spec = KeyboardSpec(
+                    default_keyboard_rect(
+                        participant.device.screen_width_px,
+                        participant.device.screen_height_px,
+                    )
                 )
-            )
-            stream = SeededRng(scale.seed, f"table3/{length}/{participant.participant_id}")
-            generator = PasswordGenerator(stream.child("passwords"), spec)
-            for attempt in range(scale.passwords_per_length):
-                password = generator.generate(length)
-                trial = run_password_trial(
-                    participant,
-                    password,
-                    seed=stream.randint(0, 2**31 - 1),
-                    type_username_first=False,
-                )
-                row.record(trial.error_type)
-        rows.append(row)
+                stream = SeededRng(scale.seed, f"table3/{length}/{participant.participant_id}")
+                generator = PasswordGenerator(stream.child("passwords"), spec)
+                for attempt in range(scale.passwords_per_length):
+                    password = generator.generate(length)
+                    trial = run_password_trial(
+                        participant,
+                        password,
+                        seed=stream.randint(0, 2**31 - 1),
+                        type_username_first=False,
+                    )
+                    row.record(trial.error_type)
+            rows.append(row)
     return Table3Result(rows=tuple(rows))
 
 
@@ -149,37 +151,38 @@ def run_stealthiness(
     noticed_flicker = 0
     reported_lag = 0
     control_noticed = 0
-    for participant in pool:
-        spec = KeyboardSpec(
-            default_keyboard_rect(
-                participant.device.screen_width_px,
-                participant.device.screen_height_px,
+    with scoped_executor():
+        for participant in pool:
+            spec = KeyboardSpec(
+                default_keyboard_rect(
+                    participant.device.screen_width_px,
+                    participant.device.screen_height_px,
+                )
             )
-        )
-        stream = SeededRng(scale.seed, f"stealth/{participant.participant_id}")
-        generator = PasswordGenerator(stream.child("passwords"), spec)
-        trial: PasswordTrialResult = run_password_trial(
-            participant,
-            generator.generate(password_length),
-            seed=stream.randint(0, 2**31 - 1),
-            victim_spec=bank_of_america(),
-            type_username_first=False,
-        )
-        if trial.alert_noticed:
-            noticed_alert += 1
-        if trial.flicker_noticed:
-            noticed_flicker += 1
-        if trial.lag_reported:
-            reported_lag += 1
-        # Control arm: the same participant, same app, no malware.
-        control = run_control_trial(
-            participant,
-            generator.generate(password_length),
-            seed=stream.randint(0, 2**31 - 1),
-            victim_spec=bank_of_america(),
-        )
-        if control.noticed_anything:
-            control_noticed += 1
+            stream = SeededRng(scale.seed, f"stealth/{participant.participant_id}")
+            generator = PasswordGenerator(stream.child("passwords"), spec)
+            trial: PasswordTrialResult = run_password_trial(
+                participant,
+                generator.generate(password_length),
+                seed=stream.randint(0, 2**31 - 1),
+                victim_spec=bank_of_america(),
+                type_username_first=False,
+            )
+            if trial.alert_noticed:
+                noticed_alert += 1
+            if trial.flicker_noticed:
+                noticed_flicker += 1
+            if trial.lag_reported:
+                reported_lag += 1
+            # Control arm: the same participant, same app, no malware.
+            control = run_control_trial(
+                participant,
+                generator.generate(password_length),
+                seed=stream.randint(0, 2**31 - 1),
+                victim_spec=bank_of_america(),
+            )
+            if control.noticed_anything:
+                control_noticed += 1
     return StealthinessResult(
         participants=len(pool),
         noticed_alert=noticed_alert,

@@ -16,6 +16,7 @@ from ..apps.catalog import TABLE_IV_APPS, VictimAppSpec
 from ..sim.rng import SeededRng
 from ..users.participant import generate_participants
 from .config import ExperimentScale, QUICK
+from .engine import scoped_executor
 from .scenarios import run_password_trial
 
 
@@ -64,23 +65,24 @@ def run_table4(
         SeededRng(scale.seed, "participants"), count=1
     )[0]
     rows = []
-    for index, spec in enumerate(apps or TABLE_IV_APPS):
-        trial = run_password_trial(
-            participant,
-            password,
-            seed=scale.seed + index * 7919,
-            victim_spec=spec,
-            type_username_first=True,
-        )
-        launched = trial.trigger_path != "none"
-        rows.append(
-            Table4Row(
-                app_name=spec.app_name,
-                version=spec.version,
-                compromised=launched and len(trial.derived) > 0,
-                trigger_path=trial.trigger_path,
-                needs_extra_effort=trial.trigger_path == "username_workaround",
-                derived_matches=trial.success,
+    with scoped_executor():
+        for index, spec in enumerate(apps or TABLE_IV_APPS):
+            trial = run_password_trial(
+                participant,
+                password,
+                seed=scale.seed + index * 7919,
+                victim_spec=spec,
+                type_username_first=True,
             )
-        )
+            launched = trial.trigger_path != "none"
+            rows.append(
+                Table4Row(
+                    app_name=spec.app_name,
+                    version=spec.version,
+                    compromised=launched and len(trial.derived) > 0,
+                    trigger_path=trial.trigger_path,
+                    needs_extra_effort=trial.trigger_path == "username_workaround",
+                    derived_matches=trial.success,
+                )
+            )
     return Table4Result(rows=tuple(rows))

@@ -11,6 +11,12 @@ Three building blocks power most experiments:
 * :func:`run_password_trial` — the full password-stealing attack against a
   victim app, including trigger, fake keyboard, inference and perception
   (Table III / Table IV / stealthiness study).
+
+Each is a registered engine scenario (it runs against a leased stack) plus
+a thin wrapper that builds the :class:`~repro.experiments.engine.TrialSpec`
+and routes through :func:`~repro.experiments.engine.run_trial` — under an
+experiment's executor the stack is reused across trials; standalone calls
+still build per trial.
 """
 
 from __future__ import annotations
@@ -39,7 +45,7 @@ from ..attacks.password_stealing import (
 )
 from ..devices.profiles import DeviceProfile
 from ..sim.rng import SeededRng
-from ..stack import AndroidStack, build_stack
+from ..stack import AndroidStack
 from ..systemui.outcomes import NotificationOutcome
 from ..systemui.system_ui import AlertMode
 from ..users.participant import Participant
@@ -47,38 +53,23 @@ from ..users.passwords import PasswordGenerator
 from ..users.typist import Typist
 from ..windows.permissions import Permission
 from ..windows.touch import TapOutcome
+from .engine import TrialSpec, drive_until, run_trial, scenario
 
 #: Settling time appended after the last user action (ms).
 _SETTLE_MS = 400.0
-
-
-def _drive_until(stack: AndroidStack, predicate, step_ms: float = 500.0,
-                 max_ms: float = 600_000.0) -> None:
-    """Advance the simulation until ``predicate()`` or the horizon."""
-    deadline = stack.now + max_ms
-    while not predicate() and stack.now < deadline:
-        stack.run_for(step_ms)
-    if not predicate():
-        raise RuntimeError("scenario did not converge before the horizon")
 
 
 # ---------------------------------------------------------------------------
 # Notification outcome trials (Fig. 6, Table II)
 # ---------------------------------------------------------------------------
 
-def run_notification_trial(
-    profile: DeviceProfile,
+@scenario("notification")
+def notification_scenario(
+    stack: AndroidStack,
     attacking_window_ms: float,
-    seed: int,
     duration_ms: float = 3000.0,
-    alert_mode: AlertMode = AlertMode.ANALYTIC,
-    faults=None,
 ) -> NotificationOutcome:
-    """Run the overlay attack alone and classify the alert's worst outcome."""
-    stack = build_stack(
-        seed=seed, profile=profile, alert_mode=alert_mode, trace_enabled=False,
-        faults=faults,
-    )
+    """The overlay attack alone; classify the alert's worst outcome."""
     attack = DrawAndDestroyOverlayAttack(
         stack, OverlayAttackConfig(attacking_window_ms=attacking_window_ms)
     )
@@ -90,6 +81,27 @@ def run_notification_trial(
     stack.run_for(_SETTLE_MS)
     worst_after = stack.system_ui.worst_outcome()
     return max(worst_during, worst_after)
+
+
+def run_notification_trial(
+    profile: DeviceProfile,
+    attacking_window_ms: float,
+    seed: int,
+    duration_ms: float = 3000.0,
+    alert_mode: AlertMode = AlertMode.ANALYTIC,
+    faults=None,
+) -> NotificationOutcome:
+    """Run the overlay attack alone and classify the alert's worst outcome."""
+    return run_trial(TrialSpec(
+        scenario="notification",
+        seed=seed,
+        profile=profile,
+        alert_mode=alert_mode,
+        trace_enabled=False,
+        faults=faults,
+        params={"attacking_window_ms": attacking_window_ms,
+                "duration_ms": duration_ms},
+    ))
 
 
 # ---------------------------------------------------------------------------
@@ -120,28 +132,21 @@ class CaptureTrialResult:
         return self.down_seen_by_overlay / self.total_taps
 
 
-def run_capture_trial(
+@scenario("capture")
+def capture_scenario(
+    stack: AndroidStack,
     participant: Participant,
     attacking_window_ms: float,
     seed: int,
     n_chars: int = 10,
-    faults=None,
     adaptive: bool = False,
 ) -> CaptureTrialResult:
     """One random string typed into the testing app under attack.
 
-    ``faults`` selects the fault regime for the stack (profile name,
-    :class:`~repro.sim.faults.FaultProfile`, or ``None`` for the ambient
-    default); ``adaptive`` enables the attack's failure-driven window
-    widening.
+    ``seed`` is passed explicitly (in addition to seeding the stack)
+    because the generated text historically draws from the independent
+    ``SeededRng(seed, "capture-text")`` stream.
     """
-    stack = build_stack(
-        seed=seed,
-        profile=participant.device,
-        alert_mode=AlertMode.ANALYTIC,
-        trace_enabled=False,
-        faults=faults,
-    )
     spec = KeyboardSpec(
         default_keyboard_rect(
             participant.device.screen_width_px, participant.device.screen_height_px
@@ -161,7 +166,7 @@ def run_capture_trial(
     attack.start()
     stack.run_for(50.0)  # let the first overlay come up
     session = typist.type_text(text)
-    _drive_until(stack, lambda: session.complete)
+    drive_until(stack, lambda: session.complete)
     attack.stop()
     stack.run_for(_SETTLE_MS)
 
@@ -187,6 +192,36 @@ def run_capture_trial(
         down_seen_by_overlay=down_seen,
         cancelled=cancelled,
     )
+
+
+def run_capture_trial(
+    participant: Participant,
+    attacking_window_ms: float,
+    seed: int,
+    n_chars: int = 10,
+    faults=None,
+    adaptive: bool = False,
+) -> CaptureTrialResult:
+    """One random string typed into the testing app under attack.
+
+    ``faults`` selects the fault regime for the stack (profile name,
+    :class:`~repro.sim.faults.FaultProfile`, or ``None`` for the ambient
+    default); ``adaptive`` enables the attack's failure-driven window
+    widening.
+    """
+    return run_trial(TrialSpec(
+        scenario="capture",
+        seed=seed,
+        profile=participant.device,
+        alert_mode=AlertMode.ANALYTIC,
+        trace_enabled=False,
+        faults=faults,
+        params={"participant": participant,
+                "attacking_window_ms": attacking_window_ms,
+                "seed": seed,
+                "n_chars": n_chars,
+                "adaptive": adaptive},
+    ))
 
 
 # ---------------------------------------------------------------------------
@@ -236,22 +271,17 @@ class ControlTrialResult:
         return self.alert_noticed or self.flicker_noticed
 
 
-def run_control_trial(
+@scenario("control")
+def control_scenario(
+    stack: AndroidStack,
     participant: Participant,
     password: str,
-    seed: int,
     victim_spec: Optional[VictimAppSpec] = None,
 ) -> ControlTrialResult:
     """The stealthiness study's control arm: same victim app, same typing,
     no malware installed. The password reaches the real keyboard and the
     real widget; there is no alert and no toast to notice."""
     victim_spec = victim_spec or bank_of_america()
-    stack = build_stack(
-        seed=seed,
-        profile=participant.device,
-        alert_mode=AlertMode.ANALYTIC,
-        trace_enabled=False,
-    )
     bus = AccessibilityBus(stack.simulation)
     spec = KeyboardSpec(
         default_keyboard_rect(
@@ -266,7 +296,7 @@ def run_control_trial(
     stack.run_for(120.0)
     typist = Typist(stack, spec, participant.typing, participant.touch)
     session = typist.type_text(password, initial_delay_ms=150.0)
-    _drive_until(stack, lambda: session.complete)
+    drive_until(stack, lambda: session.complete)
     stack.run_for(_SETTLE_MS)
     perception = participant.perception
     return ControlTrialResult(
@@ -278,7 +308,28 @@ def run_control_trial(
     )
 
 
-def run_password_trial(
+def run_control_trial(
+    participant: Participant,
+    password: str,
+    seed: int,
+    victim_spec: Optional[VictimAppSpec] = None,
+) -> ControlTrialResult:
+    """The stealthiness study's control arm (see :func:`control_scenario`)."""
+    return run_trial(TrialSpec(
+        scenario="control",
+        seed=seed,
+        profile=participant.device,
+        alert_mode=AlertMode.ANALYTIC,
+        trace_enabled=False,
+        params={"participant": participant,
+                "password": password,
+                "victim_spec": victim_spec},
+    ))
+
+
+@scenario("password")
+def password_scenario(
+    stack: AndroidStack,
     participant: Participant,
     password: str,
     seed: int,
@@ -289,12 +340,6 @@ def run_password_trial(
 ) -> PasswordTrialResult:
     """Full attack run: login, trigger, fake keyboard, theft, perception."""
     victim_spec = victim_spec or bank_of_america()
-    stack = build_stack(
-        seed=seed,
-        profile=participant.device,
-        alert_mode=AlertMode.ANALYTIC,
-        trace_enabled=False,
-    )
     bus = AccessibilityBus(stack.simulation)
     spec = KeyboardSpec(
         default_keyboard_rect(
@@ -317,7 +362,7 @@ def run_password_trial(
         victim.focus_username()
         stack.run_for(50.0)
         username_session = typist.type_text(username)
-        _drive_until(stack, lambda: username_session.complete)
+        drive_until(stack, lambda: username_session.complete)
 
     # The user taps into the password field; the focus change (or, for
     # hardened apps, the username widget's content-changed event) triggers
@@ -330,7 +375,7 @@ def run_password_trial(
     import_layout = KeyboardSpec.layout_after_key(final_layout, presses[-1].key) if presses else "lower"
     presses = presses + [KeyPress(layout=import_layout, key=KEY_ENTER)]
     session = typist.type_presses(password, presses, initial_delay_ms=150.0)
-    _drive_until(stack, lambda: session.complete)
+    drive_until(stack, lambda: session.complete)
     stack.run_for(_SETTLE_MS)
     result = malware.finish()
     stack.run_for(_SETTLE_MS)
@@ -352,3 +397,29 @@ def run_password_trial(
         lag_reported=perception.reports_lag(perception_rng),
         attack_result=result,
     )
+
+
+def run_password_trial(
+    participant: Participant,
+    password: str,
+    seed: int,
+    victim_spec: Optional[VictimAppSpec] = None,
+    attack_config: Optional[PasswordStealingConfig] = None,
+    type_username_first: bool = True,
+    username: str = "victimuser",
+) -> PasswordTrialResult:
+    """Full attack run: login, trigger, fake keyboard, theft, perception."""
+    return run_trial(TrialSpec(
+        scenario="password",
+        seed=seed,
+        profile=participant.device,
+        alert_mode=AlertMode.ANALYTIC,
+        trace_enabled=False,
+        params={"participant": participant,
+                "password": password,
+                "seed": seed,
+                "victim_spec": victim_spec,
+                "attack_config": attack_config,
+                "type_username_first": type_username_first,
+                "username": username},
+    ))

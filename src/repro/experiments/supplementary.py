@@ -22,6 +22,7 @@ from ..users.participant import Participant, generate_participants
 from ..users.passwords import PasswordGenerator
 from .capture_rate import run_fig7
 from .config import ExperimentScale, FIG7_DURATIONS, QUICK
+from .engine import scoped_executor
 from .scenarios import run_password_trial
 
 
@@ -63,6 +64,18 @@ def run_table3_by_version(
     """Password-stealing success split by Android version."""
     per_group = max(2, scale.participants // 4)
     rows: List[VersionSuccessRow] = []
+    with scoped_executor():
+        _table3_by_version_rows(rows, scale, password_length, per_group)
+    return Table3ByVersionResult(password_length=password_length,
+                                 rows=tuple(rows))
+
+
+def _table3_by_version_rows(
+    rows: List[VersionSuccessRow],
+    scale: ExperimentScale,
+    password_length: int,
+    per_group: int,
+) -> None:
     for version, devices in sorted(devices_by_version().items()):
         members: Sequence[Participant] = generate_participants(
             SeededRng(scale.seed, f"t3v-participants/{version}"),
@@ -100,8 +113,6 @@ def run_table3_by_version(
                 ci=wilson_interval(successes, attempts),
             )
         )
-    return Table3ByVersionResult(password_length=password_length,
-                                 rows=tuple(rows))
 
 
 @dataclass(frozen=True)

@@ -17,13 +17,12 @@ from typing import Optional, Tuple
 
 from ..attacks.toast_attack import DrawAndDestroyToastAttack, ToastAttackConfig
 from ..devices.profiles import DeviceProfile
-from ..devices.registry import reference_device
-from ..stack import build_stack
-from ..systemui.system_ui import AlertMode
+from ..stack import AndroidStack
 from ..toast.lifecycle import ToastSwitch
 from ..toast.toast import TOAST_LENGTH_LONG_MS, TOAST_LENGTH_SHORT_MS
 from ..windows.geometry import Rect
 from .config import ExperimentScale, QUICK
+from .engine import TrialSpec, run_trial, scenario, scoped_executor
 
 
 @dataclass(frozen=True)
@@ -45,22 +44,15 @@ class ToastContinuityResult:
         return self.min_switch_coverage >= 0.75
 
 
-def run_toast_continuity(
-    scale: ExperimentScale = QUICK,
-    profile: Optional[DeviceProfile] = None,
+@scenario("toast-continuity")
+def toast_continuity_scenario(
+    stack: AndroidStack,
+    observation_ms: float,
     toast_duration_ms: float = TOAST_LENGTH_LONG_MS,
     inter_toast_gap_ms: float = 0.0,
 ) -> ToastContinuityResult:
-    """Run the toast attack and measure switch visibility.
-
-    ``inter_toast_gap_ms`` > 0 evaluates the toast-spacing defense: the
-    same metrics then show deep, long dips.
-    """
-    profile = profile or reference_device()
-    stack = build_stack(
-        seed=scale.seed, profile=profile, alert_mode=AlertMode.ANALYTIC,
-        trace_enabled=False,
-    )
+    """Run the toast attack and measure switch visibility."""
+    profile = stack.profile
     if inter_toast_gap_ms:
         stack.notification_manager.inter_toast_gap_ms = inter_toast_gap_ms
     rect = Rect(0, 1400, profile.screen_width_px, profile.screen_height_px)
@@ -76,7 +68,7 @@ def run_toast_continuity(
     samples_total = 0
     elapsed = 0.0
     warmup = 1000.0
-    while elapsed < scale.toast_observation_ms:
+    while elapsed < observation_ms:
         stack.run_for(sample_step)
         elapsed += sample_step
         depth = stack.notification_manager.queue.depth_for(attack.package)
@@ -94,7 +86,7 @@ def run_toast_continuity(
         sum(s.switch_gap_ms for s in switches) / len(switches) if switches else 0.0
     )
     return ToastContinuityResult(
-        duration_ms=scale.toast_observation_ms,
+        duration_ms=observation_ms,
         toast_duration_ms=toast_duration_ms,
         toasts_shown=len(attack.displayed_toasts()),
         switches=switches,
@@ -107,11 +99,35 @@ def run_toast_continuity(
     )
 
 
+def run_toast_continuity(
+    scale: ExperimentScale = QUICK,
+    profile: Optional[DeviceProfile] = None,
+    toast_duration_ms: float = TOAST_LENGTH_LONG_MS,
+    inter_toast_gap_ms: float = 0.0,
+) -> ToastContinuityResult:
+    """Run the toast attack and measure switch visibility.
+
+    ``inter_toast_gap_ms`` > 0 evaluates the toast-spacing defense: the
+    same metrics then show deep, long dips.
+    """
+    return run_trial(TrialSpec(
+        scenario="toast-continuity",
+        seed=scale.seed,
+        profile=profile,
+        params={
+            "observation_ms": scale.toast_observation_ms,
+            "toast_duration_ms": toast_duration_ms,
+            "inter_toast_gap_ms": inter_toast_gap_ms,
+        },
+    ))
+
+
 def compare_toast_durations(
     scale: ExperimentScale = QUICK,
 ) -> Tuple[ToastContinuityResult, ToastContinuityResult]:
     """Paper Section IV-D: 3.5 s toasts switch less often than 2 s toasts
     over the same attack period — return (short, long) for comparison."""
-    short = run_toast_continuity(scale, toast_duration_ms=TOAST_LENGTH_SHORT_MS)
-    long = run_toast_continuity(scale, toast_duration_ms=TOAST_LENGTH_LONG_MS)
+    with scoped_executor():
+        short = run_toast_continuity(scale, toast_duration_ms=TOAST_LENGTH_SHORT_MS)
+        long = run_toast_continuity(scale, toast_duration_ms=TOAST_LENGTH_LONG_MS)
     return short, long

@@ -27,12 +27,12 @@ from ..apps.victim import VictimApp
 from ..attacks.password_stealing import PasswordStealingAttack
 from ..attacks.timing_channels import SideChannelConfig
 from ..sim.rng import SeededRng
-from ..stack import build_stack
-from ..systemui.system_ui import AlertMode
-from ..users.participant import generate_participants
+from ..stack import AndroidStack
+from ..users.participant import Participant, generate_participants
 from ..users.typist import Typist
 from ..windows.permissions import Permission
 from .config import ExperimentScale, QUICK
+from .engine import TrialSpec, drive_until, run_trial, scenario, scoped_executor
 
 
 @dataclass(frozen=True)
@@ -71,17 +71,14 @@ class TriggerComparisonResult:
         return a11y is not None and side is not None and a11y < side
 
 
-def _run_one(
+@scenario("trigger-channel")
+def trigger_channel_scenario(
+    stack: AndroidStack,
     channel: str,
     victim_spec: VictimAppSpec,
-    seed: int,
+    participant: Participant,
     password: str,
 ) -> TriggerTrialResult:
-    participant = generate_participants(
-        SeededRng(seed, "trigger-cmp"), count=1
-    )[0]
-    stack = build_stack(seed=seed, profile=participant.device,
-                        alert_mode=AlertMode.ANALYTIC, trace_enabled=False)
     bus = AccessibilityBus(stack.simulation)
     spec = KeyboardSpec(default_keyboard_rect(
         participant.device.screen_width_px,
@@ -109,8 +106,7 @@ def _run_one(
     if launched:
         typist = Typist(stack, spec, participant.typing, participant.touch)
         session = typist.type_text(password)
-        while not session.complete:
-            stack.run_for(500.0)
+        drive_until(stack, lambda: session.complete)
         stack.run_for(300.0)
         result = malware.finish()
         derived_matches = result.derived_password == password
@@ -124,6 +120,24 @@ def _run_one(
     )
 
 
+def _run_one(
+    channel: str,
+    victim_spec: VictimAppSpec,
+    seed: int,
+    password: str,
+) -> TriggerTrialResult:
+    participant = generate_participants(
+        SeededRng(seed, "trigger-cmp"), count=1
+    )[0]
+    return run_trial(TrialSpec(
+        scenario="trigger-channel",
+        seed=seed,
+        profile=participant.device,
+        params={"channel": channel, "victim_spec": victim_spec,
+                "participant": participant, "password": password},
+    ))
+
+
 def run_trigger_comparison(
     scale: ExperimentScale = QUICK,
     password: str = "aB3$xy",
@@ -131,8 +145,9 @@ def run_trigger_comparison(
     """Both channels against a plain and a hardened victim."""
     trials: List[TriggerTrialResult] = []
     victims = (bank_of_america(), spec_by_name("Alipay"))
-    for channel_index, channel in enumerate(("accessibility", "side_channel")):
-        for victim_index, victim_spec in enumerate(victims):
-            seed = scale.seed + channel_index * 101 + victim_index * 13
-            trials.append(_run_one(channel, victim_spec, seed, password))
+    with scoped_executor():
+        for channel_index, channel in enumerate(("accessibility", "side_channel")):
+            for victim_index, victim_spec in enumerate(victims):
+                seed = scale.seed + channel_index * 101 + victim_index * 13
+                trials.append(_run_one(channel, victim_spec, seed, password))
     return TriggerComparisonResult(trials=tuple(trials))

@@ -22,6 +22,7 @@ from ..devices.profiles import DeviceProfile
 from ..devices.registry import DEVICES, device
 from ..systemui.outcomes import NotificationOutcome
 from .config import ExperimentScale, QUICK
+from .engine import scoped_executor
 from .scenarios import run_notification_trial
 
 
@@ -69,7 +70,8 @@ def run_table2(
 ) -> Table2Result:
     """Recover the Table II boundary for every device (or a subset)."""
     finder = _make_finder(scale)
-    rows = tuple(finder.find(profile) for profile in (profiles or DEVICES))
+    with scoped_executor():
+        rows = tuple(finder.find(profile) for profile in (profiles or DEVICES))
     return Table2Result(rows=rows)
 
 
@@ -101,8 +103,9 @@ def run_load_impact(
     base = device(model, version_label)
     finder = _make_finder(scale)
     bounds: List[Tuple[int, float]] = []
-    for count in background_app_counts:
-        loaded = base.with_load(count)
-        result = finder.find(loaded)
-        bounds.append((count, result.measured_upper_bound_d))
+    with scoped_executor():
+        for count in background_app_counts:
+            loaded = base.with_load(count)
+            result = finder.find(loaded)
+            bounds.append((count, result.measured_upper_bound_d))
     return LoadImpactResult(device_key=base.key, bounds_by_load=tuple(bounds))

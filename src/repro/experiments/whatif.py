@@ -26,6 +26,7 @@ from ..devices.registry import DEVICES, device
 from ..systemui.outcomes import NotificationOutcome
 from .config import ExperimentScale, QUICK
 from .defense_eval import _attack_outcome
+from .engine import scoped_executor
 from .upper_bound import _make_finder
 
 
@@ -84,17 +85,18 @@ def run_ana_removal_whatif(
         ]
     finder = _make_finder(scale)
     rows: List[AnaRemovalRow] = []
-    for profile in profiles:
-        with_ana = finder.find(profile).measured_upper_bound_d
-        without = finder.find(_without_ana(profile)).measured_upper_bound_d
-        rows.append(
-            AnaRemovalRow(
-                device_key=profile.key,
-                version=profile.android_version.label,
-                bound_with_ana_ms=with_ana,
-                bound_without_ana_ms=without,
+    with scoped_executor():
+        for profile in profiles:
+            with_ana = finder.find(profile).measured_upper_bound_d
+            without = finder.find(_without_ana(profile)).measured_upper_bound_d
+            rows.append(
+                AnaRemovalRow(
+                    device_key=profile.key,
+                    version=profile.android_version.label,
+                    bound_with_ana_ms=with_ana,
+                    bound_without_ana_ms=without,
+                )
             )
-        )
     return AnaRemovalResult(rows=tuple(rows))
 
 
@@ -152,18 +154,19 @@ def find_minimal_hide_delay(
     ]
     probed: List[Tuple[float, Optional[float]]] = []
     minimal: Optional[float] = None
-    for delay in delays:
-        winning_d: Optional[float] = None
-        for d in d_grid:
-            outcome, _ = _attack_outcome(
-                profile, d, scale.seed, attack_ms, hide_delay_ms=delay
-            )
-            if outcome is NotificationOutcome.LAMBDA1:
-                winning_d = d
-                break
-        probed.append((delay, winning_d))
-        if winning_d is None and minimal is None:
-            minimal = delay
+    with scoped_executor():
+        for delay in delays:
+            winning_d: Optional[float] = None
+            for d in d_grid:
+                outcome, _ = _attack_outcome(
+                    profile, d, scale.seed, attack_ms, hide_delay_ms=delay
+                )
+                if outcome is NotificationOutcome.LAMBDA1:
+                    winning_d = d
+                    break
+            probed.append((delay, winning_d))
+            if winning_d is None and minimal is None:
+                minimal = delay
     if minimal is None:
         minimal = float("inf")
     return MinimalDelayResult(

@@ -30,6 +30,17 @@ class Clock:
         """Current simulated time in milliseconds."""
         return self._now
 
+    def reset(self, start: float = 0.0) -> None:
+        """Rewind the clock for a new run.
+
+        Only :meth:`~repro.sim.simulation.Simulation.reset` may call this —
+        it is the single sanctioned violation of monotonicity, taken while
+        no events are pending so nothing can observe time going backwards.
+        """
+        if start < 0:
+            raise ClockError(f"clock cannot restart at negative time {start!r}")
+        self._now = float(start)
+
     def advance_to(self, time_ms: float) -> None:
         """Move the clock forward to ``time_ms``.
 

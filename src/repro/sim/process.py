@@ -27,6 +27,21 @@ class SimProcess:
         self._rng = simulation.rng.child(name)
         simulation.register_process(self)
 
+    def rearm(self) -> None:
+        """Re-attach this process after :meth:`Simulation.reset`.
+
+        Re-derives the private random stream from the simulation's (new)
+        root seed and re-enters the process registry — exactly what
+        ``__init__`` did, so a re-armed process draws the same values a
+        newly constructed one would. The existing stream object is reseeded
+        in place (its path already is ``root/<name>``), which
+        :meth:`SeededRng.reseed` guarantees is bit-identical to deriving a
+        fresh child — and keeps the reset path allocation-free. Subclasses
+        extend this to clear their own per-run state.
+        """
+        self._rng.reseed(self._simulation.rng.seed)
+        self._simulation.register_process(self)
+
     @property
     def simulation(self) -> "Simulation":
         return self._simulation

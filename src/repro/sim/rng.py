@@ -22,7 +22,11 @@ class SeededRng:
     def __init__(self, seed: int, path: str = "root") -> None:
         self._seed = int(seed)
         self._path = path
-        self._random = random.Random(self._derive(seed, path))
+        #: Created on first draw: streams that are never drawn from (many
+        #: processes never sample during a short trial) never pay for
+        #: ``Random`` construction and seeding.
+        self._random: Optional[random.Random] = None
+        self._stale = False
 
     @staticmethod
     def _derive(seed: int, path: str) -> int:
@@ -41,13 +45,43 @@ class SeededRng:
         """Create an independent sub-stream identified by ``name``."""
         return SeededRng(self._seed, f"{self._path}/{name}")
 
+    def reseed(self, seed: int) -> None:
+        """Re-arm this stream in place for a new root seed.
+
+        Because a stream's state is a pure function of ``(seed, path)``
+        (``random.Random(n)`` and ``Random().seed(n)`` produce identical
+        generators), reseeding an existing object is bit-identical to
+        constructing ``SeededRng(seed, path)`` fresh — the property stack
+        reuse relies on, without re-allocating a ``Random`` per trial.
+
+        The underlying generator is re-armed lazily, on the first draw
+        after the reseed: generator state is observable only through
+        draws, so deferring the (comparatively costly) ``Random.seed``
+        call is invisible — and streams that never draw during a trial
+        never pay for it.
+        """
+        self._seed = int(seed)
+        self._stale = True
+
+    def _rand(self) -> random.Random:
+        rand = self._random
+        if rand is None:
+            rand = self._random = random.Random(
+                self._derive(self._seed, self._path)
+            )
+            self._stale = False
+        elif self._stale:
+            rand.seed(self._derive(self._seed, self._path))
+            self._stale = False
+        return rand
+
     def uniform(self, low: float, high: float) -> float:
-        return self._random.uniform(low, high)
+        return self._rand().uniform(low, high)
 
     def gauss(self, mean: float, std: float) -> float:
         if std <= 0:
             return mean
-        return self._random.gauss(mean, std)
+        return self._rand().gauss(mean, std)
 
     def gauss_clipped(
         self,
@@ -72,7 +106,7 @@ class SeededRng:
     def exponential(self, mean: float) -> float:
         if mean <= 0:
             raise ValueError(f"exponential mean must be positive, got {mean}")
-        return self._random.expovariate(1.0 / mean)
+        return self._rand().expovariate(1.0 / mean)
 
     def lognormal(self, mean: float, sigma: float = 0.6) -> float:
         """Heavy-tailed positive sample with expectation ``mean``.
@@ -86,10 +120,10 @@ class SeededRng:
         if sigma <= 0:
             return mean
         mu = math.log(mean) - 0.5 * sigma * sigma
-        return self._random.lognormvariate(mu, sigma)
+        return self._rand().lognormvariate(mu, sigma)
 
     def random(self) -> float:
-        return self._random.random()
+        return self._rand().random()
 
     def chance(self, probability: float) -> bool:
         """Bernoulli trial; probabilities outside [0, 1] are clamped."""
@@ -97,22 +131,22 @@ class SeededRng:
             return False
         if probability >= 1:
             return True
-        return self._random.random() < probability
+        return self._rand().random() < probability
 
     def randint(self, low: int, high: int) -> int:
         """Uniform integer in the inclusive range ``[low, high]``."""
-        return self._random.randint(low, high)
+        return self._rand().randint(low, high)
 
     def choice(self, options: Sequence[T]) -> T:
         if not options:
             raise ValueError("cannot choose from an empty sequence")
-        return self._random.choice(options)
+        return self._rand().choice(options)
 
     def shuffle(self, items: list) -> None:
-        self._random.shuffle(items)
+        self._rand().shuffle(items)
 
     def sample(self, options: Sequence[T], count: int) -> list:
-        return self._random.sample(list(options), count)
+        return self._rand().sample(list(options), count)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SeededRng(seed={self._seed}, path={self._path!r})"

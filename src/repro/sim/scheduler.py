@@ -78,6 +78,24 @@ class EventScheduler:
         """Install (or clear) the fault layer's schedule-time hook."""
         self._perturb = perturb
 
+    def reset(self) -> None:
+        """Return the scheduler to its just-constructed state.
+
+        Pending events are discarded (their handles become inert: the
+        ``on_cancel`` hook is detached first so a late ``cancel()`` cannot
+        corrupt the counters of the next run), all counters rewind to zero
+        and any fault perturbation is cleared so the next run starts from
+        the same state a fresh ``EventScheduler(clock)`` would.
+        """
+        for event in self._heap:
+            event.on_cancel = None
+        self._heap.clear()
+        self._seq = 0
+        self._dispatched = 0
+        self._pending = 0
+        self._cancelled = 0
+        self._perturb = None
+
     def schedule_at(self, time_ms: float, callback: Callback, name: str = "") -> EventHandle:
         """Schedule ``callback`` at an absolute simulated time."""
         if time_ms < self._clock.now:

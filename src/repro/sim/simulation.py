@@ -91,6 +91,31 @@ class Simulation:
         if plan.perturbs_dispatch:
             self._scheduler.install_perturbation(plan.perturb_event_time)
 
+    def reset(self, seed: int, trace_enabled: Optional[bool] = None) -> None:
+        """Re-arm this simulation for a new run under ``seed``.
+
+        After ``reset`` the container is indistinguishable from a freshly
+        constructed ``Simulation(seed, trace_enabled)``: the clock is back
+        at zero, the scheduler is empty with zeroed counters and no fault
+        perturbation, the trace has no records and no subscribers, the
+        root random stream is re-derived from ``(seed, "root")``, the
+        process registry is empty and no fault plan is installed.
+
+        Every ``SeededRng`` sub-stream is a pure function of
+        ``(seed, path)`` — children derive from the parent's *seed*, never
+        from its stream state — which is what makes in-place reset
+        bit-identical to rebuilding. Long-lived processes must re-register
+        and re-derive their streams afterwards (see
+        :meth:`~repro.sim.process.SimProcess.rearm`); a new fault plan, if
+        any, is installed separately via :meth:`install_faults`.
+        """
+        self._scheduler.reset()
+        self._clock.reset()
+        self._rng.reseed(seed)
+        self._trace.reset(enabled=trace_enabled)
+        self._processes.clear()
+        self._faults = None
+
     # ------------------------------------------------------------------
     # Process registry
     # ------------------------------------------------------------------

@@ -100,6 +100,18 @@ class TraceLog:
     def clear(self) -> None:
         self._records.clear()
 
+    def reset(self, enabled: Optional[bool] = None) -> None:
+        """Drop all records *and* subscribers, as a fresh log would have.
+
+        ``clear()`` keeps live consumers attached; ``reset()`` is for stack
+        reuse, where last trial's subscribers (e.g. a defense monitor) must
+        not observe the next trial.
+        """
+        self._records.clear()
+        self._subscribers.clear()
+        if enabled is not None:
+            self._enabled = enabled
+
     def format(self, limit: int = 50) -> str:
         """Human-readable tail of the trace (most recent ``limit`` records)."""
         lines = []

@@ -50,6 +50,49 @@ class AndroidStack:
     def run_until(self, time_ms: float) -> int:
         return self.simulation.run_until(time_ms)
 
+    def reset(
+        self,
+        seed: int,
+        trace_enabled: Optional[bool] = None,
+        faults: "Optional[str | FaultProfile | FaultPlan]" = None,
+    ) -> "AndroidStack":
+        """Re-arm this booted stack for a new trial under ``seed``.
+
+        The reset contract: after ``reset(seed)`` the stack behaves
+        **bit-identically** to ``build_stack(seed, ...)`` with the same
+        profile/mode — same events, same random draws, same trace (the
+        property tests in ``tests/sim/test_stack_reuse.py`` pin this under
+        every fault profile). That works because every random sub-stream
+        is a pure function of ``(seed, path)``, so re-deriving streams in
+        place equals building fresh ones.
+
+        Subsystems are re-armed in boot order (Binder, System Server,
+        System UI, Notification Manager, input) so the process registry
+        lists them as a fresh boot would. Per-trial mutations are undone:
+        Binder observers and defense policies drop off, permissions are
+        revoked, windows/toasts/taps are forgotten, the scheduler drains
+        and the clock rewinds. What deliberately *survives* are the
+        device profile, the alert mode, and the module-level window /
+        toast / token id allocators — the parallel runner resets those
+        once per experiment, and fresh-build trial loops let them grow
+        across trials, so a reused stack must too.
+
+        Returns ``self`` for chaining.
+        """
+        sim = self.simulation
+        sim.reset(seed, trace_enabled=trace_enabled)
+        plan = plan_for(faults, sim.rng.child("faults"))
+        if plan is not None:
+            sim.install_faults(plan)
+        self.router.rearm()
+        self.screen.reset()
+        self.permissions.reset()
+        self.system_server.rearm()
+        self.system_ui.rearm()
+        self.notification_manager.rearm()
+        self.touch.rearm()
+        return self
+
 
 def build_stack(
     seed: int = 0,

@@ -85,6 +85,22 @@ class SystemUi(SimProcess):
             },
         )
 
+    def rearm(self) -> None:
+        """Reset to boot state for stack reuse; the alert mode is part of
+        the stack's identity and survives (the executor pools per mode)."""
+        super().rearm()
+        self._pending.clear()
+        self._active.clear()
+        self._records.clear()
+        self._ignored_shows = 0
+        self._router.register_many(
+            self.name,
+            {
+                "notifyOverlayShown": self._handle_shown,
+                "notifyOverlayHidden": self._handle_hidden,
+            },
+        )
+
     # ------------------------------------------------------------------
     # Binder handlers
     # ------------------------------------------------------------------

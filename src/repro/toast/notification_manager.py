@@ -64,6 +64,30 @@ class NotificationManagerService(SimProcess):
             },
         )
 
+    def rearm(self) -> None:
+        """Reset to boot state for stack reuse.
+
+        ``inter_toast_gap_ms`` goes back to the constructor default of 0 —
+        the toast-spacing defense and the continuity experiment both set it
+        per trial — and the Binder handlers are re-registered under
+        ``system_server`` (the router's rearm dropped them).
+        """
+        super().rearm()
+        self._queue.clear()
+        self._current = None
+        self._current_window = None
+        self._current_end_handle = None
+        self._history.clear()
+        self._showing = False
+        self.inter_toast_gap_ms = 0.0
+        self._router.register_many(
+            SYSTEM_SERVER,
+            {
+                "enqueueToast": self._handle_enqueue,
+                "cancelToast": self._handle_cancel,
+            },
+        )
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -53,6 +53,12 @@ class ToastTokenQueue:
     def __len__(self) -> int:
         return len(self._queue)
 
+    def clear(self) -> None:
+        """Drop every queued token and all per-app accounting."""
+        self._queue.clear()
+        self._per_app.clear()
+        self._rejected.clear()
+
     @property
     def max_per_app(self) -> int:
         return self._max_per_app

@@ -34,6 +34,10 @@ class PermissionManager:
     def __init__(self) -> None:
         self._grants: Dict[str, Set[Permission]] = {}
 
+    def reset(self) -> None:
+        """Revoke everything (stack reuse: trials grant their own)."""
+        self._grants.clear()
+
     def grant(self, app: str, permission: Permission) -> None:
         self._grants.setdefault(app, set()).add(permission)
 

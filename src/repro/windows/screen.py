@@ -26,6 +26,12 @@ class Screen:
         self._add_counter = 0
         self._add_order = {}
 
+    def reset(self) -> None:
+        """Clear every window, as a freshly built screen of this size."""
+        self._windows.clear()
+        self._add_counter = 0
+        self._add_order.clear()
+
     # ------------------------------------------------------------------
     # Window management
     # ------------------------------------------------------------------

@@ -99,6 +99,35 @@ class SystemServer(SimProcess):
             },
         )
 
+    def rearm(self) -> None:
+        """Reset to boot state for stack reuse.
+
+        Besides the bookkeeping, this restores the two pluggable points a
+        trial may have replaced: ``overlay_alert_policy`` (swapped by the
+        enhanced-notification defense) and ``on_app_terminated`` (set by
+        the IPC detector), and re-registers the Binder handlers the
+        router's rearm dropped.
+        """
+        super().rearm()
+        self._protected_apps.clear()
+        self._foreground_app = None
+        self._rejected_overlays = 0
+        self._windows_created = 0
+        self._pending_creations.clear()
+        self._removal_tombstones.clear()
+        self._pending_show_notifications.clear()
+        self._notifications_cancelled_before_post = 0
+        self.overlay_alert_policy = OverlayAlertPolicy(self)
+        self.on_app_terminated = None
+        self._terminated_apps.clear()
+        self._router.register_many(
+            self.name,
+            {
+                "addView": self._handle_add_view,
+                "removeView": self._handle_remove_view,
+            },
+        )
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------

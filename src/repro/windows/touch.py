@@ -88,6 +88,12 @@ class TouchDispatcher(SimProcess):
         #: 10/11 after the per-window input channel rework).
         self.gesture_teardown_ms = float(gesture_teardown_ms)
 
+    def rearm(self) -> None:
+        """Forget past taps; ``gesture_teardown_ms`` is profile-derived
+        and survives (stacks are only reused for the same device)."""
+        super().rearm()
+        self._taps.clear()
+
     @property
     def taps(self) -> List[TapRecord]:
         return list(self._taps)

@@ -174,3 +174,14 @@ class TestCli:
     def test_diagram_toast(self, capsys):
         assert main(["diagram", "toast", "--duration", "4000"]) == 0
         assert "enqueueToast()" in capsys.readouterr().out
+
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "noise_sensitivity" in out
+        assert "registered scenarios" in out
+        assert "notification" in out
+
+    def test_experiments_without_flags_errors(self, capsys):
+        assert main(["experiments"]) == 2
+        assert "--list" in capsys.readouterr().err

@@ -1,0 +1,181 @@
+"""Stack reuse determinism: ``AndroidStack.reset`` vs a fresh build.
+
+The trial engine (``repro.experiments.engine``) keeps one booted stack per
+(device, mode) and resets it between trials instead of rebuilding. The
+whole scheme is only sound if a reused stack is **bit-identical** to a
+freshly built one — same trace records, same outcomes, same random draws —
+under every fault profile. These tests pin that contract.
+"""
+
+import pytest
+
+from repro.attacks import (
+    DrawAndDestroyOverlayAttack,
+    DrawAndDestroyToastAttack,
+    OverlayAttackConfig,
+    ToastAttackConfig,
+)
+from repro.sim.faults import PROFILES
+from repro.stack import build_stack
+from repro.systemui import AlertMode
+from repro.toast.toast import reset_toast_ids
+from repro.toast.token_queue import reset_token_ids
+from repro.windows.geometry import Point, Rect
+from repro.windows.permissions import Permission
+from repro.windows.window import reset_window_ids
+
+TRIAL_SEED = 20260805
+WARMUP_SEED = 7
+
+
+def _reset_id_allocators():
+    # The module-level id allocators deliberately survive stack.reset()
+    # (they are an experiment-scoped resource, reset once per experiment
+    # by the parallel runner). Pin them before each measured trial so the
+    # fresh and reused arms start from identical allocator state.
+    reset_window_ids()
+    reset_toast_ids()
+    reset_token_ids()
+
+
+def _overlay_trial(stack):
+    attack = DrawAndDestroyOverlayAttack(
+        stack, OverlayAttackConfig(attacking_window_ms=120.0)
+    )
+    stack.permissions.grant(attack.package, Permission.SYSTEM_ALERT_WINDOW)
+    attack.start()
+    for _ in range(6):
+        stack.run_for(300.0)
+        stack.touch.tap(Point(540.0, 1200.0))
+    attack.stop()
+    stack.run_for(500.0)
+    return {
+        "trace": list(stack.simulation.trace),
+        "outcome": stack.system_ui.worst_outcome(),
+        "records": stack.system_ui.records,
+        "captured": attack.stats.captured_count,
+        "cycles": attack.stats.cycles,
+        "dispatched": stack.simulation.scheduler.dispatched_count,
+        "txns": stack.router.transactions_sent,
+        "final_time": stack.now,
+    }
+
+
+def _toast_trial(stack):
+    attack = DrawAndDestroyToastAttack(
+        stack,
+        ToastAttackConfig(rect=Rect(0, 1400, 1080, 2160), duration_ms=3500.0),
+        content_provider=lambda: "fake-keyboard",
+    )
+    attack.start()
+    stack.run_for(6000.0)
+    attack.stop()
+    stack.run_for(4500.0)
+    return {
+        "trace": list(stack.simulation.trace),
+        "history": [t.toast_id for t in stack.notification_manager.history],
+        "dispatched": stack.simulation.scheduler.dispatched_count,
+    }
+
+
+def _fresh(trial, faults, alert_mode=AlertMode.ANALYTIC):
+    _reset_id_allocators()
+    stack = build_stack(seed=TRIAL_SEED, alert_mode=alert_mode,
+                        trace_enabled=True, faults=faults)
+    return trial(stack)
+
+
+def _reused(trial, faults, alert_mode=AlertMode.ANALYTIC):
+    stack = build_stack(seed=WARMUP_SEED, alert_mode=alert_mode,
+                        trace_enabled=True, faults=faults)
+    trial(stack)  # throwaway warm-up trial dirties every subsystem
+    _reset_id_allocators()
+    stack.reset(TRIAL_SEED, faults=faults)
+    return trial(stack)
+
+
+@pytest.mark.parametrize("faults", sorted(PROFILES))
+def test_reused_overlay_trial_bit_identical_to_fresh(faults):
+    assert _reused(_overlay_trial, faults) == _fresh(_overlay_trial, faults)
+
+
+@pytest.mark.parametrize("faults", sorted(PROFILES))
+def test_reused_toast_trial_bit_identical_to_fresh(faults):
+    assert _reused(_toast_trial, faults) == _fresh(_toast_trial, faults)
+
+
+def test_reused_frame_mode_trial_bit_identical_to_fresh():
+    # FRAME mode exercises the animator path (per-frame events + fault
+    # frame jitter), the heaviest consumer of the re-derived rng streams.
+    fresh = _fresh(_overlay_trial, "pixel-loaded", alert_mode=AlertMode.FRAME)
+    reused = _reused(_overlay_trial, "pixel-loaded", alert_mode=AlertMode.FRAME)
+    assert reused == fresh
+
+
+def test_consecutive_resets_match_consecutive_fresh_builds():
+    seeds = [11, 12, 13]
+    fresh_runs = []
+    for seed in seeds:
+        _reset_id_allocators()
+        fresh_runs.append(
+            _overlay_trial(build_stack(seed=seed, alert_mode=AlertMode.ANALYTIC,
+                                       trace_enabled=True, faults="mild"))
+        )
+    stack = None
+    reused_runs = []
+    for seed in seeds:
+        _reset_id_allocators()
+        if stack is None:
+            stack = build_stack(seed=seed, alert_mode=AlertMode.ANALYTIC,
+                                trace_enabled=True, faults="mild")
+        else:
+            stack.reset(seed, faults="mild")
+        reused_runs.append(_overlay_trial(stack))
+    assert reused_runs == fresh_runs
+
+
+def test_reset_undoes_per_trial_mutations():
+    stack = build_stack(seed=1, alert_mode=AlertMode.ANALYTIC, faults="none")
+    stack.permissions.grant("com.example", Permission.SYSTEM_ALERT_WINDOW)
+    stack.router.add_observer(lambda txn: None)
+    stack.notification_manager.inter_toast_gap_ms = 150.0
+    stack.system_server.on_app_terminated = lambda app: None
+    stack.system_server.protect_app("com.android.settings")
+    stack.run_for(1000.0)
+
+    stack.reset(2)
+
+    assert stack.now == 0.0
+    assert stack.simulation.scheduler.pending_count == 0
+    assert stack.simulation.scheduler.dispatched_count == 0
+    assert not stack.permissions.is_granted(
+        "com.example", Permission.SYSTEM_ALERT_WINDOW
+    )
+    assert stack.notification_manager.inter_toast_gap_ms == 0.0
+    assert stack.system_server.on_app_terminated is None
+    assert stack.screen.windows == []
+    assert len(stack.simulation.trace) == 0
+    assert stack.simulation.faults is None
+    # Boot wiring survives: the stack is immediately usable.
+    assert sorted(stack.simulation.process_names) == sorted(
+        ["binder", "system_server", "system_ui", "notification_manager", "input"]
+    )
+
+
+def test_reset_reinstalls_fault_plan_per_trial():
+    stack = build_stack(seed=1, alert_mode=AlertMode.ANALYTIC, faults="adversarial")
+    assert stack.simulation.faults is not None
+    stack.reset(2)  # default: back to the ambient (fault-free) profile
+    assert stack.simulation.faults is None
+    stack.reset(3, faults="mild")
+    assert stack.simulation.faults is not None
+    assert stack.simulation.faults.profile.name == "mild"
+
+
+def test_cancelling_a_stale_handle_after_reset_is_inert():
+    stack = build_stack(seed=1, alert_mode=AlertMode.ANALYTIC)
+    handle = stack.simulation.schedule_after(100.0, lambda: None, name="stale")
+    stack.reset(2)
+    handle.cancel_if_pending()  # must not corrupt the new run's counters
+    assert stack.simulation.scheduler.pending_count == 0
+    assert stack.simulation.scheduler.cancelled_count == 0
