@@ -5,12 +5,14 @@ accessibility service; 18,887 calling addView & removeView with
 SYSTEM_ALERT_WINDOW; 15,179 using a customized toast.
 """
 
-from repro.experiments import run_corpus_study
+from repro.api import run_experiment
 
 
 def bench_corpus_prevalence_study(benchmark, scale):
-    result = benchmark.pedantic(run_corpus_study, args=(scale,), rounds=1,
-                                iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("corpus",),
+        kwargs={"scale": scale, "derive_seed": False}, rounds=1,
+        iterations=1)
     assert result.max_relative_error < 0.25
     print(f"\nCorpus prevalence (synthetic corpus of "
           f"{result.measured.total:,} apps, scaled to 890,855):")

@@ -5,12 +5,14 @@ pattern) with negligible performance overhead; legitimate overlay apps are
 not flagged.
 """
 
-from repro.experiments import run_ipc_defense
+from repro.api import run_experiment
 
 
 def bench_ipc_defense(benchmark, scale):
-    result = benchmark.pedantic(run_ipc_defense, args=(scale,), rounds=1,
-                                iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("defense_ipc",),
+        kwargs={"scale": scale, "derive_seed": False}, rounds=1,
+        iterations=1)
     assert result.detection_rate == 1.0
     assert result.false_positives == 0
     assert result.monitor_overhead_ms_per_txn < 0.01

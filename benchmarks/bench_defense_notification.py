@@ -6,12 +6,14 @@ the whole alert is displayed and the attack is defeated. Also: the
 toast-spacing defense makes toast switches visibly flicker.
 """
 
-from repro.experiments import run_notification_defense, run_toast_defense
+from repro.api import run_experiment
 
 
 def bench_enhanced_notification_defense(benchmark, scale):
-    result = benchmark.pedantic(run_notification_defense, args=(scale,),
-                                rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("defense_notification",),
+        kwargs={"scale": scale, "derive_seed": False},
+        rounds=1, iterations=1)
     assert result.all_effective
     print(f"\nEnhanced notification defense (t = {result.hide_delay_ms:.0f} ms):")
     print(f"  {'D (ms)':>7s} {'undefended':>11s} {'defended':>9s}")
@@ -23,8 +25,10 @@ def bench_enhanced_notification_defense(benchmark, scale):
 
 
 def bench_toast_spacing_defense(benchmark, scale):
-    result = benchmark.pedantic(run_toast_defense, args=(scale,), rounds=1,
-                                iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("defense_toast",),
+        kwargs={"scale": scale, "derive_seed": False}, rounds=1,
+        iterations=1)
     assert result.defense_effective
     print("\nToast-spacing defense:")
     print(f"  undefended min switch coverage: "

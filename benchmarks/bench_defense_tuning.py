@@ -6,13 +6,14 @@ Expected shape: loose pair-gap ceilings start flagging twitchy-but-benign
 widgets; fewer required pairs detect faster at equal false-positive cost.
 """
 
-from repro.experiments import run_defense_tuning
+from repro.api import run_experiment
 
 
 def bench_ipc_rule_tuning(benchmark, scale):
     result = benchmark.pedantic(
-        run_defense_tuning, args=(scale,),
-        kwargs={"attack_ms": 10_000.0, "benign_observation_ms": 90_000.0},
+        run_experiment, args=("defense_tuning",),
+        kwargs={"scale": scale, "derive_seed": False,
+                "attack_ms": 10_000.0, "benign_observation_ms": 90_000.0},
         rounds=1, iterations=1,
     )
     assert result.usable_points, "no deployable operating point found"

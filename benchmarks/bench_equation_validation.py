@@ -4,13 +4,14 @@ Paper shape (Section III-D / VI-B): the expected mistouch time decreases
 as D increases, and "the experiment results match our analysis".
 """
 
-from repro.experiments import run_equation_validation
+from repro.api import run_experiment
 
 
 def bench_equation2_validation(benchmark, scale):
     result = benchmark.pedantic(
-        run_equation_validation, args=(scale,),
-        kwargs={"attack_ms": 10_000.0}, rounds=1, iterations=1,
+        run_experiment, args=("equation_validation",),
+        kwargs={"scale": scale, "derive_seed": False,
+                "attack_ms": 10_000.0}, rounds=1, iterations=1,
     )
     assert result.max_relative_error < 0.05
     assert result.measured_decreases_with_d

@@ -4,11 +4,13 @@ Paper anchors: < 50% of the view shown within the first 100 ms of the
 360 ms animation; ~0.17% at the first 10 ms frame (0 px of a 72 px view).
 """
 
-from repro.experiments import run_fig2
+from repro.api import run_experiment
 
 
 def bench_fig2_slide_in_curve(benchmark):
-    result = benchmark.pedantic(run_fig2, rounds=3, iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("fig2",),
+        kwargs={"derive_seed": False}, rounds=3, iterations=1)
     assert result.completeness_at_100ms < 50.0
     assert abs(result.completeness_at_10ms - 0.17) < 0.05
     assert result.pixels_at_10ms_of_72px_view == 0

@@ -5,11 +5,13 @@ y = 1 - (1-x)^2 (fast start) over 500 ms — the asymmetry that hides toast
 switches.
 """
 
-from repro.experiments import run_fig4
+from repro.api import run_experiment
 
 
 def bench_fig4_toast_fade_curves(benchmark):
-    result = benchmark.pedantic(run_fig4, rounds=3, iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("fig4",),
+        kwargs={"derive_seed": False}, rounds=3, iterations=1)
     assert result.accelerate.completeness_at(100.0) < 10.0
     assert result.decelerate.completeness_at(100.0) > 30.0
     print("\nFig 4 (toast fades, 500 ms):")

@@ -4,12 +4,14 @@ Paper shape: increasing D walks the outcome ladder from Λ1 (no alert) to
 Λ5 (view + message + icon fully displayed).
 """
 
-from repro.experiments import run_fig6
+from repro.api import run_experiment
 from repro.systemui import NotificationOutcome
 
 
 def bench_fig6_outcome_ladder(benchmark):
-    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("fig6",),
+        kwargs={"derive_seed": False}, rounds=1, iterations=1)
     assert result.is_monotone
     outcomes = [o for _, o in result.outcomes]
     assert outcomes[0] is NotificationOutcome.LAMBDA1

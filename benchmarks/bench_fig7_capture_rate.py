@@ -4,11 +4,13 @@ Paper shape: mean capture rate grows with D and plateaus in the low 90s —
 61.0 / 79.8 / 86.7 / 89.0 / 91.0 / 92.8 / 92.8 % at D = 50..200 ms.
 """
 
-from repro.experiments import run_fig7
+from repro.api import run_experiment
 
 
 def bench_fig7_capture_rate_vs_d(benchmark, scale):
-    result = benchmark.pedantic(run_fig7, args=(scale,), rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("fig7",),
+        kwargs={"scale": scale, "derive_seed": False}, rounds=1, iterations=1)
     means = result.means()
     assert result.is_increasing
     assert means[0] < 85.0       # substantial misses at D = 50 ms

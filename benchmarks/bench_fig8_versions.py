@@ -5,11 +5,13 @@ reduced ``Trm`` widens the mistouch gap; Android 10 only reaches ~90% even
 at D = 200 ms.
 """
 
-from repro.experiments import run_fig8
+from repro.api import run_experiment
 
 
 def bench_fig8_capture_by_version(benchmark, scale):
-    result = benchmark.pedantic(run_fig8, args=(scale,), rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("fig8",),
+        kwargs={"scale": scale, "derive_seed": False}, rounds=1, iterations=1)
     assert result.version_mean("10") < result.version_mean("9")
     at_200 = result.by_version["10"][-1]
     assert 80.0 < at_200 < 97.0  # "around 90% even if D reaches 200 ms"

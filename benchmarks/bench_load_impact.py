@@ -4,12 +4,14 @@ Paper shape: the boundary with 0, 3, and 5 popular background apps is
 'almost the same'; the influence of load is negligible.
 """
 
-from repro.experiments import run_load_impact
+from repro.api import run_experiment
 
 
 def bench_load_impact_on_boundary(benchmark, scale):
-    result = benchmark.pedantic(run_load_impact, args=(scale,), rounds=1,
-                                iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("load_impact",),
+        kwargs={"scale": scale, "derive_seed": False}, rounds=1,
+        iterations=1)
     assert result.max_shift_ms <= 10.0  # within one animation frame
     print(f"\nLoad impact on the Λ1 boundary ({result.device_key}):")
     for count, bound in result.bounds_by_load:

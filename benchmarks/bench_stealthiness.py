@@ -5,12 +5,14 @@ app under attack, nobody noticed the alert or the fake keyboard; one
 person reported lag.
 """
 
-from repro.experiments import run_stealthiness
+from repro.api import run_experiment
 
 
 def bench_stealthiness_study(benchmark, scale):
-    result = benchmark.pedantic(run_stealthiness, args=(scale,), rounds=1,
-                                iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("stealthiness",),
+        kwargs={"scale": scale, "derive_seed": False}, rounds=1,
+        iterations=1)
     assert result.noticed_attack == 0
     assert result.reported_lag <= max(2, result.participants // 10)
     print(f"\nStealthiness ({result.participants} participants, BofA):")

@@ -6,12 +6,14 @@ success relative to 8/9, and the 30-participant Fig. 7 means should carry
 visible but modest statistical uncertainty.
 """
 
-from repro.experiments import run_fig7_with_cis, run_table3_by_version
+from repro.api import run_experiment
 
 
 def bench_table3_by_android_version(benchmark, scale):
-    result = benchmark.pedantic(run_table3_by_version, args=(scale,),
-                                rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("table3_by_version",),
+        kwargs={"scale": scale, "derive_seed": False},
+        rounds=1, iterations=1)
     assert result.newer_versions_harder
     print(f"\nPassword stealing (length {result.password_length}) by "
           "Android version:")
@@ -23,8 +25,10 @@ def bench_table3_by_android_version(benchmark, scale):
 
 
 def bench_fig7_confidence_intervals(benchmark, scale):
-    result = benchmark.pedantic(run_fig7_with_cis, args=(scale,),
-                                rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("fig7_cis",),
+        kwargs={"scale": scale, "derive_seed": False},
+        rounds=1, iterations=1)
     for row in result.rows:
         assert row.ci.lower <= row.mean <= row.ci.upper
     print("\nFig 7 means with 95% bootstrap CIs over participants:")

@@ -6,11 +6,13 @@ because of the ANA notification-dispatch delay.
 """
 
 from repro.devices import DEVICES
-from repro.experiments import run_table2
+from repro.api import run_experiment
 
 
 def bench_table2_upper_boundaries(benchmark, scale):
-    result = benchmark.pedantic(run_table2, args=(scale,), rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("table2",),
+        kwargs={"scale": scale, "derive_seed": False}, rounds=1, iterations=1)
     assert result.mean_abs_error_ms <= 10.0
     means = result.version_means()
     assert means["10"] > means["9"]

@@ -5,11 +5,14 @@ to 84.3% at 12), with length errors the dominant category, then
 capitalization and wrong-key errors.
 """
 
-from repro.experiments import TABLE_III_PAPER, run_table3
+from repro.api import run_experiment
+from repro.experiments import TABLE_III_PAPER
 
 
 def bench_table3_password_stealing(benchmark, scale):
-    result = benchmark.pedantic(run_table3, args=(scale,), rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("table3",),
+        kwargs={"scale": scale, "derive_seed": False}, rounds=1, iterations=1)
     # At reduced scale the per-length estimates are noisy (a handful of
     # attempts per cell); assert the robust claim: the attack succeeds on
     # a large majority of attempts at every length. The length trend is

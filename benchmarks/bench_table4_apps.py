@@ -5,11 +5,13 @@ username-widget workaround ('*' marker) because it disables accessibility
 events on the password field.
 """
 
-from repro.experiments import run_table4
+from repro.api import run_experiment
 
 
 def bench_table4_real_world_apps(benchmark, scale):
-    result = benchmark.pedantic(run_table4, args=(scale,), rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("table4",),
+        kwargs={"scale": scale, "derive_seed": False}, rounds=1, iterations=1)
     assert result.all_compromised
     assert result.row("Alipay").marker == "*"
     assert all(r.marker == "✓" for r in result.rows if r.app_name != "Alipay")

@@ -6,12 +6,15 @@ imperceptible; 3.5 s toasts switch less often than 2 s ones; the token
 queue stays under the 50-per-app cap.
 """
 
-from repro.experiments import compare_toast_durations, run_toast_continuity
+from repro.api import run_experiment
+from repro.experiments import compare_toast_durations
 
 
 def bench_toast_continuity(benchmark, scale):
-    result = benchmark.pedantic(run_toast_continuity, args=(scale,), rounds=1,
-                                iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("toast_continuity",),
+        kwargs={"scale": scale, "derive_seed": False}, rounds=1,
+        iterations=1)
     assert result.imperceptible
     assert result.max_queue_depth_observed < 50
     print("\nToast attack continuity (3.5 s toasts):")

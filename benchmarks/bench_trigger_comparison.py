@@ -6,12 +6,14 @@ channel (Chen et al. [9]) fires within a poll interval and is immune to
 the hardening.
 """
 
-from repro.experiments import run_trigger_comparison
+from repro.api import run_experiment
 
 
 def bench_trigger_channel_comparison(benchmark, scale):
-    result = benchmark.pedantic(run_trigger_comparison, args=(scale,),
-                                rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_experiment, args=("trigger_comparison",),
+        kwargs={"scale": scale, "derive_seed": False},
+        rounds=1, iterations=1)
     assert result.accessibility_is_faster
     side_alipay = next(t for t in result.trials
                        if t.channel == "side_channel" and t.victim == "Alipay")

@@ -10,7 +10,7 @@ Run:  python examples/animation_timing_explorer.py
 
 from repro.attacks import expected_mistouch_for_profile
 from repro.devices import DEVICES
-from repro.experiments import run_fig2, run_fig4
+from repro.api import run_experiment
 
 
 def ascii_curve(series, width=60, height=12, label=""):
@@ -33,14 +33,14 @@ def ascii_curve(series, width=60, height=12, label=""):
 def main() -> None:
     print("Fig. 2 — FastOutSlowIn notification slide-in (the attacker's"
           " friend):")
-    fig2 = run_fig2()
+    fig2 = run_experiment("fig2")
     ascii_curve(fig2.curve, label="completeness vs time, 360 ms")
     print(f"\n  first 10 ms frame renders {fig2.completeness_at_10ms:.2f}% "
           f"= {fig2.pixels_at_10ms_of_72px_view} px of a 72 px view")
     print(f"  at 100 ms only {fig2.completeness_at_100ms:.1f}% is shown "
           "(paper: < 50%)")
 
-    fig4 = run_fig4()
+    fig4 = run_experiment("fig4")
     print("\nFig. 4 — toast fades (fade-out lingers, fade-in snaps):")
     ascii_curve(fig4.accelerate, label="fade-out progress (Accelerate), 500 ms")
     ascii_curve(fig4.decelerate, label="fade-in progress (Decelerate), 500 ms")

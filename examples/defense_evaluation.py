@@ -26,7 +26,8 @@ from repro import (
     build_stack,
 )
 from repro.defenses import BenignOverlayApp, ToastSpacingDefense
-from repro.experiments import QUICK, run_toast_continuity
+from repro.api import run_experiment
+from repro.experiments import QUICK
 
 
 def demo_ipc_detector() -> None:
@@ -81,9 +82,12 @@ def demo_enhanced_notification() -> None:
 
 def demo_toast_spacing() -> None:
     print("=== 3. Toast spacing (scheduling gap between toasts) ===")
-    plain = run_toast_continuity(QUICK, inter_toast_gap_ms=0.0)
-    spaced = run_toast_continuity(QUICK, inter_toast_gap_ms=ToastSpacingDefense(
-        build_stack(seed=1).notification_manager).gap_ms)
+    plain = run_experiment("toast_continuity", scale=QUICK,
+                           derive_seed=False, inter_toast_gap_ms=0.0)
+    spaced = run_experiment(
+        "toast_continuity", scale=QUICK, derive_seed=False,
+        inter_toast_gap_ms=ToastSpacingDefense(
+            build_stack(seed=1).notification_manager).gap_ms)
     print(f"  undefended : min switch coverage "
           f"{plain.min_switch_coverage * 100:5.1f}%  -> imperceptible: "
           f"{plain.imperceptible}")

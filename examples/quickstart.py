@@ -61,7 +61,8 @@ def run_attack(attacking_window_ms: float, taps: int = 10,
 
 
 def run_suite(jobs: int = 2) -> None:
-    from repro.experiments import SMOKE, run_all
+    from repro.api import run_all
+    from repro.experiments import SMOKE
 
     results = run_all(SMOKE, jobs=jobs)
     slowest = sorted(results.timings, key=lambda t: t.seconds, reverse=True)

@@ -21,10 +21,26 @@ Quickstart::
     stack.run_for(5_000)
     print(stack.system_ui.worst_outcome())   # Λ1: alert fully suppressed
 
-See DESIGN.md for the architecture and EXPERIMENTS.md for the
-paper-vs-measured comparison.
+Experiments go through the :mod:`repro.api` facade::
+
+    from repro import run_experiment
+    fig7 = run_experiment("fig7")            # capture rate vs D
+
+See docs/API.md for the full public surface, DESIGN.md for the
+architecture and EXPERIMENTS.md for the paper-vs-measured comparison.
 """
 
+from .api import (
+    FULL,
+    QUICK,
+    SMOKE,
+    ExperimentScale,
+    ScenarioMatrix,
+    format_report,
+    run_all,
+    run_experiment,
+    run_matrix,
+)
 from .attacks import (
     DrawAndDestroyOverlayAttack,
     DrawAndDestroyToastAttack,
@@ -46,6 +62,8 @@ from .windows import Permission
 
 __version__ = "1.0.0"
 
+# The pinned public surface. tests/test_api_surface.py snapshots this
+# list — additions are deliberate API growth, removals are breaking.
 __all__ = [
     "AlertMode",
     "AndroidStack",
@@ -54,17 +72,26 @@ __all__ = [
     "DrawAndDestroyOverlayAttack",
     "DrawAndDestroyToastAttack",
     "EnhancedNotificationDefense",
+    "ExperimentScale",
+    "FULL",
     "IpcDetector",
     "NotificationOutcome",
     "OverlayAttackConfig",
     "PasswordStealingAttack",
     "PasswordStealingConfig",
     "Permission",
+    "QUICK",
+    "SMOKE",
+    "ScenarioMatrix",
     "Simulation",
     "ToastAttackConfig",
     "ToastSpacingDefense",
     "build_stack",
     "device",
+    "format_report",
     "reference_device",
+    "run_all",
+    "run_experiment",
+    "run_matrix",
     "__version__",
 ]

@@ -1,0 +1,48 @@
+"""Warn-once deprecation shims for pre-facade entry points.
+
+The per-module ``run_<experiment>`` functions predate :mod:`repro.api`;
+they keep working forever as thin wrappers created by
+:func:`deprecated_entry_point`, but new code should go through
+``repro.api.run_experiment``. Each shim warns at most once per process so
+sweep loops don't drown in repeats, yet ``-W error::DeprecationWarning``
+(the CI leg guarding the suite itself) still trips on the first call.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Any, Callable, Set
+
+_warned: Set[str] = set()
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which shims already warned (test hook)."""
+    _warned.clear()
+
+
+def deprecated_entry_point(
+    old_name: str, impl: Callable[..., Any], instead: str
+) -> Callable[..., Any]:
+    """Wrap ``impl`` so calling it under ``old_name`` warns, then delegates.
+
+    The wrapper passes through args and return value verbatim — results
+    are bit-identical to calling ``impl`` — so migration is never urgent;
+    the warning just points at the ``repro.api`` replacement.
+    """
+
+    @functools.wraps(impl)
+    def shim(*args: Any, **kwargs: Any) -> Any:
+        if old_name not in _warned:
+            _warned.add(old_name)
+            warnings.warn(
+                f"{old_name}() is deprecated; use {instead} instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return impl(*args, **kwargs)
+
+    shim.__name__ = old_name
+    shim.__qualname__ = old_name
+    return shim

@@ -83,6 +83,15 @@ class Animator:
         # Reverse playback bookkeeping.
         self._reverse_from = 0.0
         self._reverse_start: Optional[float] = None
+        # Frame accounting for the metrics plane. Imported lazily: the
+        # compositor (which owns the metric names) imports toast code that
+        # imports this module.
+        if simulation.metrics is not None:
+            from ..windows.compositor import frame_instruments
+
+            self._m_frames = frame_instruments(simulation.metrics)
+        else:
+            self._m_frames = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -181,6 +190,8 @@ class Animator:
             # end, so the animation always terminates (drop probability is
             # capped below 1).
             self._frames_dropped += 1
+            if self._m_frames is not None:
+                self._m_frames[1].inc()
             if self._state in (AnimationState.RUNNING, AnimationState.REVERSING):
                 self._schedule_next_frame()
             return
@@ -213,6 +224,8 @@ class Animator:
         if completeness > self._max_progress:
             self._max_progress = completeness
         self._frames_rendered += 1
+        if self._m_frames is not None:
+            self._m_frames[0].inc()
         if self._on_frame is not None:
             self._on_frame(completeness)
 

@@ -1,0 +1,139 @@
+"""The stable public API of the reproduction suite.
+
+Everything an external caller needs lives behind four entry points:
+
+* :func:`build_stack` — boot one simulated Android device;
+* :func:`run_experiment` — run one named experiment of the suite;
+* :func:`run_matrix` — run a declarative :class:`ScenarioMatrix` sweep
+  with stack reuse;
+* :func:`run_all` / :func:`format_report` — the whole suite and its
+  paper-vs-measured report.
+
+The historical per-module entry points (``repro.experiments.run_fig7``
+and friends) still work but emit :class:`DeprecationWarning`; they all
+route to the same implementations this module fronts.
+
+Metrics compose ambiently: wrap any of these calls in
+``with repro.obs.use_metrics(registry):`` and the simulation's
+instruments feed ``registry`` without changing a single result byte.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, List, Optional
+
+from .experiments.config import FULL, QUICK, SMOKE, ExperimentScale
+from .experiments.engine import (
+    ScenarioMatrix,
+    TrialExecutor,
+    TrialOutcome,
+    scoped_executor,
+    use_executor,
+)
+from .experiments.parallel import (
+    _SPEC_BY_NAME,
+    _reset_global_id_allocators,
+    _run_one,
+    experiment_names,
+)
+from .experiments.runner import AllResults, format_report, run_all
+from .sim.faults import use_default_profile
+from .stack import AndroidStack, build_stack
+
+__all__ = [
+    "AllResults",
+    "AndroidStack",
+    "ExperimentScale",
+    "FULL",
+    "QUICK",
+    "SMOKE",
+    "ScenarioMatrix",
+    "TrialExecutor",
+    "TrialOutcome",
+    "build_stack",
+    "experiment_names",
+    "format_report",
+    "run_all",
+    "run_experiment",
+    "run_matrix",
+]
+
+
+def run_experiment(
+    name: str,
+    *,
+    scale: ExperimentScale = QUICK,
+    faults: Optional[str] = None,
+    jobs: int = 1,
+    derive_seed: bool = True,
+    **params: Any,
+) -> Any:
+    """Run one named experiment and return its result dataclass.
+
+    ``name`` is an entry of :func:`experiment_names` (``"fig7"``,
+    ``"table3"``, ...). ``faults`` overrides the scale's ambient fault
+    regime (``"none"``, ``"mild"``, ``"pixel-loaded"``,
+    ``"adversarial"``). Extra keyword ``params`` pass through to the
+    experiment function (e.g. ``durations=(50.0, 200.0)`` for fig7).
+
+    ``derive_seed=True`` (the default) reproduces exactly what
+    ``run_all`` does for this experiment: the seed is derived from
+    ``(scale.name, scale.seed, name)``, the global id allocators restart,
+    and the scale's fault regime plus a fresh stack-reuse executor are
+    installed ambiently — so the result is bit-identical to the same
+    experiment's slot in the full suite. ``derive_seed=False`` instead
+    calls the implementation directly with ``scale`` as given — the
+    historical behaviour of the per-module entry points, for callers that
+    pin their own seeds.
+
+    ``jobs=1`` runs in-process. Any other value runs the experiment in a
+    worker subprocess for isolation — one experiment never fans wider
+    than one worker, so this only buys a clean process, not speed.
+    """
+    spec = _SPEC_BY_NAME.get(name)
+    if spec is None:
+        known = ", ".join(experiment_names())
+        raise KeyError(f"unknown experiment {name!r}; known: {known}")
+    if faults is not None:
+        scale = scale.with_faults(faults)
+    if not derive_seed:
+        if spec.takes_scale:
+            return spec.runner(scale, **params)
+        return spec.runner(**params)
+    if jobs != 1:
+        if params:
+            raise ValueError(
+                "extra experiment params cannot cross the process "
+                "boundary; use jobs=1"
+            )
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            _, result, _, _, _ = pool.submit(_run_one, name, scale).result()
+        return result
+    if not params:
+        _, result, _, _, _ = _run_one(name, scale)
+        return result
+    # Same discipline as the worker path, with params threaded through.
+    _reset_global_id_allocators()
+    with use_default_profile(scale.faults), use_executor(TrialExecutor()):
+        if spec.takes_scale:
+            return spec.runner(scale.for_experiment(name), **params)
+        return spec.runner(**params)
+
+
+def run_matrix(
+    matrix: ScenarioMatrix,
+    *,
+    executor: Optional[TrialExecutor] = None,
+) -> List[TrialOutcome]:
+    """Run every cell of ``matrix``, pairing each spec with its result.
+
+    Without an explicit ``executor`` the ambient one is used when an
+    enclosing experiment installed it, otherwise a fresh stack-reuse
+    executor scoped to this call. Under an ambient metrics registry each
+    outcome carries its per-trial metric delta.
+    """
+    if executor is not None:
+        return executor.run_matrix(matrix)
+    with scoped_executor() as scoped:
+        return scoped.run_matrix(matrix)

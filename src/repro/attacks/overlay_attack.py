@@ -39,7 +39,7 @@ class CapturedTouch:
     overlay_label: str
 
 
-@dataclass
+@dataclass(kw_only=True)
 class OverlayAttackConfig:
     """Parameters of one draw-and-destroy overlay attack run."""
 

@@ -76,7 +76,7 @@ def classify_password_attempt(truth: str, derived: str) -> PasswordErrorType:
     return PasswordErrorType.WRONG_KEY_ERROR
 
 
-@dataclass
+@dataclass(frozen=True)
 class PasswordAttackResult:
     """What the malware walked away with."""
 
@@ -91,7 +91,7 @@ class PasswordAttackResult:
         return classify_password_attempt(truth, self.derived_password)
 
 
-@dataclass
+@dataclass(kw_only=True)
 class PasswordStealingConfig:
     """Parameters of the composed attack."""
 

@@ -30,7 +30,7 @@ TOAST_MALWARE_PACKAGE = "com.example.helpful.widget"
 ContentProvider = Callable[[], Any]
 
 
-@dataclass
+@dataclass(kw_only=True)
 class ToastAttackConfig:
     """Parameters of one draw-and-destroy toast attack run."""
 

@@ -54,6 +54,21 @@ class BinderRouter(SimProcess):
         #: messages — this knob exists for robustness testing).
         self.loss_probability = float(loss_probability)
         self._dropped = 0
+        # Instruments resolved once; they survive rearm() so a registry
+        # aggregates Binder traffic across every trial of an experiment.
+        registry = simulation.metrics
+        if registry is not None:
+            self._m_sent = registry.counter("binder_transactions_sent_total")
+            self._m_delivered = registry.counter(
+                "binder_transactions_delivered_total")
+            self._m_dropped = registry.counter(
+                "binder_transactions_dropped_total")
+            self._m_transit = registry.histogram("binder_transit_ms")
+        else:
+            self._m_sent = None
+            self._m_delivered = None
+            self._m_dropped = None
+            self._m_transit = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -144,6 +159,11 @@ class BinderRouter(SimProcess):
             self._fifo_last[fifo_key] = delivery
             latency_ms = delivery - self.now
         self._txn_counter += 1
+        if self._m_sent is not None:
+            self._m_sent.inc()
+            # Transit time as scheduled, including model latency, fault
+            # jitter and FIFO clamping — the "transit jitter" series.
+            self._m_transit.observe(latency_ms)
         txn = BinderTransaction(
             txn_id=self._txn_counter,
             sender=sender,
@@ -162,11 +182,15 @@ class BinderRouter(SimProcess):
             dropped = True
         if dropped:
             self._dropped += 1
+            if self._m_dropped is not None:
+                self._m_dropped.inc()
             self.trace("binder.dropped", txn_id=txn.txn_id, method=method)
             return txn
 
         def deliver() -> None:
             self._delivered += 1
+            if self._m_delivered is not None:
+                self._m_delivered.inc()
             handler(txn)
 
         self.schedule(latency_ms, deliver, name=f"deliver:{method}")

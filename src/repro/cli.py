@@ -8,7 +8,10 @@ Commands:
 * ``diagram`` — render the paper's Fig. 3 / Fig. 5 sequence charts from a
   live simulation trace;
 * ``report`` — run the complete reproduction suite and print the
-  paper-vs-measured report (EXPERIMENTS.md content).
+  paper-vs-measured report (EXPERIMENTS.md content); ``--metrics-out`` /
+  ``--profile-dir`` attach observability artifacts to the run;
+* ``metrics`` — run the suite with metrics collection and export the
+  aggregated series as JSONL + Prometheus text.
 """
 
 from __future__ import annotations
@@ -128,6 +131,16 @@ def _cmd_diagram(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_metrics_exports(results, out_dir: Path) -> None:
+    """Write ``metrics.jsonl`` + ``metrics.prom`` for an AllResults run."""
+    from .obs import merge_samples, render_prometheus, to_jsonl
+
+    merged = merge_samples(em.samples for em in results.metrics or ())
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "metrics.jsonl").write_text(to_jsonl(merged))
+    (out_dir / "metrics.prom").write_text(render_prometheus(merged))
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments import (
         FULL,
@@ -141,7 +154,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
     scale = {"full": FULL, "quick": QUICK, "smoke": SMOKE}[args.scale]
     if args.faults != "none":
         scale = scale.with_faults(args.faults)
-    if args.no_cache:
+    collect_metrics = args.metrics_out is not None
+    if args.no_cache or collect_metrics or args.profile_dir is not None:
+        # Cached results carry no metric snapshots or profiles; a fresh
+        # run is the only way to honor --metrics-out / --profile-dir.
         cache_dir = None
     elif args.cache_dir is not None:
         cache_dir = args.cache_dir
@@ -152,8 +168,31 @@ def _cmd_report(args: argparse.Namespace) -> int:
               "directory", file=sys.stderr)
         return 2
     results = run_all(scale, verbose=args.verbose, jobs=args.jobs,
-                      cache_dir=cache_dir)
+                      cache_dir=cache_dir, collect_metrics=collect_metrics,
+                      profile_dir=args.profile_dir)
     print(format_report(results, include_timings=args.verbose))
+    if collect_metrics:
+        _write_metrics_exports(results, args.metrics_out)
+        print(f"\nmetrics written to {args.metrics_out}/metrics.jsonl "
+              f"and {args.metrics_out}/metrics.prom", file=sys.stderr)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .experiments import FULL, QUICK, SMOKE, run_all
+    from .obs import merge_samples, render_prometheus
+
+    scale = {"full": FULL, "quick": QUICK, "smoke": SMOKE}[args.scale]
+    if args.faults != "none":
+        scale = scale.with_faults(args.faults)
+    results = run_all(scale, jobs=args.jobs, collect_metrics=True)
+    if args.out is not None:
+        _write_metrics_exports(results, args.out)
+        print(f"metrics written to {args.out}/metrics.jsonl and "
+              f"{args.out}/metrics.prom", file=sys.stderr)
+        return 0
+    merged = merge_samples(em.samples for em in results.metrics or ())
+    print(render_prometheus(merged), end="")
     return 0
 
 
@@ -260,6 +299,30 @@ def build_parser() -> argparse.ArgumentParser:
                         default="none",
                         help="run every experiment under this fault "
                              "profile (cached separately per profile)")
+    report.add_argument("--metrics-out", type=Path, default=None,
+                        help="collect metrics during the run and write "
+                             "metrics.jsonl + metrics.prom into this "
+                             "directory (disables the result cache)")
+    report.add_argument("--profile-dir", type=Path, default=None,
+                        help="dump a cProfile <experiment>.prof per "
+                             "experiment into this directory (disables "
+                             "the result cache)")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run the suite with metrics collection and export the "
+             "aggregated series",
+    )
+    metrics.add_argument("--scale", choices=("smoke", "quick", "full"),
+                         default="quick")
+    metrics.add_argument("--jobs", type=_nonnegative_int, default=1,
+                         help="worker processes (0 = one per core)")
+    metrics.add_argument("--faults", choices=_fault_profile_names(),
+                         default="none",
+                         help="deterministic fault-injection profile")
+    metrics.add_argument("--out", type=Path, default=None,
+                         help="write metrics.jsonl + metrics.prom here "
+                              "(default: print Prometheus text to stdout)")
 
     experiments = sub.add_parser(
         "experiments", help="inspect the experiment / scenario registry"
@@ -285,6 +348,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "attack": _cmd_attack,
         "diagram": _cmd_diagram,
         "report": _cmd_report,
+        "metrics": _cmd_metrics,
         "experiments": _cmd_experiments,
         "fig6": _cmd_fig6,
         "probe": _cmd_probe,

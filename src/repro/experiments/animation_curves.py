@@ -16,8 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..serialization import SerializableMixin
+from .._deprecation import deprecated_entry_point
 from ..animation.animator import (
     ANIMATION_DURATION_STANDARD,
+    DEFAULT_REFRESH_INTERVAL,
     TOAST_ANIMATION_DURATION,
     rendered_pixels,
 )
@@ -26,10 +29,30 @@ from ..animation.interpolators import (
     DecelerateInterpolator,
     FastOutSlowInInterpolator,
 )
+from ..obs.context import current_metrics
+
+
+def _replay_on_animator(interpolator, duration_ms: float) -> None:
+    """Drive the curve through a live frame-driven :class:`Animator`.
+
+    Only runs under the metrics plane: it feeds the compositor frame
+    counters with the real frame machinery the analytic curves abstract
+    over (frame quantization at the 10 ms refresh interval), on a private
+    simulation. The result objects never read anything from it, so the
+    figures are byte-identical with metrics on or off.
+    """
+    from ..animation.animator import Animator
+    from ..sim.simulation import Simulation
+
+    simulation = Simulation(seed=0, trace_enabled=False)
+    animator = Animator(simulation, interpolator, duration_ms,
+                        name="fig2-replay")
+    animator.start()
+    simulation.run_for(duration_ms + DEFAULT_REFRESH_INTERVAL)
 
 
 @dataclass(frozen=True)
-class CurveSeries:
+class CurveSeries(SerializableMixin):
     """One sampled curve: (time ms, completeness %) pairs."""
 
     name: str
@@ -43,7 +66,7 @@ class CurveSeries:
 
 
 @dataclass(frozen=True)
-class Fig2Result:
+class Fig2Result(SerializableMixin):
     """The notification slide-in curve plus its paper anchors."""
 
     curve: CurveSeries
@@ -53,7 +76,7 @@ class Fig2Result:
 
 
 @dataclass(frozen=True)
-class Fig4Result:
+class Fig4Result(SerializableMixin):
     """The toast fade curves."""
 
     accelerate: CurveSeries
@@ -69,8 +92,10 @@ def _sample(name: str, interpolator, duration_ms: float, step_ms: float) -> Curv
     return CurveSeries(name=name, duration_ms=duration_ms, points=tuple(points))
 
 
-def run_fig2(step_ms: float = 2.0) -> Fig2Result:
+def _run_fig2(step_ms: float = 2.0) -> Fig2Result:
     interpolator = FastOutSlowInInterpolator()
+    if current_metrics() is not None:
+        _replay_on_animator(interpolator, ANIMATION_DURATION_STANDARD)
     curve = _sample(
         "fast-out-slow-in", interpolator, ANIMATION_DURATION_STANDARD, step_ms
     )
@@ -84,7 +109,7 @@ def run_fig2(step_ms: float = 2.0) -> Fig2Result:
     )
 
 
-def run_fig4(step_ms: float = 2.0) -> Fig4Result:
+def _run_fig4(step_ms: float = 2.0) -> Fig4Result:
     return Fig4Result(
         accelerate=_sample(
             "accelerate", AccelerateInterpolator(), TOAST_ANIMATION_DURATION, step_ms
@@ -93,3 +118,10 @@ def run_fig4(step_ms: float = 2.0) -> Fig4Result:
             "decelerate", DecelerateInterpolator(), TOAST_ANIMATION_DURATION, step_ms
         ),
     )
+
+
+run_fig2 = deprecated_entry_point(
+    "run_fig2", _run_fig2, "repro.api.run_experiment('fig2', ...)")
+
+run_fig4 = deprecated_entry_point(
+    "run_fig4", _run_fig4, "repro.api.run_experiment('fig4', ...)")

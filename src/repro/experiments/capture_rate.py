@@ -15,6 +15,8 @@ import statistics
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..serialization import SerializableMixin
+from .._deprecation import deprecated_entry_point
 from ..sim.rng import SeededRng
 from ..users.participant import Participant, generate_participants
 from .config import FIG7_DURATIONS, FIG7_PAPER_MEANS, ExperimentScale, QUICK
@@ -23,7 +25,7 @@ from .scenarios import run_capture_trial
 
 
 @dataclass(frozen=True)
-class CaptureBoxStats:
+class CaptureBoxStats(SerializableMixin):
     """Box-plot statistics of per-participant capture rates at one D."""
 
     attacking_window_ms: float
@@ -37,7 +39,7 @@ class CaptureBoxStats:
 
 
 @dataclass(frozen=True)
-class Fig7Result:
+class Fig7Result(SerializableMixin):
     """Capture-rate distribution per attacking window."""
 
     stats: Tuple[CaptureBoxStats, ...]
@@ -53,7 +55,7 @@ class Fig7Result:
 
 
 @dataclass(frozen=True)
-class Fig8Result:
+class Fig8Result(SerializableMixin):
     """Mean capture rate per Android version per attacking window."""
 
     durations: Tuple[float, ...]
@@ -90,7 +92,7 @@ def _participant_rate(
     return captured / total if total else 0.0
 
 
-def run_fig7(
+def _run_fig7(
     scale: ExperimentScale = QUICK,
     durations: Sequence[float] = FIG7_DURATIONS,
     participants: Optional[Sequence[Participant]] = None,
@@ -124,7 +126,7 @@ def run_fig7(
     return Fig7Result(stats=tuple(stats), paper_means=tuple(FIG7_PAPER_MEANS))
 
 
-def run_fig8(
+def _run_fig8(
     scale: ExperimentScale = QUICK,
     durations: Sequence[float] = FIG7_DURATIONS,
 ) -> Fig8Result:
@@ -157,3 +159,10 @@ def run_fig8(
                 series.append(sum(rates) / len(rates))
             by_version[version] = tuple(series)
     return Fig8Result(durations=tuple(durations), by_version=by_version)
+
+
+run_fig7 = deprecated_entry_point(
+    "run_fig7", _run_fig7, "repro.api.run_experiment('fig7', ...)")
+
+run_fig8 = deprecated_entry_point(
+    "run_fig8", _run_fig8, "repro.api.run_experiment('fig8', ...)")

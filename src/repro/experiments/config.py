@@ -15,7 +15,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class ExperimentScale:
     """Knobs controlling experiment cost."""
 

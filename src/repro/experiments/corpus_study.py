@@ -9,13 +9,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..serialization import SerializableMixin
+from .._deprecation import deprecated_entry_point
 from ..staticanalysis.corpus import PAPER_CORPUS_SIZE, SyntheticCorpus
 from ..staticanalysis.report import PrevalenceCounts, run_prevalence_study
 from .config import ExperimentScale, QUICK
 
 
 @dataclass(frozen=True)
-class CorpusStudyResult:
+class CorpusStudyResult(SerializableMixin):
     """Measured counts, scaled counts and paper reference."""
 
     measured: PrevalenceCounts
@@ -36,7 +38,7 @@ class CorpusStudyResult:
         )
 
 
-def run_corpus_study(scale: ExperimentScale = QUICK) -> CorpusStudyResult:
+def _run_corpus_study(scale: ExperimentScale = QUICK) -> CorpusStudyResult:
     corpus = SyntheticCorpus(size=scale.corpus_size, seed=scale.seed)
     measured = run_prevalence_study(corpus)
     return CorpusStudyResult(
@@ -44,3 +46,7 @@ def run_corpus_study(scale: ExperimentScale = QUICK) -> CorpusStudyResult:
         scaled_to_paper=measured.scaled_to(PAPER_CORPUS_SIZE),
         paper=PrevalenceCounts.paper_reference(),
     )
+
+
+run_corpus_study = deprecated_entry_point(
+    "run_corpus_study", _run_corpus_study, "repro.api.run_experiment('corpus', ...)")

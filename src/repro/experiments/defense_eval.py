@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..serialization import SerializableMixin
+from .._deprecation import deprecated_entry_point
 from ..attacks.overlay_attack import DrawAndDestroyOverlayAttack, OverlayAttackConfig
 from ..defenses.benign import BenignOverlayApp
 from ..defenses.enhanced_notification import (
@@ -29,7 +31,7 @@ from ..systemui.outcomes import NotificationOutcome
 from ..windows.permissions import Permission
 from .config import ExperimentScale, QUICK
 from .engine import TrialSpec, run_trial, scenario, scoped_executor
-from .toast_continuity import ToastContinuityResult, run_toast_continuity
+from .toast_continuity import ToastContinuityResult, _run_toast_continuity
 
 
 # ---------------------------------------------------------------------------
@@ -45,7 +47,7 @@ class IpcDefenseTrial:
 
 
 @dataclass(frozen=True)
-class IpcDefenseResult:
+class IpcDefenseResult(SerializableMixin):
     trials: Tuple[IpcDefenseTrial, ...]
     benign_apps_observed: int
     false_positives: int
@@ -128,7 +130,7 @@ def ipc_defense_benign_scenario(
     return len(benign_apps), false_positives
 
 
-def run_ipc_defense(
+def _run_ipc_defense(
     scale: ExperimentScale = QUICK,
     profile: Optional[DeviceProfile] = None,
     durations: Sequence[float] = (50.0, 100.0, 150.0, 200.0, 300.0),
@@ -189,7 +191,7 @@ class NotificationDefenseTrial:
 
 
 @dataclass(frozen=True)
-class NotificationDefenseResult:
+class NotificationDefenseResult(SerializableMixin):
     hide_delay_ms: float
     trials: Tuple[NotificationDefenseTrial, ...]
     hides_suppressed: int
@@ -242,7 +244,7 @@ def _attack_outcome(
     ))
 
 
-def run_notification_defense(
+def _run_notification_defense(
     scale: ExperimentScale = QUICK,
     profile: Optional[DeviceProfile] = None,
     durations: Optional[Sequence[float]] = None,
@@ -285,7 +287,7 @@ def run_notification_defense(
 # ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
-class ToastDefenseResult:
+class ToastDefenseResult(SerializableMixin):
     without_defense: ToastContinuityResult
     with_defense: ToastContinuityResult
 
@@ -298,11 +300,21 @@ class ToastDefenseResult:
         )
 
 
-def run_toast_defense(
+def _run_toast_defense(
     scale: ExperimentScale = QUICK, gap_ms: float = 500.0
 ) -> ToastDefenseResult:
     with scoped_executor():
         return ToastDefenseResult(
-            without_defense=run_toast_continuity(scale, inter_toast_gap_ms=0.0),
-            with_defense=run_toast_continuity(scale, inter_toast_gap_ms=gap_ms),
+            without_defense=_run_toast_continuity(scale, inter_toast_gap_ms=0.0),
+            with_defense=_run_toast_continuity(scale, inter_toast_gap_ms=gap_ms),
         )
+
+
+run_ipc_defense = deprecated_entry_point(
+    "run_ipc_defense", _run_ipc_defense, "repro.api.run_experiment('defense_ipc', ...)")
+
+run_notification_defense = deprecated_entry_point(
+    "run_notification_defense", _run_notification_defense, "repro.api.run_experiment('defense_notification', ...)")
+
+run_toast_defense = deprecated_entry_point(
+    "run_toast_defense", _run_toast_defense, "repro.api.run_experiment('defense_toast', ...)")

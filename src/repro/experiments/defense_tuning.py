@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..serialization import SerializableMixin
+from .._deprecation import deprecated_entry_point
 from ..defenses.benign import BenignOverlayApp
 from ..defenses.ipc_detector import DetectionRule, IpcDetector
 from ..devices.profiles import DeviceProfile
@@ -28,7 +30,7 @@ from .engine import TrialSpec, run_trial, scenario, scoped_executor
 
 
 @dataclass(frozen=True)
-class RuleOperatingPoint:
+class RuleOperatingPoint(SerializableMixin):
     """Detection/false-positive trade-off of one rule configuration."""
 
     min_pairs: int
@@ -44,7 +46,7 @@ class RuleOperatingPoint:
 
 
 @dataclass(frozen=True)
-class DefenseTuningResult:
+class DefenseTuningResult(SerializableMixin):
     points: Tuple[RuleOperatingPoint, ...]
 
     @property
@@ -120,7 +122,7 @@ def _benign_false_positives(
     ))
 
 
-def run_defense_tuning(
+def _run_defense_tuning(
     scale: ExperimentScale = QUICK,
     profile: Optional[DeviceProfile] = None,
     min_pairs_values: Sequence[int] = (4, 8, 16),
@@ -184,3 +186,7 @@ def _tune_grid(
                     ),
                 )
             )
+
+
+run_defense_tuning = deprecated_entry_point(
+    "run_defense_tuning", _run_defense_tuning, "repro.api.run_experiment('defense_tuning', ...)")

@@ -28,6 +28,7 @@ the trial wrappers in :mod:`repro.experiments.scenarios` route through
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
@@ -44,6 +45,7 @@ from typing import (
 
 from ..devices.profiles import DeviceProfile
 from ..devices.registry import devices_by_version, reference_device
+from ..obs.context import current_metrics
 from ..stack import AndroidStack, build_stack
 from ..systemui.system_ui import AlertMode
 from .config import ExperimentScale
@@ -123,10 +125,19 @@ class TrialSpec:
 
 @dataclass(frozen=True)
 class TrialOutcome:
-    """A spec paired with what its scenario returned."""
+    """A spec paired with what its scenario returned.
+
+    When the trial ran under an ambient metrics registry,
+    ``metrics`` holds the per-trial sample delta (what *this* trial
+    contributed to the experiment's registry). Excluded from equality so
+    outcomes compare by measurement alone — wall-clock series differ run
+    to run even when results are identical.
+    """
 
     spec: TrialSpec
     value: Any
+    metrics: Optional[Tuple[Any, ...]] = field(
+        default=None, compare=False, repr=False)
 
 
 # ---------------------------------------------------------------------------
@@ -280,6 +291,7 @@ class TrialExecutor:
             profile = reference_device()
         key = (id(profile), alert_mode, trace_enabled)
         stack = self._pool.get(key) if self._reuse else None
+        reused = stack is not None
         if stack is None:
             stack = build_stack(
                 seed=seed,
@@ -293,12 +305,20 @@ class TrialExecutor:
         else:
             stack.reset(seed, trace_enabled=trace_enabled, faults=faults)
             self.stats.stacks_reused += 1
+        registry = current_metrics()
+        if registry is not None:
+            registry.counter("engine_stacks_reused_total" if reused
+                             else "engine_stacks_built_total").inc()
+            registry.gauge("engine_stack_reuse_hit_rate").set(
+                self.stats.reuse_fraction)
         return stack
 
     # ------------------------------------------------------------------
     def run(self, spec: TrialSpec) -> Any:
         """Run one spec and return the scenario's measurement."""
         fn = get_scenario(spec.scenario)
+        registry = current_metrics()
+        start = time.perf_counter() if registry is not None else 0.0
         stack = self.lease(
             seed=spec.seed,
             profile=spec.profile,
@@ -307,16 +327,42 @@ class TrialExecutor:
             faults=spec.faults,
         )
         self.stats.trials_run += 1
-        return fn(stack, **spec.params)
+        value = fn(stack, **spec.params)
+        if registry is not None:
+            # Wall-clock time per trial (lease + scenario). Observation
+            # only — the value never feeds back into the simulation, so
+            # results stay deterministic even though this number is not.
+            registry.counter("engine_trials_total").inc()
+            registry.histogram("engine_trial_wall_ms").observe(
+                (time.perf_counter() - start) * 1000.0)
+        return value
 
     def map(self, specs: Sequence[TrialSpec]) -> List[Any]:
         """Run specs in order, returning their measurements."""
         return [self.run(spec) for spec in specs]
 
     def run_matrix(self, matrix: ScenarioMatrix) -> List[TrialOutcome]:
-        """Run every cell of a matrix, pairing specs with results."""
-        return [TrialOutcome(spec=spec, value=self.run(spec))
-                for spec in matrix.cells()]
+        """Run every cell of a matrix, pairing specs with results.
+
+        Under an ambient metrics registry each outcome additionally
+        carries its per-trial metric delta (see :class:`TrialOutcome`).
+        """
+        registry = current_metrics()
+        if registry is None:
+            return [TrialOutcome(spec=spec, value=self.run(spec))
+                    for spec in matrix.cells()]
+        from ..obs.metrics import diff_samples
+
+        outcomes = []
+        before = registry.samples()
+        for spec in matrix.cells():
+            value = self.run(spec)
+            after = registry.samples()
+            outcomes.append(TrialOutcome(
+                spec=spec, value=value,
+                metrics=diff_samples(before, after)))
+            before = after
+        return outcomes
 
 
 # ---------------------------------------------------------------------------

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..serialization import SerializableMixin
+from .._deprecation import deprecated_entry_point
 from ..analysis.uncovered_time import measure_overlay_coverage
 from ..attacks.overlay_attack import DrawAndDestroyOverlayAttack, OverlayAttackConfig
 from ..attacks.timing import expected_mistouch_for_profile
@@ -27,7 +29,7 @@ from .engine import TrialSpec, scenario, scoped_executor
 
 
 @dataclass(frozen=True)
-class EquationValidationRow:
+class EquationValidationRow(SerializableMixin):
     """Predicted vs measured mistouch budget at one attacking window."""
 
     attacking_window_ms: float
@@ -44,7 +46,7 @@ class EquationValidationRow:
 
 
 @dataclass(frozen=True)
-class EquationValidationResult:
+class EquationValidationResult(SerializableMixin):
     device_key: str
     rows: Tuple[EquationValidationRow, ...]
 
@@ -87,7 +89,7 @@ def equation_validation_scenario(
     )
 
 
-def run_equation_validation(
+def _run_equation_validation(
     scale: ExperimentScale = QUICK,
     profile: Optional[DeviceProfile] = None,
     durations: Sequence[float] = (50.0, 100.0, 150.0, 200.0),
@@ -108,3 +110,7 @@ def run_equation_validation(
     with scoped_executor() as executor:
         rows: List[EquationValidationRow] = executor.map(specs)
     return EquationValidationResult(device_key=profile.key, rows=tuple(rows))
+
+
+run_equation_validation = deprecated_entry_point(
+    "run_equation_validation", _run_equation_validation, "repro.api.run_experiment('equation_validation', ...)")

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..serialization import SerializableMixin
+from .._deprecation import deprecated_entry_point
 from ..analysis.uncovered_time import measure_overlay_coverage
 from ..attacks.overlay_attack import DrawAndDestroyOverlayAttack, OverlayAttackConfig
 from ..defenses.benign import BenignOverlayApp
@@ -51,7 +53,7 @@ _DETECTOR_TRIALS = 3
 
 
 @dataclass(frozen=True)
-class NoisePoint:
+class NoisePoint(SerializableMixin):
     """Every measurement taken at one jitter factor."""
 
     factor: float
@@ -75,7 +77,7 @@ class NoisePoint:
 
 
 @dataclass(frozen=True)
-class NoiseSensitivityResult:
+class NoiseSensitivityResult(SerializableMixin):
     """Capture rate, ``Tmis`` and detector quality vs noise magnitude."""
 
     base_profile: str
@@ -251,7 +253,7 @@ def _detector_quality(
     return recall, precision
 
 
-def run_noise_sensitivity(
+def _run_noise_sensitivity(
     scale: ExperimentScale = QUICK,
     factors: Sequence[float] = NOISE_FACTORS,
     base: Optional[FaultProfile] = None,
@@ -308,3 +310,7 @@ def run_noise_sensitivity(
         points=tuple(points),
         baseline_capture_rate=baseline_rate,
     )
+
+
+run_noise_sensitivity = deprecated_entry_point(
+    "run_noise_sensitivity", _run_noise_sensitivity, "repro.api.run_experiment('noise_sensitivity', ...)")

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from ..serialization import SerializableMixin
+from .._deprecation import deprecated_entry_point
 from ..devices.profiles import DeviceProfile
 from ..devices.registry import reference_device
 from ..systemui.outcomes import NotificationOutcome
@@ -18,7 +20,7 @@ from .engine import TrialSpec, scoped_executor
 
 
 @dataclass(frozen=True)
-class Fig6Result:
+class Fig6Result(SerializableMixin):
     """Worst outcome per attacking window on one device."""
 
     device_key: str
@@ -45,7 +47,7 @@ class Fig6Result:
         return all(a <= b for a, b in zip(values, values[1:]))
 
 
-def run_fig6(
+def _run_fig6(
     profile: Optional[DeviceProfile] = None,
     durations: Optional[Sequence[float]] = None,
     seed: int = 7,
@@ -83,3 +85,7 @@ def run_fig6(
         published_upper_bound_d=profile.published_upper_bound_d,
         outcomes=outcomes,
     )
+
+
+run_fig6 = deprecated_entry_point(
+    "run_fig6", _run_fig6, "repro.api.run_experiment('fig6', ...)")

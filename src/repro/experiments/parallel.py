@@ -26,6 +26,7 @@ scale (or the cache version) changed.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import os
@@ -36,25 +37,26 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
-from .animation_curves import run_fig2, run_fig4
-from .capture_rate import run_fig7, run_fig8
+from ..serialization import SerializableMixin
+from .animation_curves import _run_fig2, _run_fig4
+from .capture_rate import _run_fig7, _run_fig8
 from .config import QUICK, ExperimentScale, resolve_jobs
-from .corpus_study import run_corpus_study
+from .corpus_study import _run_corpus_study
 from .defense_eval import (
-    run_ipc_defense,
-    run_notification_defense,
-    run_toast_defense,
+    _run_ipc_defense,
+    _run_notification_defense,
+    _run_toast_defense,
 )
-from .defense_tuning import run_defense_tuning
-from .equation_validation import run_equation_validation
-from .noise_sensitivity import run_noise_sensitivity
-from .outcomes_vs_d import run_fig6
-from .password_study import run_stealthiness, run_table3
-from .real_world_apps import run_table4
-from .supplementary import run_fig7_with_cis, run_table3_by_version
-from .toast_continuity import run_toast_continuity
-from .trigger_comparison import run_trigger_comparison
-from .upper_bound import run_load_impact, run_table2
+from .defense_tuning import _run_defense_tuning
+from .equation_validation import _run_equation_validation
+from .noise_sensitivity import _run_noise_sensitivity
+from .outcomes_vs_d import _run_fig6
+from .password_study import _run_stealthiness, _run_table3
+from .real_world_apps import _run_table4
+from .supplementary import _run_fig7_with_cis, _run_table3_by_version
+from .toast_continuity import _run_toast_continuity
+from .trigger_comparison import _run_trigger_comparison
+from .upper_bound import _run_load_impact, _run_table2
 
 #: Bump when a change to experiment code invalidates previously cached
 #: results (the cache key has no way to see code changes).
@@ -83,49 +85,49 @@ class ExperimentSpec:
 #: Every experiment of the suite, in the serial runner's historical order.
 EXPERIMENTS: Tuple[ExperimentSpec, ...] = (
     ExperimentSpec("fig2", "Fig 2: notification slide-in curve",
-                   run_fig2, takes_scale=False),
+                   _run_fig2, takes_scale=False),
     ExperimentSpec("fig4", "Fig 4: toast fade curves",
-                   run_fig4, takes_scale=False),
+                   _run_fig4, takes_scale=False),
     ExperimentSpec("fig6", "Fig 6: notification outcomes vs D",
-                   run_fig6, takes_scale=False),
+                   _run_fig6, takes_scale=False),
     ExperimentSpec("table2", "Table II: per-device upper bound of D",
-                   run_table2),
-    ExperimentSpec("load_impact", "Load impact", run_load_impact),
-    ExperimentSpec("fig7", "Fig 7: capture rate vs D", run_fig7),
+                   _run_table2),
+    ExperimentSpec("load_impact", "Load impact", _run_load_impact),
+    ExperimentSpec("fig7", "Fig 7: capture rate vs D", _run_fig7),
     ExperimentSpec("fig8", "Fig 8: capture rate by Android version",
-                   run_fig8),
-    ExperimentSpec("table3", "Table III: password stealing", run_table3),
-    ExperimentSpec("table4", "Table IV: real-world apps", run_table4),
-    ExperimentSpec("stealthiness", "Stealthiness study", run_stealthiness),
+                   _run_fig8),
+    ExperimentSpec("table3", "Table III: password stealing", _run_table3),
+    ExperimentSpec("table4", "Table IV: real-world apps", _run_table4),
+    ExperimentSpec("stealthiness", "Stealthiness study", _run_stealthiness),
     ExperimentSpec("toast_continuity", "Toast continuity",
-                   run_toast_continuity),
-    ExperimentSpec("corpus", "Corpus prevalence study", run_corpus_study),
-    ExperimentSpec("defense_ipc", "Defense: IPC detector", run_ipc_defense),
+                   _run_toast_continuity),
+    ExperimentSpec("corpus", "Corpus prevalence study", _run_corpus_study),
+    ExperimentSpec("defense_ipc", "Defense: IPC detector", _run_ipc_defense),
     ExperimentSpec("defense_notification", "Defense: enhanced notification",
-                   run_notification_defense),
+                   _run_notification_defense),
     ExperimentSpec("defense_toast", "Defense: toast spacing",
-                   run_toast_defense),
+                   _run_toast_defense),
     ExperimentSpec("equation_validation", "Eq. (2) validation",
-                   run_equation_validation),
+                   _run_equation_validation),
     ExperimentSpec("defense_tuning", "Defense: decision-rule tuning",
-                   run_defense_tuning),
+                   _run_defense_tuning),
     ExperimentSpec("trigger_comparison", "Trigger-channel comparison",
-                   run_trigger_comparison),
+                   _run_trigger_comparison),
     ExperimentSpec("table3_by_version",
                    "Supplementary: Table III by version",
-                   run_table3_by_version),
+                   _run_table3_by_version),
     ExperimentSpec("fig7_cis", "Supplementary: Fig 7 confidence intervals",
-                   run_fig7_with_cis),
+                   _run_fig7_with_cis),
     ExperimentSpec("noise_sensitivity",
                    "Noise sensitivity: faults vs capture rate / Tmis",
-                   run_noise_sensitivity),
+                   _run_noise_sensitivity),
 )
 
 _SPEC_BY_NAME: Dict[str, ExperimentSpec] = {s.name: s for s in EXPERIMENTS}
 
 
 @dataclass(frozen=True)
-class ExperimentTiming:
+class ExperimentTiming(SerializableMixin):
     """Wall-clock accounting for one experiment of a ``run_all`` pass."""
 
     name: str
@@ -155,28 +157,57 @@ def _reset_global_id_allocators() -> None:
     reset_window_ids()
 
 
-def _run_one(name: str, scale: ExperimentScale):
+def _run_one(
+    name: str,
+    scale: ExperimentScale,
+    collect_metrics: bool = False,
+    profile_dir: Optional[Path] = None,
+):
     """Worker entry point: run one named experiment at its derived scale.
 
     Module-level so it pickles for :class:`ProcessPoolExecutor`; returns
-    ``(name, result, seconds)``. The scale's fault regime is installed as
-    the ambient default *inside* the worker, so every stack the experiment
-    builds — however deep in the call tree — sees the same regime whether
-    the experiment ran serially or in a pool process.
+    ``(name, result, seconds, samples, pid)`` where ``samples`` is the
+    experiment's metric snapshot (``None`` unless ``collect_metrics``) and
+    ``pid`` identifies the worker process for utilization accounting. The
+    scale's fault regime is installed as the ambient default *inside* the
+    worker, so every stack the experiment builds — however deep in the
+    call tree — sees the same regime whether the experiment ran serially
+    or in a pool process.
 
     Each experiment gets its own :class:`TrialExecutor` installed
     ambiently, so its trial loops share one pool of reusable stacks
-    (dropped when the experiment finishes, keeping workers lean).
+    (dropped when the experiment finishes, keeping workers lean). With
+    ``collect_metrics`` it likewise gets its own
+    :class:`~repro.obs.metrics.MetricsRegistry` — registries never cross
+    the process boundary, only their pickled sample snapshots do. With
+    ``profile_dir`` the experiment body runs under :mod:`cProfile` and its
+    stats dump to ``profile_dir/<name>.prof``.
     """
+    from ..obs.context import use_metrics
+    from ..obs.metrics import MetricsRegistry
     from ..sim.faults import use_default_profile
     from .engine import TrialExecutor, use_executor
 
     spec = _SPEC_BY_NAME[name]
     _reset_global_id_allocators()
+    registry = MetricsRegistry() if collect_metrics else None
     start = time.perf_counter()
-    with use_default_profile(scale.faults), use_executor(TrialExecutor()):
-        result = spec.run(scale)
-    return name, result, time.perf_counter() - start
+    metrics_ctx = (use_metrics(registry) if collect_metrics
+                   else contextlib.nullcontext())
+    with use_default_profile(scale.faults), use_executor(TrialExecutor()), \
+            metrics_ctx:
+        if profile_dir is not None:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            result = profiler.runcall(spec.run, scale)
+            profile_dir.mkdir(parents=True, exist_ok=True)
+            profiler.dump_stats(profile_dir / f"{name}.prof")
+        else:
+            result = spec.run(scale)
+    seconds = time.perf_counter() - start
+    samples = registry.samples() if registry is not None else None
+    return name, result, seconds, samples, os.getpid()
 
 
 # ---------------------------------------------------------------------------
@@ -243,21 +274,36 @@ def run_experiments(
     cache_dir: Optional[Path] = None,
     verbose: bool = False,
     progress: Optional[ProgressCallback] = None,
-) -> Tuple[Dict[str, object], Tuple[ExperimentTiming, ...]]:
-    """Run every experiment; return ``(results by name, timings)``.
+    collect_metrics: bool = False,
+    profile_dir: Optional[Path] = None,
+) -> Tuple[Dict[str, object], Tuple[ExperimentTiming, ...], Optional[Tuple]]:
+    """Run every experiment; return ``(results, timings, metrics)``.
 
     ``jobs=1`` runs in-process and is the reference implementation;
     ``jobs=N`` fans out over N worker processes; ``jobs=0`` means one per
     core. Timings come back in registry order regardless of completion
     order.
+
+    With ``collect_metrics`` each experiment runs under its own
+    :class:`~repro.obs.metrics.MetricsRegistry` and the third element is a
+    tuple of :class:`~repro.obs.metrics.ExperimentMetrics`: one snapshot
+    per freshly-run experiment (cache hits carry no metrics) plus a
+    synthetic ``runner`` entry with per-experiment wall gauges and
+    per-worker busy/utilization gauges. Without it the third element is
+    ``None``. Metrics never feed back into experiment code, so results are
+    bit-identical either way. ``profile_dir`` additionally runs each
+    experiment under :mod:`cProfile`, dumping ``<name>.prof`` files.
     """
     jobs = resolve_jobs(jobs)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
 
     results: Dict[str, object] = {}
     timings: Dict[str, ExperimentTiming] = {}
+    sample_sets: Dict[str, tuple] = {}
+    busy_by_pid: Dict[int, float] = {}
     done = 0
     total = len(EXPERIMENTS)
+    wall_start = time.perf_counter()
 
     def record(name: str, result, seconds: float, cached: bool) -> None:
         nonlocal done
@@ -273,6 +319,14 @@ def run_experiments(
         if progress is not None:
             progress(done, total, timing)
 
+    def record_run(name: str, result, seconds: float, samples, pid: int) -> None:
+        if cache is not None:
+            cache.store(name, scale, result)
+        if samples is not None:
+            sample_sets[name] = samples
+        busy_by_pid[pid] = busy_by_pid.get(pid, 0.0) + seconds
+        record(name, result, seconds, cached=False)
+
     pending: List[ExperimentSpec] = []
     for spec in EXPERIMENTS:
         hit = cache.load(spec.name, scale) if cache is not None else None
@@ -283,21 +337,59 @@ def run_experiments(
 
     if jobs == 1 or len(pending) <= 1:
         for spec in pending:
-            name, result, seconds = _run_one(spec.name, scale)
-            if cache is not None:
-                cache.store(name, scale, result)
-            record(name, result, seconds, cached=False)
+            record_run(*_run_one(spec.name, scale, collect_metrics,
+                                 profile_dir))
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {pool.submit(_run_one, spec.name, scale)
+            futures = {pool.submit(_run_one, spec.name, scale,
+                                   collect_metrics, profile_dir)
                        for spec in pending}
             while futures:
                 finished, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in finished:
-                    name, result, seconds = future.result()
-                    if cache is not None:
-                        cache.store(name, scale, result)
-                    record(name, result, seconds, cached=False)
+                    record_run(*future.result())
 
     ordered = tuple(timings[spec.name] for spec in EXPERIMENTS)
-    return results, ordered
+    if not collect_metrics:
+        return results, ordered, None
+
+    metrics = _assemble_metrics(
+        sample_sets, ordered, busy_by_pid,
+        wall_seconds=time.perf_counter() - wall_start,
+    )
+    return results, ordered, metrics
+
+
+def _assemble_metrics(
+    sample_sets: Dict[str, tuple],
+    timings: Tuple[ExperimentTiming, ...],
+    busy_by_pid: Dict[int, float],
+    wall_seconds: float,
+) -> Tuple:
+    """Label per-experiment snapshots and add the runner's own series.
+
+    Workers are numbered by sorted pid so the labels are stable for one
+    run but carry no machine-specific meaning across runs.
+    """
+    from ..obs.metrics import ExperimentMetrics, MetricsRegistry
+
+    per_experiment = tuple(
+        ExperimentMetrics(name=spec.name, samples=sample_sets[spec.name])
+        for spec in EXPERIMENTS if spec.name in sample_sets
+    )
+    runner = MetricsRegistry()
+    for timing in timings:
+        if not timing.cached:
+            runner.gauge("runner_experiment_wall_seconds",
+                         {"experiment": timing.name}).set(timing.seconds)
+    for worker, pid in enumerate(sorted(busy_by_pid)):
+        busy = busy_by_pid[pid]
+        runner.gauge("runner_worker_busy_seconds",
+                     {"worker": str(worker)}).set(busy)
+        runner.gauge("runner_worker_utilization",
+                     {"worker": str(worker)}).set(
+            busy / wall_seconds if wall_seconds > 0 else 0.0)
+    runner.gauge("runner_wall_seconds").set(wall_seconds)
+    return per_experiment + (
+        ExperimentMetrics(name="runner", samples=runner.samples()),
+    )

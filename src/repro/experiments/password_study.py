@@ -14,9 +14,12 @@ reporting lag and nobody noticing the attack.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..serialization import SerializableMixin
+from .._deprecation import deprecated_entry_point
 from ..apps.catalog import bank_of_america
 from ..apps.keyboard import KeyboardSpec, default_keyboard_rect
 from ..attacks.password_stealing import PasswordErrorType
@@ -32,8 +35,8 @@ from .scenarios import (
 )
 
 
-@dataclass
-class Table3Row:
+@dataclass(frozen=True)
+class Table3Row(SerializableMixin):
     """Aggregated outcomes for one password length."""
 
     length: int
@@ -48,22 +51,29 @@ class Table3Row:
     def success_rate(self) -> float:
         return 100.0 * self.successes / self.attempts if self.attempts else 0.0
 
-    def record(self, error_type: PasswordErrorType) -> None:
-        self.attempts += 1
-        if error_type is PasswordErrorType.SUCCESS:
-            self.successes += 1
-        elif error_type is PasswordErrorType.LENGTH_ERROR:
-            self.length_errors += 1
-        elif error_type is PasswordErrorType.CAPITALIZATION_ERROR:
-            self.capitalization_errors += 1
-        elif error_type is PasswordErrorType.WRONG_KEY_ERROR:
-            self.wrong_key_errors += 1
-        else:
-            self.other_errors += 1
+    @classmethod
+    def from_outcomes(
+        cls, length: int, outcomes: Sequence[PasswordErrorType]
+    ) -> "Table3Row":
+        """Aggregate one length's trial outcomes into a row."""
+        counts = Counter(outcomes)
+        known = (PasswordErrorType.SUCCESS, PasswordErrorType.LENGTH_ERROR,
+                 PasswordErrorType.CAPITALIZATION_ERROR,
+                 PasswordErrorType.WRONG_KEY_ERROR)
+        return cls(
+            length=length,
+            attempts=len(outcomes),
+            successes=counts[PasswordErrorType.SUCCESS],
+            length_errors=counts[PasswordErrorType.LENGTH_ERROR],
+            capitalization_errors=counts[
+                PasswordErrorType.CAPITALIZATION_ERROR],
+            wrong_key_errors=counts[PasswordErrorType.WRONG_KEY_ERROR],
+            other_errors=sum(n for t, n in counts.items() if t not in known),
+        )
 
 
 @dataclass(frozen=True)
-class Table3Result:
+class Table3Result(SerializableMixin):
     rows: Tuple[Table3Row, ...]
     paper_reference: Dict[int, Dict[str, float]] = field(
         default_factory=lambda: dict(TABLE_III_PAPER)
@@ -85,7 +95,7 @@ class Table3Result:
         return all(a >= b - 3.0 for a, b in zip(rates, rates[1:]))
 
 
-def run_table3(
+def _run_table3(
     scale: ExperimentScale = QUICK,
     lengths: Sequence[int] = TABLE_III_LENGTHS,
     participants: Optional[Sequence[Participant]] = None,
@@ -97,7 +107,7 @@ def run_table3(
     rows: List[Table3Row] = []
     with scoped_executor():
         for length in lengths:
-            row = Table3Row(length=length)
+            outcomes: List[PasswordErrorType] = []
             for participant in pool:
                 spec = KeyboardSpec(
                     default_keyboard_rect(
@@ -115,8 +125,8 @@ def run_table3(
                         seed=stream.randint(0, 2**31 - 1),
                         type_username_first=False,
                     )
-                    row.record(trial.error_type)
-            rows.append(row)
+                    outcomes.append(trial.error_type)
+            rows.append(Table3Row.from_outcomes(length, outcomes))
     return Table3Result(rows=tuple(rows))
 
 
@@ -125,7 +135,7 @@ def run_table3(
 # ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
-class StealthinessResult:
+class StealthinessResult(SerializableMixin):
     """User-reported observations with and without the malware."""
 
     participants: int
@@ -139,7 +149,7 @@ class StealthinessResult:
         return self.noticed_alert + self.noticed_flicker
 
 
-def run_stealthiness(
+def _run_stealthiness(
     scale: ExperimentScale = QUICK,
     password_length: int = 8,
 ) -> StealthinessResult:
@@ -190,3 +200,10 @@ def run_stealthiness(
         reported_lag=reported_lag,
         noticed_anything_without_malware=control_noticed,
     )
+
+
+run_table3 = deprecated_entry_point(
+    "run_table3", _run_table3, "repro.api.run_experiment('table3', ...)")
+
+run_stealthiness = deprecated_entry_point(
+    "run_stealthiness", _run_stealthiness, "repro.api.run_experiment('stealthiness', ...)")

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
+from ..serialization import SerializableMixin
+from .._deprecation import deprecated_entry_point
 from ..apps.catalog import TABLE_IV_APPS, VictimAppSpec
 from ..sim.rng import SeededRng
 from ..users.participant import generate_participants
@@ -21,7 +23,7 @@ from .scenarios import run_password_trial
 
 
 @dataclass(frozen=True)
-class Table4Row:
+class Table4Row(SerializableMixin):
     """One victim app's outcome."""
 
     app_name: str
@@ -40,7 +42,7 @@ class Table4Row:
 
 
 @dataclass(frozen=True)
-class Table4Result:
+class Table4Result(SerializableMixin):
     rows: Tuple[Table4Row, ...]
 
     @property
@@ -54,7 +56,7 @@ class Table4Result:
         raise KeyError(f"app {app_name!r} not evaluated")
 
 
-def run_table4(
+def _run_table4(
     scale: ExperimentScale = QUICK,
     apps: Optional[Sequence[VictimAppSpec]] = None,
     password: str = "tk&%48GH",
@@ -86,3 +88,7 @@ def run_table4(
                 )
             )
     return Table4Result(rows=tuple(rows))
+
+
+run_table4 = deprecated_entry_point(
+    "run_table4", _run_table4, "repro.api.run_experiment('table4', ...)")

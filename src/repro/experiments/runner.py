@@ -21,6 +21,8 @@ from pathlib import Path
 from typing import Optional, Tuple
 
 from ..devices.registry import DEVICES
+from ..obs.metrics import ExperimentMetrics
+from ..serialization import SerializableMixin
 from .animation_curves import Fig2Result, Fig4Result
 from .capture_rate import Fig7Result, Fig8Result
 from .config import ExperimentScale, QUICK
@@ -39,11 +41,12 @@ from .real_world_apps import Table4Result
 from .toast_continuity import ToastContinuityResult
 from .supplementary import Fig7WithCisResult, Table3ByVersionResult
 from .trigger_comparison import TriggerComparisonResult
+from .parallel import ExperimentTiming
 from .upper_bound import LoadImpactResult, Table2Result
 
 
-@dataclass
-class AllResults:
+@dataclass(frozen=True)
+class AllResults(SerializableMixin):
     """Every reproduced table and figure from one run."""
 
     scale_name: str
@@ -71,7 +74,14 @@ class AllResults:
     #: Per-experiment wall-clock accounting (``ExperimentTiming`` tuples).
     #: Excluded from equality: a parallel run and a serial run of the same
     #: scale compare equal even though their wall times differ.
-    timings: Optional[Tuple] = field(default=None, compare=False, repr=False)
+    timings: Optional[Tuple["ExperimentTiming", ...]] = field(
+        default=None, compare=False, repr=False)
+    #: Per-experiment metric snapshots (``ExperimentMetrics`` tuples) when
+    #: the run collected metrics, else ``None``. Excluded from equality
+    #: for the same reason as ``timings``: metrics observe wall clocks and
+    #: worker placement, results do not.
+    metrics: Optional[Tuple[ExperimentMetrics, ...]] = field(
+        default=None, compare=False, repr=False)
 
 
 def run_all(
@@ -80,6 +90,8 @@ def run_all(
     *,
     jobs: int = 1,
     cache_dir: Optional[Path] = None,
+    collect_metrics: bool = False,
+    profile_dir: Optional[Path] = None,
 ) -> AllResults:
     """Run the complete reproduction suite at one scale.
 
@@ -90,13 +102,21 @@ def run_all(
             ``0`` means one per core. Any value yields identical results.
         cache_dir: enable the on-disk result cache rooted here; ``None``
             disables caching.
+        collect_metrics: run every experiment under a metrics registry and
+            attach the snapshots as ``AllResults.metrics``. Metrics only
+            observe, so all result fields (and the formatted report) are
+            byte-identical with or without this flag.
+        profile_dir: dump a cProfile ``<experiment>.prof`` per experiment
+            into this directory.
     """
     from .parallel import run_experiments
 
-    results, timings = run_experiments(
-        scale, jobs=jobs, cache_dir=cache_dir, verbose=verbose
+    results, timings, metrics = run_experiments(
+        scale, jobs=jobs, cache_dir=cache_dir, verbose=verbose,
+        collect_metrics=collect_metrics, profile_dir=profile_dir,
     )
-    return AllResults(scale_name=scale.name, timings=timings, **results)
+    return AllResults(scale_name=scale.name, timings=timings,
+                      metrics=metrics, **results)
 
 
 def format_report(results: AllResults, include_timings: bool = False) -> str:

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..serialization import SerializableMixin
 from ..apps.catalog import VictimAppSpec, bank_of_america
 from ..apps.ime import RealKeyboard
 from ..apps.accessibility import AccessibilityBus
@@ -109,7 +110,7 @@ def run_notification_trial(
 # ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
-class CaptureTrialResult:
+class CaptureTrialResult(SerializableMixin):
     """One participant-string capture measurement."""
 
     total_taps: int
@@ -228,8 +229,8 @@ def run_capture_trial(
 # Password-stealing trials (Table III, Table IV, stealthiness)
 # ---------------------------------------------------------------------------
 
-@dataclass
-class PasswordTrialResult:
+@dataclass(frozen=True)
+class PasswordTrialResult(SerializableMixin):
     """One end-to-end password theft attempt."""
 
     truth: str
@@ -253,7 +254,7 @@ class PasswordTrialResult:
 
 
 @dataclass(frozen=True)
-class ControlTrialResult:
+class ControlTrialResult(SerializableMixin):
     """One no-malware session: the study's control arm."""
 
     truth: str

@@ -14,20 +14,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from ..serialization import SerializableMixin
+from .._deprecation import deprecated_entry_point
 from ..analysis.statistics import ConfidenceInterval, bootstrap_mean_ci, wilson_interval
 from ..apps.keyboard import KeyboardSpec, default_keyboard_rect
 from ..devices.registry import devices_by_version
 from ..sim.rng import SeededRng
 from ..users.participant import Participant, generate_participants
 from ..users.passwords import PasswordGenerator
-from .capture_rate import run_fig7
+from .capture_rate import _run_fig7
 from .config import ExperimentScale, FIG7_DURATIONS, QUICK
 from .engine import scoped_executor
 from .scenarios import run_password_trial
 
 
 @dataclass(frozen=True)
-class VersionSuccessRow:
+class VersionSuccessRow(SerializableMixin):
     """Password-stealing outcomes for one Android major version."""
 
     version: str
@@ -41,7 +43,7 @@ class VersionSuccessRow:
 
 
 @dataclass(frozen=True)
-class Table3ByVersionResult:
+class Table3ByVersionResult(SerializableMixin):
     password_length: int
     rows: Tuple[VersionSuccessRow, ...]
 
@@ -57,7 +59,7 @@ class Table3ByVersionResult:
         return self.row("10").success_rate <= self.row("9").success_rate + 2.0
 
 
-def run_table3_by_version(
+def _run_table3_by_version(
     scale: ExperimentScale = QUICK,
     password_length: int = 8,
 ) -> Table3ByVersionResult:
@@ -116,14 +118,14 @@ def _table3_by_version_rows(
 
 
 @dataclass(frozen=True)
-class Fig7CiRow:
+class Fig7CiRow(SerializableMixin):
     attacking_window_ms: float
     mean: float
     ci: ConfidenceInterval
 
 
 @dataclass(frozen=True)
-class Fig7WithCisResult:
+class Fig7WithCisResult(SerializableMixin):
     rows: Tuple[Fig7CiRow, ...]
 
     @property
@@ -131,12 +133,12 @@ class Fig7WithCisResult:
         return all(row.ci.width < 25.0 for row in self.rows)
 
 
-def run_fig7_with_cis(
+def _run_fig7_with_cis(
     scale: ExperimentScale = QUICK,
     durations: Sequence[float] = FIG7_DURATIONS,
 ) -> Fig7WithCisResult:
     """Fig. 7 means with 95% bootstrap CIs over participants."""
-    base = run_fig7(scale, durations=durations)
+    base = _run_fig7(scale, durations=durations)
     rows: List[Fig7CiRow] = []
     for stats in base.stats:
         ci = bootstrap_mean_ci(
@@ -150,3 +152,10 @@ def run_fig7_with_cis(
             )
         )
     return Fig7WithCisResult(rows=tuple(rows))
+
+
+run_table3_by_version = deprecated_entry_point(
+    "run_table3_by_version", _run_table3_by_version, "repro.api.run_experiment('table3_by_version', ...)")
+
+run_fig7_with_cis = deprecated_entry_point(
+    "run_fig7_with_cis", _run_fig7_with_cis, "repro.api.run_experiment('fig7_cis', ...)")

@@ -15,18 +15,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from ..serialization import SerializableMixin
+from .._deprecation import deprecated_entry_point
 from ..attacks.toast_attack import DrawAndDestroyToastAttack, ToastAttackConfig
 from ..devices.profiles import DeviceProfile
+from ..obs.context import current_metrics
 from ..stack import AndroidStack
 from ..toast.lifecycle import ToastSwitch
 from ..toast.toast import TOAST_LENGTH_LONG_MS, TOAST_LENGTH_SHORT_MS
+from ..windows.compositor import coverage as glass_coverage
 from ..windows.geometry import Rect
 from .config import ExperimentScale, QUICK
 from .engine import TrialSpec, run_trial, scenario, scoped_executor
 
+#: On-glass coverage is a fraction; bucket it finely near 1.0 where the
+#: attack lives.
+_COVERAGE_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0)
+
 
 @dataclass(frozen=True)
-class ToastContinuityResult:
+class ToastContinuityResult(SerializableMixin):
     """Continuity metrics of one toast-attack run."""
 
     duration_ms: float
@@ -77,6 +85,21 @@ def toast_continuity_scenario(
             samples_total += 1
             if attack.coverage_at(stack.now) >= 0.95:
                 samples_above += 1
+            registry = current_metrics()
+            if registry is not None:
+                # Cross-check the analytic coverage against what is
+                # actually on glass, through the compositor. Pure
+                # observation: ``glass_coverage`` consumes no randomness
+                # and schedules nothing, so results are unchanged; it
+                # exists to feed the compositor metric series.
+                registry.histogram(
+                    "compositor_on_glass_coverage",
+                    buckets=_COVERAGE_BUCKETS,
+                ).observe(glass_coverage(
+                    stack.screen, rect, stack.now,
+                    predicate=lambda w: w.owner == attack.package,
+                    faults=stack.simulation.faults,
+                ))
     attack.stop()
     stack.run_for(toast_duration_ms + 1500.0)
 
@@ -99,7 +122,7 @@ def toast_continuity_scenario(
     )
 
 
-def run_toast_continuity(
+def _run_toast_continuity(
     scale: ExperimentScale = QUICK,
     profile: Optional[DeviceProfile] = None,
     toast_duration_ms: float = TOAST_LENGTH_LONG_MS,
@@ -128,6 +151,10 @@ def compare_toast_durations(
     """Paper Section IV-D: 3.5 s toasts switch less often than 2 s toasts
     over the same attack period — return (short, long) for comparison."""
     with scoped_executor():
-        short = run_toast_continuity(scale, toast_duration_ms=TOAST_LENGTH_SHORT_MS)
-        long = run_toast_continuity(scale, toast_duration_ms=TOAST_LENGTH_LONG_MS)
+        short = _run_toast_continuity(scale, toast_duration_ms=TOAST_LENGTH_SHORT_MS)
+        long = _run_toast_continuity(scale, toast_duration_ms=TOAST_LENGTH_LONG_MS)
     return short, long
+
+
+run_toast_continuity = deprecated_entry_point(
+    "run_toast_continuity", _run_toast_continuity, "repro.api.run_experiment('toast_continuity', ...)")

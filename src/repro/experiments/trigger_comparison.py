@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..serialization import SerializableMixin
+from .._deprecation import deprecated_entry_point
 from ..apps.accessibility import AccessibilityBus
 from ..apps.catalog import VictimAppSpec, bank_of_america, spec_by_name
 from ..apps.ime import RealKeyboard
@@ -36,7 +38,7 @@ from .engine import TrialSpec, drive_until, run_trial, scenario, scoped_executor
 
 
 @dataclass(frozen=True)
-class TriggerTrialResult:
+class TriggerTrialResult(SerializableMixin):
     """One end-to-end run with one trigger channel."""
 
     channel: str
@@ -48,7 +50,7 @@ class TriggerTrialResult:
 
 
 @dataclass(frozen=True)
-class TriggerComparisonResult:
+class TriggerComparisonResult(SerializableMixin):
     trials: Tuple[TriggerTrialResult, ...]
 
     def channel_trials(self, channel: str) -> List[TriggerTrialResult]:
@@ -138,7 +140,7 @@ def _run_one(
     ))
 
 
-def run_trigger_comparison(
+def _run_trigger_comparison(
     scale: ExperimentScale = QUICK,
     password: str = "aB3$xy",
 ) -> TriggerComparisonResult:
@@ -151,3 +153,7 @@ def run_trigger_comparison(
                 seed = scale.seed + channel_index * 101 + victim_index * 13
                 trials.append(_run_one(channel, victim_spec, seed, password))
     return TriggerComparisonResult(trials=tuple(trials))
+
+
+run_trigger_comparison = deprecated_entry_point(
+    "run_trigger_comparison", _run_trigger_comparison, "repro.api.run_experiment('trigger_comparison', ...)")

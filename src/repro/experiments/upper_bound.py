@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..serialization import SerializableMixin
+from .._deprecation import deprecated_entry_point
 from ..attacks.timing import BoundarySearchResult, UpperBoundFinder
 from ..devices.profiles import DeviceProfile
 from ..devices.registry import DEVICES, device
@@ -27,7 +29,7 @@ from .scenarios import run_notification_trial
 
 
 @dataclass(frozen=True)
-class Table2Result:
+class Table2Result(SerializableMixin):
     """Measured vs published boundary per device."""
 
     rows: Tuple[BoundarySearchResult, ...]
@@ -64,7 +66,7 @@ def _make_finder(scale: ExperimentScale) -> UpperBoundFinder:
     )
 
 
-def run_table2(
+def _run_table2(
     scale: ExperimentScale = QUICK,
     profiles: Optional[Sequence[DeviceProfile]] = None,
 ) -> Table2Result:
@@ -80,7 +82,7 @@ def run_table2(
 # ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
-class LoadImpactResult:
+class LoadImpactResult(SerializableMixin):
     """Boundary vs number of background apps on one device."""
 
     device_key: str
@@ -92,7 +94,7 @@ class LoadImpactResult:
         return max(bounds) - min(bounds)
 
 
-def run_load_impact(
+def _run_load_impact(
     scale: ExperimentScale = QUICK,
     model: str = "mi8",
     version_label: str = "9",
@@ -109,3 +111,10 @@ def run_load_impact(
             result = finder.find(loaded)
             bounds.append((count, result.measured_upper_bound_d))
     return LoadImpactResult(device_key=base.key, bounds_by_load=tuple(bounds))
+
+
+run_table2 = deprecated_entry_point(
+    "run_table2", _run_table2, "repro.api.run_experiment('table2', ...)")
+
+run_load_impact = deprecated_entry_point(
+    "run_load_impact", _run_load_impact, "repro.api.run_experiment('load_impact', ...)")

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
+from ..serialization import SerializableMixin
 from ..binder.latency import LatencySpec
 from ..devices.profiles import DeviceProfile
 from ..devices.registry import DEVICES, device
@@ -43,7 +44,7 @@ def _without_ana(profile: DeviceProfile) -> DeviceProfile:
 
 
 @dataclass(frozen=True)
-class AnaRemovalRow:
+class AnaRemovalRow(SerializableMixin):
     device_key: str
     version: str
     bound_with_ana_ms: float
@@ -55,7 +56,7 @@ class AnaRemovalRow:
 
 
 @dataclass(frozen=True)
-class AnaRemovalResult:
+class AnaRemovalResult(SerializableMixin):
     rows: Tuple[AnaRemovalRow, ...]
 
     @property
@@ -101,7 +102,7 @@ def run_ana_removal_whatif(
 
 
 @dataclass(frozen=True)
-class MinimalDelayResult:
+class MinimalDelayResult(SerializableMixin):
     """Smallest hide-debounce that defeats an *adaptive* attacker.
 
     The defense drops the hide whenever the same app re-adds an overlay

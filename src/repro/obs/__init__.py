@@ -1,0 +1,40 @@
+"""``repro.obs`` — the metrics and profiling subsystem.
+
+A :class:`MetricsRegistry` of counters, gauges and streaming histograms
+is threaded through the simulation kernel (scheduler, Binder router,
+compositor/animator, toast queue) and the experiment layer (trial
+engine, parallel runner). Install one ambiently with :func:`use_metrics`
+or pass it to ``build_stack(metrics=...)`` / ``run_all(collect_metrics=True)``;
+snapshot with ``registry.samples()`` and export via :func:`to_jsonl` or
+:func:`render_prometheus`. See ``docs/ARCHITECTURE.md`` §10.
+"""
+
+from .context import current_metrics, use_metrics
+from .export import render_prometheus, to_jsonl
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    ExperimentMetrics,
+    Gauge,
+    Histogram,
+    MetricSample,
+    MetricsRegistry,
+    diff_samples,
+    merge_samples,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "ExperimentMetrics",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "current_metrics",
+    "diff_samples",
+    "merge_samples",
+    "render_prometheus",
+    "to_jsonl",
+    "use_metrics",
+]

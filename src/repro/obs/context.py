@@ -1,0 +1,38 @@
+"""Ambient metrics registry, mirroring the fault-profile pattern.
+
+``use_metrics`` installs a registry for a dynamic extent; ``build_stack``
+and ``Simulation`` resolve ``current_metrics()`` at construction time when
+no registry is passed explicitly. No registry installed (the default)
+means instrumentation resolves to ``None`` and hot paths skip all metric
+work behind a single ``is not None`` check.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .metrics import MetricsRegistry
+
+_current: Optional[MetricsRegistry] = None
+
+
+def current_metrics() -> Optional[MetricsRegistry]:
+    """The ambiently installed registry, or ``None`` when disabled."""
+    return _current
+
+
+@contextmanager
+def use_metrics(registry: Optional[MetricsRegistry]) -> Iterator[Optional[MetricsRegistry]]:
+    """Install ``registry`` as the ambient metrics sink for the extent.
+
+    Passing ``None`` explicitly disables metrics inside the block even if
+    an outer block installed a registry.
+    """
+    global _current
+    previous = _current
+    _current = registry
+    try:
+        yield registry
+    finally:
+        _current = previous

@@ -1,0 +1,84 @@
+"""Export metric snapshots as JSONL and Prometheus text.
+
+Both formats consume the same :class:`~repro.obs.metrics.MetricSample`
+rows that ``MetricsRegistry.samples()`` produces, so anything the
+registry can snapshot — a live run, a merged multi-worker aggregate, or
+samples rebuilt from a serialized ``AllResults`` — exports identically.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterable, List
+
+from .metrics import MetricSample
+
+
+def to_jsonl(samples: Iterable[MetricSample]) -> str:
+    """One JSON object per sample, in registry (name, labels) order."""
+    lines = []
+    for sample in samples:
+        row = sample.to_dict()
+        # JSON has no inf; the overflow bucket bound serializes as null.
+        if row.get("buckets"):
+            row["buckets"] = [
+                [None if math.isinf(bound) else bound, count]
+                for bound, count in row["buckets"]
+            ]
+        lines.append(json.dumps(row, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(pairs) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def render_prometheus(samples: Iterable[MetricSample]) -> str:
+    """Prometheus text exposition format (type comments + series lines).
+
+    Histogram buckets are emitted cumulatively with ``le`` labels plus
+    ``_sum`` and ``_count`` series, per the exposition format spec.
+    """
+    by_name: dict = {}
+    for sample in samples:
+        by_name.setdefault(sample.name, []).append(sample)
+
+    out: List[str] = []
+    for name in sorted(by_name):
+        group = by_name[name]
+        kind = group[0].kind
+        out.append(f"# TYPE {name} {kind}")
+        for sample in group:
+            if sample.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} has mixed kinds {kind!r}/{sample.kind!r}"
+                )
+            if kind in ("counter", "gauge"):
+                out.append(
+                    f"{name}{_format_labels(sample.labels)} "
+                    f"{_format_value(sample.value or 0.0)}"
+                )
+                continue
+            cumulative = 0
+            for bound, bucket_count in (sample.buckets or ()):
+                cumulative += bucket_count
+                le_labels = sample.labels + (("le", _format_value(bound)),)
+                out.append(
+                    f"{name}_bucket{_format_labels(le_labels)} {cumulative}"
+                )
+            base = _format_labels(sample.labels)
+            out.append(f"{name}_sum{base} {_format_value(sample.sum or 0.0)}")
+            out.append(f"{name}_count{base} {sample.count or 0}")
+    return "\n".join(out) + ("\n" if out else "")

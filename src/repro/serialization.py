@@ -1,0 +1,187 @@
+"""Uniform ``to_dict``/``from_dict`` for the repo's result dataclasses.
+
+Every experiment result and metric snapshot mixes in
+:class:`SerializableMixin`, giving one JSON-safe, round-trippable codec
+instead of N hand-written ones. The codec is driven entirely by the
+dataclass field type hints:
+
+* primitives (``int``/``float``/``str``/``bool``/``None``) pass through;
+* ``Enum`` fields serialize by ``.name`` (stable across reordering);
+* nested dataclasses recurse;
+* ``Tuple[X, ...]``, fixed ``Tuple[X, Y]``, ``List[X]`` and
+  ``Dict[K, V]`` map over their element types (tuples become JSON
+  lists and are rebuilt as tuples on the way in);
+* ``Optional[X]`` / ``Union`` tries each member type in order.
+
+Anything else raises ``TypeError`` with the offending field named, so an
+unsupported type is a loud failure at serialization time rather than a
+silently lossy dict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from enum import Enum
+from typing import Any, Dict, Union, get_args, get_origin, get_type_hints
+
+_NoneType = type(None)
+
+
+def _encode(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Enum):
+        return value.name
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return to_dict(value)
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    if isinstance(value, dict):
+        return {_encode_key(k): _encode(v) for k, v in value.items()}
+    raise TypeError(
+        f"cannot serialize value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def _encode_key(key: Any) -> Any:
+    if isinstance(key, Enum):
+        return key.name
+    if isinstance(key, (bool, int, float, str)):
+        return key
+    raise TypeError(f"cannot serialize dict key of type {type(key).__name__}")
+
+
+def to_dict(obj: Any) -> Dict[str, Any]:
+    """Encode a dataclass instance as a JSON-safe dict."""
+    if not dataclasses.is_dataclass(obj) or isinstance(obj, type):
+        raise TypeError(f"to_dict expects a dataclass instance, got {obj!r}")
+    return {
+        f.name: _encode(getattr(obj, f.name))
+        for f in dataclasses.fields(obj)
+    }
+
+
+def _decode(hint: Any, value: Any, *, where: str) -> Any:
+    if hint is Any:
+        return value
+    origin = get_origin(hint)
+
+    if origin is Union:
+        members = get_args(hint)
+        if value is None and _NoneType in members:
+            return None
+        errors = []
+        for member in members:
+            if member is _NoneType:
+                continue
+            try:
+                return _decode(member, value, where=where)
+            except (TypeError, ValueError, KeyError) as exc:
+                errors.append(str(exc))
+        raise TypeError(
+            f"{where}: {value!r} matched no member of {hint}: {errors}"
+        )
+
+    if origin in (tuple,):
+        args = get_args(hint)
+        if not isinstance(value, (list, tuple)):
+            raise TypeError(f"{where}: expected sequence, got {value!r}")
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(_decode(args[0], item, where=where) for item in value)
+        if args and len(args) != len(value):
+            raise TypeError(
+                f"{where}: expected {len(args)} items, got {len(value)}"
+            )
+        if not args:
+            return tuple(value)
+        return tuple(
+            _decode(arg, item, where=where)
+            for arg, item in zip(args, value)
+        )
+
+    if origin in (list,):
+        (elem,) = get_args(hint) or (Any,)
+        if not isinstance(value, (list, tuple)):
+            raise TypeError(f"{where}: expected sequence, got {value!r}")
+        return [_decode(elem, item, where=where) for item in value]
+
+    if origin in (dict,):
+        args = get_args(hint) or (Any, Any)
+        key_hint, value_hint = args
+        if not isinstance(value, dict):
+            raise TypeError(f"{where}: expected mapping, got {value!r}")
+        return {
+            _decode(key_hint, k, where=where): _decode(value_hint, v,
+                                                       where=where)
+            for k, v in value.items()
+        }
+
+    if isinstance(hint, type):
+        if issubclass(hint, Enum):
+            if isinstance(hint, type) and isinstance(value, hint):
+                return value
+            return hint[value]
+        if dataclasses.is_dataclass(hint):
+            if isinstance(value, hint):
+                return value
+            if not isinstance(value, dict):
+                raise TypeError(
+                    f"{where}: expected mapping for {hint.__name__}, "
+                    f"got {value!r}"
+                )
+            return from_dict(hint, value)
+        if hint is float and isinstance(value, (int, float)) \
+                and not isinstance(value, bool):
+            return float(value)
+        if hint is int and isinstance(value, float) \
+                and value.is_integer():
+            return int(value)
+        if hint is _NoneType:
+            if value is not None:
+                raise TypeError(f"{where}: expected None, got {value!r}")
+            return None
+        if isinstance(value, hint) and (
+            hint is not int or not isinstance(value, bool) or hint is bool
+        ):
+            return value
+        if isinstance(value, hint):
+            return value
+        raise TypeError(
+            f"{where}: expected {hint.__name__}, got "
+            f"{type(value).__name__} ({value!r})"
+        )
+
+    raise TypeError(f"{where}: unsupported type hint {hint!r}")
+
+
+def from_dict(cls, data: Dict[str, Any]):
+    """Rebuild a dataclass instance of ``cls`` from :func:`to_dict` output."""
+    if not (isinstance(cls, type) and dataclasses.is_dataclass(cls)):
+        raise TypeError(f"from_dict expects a dataclass type, got {cls!r}")
+    if not isinstance(data, dict):
+        raise TypeError(
+            f"from_dict expects a mapping for {cls.__name__}, got {data!r}"
+        )
+    hints = get_type_hints(cls)
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        if not f.init:
+            continue
+        if f.name not in data:
+            continue
+        kwargs[f.name] = _decode(
+            hints.get(f.name, Any), data[f.name],
+            where=f"{cls.__name__}.{f.name}",
+        )
+    return cls(**kwargs)
+
+
+class SerializableMixin:
+    """Adds uniform ``to_dict()`` / ``from_dict()`` to a dataclass."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]):
+        return from_dict(cls, data)

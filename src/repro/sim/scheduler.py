@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from .clock import Clock
 from .errors import SchedulingError
 from .event import Callback, Event, EventHandle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.metrics import MetricsRegistry
 
 #: Fault hook signature: ``(requested_time, now, name) -> effective_time``.
 #: The effective time must be >= the requested time (faults only delay).
@@ -29,7 +32,8 @@ class EventScheduler:
     and dispatch order is non-decreasing in time.
     """
 
-    def __init__(self, clock: Clock) -> None:
+    def __init__(self, clock: Clock,
+                 metrics: "Optional[MetricsRegistry]" = None) -> None:
         self._clock = clock
         self._heap: List[Event] = []
         self._seq = 0
@@ -37,6 +41,24 @@ class EventScheduler:
         self._pending = 0
         self._cancelled = 0
         self._perturb: Optional[TimePerturbation] = None
+        # Instruments are resolved once here; every hot-path guard below is
+        # a single `is not None`. Metrics only *observe* (no clock, RNG or
+        # heap interaction), so enabling them cannot perturb a run.
+        if metrics is not None:
+            self._m_scheduled = metrics.counter(
+                "sim_scheduler_events_scheduled_total")
+            self._m_dispatched = metrics.counter(
+                "sim_scheduler_events_dispatched_total")
+            self._m_cancelled = metrics.counter(
+                "sim_scheduler_events_cancelled_total")
+            self._m_delay = metrics.histogram("sim_scheduler_event_delay_ms")
+            self._m_depth = metrics.histogram("sim_scheduler_queue_depth")
+        else:
+            self._m_scheduled = None
+            self._m_dispatched = None
+            self._m_cancelled = None
+            self._m_delay = None
+            self._m_depth = None
 
     @property
     def now(self) -> float:
@@ -86,6 +108,9 @@ class EventScheduler:
         corrupt the counters of the next run), all counters rewind to zero
         and any fault perturbation is cleared so the next run starts from
         the same state a fresh ``EventScheduler(clock)`` would.
+
+        Metric instruments deliberately survive: a registry aggregates over
+        every trial of an experiment, across stack resets.
         """
         for event in self._heap:
             event.on_cancel = None
@@ -112,6 +137,12 @@ class EventScheduler:
         self._seq += 1
         heapq.heappush(self._heap, event)
         self._pending += 1
+        if self._m_delay is not None:
+            self._m_scheduled.inc()
+            # Dispatch latency in *simulated* time: how far ahead of "now"
+            # the event lands after fault perturbation. Deterministic, so
+            # the metric itself is reproducible run to run.
+            self._m_delay.observe(event.time - self._clock.now)
         return EventHandle(event)
 
     def schedule_after(self, delay_ms: float, callback: Callback, name: str = "") -> EventHandle:
@@ -141,6 +172,9 @@ class EventScheduler:
         # The event has left the queue: detach the cancel hook so a late
         # handle.cancel() cannot drive the pending counter negative.
         event.on_cancel = None
+        if self._m_depth is not None:
+            self._m_dispatched.inc()
+            self._m_depth.observe(self._pending)
         self._pending -= 1
         self._clock.advance_to(event.time)
         self._dispatched += 1
@@ -186,6 +220,8 @@ class EventScheduler:
     def _note_cancelled(self) -> None:
         self._pending -= 1
         self._cancelled += 1
+        if self._m_cancelled is not None:
+            self._m_cancelled.inc()
 
     def _drop_cancelled_head(self) -> None:
         # Cancelled events already left the pending count via the hook;

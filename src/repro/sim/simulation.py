@@ -10,7 +10,7 @@ and the parameter-sweep benchmarks rely on.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from .clock import Clock
 from .errors import ProcessError, SimulationError
@@ -19,6 +19,9 @@ from .faults import FaultPlan
 from .rng import SeededRng
 from .scheduler import EventScheduler
 from .tracing import TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.metrics import MetricsRegistry
 
 
 class Simulation:
@@ -29,9 +32,15 @@ class Simulation:
         seed: int = 0,
         trace_enabled: bool = True,
         faults: Optional[FaultPlan] = None,
+        metrics: "Optional[MetricsRegistry]" = None,
     ) -> None:
+        if metrics is None:
+            from ..obs.context import current_metrics
+
+            metrics = current_metrics()
+        self._metrics = metrics
         self._clock = Clock()
-        self._scheduler = EventScheduler(self._clock)
+        self._scheduler = EventScheduler(self._clock, metrics=metrics)
         self._rng = SeededRng(seed)
         self._trace = TraceLog(enabled=trace_enabled)
         self._processes: Dict[str, "object"] = {}
@@ -62,6 +71,19 @@ class Simulation:
     @property
     def trace(self) -> TraceLog:
         return self._trace
+
+    @property
+    def metrics(self) -> "Optional[MetricsRegistry]":
+        """The metrics registry observing this run, or ``None`` (disabled).
+
+        Resolved once at construction — explicitly passed, else the
+        ambient :func:`repro.obs.use_metrics` registry. Components resolve
+        their instruments from it at construction time and guard hot paths
+        with a single ``is not None`` check, so a disabled registry costs
+        nothing measurable (gated <5% by
+        ``benchmarks/bench_metrics_overhead.py``).
+        """
+        return self._metrics
 
     @property
     def faults(self) -> Optional[FaultPlan]:
@@ -99,7 +121,9 @@ class Simulation:
         at zero, the scheduler is empty with zeroed counters and no fault
         perturbation, the trace has no records and no subscribers, the
         root random stream is re-derived from ``(seed, "root")``, the
-        process registry is empty and no fault plan is installed.
+        process registry is empty and no fault plan is installed. The
+        metrics registry (if any) survives — it aggregates across every
+        trial run on this container.
 
         Every ``SeededRng`` sub-stream is a pure function of
         ``(seed, path)`` — children derive from the parent's *seed*, never

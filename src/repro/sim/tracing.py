@@ -10,8 +10,10 @@ The trace serves three consumers:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from itertools import islice
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -35,7 +37,9 @@ class TraceLog:
     """Append-only event trace with filtering helpers."""
 
     def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
-        self._records: List[TraceRecord] = []
+        # deque(maxlen=...) evicts the oldest record in O(1); the previous
+        # list-based eviction cost O(n) per append once the log was full.
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
         self._enabled = enabled
         self._capacity = capacity
         self._subscribers: List[Callable[[TraceRecord], None]] = []
@@ -68,8 +72,6 @@ class TraceLog:
         rec = TraceRecord(time=time, source=source, kind=kind, detail=detail)
         if self._enabled:
             self._records.append(rec)
-            if self._capacity is not None and len(self._records) > self._capacity:
-                del self._records[: len(self._records) - self._capacity]
         for callback in self._subscribers:
             callback(rec)
 
@@ -115,7 +117,8 @@ class TraceLog:
     def format(self, limit: int = 50) -> str:
         """Human-readable tail of the trace (most recent ``limit`` records)."""
         lines = []
-        for rec in self._records[-limit:]:
+        tail_start = max(len(self._records) - limit, 0)
+        for rec in islice(self._records, tail_start, None):
             detail = " ".join(f"{k}={v}" for k, v in rec.detail.items())
             lines.append(f"[{rec.time:10.3f}ms] {rec.source:>24s} {rec.kind:<28s} {detail}")
         return "\n".join(lines)

@@ -49,7 +49,10 @@ class NotificationManagerService(SimProcess):
         self._router = router
         self._system_server = system_server
         self._profile = profile
-        self._queue = ToastTokenQueue()
+        self._queue = ToastTokenQueue(
+            metrics=simulation.metrics,
+            now_fn=lambda: self.now,
+        )
         self._current: Optional[Toast] = None
         self._current_window: Optional[Window] = None
         self._current_end_handle = None

@@ -13,9 +13,16 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional
 
 from .toast import Toast
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.metrics import MetricsRegistry
+
+#: Queue-depth histogram buckets: depths are small integers up to the
+#: per-app cap of 50 (a flooding attack parks right at the cap).
+_DEPTH_BUCKETS = (0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0, 50.0, 100.0)
 
 #: Maximum queued tokens per app (AOSP MAX_PACKAGE_NOTIFICATIONS analogue
 #: for toasts, as cited by the paper).
@@ -42,13 +49,33 @@ class ToastToken:
 class ToastTokenQueue:
     """FIFO of toast tokens with the per-app cap enforced."""
 
-    def __init__(self, max_per_app: int = MAX_TOASTS_PER_APP) -> None:
+    def __init__(
+        self,
+        max_per_app: int = MAX_TOASTS_PER_APP,
+        metrics: "Optional[MetricsRegistry]" = None,
+        now_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
         if max_per_app <= 0:
             raise ValueError(f"max_per_app must be positive, got {max_per_app}")
         self._queue: Deque[ToastToken] = deque()
         self._per_app: Dict[str, int] = {}
         self._max_per_app = max_per_app
         self._rejected: Dict[str, int] = {}
+        # Queue residency (enqueue -> dequeue/removal, in simulated ms)
+        # needs a clock; ``now_fn`` is only consulted when metrics are on.
+        self._now_fn = now_fn
+        self._entered: Dict[int, float] = {}
+        if metrics is not None and now_fn is not None:
+            self._m_enqueued = metrics.counter("toast_tokens_enqueued_total")
+            self._m_rejected = metrics.counter("toast_tokens_rejected_total")
+            self._m_depth = metrics.histogram("toast_queue_depth",
+                                              buckets=_DEPTH_BUCKETS)
+            self._m_residency = metrics.histogram("toast_queue_residency_ms")
+        else:
+            self._m_enqueued = None
+            self._m_rejected = None
+            self._m_depth = None
+            self._m_residency = None
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -58,6 +85,7 @@ class ToastTokenQueue:
         self._queue.clear()
         self._per_app.clear()
         self._rejected.clear()
+        self._entered.clear()
 
     @property
     def max_per_app(self) -> int:
@@ -73,9 +101,15 @@ class ToastTokenQueue:
         """Add a token; returns False (rejection) if the app is at cap."""
         if self.depth_for(token.app) >= self._max_per_app:
             self._rejected[token.app] = self._rejected.get(token.app, 0) + 1
+            if self._m_rejected is not None:
+                self._m_rejected.inc()
             return False
         self._queue.append(token)
         self._per_app[token.app] = self._per_app.get(token.app, 0) + 1
+        if self._m_enqueued is not None:
+            self._m_enqueued.inc()
+            self._m_depth.observe(len(self._queue))
+            self._entered[token.token_id] = self._now_fn()
         return True
 
     def dequeue(self) -> Optional[ToastToken]:
@@ -87,6 +121,7 @@ class ToastTokenQueue:
             self._per_app[token.app] = remaining
         else:
             self._per_app.pop(token.app, None)
+        self._note_left(token)
         return token
 
     def remove_toast(self, toast_id: int) -> bool:
@@ -100,6 +135,7 @@ class ToastTokenQueue:
                     self._per_app[token.app] = remaining
                 else:
                     self._per_app.pop(token.app, None)
+                self._note_left(token)
                 return True
         return False
 
@@ -107,6 +143,18 @@ class ToastTokenQueue:
         """Drop all queued tokens of ``app`` (used on app termination)."""
         kept = [t for t in self._queue if t.app != app]
         dropped = len(self._queue) - len(kept)
+        if self._m_residency is not None:
+            for token in self._queue:
+                if token.app == app:
+                    self._note_left(token)
         self._queue = deque(kept)
         self._per_app.pop(app, None)
         return dropped
+
+    def _note_left(self, token: ToastToken) -> None:
+        """Observe queue residency for a token leaving by any path."""
+        if self._m_residency is None:
+            return
+        entered = self._entered.pop(token.token_id, None)
+        if entered is not None:
+            self._m_residency.observe(self._now_fn() - entered)

@@ -16,13 +16,38 @@ answers three questions the attacks and the perception model care about:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
 
+from ..obs.context import current_metrics
 from ..sim.faults import FaultPlan
 from ..toast.toast import Toast
 from .geometry import Point, Rect
 from .screen import Screen
 from .window import Window
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.metrics import Counter, MetricsRegistry
+
+#: Frame accounting metric names. The counters are owned here — frames
+#: exist to be composited to glass — but are *driven* by the animators
+#: (:class:`repro.animation.animator.Animator`), which are the only places
+#: that know when a frame actually rendered or was dropped by the fault
+#: layer.
+FRAMES_RENDERED_METRIC = "compositor_frames_rendered_total"
+FRAMES_DROPPED_METRIC = "compositor_frames_dropped_total"
+
+#: Visible-layer histogram buckets: layer counts are tiny integers.
+_LAYER_BUCKETS = (0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0)
+
+
+def frame_instruments(
+    registry: "Optional[MetricsRegistry]",
+) -> "Optional[Tuple[Counter, Counter]]":
+    """Resolve the (rendered, dropped) frame counters, or ``None``."""
+    if registry is None:
+        return None
+    return (registry.counter(FRAMES_RENDERED_METRIC),
+            registry.counter(FRAMES_DROPPED_METRIC))
 
 
 def _displayed_time(time: float, faults: Optional[FaultPlan]) -> float:
@@ -89,6 +114,11 @@ def visible_stack(
         transparency *= 1.0 - alpha
         if transparency <= 1e-9:
             break
+    registry = current_metrics()
+    if registry is not None:
+        registry.counter("compositor_queries_total").inc()
+        registry.histogram("compositor_visible_layers",
+                           buckets=_LAYER_BUCKETS).observe(len(layers))
     return layers
 
 
@@ -138,4 +168,7 @@ def coverage(
                 transparency *= 1.0 - _window_alpha(window, time)
             total += 1.0 - transparency
             count += 1
+    registry = current_metrics()
+    if registry is not None:
+        registry.counter("compositor_queries_total").inc()
     return total / count if count else 0.0

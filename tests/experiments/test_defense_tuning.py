@@ -2,14 +2,16 @@
 
 import pytest
 
-from repro.experiments import SMOKE, run_defense_tuning
+from repro.api import run_experiment
+from repro.experiments import SMOKE
 from repro.experiments.defense_tuning import RuleOperatingPoint
 
 
 @pytest.fixture(scope="module")
 def tuning():
-    return run_defense_tuning(
-        SMOKE, attack_ms=8_000.0, benign_observation_ms=60_000.0
+    return run_experiment(
+        "defense_tuning", scale=SMOKE, derive_seed=False,
+        attack_ms=8_000.0, benign_observation_ms=60_000.0,
     )
 
 

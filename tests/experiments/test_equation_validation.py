@@ -3,7 +3,8 @@
 import pytest
 
 from repro.analysis import measure_overlay_coverage
-from repro.experiments import SMOKE, run_equation_validation
+from repro.api import run_experiment
+from repro.experiments import SMOKE
 from repro.sim.tracing import TraceLog
 
 
@@ -55,7 +56,8 @@ class TestCoverageTimeline:
 class TestEquationValidation:
     @pytest.fixture(scope="class")
     def result(self):
-        return run_equation_validation(SMOKE, attack_ms=8000.0)
+        return run_experiment("equation_validation", scale=SMOKE,
+                              derive_seed=False, attack_ms=8000.0)
 
     def test_prediction_matches_measurement_within_five_percent(self, result):
         assert result.max_relative_error < 0.05

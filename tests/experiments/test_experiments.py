@@ -1,47 +1,35 @@
 """Tests for the experiment harness: every table/figure runner produces
-results with the paper's qualitative shape at reduced scale."""
+results with the paper's qualitative shape at reduced scale.
+
+All runs go through the :mod:`repro.api` facade with ``derive_seed=False``,
+which calls the implementations exactly like the historical per-module
+entry points did — same seeds, same results.
+"""
 
 import pytest
 
-from repro.devices import DEVICES, device
-from repro.experiments import (
-    SMOKE,
-    compare_toast_durations,
-    run_corpus_study,
-    run_fig2,
-    run_fig4,
-    run_fig6,
-    run_fig7,
-    run_fig8,
-    run_ipc_defense,
-    run_load_impact,
-    run_notification_defense,
-    run_stealthiness,
-    run_table2,
-    run_table3,
-    run_table4,
-    run_toast_continuity,
-    run_toast_defense,
-)
+from repro.api import run_experiment
+from repro.devices import DEVICES
+from repro.experiments import SMOKE, compare_toast_durations
 from repro.systemui import NotificationOutcome
 
 
 class TestAnimationCurves:
     def test_fig2_anchors(self):
-        result = run_fig2()
+        result = run_experiment("fig2")
         assert result.completeness_at_100ms < 50.0
         assert result.completeness_at_10ms == pytest.approx(0.17, abs=0.05)
         assert result.pixels_at_10ms_of_72px_view == 0
 
     def test_fig2_curve_monotone(self):
-        points = run_fig2().curve.points
+        points = run_experiment("fig2").curve.points
         values = [y for _, y in points]
         assert values[0] == 0.0
         assert values[-1] == pytest.approx(100.0)
         assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
 
     def test_fig4_asymmetry(self):
-        result = run_fig4()
+        result = run_experiment("fig4")
         # At 100 ms the fade-out (accelerate) has barely started while the
         # fade-in (decelerate) is well underway.
         assert result.accelerate.completeness_at(100.0) < 10.0
@@ -50,13 +38,13 @@ class TestAnimationCurves:
 
 class TestFig6:
     def test_ladder_on_reference_device(self):
-        result = run_fig6(trial_ms=2500.0)
+        result = run_experiment("fig6", trial_ms=2500.0)
         assert result.is_monotone
         labels = {outcome.label for _, outcome in result.outcomes}
         assert "Λ1" in labels and "Λ5" in labels
 
     def test_suppressed_below_published_bound(self):
-        result = run_fig6(trial_ms=2500.0)
+        result = run_experiment("fig6", trial_ms=2500.0)
         for d, outcome in result.outcomes:
             if d < result.published_upper_bound_d * 0.97:
                 assert outcome is NotificationOutcome.LAMBDA1
@@ -64,11 +52,12 @@ class TestFig6:
 
 class TestTable2:
     def test_boundaries_within_two_frames(self):
-        result = run_table2(SMOKE, profiles=DEVICES[:8])
+        result = run_experiment("table2", scale=SMOKE, derive_seed=False,
+                                profiles=DEVICES[:8])
         assert result.max_abs_error_ms <= 20.0  # two refresh intervals
 
     def test_version_structure(self):
-        result = run_table2(SMOKE)
+        result = run_experiment("table2", scale=SMOKE, derive_seed=False)
         means = result.version_means()
         # Android 10/11 bounds exceed 8/9 on average (ANA delay).
         assert means["10"] > means["9"]
@@ -77,19 +66,21 @@ class TestTable2:
 
 class TestLoadImpact:
     def test_load_influence_negligible(self):
-        result = run_load_impact(SMOKE)
+        result = run_experiment("load_impact", scale=SMOKE, derive_seed=False)
         assert result.max_shift_ms <= 10.0  # one frame
 
 
 class TestCaptureRates:
     def test_fig7_increases_with_d(self):
-        result = run_fig7(SMOKE, durations=(50.0, 100.0, 200.0))
+        result = run_experiment("fig7", scale=SMOKE, derive_seed=False,
+                                durations=(50.0, 100.0, 200.0))
         means = result.means()
         assert means[0] < means[-1]
         assert means[-1] > 85.0
 
     def test_fig8_android10_below_8_9(self):
-        result = run_fig8(SMOKE, durations=(75.0, 150.0))
+        result = run_experiment("fig8", scale=SMOKE, derive_seed=False,
+                                durations=(75.0, 150.0))
         mean10 = result.version_mean("10")
         mean9 = result.version_mean("9")
         assert mean10 < mean9
@@ -97,19 +88,20 @@ class TestCaptureRates:
 
 class TestPasswordStudy:
     def test_table3_success_rates_plausible(self):
-        result = run_table3(SMOKE, lengths=(4, 8))
+        result = run_experiment("table3", scale=SMOKE, derive_seed=False,
+                                lengths=(4, 8))
         for row in result.rows:
             assert row.attempts == SMOKE.participants * SMOKE.passwords_per_length
             assert row.success_rate > 50.0
 
     def test_stealthiness_mostly_unnoticed(self):
-        result = run_stealthiness(SMOKE)
+        result = run_experiment("stealthiness", scale=SMOKE, derive_seed=False)
         assert result.noticed_attack == 0
 
 
 class TestTable4:
     def test_all_apps_compromised(self):
-        result = run_table4(SMOKE)
+        result = run_experiment("table4", scale=SMOKE, derive_seed=False)
         assert result.all_compromised
         assert result.row("Alipay").marker == "*"
         assert result.row("Bank of America").marker == "✓"
@@ -118,7 +110,8 @@ class TestTable4:
 
 class TestToastContinuity:
     def test_attack_is_imperceptible(self):
-        result = run_toast_continuity(SMOKE)
+        result = run_experiment("toast_continuity", scale=SMOKE,
+                                derive_seed=False)
         assert result.imperceptible
         assert result.coverage_fraction_above_95 > 0.9
         assert result.max_queue_depth_observed < 50
@@ -130,25 +123,28 @@ class TestToastContinuity:
 
 class TestCorpusStudy:
     def test_scaled_counts_close_to_paper(self):
-        result = run_corpus_study(SMOKE)
+        result = run_experiment("corpus", scale=SMOKE, derive_seed=False)
         assert result.max_relative_error < 0.35  # small corpus, noisy
 
 
 class TestDefenses:
     def test_ipc_defense_catches_all_attacks_no_fp(self):
-        result = run_ipc_defense(SMOKE, durations=(100.0, 250.0),
-                                 benign_observation_ms=90_000.0)
+        result = run_experiment("defense_ipc", scale=SMOKE, derive_seed=False,
+                                durations=(100.0, 250.0),
+                                benign_observation_ms=90_000.0)
         assert result.detection_rate == 1.0
         assert result.false_positives == 0
         assert result.monitor_overhead_ms_per_txn < 0.01
 
     def test_notification_defense_flips_outcomes(self):
-        result = run_notification_defense(SMOKE)
+        result = run_experiment("defense_notification", scale=SMOKE,
+                                derive_seed=False)
         assert result.all_effective
         for trial in result.trials:
             assert trial.outcome_without_defense is NotificationOutcome.LAMBDA1
             assert trial.outcome_with_defense > NotificationOutcome.LAMBDA1
 
     def test_toast_defense_makes_flicker_visible(self):
-        result = run_toast_defense(SMOKE)
+        result = run_experiment("defense_toast", scale=SMOKE,
+                                derive_seed=False)
         assert result.defense_effective

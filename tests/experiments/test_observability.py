@@ -1,0 +1,67 @@
+"""Metrics are observation-only, and results serialize losslessly.
+
+The central safety property of ``repro.obs``: collecting metrics must not
+perturb a single result — the registry never touches the scheduler,
+clock or random streams. Pinned here by comparing a metrics-on QUICK run
+against the session's serial reference run, down to the formatted
+report's bytes.
+"""
+
+import pytest
+
+from repro.experiments import QUICK, format_report, run_all
+from repro.experiments.runner import AllResults
+
+
+@pytest.fixture(scope="module")
+def quick_metrics_results():
+    return run_all(QUICK, collect_metrics=True)
+
+
+class TestMetricsDoNotPerturb:
+    def test_results_equal_with_metrics_enabled(
+            self, quick_metrics_results, quick_serial_results):
+        # AllResults equality covers every experiment field (timings and
+        # metrics are compare=False), so this is the full-suite check.
+        assert quick_metrics_results == quick_serial_results
+
+    def test_report_byte_identical_with_metrics_enabled(
+            self, quick_metrics_results, quick_serial_results):
+        assert (format_report(quick_metrics_results)
+                == format_report(quick_serial_results))
+
+    def test_reference_run_attaches_no_metrics(self, quick_serial_results):
+        assert quick_serial_results.metrics is None
+
+
+class TestMetricsSnapshots:
+    def test_every_experiment_has_a_snapshot(self, quick_metrics_results):
+        names = [em.name for em in quick_metrics_results.metrics]
+        assert len(names) == len(set(names))
+        assert len(names) >= 20
+
+    def test_kernel_series_are_populated(self, quick_metrics_results):
+        all_names = {s.name
+                     for em in quick_metrics_results.metrics
+                     for s in em.samples}
+        for expected in (
+            "sim_scheduler_events_dispatched_total",
+            "binder_transactions_delivered_total",
+            "compositor_frames_rendered_total",
+            "toast_tokens_enqueued_total",
+            "engine_trials_total",
+        ):
+            assert expected in all_names, expected
+
+
+class TestSerializationRoundTrip:
+    def test_all_results_round_trip(self, quick_metrics_results):
+        rebuilt = AllResults.from_dict(quick_metrics_results.to_dict())
+        assert rebuilt == quick_metrics_results
+        # compare=False fields must survive the codec too.
+        assert rebuilt.metrics == quick_metrics_results.metrics
+        assert rebuilt.timings == quick_metrics_results.timings
+
+    def test_rebuilt_report_is_byte_identical(self, quick_metrics_results):
+        rebuilt = AllResults.from_dict(quick_metrics_results.to_dict())
+        assert format_report(rebuilt) == format_report(quick_metrics_results)

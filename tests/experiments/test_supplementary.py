@@ -3,19 +3,16 @@
 import pytest
 
 from repro.analysis import export_jsonl, load_into, load_jsonl
-from repro.experiments import (
-    QUICK,
-    SMOKE,
-    run_fig7_with_cis,
-    run_table3_by_version,
-)
+from repro.api import run_experiment
+from repro.experiments import QUICK, SMOKE
 from repro.sim.tracing import TraceLog
 
 
 class TestTable3ByVersion:
     @pytest.fixture(scope="class")
     def result(self):
-        return run_table3_by_version(QUICK)
+        return run_experiment("table3_by_version", scale=QUICK,
+                              derive_seed=False)
 
     def test_all_versions_present(self, result):
         assert sorted(row.version for row in result.rows) == ["10", "11", "8", "9"]
@@ -34,12 +31,14 @@ class TestTable3ByVersion:
 
 class TestFig7WithCis:
     def test_cis_contain_means(self):
-        result = run_fig7_with_cis(SMOKE, durations=(50.0, 200.0))
+        result = run_experiment("fig7_cis", scale=SMOKE, derive_seed=False,
+                                durations=(50.0, 200.0))
         for row in result.rows:
             assert row.ci.lower <= row.mean <= row.ci.upper
 
     def test_means_increase_with_d(self):
-        result = run_fig7_with_cis(SMOKE, durations=(50.0, 200.0))
+        result = run_experiment("fig7_cis", scale=SMOKE, derive_seed=False,
+                                durations=(50.0, 200.0))
         assert result.rows[0].mean < result.rows[-1].mean
 
 

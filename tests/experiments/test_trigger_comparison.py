@@ -2,12 +2,14 @@
 
 import pytest
 
-from repro.experiments import SMOKE, run_trigger_comparison
+from repro.api import run_experiment
+from repro.experiments import SMOKE
 
 
 @pytest.fixture(scope="module")
 def result():
-    return run_trigger_comparison(SMOKE)
+    return run_experiment("trigger_comparison", scale=SMOKE,
+                          derive_seed=False)
 
 
 class TestTriggerComparison:

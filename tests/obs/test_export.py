@@ -1,0 +1,69 @@
+"""Tests for the JSONL and Prometheus exposition exports."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, render_prometheus, to_jsonl
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("binder_txn_total", {"status": "ok"}).inc(5)
+    reg.gauge("queue_depth").set(3)
+    h = reg.histogram("lat_ms", buckets=(1.0, 10.0))
+    h.observe(0.5)
+    h.observe(5.0)
+    return reg
+
+
+class TestJsonl:
+    def test_one_json_object_per_sample(self, registry):
+        lines = to_jsonl(registry.samples()).splitlines()
+        assert len(lines) == 3
+        rows = [json.loads(line) for line in lines]
+        assert {r["name"] for r in rows} == {
+            "binder_txn_total", "queue_depth", "lat_ms"}
+
+    def test_inf_bucket_bound_becomes_null(self, registry):
+        rows = [json.loads(line)
+                for line in to_jsonl(registry.samples()).splitlines()]
+        hist = next(r for r in rows if r["kind"] == "histogram")
+        assert hist["buckets"][-1][0] is None
+        assert all(b is not None for b, _ in hist["buckets"][:-1])
+
+    def test_empty_input_is_empty_string(self):
+        assert to_jsonl(()) == ""
+
+    def test_round_trips_through_json(self, registry):
+        for line in to_jsonl(registry.samples()).splitlines():
+            assert json.loads(line)["name"]
+
+
+class TestPrometheus:
+    def test_type_comments_and_series(self, registry):
+        text = render_prometheus(registry.samples())
+        assert "# TYPE binder_txn_total counter" in text
+        assert 'binder_txn_total{status="ok"} 5' in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "queue_depth 3" in text
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        text = render_prometheus(registry.samples())
+        assert 'lat_ms_bucket{le="1"} 1' in text
+        assert 'lat_ms_bucket{le="10"} 2' in text
+        assert 'lat_ms_bucket{le="+Inf"} 2' in text
+        assert "lat_ms_sum 5.5" in text
+        assert "lat_ms_count 2" in text
+
+    def test_empty_input_is_empty_string(self):
+        assert render_prometheus(()) == ""
+
+    def test_mixed_kinds_same_name_raises(self):
+        a = MetricsRegistry()
+        a.counter("x").inc()
+        b = MetricsRegistry()
+        b.gauge("x", {"l": "1"}).set(1)
+        with pytest.raises(ValueError):
+            render_prometheus(a.samples() + b.samples())

@@ -1,0 +1,98 @@
+"""Regression tests for the TraceLog capacity behavior.
+
+The capacity bound used to be enforced with ``del records[:overflow]`` on
+a list, which is O(n) per append once the log is full — a quadratic
+hidden cost for long capacity-bounded runs. Storage is now a
+``deque(maxlen=capacity)`` with O(1) eviction; these tests pin the
+observable behavior that must survive that change.
+"""
+
+from collections import deque
+
+from repro.sim.tracing import TraceLog
+
+
+class TestCapacityEviction:
+    def test_storage_is_bounded_deque(self):
+        log = TraceLog(capacity=5)
+        assert isinstance(log._records, deque)
+        assert log._records.maxlen == 5
+
+    def test_unbounded_log_keeps_everything(self):
+        log = TraceLog()
+        for i in range(1000):
+            log.record(float(i), "src", "kind", i=i)
+        assert len(log) == 1000
+
+    def test_eviction_keeps_most_recent_records(self):
+        log = TraceLog(capacity=4)
+        for i in range(100):
+            log.record(float(i), "src", "kind", i=i)
+        assert len(log) == 4
+        assert [r.detail["i"] for r in log] == [96, 97, 98, 99]
+
+    def test_capacity_one(self):
+        log = TraceLog(capacity=1)
+        for i in range(3):
+            log.record(float(i), "src", "kind", i=i)
+        assert [r.detail["i"] for r in log] == [2]
+
+    def test_filter_and_last_see_only_retained_window(self):
+        log = TraceLog(capacity=3)
+        for i in range(6):
+            log.record(float(i), "src", "even" if i % 2 == 0 else "odd", i=i)
+        assert [r.detail["i"] for r in log.filter(kind="even")] == [4]
+        assert log.last(kind="odd").detail["i"] == 5
+
+    def test_format_tail_shorter_than_limit(self):
+        log = TraceLog(capacity=3)
+        for i in range(10):
+            log.record(float(i), "src", "kind", i=i)
+        text = log.format(limit=50)
+        assert text.count("\n") == 2  # 3 lines: only the retained window
+        assert "i=9" in text and "i=6" not in text
+
+    def test_format_tail_respects_limit(self):
+        log = TraceLog()
+        for i in range(10):
+            log.record(float(i), "src", "kind", i=i)
+        text = log.format(limit=2)
+        assert "i=8" in text and "i=9" in text and "i=7" not in text
+
+
+class TestLifecycle:
+    def test_clear_keeps_subscribers(self):
+        log = TraceLog(capacity=2)
+        seen = []
+        log.subscribe(seen.append)
+        log.record(0.0, "src", "kind")
+        log.clear()
+        assert len(log) == 0
+        log.record(1.0, "src", "kind")
+        assert len(seen) == 2
+
+    def test_reset_drops_records_and_subscribers(self):
+        log = TraceLog(capacity=2)
+        seen = []
+        log.subscribe(seen.append)
+        log.record(0.0, "src", "kind")
+        log.reset(enabled=False)
+        assert len(log) == 0
+        log.record(1.0, "src", "kind")
+        # Old subscriber must not observe the post-reset record.
+        assert [r.time for r in seen] == [0.0]
+        assert not log.enabled
+
+    def test_reset_preserves_capacity(self):
+        log = TraceLog(capacity=2)
+        log.reset(enabled=True)
+        for i in range(5):
+            log.record(float(i), "src", "kind", i=i)
+        assert len(log) == 2
+
+    def test_subscribers_fire_when_disabled(self):
+        log = TraceLog(enabled=False, capacity=2)
+        seen = []
+        log.subscribe(seen.append)
+        log.record(0.0, "src", "kind")
+        assert len(log) == 0 and len(seen) == 1

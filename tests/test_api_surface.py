@@ -1,0 +1,81 @@
+"""Snapshot of the public API surface.
+
+``repro.__all__`` and ``repro.api.__all__`` are the contract users code
+against. These lists are pinned verbatim: a diff here is either
+deliberate API growth (update the snapshot in the same commit) or an
+accidental breaking change (fix the package).
+"""
+
+import repro
+import repro.api
+
+REPRO_ALL = [
+    "AlertMode",
+    "AndroidStack",
+    "DEVICES",
+    "DeviceProfile",
+    "DrawAndDestroyOverlayAttack",
+    "DrawAndDestroyToastAttack",
+    "EnhancedNotificationDefense",
+    "ExperimentScale",
+    "FULL",
+    "IpcDetector",
+    "NotificationOutcome",
+    "OverlayAttackConfig",
+    "PasswordStealingAttack",
+    "PasswordStealingConfig",
+    "Permission",
+    "QUICK",
+    "SMOKE",
+    "ScenarioMatrix",
+    "Simulation",
+    "ToastAttackConfig",
+    "ToastSpacingDefense",
+    "build_stack",
+    "device",
+    "format_report",
+    "reference_device",
+    "run_all",
+    "run_experiment",
+    "run_matrix",
+    "__version__",
+]
+
+API_ALL = [
+    "AllResults",
+    "AndroidStack",
+    "ExperimentScale",
+    "FULL",
+    "QUICK",
+    "SMOKE",
+    "ScenarioMatrix",
+    "TrialExecutor",
+    "TrialOutcome",
+    "build_stack",
+    "experiment_names",
+    "format_report",
+    "run_all",
+    "run_experiment",
+    "run_matrix",
+]
+
+
+def test_repro_all_is_pinned():
+    assert repro.__all__ == REPRO_ALL
+
+
+def test_api_all_is_pinned():
+    assert repro.api.__all__ == API_ALL
+
+
+def test_every_exported_name_resolves():
+    for name in REPRO_ALL:
+        assert getattr(repro, name, None) is not None, name
+    for name in API_ALL:
+        assert getattr(repro.api, name, None) is not None, name
+
+
+def test_facade_names_are_the_same_objects():
+    """``repro.X`` and ``repro.api.X`` must not drift apart."""
+    for name in set(REPRO_ALL) & set(API_ALL):
+        assert getattr(repro, name) is getattr(repro.api, name), name

@@ -1,0 +1,82 @@
+"""Tests for the warn-once deprecation shims over legacy entry points."""
+
+import warnings
+
+import pytest
+
+from repro._deprecation import deprecated_entry_point, reset_deprecation_warnings
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+def _make_shim(name="run_legacy"):
+    def impl(a, b=2):
+        return (a, b)
+
+    return deprecated_entry_point(name, impl, "repro.api.run_experiment(...)")
+
+
+class TestShimBehavior:
+    def test_delegates_args_and_return_verbatim(self):
+        shim = _make_shim()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert shim(1, b=5) == (1, 5)
+
+    def test_warns_deprecation_with_replacement_hint(self):
+        shim = _make_shim()
+        with pytest.warns(DeprecationWarning,
+                          match=r"run_legacy\(\) is deprecated; use "
+                                r"repro\.api\.run_experiment"):
+            shim(1)
+
+    def test_warns_exactly_once_per_process(self):
+        shim = _make_shim()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim(1)
+            shim(2)
+            shim(3)
+        assert len(caught) == 1
+
+    def test_reset_re_arms_the_warning(self):
+        shim = _make_shim()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim(1)
+            reset_deprecation_warnings()
+            shim(2)
+        assert len(caught) == 2
+
+    def test_shim_takes_the_old_name(self):
+        shim = _make_shim("run_old_thing")
+        assert shim.__name__ == "run_old_thing"
+        assert shim.__qualname__ == "run_old_thing"
+
+
+class TestPackageShims:
+    def test_legacy_entry_point_warns_and_matches_facade(self):
+        from repro.api import run_experiment
+        from repro.experiments import SMOKE
+        from repro.experiments.animation_curves import run_fig2
+
+        with pytest.warns(DeprecationWarning, match="run_fig2"):
+            legacy = run_fig2()
+        facade = run_experiment("fig2", scale=SMOKE, derive_seed=False)
+        assert legacy == facade
+
+    def test_package_import_is_warning_clean(self):
+        """Importing the facade must not trip any shim."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            import importlib
+
+            import repro.api
+            import repro.experiments
+
+            importlib.reload(repro.api)
