@@ -1,0 +1,61 @@
+"""Supervision-layer overhead on the fault-free QUICK suite.
+
+Gates the ISSUE 5 claim that supervision is zero-cost on the happy path:
+with no faults injected, a run under a *non-trivial* :class:`RunPolicy`
+(retries armed, a generous deadline, backoff configured) pays only the
+supervisor's bookkeeping — one try/except, one attempt counter and one
+deadline comparison per experiment — which must stay within the same 5%
+envelope the metrics plane is held to. Both arms are best-of-N walls
+(the minimum is the least noisy estimator on a shared CI box) and both
+arms must return bit-identical results: supervision observes and
+schedules, it never touches experiment seeds.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import QUICK, RunPolicy, run_all
+
+_REPEATS = 3
+
+#: Retries armed, deadline far above any QUICK experiment, deterministic
+#: backoff configured — every supervisor code path active, none firing.
+_ARMED_POLICY = RunPolicy(
+    max_attempts=3,
+    deadline_seconds=300.0,
+    backoff_base_seconds=0.05,
+)
+
+
+def _best_wall_seconds(policy, repeats: int = _REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_all(QUICK, policy=policy)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_resilience_overhead(benchmark):
+    """Armed-but-idle supervision gated at <5% of the QUICK wall."""
+    default_s, default_results = _best_wall_seconds(policy=None)
+
+    def run():
+        return run_all(QUICK, policy=_ARMED_POLICY)
+
+    armed_results = benchmark(run)
+    assert armed_results == default_results, (
+        "an armed-but-idle RunPolicy must not perturb results"
+    )
+    assert armed_results.failures == () and default_results.failures == ()
+
+    armed_s, _ = _best_wall_seconds(policy=_ARMED_POLICY)
+    overhead = armed_s / default_s - 1.0
+    print(f"\ndefault policy: {default_s:.2f}s   armed policy: "
+          f"{armed_s:.2f}s   ({overhead * 100:+.2f}% when armed)")
+    assert armed_s <= default_s * 1.05, (
+        f"supervision overhead gate: armed policy ran {overhead * 100:.2f}% "
+        "slower than the default (limit 5%)"
+    )

@@ -35,6 +35,7 @@ from .api import (
     QUICK,
     SMOKE,
     ExperimentScale,
+    RunPolicy,
     ScenarioMatrix,
     format_report,
     run_all,
@@ -81,6 +82,7 @@ __all__ = [
     "PasswordStealingConfig",
     "Permission",
     "QUICK",
+    "RunPolicy",
     "SMOKE",
     "ScenarioMatrix",
     "Simulation",

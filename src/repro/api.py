@@ -37,6 +37,7 @@ from .experiments.parallel import (
     _run_one,
     experiment_names,
 )
+from .experiments.resilience import ExperimentFailure, RunPolicy
 from .experiments.runner import AllResults, format_report, run_all
 from .sim.faults import use_default_profile
 from .stack import AndroidStack, build_stack
@@ -44,9 +45,11 @@ from .stack import AndroidStack, build_stack
 __all__ = [
     "AllResults",
     "AndroidStack",
+    "ExperimentFailure",
     "ExperimentScale",
     "FULL",
     "QUICK",
+    "RunPolicy",
     "SMOKE",
     "ScenarioMatrix",
     "TrialExecutor",

@@ -17,6 +17,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -141,6 +142,47 @@ def _write_metrics_exports(results, out_dir: Path) -> None:
     (out_dir / "metrics.prom").write_text(render_prometheus(merged))
 
 
+def _build_policy(args: argparse.Namespace):
+    """Translate CLI supervision flags into a RunPolicy (None = defaults)."""
+    from .experiments import RunPolicy
+
+    if not (args.retries or args.deadline is not None or args.fail_fast):
+        return None
+    return RunPolicy(
+        max_attempts=args.retries + 1,
+        deadline_seconds=args.deadline,
+        backoff_base_seconds=0.05 if args.retries else 0.0,
+        fail_fast=args.fail_fast,
+    )
+
+
+def _write_failures_summary(results, out: Path) -> None:
+    """Emit the machine-readable failure summary for --failures-out."""
+    timings = results.timings or ()
+    summary = {
+        "scale": results.scale_name,
+        "completed": sum(1 for t in timings if not t.failed),
+        "failed": len(results.failures),
+        "retries": sum(t.attempts - 1 for t in timings),
+        "failures": [f.to_dict() for f in results.failures],
+    }
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(summary, indent=2) + "\n")
+
+
+def _report_failures(results, command: str) -> int:
+    """Print the failure roll-up and return the process exit code."""
+    if not results.failures:
+        return 0
+    for failure in results.failures:
+        print(f"repro {command}: experiment {failure.name} FAILED "
+              f"({failure.kind}, {failure.attempts} attempt(s)): "
+              f"{failure.error}", file=sys.stderr)
+    print(f"repro {command}: {len(results.failures)} experiment(s) failed",
+          file=sys.stderr)
+    return 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments import (
         FULL,
@@ -167,15 +209,24 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"repro report: --cache-dir {cache_dir} exists and is not a "
               "directory", file=sys.stderr)
         return 2
+    if args.resume is not None and args.run_dir is not None:
+        print("repro report: --resume already names the run directory; "
+              "drop --run-dir", file=sys.stderr)
+        return 2
+    run_dir = args.resume if args.resume is not None else args.run_dir
     results = run_all(scale, verbose=args.verbose, jobs=args.jobs,
                       cache_dir=cache_dir, collect_metrics=collect_metrics,
-                      profile_dir=args.profile_dir)
+                      profile_dir=args.profile_dir,
+                      policy=_build_policy(args), run_dir=run_dir,
+                      resume=args.resume is not None)
     print(format_report(results, include_timings=args.verbose))
     if collect_metrics:
         _write_metrics_exports(results, args.metrics_out)
         print(f"\nmetrics written to {args.metrics_out}/metrics.jsonl "
               f"and {args.metrics_out}/metrics.prom", file=sys.stderr)
-    return 0
+    if args.failures_out is not None:
+        _write_failures_summary(results, args.failures_out)
+    return _report_failures(results, "report")
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -190,15 +241,31 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         _write_metrics_exports(results, args.out)
         print(f"metrics written to {args.out}/metrics.jsonl and "
               f"{args.out}/metrics.prom", file=sys.stderr)
-        return 0
+        return _report_failures(results, "metrics")
     merged = merge_samples(em.samples for em in results.metrics or ())
     print(render_prometheus(merged), end="")
-    return 0
+    return _report_failures(results, "metrics")
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments import EXPERIMENTS, scenario_names
 
+    if args.run is not None:
+        from .api import run_experiment
+        from .experiments import FULL, QUICK, SMOKE
+
+        scale = {"full": FULL, "quick": QUICK, "smoke": SMOKE}[args.scale]
+        try:
+            result = run_experiment(args.run, scale=scale)
+        except KeyError as exc:
+            print(f"repro experiments: {exc.args[0]}", file=sys.stderr)
+            return 2
+        except Exception as exc:  # noqa: BLE001 - CLI boundary
+            print(f"repro experiments: experiment {args.run} FAILED: "
+                  f"{exc!r}", file=sys.stderr)
+            return 1
+        print(result)
+        return 0
     if args.list:
         print(f"{'experiment':22s} title")
         for spec in EXPERIMENTS:
@@ -207,7 +274,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         print(f"registered scenarios ({len(scenario_names())}): "
               + ", ".join(scenario_names()))
         return 0
-    print("repro experiments: nothing to do (try --list)", file=sys.stderr)
+    print("repro experiments: nothing to do (try --list or --run NAME)",
+          file=sys.stderr)
     return 2
 
 
@@ -307,6 +375,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="dump a cProfile <experiment>.prof per "
                              "experiment into this directory (disables "
                              "the result cache)")
+    report.add_argument("--retries", type=_nonnegative_int, default=0,
+                        help="retry each failed experiment up to N extra "
+                             "times with deterministic backoff")
+    report.add_argument("--deadline", type=float, default=None,
+                        help="per-experiment wall-clock deadline in "
+                             "seconds; overruns count as failures")
+    report.add_argument("--fail-fast", action="store_true",
+                        help="abort on the first permanent experiment "
+                             "failure instead of degrading gracefully")
+    report.add_argument("--failures-out", type=Path, default=None,
+                        help="write a machine-readable JSON failure "
+                             "summary to this file")
+    report.add_argument("--run-dir", type=Path, default=None,
+                        help="journal per-experiment completions under "
+                             "this directory (enables --resume later)")
+    report.add_argument("--resume", type=Path, default=None, metavar="RUN_DIR",
+                        help="resume a journaled run, re-executing only "
+                             "the experiments missing from RUN_DIR")
 
     metrics = sub.add_parser(
         "metrics",
@@ -330,6 +416,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument(
         "--list", action="store_true",
         help="list runnable experiments and registered trial scenarios")
+    experiments.add_argument(
+        "--run", default=None, metavar="NAME",
+        help="run one named experiment and print its result "
+             "(exit 1 on failure)")
+    experiments.add_argument("--scale", choices=("smoke", "quick", "full"),
+                             default="quick")
 
     sub.add_parser("fig6", help="render the five Λ outcomes (paper Fig. 6)")
 

@@ -21,7 +21,17 @@ Three properties make ``jobs=N`` bit-identical to ``jobs=1``:
 
 The same ``(name, scale)`` key also addresses an optional on-disk result
 cache, so a repeated ``run_all`` invocation only re-runs experiments whose
-scale (or the cache version) changed.
+scale (or the cache version) changed. Entries are wrapped in the
+checksummed envelope from :mod:`repro.experiments.resilience`, so corrupt
+or stale bytes degrade to a miss instead of a poisoned report.
+
+Execution is *supervised* (:class:`~repro.experiments.resilience.RunPolicy`):
+worker exceptions, deadline overruns and even a broken process pool are
+converted into per-experiment :class:`ExperimentFailure` records — the
+surviving experiments complete and the run degrades gracefully instead of
+discarding finished work. Because a retry re-runs a pure function of
+``(name, scale)``, a crash-then-success retry is bit-identical to a run
+that never crashed.
 """
 
 from __future__ import annotations
@@ -30,12 +40,12 @@ import contextlib
 import dataclasses
 import hashlib
 import os
-import pickle
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..serialization import SerializableMixin
 from .animation_curves import _run_fig2, _run_fig4
@@ -53,14 +63,36 @@ from .noise_sensitivity import _run_noise_sensitivity
 from .outcomes_vs_d import _run_fig6
 from .password_study import _run_stealthiness, _run_table3
 from .real_world_apps import _run_table4
+from .resilience import (
+    CACHE_REJECTS_METRIC,
+    DEADLINE_METRIC,
+    DEFAULT_POLICY,
+    FAILURES_METRIC,
+    RETRIES_METRIC,
+    CacheIntegrityError,
+    ChaosCrash,
+    DeadlineExceeded,
+    ExperimentFailure,
+    PoisonedResult,
+    ResultIntegrityError,
+    RunJournal,
+    RunPolicy,
+    atomic_write_bytes,
+    chaos_action,
+    chaos_hang_seconds,
+    decode_envelope,
+    encode_envelope,
+    make_failure,
+)
 from .supplementary import _run_fig7_with_cis, _run_table3_by_version
 from .toast_continuity import _run_toast_continuity
 from .trigger_comparison import _run_trigger_comparison
 from .upper_bound import _run_load_impact, _run_table2
 
 #: Bump when a change to experiment code invalidates previously cached
-#: results (the cache key has no way to see code changes).
-CACHE_VERSION = 3
+#: results (the cache key has no way to see code changes). Version 4:
+#: entries are wrapped in the checksummed integrity envelope.
+CACHE_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -133,6 +165,10 @@ class ExperimentTiming(SerializableMixin):
     name: str
     seconds: float
     cached: bool = False
+    #: Attempts consumed (1 for a clean first run or a cache/journal hit).
+    attempts: int = 1
+    #: True when the experiment ended as an ``ExperimentFailure``.
+    failed: bool = False
 
 
 def experiment_names() -> Tuple[str, ...]:
@@ -162,6 +198,7 @@ def _run_one(
     scale: ExperimentScale,
     collect_metrics: bool = False,
     profile_dir: Optional[Path] = None,
+    attempt: int = 1,
 ):
     """Worker entry point: run one named experiment at its derived scale.
 
@@ -173,6 +210,11 @@ def _run_one(
     worker, so every stack the experiment builds — however deep in the
     call tree — sees the same regime whether the experiment ran serially
     or in a pool process.
+
+    ``attempt`` numbers the supervision retry (1-based). It is consulted
+    *only* by the chaos harness — the experiment's seed derivation never
+    sees it, which is what makes a crash-then-retry run bit-identical to
+    a clean one.
 
     Each experiment gets its own :class:`TrialExecutor` installed
     ambiently, so its trial loops share one pool of reusable stacks
@@ -187,6 +229,21 @@ def _run_one(
     from ..obs.metrics import MetricsRegistry
     from ..sim.faults import use_default_profile
     from .engine import TrialExecutor, use_executor
+
+    action = chaos_action(name, attempt)
+    if action == "crash":
+        raise ChaosCrash(
+            f"chaos: injected crash for {name!r} attempt {attempt}")
+    if action == "kill":
+        # Simulates a worker dying hard (OOM-kill, segfault): in a pool
+        # this breaks the executor; serially it kills the whole run —
+        # which is exactly what the journal/resume tests need.
+        os._exit(86)
+    if action == "hang":
+        time.sleep(chaos_hang_seconds())
+    if action == "poison":
+        return name, PoisonedResult(name=name, attempt=attempt), 0.0, None, \
+            os.getpid()
 
     spec = _SPEC_BY_NAME[name]
     _reset_global_id_allocators()
@@ -210,6 +267,15 @@ def _run_one(
     return name, result, seconds, samples, os.getpid()
 
 
+def _check_payload(payload) -> None:
+    """Reject worker payloads the supervisor must not accept as results."""
+    _, result, _, _, _ = payload
+    if isinstance(result, PoisonedResult):
+        raise ResultIntegrityError(
+            f"worker returned a poisoned result for {result.name!r} "
+            f"(attempt {result.attempt})")
+
+
 # ---------------------------------------------------------------------------
 # On-disk result cache
 # ---------------------------------------------------------------------------
@@ -223,15 +289,23 @@ def default_cache_dir() -> Path:
 
 
 class ResultCache:
-    """Pickle-per-key store of experiment results.
+    """Envelope-per-key store of experiment results.
 
     Keys are ``(experiment_name, every ExperimentScale field,
     CACHE_VERSION)`` — exactly the inputs the result is a pure function
-    of. Corrupt or unreadable entries are treated as misses.
+    of. Entries are checksummed envelopes
+    (:func:`~repro.experiments.resilience.encode_envelope`): corrupt,
+    truncated or stale-version bytes degrade to a miss, counted on
+    :attr:`integrity_rejects` and the ambient ``repro.obs`` registry as
+    ``cache_integrity_rejects_total``. Writes go through collision-free
+    temp files, so concurrent ``run_all`` invocations sharing a cache
+    directory cannot clobber each other mid-write.
     """
 
     def __init__(self, directory: Path) -> None:
         self.directory = Path(directory)
+        #: Entries rejected by envelope validation since construction.
+        self.integrity_rejects = 0
 
     def path_for(self, name: str, scale: ExperimentScale) -> Path:
         fields = dataclasses.asdict(scale)
@@ -242,29 +316,82 @@ class ResultCache:
         digest = hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
         return self.directory / f"{name}-{scale.name}-{digest}.pkl"
 
+    def _note_reject(self) -> None:
+        from ..obs.context import current_metrics
+
+        self.integrity_rejects += 1
+        registry = current_metrics()
+        if registry is not None:
+            registry.counter(CACHE_REJECTS_METRIC).inc()
+
     def load(self, name: str, scale: ExperimentScale):
         path = self.path_for(name, scale)
         try:
-            with path.open("rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError):
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return decode_envelope(CACHE_VERSION, data)
+        except CacheIntegrityError:
+            self._note_reject()
             return None
 
     def store(self, name: str, scale: ExperimentScale, result) -> None:
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(name, scale)
-        tmp = path.with_suffix(".tmp")
-        with tmp.open("wb") as fh:
-            pickle.dump(result, fh)
-        os.replace(tmp, path)
+        atomic_write_bytes(self.path_for(name, scale),
+                           encode_envelope(CACHE_VERSION, result))
 
 
 # ---------------------------------------------------------------------------
-# Execution
+# Supervised execution
 # ---------------------------------------------------------------------------
 
 ProgressCallback = Callable[[int, int, ExperimentTiming], None]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Everything one supervised ``run_experiments`` pass produced."""
+
+    #: Successful results keyed by experiment name (failed ones absent).
+    results: Dict[str, object]
+    #: Per-experiment accounting in registry order (failures included).
+    timings: Tuple[ExperimentTiming, ...]
+    #: ``ExperimentMetrics`` tuple when metrics were collected, else None.
+    metrics: Optional[Tuple]
+    #: Permanent failures in registry order (empty on a clean run).
+    failures: Tuple[ExperimentFailure, ...] = ()
+
+
+class _Supervisor:
+    """Retry/failure bookkeeping shared by the serial and pool paths."""
+
+    def __init__(self, policy: RunPolicy, scale: ExperimentScale) -> None:
+        self.policy = policy
+        self.scale = scale
+        self.failures: Dict[str, ExperimentFailure] = {}
+        self.retries = 0
+        self.deadline_exceeded = 0
+
+    def handle(self, name: str, attempt: int, exc: Exception,
+               elapsed: float) -> bool:
+        """Process one failed attempt; return True to retry.
+
+        A permanent failure is recorded on :attr:`failures` — unless the
+        policy is ``fail_fast``, in which case the original exception
+        propagates (the historical abort-on-first-error behaviour).
+        """
+        if isinstance(exc, DeadlineExceeded):
+            self.deadline_exceeded += 1
+        if attempt < self.policy.max_attempts:
+            self.retries += 1
+            return True
+        if self.policy.fail_fast:
+            raise exc
+        self.failures[name] = make_failure(name, exc, attempt, elapsed)
+        return False
+
+    def backoff(self, name: str, attempt: int) -> float:
+        return self.policy.backoff_seconds(self.scale.seed, name, attempt)
 
 
 def run_experiments(
@@ -276,26 +403,40 @@ def run_experiments(
     progress: Optional[ProgressCallback] = None,
     collect_metrics: bool = False,
     profile_dir: Optional[Path] = None,
-) -> Tuple[Dict[str, object], Tuple[ExperimentTiming, ...], Optional[Tuple]]:
-    """Run every experiment; return ``(results, timings, metrics)``.
+    policy: Optional[RunPolicy] = None,
+    journal: Optional[RunJournal] = None,
+) -> RunOutcome:
+    """Run every experiment under supervision; return a :class:`RunOutcome`.
 
     ``jobs=1`` runs in-process and is the reference implementation;
     ``jobs=N`` fans out over N worker processes; ``jobs=0`` means one per
     core. Timings come back in registry order regardless of completion
     order.
 
+    ``policy`` governs retries, deadlines and failure semantics (the
+    default is inert: one attempt, record failures, keep going). A worker
+    exception — or the whole process pool breaking — costs only that
+    experiment's attempts: the pool is rebuilt, surviving work is
+    re-submitted, and the failure is recorded as an
+    :class:`ExperimentFailure` on the outcome. ``journal`` checkpoints
+    every completion into a run directory so an interrupted run can be
+    resumed, skipping finished experiments.
+
     With ``collect_metrics`` each experiment runs under its own
-    :class:`~repro.obs.metrics.MetricsRegistry` and the third element is a
-    tuple of :class:`~repro.obs.metrics.ExperimentMetrics`: one snapshot
+    :class:`~repro.obs.metrics.MetricsRegistry` and ``outcome.metrics`` is
+    a tuple of :class:`~repro.obs.metrics.ExperimentMetrics`: one snapshot
     per freshly-run experiment (cache hits carry no metrics) plus a
-    synthetic ``runner`` entry with per-experiment wall gauges and
-    per-worker busy/utilization gauges. Without it the third element is
-    ``None``. Metrics never feed back into experiment code, so results are
+    synthetic ``runner`` entry with per-experiment wall gauges, per-worker
+    busy/utilization gauges and the supervision counters
+    (``runner_retries_total``, ``runner_failures_total``,
+    ``runner_deadline_exceeded_total``, ``cache_integrity_rejects_total``).
+    Metrics never feed back into experiment code, so results are
     bit-identical either way. ``profile_dir`` additionally runs each
     experiment under :mod:`cProfile`, dumping ``<name>.prof`` files.
     """
     jobs = resolve_jobs(jobs)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
+    supervisor = _Supervisor(policy or DEFAULT_POLICY, scale)
 
     results: Dict[str, object] = {}
     timings: Dict[str, ExperimentTiming] = {}
@@ -305,10 +446,12 @@ def run_experiments(
     total = len(EXPERIMENTS)
     wall_start = time.perf_counter()
 
-    def record(name: str, result, seconds: float, cached: bool) -> None:
+    def record(name: str, result, seconds: float, cached: bool,
+               attempts: int = 1) -> None:
         nonlocal done
         results[name] = result
-        timing = ExperimentTiming(name=name, seconds=seconds, cached=cached)
+        timing = ExperimentTiming(name=name, seconds=seconds, cached=cached,
+                                  attempts=attempts)
         timings[name] = timing
         done += 1
         if verbose:
@@ -319,45 +462,310 @@ def run_experiments(
         if progress is not None:
             progress(done, total, timing)
 
-    def record_run(name: str, result, seconds: float, samples, pid: int) -> None:
+    def record_run(name: str, result, seconds: float, samples, pid: int,
+                   attempts: int = 1) -> None:
         if cache is not None:
             cache.store(name, scale, result)
+        if journal is not None:
+            journal.store(name, result)
         if samples is not None:
             sample_sets[name] = samples
         busy_by_pid[pid] = busy_by_pid.get(pid, 0.0) + seconds
-        record(name, result, seconds, cached=False)
+        record(name, result, seconds, cached=False, attempts=attempts)
+
+    def record_failure(failure: ExperimentFailure) -> None:
+        nonlocal done
+        if journal is not None:
+            journal.store_failure(failure)
+        timing = ExperimentTiming(
+            name=failure.name, seconds=failure.elapsed_seconds, cached=False,
+            attempts=failure.attempts, failed=True)
+        timings[failure.name] = timing
+        done += 1
+        if verbose:
+            spec = _SPEC_BY_NAME[failure.name]
+            print(f"[{scale.name}] [{done:2d}/{total}] {spec.title} "
+                  f"(FAILED: {failure.error})", flush=True)
+        if progress is not None:
+            progress(done, total, timing)
 
     pending: List[ExperimentSpec] = []
     for spec in EXPERIMENTS:
+        hit = journal.load(spec.name) if journal is not None else None
+        if hit is not None:
+            # Journaled completions also warm the cache so a later
+            # cache-only run sees them.
+            if cache is not None:
+                cache.store(spec.name, scale, hit)
+            record(spec.name, hit, 0.0, cached=True)
+            continue
         hit = cache.load(spec.name, scale) if cache is not None else None
         if hit is not None:
+            if journal is not None:
+                journal.store(spec.name, hit)
             record(spec.name, hit, 0.0, cached=True)
         else:
             pending.append(spec)
 
     if jobs == 1 or len(pending) <= 1:
-        for spec in pending:
-            record_run(*_run_one(spec.name, scale, collect_metrics,
-                                 profile_dir))
+        _run_serial(pending, scale, supervisor, collect_metrics, profile_dir,
+                    record_run, record_failure)
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {pool.submit(_run_one, spec.name, scale,
-                                   collect_metrics, profile_dir)
-                       for spec in pending}
-            while futures:
-                finished, futures = wait(futures, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    record_run(*future.result())
+        _run_pool(pending, scale, jobs, supervisor, collect_metrics,
+                  profile_dir, record_run, record_failure)
 
+    failures = tuple(supervisor.failures[spec.name] for spec in EXPERIMENTS
+                     if spec.name in supervisor.failures)
     ordered = tuple(timings[spec.name] for spec in EXPERIMENTS)
     if not collect_metrics:
-        return results, ordered, None
+        return RunOutcome(results=results, timings=ordered, metrics=None,
+                          failures=failures)
 
     metrics = _assemble_metrics(
         sample_sets, ordered, busy_by_pid,
         wall_seconds=time.perf_counter() - wall_start,
+        supervisor=supervisor,
+        cache_rejects=cache.integrity_rejects if cache is not None else 0,
     )
-    return results, ordered, metrics
+    return RunOutcome(results=results, timings=ordered, metrics=metrics,
+                      failures=failures)
+
+
+def _run_serial(
+    pending: List[ExperimentSpec],
+    scale: ExperimentScale,
+    supervisor: _Supervisor,
+    collect_metrics: bool,
+    profile_dir: Optional[Path],
+    record_run: Callable,
+    record_failure: Callable,
+) -> None:
+    """In-process reference path, one supervised experiment at a time.
+
+    Deadlines are enforced post-hoc here: a single process cannot preempt
+    its own experiment, so an overrun is detected when the attempt
+    returns and converted into a :class:`DeadlineExceeded` failure (the
+    computed result is discarded — accepting it would make the result set
+    depend on wall-clock luck).
+    """
+    deadline = supervisor.policy.deadline_seconds
+    for spec in pending:
+        attempt = 1
+        while True:
+            start = time.perf_counter()
+            try:
+                payload = _run_one(spec.name, scale, collect_metrics,
+                                   profile_dir, attempt)
+                _check_payload(payload)
+                elapsed = time.perf_counter() - start
+                if deadline is not None and elapsed > deadline:
+                    raise DeadlineExceeded(
+                        f"experiment {spec.name!r} took {elapsed:.2f}s "
+                        f"(deadline {deadline:.2f}s)")
+                record_run(*payload, attempts=attempt)
+                break
+            except Exception as exc:
+                elapsed = time.perf_counter() - start
+                if supervisor.handle(spec.name, attempt, exc, elapsed):
+                    _sleep(supervisor.backoff(spec.name, attempt))
+                    attempt += 1
+                    continue
+                record_failure(supervisor.failures[spec.name])
+                break
+
+
+@dataclass
+class _Flight:
+    """One in-flight pool submission."""
+
+    name: str
+    attempt: int
+    started: float
+
+
+def _sleep(seconds: float) -> None:
+    if seconds > 0:
+        time.sleep(seconds)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down without waiting; best-effort kill its workers.
+
+    Used when workers are known-hung (deadline overruns) or the pool is
+    already broken — waiting would block on exactly the processes we are
+    trying to get rid of. Touching ``_processes`` is unsupported API, so
+    every step is defensive.
+    """
+    pool.shutdown(wait=False, cancel_futures=True)
+    try:
+        processes = list((pool._processes or {}).values())
+    except Exception:
+        processes = []
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+
+
+def _run_pool(
+    pending: List[ExperimentSpec],
+    scale: ExperimentScale,
+    jobs: int,
+    supervisor: _Supervisor,
+    collect_metrics: bool,
+    profile_dir: Optional[Path],
+    record_run: Callable,
+    record_failure: Callable,
+) -> None:
+    """Fan out over a process pool, surviving crashes and hangs.
+
+    The loop keeps three populations: ``ready`` (queued (name, attempt)
+    pairs, possibly delayed by backoff), ``inflight`` (submitted futures)
+    and ``abandoned`` (futures whose deadline expired — their results are
+    discarded whenever they do surface). A :class:`BrokenProcessPool`
+    costs the in-flight attempts, not the run: the pool is rebuilt and
+    surviving work re-submitted.
+    """
+    policy = supervisor.policy
+    max_workers = min(jobs, len(pending))
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    inflight: Dict[Future, _Flight] = {}
+    abandoned: Set[Future] = set()
+    #: ``(not_before_monotonic, name, attempt)`` work queue.
+    ready: List[Tuple[float, str, int]] = [
+        (0.0, spec.name, 1) for spec in pending
+    ]
+
+    def queue_retry(name: str, attempt: int) -> None:
+        ready.append((time.monotonic() + supervisor.backoff(name, attempt),
+                      name, attempt + 1))
+
+    def settle_attempt(name: str, attempt: int, exc: Exception,
+                       elapsed: float) -> None:
+        if supervisor.handle(name, attempt, exc, elapsed):
+            queue_retry(name, attempt)
+        else:
+            record_failure(supervisor.failures[name])
+
+    def rebuild_pool() -> None:
+        nonlocal pool
+        _terminate_pool(pool)
+        abandoned.clear()
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+
+    def on_broken_pool(extra: Optional[_Flight], exc: Exception) -> None:
+        """Every in-flight attempt died with the pool; retry or fail each."""
+        casualties = ([extra] if extra is not None else [])
+        casualties += list(inflight.values())
+        inflight.clear()
+        rebuild_pool()
+        now = time.monotonic()
+        for flight in casualties:
+            settle_attempt(flight.name, flight.attempt, exc,
+                           now - flight.started)
+
+    try:
+        while inflight or ready:
+            now = time.monotonic()
+            if not inflight and ready and len(abandoned) >= max_workers:
+                # Every slot is hung on an abandoned attempt; nothing
+                # will drain without fresh capacity.
+                rebuild_pool()
+            # Submit due work, never oversubscribing the workers: a
+            # queued future's deadline clock would start ticking before
+            # any worker picked it up, charging queue time as run time.
+            delayed: List[Tuple[float, str, int]] = []
+            for index, (not_before, name, attempt) in enumerate(ready):
+                if len(inflight) + len(abandoned) >= max_workers:
+                    delayed.extend(ready[index:])
+                    break
+                if not_before > now:
+                    delayed.append((not_before, name, attempt))
+                    continue
+                try:
+                    future = pool.submit(_run_one, name, scale,
+                                         collect_metrics, profile_dir,
+                                         attempt)
+                except BrokenProcessPool as exc:
+                    on_broken_pool(None, exc)
+                    delayed.append((now, name, attempt))
+                    continue
+                inflight[future] = _Flight(name, attempt, time.monotonic())
+            ready = delayed
+
+            if not inflight:
+                if ready:
+                    _sleep(min(0.05, max(0.0, min(t for t, _, _ in ready)
+                                         - time.monotonic())))
+                    continue
+                break
+
+            completed, _ = wait(set(inflight) | abandoned,
+                                timeout=_next_wake(policy, inflight, ready),
+                                return_when=FIRST_COMPLETED)
+            pool_broke = False
+            for future in completed:
+                if future in abandoned:
+                    # A deadline-expired worker finally surfaced; its
+                    # experiment was already settled. Consume and drop.
+                    abandoned.discard(future)
+                    future.exception()
+                    continue
+                flight = inflight.pop(future, None)
+                if flight is None:
+                    continue
+                try:
+                    payload = future.result()
+                    _check_payload(payload)
+                    record_run(*payload, attempts=flight.attempt)
+                except BrokenProcessPool as exc:
+                    on_broken_pool(flight, exc)
+                    pool_broke = True
+                    break
+                except Exception as exc:
+                    settle_attempt(flight.name, flight.attempt, exc,
+                                   time.monotonic() - flight.started)
+            if pool_broke:
+                continue
+
+            # Preemptive deadline enforcement: abandon overrunning futures
+            # so their slots come back when the worker finishes (or, if
+            # every worker is stuck, rebuild the pool outright).
+            if policy.deadline_seconds is not None:
+                now = time.monotonic()
+                for future, flight in list(inflight.items()):
+                    elapsed = now - flight.started
+                    if elapsed <= policy.deadline_seconds:
+                        continue
+                    del inflight[future]
+                    if not future.cancel():
+                        abandoned.add(future)
+                    settle_attempt(
+                        flight.name, flight.attempt,
+                        DeadlineExceeded(
+                            f"experiment {flight.name!r} exceeded its "
+                            f"{policy.deadline_seconds:.2f}s deadline"),
+                        elapsed)
+    finally:
+        _terminate_pool(pool)
+
+
+def _next_wake(
+    policy: RunPolicy,
+    inflight: Dict[Future, _Flight],
+    ready: List[Tuple[float, str, int]],
+) -> Optional[float]:
+    """Seconds until the supervisor must act (deadline or retry due)."""
+    now = time.monotonic()
+    wakes: List[float] = []
+    if policy.deadline_seconds is not None:
+        wakes += [flight.started + policy.deadline_seconds - now
+                  for flight in inflight.values()]
+    wakes += [not_before - now for not_before, _, _ in ready]
+    if not wakes:
+        return None
+    return max(0.01, min(wakes))
 
 
 def _assemble_metrics(
@@ -365,11 +773,15 @@ def _assemble_metrics(
     timings: Tuple[ExperimentTiming, ...],
     busy_by_pid: Dict[int, float],
     wall_seconds: float,
+    supervisor: _Supervisor,
+    cache_rejects: int,
 ) -> Tuple:
     """Label per-experiment snapshots and add the runner's own series.
 
     Workers are numbered by sorted pid so the labels are stable for one
-    run but carry no machine-specific meaning across runs.
+    run but carry no machine-specific meaning across runs. Supervision
+    counters are always registered (at zero on a clean run) so exports
+    and CI assertions can rely on their presence.
     """
     from ..obs.metrics import ExperimentMetrics, MetricsRegistry
 
@@ -379,7 +791,7 @@ def _assemble_metrics(
     )
     runner = MetricsRegistry()
     for timing in timings:
-        if not timing.cached:
+        if not timing.cached and not timing.failed:
             runner.gauge("runner_experiment_wall_seconds",
                          {"experiment": timing.name}).set(timing.seconds)
     for worker, pid in enumerate(sorted(busy_by_pid)):
@@ -390,6 +802,10 @@ def _assemble_metrics(
                      {"worker": str(worker)}).set(
             busy / wall_seconds if wall_seconds > 0 else 0.0)
     runner.gauge("runner_wall_seconds").set(wall_seconds)
+    runner.counter(RETRIES_METRIC).inc(supervisor.retries)
+    runner.counter(FAILURES_METRIC).inc(len(supervisor.failures))
+    runner.counter(DEADLINE_METRIC).inc(supervisor.deadline_exceeded)
+    runner.counter(CACHE_REJECTS_METRIC).inc(cache_rejects)
     return per_experiment + (
         ExperimentMetrics(name="runner", samples=runner.samples()),
     )

@@ -1,0 +1,519 @@
+"""Fault-tolerant experiment supervision: policies, failures, journals.
+
+The parallel runner (:mod:`repro.experiments.parallel`) fans ~21
+experiments over a process pool. Before this module existed, one worker
+exception — or a worker dying and breaking the whole pool — aborted
+``run_all`` and discarded every completed result, and the on-disk result
+cache trusted any bytes that happened to unpickle. This module supplies
+the pieces that make the runner survive the same kinds of partial
+failure the paper exploits inside Android's UI pipeline:
+
+* :class:`RunPolicy` — per-experiment deadlines, bounded retries and a
+  *deterministic* exponential backoff whose jitter derives from
+  ``(seed, experiment, attempt)``, so a retry schedule is as
+  reproducible as the experiments themselves;
+* :class:`ExperimentFailure` — what the runner records instead of
+  raising: exception repr, traceback text, attempts and elapsed time,
+  so a 20/21 run still renders a usable (explicitly degraded) report;
+* a **checksummed envelope** for every persisted result
+  (:func:`encode_envelope` / :func:`decode_envelope`): magic + version +
+  sha256 over the pickle payload, so a corrupt, truncated or stale cache
+  entry degrades to a miss instead of feeding garbage into a report;
+* :class:`RunJournal` — ``run.json`` plus one atomically-written
+  completion marker per experiment under a run directory, enabling
+  ``repro report --resume RUN_DIR`` to re-run only the experiments a
+  crash or Ctrl-C left unfinished;
+* a **chaos harness** (:func:`chaos_action`) — env-keyed fault points
+  that crash, hang, kill or poison specific ``(experiment, attempt)``
+  pairs, mirroring the deterministic style of :mod:`repro.sim.faults`
+  one layer up: the fault *injection* is configuration, never chance.
+
+Nothing here touches experiment code or random streams: supervision
+observes and schedules, so a run with the default policy and no faults
+is byte-identical to an unsupervised one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import re
+import tempfile
+import traceback as traceback_module
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Tuple
+
+from ..serialization import SerializableMixin
+from .config import ExperimentScale
+
+# ---------------------------------------------------------------------------
+# Metric names (registered on the runner's registry and, for the cache,
+# on the ambient ``repro.obs`` registry when one is installed)
+# ---------------------------------------------------------------------------
+
+RETRIES_METRIC = "runner_retries_total"
+FAILURES_METRIC = "runner_failures_total"
+DEADLINE_METRIC = "runner_deadline_exceeded_total"
+CACHE_REJECTS_METRIC = "cache_integrity_rejects_total"
+
+
+class DeadlineExceeded(RuntimeError):
+    """An experiment ran longer than its :class:`RunPolicy` deadline."""
+
+
+class ResultIntegrityError(RuntimeError):
+    """A worker returned a payload the supervisor refuses to accept."""
+
+
+class CacheIntegrityError(RuntimeError):
+    """A persisted result failed envelope validation (treated as a miss)."""
+
+
+class JournalError(RuntimeError):
+    """A run directory cannot be (re)used for the requested run."""
+
+
+class ChaosError(ValueError):
+    """``REPRO_CHAOS`` does not parse."""
+
+
+class ChaosCrash(RuntimeError):
+    """The deterministic crash injected by a ``crash`` fault point."""
+
+
+# ---------------------------------------------------------------------------
+# Run policy
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, kw_only=True)
+class RunPolicy:
+    """Supervision knobs for one ``run_all`` pass.
+
+    The defaults are deliberately inert: one attempt, no deadline, no
+    backoff — a defaulted policy changes *nothing* about a fault-free
+    run (the QUICK golden report stays byte-identical), it only changes
+    what happens when an experiment fails: the failure is recorded and
+    the run continues instead of aborting.
+    """
+
+    #: Times one experiment may run before it is recorded as failed.
+    max_attempts: int = 1
+    #: Per-experiment wall-clock budget in seconds (``None`` = unlimited).
+    #: On the pool path a deadline preempts: the future is abandoned and
+    #: the slot reclaimed. On the serial path it is enforced post-hoc
+    #: (a single-process supervisor cannot interrupt its own experiment).
+    deadline_seconds: Optional[float] = None
+    #: First retry delay; 0 disables backoff entirely (no sleeping).
+    backoff_base_seconds: float = 0.0
+    #: Multiplier applied per additional attempt.
+    backoff_factor: float = 2.0
+    #: Ceiling on any single backoff delay.
+    backoff_max_seconds: float = 30.0
+    #: Relative jitter amplitude in ``[0, 1]``; the draw is a pure
+    #: function of ``(seed, experiment, attempt)``, never wall clock.
+    backoff_jitter: float = 0.1
+    #: Restore the historical abort-on-first-error behaviour: the first
+    #: *permanent* failure (attempts exhausted) re-raises instead of
+    #: being recorded.
+    fail_fast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds}")
+        if self.backoff_base_seconds < 0:
+            raise ValueError("backoff_base_seconds must be >= 0, got "
+                             f"{self.backoff_base_seconds}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.backoff_max_seconds < 0:
+            raise ValueError("backoff_max_seconds must be >= 0, got "
+                             f"{self.backoff_max_seconds}")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}")
+
+    def backoff_seconds(self, seed: int, name: str, attempt: int) -> float:
+        """Delay before re-submitting ``name`` after failed ``attempt``.
+
+        Exponential in the attempt number with seeded jitter: the jitter
+        factor is derived from ``sha256(seed:name:attempt)``, so two runs
+        of the same scale replay the exact same retry schedule — retry
+        timing can never become a hidden source of nondeterminism.
+        """
+        if self.backoff_base_seconds <= 0:
+            return 0.0
+        delay = min(
+            self.backoff_base_seconds * self.backoff_factor ** (attempt - 1),
+            self.backoff_max_seconds,
+        )
+        if self.backoff_jitter == 0.0:
+            return delay
+        digest = hashlib.sha256(
+            f"{seed}:{name}:{attempt}".encode("utf-8")).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2 ** 64  # [0, 1)
+        return delay * (1.0 + self.backoff_jitter * (2.0 * unit - 1.0))
+
+
+#: The inert policy ``run_all`` uses when none is given.
+DEFAULT_POLICY = RunPolicy()
+
+
+# ---------------------------------------------------------------------------
+# Failure records
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExperimentFailure(SerializableMixin):
+    """One experiment's permanent failure, recorded instead of raised."""
+
+    #: Experiment (``AllResults`` field) name.
+    name: str
+    #: ``"exception"``, ``"deadline"``, ``"pool"`` (worker died and broke
+    #: the process pool) or ``"poisoned"`` (worker returned a payload the
+    #: supervisor rejected).
+    kind: str
+    #: ``repr()`` of the terminal exception.
+    error: str
+    #: Formatted traceback text (empty when none crossed the boundary).
+    traceback: str
+    #: Attempts consumed, including the failing one.
+    attempts: int
+    #: Wall-clock seconds spent on the final attempt.
+    elapsed_seconds: float
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Map an exception to an :class:`ExperimentFailure` ``kind``."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    if isinstance(exc, DeadlineExceeded):
+        return "deadline"
+    if isinstance(exc, ResultIntegrityError):
+        return "poisoned"
+    if isinstance(exc, BrokenProcessPool):
+        return "pool"
+    return "exception"
+
+
+def make_failure(name: str, exc: BaseException, attempts: int,
+                 elapsed_seconds: float) -> ExperimentFailure:
+    """Build the failure record for ``name``'s terminal exception."""
+    tb = "".join(traceback_module.format_exception(
+        type(exc), exc, exc.__traceback__))
+    return ExperimentFailure(
+        name=name,
+        kind=classify_failure(exc),
+        error=repr(exc),
+        traceback=tb,
+        attempts=attempts,
+        elapsed_seconds=elapsed_seconds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Checksummed result envelope + atomic writes
+# ---------------------------------------------------------------------------
+
+#: First bytes of every persisted result (cache entry or journal marker).
+ENVELOPE_MAGIC = b"repro-envelope\n"
+
+_HEADER_RE = re.compile(r"v(\d+) sha256:([0-9a-f]{64})")
+
+
+def encode_envelope(version: int, obj: object) -> bytes:
+    """Wrap ``obj`` in the integrity envelope: magic, version, checksum.
+
+    The sha256 covers the pickle payload, the version header covers the
+    writer's ``CACHE_VERSION`` — so both bit rot and stale formats are
+    detected *before* ``pickle.loads`` ever sees the bytes.
+    """
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).hexdigest()
+    header = f"v{int(version)} sha256:{digest}\n".encode("ascii")
+    return ENVELOPE_MAGIC + header + payload
+
+
+def decode_envelope(version: int, data: bytes) -> object:
+    """Validate and unwrap an envelope; raise :class:`CacheIntegrityError`.
+
+    Every reject names its reason — bad magic (foreign or pre-envelope
+    file), truncated or malformed header, stale version, checksum
+    mismatch, or a payload that no longer unpickles.
+    """
+    if not data.startswith(ENVELOPE_MAGIC):
+        raise CacheIntegrityError("missing envelope magic")
+    try:
+        header_end = data.index(b"\n", len(ENVELOPE_MAGIC))
+    except ValueError:
+        raise CacheIntegrityError("truncated envelope header") from None
+    header = data[len(ENVELOPE_MAGIC):header_end].decode("ascii", "replace")
+    match = _HEADER_RE.fullmatch(header)
+    if match is None:
+        raise CacheIntegrityError(f"malformed envelope header {header!r}")
+    if int(match.group(1)) != int(version):
+        raise CacheIntegrityError(
+            f"stale envelope version v{match.group(1)} (expected "
+            f"v{int(version)})")
+    payload = data[header_end + 1:]
+    if hashlib.sha256(payload).hexdigest() != match.group(2):
+        raise CacheIntegrityError("payload checksum mismatch")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise CacheIntegrityError(
+            f"checksummed payload failed to unpickle: {exc!r}") from exc
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a collision-free temp file.
+
+    ``tempfile.mkstemp`` in the destination directory gives every writer
+    its own temp name (a shared ``<path>.tmp`` lets two concurrent
+    ``run_all`` invocations clobber each other mid-write), and
+    ``os.replace`` publishes atomically.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+# ---------------------------------------------------------------------------
+# Run journal (checkpoint / resume)
+# ---------------------------------------------------------------------------
+
+class RunJournal:
+    """Crash-safe record of one ``run_all`` pass under a run directory.
+
+    Layout::
+
+        RUN_DIR/
+          run.json            # scale + cache version manifest (atomic)
+          results/<name>.pkl  # one envelope per completed experiment
+          failures/<name>.json  # forensic record of permanent failures
+
+    ``run.json`` pins exactly which run the directory belongs to; markers
+    are written atomically as each experiment completes, so after a crash
+    or SIGKILL the directory holds precisely the finished prefix of the
+    run. :meth:`resume` refuses a directory journaling a *different*
+    run — silently mixing scales would corrupt an ``AllResults``.
+    """
+
+    MANIFEST = "run.json"
+
+    def __init__(self, root: Path, scale: ExperimentScale,
+                 version: int) -> None:
+        self.root = Path(root)
+        self.scale = scale
+        self.version = int(version)
+        self.results_dir = self.root / "results"
+        self.failures_dir = self.root / "failures"
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def create(cls, root: Path, scale: ExperimentScale,
+               version: int) -> "RunJournal":
+        """Start journaling a fresh run into ``root``.
+
+        Refuses a directory that already holds completed results — that
+        is either a finished run (nothing to do) or an interrupted one
+        the caller probably meant to ``--resume``.
+        """
+        journal = cls(root, scale, version)
+        if journal.manifest_path.exists() and journal.completed_names():
+            raise JournalError(
+                f"{journal.root} already contains completed results; "
+                "resume it (--resume) or choose a fresh --run-dir")
+        journal._write_manifest()
+        return journal
+
+    @classmethod
+    def resume(cls, root: Path, scale: ExperimentScale,
+               version: int) -> "RunJournal":
+        """Open ``root`` for (re-)running ``scale``.
+
+        A missing manifest starts a fresh journal (``--resume`` is safe
+        on the very first run); an existing one must match the requested
+        scale and cache version exactly.
+        """
+        journal = cls(root, scale, version)
+        if not journal.manifest_path.exists():
+            journal._write_manifest()
+            return journal
+        try:
+            existing = json.loads(journal.manifest_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise JournalError(
+                f"unreadable journal manifest {journal.manifest_path}: "
+                f"{exc}") from exc
+        if existing != journal._manifest():
+            raise JournalError(
+                f"{journal.root} journals a different run (scale or cache "
+                "version mismatch); choose a fresh --run-dir")
+        return journal
+
+    # -- manifest -------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / self.MANIFEST
+
+    def _manifest(self) -> dict:
+        # Round-trip through JSON so the equality check against a parsed
+        # manifest compares like with like (tuples become lists, etc.).
+        return json.loads(json.dumps({
+            "journal_format": 1,
+            "cache_version": self.version,
+            "scale": dataclasses.asdict(self.scale),
+        }))
+
+    def _write_manifest(self) -> None:
+        atomic_write_bytes(
+            self.manifest_path,
+            json.dumps(self._manifest(), indent=2,
+                       sort_keys=True).encode("utf-8") + b"\n")
+
+    # -- completion markers --------------------------------------------
+    def result_path(self, name: str) -> Path:
+        return self.results_dir / f"{name}.pkl"
+
+    def load(self, name: str):
+        """The journaled result for ``name``, or ``None`` to re-run it."""
+        try:
+            data = self.result_path(name).read_bytes()
+        except OSError:
+            return None
+        try:
+            return decode_envelope(self.version, data)
+        except CacheIntegrityError:
+            return None
+
+    def store(self, name: str, result: object) -> None:
+        atomic_write_bytes(self.result_path(name),
+                           encode_envelope(self.version, result))
+        try:
+            (self.failures_dir / f"{name}.json").unlink()
+        except OSError:
+            pass
+
+    def store_failure(self, failure: ExperimentFailure) -> None:
+        atomic_write_bytes(
+            self.failures_dir / f"{failure.name}.json",
+            json.dumps(failure.to_dict(), indent=2,
+                       sort_keys=True).encode("utf-8") + b"\n")
+
+    def completed_names(self) -> Tuple[str, ...]:
+        if not self.results_dir.is_dir():
+            return ()
+        return tuple(sorted(p.stem for p in self.results_dir.glob("*.pkl")))
+
+
+# ---------------------------------------------------------------------------
+# Chaos harness (deterministic, env-keyed fault points)
+# ---------------------------------------------------------------------------
+
+#: Spec: comma-separated ``experiment:attempt:mode`` entries, where
+#: ``experiment`` may be ``*`` (any), ``attempt`` an integer or ``*``,
+#: and ``mode`` one of :data:`CHAOS_MODES`. The env channel is what lets
+#: the injection reach pool worker processes untouched.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Seconds a ``hang`` fault point sleeps (finite so abandoned workers
+#: eventually exit; a deadline converts the hang into a failure long
+#: before the sleep ends).
+CHAOS_HANG_ENV = "REPRO_CHAOS_HANG_SECONDS"
+
+CHAOS_MODES = ("crash", "hang", "kill", "poison")
+
+_DEFAULT_HANG_SECONDS = 5.0
+
+
+@dataclass(frozen=True)
+class PoisonedResult:
+    """Sentinel a ``poison`` fault point returns in place of a result.
+
+    Pickles fine — the *supervisor* must be the layer that rejects it,
+    which is exactly what the chaos tests assert.
+    """
+
+    name: str
+    attempt: int
+
+
+def chaos_hang_seconds() -> float:
+    env = os.environ.get(CHAOS_HANG_ENV)
+    if not env:
+        return _DEFAULT_HANG_SECONDS
+    return float(env)
+
+
+def chaos_action(name: str, attempt: int) -> Optional[str]:
+    """The fault mode injected for ``(name, attempt)``, if any.
+
+    Parses :data:`CHAOS_ENV` on every call (it is consulted once per
+    experiment attempt, never on a hot path) so tests can flip the spec
+    between runs without process churn.
+    """
+    spec = os.environ.get(CHAOS_ENV, "")
+    if not spec:
+        return None
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        if len(parts) != 3:
+            raise ChaosError(
+                f"bad {CHAOS_ENV} entry {entry!r}; expected "
+                "experiment:attempt:mode")
+        target, raw_attempt, mode = parts
+        if mode not in CHAOS_MODES:
+            raise ChaosError(
+                f"unknown chaos mode {mode!r}; valid: "
+                f"{', '.join(CHAOS_MODES)}")
+        if target not in ("*", name):
+            continue
+        if raw_attempt != "*" and int(raw_attempt) != attempt:
+            continue
+        return mode
+    return None
+
+
+@contextmanager
+def chaos(spec: str, hang_seconds: Optional[float] = None) -> Iterator[None]:
+    """Scoped chaos injection: install ``spec`` in the environment.
+
+    Environment variables propagate to pool workers spawned inside the
+    block, so this one context manager drives both the serial and the
+    fanned-out paths.
+    """
+    saved = {key: os.environ.get(key) for key in (CHAOS_ENV, CHAOS_HANG_ENV)}
+    os.environ[CHAOS_ENV] = spec
+    if hang_seconds is not None:
+        os.environ[CHAOS_HANG_ENV] = repr(float(hang_seconds))
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value

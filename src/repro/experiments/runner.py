@@ -11,6 +11,11 @@ over worker processes, and both derive each experiment's seed from the
 same stable ``(scale, experiment name)`` key — which is what makes the two
 paths produce field-for-field equal :class:`AllResults` (asserted by
 ``tests/experiments/test_parallel_determinism.py``).
+
+Runs are *supervised* (PR 5): an experiment that fails permanently is
+recorded on :attr:`AllResults.failures` instead of aborting the suite, its
+result field stays ``None``, and ``format_report`` renders that section as
+explicitly FAILED — a 20/21 run still produces a usable report.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..devices.registry import DEVICES
 from ..obs.metrics import ExperimentMetrics
@@ -38,6 +43,7 @@ from .noise_sensitivity import NoiseSensitivityResult
 from .outcomes_vs_d import Fig6Result
 from .password_study import StealthinessResult, Table3Result
 from .real_world_apps import Table4Result
+from .resilience import ExperimentFailure, RunJournal, RunPolicy
 from .toast_continuity import ToastContinuityResult
 from .supplementary import Fig7WithCisResult, Table3ByVersionResult
 from .trigger_comparison import TriggerComparisonResult
@@ -47,30 +53,36 @@ from .upper_bound import LoadImpactResult, Table2Result
 
 @dataclass(frozen=True)
 class AllResults(SerializableMixin):
-    """Every reproduced table and figure from one run."""
+    """Every reproduced table and figure from one run.
+
+    Result fields default to ``None`` so a supervised run whose
+    experiment failed permanently can still assemble: the failure record
+    lives on :attr:`failures` and the report renders the section as
+    FAILED instead of crashing.
+    """
 
     scale_name: str
-    fig2: Fig2Result
-    fig4: Fig4Result
-    fig6: Fig6Result
-    table2: Table2Result
-    load_impact: LoadImpactResult
-    fig7: Fig7Result
-    fig8: Fig8Result
-    table3: Table3Result
-    table4: Table4Result
-    stealthiness: StealthinessResult
-    toast_continuity: ToastContinuityResult
-    corpus: CorpusStudyResult
-    defense_ipc: IpcDefenseResult
-    defense_notification: NotificationDefenseResult
-    defense_toast: ToastDefenseResult
-    equation_validation: EquationValidationResult
-    defense_tuning: DefenseTuningResult
-    trigger_comparison: TriggerComparisonResult
-    table3_by_version: Table3ByVersionResult
-    fig7_cis: Fig7WithCisResult
-    noise_sensitivity: NoiseSensitivityResult
+    fig2: Optional[Fig2Result] = None
+    fig4: Optional[Fig4Result] = None
+    fig6: Optional[Fig6Result] = None
+    table2: Optional[Table2Result] = None
+    load_impact: Optional[LoadImpactResult] = None
+    fig7: Optional[Fig7Result] = None
+    fig8: Optional[Fig8Result] = None
+    table3: Optional[Table3Result] = None
+    table4: Optional[Table4Result] = None
+    stealthiness: Optional[StealthinessResult] = None
+    toast_continuity: Optional[ToastContinuityResult] = None
+    corpus: Optional[CorpusStudyResult] = None
+    defense_ipc: Optional[IpcDefenseResult] = None
+    defense_notification: Optional[NotificationDefenseResult] = None
+    defense_toast: Optional[ToastDefenseResult] = None
+    equation_validation: Optional[EquationValidationResult] = None
+    defense_tuning: Optional[DefenseTuningResult] = None
+    trigger_comparison: Optional[TriggerComparisonResult] = None
+    table3_by_version: Optional[Table3ByVersionResult] = None
+    fig7_cis: Optional[Fig7WithCisResult] = None
+    noise_sensitivity: Optional[NoiseSensitivityResult] = None
     #: Per-experiment wall-clock accounting (``ExperimentTiming`` tuples).
     #: Excluded from equality: a parallel run and a serial run of the same
     #: scale compare equal even though their wall times differ.
@@ -82,6 +94,17 @@ class AllResults(SerializableMixin):
     #: worker placement, results do not.
     metrics: Optional[Tuple[ExperimentMetrics, ...]] = field(
         default=None, compare=False, repr=False)
+    #: Permanent :class:`ExperimentFailure` records, registry order.
+    #: Excluded from equality (tracebacks and elapsed times vary); the
+    #: failed experiments' ``None`` result fields already make two runs
+    #: with different failures compare unequal.
+    failures: Tuple[ExperimentFailure, ...] = field(
+        default=(), compare=False, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """True when every experiment produced a result."""
+        return not self.failures
 
 
 def run_all(
@@ -92,6 +115,9 @@ def run_all(
     cache_dir: Optional[Path] = None,
     collect_metrics: bool = False,
     profile_dir: Optional[Path] = None,
+    policy: Optional[RunPolicy] = None,
+    run_dir: Optional[Path] = None,
+    resume: bool = False,
 ) -> AllResults:
     """Run the complete reproduction suite at one scale.
 
@@ -108,193 +134,283 @@ def run_all(
             byte-identical with or without this flag.
         profile_dir: dump a cProfile ``<experiment>.prof`` per experiment
             into this directory.
+        policy: supervision knobs (retries, deadlines, fail-fast). The
+            default records failures and keeps going; it changes nothing
+            about a fault-free run.
+        run_dir: journal every completion into this directory (``run.json``
+            plus atomic per-experiment markers) so a crashed or killed run
+            can be resumed.
+        resume: reuse an existing ``run_dir`` journal, skipping the
+            experiments it already holds; requires ``run_dir``.
     """
-    from .parallel import run_experiments
+    from .parallel import CACHE_VERSION, run_experiments
 
-    results, timings, metrics = run_experiments(
+    journal = None
+    if resume and run_dir is None:
+        raise ValueError("resume=True requires run_dir")
+    if run_dir is not None:
+        opener = RunJournal.resume if resume else RunJournal.create
+        journal = opener(run_dir, scale, CACHE_VERSION)
+    outcome = run_experiments(
         scale, jobs=jobs, cache_dir=cache_dir, verbose=verbose,
         collect_metrics=collect_metrics, profile_dir=profile_dir,
+        policy=policy, journal=journal,
     )
-    return AllResults(scale_name=scale.name, timings=timings,
-                      metrics=metrics, **results)
+    return AllResults(scale_name=scale.name, timings=outcome.timings,
+                      metrics=outcome.metrics, failures=outcome.failures,
+                      **outcome.results)
+
+
+# ---------------------------------------------------------------------------
+# Report rendering
+# ---------------------------------------------------------------------------
+
+def _section(
+    w: Callable[[str], None],
+    results: AllResults,
+    name: str,
+    failures: Dict[str, ExperimentFailure],
+    header: str,
+) -> bool:
+    """Write ``header``; render a FAILED block when ``name`` has no result.
+
+    Returns True when the caller should render the section body. Keeping
+    the happy path a plain header write preserves the byte-identical
+    golden rendering of a clean run.
+    """
+    w(header)
+    if getattr(results, name) is not None:
+        return True
+    failure = failures.get(name)
+    detail = (f" after {failure.attempts} attempt(s): {failure.error}"
+              if failure is not None else "")
+    w(f"**FAILED** — experiment `{name}` produced no result{detail}.\n\n")
+    return False
 
 
 def format_report(results: AllResults, include_timings: bool = False) -> str:
-    """Render a markdown paper-vs-measured report."""
+    """Render a markdown paper-vs-measured report.
+
+    Failed experiments render as explicitly FAILED sections (graceful
+    degradation); a clean run's rendering is byte-identical to the
+    pre-supervision format, which is what the golden snapshot pins.
+    """
+    failures = {f.name: f for f in results.failures}
     out = io.StringIO()
     w = out.write
     w(f"# Reproduction report (scale: {results.scale_name})\n\n")
 
-    w("## Fig. 2 — notification slide-in curve\n\n")
-    w(f"- completeness at 100 ms: {results.fig2.completeness_at_100ms:.1f}% "
-      "(paper: < 50%)\n")
-    w(f"- completeness at 10 ms: {results.fig2.completeness_at_10ms:.2f}% "
-      "(paper: ~0.17%)\n")
-    w(f"- pixels of a 72 px view at 10 ms: "
-      f"{results.fig2.pixels_at_10ms_of_72px_view} (paper: 0)\n\n")
+    if failures:
+        names = ", ".join(f"`{name}`" for name in failures)
+        w(f"> **Degraded run:** {len(failures)} of "
+          f"{len(results.timings or ()) or 21} experiments FAILED "
+          f"({names}); their sections below carry the failure detail.\n\n")
 
-    w("## Fig. 4 — toast fade curves\n\n")
-    acc100 = results.fig4.accelerate.completeness_at(100.0)
-    dec100 = results.fig4.decelerate.completeness_at(100.0)
-    w(f"- fade-out (Accelerate) at 100 ms: {acc100:.1f}% gone (slow start)\n")
-    w(f"- fade-in (Decelerate) at 100 ms: {dec100:.1f}% shown (fast start)\n\n")
+    if _section(w, results, "fig2", failures,
+                "## Fig. 2 — notification slide-in curve\n\n"):
+        w(f"- completeness at 100 ms: {results.fig2.completeness_at_100ms:.1f}% "
+          "(paper: < 50%)\n")
+        w(f"- completeness at 10 ms: {results.fig2.completeness_at_10ms:.2f}% "
+          "(paper: ~0.17%)\n")
+        w(f"- pixels of a 72 px view at 10 ms: "
+          f"{results.fig2.pixels_at_10ms_of_72px_view} (paper: 0)\n\n")
 
-    w("## Fig. 6 — notification outcomes vs D "
-      f"({results.fig6.device_key})\n\n")
-    w("| D (ms) | outcome |\n|---|---|\n")
-    for d, outcome in results.fig6.outcomes:
-        w(f"| {d:.0f} | {outcome.label} |\n")
-    w("\n")
+    if _section(w, results, "fig4", failures,
+                "## Fig. 4 — toast fade curves\n\n"):
+        acc100 = results.fig4.accelerate.completeness_at(100.0)
+        dec100 = results.fig4.decelerate.completeness_at(100.0)
+        w(f"- fade-out (Accelerate) at 100 ms: {acc100:.1f}% gone (slow start)\n")
+        w(f"- fade-in (Decelerate) at 100 ms: {dec100:.1f}% shown (fast start)\n\n")
 
-    w("## Table II — upper boundary of D\n\n")
-    w("| device | published (ms) | measured (ms) | error |\n|---|---|---|---|\n")
-    for row, profile in zip(results.table2.rows, DEVICES):
-        w(f"| {profile.key} | {row.published_upper_bound_d:.0f} | "
-          f"{row.measured_upper_bound_d:.0f} | {row.error_ms:+.0f} |\n")
-    w(f"\nmean abs error: {results.table2.mean_abs_error_ms:.1f} ms; "
-      f"version means: {results.table2.version_means()}\n\n")
+    fig6_suffix = (f" ({results.fig6.device_key})"
+                   if results.fig6 is not None else "")
+    if _section(w, results, "fig6", failures,
+                "## Fig. 6 — notification outcomes vs D"
+                f"{fig6_suffix}\n\n"):
+        w("| D (ms) | outcome |\n|---|---|\n")
+        for d, outcome in results.fig6.outcomes:
+            w(f"| {d:.0f} | {outcome.label} |\n")
+        w("\n")
 
-    w("## Load impact (Section VI-B)\n\n")
-    for count, bound in results.load_impact.bounds_by_load:
-        w(f"- {count} background apps: boundary {bound:.0f} ms\n")
-    w(f"- max shift: {results.load_impact.max_shift_ms:.1f} ms "
-      "(paper: negligible)\n\n")
+    if _section(w, results, "table2", failures,
+                "## Table II — upper boundary of D\n\n"):
+        w("| device | published (ms) | measured (ms) | error |\n|---|---|---|---|\n")
+        for row, profile in zip(results.table2.rows, DEVICES):
+            w(f"| {profile.key} | {row.published_upper_bound_d:.0f} | "
+              f"{row.measured_upper_bound_d:.0f} | {row.error_ms:+.0f} |\n")
+        w(f"\nmean abs error: {results.table2.mean_abs_error_ms:.1f} ms; "
+          f"version means: {results.table2.version_means()}\n\n")
 
-    w("## Fig. 7 — capture rate vs D\n\n")
-    w("| D (ms) | measured mean % | paper mean % |\n|---|---|---|\n")
-    for stats, paper in zip(results.fig7.stats, results.fig7.paper_means):
-        w(f"| {stats.attacking_window_ms:.0f} | {stats.mean:.1f} | {paper:.1f} |\n")
-    w("\n")
+    if _section(w, results, "load_impact", failures,
+                "## Load impact (Section VI-B)\n\n"):
+        for count, bound in results.load_impact.bounds_by_load:
+            w(f"- {count} background apps: boundary {bound:.0f} ms\n")
+        w(f"- max shift: {results.load_impact.max_shift_ms:.1f} ms "
+          "(paper: negligible)\n\n")
 
-    w("## Fig. 8 — capture rate by Android version\n\n")
-    w("| version | " + " | ".join(f"{d:.0f}" for d in results.fig8.durations) + " |\n")
-    w("|---|" + "---|" * len(results.fig8.durations) + "\n")
-    for version, series in sorted(results.fig8.by_version.items()):
-        w(f"| Android {version}.x | "
-          + " | ".join(f"{v:.1f}" for v in series) + " |\n")
-    w("\n")
+    if _section(w, results, "fig7", failures,
+                "## Fig. 7 — capture rate vs D\n\n"):
+        w("| D (ms) | measured mean % | paper mean % |\n|---|---|---|\n")
+        for stats, paper in zip(results.fig7.stats, results.fig7.paper_means):
+            w(f"| {stats.attacking_window_ms:.0f} | {stats.mean:.1f} | {paper:.1f} |\n")
+        w("\n")
 
-    w("## Table III — password stealing\n\n")
-    w("| length | success % (paper) | length err | capitalization err | "
-      "wrong key err | attempts |\n|---|---|---|---|---|---|\n")
-    for row in results.table3.rows:
-        paper = results.table3.paper_reference.get(row.length, {})
-        w(f"| {row.length} | {row.success_rate:.1f} "
-          f"({paper.get('success_rate', '—')}) | {row.length_errors} | "
-          f"{row.capitalization_errors} | {row.wrong_key_errors} | "
-          f"{row.attempts} |\n")
-    w("\n")
+    if _section(w, results, "fig8", failures,
+                "## Fig. 8 — capture rate by Android version\n\n"):
+        w("| version | " + " | ".join(f"{d:.0f}" for d in results.fig8.durations) + " |\n")
+        w("|---|" + "---|" * len(results.fig8.durations) + "\n")
+        for version, series in sorted(results.fig8.by_version.items()):
+            w(f"| Android {version}.x | "
+              + " | ".join(f"{v:.1f}" for v in series) + " |\n")
+        w("\n")
 
-    w("## Table IV — real-world apps\n\n")
-    w("| app | version | result | trigger |\n|---|---|---|---|\n")
-    for row in results.table4.rows:
-        w(f"| {row.app_name} | {row.version} | {row.marker} | "
-          f"{row.trigger_path} |\n")
-    w("\n")
+    if _section(w, results, "table3", failures,
+                "## Table III — password stealing\n\n"):
+        w("| length | success % (paper) | length err | capitalization err | "
+          "wrong key err | attempts |\n|---|---|---|---|---|---|\n")
+        for row in results.table3.rows:
+            paper = results.table3.paper_reference.get(row.length, {})
+            w(f"| {row.length} | {row.success_rate:.1f} "
+              f"({paper.get('success_rate', '—')}) | {row.length_errors} | "
+              f"{row.capitalization_errors} | {row.wrong_key_errors} | "
+              f"{row.attempts} |\n")
+        w("\n")
 
-    w("## Stealthiness (Section VI-C3)\n\n")
-    s = results.stealthiness
-    w(f"- participants: {s.participants}\n")
-    w(f"- noticed the alert: {s.noticed_alert} (paper: 0)\n")
-    w(f"- noticed toast flicker: {s.noticed_flicker} (paper: 0)\n")
-    w(f"- reported lag: {s.reported_lag} (paper: 1/30)\n\n")
+    if _section(w, results, "table4", failures,
+                "## Table IV — real-world apps\n\n"):
+        w("| app | version | result | trigger |\n|---|---|---|---|\n")
+        for row in results.table4.rows:
+            w(f"| {row.app_name} | {row.version} | {row.marker} | "
+              f"{row.trigger_path} |\n")
+        w("\n")
 
-    w("## Toast continuity (Section IV)\n\n")
-    t = results.toast_continuity
-    w(f"- toasts shown: {t.toasts_shown}; max queue depth: "
-      f"{t.max_queue_depth_observed} (cap 50)\n")
-    w(f"- min switch coverage: {t.min_switch_coverage * 100:.1f}% "
-      f"(imperceptible: {t.imperceptible})\n")
-    w(f"- coverage >= 95% for {t.coverage_fraction_above_95 * 100:.1f}% "
-      "of the observation window\n\n")
+    if _section(w, results, "stealthiness", failures,
+                "## Stealthiness (Section VI-C3)\n\n"):
+        s = results.stealthiness
+        w(f"- participants: {s.participants}\n")
+        w(f"- noticed the alert: {s.noticed_alert} (paper: 0)\n")
+        w(f"- noticed toast flicker: {s.noticed_flicker} (paper: 0)\n")
+        w(f"- reported lag: {s.reported_lag} (paper: 1/30)\n\n")
 
-    w("## Corpus prevalence (Section VI-C2, scaled to 890,855 apps)\n\n")
-    c = results.corpus
-    w("| metric | measured (scaled) | paper |\n|---|---|---|\n")
-    w(f"| SAW + accessibility | {c.scaled_to_paper.saw_and_accessibility} | "
-      f"{c.paper.saw_and_accessibility} |\n")
-    w(f"| addView+removeView+SAW | {c.scaled_to_paper.addremove_and_saw} | "
-      f"{c.paper.addremove_and_saw} |\n")
-    w(f"| customized toast | {c.scaled_to_paper.custom_toast} | "
-      f"{c.paper.custom_toast} |\n\n")
+    if _section(w, results, "toast_continuity", failures,
+                "## Toast continuity (Section IV)\n\n"):
+        t = results.toast_continuity
+        w(f"- toasts shown: {t.toasts_shown}; max queue depth: "
+          f"{t.max_queue_depth_observed} (cap 50)\n")
+        w(f"- min switch coverage: {t.min_switch_coverage * 100:.1f}% "
+          f"(imperceptible: {t.imperceptible})\n")
+        w(f"- coverage >= 95% for {t.coverage_fraction_above_95 * 100:.1f}% "
+          "of the observation window\n\n")
 
+    if _section(w, results, "corpus", failures,
+                "## Corpus prevalence (Section VI-C2, scaled to 890,855 "
+                "apps)\n\n"):
+        c = results.corpus
+        w("| metric | measured (scaled) | paper |\n|---|---|---|\n")
+        w(f"| SAW + accessibility | {c.scaled_to_paper.saw_and_accessibility} | "
+          f"{c.paper.saw_and_accessibility} |\n")
+        w(f"| addView+removeView+SAW | {c.scaled_to_paper.addremove_and_saw} | "
+          f"{c.paper.addremove_and_saw} |\n")
+        w(f"| customized toast | {c.scaled_to_paper.custom_toast} | "
+          f"{c.paper.custom_toast} |\n\n")
+
+    # The defenses section aggregates three experiments; each line
+    # degrades independently so two surviving defenses still report.
     w("## Defenses (Section VII)\n\n")
     ipc = results.defense_ipc
-    w(f"- IPC detector: detection rate {ipc.detection_rate * 100:.0f}%, "
-      f"median latency {ipc.median_detection_latency_ms or float('nan'):.0f} ms, "
-      f"false positives {ipc.false_positives}/{ipc.benign_apps_observed}, "
-      f"overhead {ipc.monitor_overhead_ms_per_txn * 1000:.1f} µs/transaction\n")
+    if ipc is not None:
+        w(f"- IPC detector: detection rate {ipc.detection_rate * 100:.0f}%, "
+          f"median latency {ipc.median_detection_latency_ms or float('nan'):.0f} ms, "
+          f"false positives {ipc.false_positives}/{ipc.benign_apps_observed}, "
+          f"overhead {ipc.monitor_overhead_ms_per_txn * 1000:.1f} µs/transaction\n")
+    else:
+        w(f"- IPC detector: **FAILED**{_failure_note(failures, 'defense_ipc')}\n")
     nd = results.defense_notification
-    w(f"- enhanced notification (t={nd.hide_delay_ms:.0f} ms): "
-      f"effective on all trials: {nd.all_effective} "
-      f"(hides suppressed: {nd.hides_suppressed})\n")
+    if nd is not None:
+        w(f"- enhanced notification (t={nd.hide_delay_ms:.0f} ms): "
+          f"effective on all trials: {nd.all_effective} "
+          f"(hides suppressed: {nd.hides_suppressed})\n")
+    else:
+        w("- enhanced notification: **FAILED**"
+          f"{_failure_note(failures, 'defense_notification')}\n")
     td = results.defense_toast
-    w(f"- toast spacing: undefended min coverage "
-      f"{td.without_defense.min_switch_coverage * 100:.1f}% vs defended "
-      f"{td.with_defense.min_switch_coverage * 100:.1f}% "
-      f"(effective: {td.defense_effective})\n\n")
+    if td is not None:
+        w(f"- toast spacing: undefended min coverage "
+          f"{td.without_defense.min_switch_coverage * 100:.1f}% vs defended "
+          f"{td.with_defense.min_switch_coverage * 100:.1f}% "
+          f"(effective: {td.defense_effective})\n\n")
+    else:
+        w("- toast spacing: **FAILED**"
+          f"{_failure_note(failures, 'defense_toast')}\n\n")
 
-    w("## Eq. (2) validation (Section III-D)\n\n")
-    w("| D (ms) | predicted (ms) | measured (ms) | error |\n|---|---|---|---|\n")
-    for row in results.equation_validation.rows:
-        w(f"| {row.attacking_window_ms:.0f} | {row.predicted_ms:.1f} | "
-          f"{row.measured_ms:.1f} | {row.relative_error * 100:.1f}% |\n")
-    w("\n")
+    if _section(w, results, "equation_validation", failures,
+                "## Eq. (2) validation (Section III-D)\n\n"):
+        w("| D (ms) | predicted (ms) | measured (ms) | error |\n|---|---|---|---|\n")
+        for row in results.equation_validation.rows:
+            w(f"| {row.attacking_window_ms:.0f} | {row.predicted_ms:.1f} | "
+              f"{row.measured_ms:.1f} | {row.relative_error * 100:.1f}% |\n")
+        w("\n")
 
-    w("## IPC decision-rule tuning (Section VII-A, technical report)\n\n")
-    w("| min pairs | max gap (ms) | detection | latency (ms) | benign FP |\n")
-    w("|---|---|---|---|---|\n")
-    for p in results.defense_tuning.points:
-        latency = (f"{p.mean_detection_latency_ms:.0f}"
-                   if p.mean_detection_latency_ms is not None else "--")
-        w(f"| {p.min_pairs} | {p.max_pair_gap_ms:.0f} | "
-          f"{p.detection_rate * 100:.0f}% | {latency} | "
-          f"{p.false_positive_rate * 100:.0f}% |\n")
-    best = results.defense_tuning.best_point()
-    if best is not None:
-        w(f"\nrecommended rule: min_pairs={best.min_pairs}, "
-          f"max_gap={best.max_pair_gap_ms:.0f} ms\n")
-    w("\n")
+    if _section(w, results, "defense_tuning", failures,
+                "## IPC decision-rule tuning (Section VII-A, technical "
+                "report)\n\n"):
+        w("| min pairs | max gap (ms) | detection | latency (ms) | benign FP |\n")
+        w("|---|---|---|---|---|\n")
+        for p in results.defense_tuning.points:
+            latency = (f"{p.mean_detection_latency_ms:.0f}"
+                       if p.mean_detection_latency_ms is not None else "--")
+            w(f"| {p.min_pairs} | {p.max_pair_gap_ms:.0f} | "
+              f"{p.detection_rate * 100:.0f}% | {latency} | "
+              f"{p.false_positive_rate * 100:.0f}% |\n")
+        best = results.defense_tuning.best_point()
+        if best is not None:
+            w(f"\nrecommended rule: min_pairs={best.min_pairs}, "
+              f"max_gap={best.max_pair_gap_ms:.0f} ms\n")
+        w("\n")
 
-    w("## Trigger channels (Section VI-C2 note)\n\n")
-    w("| channel | victim | launched | latency (ms) | stolen |\n")
-    w("|---|---|---|---|---|\n")
-    for t in results.trigger_comparison.trials:
-        latency = (f"{t.trigger_latency_ms:.1f}"
-                   if t.trigger_latency_ms is not None else "--")
-        w(f"| {t.channel} | {t.victim} | {t.launched} | {latency} | "
-          f"{t.derived_matches} |\n")
-    w("\n")
+    if _section(w, results, "trigger_comparison", failures,
+                "## Trigger channels (Section VI-C2 note)\n\n"):
+        w("| channel | victim | launched | latency (ms) | stolen |\n")
+        w("|---|---|---|---|---|\n")
+        for t in results.trigger_comparison.trials:
+            latency = (f"{t.trigger_latency_ms:.1f}"
+                       if t.trigger_latency_ms is not None else "--")
+            w(f"| {t.channel} | {t.victim} | {t.launched} | {latency} | "
+              f"{t.derived_matches} |\n")
+        w("\n")
 
-    w("## Supplementary: password stealing by Android version\n\n")
-    w("| version | success | 95% CI | attempts |\n|---|---|---|---|\n")
-    for row in results.table3_by_version.rows:
-        w(f"| Android {row.version}.x | {row.success_rate:.1f}% | "
-          f"[{row.ci.lower * 100:.1f}, {row.ci.upper * 100:.1f}]% | "
-          f"{row.attempts} |\n")
-    w("\n")
+    if _section(w, results, "table3_by_version", failures,
+                "## Supplementary: password stealing by Android version\n\n"):
+        w("| version | success | 95% CI | attempts |\n|---|---|---|---|\n")
+        for row in results.table3_by_version.rows:
+            w(f"| Android {row.version}.x | {row.success_rate:.1f}% | "
+              f"[{row.ci.lower * 100:.1f}, {row.ci.upper * 100:.1f}]% | "
+              f"{row.attempts} |\n")
+        w("\n")
 
-    w("## Supplementary: Fig. 7 with 95% bootstrap CIs\n\n")
-    w("| D (ms) | mean % | CI |\n|---|---|---|\n")
-    for row in results.fig7_cis.rows:
-        w(f"| {row.attacking_window_ms:.0f} | {row.mean:.1f} | "
-          f"[{row.ci.lower:.1f}, {row.ci.upper:.1f}] |\n")
-    w("\n")
+    if _section(w, results, "fig7_cis", failures,
+                "## Supplementary: Fig. 7 with 95% bootstrap CIs\n\n"):
+        w("| D (ms) | mean % | CI |\n|---|---|---|\n")
+        for row in results.fig7_cis.rows:
+            w(f"| {row.attacking_window_ms:.0f} | {row.mean:.1f} | "
+              f"[{row.ci.lower:.1f}, {row.ci.upper:.1f}] |\n")
+        w("\n")
 
-    w("## Noise sensitivity (fault injection)\n\n")
-    ns = results.noise_sensitivity
-    w(f"Base profile `{ns.base_profile}` swept at D = "
-      f"{ns.attacking_window_ms:.0f} ms; no-fault baseline capture rate "
-      f"{ns.baseline_capture_rate:.1f}%.\n\n")
-    w("| factor | capture % | adaptive % | Tmis (ms) | gaps | "
-      "recall | precision |\n|---|---|---|---|---|---|---|\n")
-    for p in ns.points:
-        w(f"| {p.factor:g} | {p.capture_rate:.1f} | "
-          f"{p.adaptive_capture_rate:.1f} | {p.tmis_ms:.1f} | "
-          f"{p.gap_count} | {p.detector_recall * 100:.0f}% | "
-          f"{p.detector_precision * 100:.0f}% |\n")
-    w(f"\ncapture-rate degradation monotonic: "
-      f"{ns.degradation_is_monotonic}\n")
+    if _section(w, results, "noise_sensitivity", failures,
+                "## Noise sensitivity (fault injection)\n\n"):
+        ns = results.noise_sensitivity
+        w(f"Base profile `{ns.base_profile}` swept at D = "
+          f"{ns.attacking_window_ms:.0f} ms; no-fault baseline capture rate "
+          f"{ns.baseline_capture_rate:.1f}%.\n\n")
+        w("| factor | capture % | adaptive % | Tmis (ms) | gaps | "
+          "recall | precision |\n|---|---|---|---|---|---|---|\n")
+        for p in ns.points:
+            w(f"| {p.factor:g} | {p.capture_rate:.1f} | "
+              f"{p.adaptive_capture_rate:.1f} | {p.tmis_ms:.1f} | "
+              f"{p.gap_count} | {p.detector_recall * 100:.0f}% | "
+              f"{p.detector_precision * 100:.0f}% |\n")
+        w(f"\ncapture-rate degradation monotonic: "
+          f"{ns.degradation_is_monotonic}\n")
 
     # Wall times vary run to run, so the appendix is opt-in: the golden
     # report test needs the default rendering to be byte-stable.
@@ -302,10 +418,24 @@ def format_report(results: AllResults, include_timings: bool = False) -> str:
         w("\n## Runner timings\n\n")
         w("| experiment | wall (s) | source |\n|---|---|---|\n")
         for t in results.timings:
-            source = "cache" if t.cached else "run"
+            if t.failed:
+                source = "FAILED"
+            elif t.cached:
+                source = "cache"
+            else:
+                source = "run"
+            if t.attempts > 1:
+                source += f" ({t.attempts} attempts)"
             w(f"| {t.name} | {t.seconds:.2f} | {source} |\n")
         total = sum(t.seconds for t in results.timings)
         hits = sum(1 for t in results.timings if t.cached)
         w(f"\ntotal experiment wall time: {total:.2f} s "
           f"({hits}/{len(results.timings)} cache hits)\n")
     return out.getvalue()
+
+
+def _failure_note(failures: Dict[str, ExperimentFailure], name: str) -> str:
+    failure = failures.get(name)
+    if failure is None:
+        return ""
+    return f" ({failure.error})"

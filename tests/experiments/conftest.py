@@ -7,10 +7,16 @@ so it is computed once per session here.
 
 import pytest
 
-from repro.experiments import QUICK, run_all
+from repro.experiments import QUICK, SMOKE, run_all
 
 
 @pytest.fixture(scope="session")
 def quick_serial_results():
     """The serial (``jobs=1``) reference run at QUICK scale."""
     return run_all(QUICK)
+
+
+@pytest.fixture(scope="session")
+def smoke_clean_results():
+    """The fault-free SMOKE reference run the chaos tests compare against."""
+    return run_all(SMOKE)

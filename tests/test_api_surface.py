@@ -26,6 +26,7 @@ REPRO_ALL = [
     "PasswordStealingConfig",
     "Permission",
     "QUICK",
+    "RunPolicy",
     "SMOKE",
     "ScenarioMatrix",
     "Simulation",
@@ -44,9 +45,11 @@ REPRO_ALL = [
 API_ALL = [
     "AllResults",
     "AndroidStack",
+    "ExperimentFailure",
     "ExperimentScale",
     "FULL",
     "QUICK",
+    "RunPolicy",
     "SMOKE",
     "ScenarioMatrix",
     "TrialExecutor",
