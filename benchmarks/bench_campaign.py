@@ -1,0 +1,90 @@
+"""Campaign-engine fan-out overhead on a real fleet sweep.
+
+Not a paper figure — this pins the tentpole claim of the campaign layer
+(ISSUE 6): sharding a :class:`ScenarioMatrix` through the supervised
+runner and folding every trial into the streaming aggregates costs
+almost nothing over just executing the matrix. The comparison arm is the
+raw engine (one ``TrialExecutor.map`` over the same cells, no sharding,
+no supervision, no aggregation); the campaign arm runs the identical
+cells at ``shards=8, jobs=1`` so both arms do the same simulation work
+on one core and the difference is pure campaign machinery — shard
+bookkeeping, chaos gate, digest folding and the final merge. Gate:
+campaign wall <= 1.10x raw wall (best-of-N on both arms).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import ScenarioMatrix, TrialExecutor
+from repro.experiments.campaign import matrix_from_spec, run_campaign
+
+_REPEATS = 3
+
+#: Every Android 9/10 evaluation device x 20 notification trials
+#: = 500 cells, ~1 ms each under stack reuse.
+_MATRIX_SPEC = {
+    "name": "bench-fleet",
+    "scenario": "notification",
+    "scale": "quick",
+    "seed": 7,
+    "versions": ["9", "10"],
+    "configs": [{"attacking_window_ms": 100.0}],
+    "trials": 20,
+    "base_params": {"duration_ms": 400.0},
+}
+
+
+def _matrix() -> ScenarioMatrix:
+    return matrix_from_spec(_MATRIX_SPEC)
+
+
+def _raw_wall_seconds(matrix: ScenarioMatrix,
+                      repeats: int = _REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        executor = TrialExecutor()
+        cells = list(matrix.cells())
+        start = time.perf_counter()
+        executor.map(cells)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _campaign_wall_seconds(matrix: ScenarioMatrix,
+                           repeats: int = _REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_campaign(matrix, shards=8, jobs=1)
+        best = min(best, time.perf_counter() - start)
+        assert result.failures == () and result.trials == len(matrix)
+    return best
+
+
+def bench_campaign_fanout(benchmark, ledger):
+    """Sharded campaign wall gated at <=1.10x the raw matrix wall."""
+    matrix = _matrix()
+    raw_s = _raw_wall_seconds(matrix)
+
+    def run():
+        return run_campaign(matrix, shards=8, jobs=1)
+
+    result = benchmark(run)
+    assert result.trials == len(matrix) == 500
+
+    campaign_s = _campaign_wall_seconds(matrix)
+    overhead = campaign_s / raw_s - 1.0
+    throughput = len(matrix) / campaign_s
+    print(f"\nraw engine: {raw_s:.3f}s   campaign (8 shards): "
+          f"{campaign_s:.3f}s   ({overhead * 100:+.2f}% fan-out overhead)"
+          f"   {throughput:,.0f} trials/s")
+    ledger("campaign",
+           gate="shard fan-out overhead <= 10% of raw matrix execution",
+           passed=campaign_s <= raw_s * 1.10,
+           throughput=throughput, raw_seconds=raw_s,
+           campaign_seconds=campaign_s, overhead_fraction=overhead)
+    assert campaign_s <= raw_s * 1.10, (
+        f"campaign fan-out gate: {overhead * 100:.2f}% overhead over the "
+        "raw engine (limit 10%)"
+    )

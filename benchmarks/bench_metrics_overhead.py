@@ -84,7 +84,7 @@ def _instrumented_event_count(results) -> float:
     return sum(merged[name].value or 0.0 for name in _EVENT_COUNTERS)
 
 
-def bench_metrics_overhead(benchmark):
+def bench_metrics_overhead(benchmark, ledger):
     """Disabled-mode metrics overhead gated at <5% of the QUICK wall."""
     disabled_s, disabled_results = _best_wall_seconds(collect_metrics=False)
 
@@ -112,6 +112,12 @@ def bench_metrics_overhead(benchmark):
           f"{check_s * 1e9:.1f}ns   disabled-mode overhead: "
           f"{disabled_overhead_s * 1000:.1f}ms ({fraction * 100:.2f}% "
           f"of the QUICK wall)")
+    ledger("metrics_overhead",
+           gate="disabled-mode metrics < 5% of the suite wall",
+           passed=fraction < 0.05,
+           disabled_seconds=disabled_s, enabled_seconds=enabled_s,
+           instrumented_events=events, per_check_ns=check_s * 1e9,
+           overhead_fraction=fraction)
     assert fraction < 0.05, (
         f"disabled-mode metrics overhead gate: {fraction * 100:.2f}% of "
         f"the QUICK suite wall (limit 5%)"

@@ -38,7 +38,7 @@ def _best_wall_seconds(policy, repeats: int = _REPEATS):
     return best, result
 
 
-def bench_resilience_overhead(benchmark):
+def bench_resilience_overhead(benchmark, ledger):
     """Armed-but-idle supervision gated at <5% of the QUICK wall."""
     default_s, default_results = _best_wall_seconds(policy=None)
 
@@ -55,6 +55,11 @@ def bench_resilience_overhead(benchmark):
     overhead = armed_s / default_s - 1.0
     print(f"\ndefault policy: {default_s:.2f}s   armed policy: "
           f"{armed_s:.2f}s   ({overhead * 100:+.2f}% when armed)")
+    ledger("resilience_overhead",
+           gate="armed-but-idle supervision <= 5% of the suite wall",
+           passed=armed_s <= default_s * 1.05,
+           default_seconds=default_s, armed_seconds=armed_s,
+           overhead_fraction=overhead)
     assert armed_s <= default_s * 1.05, (
         f"supervision overhead gate: armed policy ran {overhead * 100:.2f}% "
         "slower than the default (limit 5%)"

@@ -49,7 +49,7 @@ def _throughput(reuse: bool, repeats: int = 3) -> float:
     return best
 
 
-def bench_trial_engine_reuse(benchmark):
+def bench_trial_engine_reuse(benchmark, ledger):
     """Reused-stack trial throughput; asserts the >=1.5x speedup."""
     rebuild_tps = _throughput(reuse=False)
 
@@ -66,6 +66,9 @@ def bench_trial_engine_reuse(benchmark):
     speedup = reuse_tps / rebuild_tps
     print(f"\nrebuild: {rebuild_tps:,.0f} trials/s   "
           f"reuse: {reuse_tps:,.0f} trials/s   speedup: {speedup:.2f}x")
+    ledger("trial_engine", gate="stack reuse >= 1.5x rebuild throughput",
+           passed=speedup >= 1.5, throughput=reuse_tps,
+           rebuild_throughput=rebuild_tps, speedup=speedup)
     assert speedup >= 1.5, (
         f"stack reuse must deliver >=1.5x trial throughput, got "
         f"{speedup:.2f}x"

@@ -6,6 +6,8 @@ Everything an external caller needs lives behind four entry points:
 * :func:`run_experiment` — run one named experiment of the suite;
 * :func:`run_matrix` — run a declarative :class:`ScenarioMatrix` sweep
   with stack reuse;
+* :func:`run_campaign` — run a fleet-scale matrix as a sharded,
+  supervised, resumable campaign with streaming aggregates;
 * :func:`run_all` / :func:`format_report` — the whole suite and its
   paper-vs-measured report.
 
@@ -23,6 +25,12 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, List, Optional
 
+from .experiments.campaign import (
+    CampaignManifest,
+    CampaignResult,
+    matrix_from_spec,
+    run_campaign,
+)
 from .experiments.config import FULL, QUICK, SMOKE, ExperimentScale
 from .experiments.engine import (
     ScenarioMatrix,
@@ -45,6 +53,8 @@ from .stack import AndroidStack, build_stack
 __all__ = [
     "AllResults",
     "AndroidStack",
+    "CampaignManifest",
+    "CampaignResult",
     "ExperimentFailure",
     "ExperimentScale",
     "FULL",
@@ -57,7 +67,9 @@ __all__ = [
     "build_stack",
     "experiment_names",
     "format_report",
+    "matrix_from_spec",
     "run_all",
+    "run_campaign",
     "run_experiment",
     "run_matrix",
 ]

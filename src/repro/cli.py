@@ -11,7 +11,9 @@ Commands:
   paper-vs-measured report (EXPERIMENTS.md content); ``--metrics-out`` /
   ``--profile-dir`` attach observability artifacts to the run;
 * ``metrics`` — run the suite with metrics collection and export the
-  aggregated series as JSONL + Prometheus text.
+  aggregated series as JSONL + Prometheus text;
+* ``campaign`` — run a fleet-scale :class:`ScenarioMatrix` sweep from a
+  JSON spec: sharded, supervised, resumable, with streaming aggregates.
 """
 
 from __future__ import annotations
@@ -279,6 +281,61 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .experiments.campaign import (
+        GROUPERS,
+        format_campaign,
+        matrix_from_spec,
+        run_campaign,
+    )
+    from .experiments.resilience import JournalError
+
+    try:
+        spec = json.loads(args.matrix.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"repro campaign: cannot read matrix spec {args.matrix}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        matrix = matrix_from_spec(spec)
+    except (KeyError, ValueError) as exc:
+        print(f"repro campaign: bad matrix spec: {exc}", file=sys.stderr)
+        return 2
+    if args.resume is not None and args.run_dir is not None:
+        print("repro campaign: --resume already names the run directory; "
+              "drop --run-dir", file=sys.stderr)
+        return 2
+    run_dir = args.resume if args.resume is not None else args.run_dir
+    try:
+        result = run_campaign(
+            matrix,
+            shards=args.shards,
+            jobs=args.jobs,
+            policy=_build_policy(args),
+            run_dir=run_dir,
+            resume=args.resume is not None,
+            group_by=GROUPERS[args.group_by],
+            verbose=args.verbose,
+        )
+    except JournalError as exc:
+        print(f"repro campaign: {exc}", file=sys.stderr)
+        return 2
+    print(format_campaign(result), end="")
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(result.aggregates_json())
+        print(f"aggregates written to {args.out}", file=sys.stderr)
+    if not result.failures:
+        return 0
+    for failure in result.failures:
+        print(f"repro campaign: shard {failure.name} FAILED "
+              f"({failure.kind}, {failure.attempts} attempt(s)): "
+              f"{failure.error}", file=sys.stderr)
+    print(f"repro campaign: {len(result.failures)} shard(s) failed",
+          file=sys.stderr)
+    return 1
+
+
 def _cmd_fig6(args: argparse.Namespace) -> int:
     from .systemui.render import render_outcome_gallery
 
@@ -423,6 +480,46 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--scale", choices=("smoke", "quick", "full"),
                              default="quick")
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a sharded fleet sweep over a ScenarioMatrix JSON spec",
+    )
+    campaign.add_argument("--matrix", type=Path, required=True,
+                          help="JSON matrix spec (see "
+                               "repro.experiments.campaign.matrix_from_spec)")
+    campaign.add_argument("--shards", type=int, default=8,
+                          help="work units the matrix is split into — the "
+                               "checkpoint/retry granularity; never affects "
+                               "results (default: 8)")
+    campaign.add_argument("--jobs", type=_nonnegative_int, default=1,
+                          help="worker processes (0 = one per core; "
+                               "aggregates are identical at any job count)")
+    campaign.add_argument("--group-by",
+                          choices=("none", "device", "version", "faults"),
+                          default="none",
+                          help="aggregate trials separately per group "
+                               "(default: one 'all' group)")
+    campaign.add_argument("--out", type=Path, default=None,
+                          help="write the canonical aggregates JSON here "
+                               "(bit-identical across shard/job counts)")
+    campaign.add_argument("--retries", type=_nonnegative_int, default=0,
+                          help="retry each failed shard up to N extra times "
+                               "with deterministic backoff")
+    campaign.add_argument("--deadline", type=float, default=None,
+                          help="per-shard wall-clock deadline in seconds; "
+                               "overruns count as failures")
+    campaign.add_argument("--fail-fast", action="store_true",
+                          help="abort on the first permanent shard failure")
+    campaign.add_argument("--verbose", action="store_true",
+                          help="per-shard progress lines")
+    campaign.add_argument("--run-dir", type=Path, default=None,
+                          help="journal per-shard completions under this "
+                               "directory (enables --resume later)")
+    campaign.add_argument("--resume", type=Path, default=None,
+                          metavar="RUN_DIR",
+                          help="resume a journaled campaign, re-running only "
+                               "the shards missing from RUN_DIR")
+
     sub.add_parser("fig6", help="render the five Λ outcomes (paper Fig. 6)")
 
     probe = sub.add_parser(
@@ -442,6 +539,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "metrics": _cmd_metrics,
         "experiments": _cmd_experiments,
+        "campaign": _cmd_campaign,
         "fig6": _cmd_fig6,
         "probe": _cmd_probe,
     }

@@ -41,11 +41,9 @@ import dataclasses
 import hashlib
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..serialization import SerializableMixin
 from .animation_curves import _run_fig2, _run_fig4
@@ -70,19 +68,18 @@ from .resilience import (
     FAILURES_METRIC,
     RETRIES_METRIC,
     CacheIntegrityError,
-    ChaosCrash,
-    DeadlineExceeded,
     ExperimentFailure,
     PoisonedResult,
     ResultIntegrityError,
     RunJournal,
     RunPolicy,
+    SupervisedTask,
+    Supervisor,
     atomic_write_bytes,
-    chaos_action,
-    chaos_hang_seconds,
+    chaos_fire,
     decode_envelope,
     encode_envelope,
-    make_failure,
+    run_supervised,
 )
 from .supplementary import _run_fig7_with_cis, _run_table3_by_version
 from .toast_continuity import _run_toast_continuity
@@ -230,18 +227,7 @@ def _run_one(
     from ..sim.faults import use_default_profile
     from .engine import TrialExecutor, use_executor
 
-    action = chaos_action(name, attempt)
-    if action == "crash":
-        raise ChaosCrash(
-            f"chaos: injected crash for {name!r} attempt {attempt}")
-    if action == "kill":
-        # Simulates a worker dying hard (OOM-kill, segfault): in a pool
-        # this breaks the executor; serially it kills the whole run —
-        # which is exactly what the journal/resume tests need.
-        os._exit(86)
-    if action == "hang":
-        time.sleep(chaos_hang_seconds())
-    if action == "poison":
+    if chaos_fire(name, attempt) == "poison":
         return name, PoisonedResult(name=name, attempt=attempt), 0.0, None, \
             os.getpid()
 
@@ -362,38 +348,6 @@ class RunOutcome:
     failures: Tuple[ExperimentFailure, ...] = ()
 
 
-class _Supervisor:
-    """Retry/failure bookkeeping shared by the serial and pool paths."""
-
-    def __init__(self, policy: RunPolicy, scale: ExperimentScale) -> None:
-        self.policy = policy
-        self.scale = scale
-        self.failures: Dict[str, ExperimentFailure] = {}
-        self.retries = 0
-        self.deadline_exceeded = 0
-
-    def handle(self, name: str, attempt: int, exc: Exception,
-               elapsed: float) -> bool:
-        """Process one failed attempt; return True to retry.
-
-        A permanent failure is recorded on :attr:`failures` — unless the
-        policy is ``fail_fast``, in which case the original exception
-        propagates (the historical abort-on-first-error behaviour).
-        """
-        if isinstance(exc, DeadlineExceeded):
-            self.deadline_exceeded += 1
-        if attempt < self.policy.max_attempts:
-            self.retries += 1
-            return True
-        if self.policy.fail_fast:
-            raise exc
-        self.failures[name] = make_failure(name, exc, attempt, elapsed)
-        return False
-
-    def backoff(self, name: str, attempt: int) -> float:
-        return self.policy.backoff_seconds(self.scale.seed, name, attempt)
-
-
 def run_experiments(
     scale: ExperimentScale = QUICK,
     *,
@@ -436,7 +390,7 @@ def run_experiments(
     """
     jobs = resolve_jobs(jobs)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    supervisor = _Supervisor(policy or DEFAULT_POLICY, scale)
+    supervisor = Supervisor(policy or DEFAULT_POLICY, scale.seed)
 
     results: Dict[str, object] = {}
     timings: Dict[str, ExperimentTiming] = {}
@@ -507,12 +461,17 @@ def run_experiments(
         else:
             pending.append(spec)
 
-    if jobs == 1 or len(pending) <= 1:
-        _run_serial(pending, scale, supervisor, collect_metrics, profile_dir,
-                    record_run, record_failure)
-    else:
-        _run_pool(pending, scale, jobs, supervisor, collect_metrics,
-                  profile_dir, record_run, record_failure)
+    run_supervised(
+        [SupervisedTask(name=spec.name, fn=_run_one,
+                        args=(spec.name, scale, collect_metrics, profile_dir))
+         for spec in pending],
+        supervisor,
+        jobs=jobs,
+        on_success=lambda task, payload, attempt, seconds:
+            record_run(*payload, attempts=attempt),
+        on_failure=record_failure,
+        check=_check_payload,
+    )
 
     failures = tuple(supervisor.failures[spec.name] for spec in EXPERIMENTS
                      if spec.name in supervisor.failures)
@@ -531,249 +490,12 @@ def run_experiments(
                       failures=failures)
 
 
-def _run_serial(
-    pending: List[ExperimentSpec],
-    scale: ExperimentScale,
-    supervisor: _Supervisor,
-    collect_metrics: bool,
-    profile_dir: Optional[Path],
-    record_run: Callable,
-    record_failure: Callable,
-) -> None:
-    """In-process reference path, one supervised experiment at a time.
-
-    Deadlines are enforced post-hoc here: a single process cannot preempt
-    its own experiment, so an overrun is detected when the attempt
-    returns and converted into a :class:`DeadlineExceeded` failure (the
-    computed result is discarded — accepting it would make the result set
-    depend on wall-clock luck).
-    """
-    deadline = supervisor.policy.deadline_seconds
-    for spec in pending:
-        attempt = 1
-        while True:
-            start = time.perf_counter()
-            try:
-                payload = _run_one(spec.name, scale, collect_metrics,
-                                   profile_dir, attempt)
-                _check_payload(payload)
-                elapsed = time.perf_counter() - start
-                if deadline is not None and elapsed > deadline:
-                    raise DeadlineExceeded(
-                        f"experiment {spec.name!r} took {elapsed:.2f}s "
-                        f"(deadline {deadline:.2f}s)")
-                record_run(*payload, attempts=attempt)
-                break
-            except Exception as exc:
-                elapsed = time.perf_counter() - start
-                if supervisor.handle(spec.name, attempt, exc, elapsed):
-                    _sleep(supervisor.backoff(spec.name, attempt))
-                    attempt += 1
-                    continue
-                record_failure(supervisor.failures[spec.name])
-                break
-
-
-@dataclass
-class _Flight:
-    """One in-flight pool submission."""
-
-    name: str
-    attempt: int
-    started: float
-
-
-def _sleep(seconds: float) -> None:
-    if seconds > 0:
-        time.sleep(seconds)
-
-
-def _terminate_pool(pool: ProcessPoolExecutor) -> None:
-    """Shut a pool down without waiting; best-effort kill its workers.
-
-    Used when workers are known-hung (deadline overruns) or the pool is
-    already broken — waiting would block on exactly the processes we are
-    trying to get rid of. Touching ``_processes`` is unsupported API, so
-    every step is defensive.
-    """
-    pool.shutdown(wait=False, cancel_futures=True)
-    try:
-        processes = list((pool._processes or {}).values())
-    except Exception:
-        processes = []
-    for process in processes:
-        try:
-            process.terminate()
-        except Exception:
-            pass
-
-
-def _run_pool(
-    pending: List[ExperimentSpec],
-    scale: ExperimentScale,
-    jobs: int,
-    supervisor: _Supervisor,
-    collect_metrics: bool,
-    profile_dir: Optional[Path],
-    record_run: Callable,
-    record_failure: Callable,
-) -> None:
-    """Fan out over a process pool, surviving crashes and hangs.
-
-    The loop keeps three populations: ``ready`` (queued (name, attempt)
-    pairs, possibly delayed by backoff), ``inflight`` (submitted futures)
-    and ``abandoned`` (futures whose deadline expired — their results are
-    discarded whenever they do surface). A :class:`BrokenProcessPool`
-    costs the in-flight attempts, not the run: the pool is rebuilt and
-    surviving work re-submitted.
-    """
-    policy = supervisor.policy
-    max_workers = min(jobs, len(pending))
-    pool = ProcessPoolExecutor(max_workers=max_workers)
-    inflight: Dict[Future, _Flight] = {}
-    abandoned: Set[Future] = set()
-    #: ``(not_before_monotonic, name, attempt)`` work queue.
-    ready: List[Tuple[float, str, int]] = [
-        (0.0, spec.name, 1) for spec in pending
-    ]
-
-    def queue_retry(name: str, attempt: int) -> None:
-        ready.append((time.monotonic() + supervisor.backoff(name, attempt),
-                      name, attempt + 1))
-
-    def settle_attempt(name: str, attempt: int, exc: Exception,
-                       elapsed: float) -> None:
-        if supervisor.handle(name, attempt, exc, elapsed):
-            queue_retry(name, attempt)
-        else:
-            record_failure(supervisor.failures[name])
-
-    def rebuild_pool() -> None:
-        nonlocal pool
-        _terminate_pool(pool)
-        abandoned.clear()
-        pool = ProcessPoolExecutor(max_workers=max_workers)
-
-    def on_broken_pool(extra: Optional[_Flight], exc: Exception) -> None:
-        """Every in-flight attempt died with the pool; retry or fail each."""
-        casualties = ([extra] if extra is not None else [])
-        casualties += list(inflight.values())
-        inflight.clear()
-        rebuild_pool()
-        now = time.monotonic()
-        for flight in casualties:
-            settle_attempt(flight.name, flight.attempt, exc,
-                           now - flight.started)
-
-    try:
-        while inflight or ready:
-            now = time.monotonic()
-            if not inflight and ready and len(abandoned) >= max_workers:
-                # Every slot is hung on an abandoned attempt; nothing
-                # will drain without fresh capacity.
-                rebuild_pool()
-            # Submit due work, never oversubscribing the workers: a
-            # queued future's deadline clock would start ticking before
-            # any worker picked it up, charging queue time as run time.
-            delayed: List[Tuple[float, str, int]] = []
-            for index, (not_before, name, attempt) in enumerate(ready):
-                if len(inflight) + len(abandoned) >= max_workers:
-                    delayed.extend(ready[index:])
-                    break
-                if not_before > now:
-                    delayed.append((not_before, name, attempt))
-                    continue
-                try:
-                    future = pool.submit(_run_one, name, scale,
-                                         collect_metrics, profile_dir,
-                                         attempt)
-                except BrokenProcessPool as exc:
-                    on_broken_pool(None, exc)
-                    delayed.append((now, name, attempt))
-                    continue
-                inflight[future] = _Flight(name, attempt, time.monotonic())
-            ready = delayed
-
-            if not inflight:
-                if ready:
-                    _sleep(min(0.05, max(0.0, min(t for t, _, _ in ready)
-                                         - time.monotonic())))
-                    continue
-                break
-
-            completed, _ = wait(set(inflight) | abandoned,
-                                timeout=_next_wake(policy, inflight, ready),
-                                return_when=FIRST_COMPLETED)
-            pool_broke = False
-            for future in completed:
-                if future in abandoned:
-                    # A deadline-expired worker finally surfaced; its
-                    # experiment was already settled. Consume and drop.
-                    abandoned.discard(future)
-                    future.exception()
-                    continue
-                flight = inflight.pop(future, None)
-                if flight is None:
-                    continue
-                try:
-                    payload = future.result()
-                    _check_payload(payload)
-                    record_run(*payload, attempts=flight.attempt)
-                except BrokenProcessPool as exc:
-                    on_broken_pool(flight, exc)
-                    pool_broke = True
-                    break
-                except Exception as exc:
-                    settle_attempt(flight.name, flight.attempt, exc,
-                                   time.monotonic() - flight.started)
-            if pool_broke:
-                continue
-
-            # Preemptive deadline enforcement: abandon overrunning futures
-            # so their slots come back when the worker finishes (or, if
-            # every worker is stuck, rebuild the pool outright).
-            if policy.deadline_seconds is not None:
-                now = time.monotonic()
-                for future, flight in list(inflight.items()):
-                    elapsed = now - flight.started
-                    if elapsed <= policy.deadline_seconds:
-                        continue
-                    del inflight[future]
-                    if not future.cancel():
-                        abandoned.add(future)
-                    settle_attempt(
-                        flight.name, flight.attempt,
-                        DeadlineExceeded(
-                            f"experiment {flight.name!r} exceeded its "
-                            f"{policy.deadline_seconds:.2f}s deadline"),
-                        elapsed)
-    finally:
-        _terminate_pool(pool)
-
-
-def _next_wake(
-    policy: RunPolicy,
-    inflight: Dict[Future, _Flight],
-    ready: List[Tuple[float, str, int]],
-) -> Optional[float]:
-    """Seconds until the supervisor must act (deadline or retry due)."""
-    now = time.monotonic()
-    wakes: List[float] = []
-    if policy.deadline_seconds is not None:
-        wakes += [flight.started + policy.deadline_seconds - now
-                  for flight in inflight.values()]
-    wakes += [not_before - now for not_before, _, _ in ready]
-    if not wakes:
-        return None
-    return max(0.01, min(wakes))
-
-
 def _assemble_metrics(
     sample_sets: Dict[str, tuple],
     timings: Tuple[ExperimentTiming, ...],
     busy_by_pid: Dict[int, float],
     wall_seconds: float,
-    supervisor: _Supervisor,
+    supervisor: Supervisor,
     cache_rejects: int,
 ) -> Tuple:
     """Label per-experiment snapshots and add the runner's own series.

@@ -26,7 +26,13 @@ failure the paper exploits inside Android's UI pipeline:
 * a **chaos harness** (:func:`chaos_action`) — env-keyed fault points
   that crash, hang, kill or poison specific ``(experiment, attempt)``
   pairs, mirroring the deterministic style of :mod:`repro.sim.faults`
-  one layer up: the fault *injection* is configuration, never chance.
+  one layer up: the fault *injection* is configuration, never chance;
+* the **generic supervised runner** (:func:`run_supervised`) — the
+  retry/deadline/broken-pool state machine itself, factored out of the
+  experiment runner so any unit of work (an experiment, a campaign
+  shard) can be fanned out under the same policy semantics. The
+  experiment suite (:mod:`repro.experiments.parallel`) and the campaign
+  layer (:mod:`repro.experiments.campaign`) are both thin clients.
 
 Nothing here touches experiment code or random streams: supervision
 observes and schedules, so a run with the default policy and no faults
@@ -42,11 +48,28 @@ import os
 import pickle
 import re
 import tempfile
+import time
 import traceback as traceback_module
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..serialization import SerializableMixin
 from .config import ExperimentScale
@@ -497,6 +520,29 @@ def chaos_action(name: str, attempt: int) -> Optional[str]:
     return None
 
 
+def chaos_fire(name: str, attempt: int) -> Optional[str]:
+    """Act on the fault point armed for ``(name, attempt)``, if any.
+
+    The shared worker-entry gate: ``crash`` raises :class:`ChaosCrash`,
+    ``kill`` hard-exits the process with status 86 (simulating OOM-kill /
+    segfault — in a pool this breaks the executor, serially it kills the
+    whole run, which is exactly what the journal/resume tests need),
+    ``hang`` sleeps :func:`chaos_hang_seconds` then falls through. The
+    caller only has to handle the returned ``"poison"`` (return a
+    :class:`PoisonedResult` in place of its payload) since what a
+    plausible-but-wrong result looks like is payload-specific.
+    """
+    action = chaos_action(name, attempt)
+    if action == "crash":
+        raise ChaosCrash(
+            f"chaos: injected crash for {name!r} attempt {attempt}")
+    if action == "kill":
+        os._exit(86)
+    if action == "hang":
+        time.sleep(chaos_hang_seconds())
+    return action
+
+
 @contextmanager
 def chaos(spec: str, hang_seconds: Optional[float] = None) -> Iterator[None]:
     """Scoped chaos injection: install ``spec`` in the environment.
@@ -517,3 +563,333 @@ def chaos(spec: str, hang_seconds: Optional[float] = None) -> Iterator[None]:
                 os.environ.pop(key, None)
             else:
                 os.environ[key] = value
+
+
+# ---------------------------------------------------------------------------
+# Generic supervised execution (shared by the experiment and campaign runners)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SupervisedTask:
+    """One unit of supervised work: a picklable function plus arguments.
+
+    ``fn`` must be module-level (it crosses the process boundary on the
+    pool path) and is called as ``fn(*args, attempt)`` — the 1-based
+    retry number is appended positionally so chaos fault points can key
+    on it while the work's own seed derivation never sees it.
+    """
+
+    #: Stable identity: retry scheduling, chaos targeting, failure records.
+    name: str
+    fn: Callable
+    args: Tuple[Any, ...] = ()
+
+    def run(self, attempt: int) -> Any:
+        return self.fn(*self.args, attempt)
+
+
+class Supervisor:
+    """Retry/failure bookkeeping shared by the serial and pool paths.
+
+    ``seed`` anchors the deterministic backoff jitter — callers pass
+    their scale's base seed so two runs of the same configuration replay
+    the exact same retry schedule.
+    """
+
+    def __init__(self, policy: RunPolicy, seed: int) -> None:
+        self.policy = policy
+        self.seed = int(seed)
+        self.failures: Dict[str, ExperimentFailure] = {}
+        self.retries = 0
+        self.deadline_exceeded = 0
+
+    def handle(self, name: str, attempt: int, exc: Exception,
+               elapsed: float) -> bool:
+        """Process one failed attempt; return True to retry.
+
+        A permanent failure is recorded on :attr:`failures` — unless the
+        policy is ``fail_fast``, in which case the original exception
+        propagates (the historical abort-on-first-error behaviour).
+        """
+        if isinstance(exc, DeadlineExceeded):
+            self.deadline_exceeded += 1
+        if attempt < self.policy.max_attempts:
+            self.retries += 1
+            return True
+        if self.policy.fail_fast:
+            raise exc
+        self.failures[name] = make_failure(name, exc, attempt, elapsed)
+        return False
+
+    def backoff(self, name: str, attempt: int) -> float:
+        return self.policy.backoff_seconds(self.seed, name, attempt)
+
+
+#: ``on_success(task, value, attempt, seconds)`` for one completed task.
+SuccessCallback = Callable[[SupervisedTask, Any, int, float], None]
+#: ``on_failure(failure)`` for one permanently failed task.
+FailureCallback = Callable[[ExperimentFailure], None]
+#: ``check(value)`` raises to reject a payload before it counts as done.
+CheckCallback = Callable[[Any], None]
+
+
+def run_supervised(
+    tasks: List[SupervisedTask],
+    supervisor: Supervisor,
+    *,
+    jobs: int = 1,
+    on_success: SuccessCallback,
+    on_failure: FailureCallback,
+    check: Optional[CheckCallback] = None,
+) -> None:
+    """Run every task under ``supervisor``'s policy; report via callbacks.
+
+    ``jobs=1`` (or a single task) runs in-process — the reference path;
+    ``jobs=N`` fans out over N worker processes. Worker exceptions,
+    deadline overruns and even the whole process pool breaking cost only
+    the affected attempts: each terminal error is converted into an
+    :class:`ExperimentFailure` handed to ``on_failure`` and the
+    remaining tasks keep running. Completion *order* is
+    scheduling-dependent; callers needing determinism must key their
+    bookkeeping on ``task.name``, never on callback order.
+    """
+    if jobs == 1 or len(tasks) <= 1:
+        _run_serial_tasks(tasks, supervisor, on_success, on_failure, check)
+    else:
+        _run_pool_tasks(tasks, supervisor, jobs, on_success, on_failure,
+                        check)
+
+
+def _run_serial_tasks(
+    tasks: List[SupervisedTask],
+    supervisor: Supervisor,
+    on_success: SuccessCallback,
+    on_failure: FailureCallback,
+    check: Optional[CheckCallback],
+) -> None:
+    """In-process reference path, one supervised task at a time.
+
+    Deadlines are enforced post-hoc here: a single process cannot
+    preempt its own work, so an overrun is detected when the attempt
+    returns and converted into a :class:`DeadlineExceeded` failure (the
+    computed result is discarded — accepting it would make the result
+    set depend on wall-clock luck).
+    """
+    deadline = supervisor.policy.deadline_seconds
+    for task in tasks:
+        attempt = 1
+        while True:
+            start = time.perf_counter()
+            try:
+                value = task.run(attempt)
+                if check is not None:
+                    check(value)
+                elapsed = time.perf_counter() - start
+                if deadline is not None and elapsed > deadline:
+                    raise DeadlineExceeded(
+                        f"task {task.name!r} took {elapsed:.2f}s "
+                        f"(deadline {deadline:.2f}s)")
+                on_success(task, value, attempt, elapsed)
+                break
+            except Exception as exc:
+                elapsed = time.perf_counter() - start
+                if supervisor.handle(task.name, attempt, exc, elapsed):
+                    _sleep(supervisor.backoff(task.name, attempt))
+                    attempt += 1
+                    continue
+                on_failure(supervisor.failures[task.name])
+                break
+
+
+@dataclass
+class _Flight:
+    """One in-flight pool submission."""
+
+    name: str
+    attempt: int
+    started: float
+
+
+def _sleep(seconds: float) -> None:
+    if seconds > 0:
+        time.sleep(seconds)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down without waiting; best-effort kill its workers.
+
+    Used when workers are known-hung (deadline overruns) or the pool is
+    already broken — waiting would block on exactly the processes we are
+    trying to get rid of. Touching ``_processes`` is unsupported API, so
+    every step is defensive.
+    """
+    pool.shutdown(wait=False, cancel_futures=True)
+    try:
+        processes = list((pool._processes or {}).values())
+    except Exception:
+        processes = []
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+
+
+def _run_pool_tasks(
+    tasks: List[SupervisedTask],
+    supervisor: Supervisor,
+    jobs: int,
+    on_success: SuccessCallback,
+    on_failure: FailureCallback,
+    check: Optional[CheckCallback],
+) -> None:
+    """Fan out over a process pool, surviving crashes and hangs.
+
+    The loop keeps three populations: ``ready`` (queued (name, attempt)
+    pairs, possibly delayed by backoff), ``inflight`` (submitted
+    futures) and ``abandoned`` (futures whose deadline expired — their
+    results are discarded whenever they do surface). A
+    :class:`BrokenProcessPool` costs the in-flight attempts, not the
+    run: the pool is rebuilt and surviving work re-submitted.
+    """
+    policy = supervisor.policy
+    by_name = {task.name: task for task in tasks}
+    max_workers = min(jobs, len(tasks))
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    inflight: Dict[Future, _Flight] = {}
+    abandoned: Set[Future] = set()
+    #: ``(not_before_monotonic, name, attempt)`` work queue.
+    ready: List[Tuple[float, str, int]] = [
+        (0.0, task.name, 1) for task in tasks
+    ]
+
+    def queue_retry(name: str, attempt: int) -> None:
+        ready.append((time.monotonic() + supervisor.backoff(name, attempt),
+                      name, attempt + 1))
+
+    def settle_attempt(name: str, attempt: int, exc: Exception,
+                       elapsed: float) -> None:
+        if supervisor.handle(name, attempt, exc, elapsed):
+            queue_retry(name, attempt)
+        else:
+            on_failure(supervisor.failures[name])
+
+    def rebuild_pool() -> None:
+        nonlocal pool
+        _terminate_pool(pool)
+        abandoned.clear()
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+
+    def on_broken_pool(extra: Optional[_Flight], exc: Exception) -> None:
+        """Every in-flight attempt died with the pool; retry or fail each."""
+        casualties = ([extra] if extra is not None else [])
+        casualties += list(inflight.values())
+        inflight.clear()
+        rebuild_pool()
+        now = time.monotonic()
+        for flight in casualties:
+            settle_attempt(flight.name, flight.attempt, exc,
+                           now - flight.started)
+
+    try:
+        while inflight or ready:
+            now = time.monotonic()
+            if not inflight and ready and len(abandoned) >= max_workers:
+                # Every slot is hung on an abandoned attempt; nothing
+                # will drain without fresh capacity.
+                rebuild_pool()
+            # Submit due work, never oversubscribing the workers: a
+            # queued future's deadline clock would start ticking before
+            # any worker picked it up, charging queue time as run time.
+            delayed: List[Tuple[float, str, int]] = []
+            for index, (not_before, name, attempt) in enumerate(ready):
+                if len(inflight) + len(abandoned) >= max_workers:
+                    delayed.extend(ready[index:])
+                    break
+                if not_before > now:
+                    delayed.append((not_before, name, attempt))
+                    continue
+                task = by_name[name]
+                try:
+                    future = pool.submit(task.fn, *task.args, attempt)
+                except BrokenProcessPool as exc:
+                    on_broken_pool(None, exc)
+                    delayed.append((now, name, attempt))
+                    continue
+                inflight[future] = _Flight(name, attempt, time.monotonic())
+            ready = delayed
+
+            if not inflight:
+                if ready:
+                    _sleep(min(0.05, max(0.0, min(t for t, _, _ in ready)
+                                         - time.monotonic())))
+                    continue
+                break
+
+            completed, _ = wait(set(inflight) | abandoned,
+                                timeout=_next_wake(policy, inflight, ready),
+                                return_when=FIRST_COMPLETED)
+            pool_broke = False
+            for future in completed:
+                if future in abandoned:
+                    # A deadline-expired worker finally surfaced; its
+                    # task was already settled. Consume and drop.
+                    abandoned.discard(future)
+                    future.exception()
+                    continue
+                flight = inflight.pop(future, None)
+                if flight is None:
+                    continue
+                try:
+                    value = future.result()
+                    if check is not None:
+                        check(value)
+                    on_success(by_name[flight.name], value, flight.attempt,
+                               time.monotonic() - flight.started)
+                except BrokenProcessPool as exc:
+                    on_broken_pool(flight, exc)
+                    pool_broke = True
+                    break
+                except Exception as exc:
+                    settle_attempt(flight.name, flight.attempt, exc,
+                                   time.monotonic() - flight.started)
+            if pool_broke:
+                continue
+
+            # Preemptive deadline enforcement: abandon overrunning futures
+            # so their slots come back when the worker finishes (or, if
+            # every worker is stuck, rebuild the pool outright).
+            if policy.deadline_seconds is not None:
+                now = time.monotonic()
+                for future, flight in list(inflight.items()):
+                    elapsed = now - flight.started
+                    if elapsed <= policy.deadline_seconds:
+                        continue
+                    del inflight[future]
+                    if not future.cancel():
+                        abandoned.add(future)
+                    settle_attempt(
+                        flight.name, flight.attempt,
+                        DeadlineExceeded(
+                            f"task {flight.name!r} exceeded its "
+                            f"{policy.deadline_seconds:.2f}s deadline"),
+                        elapsed)
+    finally:
+        _terminate_pool(pool)
+
+
+def _next_wake(
+    policy: RunPolicy,
+    inflight: Dict[Future, _Flight],
+    ready: List[Tuple[float, str, int]],
+) -> Optional[float]:
+    """Seconds until the supervisor must act (deadline or retry due)."""
+    now = time.monotonic()
+    wakes: List[float] = []
+    if policy.deadline_seconds is not None:
+        wakes += [flight.started + policy.deadline_seconds - now
+                  for flight in inflight.values()]
+    wakes += [not_before - now for not_before, _, _ in ready]
+    if not wakes:
+        return None
+    return max(0.01, min(wakes))

@@ -44,9 +44,25 @@ from repro.experiments.resilience import (
     ChaosError,
     DEADLINE_METRIC,
     FAILURES_METRIC,
+    PoisonedResult,
     RETRIES_METRIC,
+    ResultIntegrityError,
+    SupervisedTask,
+    Supervisor,
     chaos_action,
+    chaos_fire,
+    run_supervised,
 )
+
+# Deadline-test margins. The slowest real SMOKE experiment (table2)
+# takes ~0.6 s, so a DEADLINE_SECONDS deadline only ever fires on the
+# injected hangs, even on a loaded CI worker — and each hang sleeps
+# exactly HANG_MARGIN_SECONDS past the deadline, which bounds how long
+# the deadline tests can take instead of burying the margin in
+# hand-picked per-test sleeps.
+DEADLINE_SECONDS = 1.5
+HANG_MARGIN_SECONDS = 1.0
+HANG_SECONDS = DEADLINE_SECONDS + HANG_MARGIN_SECONDS
 
 
 class TestRunPolicy:
@@ -242,13 +258,12 @@ class TestGracefulDegradation:
 
 
 class TestDeadlines:
-    # The slowest real SMOKE experiment (table2) takes ~0.6s; a 1.5s
-    # deadline only ever fires on the injected hangs, even on a loaded
-    # CI worker.
+    # Margins: see DEADLINE_SECONDS / HANG_SECONDS at module top.
     def test_pool_deadline_converts_hang(self, smoke_clean_results):
-        with chaos("fig7:*:hang", hang_seconds=4.0):
-            degraded = run_all(SMOKE, jobs=2,
-                               policy=RunPolicy(deadline_seconds=1.5))
+        with chaos("fig7:*:hang", hang_seconds=HANG_SECONDS):
+            degraded = run_all(
+                SMOKE, jobs=2,
+                policy=RunPolicy(deadline_seconds=DEADLINE_SECONDS))
         assert [(f.name, f.kind) for f in degraded.failures] == \
             [("fig7", "deadline")]
         # Innocent experiments never inherit the hung worker's deadline.
@@ -256,18 +271,20 @@ class TestDeadlines:
         assert degraded.fig8 == smoke_clean_results.fig8
 
     def test_serial_deadline_posthoc(self):
-        with chaos("fig7:*:hang", hang_seconds=3.0):
-            degraded = run_all(SMOKE,
-                               policy=RunPolicy(deadline_seconds=1.5))
+        with chaos("fig7:*:hang", hang_seconds=HANG_SECONDS):
+            degraded = run_all(
+                SMOKE,
+                policy=RunPolicy(deadline_seconds=DEADLINE_SECONDS))
         assert [(f.name, f.kind) for f in degraded.failures] == \
             [("fig7", "deadline")]
 
     def test_every_slot_hung_still_completes(self, smoke_clean_results):
         # Both workers hang at once: the pool must reclaim capacity and
         # finish the remaining experiments anyway.
-        with chaos("fig7:*:hang,fig8:*:hang", hang_seconds=4.0):
-            degraded = run_all(SMOKE, jobs=2,
-                               policy=RunPolicy(deadline_seconds=1.5))
+        with chaos("fig7:*:hang,fig8:*:hang", hang_seconds=HANG_SECONDS):
+            degraded = run_all(
+                SMOKE, jobs=2,
+                policy=RunPolicy(deadline_seconds=DEADLINE_SECONDS))
         assert sorted(f.name for f in degraded.failures) == ["fig7", "fig8"]
         assert degraded.table3 == smoke_clean_results.table3
 
@@ -389,9 +406,10 @@ class TestSupervisionMetrics:
         assert values[FAILURES_METRIC] == 1
 
     def test_deadline_counter(self):
-        with chaos("fig7:*:hang", hang_seconds=3.0):
-            results = run_all(SMOKE, collect_metrics=True,
-                              policy=RunPolicy(deadline_seconds=1.5))
+        with chaos("fig7:*:hang", hang_seconds=HANG_SECONDS):
+            results = run_all(
+                SMOKE, collect_metrics=True,
+                policy=RunPolicy(deadline_seconds=DEADLINE_SECONDS))
         runner = next(m for m in results.metrics if m.name == "runner")
         values = {s.name: s.value for s in runner.samples}
         assert values[DEADLINE_METRIC] == 1
@@ -463,3 +481,78 @@ class TestCliFailureSemantics:
             "--run-dir", str(tmp_path / "a"),
             "--resume", str(tmp_path / "b"))
         assert proc.returncode == 2
+
+
+# ---------------------------------------------------------------------------
+# Generic supervised runner (the layer run_all and run_campaign share)
+# ---------------------------------------------------------------------------
+
+def _square_task(value, attempt):
+    """Module-level so it pickles into pool workers.
+
+    Mirrors the shape of every real worker: chaos gate keyed on the task
+    name and attempt, poison returned (not raised) for the check
+    callback to reject.
+    """
+    if chaos_fire(f"task-{value}", attempt) == "poison":
+        return PoisonedResult(name=f"task-{value}", attempt=attempt)
+    return value * value
+
+
+def _reject_poison(payload):
+    if isinstance(payload, PoisonedResult):
+        raise ResultIntegrityError(f"poisoned payload for {payload.name}")
+
+
+class TestSupervisedRunner:
+    """Unit tests against ``run_supervised`` itself — the shard-level
+    recovery guarantees the campaign engine inherits, pinned without a
+    full matrix in the loop."""
+
+    def _run(self, policy, *, jobs, tasks=4, check=None):
+        supervisor = Supervisor(policy, seed=1)
+        results = {}
+        run_supervised(
+            [SupervisedTask(name=f"task-{i}", fn=_square_task, args=(i,))
+             for i in range(tasks)],
+            supervisor,
+            jobs=jobs,
+            on_success=lambda task, value, attempt, seconds:
+                results.__setitem__(task.name, value),
+            on_failure=lambda failure: None,
+            check=check,
+        )
+        return supervisor, results
+
+    def test_pool_kill_rebuilds_and_retries(self):
+        # os._exit in a worker breaks the whole pool; the runner must
+        # rebuild it and convert every casualty into a retry, so a
+        # killed shard is never a lost shard.
+        with chaos("task-2:1:kill"):
+            supervisor, results = self._run(
+                RunPolicy(max_attempts=2), jobs=2)
+        assert results == {f"task-{i}": i * i for i in range(4)}
+        assert supervisor.failures == {}
+        assert supervisor.retries >= 1
+
+    def test_pool_hang_converts_to_deadline(self):
+        with chaos("task-1:*:hang", hang_seconds=HANG_SECONDS):
+            supervisor, results = self._run(
+                RunPolicy(deadline_seconds=DEADLINE_SECONDS), jobs=2)
+        assert set(supervisor.failures) == {"task-1"}
+        assert supervisor.failures["task-1"].kind == "deadline"
+        assert supervisor.deadline_exceeded == 1
+        assert results == {f"task-{i}": i * i for i in (0, 2, 3)}
+
+    def test_check_rejects_poisoned_payload(self):
+        with chaos("task-3:*:poison"):
+            supervisor, results = self._run(
+                DEFAULT_POLICY, jobs=1, check=_reject_poison)
+        assert set(supervisor.failures) == {"task-3"}
+        assert supervisor.failures["task-3"].kind == "poisoned"
+        assert results == {f"task-{i}": i * i for i in (0, 1, 2)}
+
+    def test_serial_and_pool_agree(self):
+        _, serial = self._run(DEFAULT_POLICY, jobs=1)
+        _, pooled = self._run(DEFAULT_POLICY, jobs=2)
+        assert serial == pooled == {f"task-{i}": i * i for i in range(4)}

@@ -45,6 +45,8 @@ REPRO_ALL = [
 API_ALL = [
     "AllResults",
     "AndroidStack",
+    "CampaignManifest",
+    "CampaignResult",
     "ExperimentFailure",
     "ExperimentScale",
     "FULL",
@@ -57,7 +59,9 @@ API_ALL = [
     "build_stack",
     "experiment_names",
     "format_report",
+    "matrix_from_spec",
     "run_all",
+    "run_campaign",
     "run_experiment",
     "run_matrix",
 ]
