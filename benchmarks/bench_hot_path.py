@@ -1,0 +1,190 @@
+"""Hot-path kernel throughput: frame tables + batched fault vectors.
+
+Not a paper figure — this pins the tentpole claim of the vectorized
+kernels (``src/repro/animation/kernels.py`` /
+``src/repro/sim/framecache.py``): trials that live on the per-frame
+surfaces — ``first_visible_frame_time`` boundary probes, the
+notification entry's analytic timeline, and the compositor staleness
+mapping under frame faults — run >= 1.5x faster with the kernels than
+with ``REPRO_NO_KERNELS=1``.
+
+The probe scenario deliberately concentrates on those surfaces. Full
+attack trials spend most of their time in scheduler/Binder machinery
+(the animators barely run: the draw-and-destroy attack hides the alert
+*before* its animation — that is the paper's point), so end-to-end
+campaign throughput is reported here as context, not gated.
+
+Arm switching is in-process: consumers snapshot the kernel switch at
+construction, so setting/clearing ``REPRO_NO_KERNELS`` and building a
+fresh :class:`TrialExecutor` per arm is sufficient (the differential
+suite ``tests/test_kernel_equivalence.py`` proves the arms are
+observably identical; this file only measures speed).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List
+
+from repro.experiments.engine import TrialExecutor, TrialSpec, scenario
+from repro.sim.framecache import FRAME_TABLE_CACHE, NO_KERNELS_ENV
+
+_TRIALS = 100
+
+#: Boundary-probe grid: animation durations x alert view heights, the
+#: axes the paper's device table (Table III) varies.
+_DURATIONS = (240.0, 300.0, 360.0, 420.0, 500.0)
+_HEIGHTS = (24, 48, 72, 96, 131, 160)
+
+
+@scenario("bench-frame-math")
+def _frame_math_scenario(stack, staleness_ms: float = 1500.0) -> float:
+    """One trial's worth of per-frame kernel work.
+
+    Three legs, mirroring the real consumers: the first-visible-frame
+    boundary search over a (duration, height) grid, the analytic alert
+    timeline sampled on and off the frame grid, and the compositor
+    staleness walk under the trial's fault plan.
+    """
+    from repro.animation.animator import first_visible_frame_time
+    from repro.animation.interpolators import FastOutSlowInInterpolator
+    from repro.systemui.notification import NotificationEntry
+
+    interp = FastOutSlowInInterpolator()
+    profile = stack.profile
+    acc = 0.0
+    for duration in _DURATIONS:
+        for height in _HEIGHTS:
+            acc += first_visible_frame_time(
+                interp, duration, profile.refresh_interval_ms, height)
+    entry = NotificationEntry(
+        app="bench",
+        anim_start=0.0,
+        view_height_px=profile.notification_view_height_px,
+        refresh_interval_ms=profile.refresh_interval_ms,
+    )
+    t = 0.0
+    while t < 400.0:
+        acc += entry.progress_at(t) + entry.pixels_at(t)
+        t += profile.refresh_interval_ms / 2.0
+    plan = stack.simulation.faults
+    if plan is not None:
+        t = 0.0
+        while t < staleness_ms:
+            acc += plan.render_time(t)
+            t += 7.0
+    return acc
+
+
+def _specs(n: int = _TRIALS) -> List[TrialSpec]:
+    return [
+        TrialSpec(scenario="bench-frame-math", seed=8000 + i,
+                  faults="pixel-loaded")
+        for i in range(n)
+    ]
+
+
+def _campaign_specs(n: int = 60) -> List[TrialSpec]:
+    """End-to-end context arm: real notification attack trials."""
+    return [
+        TrialSpec(scenario="notification", seed=9000 + i, faults="mild",
+                  params={"attacking_window_ms": 100.0,
+                          "duration_ms": 1200.0})
+        for i in range(n)
+    ]
+
+
+def _throughput(specs: List[TrialSpec], *, scalar: bool,
+                repeats: int = 3) -> float:
+    """Best-of-N trials/second with the kernel switch forced per arm.
+
+    The env var is restored afterwards so other benchmarks in the same
+    session are not poisoned; the frame-table cache is cleared before the
+    scalar arm purely for symmetry (the scalar path never reads it).
+    """
+    saved = os.environ.get(NO_KERNELS_ENV)
+    try:
+        if scalar:
+            os.environ[NO_KERNELS_ENV] = "1"
+            FRAME_TABLE_CACHE.clear()
+        else:
+            os.environ.pop(NO_KERNELS_ENV, None)
+        best = 0.0
+        for _ in range(repeats):
+            executor = TrialExecutor()
+            executor.map(_specs(5))  # warm pools (and tables, kernels arm)
+            start = time.perf_counter()
+            executor.map(specs)
+            elapsed = time.perf_counter() - start
+            best = max(best, len(specs) / elapsed)
+        return best
+    finally:
+        if saved is None:
+            os.environ.pop(NO_KERNELS_ENV, None)
+        else:
+            os.environ[NO_KERNELS_ENV] = saved
+
+
+def bench_hot_path_kernels(benchmark, ledger):
+    """Frame-math trial throughput, kernels vs scalar; gates >=1.5x."""
+    scalar_tps = _throughput(_specs(), scalar=True)
+
+    executor = TrialExecutor()
+    executor.map(_specs(5))
+
+    def run():
+        return executor.map(_specs())
+
+    results = benchmark(run)
+    assert len(results) == _TRIALS
+
+    kernel_tps = _throughput(_specs(), scalar=False)
+    speedup = kernel_tps / scalar_tps
+
+    # Context only (not gated): end-to-end attack-trial throughput, which
+    # is dominated by scheduler/Binder work common to both arms.
+    campaign_kernel_tps = _throughput(_campaign_specs(), scalar=False)
+    campaign_scalar_tps = _throughput(_campaign_specs(), scalar=True)
+
+    print(f"\nframe-math  scalar: {scalar_tps:,.0f} trials/s   "
+          f"kernels: {kernel_tps:,.0f} trials/s   speedup: {speedup:.2f}x")
+    print(f"end-to-end  scalar: {campaign_scalar_tps:,.0f} trials/s   "
+          f"kernels: {campaign_kernel_tps:,.0f} trials/s   (context)")
+    ledger("hot_path",
+           gate="kernels >= 1.5x scalar throughput on frame-math trials",
+           passed=speedup >= 1.5,
+           throughput=kernel_tps,
+           scalar_throughput=scalar_tps,
+           speedup=speedup,
+           campaign_throughput=campaign_kernel_tps,
+           campaign_scalar_throughput=campaign_scalar_tps)
+    assert speedup >= 1.5, (
+        f"kernels must deliver >=1.5x frame-math trial throughput, got "
+        f"{speedup:.2f}x"
+    )
+
+
+def bench_hot_path_scalar(benchmark):
+    """The comparison arm: ``REPRO_NO_KERNELS=1`` (legacy scalar path).
+
+    The env var stays forced for the whole measurement — the frame-table
+    consumers re-read the switch per construction, so restoring it early
+    would silently measure the kernel path.
+    """
+    saved = os.environ.get(NO_KERNELS_ENV)
+    try:
+        os.environ[NO_KERNELS_ENV] = "1"
+        executor = TrialExecutor()
+        executor.map(_specs(5))
+
+        def run():
+            return executor.map(_specs())
+
+        results = benchmark(run)
+    finally:
+        if saved is None:
+            os.environ.pop(NO_KERNELS_ENV, None)
+        else:
+            os.environ[NO_KERNELS_ENV] = saved
+    assert len(results) == _TRIALS

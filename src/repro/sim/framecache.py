@@ -1,0 +1,163 @@
+"""Hot-path kernel caches: frame tables and fault frame vectors.
+
+The inner loops of every trial — eased-animation frame math, the
+compositor's frame-staleness mapping, scheduler heap churn — are pure
+functions executed once per event. This module owns the machinery that
+lets those loops read precomputed rows instead:
+
+* the **kernel switch** (:func:`kernels_enabled`) — ``REPRO_NO_KERNELS=1``
+  in the environment selects the original scalar code paths everywhere.
+  The differential harness (``tests/test_kernel_equivalence.py``) runs
+  every scenario both ways and asserts byte-identical results, which is
+  what licenses the fast paths in the first place;
+* the **frame-table cache** (:class:`FrameTableCache`) — one immutable
+  per-(animation curve, duration, refresh interval, view height) table of
+  per-frame rows, memoized under a content key so every animator and
+  notification entry on the same device shares one table across trials
+  (tables survive :meth:`~repro.stack.AndroidStack.reset` by living here,
+  outside any stack);
+* **fault frame vectors** (:class:`FaultFrameVectors`) — the compositor's
+  per-display-frame ``(jitter delay, dropped?)`` derivation batched into
+  chunked vectors per horizon, replacing one ``SeededRng`` construction
+  (and sha256 derivation) per query with a list read.
+
+Consumers snapshot the kernel switch at *construction* time (one animator,
+one fault plan, one scheduler reset); flipping the environment variable
+mid-object is deliberately not supported — the differential harness builds
+fresh stacks per arm.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Environment variable selecting the scalar reference paths.
+NO_KERNELS_ENV = "REPRO_NO_KERNELS"
+
+
+def kernels_enabled() -> bool:
+    """Whether the vectorized kernel paths are active.
+
+    Kernels are on by default; set ``REPRO_NO_KERNELS=1`` (any non-empty
+    value) to force the original scalar code paths. Read the switch once
+    per constructed object, not per frame — it is an escape hatch and a
+    differential-test arm selector, not a per-call feature flag.
+    """
+    return not os.environ.get(NO_KERNELS_ENV)
+
+
+# ---------------------------------------------------------------------------
+# Frame-table cache
+# ---------------------------------------------------------------------------
+
+#: A table's content key: (interpolator curve key, duration, refresh
+#: interval, view height). Two animations with equal keys render exactly
+#: the same per-frame values, so they may share one table.
+TableKey = Tuple[Tuple, float, float, int]
+
+
+class FrameTableCache:
+    """Content-keyed memo for immutable frame tables.
+
+    The cache key is derived purely from the *content* that determines a
+    table's rows — the interpolator's curve parameters (via
+    :meth:`~repro.animation.interpolators.Interpolator.cache_key`), the
+    animation duration, the display refresh interval and the view height
+    — never from object identity. Identical animations on identical
+    devices therefore share one table across every stack, trial and
+    ``reset()`` in the process.
+
+    The cache is unbounded by design: the key space is the set of
+    distinct (curve, duration, refresh, height) combinations in a run,
+    which is O(device profiles x animation kinds) — a few dozen entries
+    even for fleet campaigns.
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[TableKey, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def get_or_build(self, key: TableKey, build: Callable[[], object]) -> object:
+        table = self._tables.get(key)
+        if table is not None:
+            self.hits += 1
+            return table
+        self.misses += 1
+        table = build()
+        self._tables[key] = table
+        return table
+
+    def clear(self) -> None:
+        """Drop every table (test isolation; never needed in production)."""
+        self._tables.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: The process-wide table cache. Lives at module level precisely so tables
+#: survive stack reuse: ``AndroidStack.reset()`` tears down per-trial
+#: state, but the tables are pure functions of device constants.
+FRAME_TABLE_CACHE = FrameTableCache()
+
+
+# ---------------------------------------------------------------------------
+# Fault frame vectors
+# ---------------------------------------------------------------------------
+
+class FaultFrameVectors:
+    """Batched per-display-frame fault draws for one fault plan.
+
+    :meth:`repro.sim.faults.FaultPlan._frame_faults_at` derives display
+    frame ``index``'s ``(jitter delay, dropped?)`` as a pure function of
+    ``(plan seed, index)`` — one sha256 + one ``random.Random`` per query.
+    This class batches that derivation: rows are materialized one chunk
+    (``chunk_frames`` indices) at a time and memoized, so the compositor's
+    staleness walk (which revisits an index and its three predecessors on
+    every query) reads list entries instead.
+
+    The rows are byte-identical to the scalar derivation because they are
+    produced *by* the scalar derivation — batching only changes when the
+    work happens, never what is computed.
+    """
+
+    def __init__(
+        self,
+        derive: Callable[[int], Tuple[float, bool]],
+        chunk_frames: int = 256,
+    ) -> None:
+        if chunk_frames < 1:
+            raise ValueError(f"chunk_frames must be >= 1, got {chunk_frames}")
+        self._derive = derive
+        self._chunk = chunk_frames
+        self._rows: List[Tuple[float, bool]] = []
+
+    @property
+    def materialized_frames(self) -> int:
+        """Number of frame rows computed so far (grows in chunk steps)."""
+        return len(self._rows)
+
+    def get(self, index: int) -> Tuple[float, bool]:
+        """``(jitter delay, dropped?)`` of display frame ``index``."""
+        rows = self._rows
+        if index >= len(rows):
+            # Extend to the chunk boundary covering `index`: queries walk
+            # forward in time, so the whole chunk will be wanted anyway.
+            target = ((index // self._chunk) + 1) * self._chunk
+            derive = self._derive
+            rows.extend(derive(i) for i in range(len(rows), target))
+        return rows[index]
+
+
+__all__ = [
+    "NO_KERNELS_ENV",
+    "kernels_enabled",
+    "FrameTableCache",
+    "FRAME_TABLE_CACHE",
+    "FaultFrameVectors",
+    "TableKey",
+]

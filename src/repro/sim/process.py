@@ -67,7 +67,14 @@ class SimProcess:
 
     def trace(self, kind: str, **detail) -> None:
         """Record a trace event attributed to this process."""
-        self._simulation.trace.record(self.now, self._name, kind, **detail)
+        log = self._simulation.trace
+        if not log._enabled and not log._subscribers:
+            # Early out before even reading the clock: disabled-trace
+            # sweeps pay one attribute test per happening instead of a
+            # record construction. `TraceLog.record` repeats this check,
+            # so behaviour is identical either way.
+            return
+        log.record(self.now, self._name, kind, **detail)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}(name={self._name!r})"

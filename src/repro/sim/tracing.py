@@ -69,6 +69,12 @@ class TraceLog:
         must keep observing regardless (experiments run with
         ``trace_enabled=False`` and still expect detections).
         """
+        # Fast path: with recording off and nobody listening, skip the
+        # TraceRecord construction entirely — the record would be built
+        # only to be thrown away, and disabled-trace sweeps call here once
+        # per kernel happening.
+        if not self._enabled and not self._subscribers:
+            return
         rec = TraceRecord(time=time, source=source, kind=kind, detail=detail)
         if self._enabled:
             self._records.append(rec)

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 
 from ..animation.animator import ANIMATION_DURATION_STANDARD, Animator
 from ..animation.interpolators import FastOutSlowInInterpolator
+from ..animation.kernels import frame_table
 from ..binder.router import BinderRouter
 from ..binder.transaction import BinderTransaction
 from ..devices.profiles import DeviceProfile
@@ -25,6 +26,10 @@ from ..sim.simulation import Simulation
 from ..windows.system_server import SYSTEM_UI
 from .notification import NotificationEntry, NotificationRecord
 from .outcomes import NotificationOutcome, NotificationSnapshot, classify
+
+#: The slide-in easing curve. Stateless, so one shared instance serves all
+#: alerts (and keys the same frame table for every System UI on a device).
+_ALERT_INTERPOLATOR = FastOutSlowInInterpolator()
 
 
 class AlertMode(enum.Enum):
@@ -84,6 +89,16 @@ class SystemUi(SimProcess):
                 "notifyOverlayHidden": self._handle_hidden,
             },
         )
+        # Prewarm the slide-in frame tables at boot (no-ops with kernels
+        # off): the first alert of the first trial then hits the cache
+        # instead of paying table construction mid-simulation. One table
+        # per consumer shape — the entry's pixel table and the FRAME-mode
+        # animator's completeness-only (height 0) table.
+        frame_table(_ALERT_INTERPOLATOR, ANIMATION_DURATION_STANDARD,
+                    profile.refresh_interval_ms,
+                    profile.notification_view_height_px)
+        frame_table(_ALERT_INTERPOLATOR, ANIMATION_DURATION_STANDARD,
+                    profile.refresh_interval_ms, 0)
 
     def rearm(self) -> None:
         """Reset to boot state for stack reuse; the alert mode is part of
@@ -178,7 +193,7 @@ class SystemUi(SimProcess):
         if self._mode is AlertMode.FRAME:
             animator = Animator(
                 simulation=self.simulation,
-                interpolator=FastOutSlowInInterpolator(),
+                interpolator=_ALERT_INTERPOLATOR,
                 duration_ms=ANIMATION_DURATION_STANDARD,
                 refresh_interval_ms=self._profile.refresh_interval_ms,
                 name=f"alert:{app}",

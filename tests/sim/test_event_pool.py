@@ -1,0 +1,162 @@
+"""Regression suite pinning Event pool reuse to legacy semantics.
+
+The scheduler recycles ``Event`` objects when kernels are enabled (see
+``EventScheduler._release``). These tests run identical seeded
+cancel/reschedule storms on a pooling scheduler and a scalar
+(``REPRO_NO_KERNELS=1``) scheduler and assert the observable world —
+dispatch traces, ``pending_count`` / ``cancelled_count`` /
+``dispatched_count`` / ``scheduled_count`` accounting — is identical,
+plus the generation-counter guarantees that make recycling safe: a stale
+handle answers from its snapshot and can never cancel the unrelated event
+now living in its old ``Event`` object.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.sim.errors import EventCancelledError
+from repro.sim.framecache import NO_KERNELS_ENV
+from repro.sim.scheduler import EventScheduler
+
+SEEDS = [11, 4242, 20260808]
+
+
+def _make_scheduler(monkeypatch, pooling: bool) -> EventScheduler:
+    if pooling:
+        monkeypatch.delenv(NO_KERNELS_ENV, raising=False)
+    else:
+        monkeypatch.setenv(NO_KERNELS_ENV, "1")
+    scheduler = EventScheduler(Clock())
+    assert scheduler._pooling is pooling
+    return scheduler
+
+
+def _storm(scheduler: EventScheduler, seed: int):
+    """A seeded cancel/reschedule storm; returns (trace, counters).
+
+    Each dispatched callback records ``(now, name)`` and may reschedule
+    itself (exercising in-callback reuse of the just-released event);
+    between steps, random pending handles are cancelled — some twice via
+    ``cancel_if_pending`` to pin its return value too.
+    """
+    rng = random.Random(seed)
+    trace = []
+    handles = []
+    cancel_returns = []
+
+    def make_callback(label: str, depth: int):
+        def fire():
+            trace.append((scheduler.now, label))
+            if depth > 0 and rng.random() < 0.4:
+                handles.append(scheduler.schedule_after(
+                    float(rng.randint(0, 12)),
+                    make_callback(f"{label}.r", depth - 1),
+                    name=f"{label}.r",
+                ))
+        return fire
+
+    for index in range(120):
+        handles.append(scheduler.schedule_after(
+            float(rng.randint(0, 60)),
+            make_callback(f"e{index}", depth=2),
+            name=f"e{index}",
+        ))
+        if rng.random() < 0.35 and handles:
+            victim = handles[rng.randrange(len(handles))]
+            cancel_returns.append(victim.cancel_if_pending())
+            # A second cancel must always report "already cancelled".
+            cancel_returns.append(victim.cancel_if_pending())
+        if rng.random() < 0.30:
+            scheduler.step()
+    scheduler.run_to_completion()
+    counters = (
+        scheduler.scheduled_count,
+        scheduler.dispatched_count,
+        scheduler.cancelled_count,
+        scheduler.pending_count,
+    )
+    return trace, counters, cancel_returns
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_storm_identical_with_pooling_on_and_off(monkeypatch, seed):
+    pooled = _storm(_make_scheduler(monkeypatch, pooling=True), seed)
+    scalar = _storm(_make_scheduler(monkeypatch, pooling=False), seed)
+    assert pooled[0] == scalar[0]  # dispatch traces
+    assert pooled[1] == scalar[1]  # counter accounting
+    assert pooled[2] == scalar[2]  # cancel_if_pending outcomes
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_accounting_invariant_holds_under_storm(monkeypatch, seed):
+    scheduler = _make_scheduler(monkeypatch, pooling=True)
+    _, (scheduled, dispatched, cancelled, pending), _ = _storm(scheduler, seed)
+    assert scheduled == dispatched + cancelled + pending
+    assert pending == 0  # run_to_completion drained the queue
+
+
+def test_pool_actually_recycles(monkeypatch):
+    scheduler = _make_scheduler(monkeypatch, pooling=True)
+    fired = []
+    for i in range(10):
+        scheduler.schedule_at(float(i), lambda i=i: fired.append(i))
+    scheduler.run_to_completion()
+    assert fired == list(range(10))
+    assert scheduler.pooled_event_count > 0
+
+    scalar = _make_scheduler(monkeypatch, pooling=False)
+    for i in range(10):
+        scalar.schedule_at(float(i), lambda: None)
+    scalar.run_to_completion()
+    assert scalar.pooled_event_count == 0
+
+
+def test_stale_handle_is_inert_after_recycling(monkeypatch):
+    scheduler = _make_scheduler(monkeypatch, pooling=True)
+    first = scheduler.schedule_at(1.0, lambda: None, name="first")
+    scheduler.run_to_completion()
+    # The pooled object is reused for the next schedule...
+    second = scheduler.schedule_at(2.0, lambda: None, name="second")
+    assert second._event is first._event  # same object, new incarnation
+    # ...but the stale handle still answers from its snapshot,
+    assert first.time == 1.0 and first.name == "first"
+    assert second.time == 2.0 and second.name == "second"
+    # and cancelling it cannot touch the recycled event.
+    assert first.cancel_if_pending() is True  # legacy: silent no-op cancel
+    assert not second.cancelled
+    assert scheduler.pending_count == 1
+    with pytest.raises(EventCancelledError):
+        first.cancel()
+    scheduler.run_to_completion()
+    assert scheduler.dispatched_count == 2
+
+
+def test_reset_inerts_pending_handles_and_keeps_pool(monkeypatch):
+    scheduler = _make_scheduler(monkeypatch, pooling=True)
+    scheduler.schedule_at(1.0, lambda: None)
+    scheduler.run_to_completion()
+    pooled_before = scheduler.pooled_event_count
+    pending = scheduler.schedule_at(5.0, lambda: None, name="doomed")
+    scheduler.reset()
+    assert scheduler.pooled_event_count >= pooled_before
+    assert scheduler.pending_count == 0
+    # A late cancel on a pre-reset handle must not corrupt the new run.
+    assert pending.cancel_if_pending() is True
+    assert scheduler.pending_count == 0
+    assert scheduler.cancelled_count == 0
+
+
+def test_cancelled_heap_entries_are_recycled(monkeypatch):
+    scheduler = _make_scheduler(monkeypatch, pooling=True)
+    handles = [scheduler.schedule_at(float(i), lambda: None) for i in range(5)]
+    for handle in handles:
+        handle.cancel()
+    assert scheduler.pending_count == 0
+    assert scheduler.cancelled_count == 5
+    scheduler.run_to_completion()
+    assert scheduler.dispatched_count == 0
+    assert scheduler.pooled_event_count == 5

@@ -1,0 +1,130 @@
+"""FaultPlan batched frame-fault draws: equivalence and independence.
+
+The compositor-side staleness mapping derives each display frame's
+``(jitter delay, dropped?)`` as a pure function of ``(plan seed, index)``.
+With kernels on, :class:`~repro.sim.framecache.FaultFrameVectors` batches
+that derivation into memoized chunks. These tests pin:
+
+* batched rows are bit-identical to scalar ``_frame_faults_at`` queries,
+  in any query order;
+* per-class sub-stream independence survives batching — perturbing the
+  Binder/dispatch/GC knobs leaves the frame vectors bit-identical;
+* no-op profiles (and frame-quiet profiles) skip vector construction
+  entirely;
+* ``render_time`` agrees between the batched and scalar paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sim.faults import ADVERSARIAL, NONE, PIXEL_LOADED, FaultPlan
+from repro.sim.framecache import FaultFrameVectors, NO_KERNELS_ENV
+from repro.sim.rng import SeededRng
+
+
+def _plan(profile, seed=1234, scalar=False, monkeypatch=None):
+    if monkeypatch is not None:
+        if scalar:
+            monkeypatch.setenv(NO_KERNELS_ENV, "1")
+        else:
+            monkeypatch.delenv(NO_KERNELS_ENV, raising=False)
+    return FaultPlan(profile, SeededRng(seed, "faults"))
+
+
+def test_batched_rows_bit_equal_scalar_queries(monkeypatch):
+    plan = _plan(PIXEL_LOADED, monkeypatch=monkeypatch)
+    assert plan._frame_vectors is not None
+    for index in (0, 7, 300, 5, 1024, 2):  # deliberately out of order
+        assert plan._frame_vectors.get(index) == plan._frame_faults_at(index)
+    # Full prefix, in order, against a fresh scalar plan.
+    scalar = _plan(PIXEL_LOADED, scalar=True, monkeypatch=monkeypatch)
+    assert scalar._frame_vectors is None
+    rows_batched = [plan._frame_vectors.get(i) for i in range(600)]
+    rows_scalar = [scalar._frame_faults_at(i) for i in range(600)]
+    assert rows_batched == rows_scalar
+
+
+def test_materialization_grows_in_chunks(monkeypatch):
+    plan = _plan(ADVERSARIAL, monkeypatch=monkeypatch)
+    assert plan.frame_fault_rows_materialized == 0
+    plan.render_time(35.0)  # queries indices 0..3
+    first = plan.frame_fault_rows_materialized
+    assert first >= 4 and first % 256 == 0
+    plan.render_time(35.0)  # idempotent: no further materialization
+    assert plan.frame_fault_rows_materialized == first
+    plan.render_time(5000.0)
+    assert plan.frame_fault_rows_materialized > first
+
+
+@pytest.mark.parametrize("perturbation", [
+    {"binder_jitter_ms": 9.0},
+    {"binder_drop_probability": 0.5},
+    {"dispatch_jitter_ms": 7.0},
+    {"gc_period_ms": 300.0, "gc_pause_ms": 50.0},
+    {"distribution": "uniform"},
+])
+def test_other_fault_classes_do_not_shift_frame_vectors(monkeypatch, perturbation):
+    base = _plan(PIXEL_LOADED, monkeypatch=monkeypatch)
+    perturbed = _plan(replace(PIXEL_LOADED, **perturbation),
+                      monkeypatch=monkeypatch)
+    rows_base = [base._frame_vectors.get(i) for i in range(400)]
+    rows_perturbed = [perturbed._frame_vectors.get(i) for i in range(400)]
+    if "distribution" in perturbation:
+        # The frame-fault derivation always draws uniform jitter, so even
+        # the distribution knob (which shapes dispatch/Binder latency)
+        # must leave it untouched.
+        assert rows_base == rows_perturbed
+    else:
+        assert rows_base == rows_perturbed
+
+
+def test_frame_knobs_do_shift_frame_vectors(monkeypatch):
+    base = _plan(PIXEL_LOADED, monkeypatch=monkeypatch)
+    shifted = _plan(replace(PIXEL_LOADED, frame_jitter_ms=9.0),
+                    monkeypatch=monkeypatch)
+    rows_base = [base._frame_vectors.get(i) for i in range(64)]
+    rows_shifted = [shifted._frame_vectors.get(i) for i in range(64)]
+    assert rows_base != rows_shifted
+
+
+def test_noop_and_frame_quiet_profiles_skip_vector_construction(monkeypatch):
+    monkeypatch.delenv(NO_KERNELS_ENV, raising=False)
+    assert _plan(NONE)._frame_vectors is None
+    # Active profile, but no *frame* faults: still no vectors.
+    dispatch_only = replace(NONE, name="dispatch-only", dispatch_jitter_ms=2.0)
+    plan = _plan(dispatch_only)
+    assert not plan.is_noop
+    assert plan._frame_vectors is None
+    assert plan.frame_fault_rows_materialized == 0
+    # And render_time stays the identity without ever touching vectors.
+    assert plan.render_time(123.4) == 123.4
+
+
+def test_render_time_identical_between_batched_and_scalar(monkeypatch):
+    batched = _plan(ADVERSARIAL, monkeypatch=monkeypatch)
+    scalar = _plan(ADVERSARIAL, scalar=True, monkeypatch=monkeypatch)
+    times = [0.0, 3.0, 9.99, 10.0, 35.0, 111.1, 997.0, 2500.0, 35.0, 10.0]
+    assert ([batched.render_time(t) for t in times]
+            == [scalar.render_time(t) for t in times])
+
+
+def test_fault_frame_vectors_validation_and_chunking():
+    with pytest.raises(ValueError):
+        FaultFrameVectors(lambda i: (0.0, False), chunk_frames=0)
+    calls = []
+
+    def derive(index):
+        calls.append(index)
+        return (float(index), False)
+
+    vectors = FaultFrameVectors(derive, chunk_frames=8)
+    assert vectors.get(3) == (3.0, False)
+    assert vectors.materialized_frames == 8
+    assert calls == list(range(8))  # one chunk, derived exactly once
+    assert vectors.get(3) == (3.0, False)
+    assert len(calls) == 8  # memoized: no re-derivation
+    assert vectors.get(8) == (8.0, False)
+    assert vectors.materialized_frames == 16

@@ -1,0 +1,198 @@
+"""Differential proof: kernels on vs ``REPRO_NO_KERNELS=1`` are one system.
+
+The hot-path kernels (frame tables, batched fault vectors, event pooling —
+see ``src/repro/animation/kernels.py`` and ``src/repro/sim/framecache.py``)
+are licensed by exactly one property: flipping them off changes *nothing*
+observable. Each test here runs the same probe program twice in fresh
+subprocesses — once with kernels (the default), once with
+``REPRO_NO_KERNELS=1`` — and asserts the probe's entire stdout is
+**byte-identical**. Probes cover the QUICK-matrix surfaces named by the
+acceptance criteria:
+
+* full sharded campaigns over the notification scenario in both alert
+  modes and under fault profiles, compared by ``aggregates_json()``;
+* capture trials (total taps, committed/down capture counts and rates);
+* the adaptive attack's mistouch-gap measurement (``Tmis``);
+* complete trace logs (every record: time, source, kind, detail) plus the
+  scheduler's event-accounting counters, which pins event pooling.
+
+Subprocesses — not in-process env flipping — because consumers snapshot
+the kernel switch at construction time by design.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+_DRIVER = r"""
+import sys
+
+import repro.experiments.noise_sensitivity  # registers noise-tmis
+import repro.experiments.scenarios  # registers notification/capture/...
+from repro.experiments.config import QUICK
+from repro.experiments.engine import (
+    AlertMode,
+    ScenarioMatrix,
+    TrialExecutor,
+    TrialSpec,
+    get_scenario,
+)
+from repro.sim.rng import SeededRng
+from repro.users.participant import generate_participants
+
+
+def emit(label, payload):
+    sys.stdout.write("== %s\n%s\n" % (label, payload))
+
+
+probe = sys.argv[1]
+
+if probe == "campaign":
+    from repro.experiments.campaign import run_campaign
+
+    for mode in (AlertMode.ANALYTIC, AlertMode.FRAME):
+        matrix = ScenarioMatrix(
+            name="kernel-diff-%s" % mode.value,
+            scenario="notification",
+            scale=QUICK,
+            configs=({"attacking_window_ms": 100.0, "duration_ms": 1200.0},),
+            fault_profiles=("none", "mild"),
+            trials=2,
+            alert_mode=mode,
+        )
+        result = run_campaign(matrix, shards=2, jobs=1)
+        emit("campaign/%s" % mode.value, result.aggregates_json())
+
+elif probe == "capture":
+    participant = generate_participants(
+        SeededRng(QUICK.seed, "kernel-diff"), 1
+    )[0]
+    executor = TrialExecutor()
+    for window in (75.0, 150.0):
+        for faults in ("none", "mild"):
+            result = executor.run(TrialSpec(
+                scenario="capture",
+                seed=7000 + int(window),
+                faults=faults,
+                params={
+                    "participant": participant,
+                    "attacking_window_ms": window,
+                    "seed": 1234,
+                    "n_chars": 6,
+                },
+            ))
+            emit(
+                "capture/%g/%s" % (window, faults),
+                repr((
+                    result.total_taps,
+                    result.committed_to_overlay,
+                    result.down_seen_by_overlay,
+                    result.cancelled,
+                    result.capture_rate,
+                    result.down_capture_rate,
+                )),
+            )
+
+elif probe == "tmis":
+    executor = TrialExecutor()
+    for faults in ("none", "pixel-loaded"):
+        result = executor.run(TrialSpec(
+            scenario="noise-tmis",
+            seed=99,
+            trace_enabled=True,
+            faults=faults,
+            params={"horizon_ms": 2000.0},
+        ))
+        emit("tmis/%s" % faults, repr(result))
+
+elif probe == "trace":
+    executor = TrialExecutor()
+    for mode in (AlertMode.FRAME, AlertMode.ANALYTIC):
+        for faults in ("none", "mild"):
+            stack = executor.lease(
+                seed=4242, alert_mode=mode, trace_enabled=True, faults=faults
+            )
+            value = get_scenario("notification")(
+                stack, attacking_window_ms=100.0, duration_ms=1200.0
+            )
+            scheduler = stack.simulation.scheduler
+            emit("trace/%s/%s/value" % (mode.value, faults), repr(value))
+            emit(
+                "trace/%s/%s/counters" % (mode.value, faults),
+                repr((
+                    scheduler.scheduled_count,
+                    scheduler.dispatched_count,
+                    scheduler.cancelled_count,
+                    scheduler.pending_count,
+                )),
+            )
+            for record in stack.simulation.trace:
+                sys.stdout.write(
+                    repr((
+                        record.time,
+                        record.source,
+                        record.kind,
+                        sorted(record.detail.items()),
+                    )) + "\n"
+                )
+else:
+    raise SystemExit("unknown probe %r" % probe)
+"""
+
+PROBES = ("campaign", "capture", "tmis", "trace")
+
+
+def _run_arm(probe: str, scalar: bool) -> bytes:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_NO_KERNELS", None)
+    if scalar:
+        env["REPRO_NO_KERNELS"] = "1"
+    proc = subprocess.run(
+        [sys.executable, "-c", _DRIVER, probe],
+        capture_output=True,
+        env=env,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"probe {probe!r} ({'scalar' if scalar else 'kernels'} arm) failed:\n"
+        f"{proc.stderr.decode()[-4000:]}"
+    )
+    return proc.stdout
+
+
+@pytest.mark.parametrize("probe", PROBES)
+def test_kernels_and_scalar_paths_are_byte_identical(probe):
+    kernels = _run_arm(probe, scalar=False)
+    scalar = _run_arm(probe, scalar=True)
+    assert kernels, f"probe {probe!r} produced no output"
+    if kernels != scalar:  # pragma: no cover - diagnostic path
+        k_lines = kernels.decode().splitlines()
+        s_lines = scalar.decode().splitlines()
+        for i, (k, s) in enumerate(zip(k_lines, s_lines)):
+            assert k == s, (
+                f"probe {probe!r} diverges at line {i}:\n"
+                f"  kernels: {k}\n  scalar:  {s}"
+            )
+        raise AssertionError(
+            f"probe {probe!r}: outputs differ in length "
+            f"({len(k_lines)} vs {len(s_lines)} lines)"
+        )
+
+
+def test_kernel_switch_reads_environment(monkeypatch):
+    from repro.sim.framecache import NO_KERNELS_ENV, kernels_enabled
+
+    monkeypatch.delenv(NO_KERNELS_ENV, raising=False)
+    assert kernels_enabled()
+    monkeypatch.setenv(NO_KERNELS_ENV, "1")
+    assert not kernels_enabled()
+    monkeypatch.setenv(NO_KERNELS_ENV, "")
+    assert kernels_enabled()
