@@ -18,7 +18,7 @@ Run:  python examples/payment_hijack.py
 """
 
 from repro import AlertMode, Permission, build_stack
-from repro.attacks import ClickjackingAttack, ContentHidingAttack
+from repro.attacks.clickjacking import ClickjackingAttack, ContentHidingAttack
 from repro.windows import Window, WindowType
 from repro.windows.geometry import Point, Rect
 

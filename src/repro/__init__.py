@@ -42,14 +42,18 @@ from .api import (
     run_experiment,
     run_matrix,
 )
-from .attacks import (
+# Concrete modules, not the ``repro.attacks`` aliases: the top-level
+# names are supported API and must construct without a deprecation
+# warning; only the package-level re-exports are deprecated.
+from .attacks.overlay_attack import (
     DrawAndDestroyOverlayAttack,
-    DrawAndDestroyToastAttack,
     OverlayAttackConfig,
+)
+from .attacks.password_stealing import (
     PasswordStealingAttack,
     PasswordStealingConfig,
-    ToastAttackConfig,
 )
+from .attacks.toast_attack import DrawAndDestroyToastAttack, ToastAttackConfig
 from .defenses import (
     EnhancedNotificationDefense,
     IpcDetector,

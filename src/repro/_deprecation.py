@@ -22,6 +22,13 @@ def reset_deprecation_warnings() -> None:
     _warned.clear()
 
 
+def _warn_once(old_name: str, message: str) -> None:
+    if old_name in _warned:
+        return
+    _warned.add(old_name)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
 def deprecated_entry_point(
     old_name: str, impl: Callable[..., Any], instead: str
 ) -> Callable[..., Any]:
@@ -34,15 +41,34 @@ def deprecated_entry_point(
 
     @functools.wraps(impl)
     def shim(*args: Any, **kwargs: Any) -> Any:
-        if old_name not in _warned:
-            _warned.add(old_name)
-            warnings.warn(
-                f"{old_name}() is deprecated; use {instead} instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
+        _warn_once(old_name,
+                   f"{old_name}() is deprecated; use {instead} instead")
         return impl(*args, **kwargs)
 
     shim.__name__ = old_name
     shim.__qualname__ = old_name
+    return shim
+
+
+def deprecated_class(old_name: str, cls: type, instead: str) -> type:
+    """A subclass of ``cls`` that warns once on construction.
+
+    Used to keep legacy import sites (``from repro.attacks import
+    DrawAndDestroyOverlayAttack``) working while steering new code at the
+    concrete module or the actor registry. The shim *is-a* ``cls``, so
+    instances pass every ``isinstance`` check against the real class and
+    behave identically after the warning.
+    """
+
+    def __init__(self: Any, *args: Any, **kwargs: Any) -> None:
+        _warn_once(old_name,
+                   f"{old_name} is deprecated; use {instead} instead")
+        cls.__init__(self, *args, **kwargs)
+
+    shim = type(cls.__name__, (cls,), {
+        "__init__": __init__,
+        "__doc__": cls.__doc__,
+        "__module__": cls.__module__,
+        "__qualname__": cls.__qualname__,
+    })
     return shim

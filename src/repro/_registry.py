@@ -1,0 +1,82 @@
+"""Generic label registries with consistent error ergonomics.
+
+Every pluggable axis of the suite — scenarios, attacker models, user
+models, alert channels, device models, Android versions — is a flat
+``name -> entry`` mapping populated by decorators at import time. This
+module owns that pattern once: duplicate registrations are rejected
+eagerly, and an unknown label raises a :class:`KeyError` that lists the
+registered labels *and* the nearest match (so a typo like
+``"draw-and-destory"`` points straight at ``"draw-and-destroy"``).
+
+The module is deliberately dependency-free (stdlib only): the scenario
+engine and the device registry import it without creating cycles.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Callable, Dict, Generic, Iterable, List, TypeVar
+
+T = TypeVar("T")
+
+
+def suggest_label(label: str, known: Iterable[str]) -> str:
+    """``" (did you mean 'x'?)"`` for the closest known label, or ``""``.
+
+    Uses difflib's ratio with a forgiving cutoff — registries hold a
+    handful of hand-typed names, so near-misses are almost always typos.
+    """
+    matches = difflib.get_close_matches(label, list(known), n=1, cutoff=0.5)
+    if not matches:
+        return ""
+    return f" (did you mean {matches[0]!r}?)"
+
+
+def unknown_label_error(kind: str, label: str,
+                        known: Iterable[str]) -> KeyError:
+    """The uniform lookup failure: known labels plus the nearest match."""
+    names = sorted(known)
+    listing = ", ".join(names) or "<none>"
+    return KeyError(
+        f"unknown {kind} {label!r}; registered {kind}s: {listing}"
+        f"{suggest_label(label, names)}"
+    )
+
+
+class Registry(Generic[T]):
+    """One named axis of pluggable entries.
+
+    Mirrors the ``@scenario`` idiom: ``register(name)`` is a decorator,
+    duplicate names raise :class:`ValueError` at import time, and
+    :meth:`get` raises the suggesting :func:`unknown_label_error`.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    def register(self, name: str) -> Callable[[T], T]:
+        def add(entry: T) -> T:
+            if name in self._entries:
+                raise ValueError(
+                    f"{self.kind} {name!r} is already registered")
+            self._entries[name] = entry
+            return entry
+
+        return add
+
+    def get(self, name: str) -> T:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise unknown_label_error(self.kind, name, self._entries) \
+                from None
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

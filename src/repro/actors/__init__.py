@@ -1,0 +1,43 @@
+"""Pluggable actor layer: attacker, user, and alert-channel models.
+
+The trial engine resolves ``TrialSpec.attacker`` / ``TrialSpec.user``
+labels through the registries exported here; scenarios receive the
+resolved model objects and drive them through the abstract contracts in
+:mod:`repro.actors.base`.
+"""
+
+from .base import (
+    ActorSession,
+    ActorTap,
+    AlertChannelModel,
+    AttackerModel,
+    Percept,
+    UserAction,
+    UserModel,
+)
+from .registry import Registry, suggest_label, unknown_label_error
+from .attackers import attacker, attacker_names, get_attacker
+from .channels import channel, channel_names, get_channel
+from .users import get_user, user, user_names
+
+__all__ = [
+    "ActorSession",
+    "ActorTap",
+    "AlertChannelModel",
+    "AttackerModel",
+    "Percept",
+    "Registry",
+    "UserAction",
+    "UserModel",
+    "attacker",
+    "attacker_names",
+    "channel",
+    "channel_names",
+    "get_attacker",
+    "get_channel",
+    "get_user",
+    "suggest_label",
+    "unknown_label_error",
+    "user",
+    "user_names",
+]

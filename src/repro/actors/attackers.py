@@ -1,0 +1,199 @@
+"""Registered attacker models wrapping the concrete attack classes.
+
+Each model turns one attack family into a sweepable label: the trial
+engine resolves ``TrialSpec.attacker`` through :func:`get_attacker` and
+hands the model to the scenario, which calls ``launch(stack, **params)``
+with the cell's merged config. Models pick out the knobs they
+understand and ignore the rest (``**_``), so one matrix can sweep an
+``attackers`` axis across models with different parameter sets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..apps.keyboard import default_keyboard_rect
+from ..attacks.clickjacking import ClickjackingAttack
+from ..attacks.flooding import (
+    FloodingConfig,
+    NotificationFloodingAttack,
+)
+from ..attacks.overlay_attack import (
+    DrawAndDestroyOverlayAttack,
+    OverlayAttackConfig,
+)
+from ..attacks.password_stealing import PasswordStealingAttack
+from ..attacks.toast_attack import DrawAndDestroyToastAttack, ToastAttackConfig
+from ..stack import AndroidStack
+from ..toast.toast import TOAST_LENGTH_LONG_MS
+from ..windows.geometry import Rect
+from ..windows.permissions import Permission
+from .base import AttackerModel
+from .registry import Registry
+
+_ATTACKERS: Registry[AttackerModel] = Registry("attacker")
+
+
+def attacker(name: str) -> Callable[[type], type]:
+    """Register an :class:`AttackerModel` subclass under ``name``.
+
+    Mirrors ``@scenario``: applied at class definition time, instantiates
+    the (stateless) model once and files it in the registry.
+    """
+
+    def register(cls: type) -> type:
+        model = cls()
+        model.name = name
+        _ATTACKERS.register(name)(model)
+        return cls
+
+    return register
+
+
+def get_attacker(name: str) -> AttackerModel:
+    return _ATTACKERS.get(name)
+
+
+def attacker_names() -> List[str]:
+    return _ATTACKERS.names()
+
+
+def _default_window_ms(stack: AndroidStack) -> float:
+    """The device-aware default D: just under the published Λ1 bound."""
+    return max(20.0, stack.profile.published_upper_bound_d - 10.0)
+
+
+@attacker("draw-and-destroy")
+class DrawAndDestroyAttacker(AttackerModel):
+    """The paper's Section III overlay attack, racing the alert slide-in."""
+
+    def launch(self, stack: AndroidStack, *,
+               attacking_window_ms: Optional[float] = None,
+               adaptive: bool = False,
+               overlay_rect: Optional[Rect] = None,
+               remove_then_add: bool = True,
+               **_: Any) -> DrawAndDestroyOverlayAttack:
+        attack = DrawAndDestroyOverlayAttack(
+            stack,
+            OverlayAttackConfig(
+                attacking_window_ms=(attacking_window_ms
+                                     if attacking_window_ms is not None
+                                     else _default_window_ms(stack)),
+                adaptive=adaptive,
+                overlay_rect=overlay_rect,
+                remove_then_add=remove_then_add,
+            ),
+        )
+        stack.permissions.grant(attack.package,
+                                Permission.SYSTEM_ALERT_WINDOW)
+        attack.start()
+        return attack
+
+    def withdraw(self, handle: DrawAndDestroyOverlayAttack) -> None:
+        handle.stop()
+
+
+@attacker("draw-and-destroy-toast")
+class DrawAndDestroyToastAttacker(AttackerModel):
+    """The Section IV toast attack: a customized toast that never fades."""
+
+    def launch(self, stack: AndroidStack, *,
+               toast_rect: Optional[Rect] = None,
+               toast_duration_ms: float = TOAST_LENGTH_LONG_MS,
+               toast_content: Any = "fake-keyboard",
+               **_: Any) -> DrawAndDestroyToastAttack:
+        rect = toast_rect or default_keyboard_rect(
+            stack.profile.screen_width_px, stack.profile.screen_height_px)
+        attack = DrawAndDestroyToastAttack(
+            stack,
+            ToastAttackConfig(rect=rect, duration_ms=toast_duration_ms),
+            content_provider=lambda: toast_content,
+        )
+        attack.start()
+        return attack
+
+    def withdraw(self, handle: DrawAndDestroyToastAttack) -> None:
+        handle.stop()
+
+
+@attacker("clickjacking")
+class ClickjackingAttacker(AttackerModel):
+    """The NOT_TOUCHABLE decoy variant: taps fall through to the victim."""
+
+    def launch(self, stack: AndroidStack, *,
+               decoy_rect: Optional[Rect] = None,
+               decoy_content: Any = "decoy",
+               attacking_window_ms: Optional[float] = None,
+               **_: Any) -> ClickjackingAttack:
+        width = stack.profile.screen_width_px
+        height = stack.profile.screen_height_px
+        rect = decoy_rect or Rect(
+            width * 0.25, height * 0.4, width * 0.75, height * 0.6)
+        attack = ClickjackingAttack(
+            stack, rect, decoy_content=decoy_content,
+            attacking_window_ms=attacking_window_ms,
+        )
+        stack.permissions.grant(attack.package,
+                                Permission.SYSTEM_ALERT_WINDOW)
+        attack.start()
+        return attack
+
+    def withdraw(self, handle: ClickjackingAttack) -> None:
+        handle.stop()
+
+
+@attacker("password-stealing")
+class PasswordStealingAttacker(AttackerModel):
+    """The Section V composition: fake keyboard over the real one.
+
+    Needs the victim-side wiring (accessibility bus, victim app,
+    keyboard spec) in ``params`` — the password scenario owns those
+    objects, the model only assembles and arms the attack.
+    """
+
+    def launch(self, stack: AndroidStack, *, bus: Any, victim: Any,
+               keyboard_spec: Any, attack_config: Any = None,
+               **_: Any) -> PasswordStealingAttack:
+        attack = PasswordStealingAttack(
+            stack, bus, victim, keyboard_spec, config=attack_config)
+        stack.permissions.grant(attack.package,
+                                Permission.SYSTEM_ALERT_WINDOW)
+        attack.arm()
+        return attack
+
+    def withdraw(self, handle: PasswordStealingAttack) -> None:
+        if not handle.finished:
+            handle.finish()
+
+
+@attacker("notification-flooding")
+class NotificationFloodingAttacker(AttackerModel):
+    """Channel saturation instead of animation racing (Knock-Knock).
+
+    One persistent overlay (the alert completes — Λ5), then a stream of
+    junk notifications buries it below the drawer fold. Issues a single
+    ``addView``, so the pairing-based IPC detector never fires.
+    """
+
+    def launch(self, stack: AndroidStack, *,
+               flood_interval_ms: float = 150.0,
+               flood_count: int = 0,
+               first_post_delay_ms: float = 50.0,
+               overlay_rect: Optional[Rect] = None,
+               **_: Any) -> NotificationFloodingAttack:
+        attack = NotificationFloodingAttack(
+            stack,
+            FloodingConfig(
+                flood_interval_ms=flood_interval_ms,
+                flood_count=flood_count,
+                first_post_delay_ms=first_post_delay_ms,
+                overlay_rect=overlay_rect,
+            ),
+        )
+        stack.permissions.grant(attack.package,
+                                Permission.SYSTEM_ALERT_WINDOW)
+        attack.start()
+        return attack
+
+    def withdraw(self, handle: NotificationFloodingAttack) -> None:
+        handle.stop()

@@ -1,0 +1,272 @@
+"""Actor protocols: attacker, user, and alert-channel behavior models.
+
+The paper's result is that one primitive (draw-and-destroy racing an
+animation window) generalizes across UI channels; this layer makes the
+*behaviors* around that primitive pluggable the same way scenarios are:
+
+* an :class:`AttackerModel` builds an attack instance on a booted stack
+  and controls its lifecycle (``launch``/``withdraw``);
+* a :class:`UserModel` produces the victim's input under an explicit
+  ``perceive -> decide -> act`` step contract, so a stochastic human
+  thumb and a screenshot-then-click GUI agent are the same kind of
+  object with different latencies between the three steps;
+* an :class:`AlertChannelModel` wraps one alert surface (notification
+  drawer, toast layer) so channel saturation and occlusion are
+  first-class measurements instead of ad-hoc SystemUi queries.
+
+Concrete models register in :mod:`repro.actors.attackers`,
+:mod:`repro.actors.users` and :mod:`repro.actors.channels`; the trial
+engine resolves ``TrialSpec.attacker`` / ``TrialSpec.user`` labels
+through those registries and hands the model objects to the scenario.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from ..apps.keyboard import KeyboardSpec, KeyPress, plan_key_sequence
+from ..sim.process import SimProcess
+from ..stack import AndroidStack
+from ..windows.geometry import Point, Rect
+from ..windows.touch import TapRecord
+
+
+class AttackerModel(abc.ABC):
+    """Builds and drives one attack instance against a booted stack.
+
+    A model is *stateless configuration*; :meth:`launch` binds it to a
+    stack (granting whatever permissions the attack needs) and returns a
+    handle — usually the underlying attack ``App`` — that the model's
+    ``withdraw`` tears down again. One model instance may launch on many
+    stacks over its life (the executor reuses models across trials).
+    """
+
+    #: Registry label, set by the ``@attacker`` decorator.
+    name: str = ""
+
+    @abc.abstractmethod
+    def launch(self, stack: AndroidStack, **params: Any) -> Any:
+        """Create, permission, and start the attack; return its handle.
+
+        ``params`` carries the sweep's merged cell config. Models must
+        tolerate (and ignore) keys addressed to other models, so one
+        matrix can sweep an ``attackers`` axis over models with
+        different knobs.
+        """
+
+    @abc.abstractmethod
+    def withdraw(self, handle: Any) -> None:
+        """Stop the attack behind ``handle`` (idempotent)."""
+
+
+# ---------------------------------------------------------------------------
+# User models: the perceive -> decide -> act contract
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Percept:
+    """What the user saw when they looked at the screen.
+
+    For a human this is effectively instantaneous; for a GUI agent it is
+    a *screenshot* — by the time the decided action lands, the screen may
+    have changed (the TOCTOU window the draw-and-destroy primitive
+    exploits a second time).
+    """
+
+    time: float
+    press: KeyPress
+    key_rect: Rect
+    #: Owner of the topmost touchable window over the key at perceive
+    #: time (None when nothing intercepts).
+    top_owner: Optional[str]
+
+
+@dataclass(frozen=True)
+class UserAction:
+    """The decided response to one percept."""
+
+    #: Perceive-to-act latency (ms): reaction + planning + motor time for
+    #: a human, screenshot + inference + click dispatch for an agent.
+    delay_ms: float
+    #: Where the tap lands (aimed off the *percept*, not the live screen).
+    point: Point
+    #: Gesture commit latency handed to the touch pipeline.
+    commit_ms: float
+
+
+@dataclass
+class ActorTap:
+    """One executed user action joined with its dispatch outcome."""
+
+    percept: Percept
+    action: UserAction
+    tap: TapRecord
+    #: Age of the percept when the tap landed (== action.delay_ms).
+    percept_age_ms: float
+    #: True when the topmost window changed between perceive and act —
+    #: the action was decided against a stale screen.
+    stale: bool
+
+
+@dataclass
+class ActorSession:
+    """The full record of one user-model input session."""
+
+    text: str
+    presses: List[KeyPress]
+    taps: List[ActorTap] = field(default_factory=list)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.finished_at is not None
+
+    def captured_by(self, package: str) -> int:
+        """Taps whose ACTION_DOWN landed on ``package``'s window."""
+        return sum(1 for t in self.taps if t.tap.target_owner == package)
+
+    @property
+    def stale_count(self) -> int:
+        return sum(1 for t in self.taps if t.stale)
+
+    @property
+    def mean_percept_age_ms(self) -> float:
+        if not self.taps:
+            return 0.0
+        return sum(t.percept_age_ms for t in self.taps) / len(self.taps)
+
+
+class UserModel(abc.ABC):
+    """A victim input behavior under the perceive/decide/act contract.
+
+    :meth:`type_text` is the generic driver: it walks the planned key
+    sequence, calling :meth:`perceive` then :meth:`decide` for each
+    press and dispatching the tap ``delay_ms`` later. Subclasses supply
+    only the two cognitive steps; the motor step (the tap itself) is
+    identical for every model — whatever window is topmost *at act time*
+    receives it, exactly as the window system dictates.
+    """
+
+    #: Registry label, set by the ``@user`` decorator.
+    name: str = ""
+
+    @abc.abstractmethod
+    def perceive(self, stack: AndroidStack, spec: KeyboardSpec,
+                 press: KeyPress, rng: Any) -> Percept:
+        """Look at the screen: locate the key, note what covers it."""
+
+    @abc.abstractmethod
+    def decide(self, stack: AndroidStack, percept: Percept,
+               rng: Any) -> UserAction:
+        """Turn a percept into a delayed, aimed, committed tap."""
+
+    # ------------------------------------------------------------------
+    def type_text(
+        self,
+        stack: AndroidStack,
+        spec: KeyboardSpec,
+        text: str,
+        start_layout: str = "lower",
+        initial_delay_ms: float = 0.0,
+    ) -> ActorSession:
+        """Type ``text`` through the step contract; returns immediately,
+        drive the simulation until ``session.complete``."""
+        presses = plan_key_sequence(spec, text, start_layout)
+        driver = _UserDriver(stack, self, spec,
+                             ActorSession(text=text, presses=presses))
+        driver.begin(initial_delay_ms)
+        return driver.session
+
+    @staticmethod
+    def top_owner_at(stack: AndroidStack, point: Point) -> Optional[str]:
+        """Owner of the topmost touchable window over ``point`` now."""
+        window = stack.screen.topmost_touchable_at(point)
+        return window.owner if window is not None else None
+
+
+class _UserDriver(SimProcess):
+    """Schedules one session's perceive/decide/act steps on the clock."""
+
+    def __init__(self, stack: AndroidStack, model: UserModel,
+                 spec: KeyboardSpec, session: ActorSession) -> None:
+        super().__init__(stack.simulation, f"user:{model.name or 'model'}")
+        self.stack = stack
+        self.model = model
+        self.spec = spec
+        self.session = session
+
+    def begin(self, initial_delay_ms: float) -> None:
+        if not self.session.presses:
+            self.schedule(initial_delay_ms, self._finish, name="user-done")
+            return
+        self.schedule(initial_delay_ms, lambda: self._step(0),
+                      name="user-perceive")
+
+    # ------------------------------------------------------------------
+    def _step(self, index: int) -> None:
+        if self.session.started_at is None:
+            self.session.started_at = self.now
+        percept = self.model.perceive(
+            self.stack, self.spec, self.session.presses[index], self.rng)
+        action = self.model.decide(self.stack, percept, self.rng)
+        self.schedule(action.delay_ms,
+                      lambda: self._act(index, percept, action),
+                      name="user-act")
+
+    def _act(self, index: int, percept: Percept, action: UserAction) -> None:
+        owner_now = UserModel.top_owner_at(self.stack, action.point)
+        tap = self.stack.touch.tap(action.point, commit_ms=action.commit_ms)
+        self.session.taps.append(ActorTap(
+            percept=percept,
+            action=action,
+            tap=tap,
+            percept_age_ms=self.now - percept.time,
+            stale=owner_now != percept.top_owner,
+        ))
+        if index + 1 < len(self.session.presses):
+            self._step(index + 1)
+        else:
+            # Let the last gesture commit before declaring completion.
+            self.schedule(action.commit_ms + 1.0, self._finish,
+                          name="user-done")
+
+    def _finish(self) -> None:
+        if self.session.started_at is None:
+            self.session.started_at = self.now
+        self.session.finished_at = self.now
+
+
+# ---------------------------------------------------------------------------
+# Alert channels
+# ---------------------------------------------------------------------------
+
+class AlertChannelModel(abc.ABC):
+    """One alert surface the system can warn the user through.
+
+    The draw-and-destroy attack defeats the notification channel by
+    racing its animation; the flooding attack defeats it by *saturating*
+    it. A channel model makes both failure modes measurable with the
+    same three questions: how many distinct alerts fit, how full is the
+    surface, and would this user actually notice this app's alert.
+    """
+
+    #: Registry label, set by the ``@channel`` decorator.
+    name: str = ""
+
+    @abc.abstractmethod
+    def capacity(self, stack: AndroidStack) -> int:
+        """Distinct alerts the surface can present at once."""
+
+    @abc.abstractmethod
+    def saturation(self, stack: AndroidStack,
+                   as_of: Optional[float] = None) -> float:
+        """Fraction of the surface currently consumed (can exceed 1)."""
+
+    @abc.abstractmethod
+    def alert_conspicuous(self, stack: AndroidStack, app: str,
+                          perception: Any,
+                          as_of: Optional[float] = None) -> bool:
+        """Would a user with ``perception`` notice ``app``'s alert?"""

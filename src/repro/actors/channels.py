@@ -1,0 +1,103 @@
+"""Registered alert channels: the surfaces a warning can reach a user on.
+
+The paper's defense discussion assumes the overlay-presence alert is
+*deliverable* — that an alert which survives the animation race will be
+seen. A channel model makes that assumption explicit and testable:
+
+* ``notification-drawer`` — the status-bar/drawer surface the
+  overlay-presence alert lives on. Capacity is the status bar's icon
+  slots; saturation is how deep the drawer is stacked; an alert is
+  conspicuous only if the user's perception thresholds are met *and*
+  junk posts have not pushed it below the fold (the flooding attack's
+  failure mode).
+* ``toast`` — the toast layer. Capacity is one (a single toast surface
+  is visible at a time); saturation is the combined toast opacity on
+  screen; an app's toast is conspicuous while it is the one showing at
+  perceptible opacity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..stack import AndroidStack
+from ..systemui.system_ui import STATUS_BAR_ICON_SLOTS
+from ..users.perception import PerceptionModel
+from .base import AlertChannelModel
+from .registry import Registry
+
+_CHANNELS: Registry[AlertChannelModel] = Registry("channel")
+
+
+def channel(name: str) -> Callable[[type], type]:
+    """Register an :class:`AlertChannelModel` subclass under ``name``."""
+
+    def register(cls: type) -> type:
+        model = cls()
+        model.name = name
+        _CHANNELS.register(name)(model)
+        return cls
+
+    return register
+
+
+def get_channel(name: str) -> AlertChannelModel:
+    return _CHANNELS.get(name)
+
+
+def channel_names() -> List[str]:
+    return _CHANNELS.names()
+
+
+@channel("notification-drawer")
+class NotificationDrawerChannel(AlertChannelModel):
+    """The status bar + drawer surface the overlay-presence alert uses."""
+
+    def capacity(self, stack: AndroidStack) -> int:
+        return STATUS_BAR_ICON_SLOTS
+
+    def saturation(self, stack: AndroidStack,
+                   as_of: Optional[float] = None) -> float:
+        posted = stack.system_ui.posted_count(as_of=as_of)
+        return posted / STATUS_BAR_ICON_SLOTS
+
+    def alert_conspicuous(self, stack: AndroidStack, app: str,
+                          perception: PerceptionModel,
+                          as_of: Optional[float] = None) -> bool:
+        """Perceptible *and* still within the visible drawer region.
+
+        Draw-and-destroy defeats the first conjunct (the alert never
+        accrues visible time); flooding defeats the second (the alert is
+        fully drawn but buried).
+        """
+        if not perception.notices_alert(stack.system_ui, as_of=as_of):
+            return False
+        return not stack.system_ui.alert_occluded(app, as_of=as_of)
+
+
+@channel("toast")
+class ToastChannel(AlertChannelModel):
+    """The toast layer as an alert surface."""
+
+    def capacity(self, stack: AndroidStack) -> int:
+        return 1
+
+    def saturation(self, stack: AndroidStack,
+                   as_of: Optional[float] = None) -> float:
+        time = stack.simulation.now if as_of is None else as_of
+        return stack.notification_manager.coverage_at(time)
+
+    def alert_conspicuous(self, stack: AndroidStack, app: str,
+                          perception: PerceptionModel,
+                          as_of: Optional[float] = None) -> bool:
+        """Is ``app``'s toast the one currently showing, visibly?
+
+        A toast below the perception model's flicker-coverage threshold
+        reads as background, not as an alert.
+        """
+        time = stack.simulation.now if as_of is None else as_of
+        current = stack.notification_manager.current_toast
+        if current is None or current.owner != app:
+            return False
+        coverage = stack.notification_manager.coverage_at(time, current.rect)
+        return coverage >= perception.flicker_coverage_threshold

@@ -1,0 +1,140 @@
+"""Registered user models: the victims typing under attack.
+
+Two behaviors ship:
+
+* ``stochastic-human`` — the paper's participant model re-expressed
+  under the perceive/decide/act contract: perception is effectively
+  instantaneous, the delay between steps is the inter-key typing
+  interval, and aim/commit noise come from the same
+  :class:`~repro.users.models.TouchModel` the pinned scenarios use.
+* ``gui-agent`` — a screenshot-then-click GUI automation agent
+  (arXiv:2604.18860 regime): it perceives by taking a screenshot, then
+  spends hundreds of milliseconds of inference before the click lands.
+  Its percepts are *stale* by design — a long, predictable
+  perceive-to-act gap that gives a draw-and-destroy attacker a new,
+  much wider timing window than a human thumb ever would.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..apps.keyboard import KeyboardSpec, KeyPress
+from ..sim.rng import SeededRng
+from ..stack import AndroidStack
+from ..users.models import TouchModel, TypingModel
+from ..windows.geometry import Point
+from .base import Percept, UserAction, UserModel
+from .registry import Registry
+
+_USERS: Registry[UserModel] = Registry("user")
+
+
+def user(name: str) -> Callable[[type], type]:
+    """Register a :class:`UserModel` subclass under ``name``.
+
+    Mirrors ``@scenario``/``@attacker``: instantiates the model once at
+    class definition time and files it in the registry.
+    """
+
+    def register(cls: type) -> type:
+        model = cls()
+        model.name = name
+        _USERS.register(name)(model)
+        return cls
+
+    return register
+
+
+def get_user(name: str) -> UserModel:
+    return _USERS.get(name)
+
+
+def user_names() -> List[str]:
+    return _USERS.names()
+
+
+def _percept_now(stack: AndroidStack, spec: KeyboardSpec,
+                 press: KeyPress) -> Percept:
+    """Snapshot the key's rect and the window currently covering it."""
+    key_rect = spec.layout(press.layout).keys[press.key]
+    return Percept(
+        time=stack.simulation.now,
+        press=press,
+        key_rect=key_rect,
+        top_owner=UserModel.top_owner_at(stack, key_rect.center),
+    )
+
+
+@user("stochastic-human")
+class StochasticHumanUser(UserModel):
+    """The paper's participant behavior under the step contract.
+
+    Perception is treated as free (humans track the key they are about
+    to hit continuously); the perceive-to-act delay *is* the inter-key
+    typing interval, so percepts are at most one keystroke stale.
+    """
+
+    def __init__(self,
+                 typing_model: TypingModel = TypingModel(),
+                 touch_model: TouchModel = TouchModel()) -> None:
+        self.typing_model = typing_model
+        self.touch_model = touch_model
+
+    def perceive(self, stack: AndroidStack, spec: KeyboardSpec,
+                 press: KeyPress, rng: SeededRng) -> Percept:
+        return _percept_now(stack, spec, press)
+
+    def decide(self, stack: AndroidStack, percept: Percept,
+               rng: SeededRng) -> UserAction:
+        return UserAction(
+            delay_ms=self.typing_model.next_interval(rng),
+            point=self.touch_model.aim_at(rng, percept.key_rect),
+            commit_ms=self.touch_model.commit_latency(rng),
+        )
+
+
+@user("gui-agent")
+class GuiAgentUser(UserModel):
+    """A screenshot-then-click agent driving the victim UI.
+
+    The agent's loop is screenshot -> model inference -> dispatched
+    click. The screenshot freezes the screen state inside the percept;
+    everything it decides is aimed at that frozen frame. Against
+    draw-and-destroy this *inverts* the timing problem: the attacker no
+    longer needs to fit inside a ~10 ms animation race — any overlay
+    swap inside the agent's inference window (hundreds of ms) lands a
+    click meant for the frame before it.
+    """
+
+    #: Screenshot capture + encode cost (ms), paid before inference.
+    screenshot_ms: float = 45.0
+    #: Model inference latency distribution (ms).
+    inference_mean_ms: float = 600.0
+    inference_std_ms: float = 200.0
+    inference_min_ms: float = 250.0
+    #: Synthetic click dispatch: tight aim, fixed short commit.
+    aim_sigma_px: float = 1.5
+    commit_ms: float = 8.0
+
+    def perceive(self, stack: AndroidStack, spec: KeyboardSpec,
+                 press: KeyPress, rng: SeededRng) -> Percept:
+        return _percept_now(stack, spec, press)
+
+    def decide(self, stack: AndroidStack, percept: Percept,
+               rng: SeededRng) -> UserAction:
+        center = percept.key_rect.center
+        point = Point(
+            rng.gauss_clipped(center.x, self.aim_sigma_px,
+                              percept.key_rect.left + 1.0,
+                              percept.key_rect.right - 1.0),
+            rng.gauss_clipped(center.y, self.aim_sigma_px,
+                              percept.key_rect.top + 1.0,
+                              percept.key_rect.bottom - 1.0),
+        )
+        latency = self.screenshot_ms + rng.gauss_clipped(
+            self.inference_mean_ms, self.inference_std_ms,
+            minimum=self.inference_min_ms,
+        )
+        return UserAction(delay_ms=latency, point=point,
+                          commit_ms=self.commit_ms)

@@ -6,33 +6,47 @@
   indefinitely by exploiting the fade-out animation (Section IV);
 * :class:`PasswordStealingAttack` — composes both into a fake-keyboard
   password theft (Section V);
+* :class:`NotificationFloodingAttack` — saturates the notification
+  channel instead of racing its animation (Knock-Knock style);
 * the analytical timing model (Eqs. 1–3) and the empirical Λ1-boundary
   finder behind Table II.
+
+The attack *classes* re-exported here are deprecated aliases: construct
+them via their concrete modules (``repro.attacks.overlay_attack`` etc.)
+or, better, through the actor registry
+(``repro.actors.get_attacker("draw-and-destroy")``), which owns
+permissioning and lifecycle. The aliases warn once per process and then
+behave identically — they are true subclasses of the real classes.
 """
 
-from .clickjacking import (
-    ClickjackingAttack,
-    ClickjackRecord,
-    ContentHidingAttack,
-)
+from .._deprecation import deprecated_class
+from .clickjacking import ClickjackRecord
+from .clickjacking import ClickjackingAttack as _ClickjackingAttack
+from .clickjacking import ContentHidingAttack as _ContentHidingAttack
 from .device_probe import DeviceProber, MIN_USEFUL_WINDOW_MS, ProbeResult
 from .fake_keyboard import FakeKeyboard, FakeKeyboardFrame
+from .flooding import (
+    FLOOD_PACKAGE,
+    FloodingConfig,
+    FloodingStats,
+    NotificationFloodingAttack,
+)
 from .key_inference import InferredKey, KeyInference, infer_offline, reconstruct_text
 from .overlay_attack import (
     CapturedTouch,
-    DrawAndDestroyOverlayAttack,
     MALWARE_PACKAGE,
     OverlayAttackConfig,
     OverlayAttackStats,
 )
+from .overlay_attack import DrawAndDestroyOverlayAttack as _DrawAndDestroyOverlayAttack
 from .password_stealing import (
     PASSWORD_MALWARE_PACKAGE,
     PasswordAttackResult,
     PasswordErrorType,
-    PasswordStealingAttack,
     PasswordStealingConfig,
     classify_password_attempt,
 )
+from .password_stealing import PasswordStealingAttack as _PasswordStealingAttack
 from .timing_channels import SideChannelConfig, UiStateSideChannel
 from .timing import (
     BoundarySearchResult,
@@ -45,9 +59,39 @@ from .timing import (
     upper_bound_d_for_profile,
 )
 from .toast_attack import (
-    DrawAndDestroyToastAttack,
     TOAST_MALWARE_PACKAGE,
     ToastAttackConfig,
+)
+from .toast_attack import DrawAndDestroyToastAttack as _DrawAndDestroyToastAttack
+
+DrawAndDestroyOverlayAttack = deprecated_class(
+    "repro.attacks.DrawAndDestroyOverlayAttack",
+    _DrawAndDestroyOverlayAttack,
+    "repro.attacks.overlay_attack.DrawAndDestroyOverlayAttack "
+    "(or repro.actors.get_attacker('draw-and-destroy'))",
+)
+DrawAndDestroyToastAttack = deprecated_class(
+    "repro.attacks.DrawAndDestroyToastAttack",
+    _DrawAndDestroyToastAttack,
+    "repro.attacks.toast_attack.DrawAndDestroyToastAttack "
+    "(or repro.actors.get_attacker('draw-and-destroy-toast'))",
+)
+PasswordStealingAttack = deprecated_class(
+    "repro.attacks.PasswordStealingAttack",
+    _PasswordStealingAttack,
+    "repro.attacks.password_stealing.PasswordStealingAttack "
+    "(or repro.actors.get_attacker('password-stealing'))",
+)
+ClickjackingAttack = deprecated_class(
+    "repro.attacks.ClickjackingAttack",
+    _ClickjackingAttack,
+    "repro.attacks.clickjacking.ClickjackingAttack "
+    "(or repro.actors.get_attacker('clickjacking'))",
+)
+ContentHidingAttack = deprecated_class(
+    "repro.attacks.ContentHidingAttack",
+    _ContentHidingAttack,
+    "repro.attacks.clickjacking.ContentHidingAttack",
 )
 
 __all__ = [
@@ -61,12 +105,16 @@ __all__ = [
     "ProbeResult",
     "DrawAndDestroyOverlayAttack",
     "DrawAndDestroyToastAttack",
+    "FLOOD_PACKAGE",
     "FakeKeyboard",
     "FakeKeyboardFrame",
+    "FloodingConfig",
+    "FloodingStats",
     "InferredKey",
     "KeyInference",
     "MALWARE_PACKAGE",
     "MistouchEstimate",
+    "NotificationFloodingAttack",
     "OverlayAttackConfig",
     "OverlayAttackStats",
     "PASSWORD_MALWARE_PACKAGE",

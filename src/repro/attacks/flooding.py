@@ -1,0 +1,171 @@
+"""The notification-flooding attack (Knock-Knock style channel saturation).
+
+Where the draw-and-destroy overlay attack *races* the overlay-presence
+alert's slide-in animation, this attack concedes the race entirely: it
+adds **one persistent overlay** — the alert animates to completion, a
+clean Λ5 — and instead saturates the notification channel with junk
+posts so the alert drowns. With :data:`~repro.systemui.system_ui.
+STATUS_BAR_ICON_SLOTS` newer notifications above it, the alert's icon
+falls off the status bar and its drawer row sits below the fold.
+
+The defense-evaluation point: the IPC detector keys on paired
+``addView``/``removeView`` cycling. This attack issues exactly one
+``addView`` over its whole run, so the detector's recall against it is
+structurally zero — the channel, not the animation, is the weak link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..apps.app import App
+from ..apps.threads import WorkerTimer
+from ..stack import AndroidStack
+from ..windows.geometry import Point, Rect
+from ..windows.permissions import Permission
+from ..windows.system_server import SYSTEM_UI
+from ..windows.types import WindowFlags, WindowType
+from ..windows.window import Window
+from .overlay_attack import CapturedTouch
+
+FLOOD_PACKAGE = "com.example.newsburst"
+
+
+@dataclass(kw_only=True)
+class FloodingConfig:
+    """Parameters of one notification-flooding run."""
+
+    #: Interval between successive junk posts (ms).
+    flood_interval_ms: float = 150.0
+    #: Posts to issue before going quiet (0 = flood until stopped).
+    flood_count: int = 0
+    #: Area covered by the persistent overlay (default: whole screen).
+    overlay_rect: Optional[Rect] = None
+    #: Delay between the overlay going up and the first junk post (ms).
+    #: Posting *after* the alert starts is what buries it.
+    first_post_delay_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.flood_interval_ms <= 0:
+            raise ValueError(
+                f"flood interval must be positive, got {self.flood_interval_ms}")
+        if self.flood_count < 0:
+            raise ValueError(
+                f"flood_count must be >= 0, got {self.flood_count}")
+        if self.first_post_delay_ms < 0:
+            raise ValueError(
+                f"first_post_delay_ms must be >= 0, got {self.first_post_delay_ms}")
+
+
+@dataclass
+class FloodingStats:
+    """Counters accumulated over one flooding run."""
+
+    posts_sent: int = 0
+    touches_captured: List[CapturedTouch] = field(default_factory=list)
+
+    @property
+    def captured_count(self) -> int:
+        return len(self.touches_captured)
+
+
+class NotificationFloodingAttack(App):
+    """A malicious app burying the overlay alert under junk notifications."""
+
+    def __init__(
+        self,
+        stack: AndroidStack,
+        config: Optional[FloodingConfig] = None,
+        package: str = FLOOD_PACKAGE,
+        on_captured: Optional[Callable[[CapturedTouch], None]] = None,
+        process_name: str = "",
+    ) -> None:
+        super().__init__(
+            stack, package, label="notification flooding",
+            process_name=process_name,
+        )
+        self.config = config or FloodingConfig()
+        self.stats = FloodingStats()
+        self.on_captured = on_captured
+        rect = self.config.overlay_rect or Rect(
+            0, 0, stack.profile.screen_width_px, stack.profile.screen_height_px
+        )
+        self._overlay = Window(
+            owner=package,
+            window_type=WindowType.APPLICATION_OVERLAY,
+            rect=rect,
+            flags=WindowFlags.TRANSPARENT,
+            alpha=0.0,
+            on_touch=self._on_touch,
+            label=f"{package}:overlay",
+        )
+        self._worker: Optional[WorkerTimer] = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def overlay(self) -> Window:
+        return self._overlay
+
+    def start(self) -> None:
+        """Add the persistent overlay, then open the flood."""
+        if self._running:
+            return
+        self.stack.permissions.require(self.package,
+                                       Permission.SYSTEM_ALERT_WINDOW)
+        self._running = True
+        overlay = self._overlay
+        self.main_thread.post(lambda: self.add_view(overlay),
+                              name="persistent-add")
+        self._worker = WorkerTimer(
+            self.simulation,
+            f"{self.package}.flooder-{id(self)}",
+            period_ms=self.config.flood_interval_ms,
+            on_tick=self._on_flood_tick,
+        )
+        self._worker.start(initial_delay_ms=self.config.first_post_delay_ms)
+        self.trace("attack.flooding_started",
+                   interval_ms=self.config.flood_interval_ms)
+
+    def stop(self) -> None:
+        """End the flood and take the overlay down."""
+        if not self._running:
+            return
+        self._running = False
+        if self._worker is not None:
+            self._worker.stop()
+        overlay = self._overlay
+        self.main_thread.post(lambda: self.remove_view(overlay),
+                              name="final-remove")
+        self.trace("attack.flooding_stopped", posts=self.stats.posts_sent)
+
+    # ------------------------------------------------------------------
+    def _on_flood_tick(self, tick: int) -> None:
+        if not self._running:
+            return
+        if self.config.flood_count and \
+                self.stats.posts_sent >= self.config.flood_count:
+            if self._worker is not None:
+                self._worker.stop()
+            return
+        self.stats.posts_sent += 1
+        self.stack.router.transact(
+            sender=self.package,
+            receiver=SYSTEM_UI,
+            method="postNotification",
+            payload={"package": f"{self.package}.feed{self.stats.posts_sent}"},
+            latency_ms=self.stack.profile.tam.sample(self.rng),
+        )
+
+    def _on_touch(self, window: Window, point: Point, time: float) -> None:
+        captured = CapturedTouch(time=time, point=point,
+                                 overlay_label=window.label)
+        self.stats.touches_captured.append(captured)
+        self.trace("attack.touch_captured", x=point.x, y=point.y)
+        if self.on_captured is not None:
+            self.on_captured(captured)

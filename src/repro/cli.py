@@ -29,12 +29,11 @@ from .analysis.sequence_diagram import (
     render_overlay_attack_figure,
     render_toast_attack_figure,
 )
-from .attacks import (
+from .attacks.overlay_attack import (
     DrawAndDestroyOverlayAttack,
-    DrawAndDestroyToastAttack,
     OverlayAttackConfig,
-    ToastAttackConfig,
 )
+from .attacks.toast_attack import DrawAndDestroyToastAttack, ToastAttackConfig
 from .devices import DEVICES, device
 from .stack import build_stack
 from .systemui import AlertMode
@@ -249,8 +248,19 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return _report_failures(results, "metrics")
 
 
+def _cmd_actors(args: argparse.Namespace) -> int:
+    from .actors import attacker_names, channel_names, user_names
+
+    print(f"attacker models ({len(attacker_names())}): "
+          + ", ".join(attacker_names()))
+    print(f"user models ({len(user_names())}): " + ", ".join(user_names()))
+    print(f"alert channels ({len(channel_names())}): "
+          + ", ".join(channel_names()))
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    from .experiments import EXPERIMENTS, scenario_names
+    from .experiments import EXPERIMENTS, family_names, get_family, scenario_names
 
     if args.run is not None:
         from .api import run_experiment
@@ -272,6 +282,10 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         print(f"{'experiment':22s} title")
         for spec in EXPERIMENTS:
             print(f"{spec.name:22s} {spec.title}")
+        print()
+        print(f"{'scenario family':22s} title")
+        for name in family_names():
+            print(f"{name:22s} {get_family(name).title}")
         print()
         print(f"registered scenarios ({len(scenario_names())}): "
               + ", ".join(scenario_names()))
@@ -345,7 +359,7 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
 
 
 def _cmd_probe(args: argparse.Namespace) -> int:
-    from .attacks import DeviceProber
+    from .attacks.device_probe import DeviceProber
 
     prober = DeviceProber()
     if args.device:
@@ -480,6 +494,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--scale", choices=("smoke", "quick", "full"),
                              default="quick")
 
+    actors = sub.add_parser(
+        "actors", help="inspect the attacker/user/channel model registries"
+    )
+    actors.add_argument(
+        "--list", action="store_true",
+        help="list registered behavior models (the default action)")
+
     campaign = sub.add_parser(
         "campaign",
         help="run a sharded fleet sweep over a ScenarioMatrix JSON spec",
@@ -539,6 +560,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "metrics": _cmd_metrics,
         "experiments": _cmd_experiments,
+        "actors": _cmd_actors,
         "campaign": _cmd_campaign,
         "fig6": _cmd_fig6,
         "probe": _cmd_probe,

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from .._registry import suggest_label
 from .android_version import (
     ANDROID_8,
     ANDROID_9,
@@ -71,8 +72,10 @@ def device(model: str, version_label: Optional[str] = None) -> DeviceProfile:
     e.g. the Xiaomi mi8 exists on both Android 9 and Android 10)."""
     matches = [d for d in DEVICES if d.model == model]
     if not matches:
-        known = ", ".join(sorted({d.model for d in DEVICES}))
-        raise KeyError(f"no device model {model!r}; known models: {known}")
+        models = sorted({d.model for d in DEVICES})
+        raise KeyError(
+            f"no device model {model!r}; known models: {', '.join(models)}"
+            f"{suggest_label(model, models)}")
     if version_label is not None:
         labels = sorted({d.android_version.label for d in matches})
         matches = [d for d in matches if d.android_version.label == version_label]
@@ -110,10 +113,9 @@ def version_of(label: str) -> AndroidVersion:
     for profile in DEVICES:
         if profile.android_version.label == label:
             return profile.android_version
-    known = ", ".join(
-        sorted({d.android_version.label for d in DEVICES}, key=float)
-    )
+    labels = sorted({d.android_version.label for d in DEVICES}, key=float)
     raise KeyError(
         f"no evaluation device runs Android {label!r}; "
-        f"evaluated versions: {known}"
+        f"evaluated versions: {', '.join(labels)}"
+        f"{suggest_label(label, labels)}"
     )

@@ -258,6 +258,11 @@ def matrix_fingerprint(matrix: ScenarioMatrix) -> str:
         "alert_mode": matrix.alert_mode.name,
         "trace_enabled": matrix.trace_enabled,
         "base_params": ScenarioMatrix._config_key(matrix.base_params),
+        # Behavior-model axes: part of the cell sequence, so part of the
+        # fingerprint — an attacker/user sweep must not resume into the
+        # unlabeled matrix it extends.
+        "attackers": list(matrix.attackers),
+        "users": list(matrix.users),
     }, sort_keys=True)
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
@@ -520,6 +525,8 @@ def matrix_from_spec(spec: Mapping[str, Any]) -> ScenarioMatrix:
          "configs": [{"attacking_window_ms": 100.0}],
          "fault_profiles": ["none", "mild"],
          "trials": 50,
+         "attackers": ["draw-and-destroy", "notification-flooding"],
+         "users": ["stochastic-human", "gui-agent"],
          "base_params": {"duration_ms": 400.0}}
 
     ``devices`` entries are model names (or ``[model, version]`` pairs
@@ -532,6 +539,7 @@ def matrix_from_spec(spec: Mapping[str, Any]) -> ScenarioMatrix:
     unknown = set(spec) - {
         "name", "scenario", "scale", "seed", "faults", "devices", "versions",
         "configs", "fault_profiles", "trials", "base_params",
+        "attackers", "users",
     }
     if unknown:
         raise ValueError(
@@ -571,6 +579,8 @@ def matrix_from_spec(spec: Mapping[str, Any]) -> ScenarioMatrix:
         fault_profiles=tuple(str(f) for f in spec.get("fault_profiles", ())),
         trials=int(spec.get("trials", 1)),
         base_params=dict(spec.get("base_params", {})),
+        attackers=tuple(str(a) for a in spec.get("attackers", ())),
+        users=tuple(str(u) for u in spec.get("users", ())),
     )
 
 

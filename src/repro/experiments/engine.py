@@ -43,6 +43,7 @@ from typing import (
     Tuple,
 )
 
+from .._registry import unknown_label_error
 from ..devices.profiles import DeviceProfile
 from ..devices.registry import devices_by_version, reference_device
 from ..obs.context import current_metrics
@@ -75,10 +76,7 @@ def get_scenario(name: str) -> ScenarioFn:
     try:
         return _SCENARIOS[name]
     except KeyError:
-        known = ", ".join(sorted(_SCENARIOS)) or "<none>"
-        raise KeyError(
-            f"unknown scenario {name!r}; registered scenarios: {known}"
-        ) from None
+        raise unknown_label_error("scenario", name, _SCENARIOS) from None
 
 
 def scenario_names() -> List[str]:
@@ -121,6 +119,14 @@ class TrialSpec:
     #: for the ambient default) — same semantics as ``build_stack``.
     faults: Any = None
     params: Mapping[str, Any] = field(default_factory=dict)
+    #: Optional behavior-model axes. Labels are resolved through the
+    #: actor registries (:mod:`repro.actors`) at execution time and the
+    #: resolved model objects merged into the scenario's params as
+    #: ``attacker`` / ``user``. ``None`` (the default) leaves the
+    #: scenario's own behavior untouched — specs that never mention the
+    #: axes run exactly as they always have.
+    attacker: Optional[str] = None
+    user: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -152,7 +158,11 @@ class ScenarioMatrix:
     every evaluation device running those Android versions (Table II).
     When both are empty the matrix runs on the reference device. Each
     entry of ``configs`` is a parameter mapping merged over
-    ``base_params`` — the "attack config" axis.
+    ``base_params`` — the "attack config" axis. ``attackers`` and
+    ``users`` sweep registered behavior models the same way; when left
+    empty the axis collapses to a single unlabeled cell and the matrix
+    — including every per-cell seed — is identical to one that predates
+    the actor layer.
 
     Every cell derives its own seed through
     :meth:`ExperimentScale.for_experiment` on a stable cell key, so cells
@@ -171,6 +181,9 @@ class ScenarioMatrix:
     alert_mode: AlertMode = AlertMode.ANALYTIC
     trace_enabled: bool = False
     base_params: Mapping[str, Any] = field(default_factory=dict)
+    #: Behavior-model axes: registered attacker / user labels to sweep.
+    attackers: Tuple[str, ...] = ()
+    users: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -205,32 +218,51 @@ class ScenarioMatrix:
         return ",".join(f"{k}={config[k]!r}" for k in sorted(config))
 
     def cell_seed(self, device: DeviceProfile, config: Mapping[str, Any],
-                  faults: str, trial: int) -> int:
+                  faults: str, trial: int,
+                  attacker: Optional[str] = None,
+                  user: Optional[str] = None) -> int:
         cell = (f"{self.name}/{device.key}/{self._config_key(config)}"
                 f"/{faults}/{trial}")
+        if attacker is not None or user is not None:
+            # Only labeled cells extend the key: a matrix without behavior
+            # axes derives byte-identical seeds to the pre-actor engine.
+            cell += f"/attacker={attacker}/user={user}"
         return self.scale.for_experiment(cell).seed
+
+    def _attacker_axis(self) -> Tuple[Optional[str], ...]:
+        return self.attackers or (None,)
+
+    def _user_axis(self) -> Tuple[Optional[str], ...]:
+        return self.users or (None,)
 
     def cells(self) -> Iterator[TrialSpec]:
         """Yield one :class:`TrialSpec` per cell, in deterministic order."""
         for device in self.resolved_devices():
             for config in self.configs:
                 for faults in self.resolved_faults():
-                    for trial in range(self.trials):
-                        params = dict(self.base_params)
-                        params.update(config)
-                        yield TrialSpec(
-                            scenario=self.scenario,
-                            seed=self.cell_seed(device, config, faults, trial),
-                            profile=device,
-                            alert_mode=self.alert_mode,
-                            trace_enabled=self.trace_enabled,
-                            faults=faults,
-                            params=params,
-                        )
+                    for attacker in self._attacker_axis():
+                        for user_label in self._user_axis():
+                            for trial in range(self.trials):
+                                params = dict(self.base_params)
+                                params.update(config)
+                                yield TrialSpec(
+                                    scenario=self.scenario,
+                                    seed=self.cell_seed(
+                                        device, config, faults, trial,
+                                        attacker=attacker, user=user_label),
+                                    profile=device,
+                                    alert_mode=self.alert_mode,
+                                    trace_enabled=self.trace_enabled,
+                                    faults=faults,
+                                    params=params,
+                                    attacker=attacker,
+                                    user=user_label,
+                                )
 
     def __len__(self) -> int:
         return (len(self.resolved_devices()) * len(self.configs)
-                * len(self.resolved_faults()) * self.trials)
+                * len(self.resolved_faults()) * len(self._attacker_axis())
+                * len(self._user_axis()) * self.trials)
 
 
 # ---------------------------------------------------------------------------
@@ -317,6 +349,17 @@ class TrialExecutor:
     def run(self, spec: TrialSpec) -> Any:
         """Run one spec and return the scenario's measurement."""
         fn = get_scenario(spec.scenario)
+        params: Mapping[str, Any] = spec.params
+        if spec.attacker is not None or spec.user is not None:
+            # Resolve behavior labels before leasing a stack so a typo
+            # fails with the registry's suggesting KeyError, not mid-trial.
+            from ..actors import get_attacker, get_user
+
+            params = dict(params)
+            if spec.attacker is not None:
+                params["attacker"] = get_attacker(spec.attacker)
+            if spec.user is not None:
+                params["user"] = get_user(spec.user)
         registry = current_metrics()
         start = time.perf_counter() if registry is not None else 0.0
         stack = self.lease(
@@ -327,7 +370,7 @@ class TrialExecutor:
             faults=spec.faults,
         )
         self.stats.trials_run += 1
-        value = fn(stack, **spec.params)
+        value = fn(stack, **params)
         if registry is not None:
             # Wall-clock time per trial (lease + scenario). Observation
             # only — the value never feeds back into the simulation, so

@@ -1,0 +1,218 @@
+"""Registered scenario families: named, scale-aware behavior-model sweeps.
+
+The 21 pinned experiments (:data:`~repro.experiments.parallel.EXPERIMENTS`)
+reproduce the paper and are frozen — their QUICK report is byte-locked by
+``tests/experiments/test_golden_report.py``. New studies built on the
+actor layer register here instead: a *family* names a
+:class:`~repro.experiments.engine.ScenarioMatrix` builder (so the same
+study runs at SMOKE/QUICK/FULL) plus a summarizer that turns the matrix's
+outcomes into report rows. Families get their own golden snapshot
+(``tests/experiments/golden/families_quick.md``) without touching the
+legacy one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from .._registry import Registry
+from .config import ExperimentScale
+from .engine import ScenarioMatrix, TrialExecutor, TrialOutcome, use_executor
+
+# Families run these scenarios; importing the module registers them.
+from . import actor_scenarios  # noqa: F401
+
+SummarizeFn = Callable[[Sequence[TrialOutcome]], List[str]]
+BuildFn = Callable[[ExperimentScale], ScenarioMatrix]
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """One named study: a matrix builder plus its report summarizer."""
+
+    name: str
+    title: str
+    description: str
+    build: BuildFn
+    summarize: SummarizeFn
+
+
+_FAMILIES: Registry[ScenarioFamily] = Registry("family")
+
+
+def family(name: str, *, title: str, description: str,
+           summarize: SummarizeFn) -> Callable[[BuildFn], BuildFn]:
+    """Register the decorated matrix builder as the family ``name``."""
+
+    def register(build: BuildFn) -> BuildFn:
+        _FAMILIES.register(name)(ScenarioFamily(
+            name=name, title=title, description=description,
+            build=build, summarize=summarize))
+        return build
+
+    return register
+
+
+def get_family(name: str) -> ScenarioFamily:
+    return _FAMILIES.get(name)
+
+
+def family_names() -> List[str]:
+    return _FAMILIES.names()
+
+
+# ---------------------------------------------------------------------------
+# Running and reporting
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FamilyResult:
+    """One family's matrix run at one scale."""
+
+    family: str
+    matrix: ScenarioMatrix
+    outcomes: List[TrialOutcome]
+
+
+def run_family(name: str, scale: ExperimentScale) -> FamilyResult:
+    """Run one family's matrix (with stack reuse) at ``scale``."""
+    fam = get_family(name)
+    matrix = fam.build(scale)
+    with use_executor(TrialExecutor()) as executor:
+        outcomes = executor.run_matrix(matrix)
+    return FamilyResult(family=name, matrix=matrix, outcomes=outcomes)
+
+
+def run_families(scale: ExperimentScale) -> Dict[str, FamilyResult]:
+    """Run every registered family, in name order."""
+    return {name: run_family(name, scale) for name in family_names()}
+
+
+def format_families_report(results: Dict[str, FamilyResult],
+                           scale: ExperimentScale) -> str:
+    """Deterministic markdown over family results (golden-snapshot food)."""
+    lines = [f"# Actor-layer scenario families (scale: {scale.name})", ""]
+    for name in sorted(results):
+        fam = get_family(name)
+        result = results[name]
+        lines.append(f"## {name} — {fam.title}")
+        lines.append("")
+        lines.append(fam.description)
+        lines.append("")
+        lines.append(f"- cells: {len(result.outcomes)}")
+        lines.extend(fam.summarize(result.outcomes))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _group_by(outcomes: Sequence[TrialOutcome],
+              key: Callable[[TrialOutcome], str]) -> Dict[str, List[TrialOutcome]]:
+    groups: Dict[str, List[TrialOutcome]] = {}
+    for outcome in outcomes:
+        groups.setdefault(key(outcome), []).append(outcome)
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Family: notification flooding (channel saturation vs. animation racing)
+# ---------------------------------------------------------------------------
+
+def _summarize_flooding(outcomes: Sequence[TrialOutcome]) -> List[str]:
+    lines = [
+        "",
+        "| attacker | trials | worst outcome | occluded | conspicuous "
+        "| detector flagged | mean saturation |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    groups = _group_by(outcomes, lambda o: o.spec.attacker or "-")
+    for label in sorted(groups):
+        values = [o.value for o in groups[label]]
+        worst = max(v.worst_outcome for v in values)
+        occluded = sum(1 for v in values if v.alert_occluded)
+        conspicuous = sum(1 for v in values if v.alert_conspicuous)
+        flagged = sum(1 for v in values if v.detector_flagged)
+        saturation = sum(v.channel_saturation for v in values) / len(values)
+        lines.append(
+            f"| {label} | {len(values)} | {worst.label} "
+            f"| {occluded}/{len(values)} | {conspicuous}/{len(values)} "
+            f"| {flagged}/{len(values)} | {saturation:.2f} |")
+    return lines
+
+
+@family(
+    "notification-flooding",
+    title="Channel saturation vs. animation racing",
+    description=(
+        "Both attackers suppress the overlay-presence alert, by opposite "
+        "means: draw-and-destroy races the slide-in (Lambda1, but its "
+        "add/remove cycling trips the IPC detector), flooding lets the "
+        "alert complete (Lambda5) and buries it below the drawer fold "
+        "with junk posts — invisible to a detector that keys on paired "
+        "addView/removeView."),
+    summarize=_summarize_flooding,
+)
+def _build_flooding(scale: ExperimentScale) -> ScenarioMatrix:
+    return ScenarioMatrix(
+        name="family/notification-flooding",
+        scenario="notification-flooding",
+        scale=scale,
+        attackers=("draw-and-destroy", "notification-flooding"),
+        trials=scale.boundary_trials_per_d,
+        # The IPC detector needs >= 8 paired cycles in its 3 s window to
+        # flag the racer; shorter runs would understate its exposure.
+        base_params={"duration_ms": max(scale.boundary_trial_ms, 3000.0)},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Family: GUI-agent victims (stale-percept timing regime)
+# ---------------------------------------------------------------------------
+
+def _summarize_gui_agent(outcomes: Sequence[TrialOutcome]) -> List[str]:
+    lines = [
+        "",
+        "| user | trials | capture rate | stale taps | mean percept age (ms) "
+        "| detector flagged |",
+        "|---|---|---|---|---|---|",
+    ]
+    groups = _group_by(outcomes, lambda o: o.spec.user or "-")
+    for label in sorted(groups):
+        values = [o.value for o in groups[label]]
+        capture = sum(v.capture_rate for v in values) / len(values)
+        stale = sum(v.stale_taps for v in values)
+        taps = sum(v.total_taps for v in values)
+        age = sum(v.mean_percept_age_ms for v in values) / len(values)
+        flagged = sum(1 for v in values if v.detector_flagged)
+        lines.append(
+            f"| {label} | {len(values)} | {capture * 100:.1f}% "
+            f"| {stale}/{taps} | {age:.1f} | {flagged}/{len(values)} |")
+    return lines
+
+
+@family(
+    "gui-agent-user",
+    title="Human thumbs vs. screenshot-then-click agents",
+    description=(
+        "The same draw-and-destroy attack against two victim models: the "
+        "paper's stochastic human (perceive-to-act is one keystroke "
+        "interval) and a GUI agent whose screenshot + inference loop "
+        "stretches that gap to hundreds of milliseconds — every tap is "
+        "decided against a frame that old, widening the attacker's "
+        "effective timing window."),
+    summarize=_summarize_gui_agent,
+)
+def _build_gui_agent(scale: ExperimentScale) -> ScenarioMatrix:
+    return ScenarioMatrix(
+        name="family/gui-agent-user",
+        scenario="gui-agent-user",
+        scale=scale,
+        # Short windows are where the regimes separate: human taps die
+        # to mid-gesture removals while the agent's stale clicks land.
+        configs=({"attacking_window_ms": 75.0},
+                 {"attacking_window_ms": 150.0}),
+        attackers=("draw-and-destroy",),
+        users=("gui-agent", "stochastic-human"),
+        trials=scale.boundary_trials_per_d,
+        base_params={"n_chars": min(scale.chars_per_string, 8)},
+    )

@@ -58,6 +58,20 @@ class _ActiveAlert:
     animator: Optional[Animator]
 
 
+@dataclass(frozen=True)
+class PostedNotification:
+    """One ordinary notification posted into the drawer.
+
+    Unlike the overlay-presence alert (which System Server originates),
+    these arrive through the public ``postNotification`` surface — the
+    channel a flooding attacker saturates (Knock-Knock style) to push
+    the alert below the fold instead of racing its animation.
+    """
+
+    package: str
+    time: float
+
+
 #: Maximum notification icons the status bar can show (paper Section
 #: II-A2: "Android 10 of Google Pixel 2 can show 4 icons").
 STATUS_BAR_ICON_SLOTS = 4
@@ -81,12 +95,14 @@ class SystemUi(SimProcess):
         self._pending: Dict[str, _PendingAlert] = {}
         self._active: Dict[str, _ActiveAlert] = {}
         self._records: List[NotificationRecord] = []
+        self._posted: List[PostedNotification] = []
         self._ignored_shows = 0
         router.register_many(
             name,
             {
                 "notifyOverlayShown": self._handle_shown,
                 "notifyOverlayHidden": self._handle_hidden,
+                "postNotification": self._handle_post,
             },
         )
         # Prewarm the slide-in frame tables at boot (no-ops with kernels
@@ -107,12 +123,14 @@ class SystemUi(SimProcess):
         self._pending.clear()
         self._active.clear()
         self._records.clear()
+        self._posted.clear()
         self._ignored_shows = 0
         self._router.register_many(
             self.name,
             {
                 "notifyOverlayShown": self._handle_shown,
                 "notifyOverlayHidden": self._handle_hidden,
+                "postNotification": self._handle_post,
             },
         )
 
@@ -178,6 +196,21 @@ class SystemUi(SimProcess):
         )
         self.trace("systemui.alert_removed", app=app, outcome=outcome.label,
                    pixels=snapshot.max_pixels)
+
+    def _handle_post(self, txn: BinderTransaction) -> None:
+        self.post_notification(txn.payload["package"])
+
+    def post_notification(self, package: str) -> PostedNotification:
+        """Accept one ordinary notification into the drawer.
+
+        Posting is deliberately cheap and unthrottled — exactly the
+        property the flooding attack abuses. Rate limiting belongs to a
+        defense layer, not to this surface.
+        """
+        posted = PostedNotification(package=package, time=self.now)
+        self._posted.append(posted)
+        self.trace("systemui.notification_posted", package=package)
+        return posted
 
     # ------------------------------------------------------------------
     def _create_entry(self, app: str) -> None:
@@ -261,6 +294,47 @@ class SystemUi(SimProcess):
             active.entry.visible_time_ms(time) for active in self._active.values()
         )
         return total
+
+    def posted_notifications(self) -> List[PostedNotification]:
+        """Ordinary notifications accepted so far, in posting order."""
+        return list(self._posted)
+
+    def posted_count(self, as_of: Optional[float] = None) -> int:
+        time = self.now if as_of is None else as_of
+        return sum(1 for p in self._posted if p.time <= time)
+
+    def alert_drawer_depth(self, app: str,
+                           as_of: Optional[float] = None) -> Optional[int]:
+        """Notifications stacked *above* ``app``'s alert in the drawer.
+
+        The drawer lists newest first, so the depth is the count of
+        ordinary notifications posted after the alert's animation
+        started. ``None`` when ``app`` has no alert up (pending alerts
+        count from their request time: the view will materialize below
+        anything posted meanwhile).
+        """
+        time = self.now if as_of is None else as_of
+        active = self._active.get(app)
+        if active is not None:
+            anchor = active.entry.anim_start
+        else:
+            pending = self._pending.get(app)
+            if pending is None:
+                return None
+            anchor = pending.requested_at
+        return sum(1 for p in self._posted if anchor < p.time <= time)
+
+    def alert_occluded(self, app: str, slots: int = STATUS_BAR_ICON_SLOTS,
+                       as_of: Optional[float] = None) -> bool:
+        """Is ``app``'s alert pushed out of the visible drawer region?
+
+        With ``slots`` newer notifications above it, the alert's icon no
+        longer fits the status bar and its row sits below the drawer
+        fold — the user must scroll to ever see it (paper Section II-A2
+        caps the Pixel 2 status bar at 4 icons).
+        """
+        depth = self.alert_drawer_depth(app, as_of=as_of)
+        return depth is not None and depth >= slots
 
     def status_bar_icons(self, as_of: Optional[float] = None) -> int:
         """Icons currently shown in the status bar (capped at 4 slots)."""

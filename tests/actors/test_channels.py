@@ -1,0 +1,87 @@
+"""Alert-channel models: capacity, saturation, conspicuousness."""
+
+from repro.actors import channel_names, get_channel
+from repro.stack import build_stack
+from repro.systemui.system_ui import STATUS_BAR_ICON_SLOTS
+from repro.toast import Toast
+from repro.users.perception import PerceptionModel
+from repro.windows.geometry import Rect
+
+
+def test_registry_holds_both_surfaces():
+    assert channel_names() == ["notification-drawer", "toast"]
+
+
+def _show_alert(stack, app="com.example.mal"):
+    """Trigger the overlay-presence alert for ``app`` (never hidden, so
+    the slide-in completes and the entry sits in the drawer)."""
+    stack.router.transact("system_server", "system_ui", "notifyOverlayShown",
+                          {"app": app}, latency_ms=1.0)
+    return app
+
+
+class TestNotificationDrawer:
+    def test_capacity_is_the_status_bar_slots(self):
+        stack = build_stack(seed=401)
+        drawer = get_channel("notification-drawer")
+        assert drawer.capacity(stack) == STATUS_BAR_ICON_SLOTS
+
+    def test_saturation_counts_posts_against_slots(self):
+        stack = build_stack(seed=402)
+        drawer = get_channel("notification-drawer")
+        assert drawer.saturation(stack) == 0.0
+        for n in range(STATUS_BAR_ICON_SLOTS * 2):
+            stack.system_ui.post_notification(f"com.junk.app{n}")
+        assert drawer.saturation(stack) == 2.0
+
+    def test_completed_alert_is_conspicuous_until_buried(self):
+        stack = build_stack(seed=403)
+        drawer = get_channel("notification-drawer")
+        perception = PerceptionModel()
+        package = _show_alert(stack)
+        stack.run_for(5_000)  # alert animation completes, Λ5
+        assert drawer.alert_conspicuous(stack, package, perception)
+        for n in range(STATUS_BAR_ICON_SLOTS):
+            stack.system_ui.post_notification(f"com.junk.app{n}")
+        assert not drawer.alert_conspicuous(stack, package, perception)
+
+    def test_no_alert_is_not_conspicuous(self):
+        stack = build_stack(seed=404)
+        drawer = get_channel("notification-drawer")
+        assert not drawer.alert_conspicuous(
+            stack, "com.example.nobody", PerceptionModel())
+
+
+class TestToastChannel:
+    RECT = Rect(0, 1400, 1080, 2160)
+
+    def _enqueue(self, stack, owner="com.example.toaster",
+                 duration_ms=3_500.0):
+        toast = Toast(owner=owner, content="hi", rect=self.RECT,
+                      duration_ms=duration_ms)
+        stack.router.transact(owner, "system_server", "enqueueToast",
+                              {"toast": toast}, latency_ms=1.0)
+        return toast
+
+    def test_capacity_is_one_surface(self):
+        stack = build_stack(seed=405)
+        assert get_channel("toast").capacity(stack) == 1
+
+    def test_idle_layer_is_unsaturated_and_inconspicuous(self):
+        stack = build_stack(seed=406)
+        toast = get_channel("toast")
+        assert toast.saturation(stack) == 0.0
+        assert not toast.alert_conspicuous(
+            stack, "com.example.app", PerceptionModel())
+
+    def test_showing_toast_is_conspicuous_for_its_owner_only(self):
+        stack = build_stack(seed=407)
+        toast = get_channel("toast")
+        self._enqueue(stack)
+        stack.run_for(1_000)  # shown and fully faded in
+        perception = PerceptionModel()
+        assert toast.saturation(stack) > 0.0
+        assert toast.alert_conspicuous(stack, "com.example.toaster",
+                                       perception)
+        assert not toast.alert_conspicuous(stack, "com.example.other",
+                                           perception)

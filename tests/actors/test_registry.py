@@ -1,0 +1,101 @@
+"""The generic label registry and its error ergonomics.
+
+Satellite guarantee: *every* pluggable axis — attackers, users, channels,
+scenarios, devices, Android versions — fails an unknown lookup with a
+KeyError that lists the registered labels and suggests the nearest match.
+"""
+
+import pytest
+
+from repro._registry import Registry, suggest_label, unknown_label_error
+from repro.actors import get_attacker, get_channel, get_user
+from repro.devices import device
+from repro.devices.registry import version_of
+from repro.experiments.engine import get_scenario
+
+
+class TestSuggestLabel:
+    def test_suggests_the_nearest_known_label(self):
+        hint = suggest_label("draw-and-destory",
+                             ["draw-and-destroy", "clickjacking"])
+        assert hint == " (did you mean 'draw-and-destroy'?)"
+
+    def test_empty_when_nothing_is_close(self):
+        assert suggest_label("zzzzzz", ["draw-and-destroy"]) == ""
+
+    def test_empty_for_empty_registry(self):
+        assert suggest_label("anything", []) == ""
+
+
+class TestUnknownLabelError:
+    def test_lists_known_labels_sorted(self):
+        err = unknown_label_error("widget", "c", ["b", "a"])
+        assert isinstance(err, KeyError)
+        assert "registered widgets: a, b" in str(err)
+
+    def test_includes_suggestion(self):
+        err = unknown_label_error("widget", "spiner", ["spinner", "knob"])
+        assert "(did you mean 'spinner'?)" in str(err)
+
+    def test_empty_registry_renders_none_placeholder(self):
+        assert "<none>" in str(unknown_label_error("widget", "x", []))
+
+
+class TestRegistry:
+    def test_register_and_get_roundtrip(self):
+        reg = Registry("thing")
+        sentinel = object()
+        reg.register("a")(sentinel)
+        assert reg.get("a") is sentinel
+        assert "a" in reg
+        assert len(reg) == 1
+        assert reg.names() == ["a"]
+
+    def test_duplicate_registration_raises_value_error(self):
+        reg = Registry("thing")
+        reg.register("a")(object())
+        with pytest.raises(ValueError, match="thing 'a' is already registered"):
+            reg.register("a")(object())
+
+    def test_unknown_get_raises_suggesting_key_error(self):
+        reg = Registry("thing")
+        reg.register("flooding")(object())
+        with pytest.raises(KeyError, match="unknown thing 'floodng'"):
+            reg.get("floodng")
+        with pytest.raises(KeyError, match="did you mean 'flooding'"):
+            reg.get("floodng")
+
+    def test_names_are_sorted(self):
+        reg = Registry("thing")
+        for name in ("c", "a", "b"):
+            reg.register(name)(object())
+        assert reg.names() == ["a", "b", "c"]
+
+
+class TestEveryAxisSuggests:
+    """One typo per axis: each lookup must name knowns + nearest match."""
+
+    def test_attacker_axis(self):
+        with pytest.raises(KeyError, match="did you mean 'draw-and-destroy'"):
+            get_attacker("draw-and-destory")
+
+    def test_user_axis(self):
+        with pytest.raises(KeyError, match="did you mean 'gui-agent'"):
+            get_user("gui-agnet")
+
+    def test_channel_axis(self):
+        with pytest.raises(KeyError,
+                           match="did you mean 'notification-drawer'"):
+            get_channel("notification-drawr")
+
+    def test_scenario_axis(self):
+        with pytest.raises(KeyError, match="did you mean 'capture'"):
+            get_scenario("capure")
+
+    def test_device_axis(self):
+        with pytest.raises(KeyError, match="did you mean 'pixel 2'"):
+            device("pixl 2")
+
+    def test_version_axis(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            version_of("1O")

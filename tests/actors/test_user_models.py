@@ -1,0 +1,118 @@
+"""User models under the perceive -> decide -> act contract."""
+
+import pytest
+
+from repro.actors import get_attacker, get_user, user_names
+from repro.actors.base import ActorSession
+from repro.apps.keyboard import KeyboardSpec, default_keyboard_rect
+from repro.stack import build_stack
+from repro.windows.touch import TapOutcome
+
+
+def _keyboard(stack):
+    return KeyboardSpec(default_keyboard_rect(
+        stack.profile.screen_width_px, stack.profile.screen_height_px))
+
+
+def _type(seed, model_name, text="abcd", attack=None, window_ms=None):
+    stack = build_stack(seed=seed)
+    handle = None
+    if attack is not None:
+        params = {} if window_ms is None else {
+            "attacking_window_ms": window_ms}
+        handle = get_attacker(attack).launch(stack, **params)
+        stack.run_for(50)
+    model = get_user(model_name)
+    session = model.type_text(stack, _keyboard(stack), text)
+    stack.run_for(60_000)
+    if handle is not None:
+        get_attacker(attack).withdraw(handle)
+    return stack, session, handle
+
+
+def test_registry_holds_both_victim_behaviors():
+    assert user_names() == ["gui-agent", "stochastic-human"]
+
+
+@pytest.mark.parametrize("model_name", ["stochastic-human", "gui-agent"])
+class TestStepContract:
+    def test_session_completes_with_one_tap_per_press(self, model_name):
+        _, session, _ = _type(301, model_name)
+        assert isinstance(session, ActorSession)
+        assert session.complete
+        assert len(session.taps) == len(session.presses) == 4
+        assert session.started_at is not None
+        assert session.finished_at > session.started_at
+
+    def test_same_seed_same_session(self, model_name):
+        def trace(seed):
+            _, session, _ = _type(seed, model_name)
+            return [(t.action.delay_ms, t.action.point, t.percept_age_ms,
+                     t.tap.outcome) for t in session.taps]
+
+        assert trace(302) == trace(302)
+        assert trace(302) != trace(303)
+
+    def test_percept_age_equals_decided_delay(self, model_name):
+        _, session, _ = _type(304, model_name)
+        for tap in session.taps:
+            assert tap.percept_age_ms == pytest.approx(tap.action.delay_ms)
+
+    def test_unattacked_session_has_no_stale_taps(self, model_name):
+        # No overlay ever appears: every percept stays valid, and with
+        # nothing on screen every tap falls through (NO_TARGET).
+        _, session, _ = _type(305, model_name)
+        assert session.stale_count == 0
+        assert all(t.tap.outcome is TapOutcome.NO_TARGET
+                   for t in session.taps)
+
+
+class TestLatencyRegimes:
+    def test_agent_percepts_are_much_staler_than_human_ones(self):
+        _, human, _ = _type(306, "stochastic-human", text="abcdef")
+        _, agent, _ = _type(306, "gui-agent", text="abcdef")
+        # Screenshot + inference floor: every agent action is at least
+        # 45 + 250 ms stale; a human's gap is one typing interval.
+        assert min(t.percept_age_ms for t in agent.taps) >= 295.0
+        assert agent.mean_percept_age_ms > 1.5 * human.mean_percept_age_ms
+
+    def test_agent_aim_stays_inside_the_perceived_key(self):
+        _, session, _ = _type(307, "gui-agent")
+        for tap in session.taps:
+            rect = tap.percept.key_rect
+            assert rect.contains(tap.action.point)
+
+
+class TestUnderAttack:
+    def test_overlay_captures_the_agents_taps(self):
+        stack, session, handle = _type(
+            308, "gui-agent", text="abcdefgh",
+            attack="draw-and-destroy", window_ms=150.0)
+        assert session.captured_by(handle.package) > 0
+        assert session.mean_percept_age_ms > 295.0
+
+    def test_overlay_appearing_mid_inference_marks_the_percept_stale(self):
+        """The TOCTOU the agent regime creates: perceive a clean screen,
+        act ~700 ms later onto an overlay that appeared in between."""
+        stack = build_stack(seed=310)
+        model = get_user("gui-agent")
+        session = model.type_text(stack, _keyboard(stack), "a")
+        # Launch *after* the first percept is scheduled at t=0: the
+        # overlay comes up inside the agent's inference window.
+        handle = get_attacker("draw-and-destroy").launch(
+            stack, attacking_window_ms=150.0)
+        stack.run_for(10_000)
+        get_attacker("draw-and-destroy").withdraw(handle)
+        assert session.complete
+        (tap,) = session.taps
+        assert tap.percept.top_owner is None
+        assert tap.stale
+        assert tap.tap.target_owner == handle.package
+
+    def test_empty_text_completes_without_taps(self):
+        stack = build_stack(seed=309)
+        session = get_user("gui-agent").type_text(stack, _keyboard(stack), "")
+        stack.run_for(1_000)
+        assert session.complete
+        assert session.taps == []
+        assert session.mean_percept_age_ms == 0.0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.attacks import ClickjackingAttack, ContentHidingAttack
+from repro.attacks.clickjacking import ClickjackingAttack, ContentHidingAttack
 from repro.systemui import NotificationOutcome
 from repro.windows import Permission, Window, WindowType
 from repro.windows.geometry import Point, Rect

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.attacks import (
-    DeviceProber,
+from repro.attacks.device_probe import DeviceProber, MIN_USEFUL_WINDOW_MS
+from repro.attacks.overlay_attack import (
     DrawAndDestroyOverlayAttack,
-    MIN_USEFUL_WINDOW_MS,
     OverlayAttackConfig,
 )
 from repro.devices import ANDROID_10, DEVICES, calibrated_profile, device

@@ -2,7 +2,10 @@
 
 import pytest
 
-from repro.attacks import DrawAndDestroyOverlayAttack, OverlayAttackConfig
+from repro.attacks.overlay_attack import (
+    DrawAndDestroyOverlayAttack,
+    OverlayAttackConfig,
+)
 from repro.stack import build_stack
 from repro.systemui import AlertMode, NotificationOutcome
 from repro.devices import device

@@ -79,7 +79,7 @@ class TestEndToEnd:
             AccessibilityBus, KeyboardSpec, RealKeyboard, VictimApp,
             default_keyboard_rect,
         )
-        from repro.attacks import PasswordStealingAttack
+        from repro.attacks.password_stealing import PasswordStealingAttack
         from repro.stack import build_stack
         from repro.systemui import AlertMode
         from repro.users import Typist
@@ -115,7 +115,7 @@ class TestEndToEnd:
             AccessibilityBus, KeyboardSpec, RealKeyboard, VictimApp,
             default_keyboard_rect,
         )
-        from repro.attacks import PasswordStealingAttack
+        from repro.attacks.password_stealing import PasswordStealingAttack
         from repro.stack import build_stack
         from repro.systemui import AlertMode
         from repro.windows import Permission

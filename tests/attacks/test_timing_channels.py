@@ -10,11 +10,8 @@ from repro.apps import (
     default_keyboard_rect,
     spec_by_name,
 )
-from repro.attacks import (
-    PasswordStealingAttack,
-    SideChannelConfig,
-    UiStateSideChannel,
-)
+from repro.attacks.password_stealing import PasswordStealingAttack
+from repro.attacks.timing_channels import SideChannelConfig, UiStateSideChannel
 from repro.sim import SeededRng
 from repro.stack import build_stack
 from repro.systemui import AlertMode

@@ -2,7 +2,10 @@
 
 import pytest
 
-from repro.attacks import DrawAndDestroyToastAttack, ToastAttackConfig
+from repro.attacks.toast_attack import (
+    DrawAndDestroyToastAttack,
+    ToastAttackConfig,
+)
 from repro.toast import MAX_TOASTS_PER_APP, TOAST_LENGTH_LONG_MS
 from repro.windows.geometry import Rect
 from repro.windows.types import WindowType

@@ -2,7 +2,10 @@
 
 import pytest
 
-from repro.attacks import DrawAndDestroyOverlayAttack, OverlayAttackConfig
+from repro.attacks.overlay_attack import (
+    DrawAndDestroyOverlayAttack,
+    OverlayAttackConfig,
+)
 from repro.defenses import (
     BenignOverlayApp,
     DetectionRule,
@@ -169,7 +172,10 @@ class TestToastSpacing:
         assert stack.notification_manager.inter_toast_gap_ms == 0.0
 
     def test_gap_makes_switches_fully_visible(self):
-        from repro.attacks import DrawAndDestroyToastAttack, ToastAttackConfig
+        from repro.attacks.toast_attack import (
+            DrawAndDestroyToastAttack,
+            ToastAttackConfig,
+        )
         from repro.windows.geometry import Rect
 
         stack = fresh_stack(seed=13)

@@ -1,0 +1,115 @@
+"""Property tests: the behavior-model axes never disturb legacy sweeps.
+
+The actor layer added ``attackers`` / ``users`` axes to
+:class:`ScenarioMatrix`. The compatibility contract is absolute: a matrix
+that does not mention the axes must produce the *byte-identical* cell
+sequence (ordering, params, and every per-cell seed) that the pre-actor
+engine produced — the QUICK golden report depends on it. When the axes
+are present, cells must stay deterministic and their seeds pairwise
+distinct across the whole sweep.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.actors import attacker_names, user_names
+from repro.experiments import QUICK
+from repro.experiments.engine import ScenarioMatrix
+
+_NAMES = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-_", min_size=1,
+    max_size=16)
+_CONFIGS = st.lists(
+    st.dictionaries(
+        st.sampled_from(["attacking_window_ms", "duration_ms", "n_chars"]),
+        st.integers(min_value=1, max_value=500),
+        max_size=2,
+    ),
+    min_size=1, max_size=3, unique_by=lambda c: tuple(sorted(c.items())),
+)
+_SCALES = st.integers(min_value=0, max_value=2**32).map(QUICK.with_seed)
+_ATTACKERS = st.lists(st.sampled_from(attacker_names()),
+                      min_size=1, max_size=3, unique=True)
+_USERS = st.lists(st.sampled_from(user_names()),
+                  min_size=1, max_size=2, unique=True)
+
+
+def _matrix(name, scale, configs, trials, attackers=(), users=()):
+    return ScenarioMatrix(
+        name=name, scenario="capture", scale=scale,
+        configs=tuple(configs), trials=trials,
+        attackers=tuple(attackers), users=tuple(users),
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(name=_NAMES, scale=_SCALES, configs=_CONFIGS,
+       trials=st.integers(min_value=1, max_value=3))
+def test_axisless_matrix_reproduces_the_legacy_cell_sequence(
+        name, scale, configs, trials):
+    """No axes -> same seeds as the pre-actor derivation, labels None."""
+    matrix = _matrix(name, scale, configs, trials)
+    cells = list(matrix.cells())
+    assert len(cells) == len(matrix)
+    index = 0
+    for config in matrix.configs:
+        for faults in matrix.resolved_faults():
+            for trial in range(trials):
+                spec = cells[index]
+                index += 1
+                # The legacy cell key, derived without the axes arguments.
+                key = (f"{name}/{matrix.resolved_devices()[0].key}"
+                       f"/{matrix._config_key(config)}/{faults}/{trial}")
+                assert spec.seed == scale.for_experiment(key).seed
+                assert spec.attacker is None
+                assert spec.user is None
+    assert index == len(cells)
+
+
+@settings(max_examples=30, deadline=None)
+@given(name=_NAMES, scale=_SCALES, configs=_CONFIGS,
+       trials=st.integers(min_value=1, max_value=3),
+       attackers=_ATTACKERS, users=_USERS)
+def test_labeled_matrix_is_deterministic_with_distinct_seeds(
+        name, scale, configs, trials, attackers, users):
+    matrix = _matrix(name, scale, configs, trials, attackers, users)
+    first = list(matrix.cells())
+    second = list(matrix.cells())
+    assert first == second                      # deterministic ordering
+    assert len(first) == len(matrix)
+    assert len(first) == (len(configs) * trials
+                          * len(attackers) * len(users))
+    seeds = [spec.seed for spec in first]
+    assert len(set(seeds)) == len(seeds)        # pairwise distinct
+    # Labels sweep in declaration order within each config/fault block.
+    for spec in first:
+        assert spec.attacker in attackers
+        assert spec.user in users
+
+
+@settings(max_examples=30, deadline=None)
+@given(name=_NAMES, scale=_SCALES, configs=_CONFIGS,
+       trials=st.integers(min_value=1, max_value=2),
+       attackers=_ATTACKERS)
+def test_labeled_and_unlabeled_seed_pools_never_collide(
+        name, scale, configs, trials, attackers):
+    """Turning an axis on re-partitions seeds instead of reusing them."""
+    plain = {s.seed for s in _matrix(name, scale, configs, trials).cells()}
+    labeled = {s.seed for s in
+               _matrix(name, scale, configs, trials, attackers).cells()}
+    assert plain.isdisjoint(labeled)
+
+
+@settings(max_examples=30, deadline=None)
+@given(scale=_SCALES, trials=st.integers(min_value=1, max_value=3))
+def test_cell_seed_defaults_match_explicit_none(scale, trials):
+    matrix = _matrix("axis-prop", scale, ({},), trials)
+    device = matrix.resolved_devices()[0]
+    for trial in range(trials):
+        assert (matrix.cell_seed(device, {}, "none", trial)
+                == matrix.cell_seed(device, {}, "none", trial,
+                                    attacker=None, user=None))
+
+# The absolute seed values of a legacy matrix are pinned separately in
+# test_engine.py::test_cell_seeds_are_pinned; these properties cover the
+# structural half of the same contract.

@@ -1,0 +1,142 @@
+"""Scenario-family registry tests and the families golden snapshot.
+
+The actor-layer families get their own golden file
+(``tests/experiments/golden/families_quick.md``) so their report is
+byte-locked exactly like the legacy QUICK report — without ever touching
+it. Regenerate after an intentional change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/experiments/test_families.py
+"""
+
+import difflib
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    QUICK,
+    family_names,
+    format_families_report,
+    get_family,
+    run_families,
+    run_family,
+)
+from repro.experiments.actor_scenarios import (
+    AgentTrialResult,
+    FloodingTrialResult,
+    run_flooding_trial,
+    run_gui_agent_trial,
+)
+from repro.systemui import NotificationOutcome
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_FAMILIES = GOLDEN_DIR / "families_quick.md"
+
+
+@pytest.fixture(scope="module")
+def quick_family_results():
+    return run_families(QUICK)
+
+
+class TestFamilyRegistry:
+    def test_both_new_families_are_registered(self):
+        assert family_names() == ["gui-agent-user", "notification-flooding"]
+
+    def test_unknown_family_suggests_the_nearest(self):
+        with pytest.raises(KeyError,
+                           match="did you mean 'notification-flooding'"):
+            get_family("notification-floding")
+
+    def test_families_build_runnable_matrices(self):
+        for name in family_names():
+            matrix = get_family(name).build(QUICK)
+            assert len(matrix) == len(list(matrix.cells()))
+            assert len(matrix) >= 2
+
+
+class TestFamilyRuns:
+    def test_flooding_family_contrasts_the_two_evasions(
+            self, quick_family_results):
+        outcomes = quick_family_results["notification-flooding"].outcomes
+        by_attacker = {}
+        for outcome in outcomes:
+            by_attacker.setdefault(outcome.spec.attacker, []).append(
+                outcome.value)
+        racers = by_attacker["draw-and-destroy"]
+        flooders = by_attacker["notification-flooding"]
+        # The racer wins the animation but trips the pairing detector.
+        assert all(v.worst_outcome is NotificationOutcome.LAMBDA1
+                   for v in racers)
+        assert all(v.detector_flagged for v in racers)
+        # The flooder loses the animation race on purpose and stays
+        # invisible to the detector while burying the alert.
+        assert all(v.worst_outcome is NotificationOutcome.LAMBDA5
+                   for v in flooders)
+        assert all(not v.detector_flagged for v in flooders)
+        assert all(v.alert_occluded and v.stealthy for v in flooders)
+
+    def test_agent_family_widens_the_timing_window(
+            self, quick_family_results):
+        outcomes = quick_family_results["gui-agent-user"].outcomes
+        by_user = {}
+        for outcome in outcomes:
+            by_user.setdefault(outcome.spec.user, []).append(outcome.value)
+
+        def mean_age(values):
+            return (sum(v.mean_percept_age_ms for v in values)
+                    / len(values))
+
+        agents = by_user["gui-agent"]
+        humans = by_user["stochastic-human"]
+        assert all(isinstance(v, AgentTrialResult)
+                   for v in agents + humans)
+        # The screenshot + inference loop acts on much older percepts.
+        assert mean_age(agents) > 1.5 * mean_age(humans)
+
+    def test_families_report_matches_golden(self, quick_family_results):
+        report = format_families_report(quick_family_results, QUICK)
+        if os.environ.get("REPRO_REGEN_GOLDEN") == "1":
+            GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+            GOLDEN_FAMILIES.write_text(report)
+            pytest.skip(f"regenerated {GOLDEN_FAMILIES}")
+        assert GOLDEN_FAMILIES.exists(), (
+            f"missing golden snapshot {GOLDEN_FAMILIES}; generate it with "
+            "REPRO_REGEN_GOLDEN=1"
+        )
+        golden = GOLDEN_FAMILIES.read_text()
+        if report != golden:
+            diff = "\n".join(difflib.unified_diff(
+                golden.splitlines(), report.splitlines(),
+                fromfile="golden/families_quick.md", tofile="current",
+                lineterm="", n=2,
+            ))
+            pytest.fail(
+                "families QUICK report drifted from the golden snapshot. "
+                "If this is an intentional behaviour change, regenerate "
+                "with REPRO_REGEN_GOLDEN=1 and commit the new snapshot.\n"
+                + diff
+            )
+
+
+class TestTrialHelpers:
+    def test_flooding_trial_is_deterministic(self):
+        first = run_flooding_trial(seed=71, duration_ms=3000.0)
+        second = run_flooding_trial(seed=71, duration_ms=3000.0)
+        assert isinstance(first, FloodingTrialResult)
+        assert first == second
+        assert first.posts_delivered > 0
+
+    def test_gui_agent_trial_is_deterministic(self):
+        first = run_gui_agent_trial(seed=72, n_chars=4)
+        second = run_gui_agent_trial(seed=72, n_chars=4)
+        assert isinstance(first, AgentTrialResult)
+        assert first == second
+        assert first.total_taps == 4
+
+    def test_run_family_equals_the_batch_entry(self, quick_family_results):
+        solo = run_family("notification-flooding", QUICK)
+        batch = quick_family_results["notification-flooding"]
+        assert [o.value for o in solo.outcomes] \
+            == [o.value for o in batch.outcomes]

@@ -82,7 +82,10 @@ class TestTraceIo:
         assert len(load_jsonl(path)) == 1
 
     def test_real_attack_trace_round_trips(self, tmp_path, analytic_stack):
-        from repro.attacks import DrawAndDestroyOverlayAttack, OverlayAttackConfig
+        from repro.attacks.overlay_attack import (
+            DrawAndDestroyOverlayAttack,
+            OverlayAttackConfig,
+        )
         from repro.windows import Permission
 
         attack = DrawAndDestroyOverlayAttack(

@@ -15,7 +15,7 @@ from repro.apps import (
     bank_of_america,
     default_keyboard_rect,
 )
-from repro.attacks import PasswordStealingAttack
+from repro.attacks.password_stealing import PasswordStealingAttack
 from repro.defenses import EnhancedNotificationDefense, IpcDetector
 from repro.sim import SeededRng
 from repro.stack import build_stack

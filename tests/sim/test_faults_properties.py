@@ -19,7 +19,10 @@ pin for :meth:`TraceLog.record` notifying subscribers while disabled.
 import pytest
 
 from repro.analysis.uncovered_time import measure_overlay_coverage
-from repro.attacks import DrawAndDestroyOverlayAttack, OverlayAttackConfig
+from repro.attacks.overlay_attack import (
+    DrawAndDestroyOverlayAttack,
+    OverlayAttackConfig,
+)
 from repro.experiments.scenarios import run_capture_trial
 from repro.sim.faults import (
     ADVERSARIAL,

@@ -9,10 +9,12 @@ under every fault profile. These tests pin that contract.
 
 import pytest
 
-from repro.attacks import (
+from repro.attacks.overlay_attack import (
     DrawAndDestroyOverlayAttack,
-    DrawAndDestroyToastAttack,
     OverlayAttackConfig,
+)
+from repro.attacks.toast_attack import (
+    DrawAndDestroyToastAttack,
     ToastAttackConfig,
 )
 from repro.sim.faults import PROFILES

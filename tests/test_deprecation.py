@@ -4,7 +4,11 @@ import warnings
 
 import pytest
 
-from repro._deprecation import deprecated_entry_point, reset_deprecation_warnings
+from repro._deprecation import (
+    deprecated_class,
+    deprecated_entry_point,
+    reset_deprecation_warnings,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -57,6 +61,120 @@ class TestShimBehavior:
         shim = _make_shim("run_old_thing")
         assert shim.__name__ == "run_old_thing"
         assert shim.__qualname__ == "run_old_thing"
+
+
+class _Widget:
+    """A stand-in legacy class."""
+
+    def __init__(self, a, b=2):
+        self.a = a
+        self.b = b
+
+
+class TestDeprecatedClass:
+    def _shim(self):
+        return deprecated_class("legacy.Widget", _Widget,
+                                "repro.new.Widget")
+
+    def test_constructs_a_true_subclass(self):
+        shim = self._shim()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            obj = shim(1, b=5)
+        assert isinstance(obj, _Widget)
+        assert issubclass(shim, _Widget)
+        assert (obj.a, obj.b) == (1, 5)
+        assert shim.__name__ == _Widget.__name__
+
+    def test_warns_with_replacement_hint(self):
+        shim = self._shim()
+        with pytest.warns(DeprecationWarning,
+                          match=r"legacy\.Widget is deprecated; use "
+                                r"repro\.new\.Widget"):
+            shim(1)
+
+    def test_warns_once_per_process(self):
+        shim = self._shim()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim(1)
+            shim(2)
+        assert len(caught) == 1
+        reset_deprecation_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim(3)
+        assert len(caught) == 1
+
+    def test_real_class_stays_warning_free(self):
+        self._shim()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            _Widget(1)
+
+
+class TestAttackAliasShims:
+    """The five ``repro.attacks`` aliases are deprecated true subclasses."""
+
+    def test_alias_warns_and_builds_the_real_attack(self):
+        import repro.attacks as attacks
+        from repro.attacks.overlay_attack import (
+            DrawAndDestroyOverlayAttack,
+            OverlayAttackConfig,
+        )
+        from repro.stack import build_stack
+
+        stack = build_stack(seed=5)
+        with pytest.warns(DeprecationWarning,
+                          match=r"repro\.attacks\."
+                                r"DrawAndDestroyOverlayAttack"):
+            attack = attacks.DrawAndDestroyOverlayAttack(
+                stack, OverlayAttackConfig(attacking_window_ms=100.0))
+        assert isinstance(attack, DrawAndDestroyOverlayAttack)
+
+    def test_concrete_module_constructor_is_warning_free(self):
+        from repro.attacks.overlay_attack import (
+            DrawAndDestroyOverlayAttack,
+            OverlayAttackConfig,
+        )
+        from repro.stack import build_stack
+
+        stack = build_stack(seed=6)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            DrawAndDestroyOverlayAttack(
+                stack, OverlayAttackConfig(attacking_window_ms=100.0))
+
+    def test_top_level_names_are_warning_free(self):
+        """repro.DrawAndDestroyOverlayAttack is supported API, not a shim."""
+        import repro
+        from repro.stack import build_stack
+
+        stack = build_stack(seed=7)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.DrawAndDestroyOverlayAttack(
+                stack, repro.OverlayAttackConfig(attacking_window_ms=100.0))
+
+    def test_every_alias_is_shimmed(self):
+        import repro.attacks as attacks
+
+        for alias in ("DrawAndDestroyOverlayAttack",
+                      "DrawAndDestroyToastAttack", "ClickjackingAttack",
+                      "ContentHidingAttack", "PasswordStealingAttack"):
+            shim = getattr(attacks, alias)
+            real = shim.__mro__[1]
+            assert shim is not real, alias
+            assert real.__name__ == alias
+            assert real.__module__.startswith("repro.attacks.")
+
+    def test_flooding_export_is_the_real_class(self):
+        """Brand-new code has no legacy alias to shim."""
+        import repro.attacks as attacks
+        from repro.attacks.flooding import NotificationFloodingAttack
+
+        assert attacks.NotificationFloodingAttack is \
+            NotificationFloodingAttack
 
 
 class TestPackageShims:

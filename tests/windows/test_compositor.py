@@ -111,7 +111,10 @@ class TestCoverage:
 
     def test_matches_toast_attack_coverage(self, analytic_stack):
         """The generalized metric agrees with the NMS toast coverage."""
-        from repro.attacks import DrawAndDestroyToastAttack, ToastAttackConfig
+        from repro.attacks.toast_attack import (
+            DrawAndDestroyToastAttack,
+            ToastAttackConfig,
+        )
 
         rect = Rect(0, 1400, 1080, 2160)
         attack = DrawAndDestroyToastAttack(
