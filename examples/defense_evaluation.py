@@ -27,7 +27,7 @@ from repro import (
 )
 from repro.defenses import BenignOverlayApp, ToastSpacingDefense
 from repro.api import run_experiment
-from repro.experiments import QUICK
+from repro.experiments import QUICK, ExperimentRequest
 
 
 def demo_ipc_detector() -> None:
@@ -82,12 +82,13 @@ def demo_enhanced_notification() -> None:
 
 def demo_toast_spacing() -> None:
     print("=== 3. Toast spacing (scheduling gap between toasts) ===")
-    plain = run_experiment("toast_continuity", scale=QUICK,
-                           derive_seed=False, inter_toast_gap_ms=0.0)
-    spaced = run_experiment(
-        "toast_continuity", scale=QUICK, derive_seed=False,
-        inter_toast_gap_ms=ToastSpacingDefense(
-            build_stack(seed=1).notification_manager).gap_ms)
+    plain = run_experiment(ExperimentRequest(
+        name="toast_continuity", scale=QUICK, derive_seed=False,
+        params={"inter_toast_gap_ms": 0.0}))
+    spaced = run_experiment(ExperimentRequest(
+        name="toast_continuity", scale=QUICK, derive_seed=False,
+        params={"inter_toast_gap_ms": ToastSpacingDefense(
+            build_stack(seed=1).notification_manager).gap_ms}))
     print(f"  undefended : min switch coverage "
           f"{plain.min_switch_coverage * 100:5.1f}%  -> imperceptible: "
           f"{plain.imperceptible}")

@@ -34,10 +34,14 @@ from .api import (
     FULL,
     QUICK,
     SMOKE,
+    ExperimentRequest,
     ExperimentScale,
+    FeasibilityQuery,
+    FeasibilityReport,
     RunPolicy,
     ScenarioMatrix,
     format_report,
+    query_feasibility,
     run_all,
     run_experiment,
     run_matrix,
@@ -77,8 +81,11 @@ __all__ = [
     "DrawAndDestroyOverlayAttack",
     "DrawAndDestroyToastAttack",
     "EnhancedNotificationDefense",
+    "ExperimentRequest",
     "ExperimentScale",
     "FULL",
+    "FeasibilityQuery",
+    "FeasibilityReport",
     "IpcDetector",
     "NotificationOutcome",
     "OverlayAttackConfig",
@@ -95,6 +102,7 @@ __all__ = [
     "build_stack",
     "device",
     "format_report",
+    "query_feasibility",
     "reference_device",
     "run_all",
     "run_experiment",

@@ -1,19 +1,26 @@
 """The stable public API of the reproduction suite.
 
-Everything an external caller needs lives behind four entry points:
+Everything an external caller needs lives behind six entry points:
 
 * :func:`build_stack` — boot one simulated Android device;
-* :func:`run_experiment` — run one named experiment of the suite;
+* :func:`run_experiment` — run one named experiment of the suite, from a
+  typed :class:`ExperimentRequest` or the legacy string form;
 * :func:`run_matrix` — run a declarative :class:`ScenarioMatrix` sweep
   with stack reuse;
 * :func:`run_campaign` — run a fleet-scale matrix as a sharded,
   supervised, resumable campaign with streaming aggregates;
+* :func:`query_feasibility` — answer one typed
+  :class:`FeasibilityQuery` (*which D suppresses the alert on this
+  device, and what capture exposure follows?*) through the exact
+  execution path the ``repro serve`` service uses;
 * :func:`run_all` / :func:`format_report` — the whole suite and its
   paper-vs-measured report.
 
 The historical per-module entry points (``repro.experiments.run_fig7``
 and friends) still work but emit :class:`DeprecationWarning`; they all
-route to the same implementations this module fronts.
+route to the same implementations this module fronts. Likewise the
+loose-kwargs form of :func:`run_experiment` (extra ``**params``) warns
+and forwards to the :class:`ExperimentRequest` path.
 
 Metrics compose ambiently: wrap any of these calls in
 ``with repro.obs.use_metrics(registry):`` and the simulation's
@@ -23,8 +30,9 @@ instruments feed ``registry`` without changing a single result byte.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Union
 
+from ._deprecation import _warn_once
 from .experiments.campaign import (
     CampaignManifest,
     CampaignResult,
@@ -40,13 +48,20 @@ from .experiments.engine import (
     use_executor,
 )
 from .experiments.parallel import (
-    _SPEC_BY_NAME,
-    _reset_global_id_allocators,
-    _run_one,
+    ExperimentRequest,
     experiment_names,
+    experiment_spec,
+    reset_id_allocators,
+    run_one_isolated,
 )
 from .experiments.resilience import ExperimentFailure, RunPolicy
 from .experiments.runner import AllResults, format_report, run_all
+from .serve import (
+    FeasibilityQuery,
+    FeasibilityReport,
+    QueryResponse,
+    execute_query,
+)
 from .sim.faults import use_default_profile
 from .stack import AndroidStack, build_stack
 
@@ -56,9 +71,13 @@ __all__ = [
     "CampaignManifest",
     "CampaignResult",
     "ExperimentFailure",
+    "ExperimentRequest",
     "ExperimentScale",
     "FULL",
+    "FeasibilityQuery",
+    "FeasibilityReport",
     "QUICK",
+    "QueryResponse",
     "RunPolicy",
     "SMOKE",
     "ScenarioMatrix",
@@ -68,6 +87,7 @@ __all__ = [
     "experiment_names",
     "format_report",
     "matrix_from_spec",
+    "query_feasibility",
     "run_all",
     "run_campaign",
     "run_experiment",
@@ -75,8 +95,30 @@ __all__ = [
 ]
 
 
+def _execute_request(request: ExperimentRequest) -> Any:
+    """The one implementation both request forms route through."""
+    spec = experiment_spec(request.name)
+    scale = request.effective_scale()
+    if not request.derive_seed:
+        if spec.takes_scale:
+            return spec.runner(scale, **request.params)
+        return spec.runner(**request.params)
+    if request.jobs != 1:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(run_one_isolated, request.name, scale).result()
+    if not request.params:
+        return run_one_isolated(request.name, scale)
+    # Same discipline as the worker path, with params threaded through.
+    reset_id_allocators()
+    with use_default_profile(scale.faults), use_executor(TrialExecutor()):
+        if spec.takes_scale:
+            return spec.runner(scale.for_experiment(request.name),
+                               **request.params)
+        return spec.runner(**request.params)
+
+
 def run_experiment(
-    name: str,
+    request: Union[ExperimentRequest, str],
     *,
     scale: ExperimentScale = QUICK,
     faults: Optional[str] = None,
@@ -86,11 +128,19 @@ def run_experiment(
 ) -> Any:
     """Run one named experiment and return its result dataclass.
 
-    ``name`` is an entry of :func:`experiment_names` (``"fig7"``,
-    ``"table3"``, ...). ``faults`` overrides the scale's ambient fault
-    regime (``"none"``, ``"mild"``, ``"pixel-loaded"``,
-    ``"adversarial"``). Extra keyword ``params`` pass through to the
-    experiment function (e.g. ``durations=(50.0, 200.0)`` for fig7).
+    The typed form — ``run_experiment(ExperimentRequest(name="fig7",
+    params={"durations": (50.0, 200.0)}))`` — validates everything
+    eagerly (unknown names, unknown fault profiles, params with
+    ``jobs != 1``, ``derive_seed=False`` with ``jobs != 1``) and is the
+    form the feasibility service speaks. Passing an
+    :class:`ExperimentRequest` together with any other argument is a
+    :class:`TypeError`: the request already carries them all.
+
+    The legacy form takes the experiment name as a string with the same
+    keyword options spread alongside. It keeps working unchanged, except
+    that extra ``**params`` (the undocumented loose-kwargs path) emit a
+    once-per-process :class:`DeprecationWarning` pointing at
+    ``ExperimentRequest(params={...})``.
 
     ``derive_seed=True`` (the default) reproduces exactly what
     ``run_all`` does for this experiment: the seed is derived from
@@ -103,37 +153,45 @@ def run_experiment(
     pin their own seeds.
 
     ``jobs=1`` runs in-process. Any other value runs the experiment in a
-    worker subprocess for isolation — one experiment never fans wider
-    than one worker, so this only buys a clean process, not speed.
+    worker subprocess — one experiment never fans wider than one worker,
+    so this only buys a clean process, not speed.
     """
-    spec = _SPEC_BY_NAME.get(name)
-    if spec is None:
-        known = ", ".join(experiment_names())
-        raise KeyError(f"unknown experiment {name!r}; known: {known}")
-    if faults is not None:
-        scale = scale.with_faults(faults)
-    if not derive_seed:
-        if spec.takes_scale:
-            return spec.runner(scale, **params)
-        return spec.runner(**params)
-    if jobs != 1:
-        if params:
-            raise ValueError(
-                "extra experiment params cannot cross the process "
-                "boundary; use jobs=1"
-            )
-        with ProcessPoolExecutor(max_workers=1) as pool:
-            _, result, _, _, _ = pool.submit(_run_one, name, scale).result()
-        return result
-    if not params:
-        _, result, _, _, _ = _run_one(name, scale)
-        return result
-    # Same discipline as the worker path, with params threaded through.
-    _reset_global_id_allocators()
-    with use_default_profile(scale.faults), use_executor(TrialExecutor()):
-        if spec.takes_scale:
-            return spec.runner(scale.for_experiment(name), **params)
-        return spec.runner(**params)
+    if isinstance(request, ExperimentRequest):
+        if (scale is not QUICK or faults is not None or jobs != 1
+                or derive_seed is not True or params):
+            raise TypeError(
+                "pass scale/faults/jobs/derive_seed/params on the "
+                "ExperimentRequest itself, not alongside it")
+        return _execute_request(request)
+    if params:
+        _warn_once(
+            "repro.api.run_experiment(**params)",
+            "loose keyword params to run_experiment are deprecated; pass "
+            "ExperimentRequest(name=..., params={...}) instead")
+    return _execute_request(ExperimentRequest(
+        name=request, scale=scale, faults=faults, jobs=jobs,
+        derive_seed=derive_seed, params=dict(params)))
+
+
+def query_feasibility(
+    query: Optional[FeasibilityQuery] = None, **fields: Any
+) -> FeasibilityReport:
+    """Answer one attack-feasibility query in-process.
+
+    Either pass a built :class:`FeasibilityQuery`, or its fields directly
+    (``query_feasibility(device="pixel 2", d_max_ms=300.0)``). This is
+    the *same* execution path the ``repro serve`` service schedules on
+    its worker pool — same scenarios, same seed derivation — so the
+    report is byte-identical to a served answer; only caching, queueing
+    and supervision differ.
+    """
+    if query is None:
+        query = FeasibilityQuery(**fields)
+    elif fields:
+        raise TypeError(
+            "pass query fields on the FeasibilityQuery itself, not "
+            "alongside it")
+    return execute_query(query)
 
 
 def run_matrix(

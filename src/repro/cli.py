@@ -13,7 +13,13 @@ Commands:
 * ``metrics`` — run the suite with metrics collection and export the
   aggregated series as JSONL + Prometheus text;
 * ``campaign`` — run a fleet-scale :class:`ScenarioMatrix` sweep from a
-  JSON spec: sharded, supervised, resumable, with streaming aggregates.
+  JSON spec: sharded, supervised, resumable, with streaming aggregates;
+* ``serve`` — boot the attack-feasibility query service: an HTTP front
+  over a bounded job queue, single-flight coalescing, a warm worker
+  pool and a content-addressed result cache (``/query``, ``/metrics``,
+  ``/healthz``, ``/stats``);
+* ``query`` — answer one feasibility query, either in-process or
+  against a running ``repro serve`` endpoint (``--url``).
 """
 
 from __future__ import annotations
@@ -350,6 +356,144 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .experiments.resilience import DEFAULT_POLICY
+    from .serve import FeasibilityService, ServeConfig, start_http_server
+
+    config = ServeConfig(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        cache_dir=args.cache_dir,
+        policy=_build_policy(args) or DEFAULT_POLICY,
+    )
+
+    async def _serve() -> None:
+        service = FeasibilityService(config)
+        await service.start()
+        server = await start_http_server(service, args.host, args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        print(f"repro serve: listening on http://{host}:{port} "
+              f"({config.workers} workers, queue limit "
+              f"{config.queue_limit})", flush=True)
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            await service.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _format_feasibility(payload: dict, source: str) -> str:
+    """Human summary of a FeasibilityReport dict (local or HTTP answer)."""
+    lines = [
+        f"device           : {payload['device_key']}",
+        f"faults / actors  : {payload['faults']} / {payload['attacker']} "
+        f"vs {payload['user']}",
+        f"{'D (ms)':>9s} {'suppressed':>11s} {'worst':>6s}",
+    ]
+    for point in payload["points"]:
+        lines.append(
+            f"{point['attacking_window_ms']:9.1f} "
+            f"{point['suppressed_trials']:>5d}/{point['trials']:<5d} "
+            f"{point['worst_outcome']:>6s}")
+    bound = payload["published_upper_bound_d_ms"]
+    feasible = payload["max_feasible_d_ms"]
+    if feasible is not None:
+        lines.append(f"max feasible D   : {feasible:.1f} ms "
+                     f"(published bound {bound:.0f} ms)")
+    else:
+        lines.append(f"max feasible D   : none in the swept range "
+                     f"(published bound {bound:.0f} ms)")
+    lines.append(f"mean Tmis        : {payload['mean_tmis_ms']:.1f} ms")
+    probe = payload.get("probe")
+    if probe is not None:
+        lines.append(
+            f"capture probe    : {probe['captured_taps']}/"
+            f"{probe['total_taps']} taps captured "
+            f"({probe['capture_rate'] * 100.0:.0f}%) at "
+            f"D={probe['attacking_window_ms']:.1f} ms")
+    lines.append(f"answered via     : {source}")
+    return "\n".join(lines)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .serve import FeasibilityQuery
+
+    try:
+        query = FeasibilityQuery(
+            device=args.device,
+            android_version=args.android,
+            faults=args.faults,
+            attacker=args.attacker,
+            user=args.user,
+            d_min_ms=args.d_min,
+            d_max_ms=args.d_max,
+            d_step_ms=args.d_step,
+            trials_per_d=args.trials,
+            trial_duration_ms=args.trial_ms,
+            probe_chars=args.probe_chars,
+            probe_trials=args.probe_trials,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"repro query: invalid query: {message}", file=sys.stderr)
+        return 2
+
+    if args.url is None:
+        from .api import query_feasibility
+
+        report = query_feasibility(query).to_dict()
+        source = "in-process"
+    else:
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            args.url.rstrip("/") + "/query",
+            data=query.canonical_json().encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=args.timeout) as resp:
+                payload = json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read())
+            except ValueError:
+                payload = {"error": f"HTTP {exc.code}"}
+            if "failure" in payload and payload["failure"] is not None:
+                failure = payload["failure"]
+                print(f"repro query: query FAILED ({failure['kind']}, "
+                      f"{failure['attempts']} attempt(s)): "
+                      f"{failure['error']}", file=sys.stderr)
+                return 1
+            print(f"repro query: {payload.get('error', exc)}",
+                  file=sys.stderr)
+            return 2
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"repro query: cannot reach {args.url}: {exc}",
+                  file=sys.stderr)
+            return 1
+        report = payload["report"]
+        source = payload["provenance"]["source"]
+
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(_format_feasibility(report, source))
+    return 0
+
+
 def _cmd_fig6(args: argparse.Namespace) -> int:
     from .systemui.render import render_outcome_gallery
 
@@ -541,6 +685,71 @@ def build_parser() -> argparse.ArgumentParser:
                           help="resume a journaled campaign, re-running only "
                                "the shards missing from RUN_DIR")
 
+    serve = sub.add_parser(
+        "serve",
+        help="boot the attack-feasibility query service (HTTP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 picks a free one; default: 8765)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="pool worker processes, each keeping a warm "
+                            "stack pool between jobs (default: 2)")
+    serve.add_argument("--queue-limit", type=int, default=32,
+                       help="bounded job-queue size; submitters beyond it "
+                            "block (default: 32)")
+    serve.add_argument("--cache-dir", type=Path, default=None,
+                       help="persist answered queries here (default: "
+                            "memory-only, dies with the service)")
+    serve.add_argument("--retries", type=_nonnegative_int, default=0,
+                       help="retry each failed query up to N extra times "
+                            "with deterministic backoff")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-query wall-clock deadline in seconds; "
+                            "overruns degrade to structured failures")
+    serve.set_defaults(fail_fast=False)
+
+    query = sub.add_parser(
+        "query",
+        help="answer one feasibility query (in-process, or --url for a "
+             "running service)",
+    )
+    query.add_argument("--device", required=True,
+                       help="device model (e.g. 'pixel 2')")
+    query.add_argument("--android", default=None,
+                       help="Android version label, for ambiguous models")
+    query.add_argument("--faults", choices=_fault_profile_names(),
+                       default="none",
+                       help="deterministic fault-injection profile")
+    query.add_argument("--attacker", default="draw-and-destroy",
+                       help="registered attacker model label")
+    query.add_argument("--user", default="stochastic-human",
+                       help="registered user model label")
+    query.add_argument("--d-min", type=float, default=50.0,
+                       help="smallest attacking window D in ms")
+    query.add_argument("--d-max", type=float, default=200.0,
+                       help="largest attacking window D in ms")
+    query.add_argument("--d-step", type=float, default=25.0,
+                       help="sweep step in ms")
+    query.add_argument("--trials", type=int, default=3,
+                       help="trials per grid point")
+    query.add_argument("--trial-ms", type=float, default=2000.0,
+                       help="simulated attack duration per trial")
+    query.add_argument("--probe-chars", type=int, default=8,
+                       help="characters typed in the capture probe "
+                            "(0 skips it)")
+    query.add_argument("--probe-trials", type=int, default=2)
+    query.add_argument("--seed", type=int, default=20220701)
+    query.add_argument("--url", default=None,
+                       help="a running `repro serve` base URL "
+                            "(e.g. http://127.0.0.1:8765); default is "
+                            "in-process execution")
+    query.add_argument("--timeout", type=float, default=600.0,
+                       help="HTTP timeout in seconds (with --url)")
+    query.add_argument("--json", action="store_true",
+                       help="print the raw report JSON instead of the "
+                            "human summary")
+
     sub.add_parser("fig6", help="render the five Λ outcomes (paper Fig. 6)")
 
     probe = sub.add_parser(
@@ -562,6 +771,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments": _cmd_experiments,
         "actors": _cmd_actors,
         "campaign": _cmd_campaign,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
         "fig6": _cmd_fig6,
         "probe": _cmd_probe,
     }

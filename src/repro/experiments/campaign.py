@@ -51,7 +51,7 @@ from .aggregate import (
 )
 from .config import FULL, QUICK, SMOKE, ExperimentScale, resolve_jobs
 from .engine import ScenarioMatrix, TrialExecutor, TrialSpec, use_executor
-from .parallel import _reset_global_id_allocators
+from .parallel import reset_id_allocators
 from .resilience import (
     DEFAULT_POLICY,
     ExperimentFailure,
@@ -204,7 +204,7 @@ def _run_shard(
         return PoisonedResult(name=shard.name, attempt=attempt)
 
     extract = extractor if extractor is not None else default_trial_metrics
-    _reset_global_id_allocators()
+    reset_id_allocators()
     aggregate = CampaignAggregate()
     trials = 0
     start = time.perf_counter()

@@ -41,10 +41,11 @@ import dataclasses
 import hashlib
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from .._deprecation import _warn_once
 from ..serialization import SerializableMixin
 from .animation_curves import _run_fig2, _run_fig4
 from .capture_rate import _run_fig7, _run_fig8
@@ -152,7 +153,17 @@ EXPERIMENTS: Tuple[ExperimentSpec, ...] = (
                    _run_noise_sensitivity),
 )
 
-_SPEC_BY_NAME: Dict[str, ExperimentSpec] = {s.name: s for s in EXPERIMENTS}
+_SPECS: Dict[str, ExperimentSpec] = {s.name: s for s in EXPERIMENTS}
+
+
+def experiment_spec(name: str) -> ExperimentSpec:
+    """Look up one registered experiment; unknown names raise a KeyError
+    that lists every valid name."""
+    spec = _SPECS.get(name)
+    if spec is None:
+        known = ", ".join(experiment_names())
+        raise KeyError(f"unknown experiment {name!r}; known: {known}")
+    return spec
 
 
 @dataclass(frozen=True)
@@ -172,7 +183,63 @@ def experiment_names() -> Tuple[str, ...]:
     return tuple(spec.name for spec in EXPERIMENTS)
 
 
-def _reset_global_id_allocators() -> None:
+@dataclass(frozen=True, kw_only=True)
+class ExperimentRequest(SerializableMixin):
+    """A fully-typed ``run_experiment`` invocation, validated eagerly.
+
+    The loose-kwargs form of :func:`repro.api.run_experiment` hid two
+    traps: extra params silently cannot cross the process boundary, and
+    ``jobs != 1`` buys a clean worker process for isolation — never
+    speed, since one experiment is one unit of work. This request type
+    makes both rules explicit and rejects the illegal combinations at
+    construction, before any work is scheduled.
+    """
+
+    #: Entry of :func:`experiment_names` (``"fig7"``, ``"table3"``, ...).
+    name: str
+    scale: ExperimentScale = QUICK
+    #: Overrides the scale's ambient fault regime when set.
+    faults: Optional[str] = None
+    #: ``1`` runs in-process; anything else runs in one worker subprocess
+    #: for isolation (never parallelism — see class docstring).
+    jobs: int = 1
+    #: ``True`` reproduces the experiment's ``run_all`` slot exactly;
+    #: ``False`` calls the implementation directly with ``scale`` as given.
+    derive_seed: bool = True
+    #: Extra keyword params for the experiment function. Only legal with
+    #: ``jobs=1`` — params cannot cross the process boundary.
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        experiment_spec(self.name)  # KeyError listing known names
+        if self.faults is not None:
+            from ..sim.faults import PROFILES
+
+            if self.faults not in PROFILES:
+                known = ", ".join(sorted(PROFILES))
+                raise ValueError(
+                    f"unknown fault profile {self.faults!r}; known: {known}")
+        if self.jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {self.jobs!r}")
+        if self.jobs != 1 and self.params:
+            raise ValueError(
+                "experiment params cannot cross the process boundary; "
+                "run with jobs=1, or drop params (jobs != 1 buys a clean "
+                "worker process for isolation, not speed)")
+        if self.jobs != 1 and not self.derive_seed:
+            raise ValueError(
+                "derive_seed=False calls the experiment implementation "
+                "directly and therefore runs in-process; use jobs=1")
+        object.__setattr__(self, "params", dict(self.params))
+
+    def effective_scale(self) -> ExperimentScale:
+        """The scale after applying the ``faults`` override."""
+        if self.faults is not None:
+            return self.scale.with_faults(self.faults)
+        return self.scale
+
+
+def reset_id_allocators() -> None:
     """Restart the process-wide debug id counters.
 
     Window/toast/token ids are allocated by module-global counters; some
@@ -190,7 +257,20 @@ def _reset_global_id_allocators() -> None:
     reset_window_ids()
 
 
-def _run_one(
+def run_one_isolated(name: str, scale: ExperimentScale):
+    """Run one experiment exactly as a pool worker would; return its result.
+
+    The supported cross-process entry point: module-level (pickles by
+    qualified name), resets the id allocators, installs the scale's
+    fault regime and a fresh stack-reuse executor, and runs ``name`` at
+    its derived per-experiment seed — so the result is bit-identical to
+    the same experiment's slot in a full ``run_all`` pass.
+    """
+    _, result, _, _, _ = _execute_one(name, scale)
+    return result
+
+
+def _execute_one(
     name: str,
     scale: ExperimentScale,
     collect_metrics: bool = False,
@@ -231,8 +311,8 @@ def _run_one(
         return name, PoisonedResult(name=name, attempt=attempt), 0.0, None, \
             os.getpid()
 
-    spec = _SPEC_BY_NAME[name]
-    _reset_global_id_allocators()
+    spec = _SPECS[name]
+    reset_id_allocators()
     registry = MetricsRegistry() if collect_metrics else None
     start = time.perf_counter()
     metrics_ctx = (use_metrics(registry) if collect_metrics
@@ -409,7 +489,7 @@ def run_experiments(
         timings[name] = timing
         done += 1
         if verbose:
-            spec = _SPEC_BY_NAME[name]
+            spec = _SPECS[name]
             suffix = "cache hit" if cached else f"{seconds:.2f}s"
             print(f"[{scale.name}] [{done:2d}/{total}] {spec.title} "
                   f"({suffix})", flush=True)
@@ -437,7 +517,7 @@ def run_experiments(
         timings[failure.name] = timing
         done += 1
         if verbose:
-            spec = _SPEC_BY_NAME[failure.name]
+            spec = _SPECS[failure.name]
             print(f"[{scale.name}] [{done:2d}/{total}] {spec.title} "
                   f"(FAILED: {failure.error})", flush=True)
         if progress is not None:
@@ -462,7 +542,7 @@ def run_experiments(
             pending.append(spec)
 
     run_supervised(
-        [SupervisedTask(name=spec.name, fn=_run_one,
+        [SupervisedTask(name=spec.name, fn=_execute_one,
                         args=(spec.name, scale, collect_metrics, profile_dir))
          for spec in pending],
         supervisor,
@@ -531,3 +611,30 @@ def _assemble_metrics(
     return per_experiment + (
         ExperimentMetrics(name="runner", samples=runner.samples()),
     )
+
+
+# ---------------------------------------------------------------------------
+# Warn-once shims for the pre-PR-9 private names
+# ---------------------------------------------------------------------------
+
+def _deprecated_attrs():
+    # Lazily built so the shims always hand back the live objects.
+    return {
+        "_SPEC_BY_NAME": ("experiment_spec(name)", _SPECS),
+        "_run_one": ("run_one_isolated(name, scale)", _execute_one),
+        "_reset_global_id_allocators": ("reset_id_allocators()",
+                                        reset_id_allocators),
+    }
+
+
+def __getattr__(name: str):
+    entry = _deprecated_attrs().get(name)
+    if entry is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    instead, value = entry
+    _warn_once(
+        f"{__name__}.{name}",
+        f"{__name__}.{name} is private and deprecated; use "
+        f"repro.experiments.{instead} instead")
+    return value

@@ -10,7 +10,12 @@ snapshot with ``registry.samples()`` and export via :func:`to_jsonl` or
 """
 
 from .context import current_metrics, use_metrics
-from .export import render_prometheus, to_jsonl
+from .export import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+    render_registry,
+    to_jsonl,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -31,10 +36,12 @@ __all__ = [
     "Histogram",
     "MetricSample",
     "MetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
     "current_metrics",
     "diff_samples",
     "merge_samples",
     "render_prometheus",
+    "render_registry",
     "to_jsonl",
     "use_metrics",
 ]

@@ -14,6 +14,15 @@ from typing import Iterable, List
 
 from .metrics import MetricSample
 
+#: The Prometheus text exposition content type, for HTTP endpoints that
+#: serve :func:`render_prometheus` output live.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def render_registry(registry) -> str:
+    """Prometheus text for a live registry — the ``/metrics`` body."""
+    return render_prometheus(registry.samples())
+
 
 def to_jsonl(samples: Iterable[MetricSample]) -> str:
     """One JSON object per sample, in registry (name, labels) order."""

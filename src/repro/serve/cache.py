@@ -1,0 +1,79 @@
+"""Content-addressed result cache for feasibility queries.
+
+The same checksummed-envelope idiom as the experiment
+:class:`~repro.experiments.parallel.ResultCache`, keyed by the query's
+content hash instead of ``(name, scale)``: corrupt, truncated or
+stale-version bytes degrade to a miss (counted on
+``cache_integrity_rejects_total``), and writes go through collision-free
+temp files so concurrent services sharing a directory cannot clobber
+each other mid-write. A memory layer fronts the disk so a warm hit never
+re-reads or re-validates bytes; with no directory configured the cache
+is memory-only and dies with the service.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..experiments.resilience import (
+    CACHE_REJECTS_METRIC,
+    CacheIntegrityError,
+    atomic_write_bytes,
+    decode_envelope,
+    encode_envelope,
+)
+from .schema import FeasibilityReport
+
+__all__ = ["SERVE_CACHE_VERSION", "QueryCache"]
+
+#: Bump when a change to query execution invalidates previously cached
+#: reports (the content hash only sees the query, never the code).
+SERVE_CACHE_VERSION = 1
+
+
+class QueryCache:
+    """Envelope-per-key store of :class:`FeasibilityReport` results."""
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: Dict[str, FeasibilityReport] = {}
+        #: Entries rejected by envelope validation since construction.
+        self.integrity_rejects = 0
+
+    def path_for(self, key: str) -> Path:
+        if self.directory is None:
+            raise ValueError("memory-only cache has no paths")
+        return self.directory / f"query-{key}.pkl"
+
+    def _note_reject(self) -> None:
+        from ..obs.context import current_metrics
+
+        self.integrity_rejects += 1
+        registry = current_metrics()
+        if registry is not None:
+            registry.counter(CACHE_REJECTS_METRIC).inc()
+
+    def load(self, key: str) -> Optional[FeasibilityReport]:
+        hit = self._memory.get(key)
+        if hit is not None:
+            return hit
+        if self.directory is None:
+            return None
+        try:
+            data = self.path_for(key).read_bytes()
+        except OSError:
+            return None
+        try:
+            report = decode_envelope(SERVE_CACHE_VERSION, data)
+        except CacheIntegrityError:
+            self._note_reject()
+            return None
+        self._memory[key] = report
+        return report
+
+    def store(self, key: str, report: FeasibilityReport) -> None:
+        self._memory[key] = report
+        if self.directory is not None:
+            atomic_write_bytes(self.path_for(key),
+                               encode_envelope(SERVE_CACHE_VERSION, report))

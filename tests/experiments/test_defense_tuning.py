@@ -3,16 +3,16 @@
 import pytest
 
 from repro.api import run_experiment
-from repro.experiments import SMOKE
+from repro.experiments import SMOKE, ExperimentRequest
 from repro.experiments.defense_tuning import RuleOperatingPoint
 
 
 @pytest.fixture(scope="module")
 def tuning():
-    return run_experiment(
-        "defense_tuning", scale=SMOKE, derive_seed=False,
-        attack_ms=8_000.0, benign_observation_ms=60_000.0,
-    )
+    return run_experiment(ExperimentRequest(
+        name="defense_tuning", scale=SMOKE, derive_seed=False,
+        params={"attack_ms": 8_000.0, "benign_observation_ms": 60_000.0},
+    ))
 
 
 class TestTuningSweep:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis import measure_overlay_coverage
 from repro.api import run_experiment
-from repro.experiments import SMOKE
+from repro.experiments import SMOKE, ExperimentRequest
 from repro.sim.tracing import TraceLog
 
 
@@ -56,8 +56,9 @@ class TestCoverageTimeline:
 class TestEquationValidation:
     @pytest.fixture(scope="class")
     def result(self):
-        return run_experiment("equation_validation", scale=SMOKE,
-                              derive_seed=False, attack_ms=8000.0)
+        return run_experiment(ExperimentRequest(
+            name="equation_validation", scale=SMOKE, derive_seed=False,
+            params={"attack_ms": 8000.0}))
 
     def test_prediction_matches_measurement_within_five_percent(self, result):
         assert result.max_relative_error < 0.05

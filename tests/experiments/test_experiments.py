@@ -10,7 +10,7 @@ import pytest
 
 from repro.api import run_experiment
 from repro.devices import DEVICES
-from repro.experiments import SMOKE, compare_toast_durations
+from repro.experiments import SMOKE, ExperimentRequest, compare_toast_durations
 from repro.systemui import NotificationOutcome
 
 
@@ -38,13 +38,15 @@ class TestAnimationCurves:
 
 class TestFig6:
     def test_ladder_on_reference_device(self):
-        result = run_experiment("fig6", trial_ms=2500.0)
+        result = run_experiment(ExperimentRequest(
+            name="fig6", params={"trial_ms": 2500.0}))
         assert result.is_monotone
         labels = {outcome.label for _, outcome in result.outcomes}
         assert "Λ1" in labels and "Λ5" in labels
 
     def test_suppressed_below_published_bound(self):
-        result = run_experiment("fig6", trial_ms=2500.0)
+        result = run_experiment(ExperimentRequest(
+            name="fig6", params={"trial_ms": 2500.0}))
         for d, outcome in result.outcomes:
             if d < result.published_upper_bound_d * 0.97:
                 assert outcome is NotificationOutcome.LAMBDA1
@@ -52,8 +54,9 @@ class TestFig6:
 
 class TestTable2:
     def test_boundaries_within_two_frames(self):
-        result = run_experiment("table2", scale=SMOKE, derive_seed=False,
-                                profiles=DEVICES[:8])
+        result = run_experiment(ExperimentRequest(
+            name="table2", scale=SMOKE, derive_seed=False,
+            params={"profiles": DEVICES[:8]}))
         assert result.max_abs_error_ms <= 20.0  # two refresh intervals
 
     def test_version_structure(self):
@@ -72,15 +75,17 @@ class TestLoadImpact:
 
 class TestCaptureRates:
     def test_fig7_increases_with_d(self):
-        result = run_experiment("fig7", scale=SMOKE, derive_seed=False,
-                                durations=(50.0, 100.0, 200.0))
+        result = run_experiment(ExperimentRequest(
+            name="fig7", scale=SMOKE, derive_seed=False,
+            params={"durations": (50.0, 100.0, 200.0)}))
         means = result.means()
         assert means[0] < means[-1]
         assert means[-1] > 85.0
 
     def test_fig8_android10_below_8_9(self):
-        result = run_experiment("fig8", scale=SMOKE, derive_seed=False,
-                                durations=(75.0, 150.0))
+        result = run_experiment(ExperimentRequest(
+            name="fig8", scale=SMOKE, derive_seed=False,
+            params={"durations": (75.0, 150.0)}))
         mean10 = result.version_mean("10")
         mean9 = result.version_mean("9")
         assert mean10 < mean9
@@ -88,8 +93,9 @@ class TestCaptureRates:
 
 class TestPasswordStudy:
     def test_table3_success_rates_plausible(self):
-        result = run_experiment("table3", scale=SMOKE, derive_seed=False,
-                                lengths=(4, 8))
+        result = run_experiment(ExperimentRequest(
+            name="table3", scale=SMOKE, derive_seed=False,
+            params={"lengths": (4, 8)}))
         for row in result.rows:
             assert row.attempts == SMOKE.participants * SMOKE.passwords_per_length
             assert row.success_rate > 50.0
@@ -129,9 +135,10 @@ class TestCorpusStudy:
 
 class TestDefenses:
     def test_ipc_defense_catches_all_attacks_no_fp(self):
-        result = run_experiment("defense_ipc", scale=SMOKE, derive_seed=False,
-                                durations=(100.0, 250.0),
-                                benign_observation_ms=90_000.0)
+        result = run_experiment(ExperimentRequest(
+            name="defense_ipc", scale=SMOKE, derive_seed=False,
+            params={"durations": (100.0, 250.0),
+                    "benign_observation_ms": 90_000.0}))
         assert result.detection_rate == 1.0
         assert result.false_positives == 0
         assert result.monitor_overhead_ms_per_txn < 0.01

@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis import export_jsonl, load_into, load_jsonl
 from repro.api import run_experiment
-from repro.experiments import QUICK, SMOKE
+from repro.experiments import QUICK, SMOKE, ExperimentRequest
 from repro.sim.tracing import TraceLog
 
 
@@ -31,14 +31,16 @@ class TestTable3ByVersion:
 
 class TestFig7WithCis:
     def test_cis_contain_means(self):
-        result = run_experiment("fig7_cis", scale=SMOKE, derive_seed=False,
-                                durations=(50.0, 200.0))
+        result = run_experiment(ExperimentRequest(
+            name="fig7_cis", scale=SMOKE, derive_seed=False,
+            params={"durations": (50.0, 200.0)}))
         for row in result.rows:
             assert row.ci.lower <= row.mean <= row.ci.upper
 
     def test_means_increase_with_d(self):
-        result = run_experiment("fig7_cis", scale=SMOKE, derive_seed=False,
-                                durations=(50.0, 200.0))
+        result = run_experiment(ExperimentRequest(
+            name="fig7_cis", scale=SMOKE, derive_seed=False,
+            params={"durations": (50.0, 200.0)}))
         assert result.rows[0].mean < result.rows[-1].mean
 
 

@@ -17,8 +17,11 @@ REPRO_ALL = [
     "DrawAndDestroyOverlayAttack",
     "DrawAndDestroyToastAttack",
     "EnhancedNotificationDefense",
+    "ExperimentRequest",
     "ExperimentScale",
     "FULL",
+    "FeasibilityQuery",
+    "FeasibilityReport",
     "IpcDetector",
     "NotificationOutcome",
     "OverlayAttackConfig",
@@ -35,6 +38,7 @@ REPRO_ALL = [
     "build_stack",
     "device",
     "format_report",
+    "query_feasibility",
     "reference_device",
     "run_all",
     "run_experiment",
@@ -48,9 +52,13 @@ API_ALL = [
     "CampaignManifest",
     "CampaignResult",
     "ExperimentFailure",
+    "ExperimentRequest",
     "ExperimentScale",
     "FULL",
+    "FeasibilityQuery",
+    "FeasibilityReport",
     "QUICK",
+    "QueryResponse",
     "RunPolicy",
     "SMOKE",
     "ScenarioMatrix",
@@ -60,6 +68,7 @@ API_ALL = [
     "experiment_names",
     "format_report",
     "matrix_from_spec",
+    "query_feasibility",
     "run_all",
     "run_campaign",
     "run_experiment",

@@ -177,6 +177,62 @@ class TestAttackAliasShims:
             NotificationFloodingAttack
 
 
+class TestParallelPrivateShims:
+    """The promoted parallel.py surface keeps the old underscored names
+    alive behind warn-once module shims."""
+
+    def test_spec_table_shim(self):
+        import repro.experiments.parallel as parallel
+
+        with pytest.warns(DeprecationWarning,
+                          match=r"_SPEC_BY_NAME is private and deprecated; "
+                                r"use repro\.experiments\.experiment_spec"):
+            table = parallel._SPEC_BY_NAME
+        assert table["fig2"] is parallel.experiment_spec("fig2")
+
+    def test_worker_entry_shim(self):
+        import repro.experiments.parallel as parallel
+
+        with pytest.warns(DeprecationWarning,
+                          match=r"_run_one is private and deprecated; use "
+                                r"repro\.experiments\.run_one_isolated"):
+            assert callable(parallel._run_one)
+
+    def test_allocator_reset_shim(self):
+        import repro.experiments.parallel as parallel
+
+        with pytest.warns(DeprecationWarning,
+                          match=r"_reset_global_id_allocators is private "
+                                r"and deprecated; use "
+                                r"repro\.experiments\.reset_id_allocators"):
+            assert parallel._reset_global_id_allocators \
+                is parallel.reset_id_allocators
+
+    def test_shims_warn_once_per_process(self):
+        import repro.experiments.parallel as parallel
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            parallel._SPEC_BY_NAME
+            parallel._SPEC_BY_NAME
+        assert len(caught) == 1
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.experiments.parallel as parallel
+
+        with pytest.raises(AttributeError):
+            parallel._no_such_thing
+
+    def test_public_surface_is_warning_free(self):
+        import repro.experiments.parallel as parallel
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            parallel.experiment_spec("fig2")
+            parallel.reset_id_allocators()
+            assert callable(parallel.run_one_isolated)
+
+
 class TestPackageShims:
     def test_legacy_entry_point_warns_and_matches_facade(self):
         from repro.api import run_experiment
