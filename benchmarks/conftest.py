@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, Optional
 import pytest
 
 from repro.experiments import FULL, QUICK, ExperimentScale
+from repro.storage import DurableStore
 
 _LEDGER_DIR = Path(__file__).resolve().parent / "ledger"
 
@@ -90,9 +91,10 @@ def ledger(scale: ExperimentScale) -> Callable[..., Dict[str, Any]]:
         for key, value in measurements.items():
             entry[key] = float(value)
         entries.append(entry)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(entries, indent=2) + "\n")
-        tmp.replace(path)
+        # The ledger is the fifth DurableStore surface: atomic publish,
+        # fault-injectable as fs:ledger:... in storage-chaos tests.
+        DurableStore("ledger").write_bytes(
+            path, (json.dumps(entries, indent=2) + "\n").encode("utf-8"))
         return entry
 
     return record

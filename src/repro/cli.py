@@ -199,6 +199,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         format_report,
         run_all,
     )
+    from .experiments.resilience import JournalError
 
     scale = {"full": FULL, "quick": QUICK, "smoke": SMOKE}[args.scale]
     if args.faults != "none":
@@ -221,11 +222,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
               "drop --run-dir", file=sys.stderr)
         return 2
     run_dir = args.resume if args.resume is not None else args.run_dir
-    results = run_all(scale, verbose=args.verbose, jobs=args.jobs,
-                      cache_dir=cache_dir, collect_metrics=collect_metrics,
-                      profile_dir=args.profile_dir,
-                      policy=_build_policy(args), run_dir=run_dir,
-                      resume=args.resume is not None)
+    try:
+        results = run_all(scale, verbose=args.verbose, jobs=args.jobs,
+                          cache_dir=cache_dir,
+                          collect_metrics=collect_metrics,
+                          profile_dir=args.profile_dir,
+                          policy=_build_policy(args), run_dir=run_dir,
+                          resume=args.resume is not None)
+    except JournalError as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        return 2
     print(format_report(results, include_timings=args.verbose))
     if collect_metrics:
         _write_metrics_exports(results, args.metrics_out)
@@ -358,15 +364,32 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from .experiments.resilience import DEFAULT_POLICY
-    from .serve import FeasibilityService, ServeConfig, start_http_server
+    from .serve import (
+        BreakerConfig,
+        FeasibilityService,
+        ServeConfig,
+        start_http_server,
+    )
 
+    try:
+        breaker = BreakerConfig(
+            window=args.breaker_window,
+            failure_threshold=args.breaker_failures,
+            cooldown_rejections=args.breaker_cooldown,
+        )
+    except ValueError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
     config = ServeConfig(
         workers=args.workers,
         queue_limit=args.queue_limit,
         cache_dir=args.cache_dir,
         policy=_build_policy(args) or DEFAULT_POLICY,
+        breaker=breaker,
+        retry_after_seconds=args.retry_after,
     )
 
     async def _serve() -> None:
@@ -374,13 +397,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         await service.start()
         server = await start_http_server(service, args.host, args.port)
         host, port = server.sockets[0].getsockname()[:2]
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without signal handlers; Ctrl-C still works
         print(f"repro serve: listening on http://{host}:{port} "
               f"({config.workers} workers, queue limit "
               f"{config.queue_limit})", flush=True)
         try:
-            async with server:
-                await server.serve_forever()
+            await stop.wait()
         finally:
+            # Graceful drain: stop accepting connections, let every
+            # queued job finish, flush the disk cache, then tear down.
+            server.close()
+            await server.wait_closed()
+            elapsed = await service.drain()
+            print(f"repro serve: drained in {elapsed:.3f}s", flush=True)
             await service.close()
 
     try:
@@ -423,6 +458,17 @@ def _format_feasibility(payload: dict, source: str) -> str:
     return "\n".join(lines)
 
 
+def _retry_after_seconds(headers, fallback: float = 1.0) -> float:
+    """Parse a ``Retry-After`` header (seconds form), clamped to keep a
+    hostile or buggy server from pinning the client for minutes."""
+    raw = headers.get("Retry-After") if headers is not None else None
+    try:
+        seconds = float(raw)
+    except (TypeError, ValueError):
+        seconds = fallback
+    return min(max(seconds, 0.05), 30.0)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from .serve import FeasibilityQuery
 
@@ -453,6 +499,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         report = query_feasibility(query).to_dict()
         source = "in-process"
     else:
+        import time as time_module
         import urllib.error
         import urllib.request
 
@@ -462,28 +509,50 @@ def _cmd_query(args: argparse.Namespace) -> int:
             headers={"Content-Type": "application/json"},
             method="POST",
         )
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=args.timeout) as resp:
-                payload = json.loads(resp.read())
-        except urllib.error.HTTPError as exc:
+        # Bounded retry against an overloaded service: a 503 carries a
+        # Retry-After the server chose; we honor it (clamped) up to
+        # --retry times, so a storm against an open breaker backs off
+        # and succeeds once the breaker half-opens.
+        attempts = max(0, args.retry) + 1
+        payload = None
+        for attempt in range(1, attempts + 1):
             try:
-                payload = json.loads(exc.read())
-            except ValueError:
-                payload = {"error": f"HTTP {exc.code}"}
-            if "failure" in payload and payload["failure"] is not None:
-                failure = payload["failure"]
-                print(f"repro query: query FAILED ({failure['kind']}, "
-                      f"{failure['attempts']} attempt(s)): "
-                      f"{failure['error']}", file=sys.stderr)
+                with urllib.request.urlopen(request,
+                                            timeout=args.timeout) as resp:
+                    payload = json.loads(resp.read())
+                break
+            except urllib.error.HTTPError as exc:
+                try:
+                    payload = json.loads(exc.read())
+                except ValueError:
+                    payload = {"error": f"HTTP {exc.code}"}
+                if exc.code == 503:
+                    if attempt < attempts:
+                        delay = _retry_after_seconds(exc.headers)
+                        print(f"repro query: service overloaded "
+                              f"({payload.get('reason', 'unknown')}); "
+                              f"retry {attempt}/{attempts - 1} in "
+                              f"{delay:g}s", file=sys.stderr)
+                        time_module.sleep(delay)
+                        continue
+                    print(f"repro query: {payload.get('error', exc)} "
+                          f"(gave up after {attempts} attempt(s))",
+                          file=sys.stderr)
+                    return 1
+                if "failure" in payload and payload["failure"] is not None:
+                    failure = payload["failure"]
+                    print(f"repro query: query FAILED ({failure['kind']}, "
+                          f"{failure['attempts']} attempt(s)): "
+                          f"{failure['error']}", file=sys.stderr)
+                    return 1
+                print(f"repro query: {payload.get('error', exc)}",
+                      file=sys.stderr)
+                return 2
+            except (urllib.error.URLError, OSError) as exc:
+                print(f"repro query: cannot reach {args.url}: {exc}",
+                      file=sys.stderr)
                 return 1
-            print(f"repro query: {payload.get('error', exc)}",
-                  file=sys.stderr)
-            return 2
-        except (urllib.error.URLError, OSError) as exc:
-            print(f"repro query: cannot reach {args.url}: {exc}",
-                  file=sys.stderr)
-            return 1
+        assert payload is not None
         report = payload["report"]
         source = payload["provenance"]["source"]
 
@@ -492,6 +561,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         print(_format_feasibility(report, source))
     return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from .experiments.resilience import JournalError
+    from .storage import format_fsck, fsck_run_dir
+
+    try:
+        report = fsck_run_dir(args.run_dir, sweep=args.sweep)
+    except JournalError as exc:
+        print(f"repro fsck: {exc}", file=sys.stderr)
+        return 2
+    print(format_fsck(report), end="")
+    return 0 if report.ok else 1
 
 
 def _cmd_fig6(args: argparse.Namespace) -> int:
@@ -696,8 +778,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pool worker processes, each keeping a warm "
                             "stack pool between jobs (default: 2)")
     serve.add_argument("--queue-limit", type=int, default=32,
-                       help="bounded job-queue size; submitters beyond it "
-                            "block (default: 32)")
+                       help="admission high-watermark: requests beyond it "
+                            "get 503 + Retry-After (default: 32)")
     serve.add_argument("--cache-dir", type=Path, default=None,
                        help="persist answered queries here (default: "
                             "memory-only, dies with the service)")
@@ -707,6 +789,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--deadline", type=float, default=None,
                        help="per-query wall-clock deadline in seconds; "
                             "overruns degrade to structured failures")
+    serve.add_argument("--breaker-window", type=int, default=16,
+                       help="circuit-breaker outcome window (default: 16)")
+    serve.add_argument("--breaker-failures", type=int, default=8,
+                       help="failures in the window that open the breaker; "
+                            "0 disables it (default: 8)")
+    serve.add_argument("--breaker-cooldown", type=int, default=8,
+                       help="requests an open breaker sheds before "
+                            "admitting one half-open probe (default: 8)")
+    serve.add_argument("--retry-after", type=float, default=1.0,
+                       help="Retry-After seconds attached to shed 503 "
+                            "responses (default: 1.0)")
     serve.set_defaults(fail_fast=False)
 
     query = sub.add_parser(
@@ -746,9 +839,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "in-process execution")
     query.add_argument("--timeout", type=float, default=600.0,
                        help="HTTP timeout in seconds (with --url)")
+    query.add_argument("--retry", type=_nonnegative_int, default=5,
+                       help="extra attempts when the service sheds with "
+                            "503, honoring its Retry-After (with --url; "
+                            "default: 5, 0 disables)")
     query.add_argument("--json", action="store_true",
                        help="print the raw report JSON instead of the "
                             "human summary")
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="verify a journaled run directory offline (envelope "
+             "checksums, manifest consistency, orphaned temp files)",
+    )
+    fsck.add_argument("--run-dir", type=Path, required=True,
+                      help="a --run-dir previously written by "
+                           "`repro report` or `repro campaign`")
+    fsck.add_argument("--sweep", action="store_true",
+                      help="also unlink orphaned *.tmp files")
 
     sub.add_parser("fig6", help="render the five Λ outcomes (paper Fig. 6)")
 
@@ -773,6 +881,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "serve": _cmd_serve,
         "query": _cmd_query,
+        "fsck": _cmd_fsck,
         "fig6": _cmd_fig6,
         "probe": _cmd_probe,
     }

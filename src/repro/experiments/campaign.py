@@ -285,6 +285,10 @@ class CampaignManifest(RunJournal):
 
     MANIFEST = "campaign.json"
 
+    #: Campaign writes are their own fault-injection target
+    #: (``fs:campaign:...``), distinct from plain run journals.
+    SURFACE = "campaign"
+
     def __init__(self, root: Path, matrix: ScenarioMatrix,
                  shards: int) -> None:
         super().__init__(root, matrix.scale, CAMPAIGN_VERSION)
@@ -332,6 +336,7 @@ class CampaignManifest(RunJournal):
             raise JournalError(
                 f"{manifest.root} journals a different campaign (matrix, "
                 "shard plan or format mismatch); choose a fresh --run-dir")
+        manifest.sweep_orphans()
         return manifest
 
     # -- manifest -------------------------------------------------------

@@ -76,12 +76,12 @@ from .resilience import (
     RunPolicy,
     SupervisedTask,
     Supervisor,
-    atomic_write_bytes,
     chaos_fire,
     decode_envelope,
     encode_envelope,
     run_supervised,
 )
+from ..storage.store import DurableStore
 from .supplementary import _run_fig7_with_cis, _run_table3_by_version
 from .toast_continuity import _run_toast_continuity
 from .trigger_comparison import _run_trigger_comparison
@@ -370,6 +370,9 @@ class ResultCache:
 
     def __init__(self, directory: Path) -> None:
         self.directory = Path(directory)
+        # The cache is optional-durability: a failed write is a counted
+        # miss on the next run, never a failed experiment.
+        self._store = DurableStore("cache", required=False)
         #: Entries rejected by envelope validation since construction.
         self.integrity_rejects = 0
 
@@ -391,10 +394,8 @@ class ResultCache:
             registry.counter(CACHE_REJECTS_METRIC).inc()
 
     def load(self, name: str, scale: ExperimentScale):
-        path = self.path_for(name, scale)
-        try:
-            data = path.read_bytes()
-        except OSError:
+        data = self._store.read_bytes(self.path_for(name, scale))
+        if data is None:
             return None
         try:
             return decode_envelope(CACHE_VERSION, data)
@@ -402,9 +403,12 @@ class ResultCache:
             self._note_reject()
             return None
 
-    def store(self, name: str, scale: ExperimentScale, result) -> None:
-        atomic_write_bytes(self.path_for(name, scale),
-                           encode_envelope(CACHE_VERSION, result))
+    def store(self, name: str, scale: ExperimentScale, result) -> bool:
+        """Persist one result; ``False`` means the write degraded to a
+        miss (the run carries on, the entry recomputes next time)."""
+        return self._store.write_bytes(
+            self.path_for(name, scale),
+            encode_envelope(CACHE_VERSION, result))
 
 
 # ---------------------------------------------------------------------------

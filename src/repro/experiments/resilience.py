@@ -47,7 +47,6 @@ import json
 import os
 import pickle
 import re
-import tempfile
 import time
 import traceback as traceback_module
 from concurrent.futures import (
@@ -72,6 +71,8 @@ from typing import (
 )
 
 from ..serialization import SerializableMixin
+from ..storage.faults import chaos_spec_text
+from ..storage.store import DurableStore, atomic_write_bytes
 from .config import ExperimentScale
 
 # ---------------------------------------------------------------------------
@@ -297,27 +298,10 @@ def decode_envelope(version: int, data: bytes) -> object:
             f"checksummed payload failed to unpickle: {exc!r}") from exc
 
 
-def atomic_write_bytes(path: Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` via a collision-free temp file.
-
-    ``tempfile.mkstemp`` in the destination directory gives every writer
-    its own temp name (a shared ``<path>.tmp`` lets two concurrent
-    ``run_all`` invocations clobber each other mid-write), and
-    ``os.replace`` publishes atomically.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name + ".", suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            fh.write(data)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+# ``atomic_write_bytes`` lived here through PR 9; it is now the raw
+# primitive of :mod:`repro.storage.store` (imported above and still
+# re-exported from this module), where the :class:`DurableStore`
+# surfaces wrap it with fault injection and degradation policy.
 
 
 # ---------------------------------------------------------------------------
@@ -343,6 +327,10 @@ class RunJournal:
 
     MANIFEST = "run.json"
 
+    #: :class:`DurableStore` funnel name — the fault-injection target
+    #: key (``fs:journal:...``); :class:`CampaignManifest` overrides it.
+    SURFACE = "journal"
+
     def __init__(self, root: Path, scale: ExperimentScale,
                  version: int) -> None:
         self.root = Path(root)
@@ -350,6 +338,9 @@ class RunJournal:
         self.version = int(version)
         self.results_dir = self.root / "results"
         self.failures_dir = self.root / "failures"
+        # Journals are a required-durability surface: a write that does
+        # not land must surface as a typed error, never a silent gap.
+        self._store = DurableStore(self.SURFACE, required=True)
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -392,6 +383,7 @@ class RunJournal:
             raise JournalError(
                 f"{journal.root} journals a different run (scale or cache "
                 "version mismatch); choose a fresh --run-dir")
+        journal.sweep_orphans()
         return journal
 
     # -- manifest -------------------------------------------------------
@@ -409,10 +401,21 @@ class RunJournal:
         }))
 
     def _write_manifest(self) -> None:
-        atomic_write_bytes(
+        self._persist(
             self.manifest_path,
             json.dumps(self._manifest(), indent=2,
                        sort_keys=True).encode("utf-8") + b"\n")
+
+    def _persist(self, path: Path, data: bytes) -> None:
+        """Required-durability write: an ``OSError`` (real or injected)
+        becomes a :class:`JournalError` refusal the caller can act on —
+        the CLI exits 2 outside supervision; inside ``run_supervised``
+        the ``on_success`` hook converts it into a recorded
+        :class:`ExperimentFailure` for that unit of work."""
+        try:
+            self._store.write_bytes(path, data)
+        except OSError as exc:
+            raise JournalError(f"cannot persist {path}: {exc}") from exc
 
     # -- completion markers --------------------------------------------
     def result_path(self, name: str) -> Path:
@@ -420,9 +423,8 @@ class RunJournal:
 
     def load(self, name: str):
         """The journaled result for ``name``, or ``None`` to re-run it."""
-        try:
-            data = self.result_path(name).read_bytes()
-        except OSError:
+        data = self._store.read_bytes(self.result_path(name))
+        if data is None:
             return None
         try:
             return decode_envelope(self.version, data)
@@ -430,18 +432,24 @@ class RunJournal:
             return None
 
     def store(self, name: str, result: object) -> None:
-        atomic_write_bytes(self.result_path(name),
-                           encode_envelope(self.version, result))
+        self._persist(self.result_path(name),
+                      encode_envelope(self.version, result))
         try:
             (self.failures_dir / f"{name}.json").unlink()
         except OSError:
             pass
 
     def store_failure(self, failure: ExperimentFailure) -> None:
-        atomic_write_bytes(
+        self._persist(
             self.failures_dir / f"{failure.name}.json",
             json.dumps(failure.to_dict(), indent=2,
                        sort_keys=True).encode("utf-8") + b"\n")
+
+    def sweep_orphans(self) -> int:
+        """Unlink ``*.tmp`` wreckage a crash-between-write-and-replace
+        left behind; called on every resume before markers are trusted."""
+        return self._store.sweep_orphans(
+            self.root, self.results_dir, self.failures_dir)
 
     def completed_names(self) -> Tuple[str, ...]:
         if not self.results_dir.is_dir():
@@ -493,14 +501,16 @@ def chaos_action(name: str, attempt: int) -> Optional[str]:
 
     Parses :data:`CHAOS_ENV` on every call (it is consulted once per
     experiment attempt, never on a hot path) so tests can flip the spec
-    between runs without process churn.
+    between runs without process churn. ``fs:`` entries belong to the
+    storage-fault parser (:mod:`repro.storage.faults`) and are skipped
+    here; a ``@/path`` spec is read from that file on every consult.
     """
-    spec = os.environ.get(CHAOS_ENV, "")
+    spec = chaos_spec_text()
     if not spec:
         return None
     for entry in spec.split(","):
         entry = entry.strip()
-        if not entry:
+        if not entry or entry.startswith("fs:"):
             continue
         parts = entry.split(":")
         if len(parts) != 3:

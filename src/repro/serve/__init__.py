@@ -6,14 +6,22 @@ The serving layer the ROADMAP names: typed feasibility queries
 coalescing of identical in-flight queries, a process pool with warm
 per-worker stack pools, a content-addressed result cache, supervised
 retries/deadlines, and a live Prometheus ``/metrics`` endpoint
-(:func:`start_http_server`).
+(:func:`start_http_server`). Overload never blocks a client: a full
+queue, a tripped :class:`CircuitBreaker`, or a draining service sheds
+requests with :class:`ServiceOverloaded` → HTTP 503 + ``Retry-After``.
 
 :func:`execute_query` is the shared execution path: the service and the
 in-process :func:`repro.api.query_feasibility` both call it, so a
 service answer is byte-identical to a direct one.
 """
 
-from .cache import SERVE_CACHE_VERSION, QueryCache
+from .breaker import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    ServiceOverloaded,
+)
+from .cache import SERVE_CACHE_REJECTS_METRIC, SERVE_CACHE_VERSION, QueryCache
 from .execution import execute_query, execute_query_job
 from .http import start_http_server
 from .schema import (
@@ -28,7 +36,10 @@ from .schema import (
 from .service import FeasibilityService, ServeConfig
 
 __all__ = [
+    "BreakerConfig",
+    "BreakerState",
     "CaptureProbeStats",
+    "CircuitBreaker",
     "DWindowPoint",
     "FeasibilityProbeTrial",
     "FeasibilityQuery",
@@ -37,8 +48,10 @@ __all__ = [
     "QueryCache",
     "QueryProvenance",
     "QueryResponse",
+    "SERVE_CACHE_REJECTS_METRIC",
     "SERVE_CACHE_VERSION",
     "ServeConfig",
+    "ServiceOverloaded",
     "execute_query",
     "execute_query_job",
     "start_http_server",

@@ -1,0 +1,160 @@
+"""Counter-driven circuit breaker and overload signalling for serve.
+
+The classic closed/open/half-open machine, with one twist that keeps
+every test deterministic: there are **no clocks**. An open breaker
+"cools down" after *rejecting* :attr:`BreakerConfig.cooldown_rejections`
+requests — not after a wall-time interval — then admits exactly one
+half-open probe. The probe's outcome decides: success closes the
+breaker (window cleared), failure re-opens it and the rejection count
+starts over. Load itself is the clock, which is also operationally
+sane: an idle service has nobody to probe for it anyway.
+
+:class:`ServiceOverloaded` is the one shed signal — raised by
+``FeasibilityService.submit()`` for a full queue, an open breaker, or a
+draining service, and mapped by the HTTP front to ``503`` with a
+``Retry-After`` header.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "ServiceOverloaded",
+]
+
+
+class BreakerState(enum.IntEnum):
+    """Gauge-friendly encoding: the value is what ``/metrics`` exports."""
+
+    CLOSED = 0
+    OPEN = 1
+    HALF_OPEN = 2
+
+
+class ServiceOverloaded(RuntimeError):
+    """A request was shed instead of queued; retry after ``retry_after``."""
+
+    def __init__(self, reason: str, retry_after: float) -> None:
+        super().__init__(
+            f"service overloaded ({reason}); retry in {retry_after:g}s")
+        self.reason = reason
+        self.retry_after = float(retry_after)
+
+
+@dataclass(frozen=True, kw_only=True)
+class BreakerConfig:
+    """Thresholds for one :class:`CircuitBreaker`.
+
+    ``failure_threshold=0`` disables the breaker entirely (every
+    request admitted, outcomes ignored).
+    """
+
+    #: Sliding window of recorded job outcomes.
+    window: int = 16
+    #: Failures within the window that trip CLOSED → OPEN.
+    failure_threshold: int = 8
+    #: Requests an OPEN breaker sheds before admitting one probe.
+    cooldown_rejections: int = 8
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.failure_threshold < 0 or self.failure_threshold > self.window:
+            raise ValueError(
+                f"failure_threshold must be within [0, window="
+                f"{self.window}], got {self.failure_threshold}")
+        if self.cooldown_rejections < 1:
+            raise ValueError(
+                f"cooldown_rejections must be >= 1, got "
+                f"{self.cooldown_rejections}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.failure_threshold > 0
+
+
+class CircuitBreaker:
+    """The state machine; see the module docstring for the semantics.
+
+    ``on_state`` fires on every transition with the new state — the
+    service wires it to the ``serve_breaker_state`` gauge.
+    """
+
+    def __init__(self, config: Optional[BreakerConfig] = None,
+                 on_state: Optional[Callable[[BreakerState], None]] = None,
+                 ) -> None:
+        self.config = config or BreakerConfig()
+        self._on_state = on_state
+        self._state = BreakerState.CLOSED
+        #: Recent job outcomes, ``True`` = failure.
+        self._outcomes: Deque[bool] = deque(maxlen=self.config.window)
+        self._rejections_while_open = 0
+        self._probe_inflight = False
+        #: Total requests this breaker has shed, for forensics.
+        self.rejections_total = 0
+
+    @property
+    def state(self) -> BreakerState:
+        return self._state
+
+    @property
+    def failures_in_window(self) -> int:
+        return sum(self._outcomes)
+
+    def _transition(self, new: BreakerState) -> None:
+        if new is self._state:
+            return
+        self._state = new
+        if self._on_state is not None:
+            self._on_state(new)
+
+    def allow(self) -> bool:
+        """May the next request proceed to the queue?"""
+        if not self.config.enabled or self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.OPEN:
+            if self._rejections_while_open >= self.config.cooldown_rejections:
+                # Cooldown served: this request becomes the probe.
+                self._transition(BreakerState.HALF_OPEN)
+                self._probe_inflight = True
+                return True
+            self._rejections_while_open += 1
+            self.rejections_total += 1
+            return False
+        # HALF_OPEN: exactly one probe at a time.
+        if self._probe_inflight:
+            self.rejections_total += 1
+            return False
+        self._probe_inflight = True
+        return True
+
+    def record_success(self) -> None:
+        if not self.config.enabled:
+            return
+        if self._state is BreakerState.HALF_OPEN:
+            self._probe_inflight = False
+            self._outcomes.clear()
+            self._transition(BreakerState.CLOSED)
+        elif self._state is BreakerState.CLOSED:
+            self._outcomes.append(False)
+        # OPEN: a straggler finishing after the trip changes nothing.
+
+    def record_failure(self) -> None:
+        if not self.config.enabled:
+            return
+        if self._state is BreakerState.HALF_OPEN:
+            self._probe_inflight = False
+            self._rejections_while_open = 0
+            self._transition(BreakerState.OPEN)
+        elif self._state is BreakerState.CLOSED:
+            self._outcomes.append(True)
+            if self.failures_in_window >= self.config.failure_threshold:
+                self._rejections_while_open = 0
+                self._transition(BreakerState.OPEN)

@@ -8,7 +8,9 @@ no framework dependency, ``Connection: close`` semantics, four routes:
 * ``GET /stats`` — the counter/gauge/queue snapshot as JSON;
 * ``POST /query`` — a :class:`FeasibilityQuery` as JSON in, a
   :class:`QueryResponse` as JSON out (400 on an invalid query, 500 with
-  the structured failure record when execution failed).
+  the structured failure record when execution failed, 503 with a
+  ``Retry-After`` header when the service sheds the request — full
+  queue, open circuit breaker, or draining for shutdown).
 """
 
 from __future__ import annotations
@@ -18,13 +20,15 @@ import json
 from typing import Dict, Optional, Tuple
 
 from ..obs import PROMETHEUS_CONTENT_TYPE, render_registry
+from .breaker import ServiceOverloaded
 from .schema import FeasibilityQuery
 from .service import FeasibilityService
 
 __all__ = ["start_http_server"]
 
 _STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                500: "Internal Server Error"}
+                500: "Internal Server Error",
+                503: "Service Unavailable"}
 
 #: Refuse request bodies beyond this size (a query is a few hundred bytes).
 _MAX_BODY = 1 << 20
@@ -55,12 +59,15 @@ async def _read_request(
 
 
 def _response(status: int, body: str,
-              content_type: str = "application/json") -> bytes:
+              content_type: str = "application/json",
+              extra_headers: Optional[Dict[str, str]] = None) -> bytes:
     payload = body.encode("utf-8")
     head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(payload)}\r\n"
-            f"Connection: close\r\n\r\n")
+            f"Content-Length: {len(payload)}\r\n")
+    for name, value in (extra_headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    head += "Connection: close\r\n\r\n"
     return head.encode("latin-1") + payload
 
 
@@ -90,7 +97,15 @@ async def _handle(service: FeasibilityService,
                 writer.write(_response(400, json.dumps(
                     {"error": f"invalid query: {exc}"})))
                 return
-            response = await service.submit(query)
+            try:
+                response = await service.submit(query)
+            except ServiceOverloaded as exc:
+                writer.write(_response(
+                    503,
+                    json.dumps({"error": str(exc), "reason": exc.reason,
+                                "retry_after": exc.retry_after}),
+                    extra_headers={"Retry-After": f"{exc.retry_after:g}"}))
+                return
             status = 200 if response.ok else 500
             writer.write(_response(status, json.dumps(
                 response.to_dict(), sort_keys=True)))

@@ -14,9 +14,17 @@ execution.
 2. **Single-flight** — an identical query already queued or running is
    awaited, not re-executed (provenance ``"coalesced"``); the underlying
    trials run exactly once.
-3. **Queue** — otherwise the query joins the bounded queue (backpressure
-   blocks the submitter, never drops work) until a drain task feeds it
+3. **Admission** — a full queue, an open circuit breaker, or a draining
+   service sheds the request with :class:`ServiceOverloaded` (the HTTP
+   front maps it to ``503`` + ``Retry-After``) instead of blocking; an
+   admitted query joins the bounded queue until a drain task feeds it
    to a pool worker.
+
+The :class:`~repro.serve.breaker.CircuitBreaker` watches executed-job
+outcomes: enough failures in its window open it, a cooldown's worth of
+shed requests admit one half-open probe, and the probe's outcome closes
+or re-opens it. :meth:`FeasibilityService.drain` is the graceful-SIGTERM
+half: stop accepting, finish in-flight jobs, flush the disk cache.
 
 Execution is supervised with the PR-5 machinery: a
 :class:`~repro.experiments.resilience.RunPolicy` governs retries with
@@ -50,7 +58,14 @@ from ..experiments.resilience import (
     make_failure,
 )
 from ..obs.metrics import MetricsRegistry
-from .cache import QueryCache
+from ..storage.store import FS_FAULTS_METRIC, FS_WRITE_ERRORS_METRIC
+from .breaker import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    ServiceOverloaded,
+)
+from .cache import SERVE_CACHE_REJECTS_METRIC, QueryCache
 from .execution import execute_query_job
 from .schema import FeasibilityQuery, QueryProvenance, QueryResponse
 
@@ -67,6 +82,10 @@ _COUNTERS = (
     "serve_retries_total",
     "serve_deadline_exceeded_total",
     "serve_pool_rebuilds_total",
+    "serve_shed_total",
+    SERVE_CACHE_REJECTS_METRIC,
+    FS_FAULTS_METRIC,
+    FS_WRITE_ERRORS_METRIC,
 )
 
 
@@ -76,12 +95,17 @@ class ServeConfig:
 
     #: Pool workers; also the number of queue drain tasks.
     workers: int = 2
-    #: Bounded queue size — submitters beyond it block (backpressure).
+    #: Bounded queue size — the admission high-watermark: requests
+    #: beyond it are shed with 503 + Retry-After, never blocked.
     queue_limit: int = 32
     #: Directory for the persistent query cache; ``None`` = memory-only.
     cache_dir: Optional[Path] = None
     #: Retry/deadline/backoff policy per job (default: one attempt).
     policy: RunPolicy = DEFAULT_POLICY
+    #: Circuit-breaker thresholds fronting the worker pool.
+    breaker: BreakerConfig = BreakerConfig()
+    #: ``Retry-After`` value (seconds) attached to shed responses.
+    retry_after_seconds: float = 1.0
 
 
 class FeasibilityService:
@@ -91,14 +115,23 @@ class FeasibilityService:
                  registry: Optional[MetricsRegistry] = None) -> None:
         self.config = config or ServeConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.cache = QueryCache(self.config.cache_dir)
+        self.cache = QueryCache(self.config.cache_dir,
+                                registry=self.registry)
         self._queue: Optional[asyncio.Queue] = None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._drainers: List[asyncio.Task] = []
         self._inflight: Dict[str, asyncio.Future] = {}
+        self._draining = False
+        self.breaker = CircuitBreaker(
+            self.config.breaker,
+            on_state=lambda state: self.registry.gauge(
+                "serve_breaker_state").set(float(int(state))))
         for name in _COUNTERS:
             self.registry.counter(name)
         self.registry.gauge("serve_queue_depth")
+        self.registry.gauge("serve_breaker_state").set(
+            float(int(BreakerState.CLOSED)))
+        self.registry.gauge("serve_drain_seconds")
         self.registry.histogram("serve_queue_wait_ms")
         self.registry.histogram("serve_job_wall_ms")
 
@@ -125,6 +158,24 @@ class FeasibilityService:
             asyncio.get_running_loop().create_task(self._drain())
             for _ in range(self.config.workers)
         ]
+
+    async def drain(self) -> float:
+        """Graceful-shutdown step one: stop accepting, finish in-flight.
+
+        New submissions shed with ``ServiceOverloaded("draining")``,
+        every queued job runs to completion, then the disk cache's
+        flush-pending entries retry. Returns the wall seconds spent,
+        also exported as the ``serve_drain_seconds`` gauge. Call
+        :meth:`close` afterwards to tear the tasks and pool down.
+        """
+        start = time.perf_counter()
+        self._draining = True
+        if self._queue is not None:
+            await self._queue.join()
+        self.cache.flush()
+        elapsed = time.perf_counter() - start
+        self.registry.gauge("serve_drain_seconds").set(elapsed)
+        return elapsed
 
     async def close(self) -> None:
         """Cancel the drain tasks and tear the pool down without waiting."""
@@ -165,11 +216,24 @@ class FeasibilityService:
                 provenance=dataclasses.replace(
                     response.provenance, source="coalesced"))
 
+        if self._draining:
+            self._shed("draining")
+        if self._queue.full():
+            self._shed("queue-full")
+        if not self.breaker.allow():
+            self._shed("breaker-open")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
-        await self._queue.put((key, query, future, time.perf_counter()))
+        # No await between the full() check and the put: submit runs on
+        # the event loop, so the free slot cannot vanish underneath us.
+        self._queue.put_nowait((key, query, future, time.perf_counter()))
         self.registry.gauge("serve_queue_depth").set(self._queue.qsize())
         return await asyncio.shield(future)
+
+    def _shed(self, reason: str) -> None:
+        """Refuse one request: counted, typed, never a blocked client."""
+        self.registry.counter("serve_shed_total").inc()
+        raise ServiceOverloaded(reason, self.config.retry_after_seconds)
 
     async def _drain(self) -> None:
         assert self._queue is not None
@@ -194,6 +258,9 @@ class FeasibilityService:
                         queue_ms=queue_ms))
             if response.report is not None:
                 self.cache.store(key, response.report)
+                self.breaker.record_success()
+            else:
+                self.breaker.record_failure()
             self._inflight.pop(key, None)
             if not future.done():
                 future.set_result(response)

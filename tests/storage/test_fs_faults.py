@@ -1,0 +1,183 @@
+"""The fs chaos channel: spec parsing, targeting, plans, scoping."""
+
+import pytest
+
+from repro.experiments.resilience import chaos_action
+from repro.storage import (
+    CHAOS_ENV,
+    FS_MODES,
+    FsChaosError,
+    FsFaultPlan,
+    chaos_spec_text,
+    current_fs_plan,
+    fault_for,
+    fs_chaos,
+    parse_fs_entries,
+    reset_fs_fault_counters,
+    use_fs_plan,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters(monkeypatch):
+    monkeypatch.delenv(CHAOS_ENV, raising=False)
+    reset_fs_fault_counters()
+    yield
+    reset_fs_fault_counters()
+
+
+class TestSpecParsing:
+    def test_basic_entry(self):
+        (entry,) = parse_fs_entries("fs:cache:write:enospc")
+        assert (entry.surface, entry.op, entry.mode, entry.nth) == \
+            ("cache", "write", "enospc", None)
+
+    def test_nth_and_wildcards(self):
+        (entry,) = parse_fs_entries("fs:*:*:torn:3")
+        assert entry.surface == "*" and entry.op == "*" and entry.nth == 3
+
+    def test_process_chaos_entries_are_skipped(self):
+        assert parse_fs_entries("fig7:1:crash,fig8:*:hang") == ()
+
+    def test_mixed_spec_keeps_only_fs_entries(self):
+        entries = parse_fs_entries(
+            "fig7:1:crash,fs:journal:write:eio,fig8:*:poison")
+        assert len(entries) == 1 and entries[0].surface == "journal"
+
+    @pytest.mark.parametrize("bad", [
+        "fs:cache:write",                 # missing mode
+        "fs:cache:write:enospc:2:extra",  # too many fields
+        "fs:cache:frobnicate:enospc",     # unknown op
+        "fs:cache:write:sparks",          # unknown mode
+        "fs:cache:write:enospc:zero",     # non-integer nth
+        "fs:cache:write:enospc:0",        # nth is 1-based
+    ])
+    def test_malformed_entries_raise(self, bad):
+        with pytest.raises(FsChaosError):
+            parse_fs_entries(bad)
+
+    def test_chaos_action_ignores_fs_entries(self, monkeypatch):
+        monkeypatch.setenv(
+            CHAOS_ENV, "fs:cache:write:enospc,fig7:1:crash")
+        assert chaos_action("fig7", 1) == "crash"
+        assert chaos_action("fig7", 2) is None
+
+
+class TestSpecText:
+    def test_plain_env_value(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "fs:cache:write:eio")
+        assert chaos_spec_text() == "fs:cache:write:eio"
+
+    def test_file_indirection_reread_every_consult(self, monkeypatch,
+                                                   tmp_path):
+        spec_file = tmp_path / "chaos.spec"
+        spec_file.write_text("fs:cache:write:enospc\n")
+        monkeypatch.setenv(CHAOS_ENV, f"@{spec_file}")
+        assert chaos_spec_text() == "fs:cache:write:enospc"
+        spec_file.write_text("")  # live disarm: truncate the file
+        assert chaos_spec_text() == ""
+
+    def test_missing_file_means_no_chaos(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CHAOS_ENV, f"@{tmp_path / 'gone.spec'}")
+        assert chaos_spec_text() == ""
+
+
+class TestTargeting:
+    def test_every_matching_operation_without_nth(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "fs:cache:write:enospc")
+        assert [fault_for("cache", "write") for _ in range(3)] == \
+            ["enospc"] * 3
+
+    def test_nth_arms_exactly_one_occurrence(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "fs:journal:write:crash:2")
+        hits = [fault_for("journal", "write") for _ in range(4)]
+        assert hits == [None, "crash", None, None]
+
+    def test_counters_are_per_surface_and_op(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "fs:journal:write:eio:1")
+        assert fault_for("cache", "write") is None  # does not consume
+        assert fault_for("journal", "read") is None
+        assert fault_for("journal", "write") == "eio"
+
+    def test_write_only_modes_never_fire_on_reads(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "fs:cache:*:torn")
+        assert fault_for("cache", "read") is None
+        assert fault_for("cache", "write") == "torn"
+
+    def test_eio_fires_on_reads(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "fs:cache:read:eio")
+        assert fault_for("cache", "read") == "eio"
+        assert fault_for("cache", "write") is None
+
+
+class TestFsChaosContext:
+    def test_env_installed_and_restored(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "fig7:1:crash")
+        with fs_chaos("fs:cache:write:enospc"):
+            assert fault_for("cache", "write") == "enospc"
+        assert chaos_spec_text() == "fig7:1:crash"
+
+    def test_counters_reset_on_entry_and_exit(self):
+        assert fault_for("cache", "write") is None  # occurrence 1 consumed
+        with fs_chaos("fs:cache:write:enospc:1"):
+            assert fault_for("cache", "write") == "enospc"
+        with fs_chaos("fs:cache:write:enospc:1"):
+            assert fault_for("cache", "write") == "enospc"
+
+    def test_bad_spec_fails_eagerly(self):
+        with pytest.raises(FsChaosError):
+            with fs_chaos("fs:cache:write:nope"):
+                pragma = "unreachable"  # noqa: F841
+
+
+class TestFsFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="within"):
+            FsFaultPlan(seed=1, eio_rate=1.5)
+
+    def test_deterministic_across_instances(self):
+        a = FsFaultPlan(seed=9, torn_rate=0.5)
+        b = FsFaultPlan(seed=9, torn_rate=0.5)
+        draws = [(a.draw("cache", "write", i), b.draw("cache", "write", i))
+                 for i in range(1, 200)]
+        assert all(x == y for x, y in draws)
+        assert any(x == "torn" for x, _ in draws)
+        assert any(x is None for x, _ in draws)
+
+    def test_sub_streams_are_independent(self):
+        # Enabling a second mode never changes WHICH operations the
+        # first hits: its sub-stream is keyed on the mode name.
+        torn_only = FsFaultPlan(seed=4, torn_rate=0.3)
+        both = FsFaultPlan(seed=4, torn_rate=0.3, crash_rate=0.2)
+        for occurrence in range(1, 300):
+            solo = torn_only.draw("journal", "write", occurrence)
+            mixed = both.draw("journal", "write", occurrence)
+            if solo == "torn":
+                assert mixed == "torn"  # torn precedes crash in FS_MODES
+
+    def test_reads_only_draw_read_modes(self):
+        plan = FsFaultPlan(seed=2, torn_rate=1.0, crash_rate=1.0)
+        assert all(plan.draw("cache", "read", i) is None
+                   for i in range(1, 50))
+        eio = FsFaultPlan(seed=2, eio_rate=1.0)
+        assert eio.draw("cache", "read", 1) == "eio"
+
+    def test_mode_precedence_is_fs_modes_order(self):
+        everything = FsFaultPlan(
+            seed=3, **{f"{mode}_rate": 1.0 for mode in FS_MODES})
+        assert everything.draw("cache", "write", 1) == FS_MODES[0]
+
+    def test_use_fs_plan_scopes_the_ambient_plan(self):
+        plan = FsFaultPlan(seed=5, enospc_rate=1.0)
+        assert current_fs_plan() is None
+        with use_fs_plan(plan):
+            assert current_fs_plan() is plan
+            assert fault_for("cache", "write") == "enospc"
+        assert current_fs_plan() is None
+        assert fault_for("cache", "write") is None
+
+    def test_env_spec_wins_over_plan(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "fs:cache:write:torn")
+        plan = FsFaultPlan(seed=6, enospc_rate=1.0)
+        with use_fs_plan(plan):
+            assert fault_for("cache", "write") == "torn"
